@@ -1,0 +1,64 @@
+//! E7 — cost of building and checking the Lemma 2.1 adversary networks,
+//! comparing the compact construction with the paper-layout reconstruction
+//! (ablation called out in DESIGN.md §6).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sortnet_combinat::BitString;
+use sortnet_testsets::adversary::{adversary_network, fails_exactly_on, AdversaryVariant};
+
+fn worst_case_sigma(n: usize) -> BitString {
+    // Alternating strings exercise the deepest recursion of the construction.
+    let mut bits = vec![false; n];
+    for (i, b) in bits.iter_mut().enumerate() {
+        *b = i % 2 == 0;
+    }
+    BitString::from_bits(&bits)
+}
+
+fn bench_single_adversary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_single_adversary_construction");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for n in [8usize, 16, 32] {
+        let sigma = worst_case_sigma(n);
+        for (label, variant) in [
+            ("compact", AdversaryVariant::Compact),
+            ("paper", AdversaryVariant::Paper),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| adversary_network(black_box(&sigma), variant))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_all_adversaries_for_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_all_adversaries");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [6usize, 8] {
+        group.bench_with_input(BenchmarkId::new("build_all", n), &n, |b, &n| {
+            b.iter(|| {
+                BitString::all_unsorted(n)
+                    .map(|s| adversary_network(&s, AdversaryVariant::Compact).size())
+                    .sum::<usize>()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("build_and_verify_all", n), &n, |b, &n| {
+            b.iter(|| {
+                BitString::all_unsorted(n)
+                    .filter(|s| {
+                        fails_exactly_on(&adversary_network(s, AdversaryVariant::Compact), s)
+                    })
+                    .count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_adversary, bench_all_adversaries_for_n);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E10 — fault-simulation throughput: running the paper's minimal test set
+//! and random samples against the single-fault universe of Batcher sorters.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sortnet_combinat::BitString;
+use sortnet_faults::coverage_of_tests;
+use sortnet_network::builders::batcher::odd_even_merge_sort;
+use sortnet_network::random::NetworkSampler;
+use sortnet_testsets::sorting;
+
+fn bench_fault_coverage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_fault_coverage");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [8usize, 10] {
+        let net = odd_even_merge_sort(n);
+        let minimal = sorting::binary_testset(n);
+        let mut sampler = NetworkSampler::new(1);
+        let random: Vec<BitString> = (0..minimal.len()).map(|_| sampler.random_input(n)).collect();
+        group.bench_with_input(BenchmarkId::new("minimal_testset", n), &n, |b, _| {
+            b.iter(|| coverage_of_tests(black_box(&net), black_box(&minimal), false))
+        });
+        group.bench_with_input(BenchmarkId::new("random_same_budget", n), &n, |b, _| {
+            b.iter(|| coverage_of_tests(black_box(&net), black_box(&random), false))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault_coverage);
+criterion_main!(benches);

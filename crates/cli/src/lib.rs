@@ -1,0 +1,23 @@
+//! # sortnet-cli
+//!
+//! Glue crate hosting the workspace's runnable examples (in the top-level
+//! `examples/` directory).  It re-exports the public crates so the examples
+//! can be read as self-contained programs against the workspace API.
+//!
+//! Run them with, e.g.:
+//!
+//! ```text
+//! cargo run -p sortnet-cli --example quickstart
+//! cargo run -p sortnet-cli --example verify_batcher --release
+//! cargo run -p sortnet-cli --example minimal_testsets
+//! cargo run -p sortnet-cli --example fault_testing --release
+//! cargo run -p sortnet-cli --example selector_and_merger --release
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sortnet_combinat as combinat;
+pub use sortnet_faults as faults;
+pub use sortnet_network as network;
+pub use sortnet_testsets as testsets;

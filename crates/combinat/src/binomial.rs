@@ -1,0 +1,308 @@
+//! Exact integer binomial coefficients, factorials and the closed-form
+//! expressions appearing in the paper's theorems.
+//!
+//! All functions are exact over `u128` internally and either saturate or
+//! panic explicitly on overflow, so that the experiment harness can print
+//! honest values for every `n` in its sweep range.
+
+/// Binomial coefficient `C(n, k)` computed exactly in `u128` and returned as
+/// `u128`.
+///
+/// Returns `0` when `k > n`.  Uses the multiplicative formula with
+/// interleaved division so intermediate values stay bounded by the result
+/// times `n`.
+///
+/// # Panics
+/// Panics if the value does not fit in a `u128` (far beyond anything used by
+/// the experiments, which stop near `n = 64`).
+#[must_use]
+pub fn binomial_u128(n: u64, k: u64) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        // acc * (n - i) is divisible by (i + 1) after the multiplication
+        // because acc already holds C(n, i) at this point.
+        acc = acc
+            .checked_mul(u128::from(n - i))
+            .expect("binomial coefficient overflowed u128");
+        acc /= u128::from(i + 1);
+    }
+    acc
+}
+
+/// Binomial coefficient `C(n, k)` as a `u64`.
+///
+/// # Panics
+/// Panics if the exact value does not fit in a `u64`.
+#[must_use]
+pub fn binomial(n: u64, k: u64) -> u64 {
+    let v = binomial_u128(n, k);
+    u64::try_from(v).expect("binomial coefficient overflowed u64")
+}
+
+/// `n!` as a `u128`.
+///
+/// # Panics
+/// Panics on overflow (first at `n = 35`), which is well beyond the sizes
+/// where factorial-scale enumeration is feasible anyway.
+#[must_use]
+pub fn factorial(n: u64) -> u128 {
+    let mut acc: u128 = 1;
+    for i in 2..=u128::from(n) {
+        acc = acc.checked_mul(i).expect("factorial overflowed u128");
+    }
+    acc
+}
+
+/// Multinomial coefficient `(Σ parts)! / Π parts!` as a `u128`.
+///
+/// Computed as a product of binomials so it never materialises a large
+/// factorial.
+///
+/// # Panics
+/// Panics on overflow of `u128`.
+#[must_use]
+pub fn multinomial(parts: &[u64]) -> u128 {
+    let mut total: u64 = 0;
+    let mut acc: u128 = 1;
+    for &p in parts {
+        total = total.checked_add(p).expect("multinomial total overflowed");
+        acc = acc
+            .checked_mul(binomial_u128(total, p))
+            .expect("multinomial overflowed u128");
+    }
+    acc
+}
+
+/// Number of *sorted* (non-decreasing) 0/1 strings of length `n`:
+/// `n + 1` (one per weight).
+#[must_use]
+pub fn sorted_binary_strings(n: u64) -> u128 {
+    u128::from(n) + 1
+}
+
+/// Number of *unsorted* 0/1 strings of length `n`: `2^n − n − 1`.
+///
+/// This is Theorem 2.2(i): the exact size of the minimum 0/1 test set for the
+/// sorting property.
+///
+/// # Panics
+/// Panics if `n ≥ 128`.
+#[must_use]
+pub fn sorting_testset_size_binary(n: u64) -> u128 {
+    assert!(n < 128, "2^n does not fit in u128 for n = {n}");
+    (1u128 << n) - u128::from(n) - 1
+}
+
+/// Theorem 2.2(ii): the exact size of the minimum permutation test set for
+/// the sorting property, `C(n, ⌊n/2⌋) − 1`.
+#[must_use]
+pub fn sorting_testset_size_permutation(n: u64) -> u128 {
+    binomial_u128(n, n / 2).saturating_sub(1)
+}
+
+/// Theorem 2.4(i): the exact size of the minimum 0/1 test set for the
+/// `(k, n)`-selector property, `Σ_{i=0}^{k} C(n, i) − k − 1`.
+#[must_use]
+pub fn selector_testset_size_binary(n: u64, k: u64) -> u128 {
+    let mut sum: u128 = 0;
+    for i in 0..=k.min(n) {
+        sum += binomial_u128(n, i);
+    }
+    sum - u128::from(k.min(n)) - 1
+}
+
+/// Theorem 2.4(ii): the exact size of the minimum permutation test set for
+/// the `(k, n)`-selector property, `C(n, min(⌊n/2⌋, k)) − 1`.
+#[must_use]
+pub fn selector_testset_size_permutation(n: u64, k: u64) -> u128 {
+    binomial_u128(n, k.min(n / 2)).saturating_sub(1)
+}
+
+/// Theorem 2.5(i): the exact size of the minimum 0/1 test set for the
+/// `(n/2, n/2)`-merging property, `n²/4`.
+///
+/// # Panics
+/// Panics if `n` is odd (the paper only defines merging for even `n`).
+#[must_use]
+pub fn merging_testset_size_binary(n: u64) -> u128 {
+    assert!(n % 2 == 0, "merging networks are defined for even n, got {n}");
+    u128::from(n) * u128::from(n) / 4
+}
+
+/// Theorem 2.5(ii): the exact size of the minimum permutation test set for
+/// the `(n/2, n/2)`-merging property, `n/2`.
+///
+/// # Panics
+/// Panics if `n` is odd.
+#[must_use]
+pub fn merging_testset_size_permutation(n: u64) -> u128 {
+    assert!(n % 2 == 0, "merging networks are defined for even n, got {n}");
+    u128::from(n) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_binomials_match_pascal_triangle() {
+        let expect = [
+            [1u64, 0, 0, 0, 0, 0],
+            [1, 1, 0, 0, 0, 0],
+            [1, 2, 1, 0, 0, 0],
+            [1, 3, 3, 1, 0, 0],
+            [1, 4, 6, 4, 1, 0],
+            [1, 5, 10, 10, 5, 1],
+        ];
+        for (n, row) in expect.iter().enumerate() {
+            for (k, &v) in row.iter().enumerate() {
+                assert_eq!(binomial(n as u64, k as u64), v, "C({n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_symmetry_and_recurrence() {
+        for n in 0..=30u64 {
+            for k in 0..=n {
+                assert_eq!(binomial_u128(n, k), binomial_u128(n, n - k));
+                if n > 0 && k > 0 && k < n {
+                    assert_eq!(
+                        binomial_u128(n, k),
+                        binomial_u128(n - 1, k - 1) + binomial_u128(n - 1, k)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_row_sums_to_power_of_two() {
+        for n in 0..=40u64 {
+            let sum: u128 = (0..=n).map(|k| binomial_u128(n, k)).sum();
+            assert_eq!(sum, 1u128 << n);
+        }
+    }
+
+    #[test]
+    fn binomial_k_larger_than_n_is_zero() {
+        assert_eq!(binomial_u128(5, 6), 0);
+        assert_eq!(binomial(0, 1), 0);
+    }
+
+    #[test]
+    fn central_binomials() {
+        assert_eq!(binomial(10, 5), 252);
+        assert_eq!(binomial(20, 10), 184_756);
+        assert_eq!(binomial(40, 20), 137_846_528_820);
+        assert_eq!(binomial_u128(50, 25), 126_410_606_437_752);
+    }
+
+    #[test]
+    fn factorial_values() {
+        assert_eq!(factorial(0), 1);
+        assert_eq!(factorial(1), 1);
+        assert_eq!(factorial(5), 120);
+        assert_eq!(factorial(10), 3_628_800);
+        assert_eq!(factorial(20), 2_432_902_008_176_640_000);
+    }
+
+    #[test]
+    fn multinomial_matches_binomial_for_two_parts() {
+        for n in 0..=20u64 {
+            for k in 0..=n {
+                assert_eq!(multinomial(&[k, n - k]), binomial_u128(n, k));
+            }
+        }
+    }
+
+    #[test]
+    fn multinomial_three_parts() {
+        // 9! / (2! 3! 4!) = 1260
+        assert_eq!(multinomial(&[2, 3, 4]), 1260);
+    }
+
+    #[test]
+    fn paper_formula_sorting_binary() {
+        // Values quoted implicitly by the paper: 2^n - n - 1.
+        assert_eq!(sorting_testset_size_binary(2), 1);
+        assert_eq!(sorting_testset_size_binary(3), 4);
+        assert_eq!(sorting_testset_size_binary(4), 11);
+        assert_eq!(sorting_testset_size_binary(10), 1013);
+    }
+
+    #[test]
+    fn paper_formula_sorting_permutation() {
+        assert_eq!(sorting_testset_size_permutation(2), 1);
+        assert_eq!(sorting_testset_size_permutation(3), 2);
+        assert_eq!(sorting_testset_size_permutation(4), 5);
+        assert_eq!(sorting_testset_size_permutation(6), 19);
+    }
+
+    #[test]
+    fn yao_observation_permutation_sets_are_smaller() {
+        // §2 of the paper: C(n, ⌊n/2⌋) − 1 < 2^n − n − 1 for n ≥ 3.
+        for n in 3..=60u64 {
+            assert!(
+                sorting_testset_size_permutation(n) < sorting_testset_size_binary(n),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_formula_selector_binary() {
+        // k = n: selector == sorter, so the formula must reduce to 2^n - n - 1.
+        for n in 1..=16u64 {
+            assert_eq!(
+                selector_testset_size_binary(n, n),
+                sorting_testset_size_binary(n)
+            );
+        }
+        // Hand-checked small case: n = 4, k = 1: C(4,0)+C(4,1) - 1 - 1 = 3.
+        assert_eq!(selector_testset_size_binary(4, 1), 3);
+        // n = 5, k = 2: 1 + 5 + 10 - 2 - 1 = 13.
+        assert_eq!(selector_testset_size_binary(5, 2), 13);
+    }
+
+    #[test]
+    fn paper_formula_selector_permutation() {
+        assert_eq!(selector_testset_size_permutation(6, 2), 14); // C(6,2)-1
+        assert_eq!(selector_testset_size_permutation(6, 5), 19); // C(6,3)-1
+        for n in 1..=20u64 {
+            // k >= floor(n/2) saturates at the sorting bound.
+            assert_eq!(
+                selector_testset_size_permutation(n, n),
+                sorting_testset_size_permutation(n)
+            );
+        }
+    }
+
+    #[test]
+    fn paper_formula_merging() {
+        assert_eq!(merging_testset_size_binary(2), 1);
+        assert_eq!(merging_testset_size_binary(4), 4);
+        assert_eq!(merging_testset_size_binary(8), 16);
+        assert_eq!(merging_testset_size_permutation(8), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn merging_rejects_odd_n() {
+        let _ = merging_testset_size_binary(5);
+    }
+
+    #[test]
+    fn sorted_string_count() {
+        for n in 0..=20u64 {
+            assert_eq!(
+                sorted_binary_strings(n) + sorting_testset_size_binary(n),
+                1u128 << n
+            );
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Integer compositions and weak compositions.
+//!
+//! Used by the merging experiments: the 0/1 test set for `(m, m)`-merging is
+//! indexed by pairs `(i, j)` with `0 ≤ i, j ≤ m` (the weights of the two
+//! sorted halves), i.e. by weak compositions of the half weights, minus the
+//! already-sorted concatenations.
+
+/// All weak compositions of `total` into exactly `parts` non-negative parts,
+/// in lexicographic order.
+#[must_use]
+pub fn weak_compositions(total: usize, parts: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    if parts == 0 {
+        if total == 0 {
+            out.push(Vec::new());
+        }
+        return out;
+    }
+    let mut current = vec![0usize; parts];
+    fill(total, 0, &mut current, &mut out);
+    out
+}
+
+fn fill(remaining: usize, index: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    if index + 1 == current.len() {
+        current[index] = remaining;
+        out.push(current.clone());
+        return;
+    }
+    for v in 0..=remaining {
+        current[index] = v;
+        fill(remaining - v, index + 1, current, out);
+    }
+}
+
+/// All (strict) compositions of `total` into exactly `parts` positive parts.
+#[must_use]
+pub fn compositions(total: usize, parts: usize) -> Vec<Vec<usize>> {
+    weak_compositions(total.saturating_sub(parts), parts)
+        .into_iter()
+        .map(|c| c.into_iter().map(|v| v + 1).collect())
+        .filter(|_| total >= parts)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binomial::binomial_u128;
+
+    #[test]
+    fn weak_composition_counts_match_stars_and_bars() {
+        for total in 0..=8usize {
+            for parts in 1..=5usize {
+                let count = weak_compositions(total, parts).len() as u128;
+                assert_eq!(
+                    count,
+                    binomial_u128((total + parts - 1) as u64, (parts - 1) as u64),
+                    "total={total} parts={parts}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weak_compositions_sum_correctly() {
+        for c in weak_compositions(7, 3) {
+            assert_eq!(c.iter().sum::<usize>(), 7);
+            assert_eq!(c.len(), 3);
+        }
+    }
+
+    #[test]
+    fn strict_composition_counts() {
+        // C(total-1, parts-1)
+        for total in 1..=9usize {
+            for parts in 1..=total {
+                let count = compositions(total, parts).len() as u128;
+                assert_eq!(
+                    count,
+                    binomial_u128((total - 1) as u64, (parts - 1) as u64),
+                    "total={total} parts={parts}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strict_compositions_have_positive_parts() {
+        for c in compositions(6, 3) {
+            assert!(c.iter().all(|&v| v >= 1));
+            assert_eq!(c.iter().sum::<usize>(), 6);
+        }
+    }
+
+    #[test]
+    fn zero_into_zero_parts() {
+        assert_eq!(weak_compositions(0, 0), vec![Vec::<usize>::new()]);
+        assert!(weak_compositions(3, 0).is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! Binary reflected Gray codes.
+//!
+//! The exhaustive 0/1 verifiers walk all `2^n` inputs; visiting them in Gray
+//! code order means consecutive test vectors differ in a single line, which
+//! is convenient for incremental evaluation experiments and for the fault
+//! simulator's "single bit sensitisation" sweeps.
+
+use crate::bitstrings::BitString;
+use crate::check_n;
+
+/// The `i`-th codeword of the binary reflected Gray code.
+#[must_use]
+pub fn gray_code(i: u64) -> u64 {
+    i ^ (i >> 1)
+}
+
+/// Inverse of [`gray_code`]: the index of a codeword.
+#[must_use]
+pub fn gray_rank(mut g: u64) -> u64 {
+    let mut i = g;
+    while g != 0 {
+        g >>= 1;
+        i ^= g;
+    }
+    i
+}
+
+/// Iterator over all `2^n` bit strings of length `n` in Gray code order.
+///
+/// # Panics
+/// Panics if `n ≥ 64`.
+pub fn gray_strings(n: usize) -> impl Iterator<Item = BitString> {
+    check_n(n);
+    assert!(n < 64, "cannot enumerate 2^64 Gray codewords");
+    (0u64..(1u64 << n)).map(move |i| BitString::from_word(gray_code(i), n))
+}
+
+/// The position flipped between consecutive Gray codewords `i` and `i + 1`.
+#[must_use]
+pub fn gray_flip_position(i: u64) -> u32 {
+    (i + 1).trailing_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn gray_code_is_a_bijection_on_small_ranges() {
+        let mut seen = HashSet::new();
+        for i in 0..1u64 << 12 {
+            assert!(seen.insert(gray_code(i)));
+            assert_eq!(gray_rank(gray_code(i)), i);
+        }
+    }
+
+    #[test]
+    fn consecutive_codewords_differ_in_one_bit() {
+        for i in 0..(1u64 << 12) - 1 {
+            let diff = gray_code(i) ^ gray_code(i + 1);
+            assert_eq!(diff.count_ones(), 1);
+            assert_eq!(diff, 1 << gray_flip_position(i));
+        }
+    }
+
+    #[test]
+    fn gray_strings_visits_every_string_once() {
+        for n in 0..=12usize {
+            let seen: HashSet<_> = gray_strings(n).map(|s| s.word()).collect();
+            assert_eq!(seen.len(), 1 << n);
+        }
+    }
+
+    #[test]
+    fn gray_strings_neighbouring_strings_differ_in_one_position() {
+        let all: Vec<_> = gray_strings(10).collect();
+        for w in all.windows(2) {
+            let diff = w[0].word() ^ w[1].word();
+            assert_eq!(diff.count_ones(), 1);
+        }
+    }
+}

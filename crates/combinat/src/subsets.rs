@@ -1,0 +1,321 @@
+//! Subsets of `{0, …, n−1}` packed into a `u64`, with ranking/unranking in
+//! the combinatorial number system and fixed-cardinality enumeration.
+//!
+//! Subsets are the index sets behind two of the paper's constructions:
+//!
+//! * `T_k^n`, the 0/1 test set for `(k, n)`-selection, is indexed by the
+//!   subsets of zero positions of size ≤ k;
+//! * the `B(n, k)` family of permutations (Theorem 2.4) contains one
+//!   permutation per `k`-subset of `{1, …, n}`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::binomial::binomial_u128;
+use crate::bitstrings::BitString;
+use crate::check_n;
+
+/// A subset of `{0, …, n−1}` with `n ≤ 64`, packed into a `u64`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Subset {
+    mask: u64,
+    universe: u8,
+}
+
+impl Subset {
+    /// The empty subset of a universe of size `n`.
+    ///
+    /// # Panics
+    /// Panics if `n > 64`.
+    #[must_use]
+    pub fn empty(n: usize) -> Self {
+        check_n(n);
+        Self {
+            mask: 0,
+            universe: n as u8,
+        }
+    }
+
+    /// The full universe `{0, …, n−1}`.
+    #[must_use]
+    pub fn full(n: usize) -> Self {
+        check_n(n);
+        let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        Self {
+            mask,
+            universe: n as u8,
+        }
+    }
+
+    /// Builds a subset from a bitmask (bits above `n` are masked off).
+    #[must_use]
+    pub fn from_mask(mask: u64, n: usize) -> Self {
+        check_n(n);
+        let full = Self::full(n);
+        Self {
+            mask: mask & full.mask,
+            universe: n as u8,
+        }
+    }
+
+    /// Builds a subset from a list of elements.
+    ///
+    /// # Panics
+    /// Panics if any element is ≥ `n`.
+    #[must_use]
+    pub fn from_elements(elements: &[usize], n: usize) -> Self {
+        check_n(n);
+        let mut mask = 0u64;
+        for &e in elements {
+            assert!(e < n, "element {e} outside universe of size {n}");
+            mask |= 1 << e;
+        }
+        Self {
+            mask,
+            universe: n as u8,
+        }
+    }
+
+    /// Size of the universe.
+    #[must_use]
+    pub fn universe(&self) -> usize {
+        self.universe as usize
+    }
+
+    /// Cardinality of the subset.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.mask.count_ones() as usize
+    }
+
+    /// `true` when the subset is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.mask == 0
+    }
+
+    /// The packed bitmask.
+    #[must_use]
+    pub fn mask(&self) -> u64 {
+        self.mask
+    }
+
+    /// Membership test.
+    #[must_use]
+    pub fn contains(&self, element: usize) -> bool {
+        element < self.universe() && (self.mask >> element) & 1 == 1
+    }
+
+    /// Returns a copy with `element` inserted.
+    ///
+    /// # Panics
+    /// Panics if `element ≥ universe`.
+    #[must_use]
+    pub fn with(&self, element: usize) -> Self {
+        assert!(element < self.universe(), "element outside universe");
+        Self {
+            mask: self.mask | (1 << element),
+            universe: self.universe,
+        }
+    }
+
+    /// Returns a copy with `element` removed.
+    ///
+    /// # Panics
+    /// Panics if `element ≥ universe`.
+    #[must_use]
+    pub fn without(&self, element: usize) -> Self {
+        assert!(element < self.universe(), "element outside universe");
+        Self {
+            mask: self.mask & !(1 << element),
+            universe: self.universe,
+        }
+    }
+
+    /// `true` when `self ⊆ other`.
+    ///
+    /// # Panics
+    /// Panics if the universes differ.
+    #[must_use]
+    pub fn is_subset_of(&self, other: &Self) -> bool {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        self.mask & !other.mask == 0
+    }
+
+    /// The complement within the universe.
+    #[must_use]
+    pub fn complement(&self) -> Self {
+        let full = Self::full(self.universe());
+        Self {
+            mask: full.mask & !self.mask,
+            universe: self.universe,
+        }
+    }
+
+    /// Elements in increasing order.
+    #[must_use]
+    pub fn elements(&self) -> Vec<usize> {
+        (0..self.universe()).filter(|&i| self.contains(i)).collect()
+    }
+
+    /// The characteristic 0/1 string of the subset (element `i` present ⇒
+    /// position `i` is 1).
+    #[must_use]
+    pub fn characteristic(&self) -> BitString {
+        BitString::from_word(self.mask, self.universe())
+    }
+
+    /// Builds a subset from the 1-positions of a bit string.
+    #[must_use]
+    pub fn from_characteristic(s: &BitString) -> Self {
+        Self {
+            mask: s.word(),
+            universe: s.len() as u8,
+        }
+    }
+
+    /// Rank of the subset among all subsets of the same cardinality, in
+    /// colexicographic order (the combinatorial number system).
+    #[must_use]
+    pub fn colex_rank(&self) -> u128 {
+        let mut rank: u128 = 0;
+        for (i, e) in self.elements().iter().enumerate() {
+            rank += binomial_u128(*e as u64, i as u64 + 1);
+        }
+        rank
+    }
+
+    /// Unranks a colexicographic rank into the `rank`-th `k`-subset of a
+    /// universe of size `n`.
+    ///
+    /// # Panics
+    /// Panics if `rank ≥ C(n, k)`.
+    #[must_use]
+    pub fn from_colex_rank(n: usize, k: usize, mut rank: u128) -> Self {
+        check_n(n);
+        assert!(rank < binomial_u128(n as u64, k as u64), "rank out of range");
+        let mut mask = 0u64;
+        let mut remaining = k;
+        while remaining > 0 {
+            // Find the largest element e with C(e, remaining) <= rank.
+            let mut e = remaining - 1;
+            while binomial_u128((e + 1) as u64, remaining as u64) <= rank {
+                e += 1;
+            }
+            mask |= 1 << e;
+            rank -= binomial_u128(e as u64, remaining as u64);
+            remaining -= 1;
+        }
+        Self {
+            mask,
+            universe: n as u8,
+        }
+    }
+
+    /// Iterator over all `2^n` subsets of a universe of size `n < 64`.
+    pub fn all(n: usize) -> impl Iterator<Item = Self> {
+        check_n(n);
+        assert!(n < 64, "cannot enumerate 2^64 subsets");
+        (0u64..(1u64 << n)).map(move |mask| Self::from_mask(mask, n))
+    }
+
+    /// Iterator over all `C(n, k)` subsets of cardinality `k`, in increasing
+    /// mask (= colexicographic) order.
+    pub fn all_with_len(n: usize, k: usize) -> impl Iterator<Item = Self> {
+        BitString::all_with_weight(n, k).map(|s| Self::from_characteristic(&s))
+    }
+}
+
+impl fmt::Debug for Subset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Subset{{")?;
+        for (i, e) in self.elements().iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "}}/{}", self.universe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_membership() {
+        let s = Subset::from_elements(&[0, 2, 5], 8);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(0) && s.contains(2) && s.contains(5));
+        assert!(!s.contains(1) && !s.contains(7));
+        assert_eq!(s.elements(), vec![0, 2, 5]);
+    }
+
+    #[test]
+    fn with_without_roundtrip() {
+        let s = Subset::empty(10).with(3).with(7);
+        assert_eq!(s.elements(), vec![3, 7]);
+        assert_eq!(s.without(3).elements(), vec![7]);
+        assert_eq!(s.without(9), s);
+    }
+
+    #[test]
+    fn complement_partitions_universe() {
+        for s in Subset::all(8) {
+            let c = s.complement();
+            assert_eq!(s.len() + c.len(), 8);
+            assert_eq!(s.mask() & c.mask(), 0);
+            assert_eq!(s.mask() | c.mask(), Subset::full(8).mask());
+        }
+    }
+
+    #[test]
+    fn subset_relation_is_consistent_with_elements() {
+        for a in Subset::all(6) {
+            for b in Subset::all(6) {
+                let naive = a.elements().iter().all(|e| b.contains(*e));
+                assert_eq!(a.is_subset_of(&b), naive);
+            }
+        }
+    }
+
+    #[test]
+    fn all_with_len_counts_binomials() {
+        for n in 0..=10usize {
+            for k in 0..=n {
+                assert_eq!(
+                    Subset::all_with_len(n, k).count() as u128,
+                    binomial_u128(n as u64, k as u64)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn colex_rank_roundtrip_and_order() {
+        for n in 1..=9usize {
+            for k in 0..=n {
+                let subsets: Vec<_> = Subset::all_with_len(n, k).collect();
+                for (rank, s) in subsets.iter().enumerate() {
+                    assert_eq!(s.colex_rank(), rank as u128, "{s:?}");
+                    assert_eq!(Subset::from_colex_rank(n, k, rank as u128), *s);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn characteristic_roundtrip() {
+        for s in Subset::all(9) {
+            assert_eq!(Subset::from_characteristic(&s.characteristic()), s);
+            assert_eq!(s.characteristic().count_ones(), s.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn from_elements_rejects_out_of_range() {
+        let _ = Subset::from_elements(&[9], 8);
+    }
+}

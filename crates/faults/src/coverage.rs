@@ -1,0 +1,150 @@
+//! Fault-coverage analysis: how well a sequence of test inputs detects the
+//! single-fault universe of a network (experiment E10).
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use sortnet_combinat::BitString;
+use sortnet_network::Network;
+
+use crate::model::{enumerate_faults, Fault};
+use crate::simulate::{first_detection_index, is_fault_redundant};
+
+/// Result of running a test sequence against the single-fault universe.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CoverageReport {
+    /// Total number of faults considered.
+    pub total_faults: usize,
+    /// Faults that no input whatsoever can detect (the faulty network still
+    /// sorts); excluded from the coverage denominator.
+    pub redundant_faults: usize,
+    /// Detectable faults caught by at least one test in the sequence.
+    pub detected: usize,
+    /// Detectable faults missed by the whole sequence.
+    pub missed: usize,
+    /// Coverage ratio `detected / (detected + missed)`; 1.0 when there are
+    /// no detectable faults.
+    pub coverage: f64,
+    /// Mean (over detected faults) of the 1-based index of the first test
+    /// that detects the fault — the "tests until detection" cost.
+    pub mean_first_detection: f64,
+    /// Worst-case first-detection index over detected faults (1-based).
+    pub max_first_detection: usize,
+}
+
+/// Runs every single fault of `network` against the test sequence `tests`
+/// and summarises detection.
+///
+/// Set `check_redundancy` to `true` to classify undetected faults as
+/// redundant (needs an exhaustive sweep per missed fault, so it is only
+/// advisable for `n ≲ 16`); with `false`, undetected faults are counted as
+/// missed.
+#[must_use]
+pub fn coverage_of_tests(
+    network: &Network,
+    tests: &[BitString],
+    check_redundancy: bool,
+) -> CoverageReport {
+    let faults = enumerate_faults(network);
+    let results: Vec<(Option<usize>, bool)> = faults
+        .par_iter()
+        .map(|fault: &Fault| {
+            let first = first_detection_index(network, fault, tests);
+            let redundant = if first.is_none() && check_redundancy {
+                is_fault_redundant(network, fault)
+            } else {
+                false
+            };
+            (first, redundant)
+        })
+        .collect();
+
+    let total_faults = faults.len();
+    let redundant_faults = results.iter().filter(|(_, r)| *r).count();
+    let detected_indices: Vec<usize> = results.iter().filter_map(|(f, _)| *f).collect();
+    let detected = detected_indices.len();
+    let missed = total_faults - detected - redundant_faults;
+    let detectable = detected + missed;
+    let coverage = if detectable == 0 {
+        1.0
+    } else {
+        detected as f64 / detectable as f64
+    };
+    let mean_first_detection = if detected == 0 {
+        0.0
+    } else {
+        detected_indices.iter().map(|i| (i + 1) as f64).sum::<f64>() / detected as f64
+    };
+    let max_first_detection = detected_indices.iter().map(|i| i + 1).max().unwrap_or(0);
+    CoverageReport {
+        total_faults,
+        redundant_faults,
+        detected,
+        missed,
+        coverage,
+        mean_first_detection,
+        max_first_detection,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sortnet_combinat::Permutation;
+    use sortnet_network::builders::batcher::odd_even_merge_sort;
+    use sortnet_network::random::NetworkSampler;
+    use sortnet_testsets::sorting;
+
+    #[test]
+    fn minimal_testset_achieves_full_coverage_of_detectable_faults() {
+        let net = odd_even_merge_sort(6);
+        let tests = sorting::binary_testset(6);
+        let report = coverage_of_tests(&net, &tests, true);
+        assert_eq!(report.missed, 0, "{report:?}");
+        assert!((report.coverage - 1.0).abs() < f64::EPSILON);
+        assert!(report.detected > 0);
+    }
+
+    #[test]
+    fn permutation_testset_cover_also_achieves_full_coverage() {
+        // The covers of the C(n, n/2) - 1 test permutations contain every
+        // unsorted string, so they too detect every detectable fault.
+        let net = odd_even_merge_sort(6);
+        let perms = sorting::permutation_testset(6);
+        let tests: Vec<_> = perms.iter().flat_map(Permutation::cover).collect();
+        let report = coverage_of_tests(&net, &tests, true);
+        assert_eq!(report.missed, 0);
+    }
+
+    #[test]
+    fn a_handful_of_random_inputs_miss_some_faults() {
+        let net = odd_even_merge_sort(8);
+        let mut sampler = NetworkSampler::new(5);
+        let tests: Vec<_> = (0..3).map(|_| sampler.random_input(8)).collect();
+        let report = coverage_of_tests(&net, &tests, false);
+        assert!(report.detected + report.missed == report.total_faults);
+        assert!(report.missed > 0, "three random inputs should not catch everything");
+    }
+
+    #[test]
+    fn empty_test_sequence_detects_nothing() {
+        let net = odd_even_merge_sort(5);
+        let report = coverage_of_tests(&net, &[], false);
+        assert_eq!(report.detected, 0);
+        assert_eq!(report.missed, report.total_faults);
+        assert_eq!(report.mean_first_detection, 0.0);
+    }
+
+    #[test]
+    fn report_counts_are_consistent() {
+        let net = odd_even_merge_sort(6);
+        let tests = sorting::binary_testset(6);
+        let report = coverage_of_tests(&net, &tests, true);
+        assert_eq!(
+            report.detected + report.missed + report.redundant_faults,
+            report.total_faults
+        );
+        assert!(report.max_first_detection as f64 >= report.mean_first_detection);
+        assert!(report.max_first_detection <= tests.len());
+    }
+}

@@ -1,0 +1,29 @@
+//! # sortnet-faults
+//!
+//! VLSI-style fault models for comparator networks.
+//!
+//! §1 of Chung & Ravikumar motivates test-set bounds by hardware testing:
+//! "we believe that our study will also be useful in testing VLSI circuits
+//! for possible hardware failures."  This crate makes that motivation
+//! concrete.  It defines single-fault models for comparator networks,
+//! enumerates and injects faults, simulates faulty networks, and measures
+//! how well different test strategies (the paper's minimal test sets versus
+//! random input sampling) detect the faults — experiment E10.
+//!
+//! A *fault* transforms a correct network into a (usually) incorrect one;
+//! a test input *detects* the fault when the faulty network mis-sorts it.
+//! Because the paper's minimal test set for sorting contains **every**
+//! unsorted string, it detects every fault that breaks the sorting property
+//! at all — the interesting measurements are how many tests are needed
+//! before the first detection, and how random sampling compares.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coverage;
+pub mod model;
+pub mod simulate;
+
+pub use coverage::{coverage_of_tests, CoverageReport};
+pub use model::{enumerate_faults, Fault, FaultKind};
+pub use simulate::{apply_fault, detects, first_detection_index, is_fault_redundant};

@@ -1,0 +1,111 @@
+//! Single-fault models for comparator networks.
+//!
+//! The models mirror the classical stuck-at/bridging abstractions of VLSI
+//! test generation, translated to the comparator-network level:
+//!
+//! * [`FaultKind::StuckPass`] — the comparator never exchanges its inputs
+//!   (a broken exchange path; equivalent to deleting the comparator);
+//! * [`FaultKind::StuckSwap`] — the comparator always exchanges its inputs
+//!   regardless of their order (a stuck control line);
+//! * [`FaultKind::Inverted`] — the comparator routes the maximum to its
+//!   minimum output and vice versa (a swapped output wiring);
+//! * [`FaultKind::Misrouted`] — one endpoint of the comparator is connected
+//!   to a neighbouring line (an off-by-one routing defect).
+
+use serde::{Deserialize, Serialize};
+
+use sortnet_network::Network;
+
+/// The kind of a single-comparator fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The comparator never exchanges (acts as two plain wires).
+    StuckPass,
+    /// The comparator always exchanges.
+    StuckSwap,
+    /// The comparator exchanges exactly when it should not (max to the top).
+    Inverted,
+    /// The comparator's bottom endpoint is moved to the given line.
+    Misrouted {
+        /// Replacement line for the comparator's bottom endpoint.
+        new_bottom: usize,
+    },
+}
+
+/// A single fault: a kind applied to one comparator of a network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Fault {
+    /// Index of the affected comparator in the network's sequence.
+    pub comparator: usize,
+    /// What goes wrong with it.
+    pub kind: FaultKind,
+}
+
+/// Enumerates the complete single-fault universe for a network: every
+/// comparator combined with every applicable fault kind.
+///
+/// Misrouting faults move the bottom endpoint to each adjacent line that
+/// yields a valid (distinct-endpoint) comparator.
+#[must_use]
+pub fn enumerate_faults(network: &Network) -> Vec<Fault> {
+    let n = network.lines();
+    let mut out = Vec::new();
+    for (idx, c) in network.comparators().iter().enumerate() {
+        out.push(Fault {
+            comparator: idx,
+            kind: FaultKind::StuckPass,
+        });
+        out.push(Fault {
+            comparator: idx,
+            kind: FaultKind::StuckSwap,
+        });
+        out.push(Fault {
+            comparator: idx,
+            kind: FaultKind::Inverted,
+        });
+        for delta in [-1isize, 1] {
+            let new_bottom = c.bottom() as isize + delta;
+            if new_bottom >= 0 && (new_bottom as usize) < n && new_bottom as usize != c.top() {
+                out.push(Fault {
+                    comparator: idx,
+                    kind: FaultKind::Misrouted {
+                        new_bottom: new_bottom as usize,
+                    },
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sortnet_network::builders::batcher::odd_even_merge_sort;
+
+    #[test]
+    fn fault_universe_size_is_linear_in_network_size() {
+        let net = odd_even_merge_sort(8);
+        let faults = enumerate_faults(&net);
+        // 3 kinds per comparator plus 1–2 misroutings.
+        assert!(faults.len() >= 4 * net.size());
+        assert!(faults.len() <= 5 * net.size());
+    }
+
+    #[test]
+    fn every_fault_points_at_a_valid_comparator() {
+        let net = odd_even_merge_sort(6);
+        for f in enumerate_faults(&net) {
+            assert!(f.comparator < net.size());
+            if let FaultKind::Misrouted { new_bottom } = f.kind {
+                assert!(new_bottom < net.lines());
+                assert_ne!(new_bottom, net.comparators()[f.comparator].top());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_network_has_no_faults() {
+        assert!(enumerate_faults(&Network::empty(5)).is_empty());
+    }
+}

@@ -1,0 +1,200 @@
+//! Fault injection and simulation.
+
+use sortnet_combinat::BitString;
+use sortnet_network::{Comparator, Network};
+
+use crate::model::{Fault, FaultKind};
+
+/// A faulty evaluation of a network on a 0/1 input: comparator
+/// `fault.comparator` misbehaves according to `fault.kind`.
+///
+/// # Panics
+/// Panics if the fault's comparator index is out of range or the input
+/// length mismatches the network.
+#[must_use]
+pub fn faulty_apply_bits(network: &Network, fault: &Fault, input: &BitString) -> BitString {
+    assert!(fault.comparator < network.size(), "fault index out of range");
+    assert_eq!(input.len(), network.lines(), "input length mismatch");
+    let mut w = input.word();
+    for (idx, c) in network.comparators().iter().enumerate() {
+        let (i, j) = (c.min_line(), c.max_line());
+        let bi = (w >> i) & 1;
+        let bj = (w >> j) & 1;
+        let (new_i, new_j) = if idx == fault.comparator {
+            match fault.kind {
+                FaultKind::StuckPass => (bi, bj),
+                FaultKind::StuckSwap => (bj, bi),
+                FaultKind::Inverted => (bi | bj, bi & bj),
+                FaultKind::Misrouted { new_bottom } => {
+                    // Re-route: comparator acts between `top` and `new_bottom`.
+                    let top = c.top();
+                    let bt = (w >> top) & 1;
+                    let bb = (w >> new_bottom) & 1;
+                    w = (w & !((1 << top) | (1 << new_bottom)))
+                        | ((bt & bb) << top)
+                        | ((bt | bb) << new_bottom);
+                    continue;
+                }
+            }
+        } else {
+            (bi & bj, bi | bj)
+        };
+        w = (w & !((1 << i) | (1 << j))) | (new_i << i) | (new_j << j);
+    }
+    BitString::from_word(w, network.lines())
+}
+
+/// Materialises the faulty network as a [`Network`] when the fault is
+/// expressible as a comparator replacement (all kinds except the
+/// behavioural `StuckPass`/`StuckSwap`, which return `None` for `StuckSwap`
+/// and a comparator-deleted network for `StuckPass`).
+#[must_use]
+pub fn apply_fault(network: &Network, fault: &Fault) -> Option<Network> {
+    match fault.kind {
+        FaultKind::StuckPass => Some(network.without_comparator(fault.comparator)),
+        FaultKind::Inverted => {
+            let mut comparators = network.comparators().to_vec();
+            let c = comparators[fault.comparator];
+            comparators[fault.comparator] = Comparator::directed(c.max_line(), c.min_line());
+            Some(Network::from_comparators(network.lines(), comparators))
+        }
+        FaultKind::Misrouted { new_bottom } => {
+            let mut comparators = network.comparators().to_vec();
+            let c = comparators[fault.comparator];
+            comparators[fault.comparator] = Comparator::new(c.top(), new_bottom);
+            Some(Network::from_comparators(network.lines(), comparators))
+        }
+        FaultKind::StuckSwap => None,
+    }
+}
+
+/// `true` iff the test input `input` detects the fault: the faulty network
+/// fails to sort it.
+#[must_use]
+pub fn detects(network: &Network, fault: &Fault, input: &BitString) -> bool {
+    !faulty_apply_bits(network, fault, input).is_sorted()
+}
+
+/// `true` iff the fault is *redundant* for the sorting property: the faulty
+/// network still sorts all `2^n` inputs (so no test can — or needs to —
+/// detect it).
+///
+/// # Panics
+/// Panics if `n ≥ 24`.
+#[must_use]
+pub fn is_fault_redundant(network: &Network, fault: &Fault) -> bool {
+    let n = network.lines();
+    assert!(n < 24, "exhaustive redundancy check refused for n = {n}");
+    BitString::all(n).all(|s| faulty_apply_bits(network, fault, &s).is_sorted())
+}
+
+/// Index (0-based) of the first test in `tests` that detects the fault, or
+/// `None` if none does.
+#[must_use]
+pub fn first_detection_index(network: &Network, fault: &Fault, tests: &[BitString]) -> Option<usize> {
+    tests.iter().position(|t| detects(network, fault, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::enumerate_faults;
+    use sortnet_network::builders::batcher::odd_even_merge_sort;
+    use sortnet_network::properties::is_sorter;
+
+    #[test]
+    fn faulty_evaluation_matches_materialised_network_when_available() {
+        let net = odd_even_merge_sort(6);
+        for fault in enumerate_faults(&net) {
+            if let Some(faulty_net) = apply_fault(&net, &fault) {
+                for input in BitString::all(6) {
+                    assert_eq!(
+                        faulty_apply_bits(&net, &fault, &input),
+                        faulty_net.apply_bits(&input),
+                        "fault {fault:?} input {input}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_free_simulation_matches_normal_evaluation() {
+        // A StuckPass fault on a comparator that never fires behaves like the
+        // original network on inputs that never exercise it; more simply,
+        // simulate with a fault and verify only the faulted comparator can
+        // deviate — here we check the trivial invariant that output weight is
+        // preserved (faults permute, never create or destroy values).
+        let net = odd_even_merge_sort(7);
+        for fault in enumerate_faults(&net) {
+            for input in BitString::all(7).take(32) {
+                let out = faulty_apply_bits(&net, &fault, &input);
+                assert_eq!(out.count_ones(), input.count_ones(), "fault {fault:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn stuck_pass_faults_on_batcher_are_never_redundant() {
+        // Batcher's merge-exchange network is known to contain no redundant
+        // comparators: deleting any one breaks sorting.
+        for n in [4usize, 6, 8] {
+            let net = odd_even_merge_sort(n);
+            for idx in 0..net.size() {
+                let fault = Fault {
+                    comparator: idx,
+                    kind: FaultKind::StuckPass,
+                };
+                assert!(!is_fault_redundant(&net, &fault), "n={n} comparator {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverted_faults_break_sorting() {
+        let net = odd_even_merge_sort(6);
+        for idx in 0..net.size() {
+            let fault = Fault {
+                comparator: idx,
+                kind: FaultKind::Inverted,
+            };
+            let faulty = apply_fault(&net, &fault).unwrap();
+            assert!(!is_sorter(&faulty), "comparator {idx}");
+        }
+    }
+
+    #[test]
+    fn detection_uses_unsorted_outputs_only() {
+        let net = odd_even_merge_sort(5);
+        let fault = Fault {
+            comparator: 0,
+            kind: FaultKind::StuckSwap,
+        };
+        // Sorted inputs can never detect anything on... actually a StuckSwap
+        // CAN mis-sort a sorted input, which is exactly why they are included
+        // in fault testing but not in the paper's sorting test set.  Just
+        // check detects() is consistent with the simulator.
+        for input in BitString::all(5) {
+            assert_eq!(
+                detects(&net, &fault, &input),
+                !faulty_apply_bits(&net, &fault, &input).is_sorted()
+            );
+        }
+    }
+
+    #[test]
+    fn first_detection_index_finds_the_earliest_witness() {
+        let net = odd_even_merge_sort(5);
+        let tests: Vec<BitString> = BitString::all(5).collect();
+        for fault in enumerate_faults(&net) {
+            if let Some(idx) = first_detection_index(&net, &fault, &tests) {
+                assert!(detects(&net, &fault, &tests[idx]));
+                for t in &tests[..idx] {
+                    assert!(!detects(&net, &fault, t));
+                }
+            } else {
+                assert!(is_fault_redundant(&net, &fault));
+            }
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! # sortnet-integration
+//!
+//! Glue crate hosting the workspace-level integration tests (the top-level
+//! `tests/` directory).  The tests exercise cross-crate behaviour: the
+//! theorems of `sortnet-testsets` evaluated against the oracles of
+//! `sortnet-network`, property-based cross-checks with `proptest`, and the
+//! fault-model pipeline of `sortnet-faults`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sortnet_combinat as combinat;
+pub use sortnet_faults as faults;
+pub use sortnet_network as network;
+pub use sortnet_testsets as testsets;

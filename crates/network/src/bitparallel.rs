@@ -1,0 +1,341 @@
+//! Bit-parallel evaluation of comparator networks on 0/1 inputs.
+//!
+//! The zero–one principle makes "is this network a sorter?" an exhaustive
+//! sweep over `2^n` binary vectors.  Instead of evaluating them one at a
+//! time, we evaluate **64 input vectors per pass**: the state is one `u64`
+//! per line, bit `j` of line `i` holding the value of line `i` in test
+//! vector `j`.  A standard comparator on lines `(i, j)` then becomes
+//!
+//! ```text
+//! new_i = wᵢ & wⱼ      (the 64 minima)
+//! new_j = wᵢ | wⱼ      (the 64 maxima)
+//! ```
+//!
+//! which is the classical SIMD-within-a-register trick for sorting-network
+//! verification.  The exhaustive sweep is embarrassingly parallel across
+//! 64-vector blocks, so [`ParallelismHint::Rayon`] distributes blocks over a
+//! rayon thread pool.
+
+use rayon::prelude::*;
+
+use sortnet_combinat::BitString;
+
+use crate::network::Network;
+
+/// How an exhaustive sweep should be executed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ParallelismHint {
+    /// Single-threaded sweep.
+    Sequential,
+    /// Distribute 64-vector blocks across the rayon thread pool.
+    #[default]
+    Rayon,
+}
+
+/// A block of up to 64 binary input vectors in transposed (bit-sliced) form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitBlock {
+    /// `lanes[i]` holds, for every vector in the block, the value of line `i`.
+    lanes: Vec<u64>,
+    /// Number of vectors actually present (1..=64).
+    count: u32,
+}
+
+impl BitBlock {
+    /// Builds a block from up to 64 input strings (all of length `n`).
+    ///
+    /// # Panics
+    /// Panics if `inputs` is empty, longer than 64, or the lengths are
+    /// inconsistent with `n`.
+    #[must_use]
+    pub fn from_strings(n: usize, inputs: &[BitString]) -> Self {
+        assert!(!inputs.is_empty() && inputs.len() <= 64, "block must hold 1..=64 vectors");
+        let mut lanes = vec![0u64; n];
+        for (j, s) in inputs.iter().enumerate() {
+            assert_eq!(s.len(), n, "input length mismatch");
+            for (i, lane) in lanes.iter_mut().enumerate() {
+                if s.get(i) {
+                    *lane |= 1 << j;
+                }
+            }
+        }
+        Self {
+            lanes,
+            count: inputs.len() as u32,
+        }
+    }
+
+    /// Builds the block containing the `count` consecutive binary vectors
+    /// starting at word value `start` (vector `j` of the block is the string
+    /// whose packed word is `start + j`).
+    ///
+    /// # Panics
+    /// Panics if `count` is 0 or exceeds 64.
+    #[must_use]
+    pub fn from_range(n: usize, start: u64, count: u32) -> Self {
+        assert!(count >= 1 && count <= 64, "block must hold 1..=64 vectors");
+        let mut lanes = vec![0u64; n];
+        for j in 0..count {
+            let word = start + u64::from(j);
+            for (i, lane) in lanes.iter_mut().enumerate() {
+                if (word >> i) & 1 == 1 {
+                    *lane |= 1 << j;
+                }
+            }
+        }
+        Self { lanes, count }
+    }
+
+    /// Number of vectors in the block.
+    #[must_use]
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Runs `network` over the block in place.
+    pub fn run(&mut self, network: &Network) {
+        for c in network.comparators() {
+            let i = c.min_line();
+            let j = c.max_line();
+            let a = self.lanes[i];
+            let b = self.lanes[j];
+            self.lanes[i] = a & b;
+            self.lanes[j] = a | b;
+        }
+    }
+
+    /// Returns a bitmask over the block's vectors: bit `j` is set when the
+    /// output for vector `j` is **not** sorted.
+    #[must_use]
+    pub fn unsorted_mask(&self) -> u64 {
+        // A 0/1 vector is sorted iff no position holds 1 while a later
+        // position holds 0, i.e. iff (prefix-OR of earlier lines) & !line is
+        // never 1 when scanning top to bottom — equivalently there is no i<j
+        // with lane_i = 1, lane_j = 0.
+        let mut seen_one = 0u64;
+        let mut unsorted = 0u64;
+        for &lane in &self.lanes {
+            unsorted |= seen_one & !lane;
+            seen_one |= lane;
+        }
+        let live = if self.count == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.count) - 1
+        };
+        unsorted & live
+    }
+
+    /// Returns, for output line `i`, the 64 output bits of the block.
+    #[must_use]
+    pub fn lane(&self, i: usize) -> u64 {
+        self.lanes[i]
+    }
+
+    /// Extracts the output string for vector `j` of the block.
+    ///
+    /// # Panics
+    /// Panics if `j ≥ count`.
+    #[must_use]
+    pub fn extract(&self, j: u32) -> BitString {
+        assert!(j < self.count, "vector index out of range");
+        let mut word = 0u64;
+        for (i, lane) in self.lanes.iter().enumerate() {
+            if (lane >> j) & 1 == 1 {
+                word |= 1 << i;
+            }
+        }
+        BitString::from_word(word, self.lanes.len())
+    }
+}
+
+/// Exhaustively checks the zero–one sorting property of `network` over all
+/// `2^n` binary inputs, 64 at a time.
+///
+/// Returns the first (lowest-word) input the network fails to sort, or
+/// `None` if the network is a sorter.
+///
+/// # Panics
+/// Panics if `n ≥ 32` (the sweep would take > 4 G evaluations; callers
+/// wanting larger n should use the test-set verifiers instead).
+#[must_use]
+pub fn find_unsorted_input(network: &Network, hint: ParallelismHint) -> Option<BitString> {
+    let n = network.lines();
+    assert!(n < 32, "exhaustive 2^{n} sweep refused; use test-set verification");
+    let total: u64 = 1u64 << n;
+    let block_count = total.div_ceil(64);
+
+    let check_block = |b: u64| -> Option<BitString> {
+        let start = b * 64;
+        let count = (total - start).min(64) as u32;
+        let mut block = BitBlock::from_range(n, start, count);
+        block.run(network);
+        let mask = block.unsorted_mask();
+        if mask == 0 {
+            None
+        } else {
+            let j = mask.trailing_zeros();
+            Some(BitString::from_word(start + u64::from(j), n))
+        }
+    };
+
+    match hint {
+        ParallelismHint::Sequential => (0..block_count).find_map(check_block),
+        ParallelismHint::Rayon => (0..block_count)
+            .into_par_iter()
+            .filter_map(check_block)
+            .min_by_key(BitString::word),
+    }
+}
+
+/// `true` iff `network` sorts every 0/1 input (and hence, by the zero–one
+/// principle, every input).
+#[must_use]
+pub fn is_sorter_exhaustive(network: &Network, hint: ParallelismHint) -> bool {
+    find_unsorted_input(network, hint).is_none()
+}
+
+/// Counts how many of the `2^n` binary inputs the network fails to sort.
+///
+/// # Panics
+/// Panics if `n ≥ 32`.
+#[must_use]
+pub fn count_unsorted_outputs(network: &Network, hint: ParallelismHint) -> u64 {
+    let n = network.lines();
+    assert!(n < 32, "exhaustive 2^{n} sweep refused");
+    let total: u64 = 1u64 << n;
+    let block_count = total.div_ceil(64);
+    let count_block = |b: u64| -> u64 {
+        let start = b * 64;
+        let count = (total - start).min(64) as u32;
+        let mut block = BitBlock::from_range(n, start, count);
+        block.run(network);
+        u64::from(block.unsorted_mask().count_ones())
+    };
+    match hint {
+        ParallelismHint::Sequential => (0..block_count).map(count_block).sum(),
+        ParallelismHint::Rayon => (0..block_count).into_par_iter().map(count_block).sum(),
+    }
+}
+
+/// Runs `network` over an arbitrary list of 0/1 test vectors (in 64-wide
+/// blocks) and returns the inputs whose outputs are not sorted.
+#[must_use]
+pub fn failing_inputs_from(network: &Network, tests: &[BitString]) -> Vec<BitString> {
+    let n = network.lines();
+    let mut failures = Vec::new();
+    for chunk in tests.chunks(64) {
+        let mut block = BitBlock::from_strings(n, chunk);
+        block.run(network);
+        let mask = block.unsorted_mask();
+        for (j, input) in chunk.iter().enumerate() {
+            if (mask >> j) & 1 == 1 {
+                failures.push(*input);
+            }
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+
+    fn batcher4() -> Network {
+        // A correct 4-line sorter (odd-even merge sort by hand).
+        Network::from_pairs(4, &[(0, 1), (2, 3), (0, 2), (1, 3), (1, 2)])
+    }
+
+    fn fig1() -> Network {
+        Network::from_pairs(4, &[(0, 2), (1, 3), (0, 1), (2, 3)])
+    }
+
+    #[test]
+    fn block_run_matches_scalar_evaluation() {
+        let net = fig1();
+        let inputs: Vec<_> = BitString::all(4).collect();
+        let mut block = BitBlock::from_strings(4, &inputs[..16]);
+        block.run(&net);
+        for (j, input) in inputs[..16].iter().enumerate() {
+            assert_eq!(block.extract(j as u32), net.apply_bits(input), "input {input}");
+        }
+    }
+
+    #[test]
+    fn unsorted_mask_matches_scalar_sortedness() {
+        let net = fig1();
+        let inputs: Vec<_> = BitString::all(4).collect();
+        let mut block = BitBlock::from_strings(4, &inputs);
+        block.run(&net);
+        let mask = block.unsorted_mask();
+        for (j, input) in inputs.iter().enumerate() {
+            let scalar_unsorted = !net.apply_bits(input).is_sorted();
+            assert_eq!((mask >> j) & 1 == 1, scalar_unsorted, "input {input}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_check_accepts_a_real_sorter() {
+        assert!(is_sorter_exhaustive(&batcher4(), ParallelismHint::Sequential));
+        assert!(is_sorter_exhaustive(&batcher4(), ParallelismHint::Rayon));
+    }
+
+    #[test]
+    fn exhaustive_check_rejects_fig1_and_reports_lowest_failure() {
+        let seq = find_unsorted_input(&fig1(), ParallelismHint::Sequential);
+        let par = find_unsorted_input(&fig1(), ParallelismHint::Rayon);
+        assert!(seq.is_some());
+        assert_eq!(seq, par, "sequential and rayon sweeps must agree");
+        let failing = seq.unwrap();
+        assert!(!fig1().apply_bits(&failing).is_sorted());
+    }
+
+    #[test]
+    fn count_unsorted_outputs_agrees_with_scalar_count() {
+        for net in [fig1(), batcher4(), Network::empty(4)] {
+            let scalar = BitString::all(4)
+                .filter(|s| !net.apply_bits(s).is_sorted())
+                .count() as u64;
+            assert_eq!(count_unsorted_outputs(&net, ParallelismHint::Sequential), scalar);
+            assert_eq!(count_unsorted_outputs(&net, ParallelismHint::Rayon), scalar);
+        }
+    }
+
+    #[test]
+    fn empty_network_fails_on_every_unsorted_input() {
+        let empty = Network::empty(6);
+        let expected = (1u64 << 6) - 6 - 1;
+        assert_eq!(count_unsorted_outputs(&empty, ParallelismHint::Rayon), expected);
+    }
+
+    #[test]
+    fn failing_inputs_from_selects_exactly_the_failures() {
+        let net = fig1();
+        let tests: Vec<_> = BitString::all(4).collect();
+        let failures = failing_inputs_from(&net, &tests);
+        for f in &failures {
+            assert!(!net.apply_bits(f).is_sorted());
+        }
+        let expected = count_unsorted_outputs(&net, ParallelismHint::Sequential) as usize;
+        assert_eq!(failures.len(), expected);
+    }
+
+    #[test]
+    fn blocks_of_odd_sizes_mask_out_dead_lanes() {
+        let net = Network::empty(3);
+        let inputs: Vec<_> = BitString::all(3).take(5).collect();
+        let mut block = BitBlock::from_strings(3, &inputs);
+        block.run(&net);
+        assert_eq!(block.count(), 5);
+        assert_eq!(block.unsorted_mask() >> 5, 0, "dead lanes must stay clear");
+    }
+
+    #[test]
+    fn from_range_matches_from_strings() {
+        let inputs: Vec<_> = BitString::all(5).collect();
+        let a = BitBlock::from_strings(5, &inputs[..32]);
+        let b = BitBlock::from_range(5, 0, 32);
+        assert_eq!(a, b);
+    }
+}

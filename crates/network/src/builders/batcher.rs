@@ -1,0 +1,212 @@
+//! Batcher's constructions: merge-exchange sorting networks, recursive
+//! odd–even merge sort, and stand-alone odd–even merging networks.
+//!
+//! The Lemma 2.1 figures use `S(i)`, "an i-input sorting network such as an
+//! odd-even merge sorter [2]"; [`odd_even_merge_sort`] provides exactly
+//! that for every `i`.  [`odd_even_merger`] builds the `(p, q)`-merging
+//! networks evaluated by Theorem 2.5.
+
+use crate::network::Network;
+
+/// Batcher's **merge-exchange** sorting network for any number of lines
+/// (Knuth, Vol. 3, Algorithm 5.2.2 M).  Size `Θ(n log² n)`, standard
+/// comparators only, valid for every `n ≥ 1`.
+#[must_use]
+pub fn odd_even_merge_sort(n: usize) -> Network {
+    let mut net = Network::empty(n.max(1));
+    if n < 2 {
+        return net;
+    }
+    let t = usize::BITS - (n - 1).leading_zeros(); // ceil(log2 n)
+    let mut p = 1usize << (t - 1);
+    while p > 0 {
+        let mut q = 1usize << (t - 1);
+        let mut r = 0usize;
+        let mut d = p;
+        loop {
+            for i in 0..n.saturating_sub(d) {
+                if (i & p) == r {
+                    net.push_pair(i, i + d);
+                }
+            }
+            if q == p {
+                break;
+            }
+            d = q - p;
+            q /= 2;
+            r = p;
+        }
+        p /= 2;
+    }
+    net
+}
+
+/// Recursive odd–even **merge sort**: sort the top and bottom halves
+/// recursively, then merge them with [`append_odd_even_merge`].  Standard
+/// comparators only, valid for every `n`.
+#[must_use]
+pub fn odd_even_merge_sort_recursive(n: usize) -> Network {
+    let mut net = Network::empty(n.max(1));
+    let lines: Vec<usize> = (0..n).collect();
+    sort_lines(&mut net, &lines);
+    net
+}
+
+fn sort_lines(net: &mut Network, lines: &[usize]) {
+    if lines.len() <= 1 {
+        return;
+    }
+    let mid = lines.len() / 2;
+    sort_lines(net, &lines[..mid]);
+    sort_lines(net, &lines[mid..]);
+    append_odd_even_merge(net, &lines[..mid], &lines[mid..]);
+}
+
+/// Appends Batcher's odd–even merge of two sorted runs living on the line
+/// lists `a` and `b` (each list already sorted top-to-bottom) to `net`.
+/// After the appended comparators run, reading `a` then `b` gives the merged
+/// (sorted) sequence.  Works for arbitrary, possibly different, run lengths.
+pub fn append_odd_even_merge(net: &mut Network, a: &[usize], b: &[usize]) {
+    let (p, q) = (a.len(), b.len());
+    if p == 0 || q == 0 {
+        return;
+    }
+    if p == 1 && q == 1 {
+        net.push_pair(a[0], b[0]);
+        return;
+    }
+    let a_even: Vec<usize> = a.iter().step_by(2).copied().collect();
+    let a_odd: Vec<usize> = a.iter().skip(1).step_by(2).copied().collect();
+    let b_even: Vec<usize> = b.iter().step_by(2).copied().collect();
+    let b_odd: Vec<usize> = b.iter().skip(1).step_by(2).copied().collect();
+
+    // The merge operates on the parity classes of the *combined* sequence
+    // C = a ++ b.  When |a| is even, b's positions keep their parity; when
+    // |a| is odd they flip.
+    let combined: Vec<usize> = a.iter().chain(b.iter()).copied().collect();
+    if p % 2 == 0 {
+        append_odd_even_merge(net, &a_even, &b_even);
+        append_odd_even_merge(net, &a_odd, &b_odd);
+        // Clean-up: compare C[2i+1] with C[2i+2].
+        let mut i = 1;
+        while i + 1 < combined.len() {
+            net.push_pair(combined[i], combined[i + 1]);
+            i += 2;
+        }
+    } else {
+        append_odd_even_merge(net, &a_even, &b_odd);
+        append_odd_even_merge(net, &a_odd, &b_even);
+        // Clean-up: compare C[2i] with C[2i+1].
+        let mut i = 0;
+        while i + 1 < combined.len() {
+            net.push_pair(combined[i], combined[i + 1]);
+            i += 2;
+        }
+    }
+}
+
+/// A stand-alone `(p, q)`-merging network on `p + q` lines: assuming lines
+/// `0..p` and lines `p..p+q` each carry a sorted sequence, the output is the
+/// fully sorted sequence.  Standard comparators only.
+#[must_use]
+pub fn odd_even_merger(p: usize, q: usize) -> Network {
+    let n = (p + q).max(1);
+    let mut net = Network::empty(n);
+    let a: Vec<usize> = (0..p).collect();
+    let b: Vec<usize> = (p..p + q).collect();
+    append_odd_even_merge(&mut net, &a, &b);
+    net
+}
+
+/// The `(m, m)`-merging network used by the Theorem 2.5 experiments.
+///
+/// # Panics
+/// Panics if `n` is odd.
+#[must_use]
+pub fn half_half_merger(n: usize) -> Network {
+    assert!(n % 2 == 0, "(n/2, n/2)-merging needs even n");
+    odd_even_merger(n / 2, n / 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::{is_merger, is_sorter};
+
+    #[test]
+    fn merge_exchange_is_a_sorter_for_all_small_n() {
+        for n in 1..=16 {
+            let net = odd_even_merge_sort(n);
+            assert!(net.is_standard());
+            assert!(is_sorter(&net), "merge exchange failed for n = {n}");
+        }
+    }
+
+    #[test]
+    fn recursive_merge_sort_is_a_sorter_for_all_small_n() {
+        for n in 1..=16 {
+            let net = odd_even_merge_sort_recursive(n);
+            assert!(net.is_standard());
+            assert!(is_sorter(&net), "recursive odd-even merge sort failed for n = {n}");
+        }
+    }
+
+    #[test]
+    fn known_sizes_for_powers_of_two() {
+        // Batcher's size for n = 2^k: (k^2 - k + 4) * 2^(k-2) - 1.
+        assert_eq!(odd_even_merge_sort(2).size(), 1);
+        assert_eq!(odd_even_merge_sort(4).size(), 5);
+        assert_eq!(odd_even_merge_sort(8).size(), 19);
+        assert_eq!(odd_even_merge_sort(16).size(), 63);
+    }
+
+    #[test]
+    fn mergers_merge_for_all_half_sizes() {
+        for m in 1..=8 {
+            let net = half_half_merger(2 * m);
+            assert!(net.is_standard());
+            assert!(is_merger(&net), "odd-even merger failed for m = {m}");
+        }
+    }
+
+    #[test]
+    fn asymmetric_mergers_are_correct() {
+        use sortnet_combinat::BitString;
+        for p in 0..=5usize {
+            for q in 0..=5usize {
+                let net = odd_even_merger(p, q);
+                // Exhaustively check all pairs of sorted halves.
+                for zp in 0..=p {
+                    for zq in 0..=q {
+                        let input = BitString::sorted_with(zp, p - zp)
+                            .concat(&BitString::sorted_with(zq, q - zq));
+                        if input.is_empty() {
+                            continue;
+                        }
+                        assert!(
+                            net.apply_bits(&input).is_sorted(),
+                            "merger ({p},{q}) failed on {input}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merger_is_not_a_sorter_for_n_at_least_4() {
+        for m in 2..=5 {
+            let net = half_half_merger(2 * m);
+            assert!(!is_sorter(&net), "a merger should not sort arbitrary inputs (m={m})");
+        }
+    }
+
+    #[test]
+    fn merger_size_is_subquadratic_in_practice() {
+        // Batcher's (m, m) merge uses m*log2(m)+... comparators; just pin the
+        // small values to catch accidental regressions.
+        assert_eq!(half_half_merger(2).size(), 1);
+        assert_eq!(half_half_merger(4).size(), 3);
+        assert_eq!(half_half_merger(8).size(), 9);
+    }
+}

@@ -1,0 +1,105 @@
+//! Batcher's bitonic sorter.
+//!
+//! The textbook bitonic sorter alternates ascending and descending
+//! sub-sorts, which requires **non-standard** comparators (max routed to the
+//! upper line).  The paper explicitly excludes such networks from its model
+//! ("Batcher's bitonic sorter is not a network in our sense"); we build it
+//! anyway as the canonical example of a correct sorter that is *not* a
+//! standard network, and to exercise the substrate's directed comparators.
+
+use crate::comparator::Comparator;
+use crate::network::Network;
+
+/// The bitonic sorting network on `n = 2^k` lines, in its textbook
+/// (alternating-direction) form.  Contains non-standard comparators for all
+/// `n ≥ 4`.
+///
+/// # Panics
+/// Panics if `n` is not a power of two.
+#[must_use]
+pub fn bitonic_sorter(n: usize) -> Network {
+    assert!(n.is_power_of_two(), "the bitonic sorter requires n to be a power of two");
+    let mut net = Network::empty(n);
+    bitonic_sort(&mut net, 0, n, true);
+    net
+}
+
+fn bitonic_sort(net: &mut Network, lo: usize, count: usize, ascending: bool) {
+    if count <= 1 {
+        return;
+    }
+    let half = count / 2;
+    bitonic_sort(net, lo, half, true);
+    bitonic_sort(net, lo + half, half, false);
+    bitonic_merge(net, lo, count, ascending);
+}
+
+fn bitonic_merge(net: &mut Network, lo: usize, count: usize, ascending: bool) {
+    if count <= 1 {
+        return;
+    }
+    let half = count / 2;
+    for i in lo..lo + half {
+        if ascending {
+            net.push(Comparator::directed(i, i + half));
+        } else {
+            net.push(Comparator::directed(i + half, i));
+        }
+    }
+    bitonic_merge(net, lo, half, ascending);
+    bitonic_merge(net, lo + half, half, ascending);
+}
+
+/// The *standardised* bitonic sorter: the bitonic sorter passed through the
+/// classical standardisation transformation ([`Network::standardised`]),
+/// which re-orients reversed comparators while exchanging lines downstream.
+/// The result is a standard network of the same size that still sorts, so
+/// the paper's theory applies to it.
+#[must_use]
+pub fn bitonic_sorter_standardised(n: usize) -> Network {
+    bitonic_sorter(n).standardised()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::is_sorter;
+
+    #[test]
+    fn bitonic_sorter_sorts_powers_of_two() {
+        for k in 0..=4usize {
+            let n = 1 << k;
+            assert!(is_sorter(&bitonic_sorter(n)), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn bitonic_sorter_is_nonstandard_for_n_at_least_4() {
+        assert!(bitonic_sorter(2).is_standard());
+        for n in [4usize, 8, 16] {
+            assert!(!bitonic_sorter(n).is_standard(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn standardised_bitonic_still_sorts_and_is_standard() {
+        for n in [2usize, 4, 8, 16] {
+            let net = bitonic_sorter_standardised(n);
+            assert!(net.is_standard());
+            assert!(is_sorter(&net), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn bitonic_size_is_n_log2_squared_over_4() {
+        // size = n * k * (k + 1) / 4 for n = 2^k.
+        assert_eq!(bitonic_sorter(8).size(), 8 * 3 * 4 / 4);
+        assert_eq!(bitonic_sorter(16).size(), 16 * 4 * 5 / 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = bitonic_sorter(6);
+    }
+}

@@ -1,0 +1,127 @@
+//! Quadratic sorting networks: bubble sort and insertion sort.
+//!
+//! Both use only adjacent (height-1) comparators, i.e. they are *primitive*
+//! networks in the sense of §3 of the paper, and both have exactly
+//! `n(n−1)/2` comparators — the optimum for primitive sorters
+//! (de Bruijn [4]).
+
+use crate::network::Network;
+
+/// The bubble-sort network: pass `n−1` bubbles the maximum to the bottom,
+/// pass `n−2` the next maximum, and so on.
+#[must_use]
+pub fn bubble_sort_network(n: usize) -> Network {
+    let mut net = Network::empty(n.max(1));
+    if n < 2 {
+        return net;
+    }
+    for pass in 0..n - 1 {
+        for i in 0..n - 1 - pass {
+            net.push_pair(i, i + 1);
+        }
+    }
+    net
+}
+
+/// The insertion-sort network: element `i` is inserted into the sorted
+/// prefix by a chain of adjacent comparators running upward.
+#[must_use]
+pub fn insertion_sort_network(n: usize) -> Network {
+    let mut net = Network::empty(n.max(1));
+    if n < 2 {
+        return net;
+    }
+    for i in 1..n {
+        for j in (1..=i).rev() {
+            net.push_pair(j - 1, j);
+        }
+    }
+    net
+}
+
+/// A single upward "bubble" chain `[m−1, m], [m−2, m−1], …, [lo+1, lo+2],
+/// [lo, lo+1]` on lines `lo..=m`: moves the minimum of the range to line
+/// `lo`, and — crucially for the Lemma 2.1 reproduction — sorts any input
+/// of the shape `0^a 1^b 0` restricted to that range.
+#[must_use]
+pub fn bubble_up_chain(n: usize, lo: usize, hi: usize) -> Network {
+    assert!(lo <= hi && hi < n, "invalid chain range {lo}..={hi} on {n} lines");
+    let mut net = Network::empty(n);
+    let mut i = hi;
+    while i > lo {
+        net.push_pair(i - 1, i);
+        i -= 1;
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::is_sorter;
+    use sortnet_combinat::BitString;
+
+    #[test]
+    fn bubble_and_insertion_sort_are_sorters() {
+        for n in 1..=10 {
+            assert!(is_sorter(&bubble_sort_network(n)), "bubble n={n}");
+            assert!(is_sorter(&insertion_sort_network(n)), "insertion n={n}");
+        }
+    }
+
+    #[test]
+    fn both_are_primitive_with_triangular_size() {
+        for n in 2..=10 {
+            let b = bubble_sort_network(n);
+            let i = insertion_sort_network(n);
+            assert!(b.is_primitive());
+            assert!(i.is_primitive());
+            assert_eq!(b.size(), n * (n - 1) / 2);
+            assert_eq!(i.size(), n * (n - 1) / 2);
+        }
+    }
+
+    #[test]
+    fn dropping_any_comparator_breaks_the_bubble_sorter() {
+        // The primitive sorter of triangular size is exactly minimal.
+        let n = 6;
+        let net = bubble_sort_network(n);
+        for idx in 0..net.size() {
+            assert!(!is_sorter(&net.without_comparator(idx)), "comparator {idx} is redundant");
+        }
+    }
+
+    #[test]
+    fn bubble_up_chain_sorts_trailing_zero_patterns() {
+        // The Lemma 2.1 unified construction relies on this exact property:
+        // the chain sorts every 0^a 1^b 0 pattern and every already-sorted
+        // pattern on its range.
+        for n in 2..=9usize {
+            let chain = bubble_up_chain(n, 0, n - 1);
+            for a in 0..n {
+                let b = n - 1 - a;
+                let input = BitString::sorted_with(a, b).concat(&BitString::zeros(1));
+                assert!(chain.apply_bits(&input).is_sorted(), "failed on {input}");
+            }
+            for s in BitString::all(n).filter(BitString::is_sorted) {
+                assert!(chain.apply_bits(&s).is_sorted());
+            }
+        }
+    }
+
+    #[test]
+    fn bubble_up_chain_moves_minimum_to_top() {
+        let chain = bubble_up_chain(6, 0, 5);
+        let out = chain.apply_vec(&[9, 4, 7, 1, 8, 5]);
+        assert_eq!(out[0], 1);
+    }
+
+    #[test]
+    fn partial_chain_only_touches_its_range() {
+        let chain = bubble_up_chain(8, 2, 5);
+        for c in chain.comparators() {
+            assert!(c.top() >= 2 && c.bottom() <= 5);
+        }
+        assert_eq!(chain.size(), 3);
+    }
+}

@@ -1,0 +1,15 @@
+//! Classic comparator-network constructions.
+//!
+//! These are the substrates the paper leans on: Batcher's odd–even merge
+//! sorters (`S(i)` in the Lemma 2.1 figures), odd–even merging networks
+//! (Theorem 2.5), selection networks (Theorem 2.4), the primitive
+//! (height-1) networks of §3, and — for contrast — the bitonic sorter,
+//! which the paper explicitly excludes because it uses non-standard
+//! comparators.
+
+pub mod batcher;
+pub mod bitonic;
+pub mod bubble;
+pub mod optimal_small;
+pub mod selection;
+pub mod transposition;

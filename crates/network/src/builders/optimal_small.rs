@@ -1,0 +1,102 @@
+//! Reference data on optimal sorting networks for small `n`.
+//!
+//! The paper's model is the one in which the famous optimal-size and
+//! optimal-depth questions are posed (Knuth §5.3.4).  This module records
+//! the known optimal comparator counts and depths for small `n` — useful as
+//! a baseline when the experiments report sizes of constructed networks —
+//! together with explicit optimal networks for the first few `n`, which
+//! double as additional fixtures for the test-set machinery.
+//!
+//! Sources: Knuth Vol. 3 (sizes up to n = 8 proved optimal there), and the
+//! later exhaustive results for n = 9, 10 (25 and 29 comparators) and the
+//! optimal depths up to n = 16.  Only values that are *proved* optimal are
+//! listed; `None` marks anything beyond that.
+
+use crate::network::Network;
+
+/// Proved-optimal comparator counts for sorting networks on `n = 1..=10`
+/// lines, indexed by `n − 1`.
+pub const OPTIMAL_SIZE: [usize; 10] = [0, 1, 3, 5, 9, 12, 16, 19, 25, 29];
+
+/// Proved-optimal depths for sorting networks on `n = 1..=10` lines,
+/// indexed by `n − 1`.
+pub const OPTIMAL_DEPTH: [usize; 10] = [0, 1, 3, 3, 5, 5, 6, 6, 7, 7];
+
+/// The proved-optimal number of comparators of an `n`-line sorter, when
+/// known (`n ≤ 10`).
+#[must_use]
+pub fn optimal_size(n: usize) -> Option<usize> {
+    OPTIMAL_SIZE.get(n.checked_sub(1)?).copied()
+}
+
+/// The proved-optimal depth of an `n`-line sorter, when known (`n ≤ 10`).
+#[must_use]
+pub fn optimal_depth(n: usize) -> Option<usize> {
+    OPTIMAL_DEPTH.get(n.checked_sub(1)?).copied()
+}
+
+/// An explicit optimal-size sorting network for `n ≤ 4` (1-, 3- and 5-
+/// comparator networks for n = 2, 3, 4).  Larger optimal networks exist but
+/// are not reproduced here; Batcher's constructions in
+/// [`crate::builders::batcher`] are used wherever an explicit sorter is
+/// required.
+#[must_use]
+pub fn optimal_sorter(n: usize) -> Option<Network> {
+    let net = match n {
+        1 => Network::empty(1),
+        2 => Network::from_pairs(2, &[(0, 1)]),
+        3 => Network::from_pairs(3, &[(0, 1), (1, 2), (0, 1)]),
+        4 => Network::from_pairs(4, &[(0, 1), (2, 3), (0, 2), (1, 3), (1, 2)]),
+        _ => return None,
+    };
+    Some(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::batcher::odd_even_merge_sort;
+    use crate::properties::is_sorter;
+
+    #[test]
+    fn explicit_optimal_sorters_sort_and_meet_the_recorded_size() {
+        for n in 1..=4usize {
+            let net = optimal_sorter(n).unwrap();
+            assert!(is_sorter(&net), "n = {n}");
+            assert_eq!(Some(net.size()), optimal_size(n));
+        }
+        assert!(optimal_sorter(5).is_none());
+    }
+
+    #[test]
+    fn batcher_meets_the_optimum_up_to_8_and_never_beats_it() {
+        for n in 1..=10usize {
+            let batcher = odd_even_merge_sort(n);
+            let optimum = optimal_size(n).unwrap();
+            assert!(batcher.size() >= optimum, "Batcher beats a proved optimum at n = {n}");
+            if n <= 8 {
+                // Batcher's merge exchange is optimal for n ≤ 8.
+                assert_eq!(batcher.size(), optimum, "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn batcher_depth_respects_the_optimal_depth_table() {
+        for n in 1..=10usize {
+            assert!(odd_even_merge_sort(n).depth() >= optimal_depth(n).unwrap());
+        }
+    }
+
+    #[test]
+    fn tables_are_monotone() {
+        for w in OPTIMAL_SIZE.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        for w in OPTIMAL_DEPTH.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert_eq!(optimal_size(0), None);
+        assert_eq!(optimal_size(11), None);
+    }
+}

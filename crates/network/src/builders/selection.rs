@@ -1,0 +1,151 @@
+//! Selection networks: networks whose first `k` outputs carry the `k`
+//! smallest inputs (the paper's `(k, n)`-selectors, Theorem 2.4).
+//!
+//! The constructions here derive selectors from sorting networks by *output
+//! pruning*: comparators that cannot influence the first `k` output lines
+//! are removed.  The pruned network computes exactly the same values on
+//! those lines, so pruning a sorter yields a `(k, n)`-selector — usually a
+//! much smaller one.
+
+use crate::builders::batcher::odd_even_merge_sort;
+use crate::network::Network;
+
+/// Removes every comparator of `network` that cannot influence output lines
+/// `0..k`.  The remaining network produces identical values on those lines
+/// for every input.
+///
+/// # Panics
+/// Panics if `k > n`.
+#[must_use]
+pub fn prune_to_outputs(network: &Network, k: usize) -> Network {
+    let n = network.lines();
+    assert!(k <= n, "k = {k} exceeds n = {n}");
+    let mut relevant = vec![false; n];
+    for line in relevant.iter_mut().take(k) {
+        *line = true;
+    }
+    let mut keep = vec![false; network.size()];
+    for (idx, c) in network.comparators().iter().enumerate().rev() {
+        let (a, b) = (c.min_line(), c.max_line());
+        if relevant[a] || relevant[b] {
+            keep[idx] = true;
+            relevant[a] = true;
+            relevant[b] = true;
+        }
+    }
+    let comparators = network
+        .comparators()
+        .iter()
+        .zip(keep.iter())
+        .filter_map(|(c, &k)| k.then_some(*c))
+        .collect();
+    Network::from_comparators(n, comparators)
+}
+
+/// A `(k, n)`-selection network obtained by pruning Batcher's merge-exchange
+/// sorter down to its first `k` outputs.
+#[must_use]
+pub fn pruned_selector(n: usize, k: usize) -> Network {
+    prune_to_outputs(&odd_even_merge_sort(n), k)
+}
+
+/// A naive `(k, n)`-selection network built from `k` successive
+/// minimum-extraction chains: chain `r` bubbles the minimum of lines
+/// `r..n` up to line `r`.  Quadratic but straightforwardly correct —
+/// useful as an independent baseline in tests and benches.
+#[must_use]
+pub fn chain_selector(n: usize, k: usize) -> Network {
+    assert!(k <= n, "k = {k} exceeds n = {n}");
+    let mut net = Network::empty(n.max(1));
+    for r in 0..k.min(n.saturating_sub(1)) {
+        let mut i = n - 1;
+        while i > r {
+            net.push_pair(i - 1, i);
+            i -= 1;
+        }
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::{is_selector, is_sorter};
+    use sortnet_combinat::BitString;
+
+    #[test]
+    fn pruning_preserves_the_tracked_outputs_exactly() {
+        for n in 2..=9usize {
+            let sorter = odd_even_merge_sort(n);
+            for k in 0..=n {
+                let pruned = prune_to_outputs(&sorter, k);
+                for input in BitString::all(n) {
+                    let full = sorter.apply_bits(&input);
+                    let part = pruned.apply_bits(&input);
+                    for i in 0..k {
+                        assert_eq!(full.get(i), part.get(i), "n={n} k={k} input={input} line={i}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_selectors_select() {
+        for n in 2..=10usize {
+            for k in [1, 2, n / 2, n] {
+                let sel = pruned_selector(n, k);
+                assert!(is_selector(&sel, k), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn chain_selectors_select_but_do_not_sort() {
+        for n in 3..=8usize {
+            for k in 1..n {
+                let sel = chain_selector(n, k);
+                assert!(is_selector(&sel, k), "n={n} k={k}");
+                if k < n - 1 {
+                    assert!(!is_sorter(&sel), "chain selector n={n} k={k} should not be a sorter");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_to_all_outputs_keeps_the_full_sorter() {
+        for n in 2..=8usize {
+            let sorter = odd_even_merge_sort(n);
+            let pruned = prune_to_outputs(&sorter, n);
+            assert_eq!(pruned.size(), sorter.size());
+            assert!(is_sorter(&pruned));
+        }
+    }
+
+    #[test]
+    fn pruning_to_few_outputs_shrinks_the_network() {
+        let n = 16;
+        let sorter = odd_even_merge_sort(n);
+        let sel1 = prune_to_outputs(&sorter, 1);
+        let sel2 = prune_to_outputs(&sorter, 2);
+        assert!(sel1.size() < sel2.size() || sel1.size() == sel2.size());
+        assert!(sel2.size() < sorter.size());
+        // Selecting the single minimum of 16 needs at least 15 comparators.
+        assert!(sel1.size() >= 15);
+    }
+
+    #[test]
+    fn pruning_to_zero_outputs_gives_the_empty_network() {
+        let sorter = odd_even_merge_sort(8);
+        assert_eq!(prune_to_outputs(&sorter, 0).size(), 0);
+    }
+
+    #[test]
+    fn chain_selector_sizes() {
+        // Chain r has n-1-r comparators.
+        assert_eq!(chain_selector(6, 1).size(), 5);
+        assert_eq!(chain_selector(6, 2).size(), 5 + 4);
+        assert_eq!(chain_selector(6, 6).size(), 15);
+    }
+}

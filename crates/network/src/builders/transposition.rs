@@ -1,0 +1,76 @@
+//! Odd–even transposition ("brick-wall") networks — the canonical
+//! primitive (height-1) networks of §3.
+
+use crate::network::Network;
+
+/// `rounds` rounds of odd–even transposition on `n` lines: round `r`
+/// compares `(i, i+1)` for all `i ≡ r (mod 2)`.  With `rounds = n` the
+/// network sorts (the classical odd–even transposition sort); with fewer
+/// rounds it generally does not.
+#[must_use]
+pub fn odd_even_transposition(n: usize, rounds: usize) -> Network {
+    let mut net = Network::empty(n.max(1));
+    if n < 2 {
+        return net;
+    }
+    for r in 0..rounds {
+        let start = r % 2;
+        let mut i = start;
+        while i + 1 < n {
+            net.push_pair(i, i + 1);
+            i += 2;
+        }
+    }
+    net
+}
+
+/// The full odd–even transposition sorter (`n` rounds).
+#[must_use]
+pub fn odd_even_transposition_sort(n: usize) -> Network {
+    odd_even_transposition(n, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::is_sorter;
+    use sortnet_combinat::Permutation;
+
+    #[test]
+    fn full_transposition_network_sorts() {
+        for n in 1..=10 {
+            let net = odd_even_transposition_sort(n);
+            assert!(net.is_primitive());
+            assert!(is_sorter(&net), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn too_few_rounds_do_not_sort() {
+        for n in 4..=9 {
+            let net = odd_even_transposition(n, n - 2);
+            assert!(!is_sorter(&net), "n = {n} with n-2 rounds should not sort");
+        }
+    }
+
+    #[test]
+    fn size_is_rounds_times_half_n() {
+        let net = odd_even_transposition(8, 8);
+        // Even rounds have 4 comparators, odd rounds 3 on 8 lines.
+        assert_eq!(net.size(), 4 * 4 + 4 * 3);
+        assert_eq!(net.depth(), 8);
+    }
+
+    #[test]
+    fn primitive_sorter_failure_is_witnessed_by_reverse_permutation() {
+        // de Bruijn's criterion (§3): a primitive network sorts iff it sorts
+        // the reverse permutation.  Check both directions on brick networks.
+        for n in 2..=8usize {
+            for rounds in 0..=n {
+                let net = odd_even_transposition(n, rounds);
+                let sorts_reverse = net.apply_permutation(&Permutation::reverse(n)).is_identity();
+                assert_eq!(sorts_reverse, is_sorter(&net), "n={n} rounds={rounds}");
+            }
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Comparators — the primitive gates of a comparator network.
+//!
+//! A comparator connects two lines; when the values on the lines are out of
+//! order it exchanges them.  The paper (and Knuth §5.3.4) calls a comparator
+//! **standard** when the smaller value is always routed to the line with the
+//! smaller index (drawn higher in the diagrams).  The paper's results are
+//! stated for standard networks; non-standard comparators (as used by
+//! Batcher's bitonic sorter in its textbook form) are supported by the
+//! substrate so that the library can also model such networks, but every
+//! construction in `sortnet-testsets` produces standard networks only.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single comparator.
+///
+/// `min_line` receives the minimum of the two incoming values and
+/// `max_line` the maximum.  The comparator is *standard* iff
+/// `min_line < max_line`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Comparator {
+    /// Line that receives the smaller value.
+    min_line: u16,
+    /// Line that receives the larger value.
+    max_line: u16,
+}
+
+impl Comparator {
+    /// Creates a **standard** comparator between lines `a` and `b`
+    /// (0-based); the smaller value goes to the smaller line index.
+    ///
+    /// # Panics
+    /// Panics if `a == b`.
+    #[must_use]
+    pub fn new(a: usize, b: usize) -> Self {
+        assert!(a != b, "a comparator must connect two distinct lines");
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        Self {
+            min_line: lo as u16,
+            max_line: hi as u16,
+        }
+    }
+
+    /// Creates a comparator with an explicit direction: the minimum is
+    /// routed to `min_line`, the maximum to `max_line`.  If
+    /// `min_line > max_line` the comparator is non-standard.
+    ///
+    /// # Panics
+    /// Panics if the two lines coincide.
+    #[must_use]
+    pub fn directed(min_line: usize, max_line: usize) -> Self {
+        assert!(
+            min_line != max_line,
+            "a comparator must connect two distinct lines"
+        );
+        Self {
+            min_line: min_line as u16,
+            max_line: max_line as u16,
+        }
+    }
+
+    /// Line receiving the minimum.
+    #[must_use]
+    pub fn min_line(&self) -> usize {
+        self.min_line as usize
+    }
+
+    /// Line receiving the maximum.
+    #[must_use]
+    pub fn max_line(&self) -> usize {
+        self.max_line as usize
+    }
+
+    /// The smaller of the two line indices (the "top" line in diagrams).
+    #[must_use]
+    pub fn top(&self) -> usize {
+        self.min_line().min(self.max_line())
+    }
+
+    /// The larger of the two line indices (the "bottom" line in diagrams).
+    #[must_use]
+    pub fn bottom(&self) -> usize {
+        self.min_line().max(self.max_line())
+    }
+
+    /// `true` when the comparator is standard (minimum routed upward).
+    #[must_use]
+    pub fn is_standard(&self) -> bool {
+        self.min_line < self.max_line
+    }
+
+    /// The *height* of the comparator: the distance `|i − j|` between its
+    /// lines.  Height-1 comparators make up the primitive networks of §3.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.bottom() - self.top()
+    }
+
+    /// `true` if the comparator touches `line`.
+    #[must_use]
+    pub fn touches(&self, line: usize) -> bool {
+        self.min_line() == line || self.max_line() == line
+    }
+
+    /// `true` if the two comparators share a line (and therefore cannot be
+    /// placed in the same parallel layer).
+    #[must_use]
+    pub fn conflicts_with(&self, other: &Comparator) -> bool {
+        self.touches(other.min_line()) || self.touches(other.max_line())
+    }
+
+    /// Applies the comparator to a mutable slice of ordered values.
+    #[inline]
+    pub fn apply_slice<T: Ord>(&self, values: &mut [T]) {
+        let (i, j) = (self.min_line(), self.max_line());
+        if values[i] > values[j] {
+            values.swap(i, j);
+        }
+    }
+
+    /// Renames the lines of the comparator through `map`, preserving the
+    /// direction (min stays min).
+    #[must_use]
+    pub fn relabel(&self, map: &[usize]) -> Self {
+        Self::directed(map[self.min_line()], map[self.max_line()])
+    }
+
+    /// The comparator's mirror under the flip symmetry of an `n`-line
+    /// network (reverse line order, complement values): the minimum is now
+    /// routed to line `n−1−max_line` and the maximum to `n−1−min_line`, so a
+    /// standard comparator stays standard and
+    /// `flip(H)(flip(σ)) = flip(H(σ))` holds for 0/1 inputs.
+    #[must_use]
+    pub fn flip(&self, n: usize) -> Self {
+        Self::directed(n - 1 - self.max_line(), n - 1 - self.min_line())
+    }
+}
+
+impl fmt::Debug for Comparator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Comparator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The paper writes comparators as [a, b] with 1-based lines.
+        if self.is_standard() {
+            write!(f, "[{},{}]", self.min_line + 1, self.max_line + 1)
+        } else {
+            write!(f, "[{}↘{}]", self.max_line + 1, self.min_line + 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_constructor_normalises_order() {
+        let c = Comparator::new(3, 1);
+        assert_eq!(c.min_line(), 1);
+        assert_eq!(c.max_line(), 3);
+        assert!(c.is_standard());
+        assert_eq!(c.height(), 2);
+    }
+
+    #[test]
+    fn directed_constructor_allows_nonstandard() {
+        let c = Comparator::directed(4, 2);
+        assert!(!c.is_standard());
+        assert_eq!(c.top(), 2);
+        assert_eq!(c.bottom(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct lines")]
+    fn rejects_self_loop() {
+        let _ = Comparator::new(2, 2);
+    }
+
+    #[test]
+    fn apply_orders_values() {
+        let c = Comparator::new(0, 2);
+        let mut v = vec![5, 1, 3];
+        c.apply_slice(&mut v);
+        assert_eq!(v, vec![3, 1, 5]);
+        // Already ordered: no change.
+        c.apply_slice(&mut v);
+        assert_eq!(v, vec![3, 1, 5]);
+    }
+
+    #[test]
+    fn nonstandard_apply_routes_max_up() {
+        let c = Comparator::directed(2, 0);
+        let mut v = vec![1, 9, 7];
+        c.apply_slice(&mut v);
+        assert_eq!(v, vec![7, 9, 1]);
+    }
+
+    #[test]
+    fn conflict_detection() {
+        let a = Comparator::new(0, 1);
+        let b = Comparator::new(1, 2);
+        let c = Comparator::new(2, 3);
+        assert!(a.conflicts_with(&b));
+        assert!(!a.conflicts_with(&c));
+        assert!(a.conflicts_with(&a));
+    }
+
+    #[test]
+    fn flip_preserves_standardness_and_is_involutive() {
+        let c = Comparator::new(1, 4);
+        let f = c.flip(6);
+        assert_eq!(f, Comparator::new(1, 4).flip(6));
+        assert_eq!(f.min_line(), 1);
+        assert_eq!(f.max_line(), 4);
+        assert!(f.is_standard());
+        assert_eq!(f.flip(6), c);
+
+        let d = Comparator::new(0, 2);
+        let fd = d.flip(6);
+        assert_eq!(fd, Comparator::new(3, 5));
+    }
+
+    #[test]
+    fn display_uses_one_based_paper_notation() {
+        assert_eq!(Comparator::new(0, 2).to_string(), "[1,3]");
+        assert_eq!(Comparator::new(1, 3).to_string(), "[2,4]");
+    }
+
+    #[test]
+    fn relabel_applies_line_map() {
+        let c = Comparator::new(0, 1);
+        let r = c.relabel(&[5, 2, 7]);
+        assert_eq!(r.min_line(), 5);
+        assert_eq!(r.max_line(), 2);
+        assert!(!r.is_standard());
+    }
+}

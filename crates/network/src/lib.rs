@@ -1,0 +1,85 @@
+//! # sortnet-network
+//!
+//! Comparator-network substrate for the reproduction of Chung & Ravikumar,
+//! *"Bounds on the size of test sets for sorting and related networks"*.
+//!
+//! The paper's model (§2): a network over `n` lines is a sequence of
+//! comparators `[a, b]` with `a < b`; a comparator exchanges the values on
+//! its two lines when they are out of order, routing the smaller value to
+//! the smaller line index (a *standard* comparator).  This crate provides:
+//!
+//! * the model itself — [`Comparator`], [`Network`] — with evaluation over
+//!   arbitrary ordered values, 0/1 strings ([`sortnet_combinat::BitString`])
+//!   and permutations;
+//! * fast exhaustive verification: [`bitparallel`] evaluates 64 binary test
+//!   vectors per pass and fans blocks out over rayon;
+//! * the exhaustive property oracles of the paper — sorter, `(k, n)`-selector,
+//!   `(n/2, n/2)`-merger — in [`properties`];
+//! * the classical constructions the paper builds on in [`builders`]:
+//!   Batcher's merge-exchange and odd–even merge sorters (the `S(i)` boxes in
+//!   the Lemma 2.1 figures), odd–even merging networks, pruned selection
+//!   networks, primitive (height-1) networks, and the bitonic sorter as the
+//!   canonical *non-standard* contrast;
+//! * structural tools: layers/depth, the flip symmetry, height restrictions
+//!   ([`primitive`]), random networks and mutations ([`random`]), and
+//!   ASCII/DOT rendering ([`render`]).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use sortnet_network::builders::batcher::odd_even_merge_sort;
+//! use sortnet_network::properties::is_sorter;
+//!
+//! let sorter = odd_even_merge_sort(8);
+//! assert!(sorter.is_standard());
+//! assert!(is_sorter(&sorter));
+//! assert_eq!(sorter.apply_vec(&[5, 3, 8, 1, 9, 2, 7, 4]), vec![1, 2, 3, 4, 5, 7, 8, 9]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitparallel;
+pub mod builders;
+pub mod comparator;
+pub mod network;
+pub mod primitive;
+pub mod properties;
+pub mod random;
+pub mod render;
+
+pub use comparator::Comparator;
+pub use network::Network;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use builders::batcher::odd_even_merge_sort;
+
+    #[test]
+    fn network_serde_json_roundtrip() {
+        let net = odd_even_merge_sort(6);
+        let json = serde_json::to_string(&net).unwrap();
+        let back: Network = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, net);
+    }
+
+    #[test]
+    fn comparator_serde_json_roundtrip() {
+        let c = Comparator::new(2, 5);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Comparator = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn doc_example_holds() {
+        let sorter = odd_even_merge_sort(8);
+        assert!(sorter.is_standard());
+        assert!(properties::is_sorter(&sorter));
+        assert_eq!(
+            sorter.apply_vec(&[5, 3, 8, 1, 9, 2, 7, 4]),
+            vec![1, 2, 3, 4, 5, 7, 8, 9]
+        );
+    }
+}

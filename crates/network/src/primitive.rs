@@ -1,0 +1,142 @@
+//! Height-restricted networks (§3 of the paper).
+//!
+//! A *height-k* network only contains comparators `[i, j]` with `j − i ≤ k`;
+//! height-1 networks are the *primitive* networks of de Bruijn [4], for
+//! which the paper recalls a striking fact: a primitive network is a sorter
+//! **iff it sorts the single reverse permutation** — a test set of size 1.
+//! The test-set side of that result lives in `sortnet-testsets::primitive`;
+//! this module provides the structural machinery (height computation,
+//! height-restricted enumeration and random generation).
+
+use sortnet_combinat::Permutation;
+
+use crate::comparator::Comparator;
+use crate::network::Network;
+
+/// `true` when every comparator of the network has height ≤ `k`.
+#[must_use]
+pub fn is_height_at_most(network: &Network, k: usize) -> bool {
+    network.height() <= k
+}
+
+/// All standard comparators of height ≤ `k` on `n` lines, in increasing
+/// (top, bottom) order.
+#[must_use]
+pub fn comparators_of_height_at_most(n: usize, k: usize) -> Vec<Comparator> {
+    let mut out = Vec::new();
+    for top in 0..n {
+        for bottom in top + 1..n.min(top + k + 1) {
+            out.push(Comparator::new(top, bottom));
+        }
+    }
+    out
+}
+
+/// Enumerates every height-≤`k` network on `n` lines with exactly `size`
+/// comparators, invoking `visit` on each.  The number of networks is
+/// `|C|^size` where `C` is the comparator alphabet, so this is only
+/// feasible for very small parameters (the §3 experiments use n ≤ 6).
+pub fn for_each_network(n: usize, k: usize, size: usize, mut visit: impl FnMut(&Network)) {
+    let alphabet = comparators_of_height_at_most(n, k);
+    let mut stack: Vec<usize> = Vec::with_capacity(size);
+    let mut current = Network::empty(n);
+    enumerate(&alphabet, n, size, &mut stack, &mut current, &mut visit);
+}
+
+fn enumerate(
+    alphabet: &[Comparator],
+    n: usize,
+    remaining: usize,
+    stack: &mut Vec<usize>,
+    current: &mut Network,
+    visit: &mut impl FnMut(&Network),
+) {
+    if remaining == 0 {
+        visit(current);
+        return;
+    }
+    for (idx, c) in alphabet.iter().enumerate() {
+        stack.push(idx);
+        let mut next = current.clone();
+        next.push(*c);
+        enumerate(alphabet, n, remaining - 1, stack, &mut next, visit);
+        stack.pop();
+    }
+}
+
+/// Checks the de Bruijn single-input criterion: does the network sort the
+/// reverse permutation `(n, n−1, …, 1)`?
+///
+/// For *primitive* networks this is equivalent to being a sorter; for
+/// general networks it is only a necessary condition.
+#[must_use]
+pub fn sorts_reverse_permutation(network: &Network) -> bool {
+    let n = network.lines();
+    network
+        .apply_permutation(&Permutation::reverse(n))
+        .is_identity()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::bubble::bubble_sort_network;
+    use crate::builders::transposition::odd_even_transposition;
+    use crate::properties::is_sorter;
+
+    #[test]
+    fn comparator_alphabet_sizes() {
+        assert_eq!(comparators_of_height_at_most(5, 1).len(), 4);
+        assert_eq!(comparators_of_height_at_most(5, 2).len(), 4 + 3);
+        assert_eq!(comparators_of_height_at_most(5, 4).len(), 10); // all pairs
+        assert_eq!(comparators_of_height_at_most(1, 1).len(), 0);
+    }
+
+    #[test]
+    fn height_classification() {
+        assert!(is_height_at_most(&bubble_sort_network(6), 1));
+        let net = Network::from_pairs(5, &[(0, 2)]);
+        assert!(!is_height_at_most(&net, 1));
+        assert!(is_height_at_most(&net, 2));
+    }
+
+    #[test]
+    fn enumeration_counts_networks() {
+        let mut count = 0usize;
+        for_each_network(4, 1, 2, |_| count += 1);
+        // 3 height-1 comparators on 4 lines, sequences of length 2.
+        assert_eq!(count, 9);
+    }
+
+    #[test]
+    fn de_bruijn_criterion_exact_for_primitive_networks() {
+        // Exhaustively: every height-1 network with up to 4 comparators on 4
+        // lines sorts iff it sorts the reverse permutation.
+        for size in 0..=4usize {
+            for_each_network(4, 1, size, |net| {
+                assert_eq!(
+                    sorts_reverse_permutation(net),
+                    is_sorter(net),
+                    "counterexample: {net}"
+                );
+            });
+        }
+    }
+
+    #[test]
+    fn de_bruijn_criterion_is_only_necessary_for_general_networks() {
+        // The Fig. 1 network sorts the reverse permutation but is not a
+        // sorter — so the criterion genuinely needs primitivity.
+        let fig1 = Network::from_pairs(4, &[(0, 2), (1, 3), (0, 1), (2, 3)]);
+        assert!(sorts_reverse_permutation(&fig1));
+        assert!(!is_sorter(&fig1));
+    }
+
+    #[test]
+    fn brick_networks_of_decreasing_rounds_lose_the_property_together() {
+        for rounds in 0..=6usize {
+            let net = odd_even_transposition(6, rounds);
+            assert_eq!(sorts_reverse_permutation(&net), is_sorter(&net));
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Random comparator networks and random mutations of existing networks.
+//!
+//! Used by the experiments in two ways:
+//!
+//! * random networks provide "typical non-sorters" for measuring how quickly
+//!   different test strategies expose them (experiment E9);
+//! * random *mutations* of a correct sorter model hardware defects, the
+//!   motivation mentioned in §1 of the paper (experiment E10 proper uses the
+//!   structured fault models in `sortnet-faults`).
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::comparator::Comparator;
+use crate::network::Network;
+
+/// A deterministic random-network generator (seeded, reproducible).
+#[derive(Debug)]
+pub struct NetworkSampler {
+    rng: StdRng,
+}
+
+impl NetworkSampler {
+    /// Creates a sampler from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Samples a uniformly random standard comparator on `n` lines.
+    ///
+    /// # Panics
+    /// Panics if `n < 2`.
+    pub fn comparator(&mut self, n: usize) -> Comparator {
+        assert!(n >= 2, "need at least two lines");
+        let a = self.rng.random_range(0..n);
+        let mut b = self.rng.random_range(0..n - 1);
+        if b >= a {
+            b += 1;
+        }
+        Comparator::new(a, b)
+    }
+
+    /// Samples a random standard network with `size` comparators on `n`
+    /// lines.
+    pub fn network(&mut self, n: usize, size: usize) -> Network {
+        let mut net = Network::empty(n);
+        for _ in 0..size {
+            let c = self.comparator(n);
+            net.push(c);
+        }
+        net
+    }
+
+    /// Returns `base` with one uniformly chosen comparator deleted
+    /// (a "missing comparator" defect).  Returns `None` if the network is
+    /// empty.
+    pub fn drop_random_comparator(&mut self, base: &Network) -> Option<Network> {
+        if base.is_empty() {
+            return None;
+        }
+        let idx = self.rng.random_range(0..base.size());
+        Some(base.without_comparator(idx))
+    }
+
+    /// Returns `base` with one uniformly chosen comparator rewired to a
+    /// fresh random pair of lines (a "misrouted comparator" defect).
+    /// Returns `None` if the network is empty.
+    pub fn rewire_random_comparator(&mut self, base: &Network) -> Option<Network> {
+        if base.is_empty() {
+            return None;
+        }
+        let idx = self.rng.random_range(0..base.size());
+        let replacement = self.comparator(base.lines());
+        let mut comparators = base.comparators().to_vec();
+        comparators[idx] = replacement;
+        Some(Network::from_comparators(base.lines(), comparators))
+    }
+
+    /// Samples a random 0/1 input of length `n` (for random-testing
+    /// baselines).
+    pub fn random_input(&mut self, n: usize) -> sortnet_combinat::BitString {
+        let word: u64 = self.rng.random();
+        sortnet_combinat::BitString::from_word(word, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::batcher::odd_even_merge_sort;
+    use crate::properties::is_sorter;
+
+    #[test]
+    fn sampler_is_deterministic_per_seed() {
+        let mut a = NetworkSampler::new(42);
+        let mut b = NetworkSampler::new(42);
+        assert_eq!(a.network(8, 20), b.network(8, 20));
+        let mut c = NetworkSampler::new(43);
+        assert_ne!(a.network(8, 20), c.network(8, 20));
+    }
+
+    #[test]
+    fn sampled_comparators_are_standard_and_in_range() {
+        let mut s = NetworkSampler::new(7);
+        for _ in 0..1000 {
+            let c = s.comparator(9);
+            assert!(c.is_standard());
+            assert!(c.bottom() < 9);
+        }
+    }
+
+    #[test]
+    fn random_small_networks_are_rarely_sorters() {
+        // A random 10-comparator network on 6 lines is essentially never a
+        // sorter (needs 12); this guards the experiment's premise.
+        let mut s = NetworkSampler::new(1);
+        let sorters = (0..50).filter(|_| is_sorter(&s.network(6, 10))).count();
+        assert_eq!(sorters, 0);
+    }
+
+    #[test]
+    fn dropping_a_comparator_reduces_size_by_one() {
+        let base = odd_even_merge_sort(8);
+        let mut s = NetworkSampler::new(3);
+        let mutated = s.drop_random_comparator(&base).unwrap();
+        assert_eq!(mutated.size(), base.size() - 1);
+        assert!(s.drop_random_comparator(&Network::empty(4)).is_none());
+    }
+
+    #[test]
+    fn rewiring_keeps_size_constant() {
+        let base = odd_even_merge_sort(8);
+        let mut s = NetworkSampler::new(3);
+        let mutated = s.rewire_random_comparator(&base).unwrap();
+        assert_eq!(mutated.size(), base.size());
+    }
+
+    #[test]
+    fn random_inputs_have_correct_length() {
+        let mut s = NetworkSampler::new(9);
+        for _ in 0..100 {
+            assert_eq!(s.random_input(13).len(), 13);
+        }
+    }
+}

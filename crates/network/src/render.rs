@@ -1,0 +1,128 @@
+//! Rendering comparator networks as Knuth-style ASCII diagrams and Graphviz
+//! DOT, mirroring the figures of the paper (vertical bars joining two
+//! horizontal lines).
+
+use std::fmt::Write as _;
+
+use crate::network::Network;
+
+/// Renders the network as an ASCII diagram: one row per line, time flowing
+/// left to right, each comparator drawn as a column with `o` endpoints and
+/// `|` through intermediate lines.
+#[must_use]
+pub fn ascii_diagram(network: &Network) -> String {
+    let n = network.lines();
+    let layers = network.layers();
+    // Each layer occupies a fixed number of columns: comparators within one
+    // layer are drawn side by side to keep the picture readable.
+    let mut rows: Vec<String> = vec![String::new(); n];
+    for line in rows.iter_mut() {
+        line.push_str("--");
+    }
+    for layer in &layers {
+        for c in layer {
+            for (i, row) in rows.iter_mut().enumerate() {
+                let ch = if i == c.top() || i == c.bottom() {
+                    'o'
+                } else if i > c.top() && i < c.bottom() {
+                    '|'
+                } else {
+                    '-'
+                };
+                row.push(ch);
+                row.push('-');
+            }
+        }
+        for row in rows.iter_mut() {
+            row.push('-');
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        let _ = writeln!(out, "{:>3} {row}", i + 1);
+    }
+    out
+}
+
+/// Renders the network in Graphviz DOT form; lines become horizontal ranks
+/// and comparators become edges, so the picture matches the paper's figures
+/// when laid out left-to-right.
+#[must_use]
+pub fn dot(network: &Network) -> String {
+    let mut out = String::from("digraph comparator_network {\n  rankdir=LR;\n  node [shape=point];\n");
+    let n = network.lines();
+    let depth = network.layers().len();
+    // Nodes: (line, stage).
+    for line in 0..n {
+        for stage in 0..=depth {
+            let _ = writeln!(out, "  l{line}_s{stage} [label=\"\"];");
+        }
+        for stage in 0..depth {
+            let _ = writeln!(
+                out,
+                "  l{line}_s{stage} -> l{line}_s{next} [arrowhead=none];",
+                next = stage + 1
+            );
+        }
+    }
+    for (stage, layer) in network.layers().iter().enumerate() {
+        for c in layer {
+            let _ = writeln!(
+                out,
+                "  l{}_s{} -> l{}_s{} [constraint=false, arrowhead=none, penwidth=2];",
+                c.top(),
+                stage + 1,
+                c.bottom(),
+                stage + 1
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::batcher::odd_even_merge_sort;
+
+    fn fig1() -> Network {
+        Network::from_pairs(4, &[(0, 2), (1, 3), (0, 1), (2, 3)])
+    }
+
+    #[test]
+    fn ascii_diagram_has_one_row_per_line() {
+        let art = ascii_diagram(&fig1());
+        assert_eq!(art.lines().count(), 4);
+        assert!(art.contains('o'));
+        assert!(art.contains('|'));
+    }
+
+    #[test]
+    fn ascii_diagram_of_empty_network_is_plain_lines() {
+        let art = ascii_diagram(&Network::empty(3));
+        assert_eq!(art.lines().count(), 3);
+        assert!(!art.contains('o'));
+    }
+
+    #[test]
+    fn ascii_endpoint_count_matches_comparator_count() {
+        let net = odd_even_merge_sort(6);
+        let art = ascii_diagram(&net);
+        let endpoints = art.chars().filter(|&c| c == 'o').count();
+        assert_eq!(endpoints, 2 * net.size());
+    }
+
+    #[test]
+    fn dot_output_mentions_every_line_and_is_well_formed() {
+        let net = fig1();
+        let d = dot(&net);
+        assert!(d.starts_with("digraph"));
+        assert!(d.trim_end().ends_with('}'));
+        for line in 0..4 {
+            assert!(d.contains(&format!("l{line}_s0")));
+        }
+        // One constraint=false edge per comparator.
+        assert_eq!(d.matches("constraint=false").count(), net.size());
+    }
+}

@@ -1,0 +1,233 @@
+//! The compact Lemma 2.1 construction.
+//!
+//! For every non-sorted σ ∈ {0,1}ⁿ we build a standard network `G_σ` with
+//! `O(n²)` comparators such that
+//!
+//! 1. `G_σ` sorts every string τ ≠ σ, and
+//! 2. `G_σ(σ)` equals the **canonical failure output**
+//!    `0^{z−1} 1 0 1^{o−1}` where `z = |σ|₀` and `o = |σ|₁` — the sorted
+//!    string with the two values at the 0/1 boundary exchanged (so it is one
+//!    interchange away from sorted, the paper's remark after Lemma 2.1).
+//!
+//! # Construction
+//!
+//! Write σ' = σ₁…σ_{n−1} for the prefix.  Recursion on `n` with three cases
+//! (plus the flip symmetry), maintaining invariant 2:
+//!
+//! * **Ends in 1** (σ_n = 1; σ' is necessarily unsorted).  Let
+//!   `ρ = G_{σ'}(σ') = 0^{z−1} 1 0 1^{o−2}` (canonical, prefix weights) and
+//!   `k` = position of its first 1 (so `k = z−1`, 0-based).  Emit
+//!   `G_{σ'}`, then the comparator chain `[0,n−1], [1,n−1], …, [k,n−1]`,
+//!   then an upward bubble chain on lines `k+1 … n−1`.
+//!   *Why it works*: for input σ the chain never fires (lines `0..k` hold 0,
+//!   line `n−1` holds 1) so line `k` keeps its 1, and the bubble chain sorts
+//!   the suffix `0 1^{o−2} 1` into `0 1^{o−1}`, giving exactly the canonical
+//!   output.  For τ with prefix σ' and τ_n = 0, the comparator `[k,n−1]`
+//!   swaps, lines `0..=k` become 0 and the suffix is `0/1`-sorted by the
+//!   bubble chain.  For any other τ the prefix arrives sorted `0^a 1^b`;
+//!   if τ_n = 1 nothing moves and the result is sorted; if τ_n = 0 the first
+//!   firing comparator pulls the 0 up to line `a` (if `a ≤ k`) leaving a
+//!   sorted string, or no comparator fires and the bubble chain sorts the
+//!   trailing-zero pattern on lines `k+1 … n−1`.
+//!
+//! * **Ends in 0, unsorted prefix**.  Let `ρ = G_{σ'}(σ')` (canonical,
+//!   `z−1` zeros).  Emit `G_{σ'}`, the single comparator `[n−2, n−1]`, then
+//!   an upward bubble chain on lines `0 … n−2`.
+//!   *Why it works*: the three input classes reaching the suffix are
+//!   `(ρ, 0)` (only for σ), `(ρ, 1)`, and `(0^a 1^b, c)`.  The comparator
+//!   `[n−2,n−1]` moves the overall maximum to line `n−1` except for σ when
+//!   `ρ` ends in 0; the bubble chain then sorts `ρ` (its displaced 0 is
+//!   adjacent to its displaced 1) and every `0^a 1^b 0` pattern, but turns
+//!   `ρ` *with its trailing 1 removed* into the canonical failure output
+//!   instead of sorting it.  An exhaustive case analysis is in the tests.
+//!
+//! * **Ends in 0, sorted prefix** (σ = 0^a 1^b 0).  Apply the construction
+//!   to `flip(σ)` (reverse + complement, which is unsorted and falls into
+//!   one of the cases above) and flip the resulting network back.  The flip
+//!   maps standard networks to standard networks, preserves the Lemma 2.1
+//!   contract, and maps canonical outputs to canonical outputs.
+
+use sortnet_combinat::BitString;
+use sortnet_network::builders::bubble::bubble_up_chain;
+use sortnet_network::Network;
+
+/// Builds the compact adversary network for a non-sorted string.
+///
+/// Callers normally go through [`crate::adversary::adversary_network`];
+/// this function assumes (and debug-asserts) that σ is unsorted.
+#[must_use]
+pub fn build(sigma: &BitString) -> Network {
+    debug_assert!(!sigma.is_sorted(), "caller must reject sorted strings");
+    let n = sigma.len();
+    if n == 2 {
+        // The only unsorted string of length 2 is 10; the empty network
+        // fails on it and sorts everything else.
+        return Network::empty(2);
+    }
+
+    let prefix = sigma.slice(0, n - 1);
+    if sigma.get(n - 1) {
+        build_ends_in_one(sigma, &prefix)
+    } else if !prefix.is_sorted() {
+        build_ends_in_zero_prefix_unsorted(sigma, &prefix)
+    } else {
+        // σ = 0^a 1^b 0: recurse through the flip symmetry.
+        build(&sigma.flip()).flip()
+    }
+}
+
+/// The canonical failure output `0^{z−1} 1 0 1^{o−1}` for a string with `z`
+/// zeros and `o` ones.
+///
+/// # Panics
+/// Panics if `z == 0` or `o == 0` (such strings are sorted and have no
+/// failure output).
+#[must_use]
+pub fn canonical_failure_output(z: usize, o: usize) -> BitString {
+    assert!(z >= 1 && o >= 1, "canonical failure output needs both symbols");
+    BitString::sorted_with(z - 1, 1)
+        .concat(&BitString::zeros(1))
+        .concat(&BitString::sorted_with(0, o - 1))
+}
+
+fn identity_map(k: usize) -> Vec<usize> {
+    (0..k).collect()
+}
+
+/// Case "σ ends in 1" (the paper's Case C, with the bubble chain replacing
+/// the `S(n−k)` box).
+fn build_ends_in_one(sigma: &BitString, prefix: &BitString) -> Network {
+    let n = sigma.len();
+    debug_assert!(!prefix.is_sorted(), "σ unsorted and ending in 1 forces an unsorted prefix");
+    let inner = build(prefix);
+    let rho = inner.apply_bits(prefix);
+    debug_assert!(!rho.is_sorted());
+    let k = (0..n - 1)
+        .find(|&i| rho.get(i))
+        .expect("an unsorted string contains a 1");
+
+    let mut net = Network::empty(n);
+    net.embed(&inner, &identity_map(n - 1));
+    for i in 0..=k {
+        net.push_pair(i, n - 1);
+    }
+    net.extend(&bubble_up_chain(n, k + 1, n - 1));
+    net
+}
+
+/// Case "σ ends in 0 with an unsorted prefix" (subsuming the paper's Cases
+/// A and B in a single layout).
+fn build_ends_in_zero_prefix_unsorted(sigma: &BitString, prefix: &BitString) -> Network {
+    let n = sigma.len();
+    let inner = build(prefix);
+    debug_assert!(!inner.apply_bits(prefix).is_sorted());
+
+    let mut net = Network::empty(n);
+    net.embed(&inner, &identity_map(n - 1));
+    net.push_pair(n - 2, n - 1);
+    net.extend(&bubble_up_chain(n, 0, n - 2));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::fails_exactly_on;
+    use crate::adversary::fig2;
+
+    #[test]
+    fn reproduces_the_fig2_base_networks() {
+        // The compact recursion, specialised to n = 3, produces exactly the
+        // two-comparator networks of the paper's Figure 2.
+        for sigma in fig2::fig2_strings() {
+            assert_eq!(
+                build(&sigma),
+                fig2::base_adversary(&sigma),
+                "σ = {sigma}"
+            );
+        }
+    }
+
+    #[test]
+    fn satisfies_lemma_2_1_exhaustively_up_to_n_9() {
+        for n in 2..=9usize {
+            for sigma in BitString::all_unsorted(n) {
+                let net = build(&sigma);
+                assert!(fails_exactly_on(&net, &sigma), "σ = {sigma}");
+            }
+        }
+    }
+
+    #[test]
+    fn failure_output_is_canonical() {
+        for n in 2..=9usize {
+            for sigma in BitString::all_unsorted(n) {
+                let net = build(&sigma);
+                let out = net.apply_bits(&sigma);
+                let expected =
+                    canonical_failure_output(sigma.count_zeros(), sigma.count_ones());
+                assert_eq!(out, expected, "σ = {sigma}");
+            }
+        }
+    }
+
+    #[test]
+    fn networks_are_standard_and_quadratically_bounded() {
+        for n in 2..=10usize {
+            for sigma in BitString::all_unsorted(n) {
+                let net = build(&sigma);
+                assert!(net.is_standard());
+                assert!(
+                    net.size() <= 2 * n * n,
+                    "size {} exceeds 2n² for σ = {sigma}",
+                    net.size()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_more_interchange_sorts_the_failure_output() {
+        // The paper's remark after Lemma 2.1, in its literal form.
+        for sigma in BitString::all_unsorted(7) {
+            let net = build(&sigma);
+            let out = net.apply_bits(&sigma);
+            let z = out.count_zeros();
+            // Exchanging positions z-1 and z of the canonical output sorts it.
+            let fixed = out.with_bit(z - 1, false).with_bit(z, true);
+            assert!(fixed.is_sorted(), "σ = {sigma}, out = {out}");
+        }
+    }
+
+    #[test]
+    fn larger_instances_spot_checked() {
+        // n = 12 is too big for the all-σ sweep in a unit test, so check a
+        // structured sample: every rotation-like pattern plus hand-picked
+        // adversarial shapes.
+        let samples = [
+            "101010101010",
+            "110000000001",
+            "011111111110",
+            "100000000000",
+            "111111111110",
+            "010101010101",
+            "001100110011",
+            "111000111000",
+        ];
+        for s in samples {
+            let sigma = BitString::parse(s).unwrap();
+            if sigma.is_sorted() {
+                continue;
+            }
+            let net = build(&sigma);
+            assert!(fails_exactly_on(&net, &sigma), "σ = {sigma}");
+        }
+    }
+
+    #[test]
+    fn canonical_failure_output_examples() {
+        assert_eq!(canonical_failure_output(1, 1).to_string(), "10");
+        assert_eq!(canonical_failure_output(3, 2).to_string(), "00101");
+        assert_eq!(canonical_failure_output(2, 4).to_string(), "010111");
+    }
+}

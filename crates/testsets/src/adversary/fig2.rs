@@ -1,0 +1,121 @@
+//! The base cases of Lemma 2.1 (the paper's Figure 2): for every non-sorted
+//! string of length 2 or 3, an explicit network that sorts all other strings.
+//!
+//! The figure itself is illegible in the available scan, so the four 3-line
+//! networks were re-derived from the requirement (each has two comparators,
+//! the minimum possible) and are verified exhaustively by the tests below
+//! and by `adversary::fails_exactly_on`.
+//!
+//! | σ   | H_σ          | H_σ(σ) |
+//! |-----|--------------|--------|
+//! | 10  | (empty)      | 10     |
+//! | 010 | `[1,3][1,2]` | 010    |
+//! | 100 | `[2,3][1,2]` | 010    |
+//! | 101 | `[1,3][2,3]` | 101    |
+//! | 110 | `[1,2][2,3]` | 101    |
+
+use sortnet_combinat::BitString;
+use sortnet_network::Network;
+
+/// The base-case adversary network for strings of length 2 or 3.
+///
+/// # Panics
+/// Panics if `sigma` is sorted or has length outside `{2, 3}`.
+#[must_use]
+pub fn base_adversary(sigma: &BitString) -> Network {
+    match (sigma.len(), sigma.to_string().as_str()) {
+        (2, "10") => Network::empty(2),
+        (3, "010") => Network::from_pairs(3, &[(0, 2), (0, 1)]),
+        (3, "100") => Network::from_pairs(3, &[(1, 2), (0, 1)]),
+        (3, "101") => Network::from_pairs(3, &[(0, 2), (1, 2)]),
+        (3, "110") => Network::from_pairs(3, &[(0, 1), (1, 2)]),
+        _ => panic!("no base-case adversary for {sigma}"),
+    }
+}
+
+/// The three-line widget `H₁₀₀` used inside the Case A layout of Figure 3:
+/// sorts every 3-bit string except `100`.
+#[must_use]
+pub fn widget_h100() -> Network {
+    base_adversary(&BitString::parse("100").expect("valid literal"))
+}
+
+/// All length-3 non-sorted strings, in the order the paper lists them
+/// (`100, 101, 010, 110`).
+#[must_use]
+pub fn fig2_strings() -> Vec<BitString> {
+    ["100", "101", "010", "110"]
+        .into_iter()
+        .map(|s| BitString::parse(s).expect("valid literal"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::fails_exactly_on;
+
+    #[test]
+    fn n2_base_case() {
+        let sigma = BitString::parse("10").unwrap();
+        let net = base_adversary(&sigma);
+        assert!(net.is_empty());
+        assert!(fails_exactly_on(&net, &sigma));
+    }
+
+    #[test]
+    fn all_four_n3_networks_satisfy_lemma_2_1() {
+        for sigma in fig2_strings() {
+            let net = base_adversary(&sigma);
+            assert_eq!(net.size(), 2, "Fig. 2 networks use two comparators");
+            assert!(net.is_standard());
+            assert!(fails_exactly_on(&net, &sigma), "failed for {sigma}");
+        }
+    }
+
+    #[test]
+    fn two_comparators_are_necessary_for_n3() {
+        // No network with fewer than two comparators sorts all-but-one of the
+        // 3-bit strings: the empty network fails on four strings and a single
+        // comparator fails on at least two.
+        for sigma in fig2_strings() {
+            for a in 0..3usize {
+                for b in a + 1..3usize {
+                    let net = Network::from_pairs(3, &[(a, b)]);
+                    assert!(!fails_exactly_on(&net, &sigma));
+                }
+            }
+            assert!(!fails_exactly_on(&Network::empty(3), &sigma));
+        }
+    }
+
+    #[test]
+    fn failure_outputs_are_one_interchange_from_sorted() {
+        // The paper's remark after Lemma 2.1.
+        for sigma in fig2_strings() {
+            let net = base_adversary(&sigma);
+            let out = net.apply_bits(&sigma);
+            assert!(!out.is_sorted());
+            // Exactly one exchange fixes it: the canonical 0^{z-1} 1 0 1^{o-1}.
+            let z = sigma.count_zeros();
+            let o = sigma.count_ones();
+            let canonical = BitString::sorted_with(z - 1, 1)
+                .concat(&BitString::zeros(1))
+                .concat(&BitString::sorted_with(0, o - 1));
+            assert_eq!(out, canonical, "σ = {sigma}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no base-case adversary")]
+    fn rejects_longer_strings() {
+        let _ = base_adversary(&BitString::parse("1010").unwrap());
+    }
+
+    #[test]
+    fn widget_is_the_h100_network() {
+        let w = widget_h100();
+        assert_eq!(w.to_compact_string(), "[2,3][1,2]");
+        assert!(fails_exactly_on(&w, &BitString::parse("100").unwrap()));
+    }
+}

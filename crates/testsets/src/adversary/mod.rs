@@ -1,0 +1,196 @@
+//! Lemma 2.1 — the paper's central construction.
+//!
+//! > *Let σ be a non-sorted string in {0,1}ⁿ.  There exists a network H_σ
+//! > such that H_σ sorts all strings except σ.*
+//!
+//! The lemma is what makes every unsorted 0/1 string **necessary** in a test
+//! set: if a candidate test set misses σ, the adversary network `H_σ` passes
+//! every test yet is not a sorter.  All of the paper's lower bounds
+//! (Theorems 2.2, 2.4 and 2.5) reduce to this lemma plus counting, so the
+//! reproduction treats the construction with special care and provides two
+//! independent implementations that are cross-checked exhaustively:
+//!
+//! * [`compact`] — a self-contained recursive construction with `O(n²)`
+//!   comparators that additionally guarantees the *canonical failure output*
+//!   `H_σ(σ) = 0^{z−1} 1 0 1^{o−1}` (where `z = |σ|₀`, `o = |σ|₁`): the
+//!   sorted string with the two values at the 0/1 boundary exchanged.  This
+//!   is the strongest form of the paper's remark that `H_σ(σ)` is one
+//!   interchange away from sorted.
+//! * [`paper`] — the layouts of the paper's Figures 2–5 as reconstructed
+//!   from the prose proof (the scan of the figures is unreadable), layered
+//!   on top of the compact construction for the inner `H_{σ′}` block.
+//!
+//! Both variants are verified by [`fails_exactly_on`] over every unsorted σ
+//! for all n the test suite can afford.
+
+pub mod compact;
+pub mod fig2;
+pub mod paper;
+
+use serde::{Deserialize, Serialize};
+
+use sortnet_combinat::BitString;
+use sortnet_network::Network;
+
+/// Which Lemma 2.1 construction to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum AdversaryVariant {
+    /// The compact `O(n²)` construction with canonical failure output.
+    #[default]
+    Compact,
+    /// The reconstruction of the paper's figure layouts (Cases A/B/C).
+    Paper,
+}
+
+/// Builds the Lemma 2.1 adversary network `H_σ` for a non-sorted string σ.
+///
+/// The returned network is standard, and sorts every 0/1 input of the same
+/// length **except** σ itself.
+///
+/// # Panics
+/// Panics if σ is sorted (no adversary exists: a standard network cannot be
+/// made to fail on a sorted input) or shorter than 2.
+#[must_use]
+pub fn adversary_network(sigma: &BitString, variant: AdversaryVariant) -> Network {
+    assert!(sigma.len() >= 2, "strings of length < 2 are always sorted");
+    assert!(
+        !sigma.is_sorted(),
+        "no network can fail on the sorted string {sigma}"
+    );
+    match variant {
+        AdversaryVariant::Compact => compact::build(sigma),
+        AdversaryVariant::Paper => paper::build(sigma),
+    }
+}
+
+/// Convenience wrapper: the default ([`AdversaryVariant::Compact`])
+/// adversary network.
+#[must_use]
+pub fn adversary(sigma: &BitString) -> Network {
+    adversary_network(sigma, AdversaryVariant::Compact)
+}
+
+/// Exhaustively checks the Lemma 2.1 contract: `network` sorts every 0/1
+/// input of length `n` except exactly `sigma`.
+///
+/// # Panics
+/// Panics if `n ≥ 26` (use sampled checks beyond that).
+#[must_use]
+pub fn fails_exactly_on(network: &Network, sigma: &BitString) -> bool {
+    let n = network.lines();
+    assert_eq!(n, sigma.len(), "length mismatch");
+    assert!(n < 26, "exhaustive 2^{n} check refused");
+    for input in BitString::all(n) {
+        let sorted = network.apply_bits(&input).is_sorted();
+        if input == *sigma {
+            if sorted {
+                return false;
+            }
+        } else if !sorted {
+            return false;
+        }
+    }
+    true
+}
+
+/// Statistics about an adversary construction, used by experiment E7.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AdversaryStats {
+    /// Input length.
+    pub n: usize,
+    /// Number of unsorted strings (= number of adversary networks built).
+    pub networks: usize,
+    /// Smallest network size observed.
+    pub min_size: usize,
+    /// Largest network size observed.
+    pub max_size: usize,
+    /// Mean network size.
+    pub mean_size: f64,
+    /// Largest depth observed.
+    pub max_depth: usize,
+}
+
+/// Builds every adversary network of length `n` with the given variant and
+/// summarises their sizes (experiment E7).  Also asserts the Lemma 2.1
+/// contract for each network.
+///
+/// # Panics
+/// Panics if any constructed network violates the contract, or `n ≥ 16`.
+#[must_use]
+pub fn survey(n: usize, variant: AdversaryVariant) -> AdversaryStats {
+    assert!(n < 16, "survey of 2^{n} adversaries refused");
+    let mut sizes = Vec::new();
+    let mut max_depth = 0;
+    for sigma in BitString::all_unsorted(n) {
+        let net = adversary_network(&sigma, variant);
+        assert!(
+            fails_exactly_on(&net, &sigma),
+            "variant {variant:?} violated Lemma 2.1 on {sigma}"
+        );
+        sizes.push(net.size());
+        max_depth = max_depth.max(net.depth());
+    }
+    let networks = sizes.len();
+    let min_size = sizes.iter().copied().min().unwrap_or(0);
+    let max_size = sizes.iter().copied().max().unwrap_or(0);
+    let mean_size = if networks == 0 {
+        0.0
+    } else {
+        sizes.iter().sum::<usize>() as f64 / networks as f64
+    };
+    AdversaryStats {
+        n,
+        networks,
+        min_size,
+        max_size,
+        mean_size,
+        max_depth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "sorted string")]
+    fn rejects_sorted_strings() {
+        let sorted = BitString::parse("0011").unwrap();
+        let _ = adversary(&sorted);
+    }
+
+    #[test]
+    fn both_variants_satisfy_lemma_2_1_for_small_n() {
+        for n in 2..=8usize {
+            for sigma in BitString::all_unsorted(n) {
+                for variant in [AdversaryVariant::Compact, AdversaryVariant::Paper] {
+                    let net = adversary_network(&sigma, variant);
+                    assert!(net.is_standard(), "{variant:?} produced a non-standard network");
+                    assert!(
+                        fails_exactly_on(&net, &sigma),
+                        "{variant:?} failed Lemma 2.1 for σ = {sigma}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn survey_counts_all_unsorted_strings() {
+        let stats = survey(6, AdversaryVariant::Compact);
+        assert_eq!(stats.networks, (1 << 6) - 6 - 1);
+        assert!(stats.min_size <= stats.max_size);
+        assert!(stats.mean_size >= stats.min_size as f64);
+        assert!(stats.mean_size <= stats.max_size as f64);
+    }
+
+    #[test]
+    fn fails_exactly_on_detects_wrong_networks() {
+        use sortnet_network::builders::batcher::odd_even_merge_sort;
+        let sigma = BitString::parse("1010").unwrap();
+        // A full sorter fails on nothing.
+        assert!(!fails_exactly_on(&odd_even_merge_sort(4), &sigma));
+        // The empty network fails on too much.
+        assert!(!fails_exactly_on(&Network::empty(4), &sigma));
+    }
+}

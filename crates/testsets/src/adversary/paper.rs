@@ -1,0 +1,201 @@
+//! The Lemma 2.1 layouts of the paper's Figures 3–5, reconstructed from the
+//! prose proof.
+//!
+//! The proof distinguishes, for a non-sorted σ of length `n ≥ 4` whose
+//! prefix σ' = σ₁…σ_{n−1} is also non-sorted, three cases driven by σ_n and
+//! by the last line of `H_{σ'}(σ')`:
+//!
+//! * **Case A** (σ_n = 0 and `(H_{σ'}(σ'))_{n−1} = 0`, Figure 3):
+//!   `H_σ = H_{σ'}` on lines 1…n−1, then the comparator `C₁ = [n−1, n]`,
+//!   then the three-line widget `H₁₀₀` (Figure 2) on lines `(k, l, n)` where
+//!   `k < l` are positions with `(H_{σ'}(σ'))_k = 1` and `(H_{σ'}(σ'))_l = 0`,
+//!   then a full sorter `S(n−1)` on lines 1…n−1.
+//! * **Case B** (σ_n = 0 and `(H_{σ'}(σ'))_{n−1} = 1`, Figure 4):
+//!   the figure is illegible in the available scan and the prose only says
+//!   the argument is "similar to Case A".  We substitute a construction that
+//!   is provably correct given the canonical failure output of the inner
+//!   block (see `adversary::compact`): the comparator `[n−1, n]` followed by
+//!   an upward bubble chain on lines 1…n−1.  This deviation is recorded in
+//!   DESIGN.md.
+//! * **Case C** (σ_n = 1, Figure 5): `H_{σ'}`, then the comparator chain
+//!   `C₁ = [1, n], …, C_k = [k, n]` where `k` is the first position with
+//!   `(H_{σ'}(σ'))_k = 1`, then a sorter `S(n−k)` on lines `k+1 … n`.
+//!
+//! When the prefix is sorted but the suffix σ₂…σ_n is not, the paper says
+//! the construction "is identical"; we realise it through the flip symmetry
+//! (reverse lines + complement values), which maps that situation back to
+//! the prefix cases.
+//!
+//! The inner block `H_{σ'}` is taken from the compact construction, whose
+//! failure output is canonical; this keeps the reconstruction faithful to
+//! the figure layouts at the outermost level while guaranteeing that the
+//! Case B substitute sees the shape it was proved for.  Every network this
+//! module produces is verified exhaustively against the Lemma 2.1 contract
+//! in the tests and in experiment E7.
+
+use sortnet_combinat::BitString;
+use sortnet_network::builders::batcher::odd_even_merge_sort;
+use sortnet_network::builders::bubble::bubble_up_chain;
+use sortnet_network::Network;
+
+use super::{compact, fig2};
+
+/// Builds the paper-layout adversary network for a non-sorted string.
+#[must_use]
+pub fn build(sigma: &BitString) -> Network {
+    debug_assert!(!sigma.is_sorted(), "caller must reject sorted strings");
+    let n = sigma.len();
+    if n == 2 || n == 3 {
+        return fig2::base_adversary(sigma);
+    }
+    let prefix = sigma.slice(0, n - 1);
+    if prefix.is_sorted() {
+        // Prefix sorted, suffix unsorted: the paper's "identical" mirror
+        // case, realised through the flip symmetry.
+        return build(&sigma.flip()).flip();
+    }
+
+    let inner = compact::build(&prefix);
+    let rho = inner.apply_bits(&prefix);
+    debug_assert!(!rho.is_sorted());
+    let k = (0..n - 1)
+        .find(|&i| rho.get(i))
+        .expect("an unsorted string contains a 1");
+
+    let mut net = Network::empty(n);
+    net.embed(&inner, &(0..n - 1).collect::<Vec<_>>());
+
+    if sigma.get(n - 1) {
+        // Case C (Figure 5).
+        for i in 0..=k {
+            net.push_pair(i, n - 1);
+        }
+        let tail_lines: Vec<usize> = (k + 1..n).collect();
+        net.embed(&odd_even_merge_sort(tail_lines.len()), &tail_lines);
+    } else if !rho.get(n - 2) {
+        // Case A (Figure 3).
+        let l = (k + 1..n - 1)
+            .find(|&i| !rho.get(i))
+            .expect("rho is unsorted, so a 0 follows the first 1");
+        net.push_pair(n - 2, n - 1); // C₁
+        net.embed(&fig2::widget_h100(), &[k, l, n - 1]);
+        net.embed(&odd_even_merge_sort(n - 1), &(0..n - 1).collect::<Vec<_>>());
+    } else {
+        // Case B (Figure 4, reconstructed — see module docs).
+        net.push_pair(n - 2, n - 1);
+        net.extend(&bubble_up_chain(n, 0, n - 2));
+    }
+    net
+}
+
+/// Classifies which of the paper's cases applies to σ (after resolving the
+/// mirror situation through the flip symmetry).  Used by experiment E7 to
+/// report per-case statistics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PaperCase {
+    /// Length-2/3 base case (Figure 2).
+    Base,
+    /// Case A of Figure 3.
+    A,
+    /// Case B of Figure 4 (reconstructed).
+    B,
+    /// Case C of Figure 5.
+    C,
+    /// Handled through the flip symmetry (sorted prefix, unsorted suffix).
+    Mirror,
+}
+
+/// Returns the case the construction takes for σ.
+///
+/// # Panics
+/// Panics if σ is sorted.
+#[must_use]
+pub fn classify(sigma: &BitString) -> PaperCase {
+    assert!(!sigma.is_sorted(), "sorted strings have no adversary");
+    let n = sigma.len();
+    if n <= 3 {
+        return PaperCase::Base;
+    }
+    let prefix = sigma.slice(0, n - 1);
+    if prefix.is_sorted() {
+        return PaperCase::Mirror;
+    }
+    if sigma.get(n - 1) {
+        return PaperCase::C;
+    }
+    let rho = compact::build(&prefix).apply_bits(&prefix);
+    if rho.get(n - 2) {
+        PaperCase::B
+    } else {
+        PaperCase::A
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::fails_exactly_on;
+
+    #[test]
+    fn satisfies_lemma_2_1_exhaustively_up_to_n_8() {
+        for n in 2..=8usize {
+            for sigma in BitString::all_unsorted(n) {
+                let net = build(&sigma);
+                assert!(net.is_standard());
+                assert!(fails_exactly_on(&net, &sigma), "σ = {sigma}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_three_cases_occur() {
+        use std::collections::HashMap;
+        let mut seen: HashMap<&'static str, usize> = HashMap::new();
+        for sigma in BitString::all_unsorted(6) {
+            let label = match classify(&sigma) {
+                PaperCase::Base => "base",
+                PaperCase::A => "A",
+                PaperCase::B => "B",
+                PaperCase::C => "C",
+                PaperCase::Mirror => "mirror",
+            };
+            *seen.entry(label).or_default() += 1;
+        }
+        for case in ["A", "B", "C", "mirror"] {
+            assert!(seen.get(case).copied().unwrap_or(0) > 0, "case {case} never exercised");
+        }
+    }
+
+    #[test]
+    fn case_a_strings_have_a_single_one() {
+        // With the canonical inner output, Case A arises exactly when the
+        // prefix contains a single 1 (so its failure output ends in 0).
+        for sigma in BitString::all_unsorted(7) {
+            if classify(&sigma) == PaperCase::A {
+                assert_eq!(sigma.count_ones(), 1, "σ = {sigma}");
+                assert!(!sigma.get(6));
+            }
+        }
+    }
+
+    #[test]
+    fn paper_networks_are_larger_but_still_polynomial() {
+        for sigma in BitString::all_unsorted(8) {
+            let paper = build(&sigma);
+            let compact = compact::build(&sigma);
+            assert!(paper.size() <= 4 * 8 * 8, "σ = {sigma}");
+            // The paper layout embeds full Batcher sorters, so it is never
+            // smaller than the compact construction minus a constant.
+            assert!(paper.size() + 4 >= compact.size(), "σ = {sigma}");
+        }
+    }
+
+    #[test]
+    fn classify_matches_structure_of_sigma() {
+        assert_eq!(classify(&BitString::parse("0101").unwrap()), PaperCase::C);
+        assert_eq!(classify(&BitString::parse("0110").unwrap()), PaperCase::Mirror);
+        assert_eq!(classify(&BitString::parse("1000").unwrap()), PaperCase::A);
+        assert_eq!(classify(&BitString::parse("1010").unwrap()), PaperCase::B);
+        assert_eq!(classify(&BitString::parse("110").unwrap()), PaperCase::Base);
+    }
+}

@@ -1,0 +1,184 @@
+//! The `B(n, k)` permutation family and the optimal permutation test sets
+//! built from it (Theorems 2.2(ii) and 2.4(ii)).
+//!
+//! The paper cites Knuth (exercise 6.5.1-1): *for any `k ≤ ⌊n/2⌋` there is a
+//! set `B(n, k)` of `C(n, k)` permutations such that every `t`-element
+//! subset of `{1, …, n}` appears as the first `t` elements of at least one
+//! permutation, for all `t ≤ k`.*  We construct the family from the
+//! Greene–Kleitman symmetric chain decomposition: each `k`-subset `S` is
+//! assigned the permutation that lists the symmetric chain through `S` from
+//! its bottom upwards (then the leftover elements).  Because every subset of
+//! cardinality `t ≤ ⌊n/2⌋` lies on a chain that passes through level `k`,
+//! its chain's permutation exhibits it as a prefix — and, because chains are
+//! listed all the way to their top, the same family with `k = ⌊n/2⌋` has
+//! *every* subset of *every* size as a prefix, which is what makes it a test
+//! set for full sorting and not just selection.
+//!
+//! The permutation **test set** `P_k^n` is the set of inverses of
+//! `B(n, k)`, minus the identity permutation (which only covers sorted
+//! strings and therefore tests nothing); its size is `C(n, k) − 1`.
+
+use sortnet_combinat::chains::chain_of;
+use sortnet_combinat::subsets::Subset;
+use sortnet_combinat::{binomial_u128, BitString, Permutation};
+
+/// The `B(n, k)` family: one permutation per `k`-subset of `{0, …, n−1}`,
+/// whose length-`t` prefixes (for every `t` the subset's chain passes
+/// through) enumerate subsets.
+///
+/// # Panics
+/// Panics if `k > n` or `n > 20` (the family has `C(n, k)` members;
+/// enumeration beyond that is never needed by the experiments).
+#[must_use]
+pub fn bnk_family(n: usize, k: usize) -> Vec<Permutation> {
+    assert!(k <= n, "k = {k} exceeds n = {n}");
+    assert!(n <= 20, "materialising C({n}, {k}) permutations refused");
+    let mut out = Vec::new();
+    for subset in Subset::all_with_len(n, k) {
+        let chain = chain_of(&subset);
+        let order = chain.insertion_order();
+        let values: Vec<u8> = order.iter().map(|&e| e as u8).collect();
+        out.push(Permutation::from_values(&values).expect("insertion order is a permutation"));
+    }
+    out
+}
+
+/// `true` iff every `t`-subset (for all `t ≤ k`) appears as the first `t`
+/// elements of some permutation in `family` — the defining property of
+/// `B(n, k)`.
+#[must_use]
+pub fn has_prefix_covering_property(family: &[Permutation], n: usize, k: usize) -> bool {
+    use std::collections::HashSet;
+    for t in 0..=k {
+        let mut seen: HashSet<u64> = HashSet::new();
+        for p in family {
+            let prefix = Subset::from_elements(
+                &p.values()[..t].iter().map(|&v| v as usize).collect::<Vec<_>>(),
+                n,
+            );
+            seen.insert(prefix.mask());
+        }
+        if (seen.len() as u128) < binomial_u128(n as u64, t as u64) {
+            return false;
+        }
+    }
+    true
+}
+
+/// The optimal permutation test set `P_k^n` for the `(k, n)`-selector
+/// property (and, with `k = ⌊n/2⌋`, for the sorting property): the inverses
+/// of `B(n, min(k, ⌊n/2⌋))` minus the identity permutation.
+///
+/// Its size is `C(n, min(k, ⌊n/2⌋)) − 1`, matching Theorems 2.2(ii) and
+/// 2.4(ii).
+#[must_use]
+pub fn permutation_testset(n: usize, k: usize) -> Vec<Permutation> {
+    let k = k.min(n / 2);
+    bnk_family(n, k)
+        .into_iter()
+        .map(|p| p.inverse())
+        .filter(|p| !p.is_identity())
+        .collect()
+}
+
+/// `true` iff the cover of `perms` contains every string in `targets`.
+#[must_use]
+pub fn covers_all<'a>(
+    perms: &[Permutation],
+    targets: impl IntoIterator<Item = &'a BitString>,
+) -> bool {
+    crate::cover::uncovered(perms, targets).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_has_the_right_cardinality() {
+        for n in 1..=8usize {
+            for k in 0..=n {
+                let family = bnk_family(n, k);
+                assert_eq!(family.len() as u128, binomial_u128(n as u64, k as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn family_has_the_prefix_covering_property() {
+        for n in 1..=8usize {
+            for k in 0..=n / 2 {
+                let family = bnk_family(n, k);
+                assert!(
+                    has_prefix_covering_property(&family, n, k),
+                    "B({n},{k}) misses a prefix subset"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn middle_family_exhibits_every_subset_of_every_size_as_prefix() {
+        // Needed for the sorting test set (Theorem 2.2(ii)): with
+        // k = ⌊n/2⌋ and chain-ordered suffixes, *all* sizes are covered.
+        for n in 1..=8usize {
+            let family = bnk_family(n, n / 2);
+            assert!(has_prefix_covering_property(&family, n, n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn testset_size_matches_theorem_2_2_and_2_4() {
+        for n in 2..=8usize {
+            for k in 1..=n {
+                let ts = permutation_testset(n, k);
+                let expected = binomial_u128(n as u64, k.min(n / 2) as u64) - 1;
+                assert_eq!(ts.len() as u128, expected, "n = {n}, k = {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn testset_contains_no_identity_and_no_duplicates() {
+        use std::collections::HashSet;
+        for n in 2..=8usize {
+            let ts = permutation_testset(n, n / 2);
+            let distinct: HashSet<_> = ts.iter().map(|p| p.values().to_vec()).collect();
+            assert_eq!(distinct.len(), ts.len());
+            assert!(ts.iter().all(|p| !p.is_identity()));
+        }
+    }
+
+    #[test]
+    fn sorting_testset_covers_every_unsorted_string() {
+        for n in 2..=9usize {
+            let ts = permutation_testset(n, n / 2);
+            let unsorted: Vec<BitString> = BitString::all_unsorted(n).collect();
+            assert!(covers_all(&ts, &unsorted), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn selector_testset_covers_every_low_weight_unsorted_string() {
+        for n in 2..=8usize {
+            for k in 1..=n {
+                let ts = permutation_testset(n, k);
+                let targets: Vec<BitString> = BitString::all_unsorted(n)
+                    .filter(|s| s.count_zeros() <= k)
+                    .collect();
+                assert!(covers_all(&ts, &targets), "n = {n}, k = {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_inverse_comes_from_the_canonical_chain() {
+        // The chain through {0,…,k−1} is the full chain ∅ ⊂ {0} ⊂ … so its
+        // permutation is the identity — which is exactly the member removed
+        // from the test set.
+        for n in 2..=8usize {
+            let family = bnk_family(n, n / 2);
+            assert!(family.iter().any(Permutation::is_identity));
+        }
+    }
+}

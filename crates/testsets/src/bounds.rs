@@ -1,0 +1,102 @@
+//! The closed-form bounds of the paper gathered in one place, plus the
+//! comparison table behind the Yao remark of §2 (experiment E3).
+
+use serde::{Deserialize, Serialize};
+
+pub use sortnet_combinat::binomial::{
+    merging_testset_size_binary, merging_testset_size_permutation, selector_testset_size_binary,
+    selector_testset_size_permutation, sorting_testset_size_binary,
+    sorting_testset_size_permutation,
+};
+use sortnet_combinat::factorial;
+
+/// One row of the E3 comparison table: how many tests each strategy needs to
+/// certify the sorting property for a given `n`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SortingCostRow {
+    /// Number of input lines.
+    pub n: u64,
+    /// Exhaustive permutation testing: `n!`.
+    pub all_permutations: u128,
+    /// Exhaustive 0/1 testing: `2^n`.
+    pub all_binary: u128,
+    /// Minimum 0/1 test set (Theorem 2.2(i)): `2^n − n − 1`.
+    pub minimal_binary: u128,
+    /// Minimum permutation test set (Theorem 2.2(ii)): `C(n, ⌊n/2⌋) − 1`.
+    pub minimal_permutation: u128,
+}
+
+/// Builds the E3 table for `n` in `2..=max_n`.
+///
+/// # Panics
+/// Panics if `max_n > 34` (factorials overflow `u128` beyond that).
+#[must_use]
+pub fn sorting_cost_table(max_n: u64) -> Vec<SortingCostRow> {
+    assert!(max_n <= 34, "n! overflows u128 beyond n = 34");
+    (2..=max_n)
+        .map(|n| SortingCostRow {
+            n,
+            all_permutations: factorial(n),
+            all_binary: 1u128 << n,
+            minimal_binary: sorting_testset_size_binary(n),
+            minimal_permutation: sorting_testset_size_permutation(n),
+        })
+        .collect()
+}
+
+/// The savings ratio of the permutation test set over the 0/1 test set,
+/// `(2^n − n − 1) / (C(n, ⌊n/2⌋) − 1)`, as a float (the paper notes the
+/// asymptotic gap is a factor of ≈ √(πn/2) / 1).
+#[must_use]
+pub fn permutation_savings_ratio(n: u64) -> f64 {
+    let b = sorting_testset_size_binary(n) as f64;
+    let p = sorting_testset_size_permutation(n) as f64;
+    if p == 0.0 {
+        f64::INFINITY
+    } else {
+        b / p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rows_are_internally_consistent() {
+        for row in sorting_cost_table(20) {
+            assert!(row.minimal_binary < row.all_binary);
+            assert!(row.minimal_permutation <= row.minimal_binary);
+            assert!(row.minimal_permutation < row.all_permutations || row.n <= 2);
+            assert_eq!(row.all_binary - row.minimal_binary, u128::from(row.n) + 1);
+        }
+    }
+
+    #[test]
+    fn quoted_small_values() {
+        let table = sorting_cost_table(6);
+        let row4 = table.iter().find(|r| r.n == 4).unwrap();
+        assert_eq!(row4.minimal_binary, 11);
+        assert_eq!(row4.minimal_permutation, 5);
+        assert_eq!(row4.all_permutations, 24);
+        let row6 = table.iter().find(|r| r.n == 6).unwrap();
+        assert_eq!(row6.minimal_binary, 57);
+        assert_eq!(row6.minimal_permutation, 19);
+    }
+
+    #[test]
+    fn savings_ratio_grows_roughly_like_sqrt_n() {
+        // The paper: C(n, n/2) ≈ 2^{n+1}/√(2πn), so the ratio behaves like
+        // √(πn/2)/2 · 2 ≈ √n up to constants.  Just check monotone growth and
+        // a sane range.
+        let mut prev = 0.0;
+        for n in (4..=30u64).step_by(2) {
+            let r = permutation_savings_ratio(n);
+            assert!(r > 1.0);
+            assert!(r > prev, "ratio must grow with n");
+            prev = r;
+        }
+        let r20 = permutation_savings_ratio(20);
+        assert!(r20 > 4.0 && r20 < 8.0, "ratio at n=20 was {r20}");
+    }
+}

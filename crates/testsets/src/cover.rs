@@ -1,0 +1,131 @@
+//! Covers — the bridge between permutation test sets and 0/1 test sets
+//! (§2 of the paper).
+//!
+//! The *cover* of a permutation π is the set of binary strings obtained by
+//! replacing the `t` largest values of π by 1 and the rest by 0, for every
+//! `t`.  A set of permutations `P` can only be a test set for a property if
+//! the cover of `P` is a test set for the 0/1 alphabet — and for the three
+//! properties studied by the paper the converse holds too, which is how the
+//! permutation bounds are derived.
+
+use std::collections::BTreeSet;
+
+use sortnet_combinat::{BitString, Permutation};
+
+/// The cover of a set of permutations: the union of the individual covers.
+#[must_use]
+pub fn cover_of_set(perms: &[Permutation]) -> BTreeSet<BitString> {
+    perms.iter().flat_map(Permutation::cover).collect()
+}
+
+/// `true` iff some permutation in `perms` covers `target`.
+#[must_use]
+pub fn set_covers(perms: &[Permutation], target: &BitString) -> bool {
+    perms.iter().any(|p| p.covers(target))
+}
+
+/// Returns the strings in `targets` that are *not* covered by any
+/// permutation in `perms` (the witnesses that `perms` is not a test set).
+#[must_use]
+pub fn uncovered<'a>(perms: &[Permutation], targets: impl IntoIterator<Item = &'a BitString>) -> Vec<BitString> {
+    targets
+        .into_iter()
+        .filter(|t| !set_covers(perms, t))
+        .copied()
+        .collect()
+}
+
+/// Builds, for an unsorted binary string σ, *some* permutation whose cover
+/// contains σ: the positions of the 0s of σ receive the values `1..=z` in
+/// increasing position order and the positions of the 1s receive
+/// `z+1..=n`.
+///
+/// This is the constructive half of the observation that every binary
+/// string is covered by at least one permutation.
+#[must_use]
+pub fn covering_permutation(sigma: &BitString) -> Permutation {
+    let n = sigma.len();
+    let mut values = vec![0u8; n];
+    let mut next_small = 0u8;
+    let mut next_large = sigma.count_zeros() as u8;
+    for i in 0..n {
+        if sigma.get(i) {
+            values[i] = next_large;
+            next_large += 1;
+        } else {
+            values[i] = next_small;
+            next_small += 1;
+        }
+    }
+    Permutation::from_values(&values).expect("construction yields a permutation")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covering_permutation_covers_its_string() {
+        for n in 1..=9usize {
+            for sigma in BitString::all(n) {
+                let p = covering_permutation(&sigma);
+                assert!(p.covers(&sigma), "σ = {sigma}, π = {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn covering_permutation_of_sorted_string_is_identity() {
+        for n in 1..=8usize {
+            for z in 0..=n {
+                let sigma = BitString::sorted_with(z, n - z);
+                assert!(covering_permutation(&sigma).is_identity());
+            }
+        }
+    }
+
+    #[test]
+    fn cover_of_set_is_union_of_covers() {
+        let perms: Vec<Permutation> = Permutation::all(4).take(5).collect();
+        let cover = cover_of_set(&perms);
+        for p in &perms {
+            for s in p.cover() {
+                assert!(cover.contains(&s));
+            }
+        }
+        for s in &cover {
+            assert!(set_covers(&perms, s));
+        }
+    }
+
+    #[test]
+    fn paper_example_cover_membership() {
+        let p = Permutation::from_one_based(&[3, 1, 4, 2]).unwrap();
+        assert!(p.covers(&BitString::parse("1010").unwrap()));
+        assert!(p.covers(&BitString::parse("1011").unwrap()));
+        assert!(!p.covers(&BitString::parse("0101").unwrap()));
+    }
+
+    #[test]
+    fn no_permutation_covers_two_strings_of_equal_weight() {
+        // The engine of the paper's permutation lower bounds.
+        for p in Permutation::all(5) {
+            for w in 0..=5usize {
+                let covered = BitString::all_with_weight(5, w)
+                    .filter(|s| p.covers(s))
+                    .count();
+                assert_eq!(covered, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn uncovered_reports_exactly_the_misses() {
+        let perms = vec![Permutation::identity(4)];
+        let targets: Vec<BitString> = BitString::all_unsorted(4).collect();
+        let missed = uncovered(&perms, &targets);
+        // The identity only covers sorted strings, so every unsorted string
+        // is missed.
+        assert_eq!(missed.len(), targets.len());
+    }
+}

@@ -1,0 +1,281 @@
+//! Brute-force minimum-test-set search (experiments E1/E2 at very small n).
+//!
+//! The theorems give exact values by an adversary argument.  As an
+//! independent, construction-free check, this module *searches* for the
+//! smallest test set over a finite adversary pool: enumerate candidate
+//! networks, keep the ones that are not sorters, record which inputs expose
+//! each of them, and solve the resulting minimum hitting-set / set-cover
+//! problem exactly.  If the adversary pool contains (networks equivalent to)
+//! the Lemma 2.1 networks, the optimum of the finite problem equals the
+//! paper's bound; with a weaker pool it can only be smaller — so matching
+//! the bound is meaningful evidence.
+
+use std::collections::BTreeSet;
+
+use rayon::prelude::*;
+
+use sortnet_combinat::{BitString, Permutation};
+use sortnet_network::{Comparator, Network};
+
+use crate::adversary;
+
+/// The failure signature of a non-sorter: the set of unsorted test inputs
+/// that expose it, as a bitmask over `universe` (the list of all unsorted
+/// strings of length `n`, in enumeration order).
+fn failure_mask(network: &Network, universe: &[BitString]) -> u64 {
+    let mut mask = 0u64;
+    for (idx, s) in universe.iter().enumerate() {
+        if !network.apply_bits(s).is_sorted() {
+            mask |= 1 << idx;
+        }
+    }
+    mask
+}
+
+/// Enumerates every standard network on `n` lines with at most `max_size`
+/// comparators, plus the Lemma 2.1 adversaries, and returns the set of
+/// distinct failure signatures of the non-sorters among them.
+///
+/// # Panics
+/// Panics if the universe of unsorted strings exceeds 64 (i.e. `n > 6`), or
+/// if the enumeration would exceed ~20 million networks.
+#[must_use]
+pub fn failure_signatures(n: usize, max_size: usize) -> Vec<u64> {
+    let universe: Vec<BitString> = BitString::all_unsorted(n).collect();
+    assert!(
+        universe.len() <= 64,
+        "failure masks use u64; n = {n} has {} unsorted strings",
+        universe.len()
+    );
+    let alphabet: Vec<Comparator> = (0..n)
+        .flat_map(|a| (a + 1..n).map(move |b| Comparator::new(a, b)))
+        .collect();
+    let total: u64 = (0..=max_size as u32)
+        .map(|s| (alphabet.len() as u64).pow(s))
+        .sum();
+    assert!(total <= 20_000_000, "enumerating {total} networks refused");
+
+    let mut signatures: BTreeSet<u64> = (0..=max_size)
+        .into_par_iter()
+        .flat_map_iter(|size| NetworkCounter::new(alphabet.clone(), n, size))
+        .map(|net| failure_mask(&net, &universe))
+        .filter(|&m| m != 0)
+        .collect::<Vec<u64>>()
+        .into_iter()
+        .collect();
+
+    // Always include the Lemma 2.1 adversaries themselves so the finite
+    // problem is at least as hard as the paper's argument requires.
+    for sigma in &universe {
+        let h = adversary::adversary(sigma);
+        signatures.insert(failure_mask(&h, &universe));
+    }
+    signatures.into_iter().collect()
+}
+
+/// Iterator over all networks of a fixed size over a fixed comparator
+/// alphabet (mixed-radix counter).
+struct NetworkCounter {
+    alphabet: Vec<Comparator>,
+    lines: usize,
+    digits: Vec<usize>,
+    size: usize,
+    done: bool,
+}
+
+impl NetworkCounter {
+    fn new(alphabet: Vec<Comparator>, lines: usize, size: usize) -> Self {
+        Self {
+            alphabet,
+            lines,
+            digits: vec![0; size],
+            size,
+            done: false,
+        }
+    }
+}
+
+impl Iterator for NetworkCounter {
+    type Item = Network;
+
+    fn next(&mut self) -> Option<Network> {
+        if self.done {
+            return None;
+        }
+        let net = Network::from_comparators(
+            self.lines,
+            self.digits.iter().map(|&d| self.alphabet[d]).collect(),
+        );
+        // Increment the mixed-radix counter.
+        let mut i = 0;
+        loop {
+            if i == self.size {
+                self.done = true;
+                break;
+            }
+            self.digits[i] += 1;
+            if self.digits[i] < self.alphabet.len() {
+                break;
+            }
+            self.digits[i] = 0;
+            i += 1;
+        }
+        Some(net)
+    }
+}
+
+/// Exact minimum hitting set: the smallest number of unsorted test strings
+/// needed so that every failure signature contains at least one of them.
+///
+/// Solved by breadth-first search over subset sizes with memoised pruning —
+/// the universes involved (≤ 26 strings for n ≤ 5) keep this cheap because
+/// the answer is forced: every singleton signature `{σ}` must be hit by σ
+/// itself.
+#[must_use]
+pub fn minimum_hitting_set_size(signatures: &[u64], universe_size: usize) -> usize {
+    // Forced elements: signatures that are singletons.
+    let mut forced: u64 = 0;
+    for &s in signatures {
+        if s.count_ones() == 1 {
+            forced |= s;
+        }
+    }
+    let remaining: Vec<u64> = signatures
+        .iter()
+        .copied()
+        .filter(|s| s & forced == 0)
+        .collect();
+    if remaining.is_empty() {
+        return forced.count_ones() as usize;
+    }
+    // Greedy upper bound followed by exact search over the few unforced
+    // elements (in the paper's setting `remaining` is empty, but keep the
+    // solver honest for weaker adversary pools).
+    let free: Vec<usize> = (0..universe_size).filter(|&i| forced & (1 << i) == 0).collect();
+    for extra in 0..=free.len() {
+        if let Some(count) = try_cover(&remaining, &free, extra, 0, 0) {
+            return forced.count_ones() as usize + count;
+        }
+    }
+    forced.count_ones() as usize + free.len()
+}
+
+fn try_cover(signatures: &[u64], free: &[usize], budget: usize, start: usize, chosen: u64) -> Option<usize> {
+    if signatures.iter().all(|&s| s & chosen != 0) {
+        return Some(chosen.count_ones() as usize);
+    }
+    if budget == 0 {
+        return None;
+    }
+    for (offset, &elem) in free.iter().enumerate().skip(start) {
+        let next = chosen | (1 << elem);
+        if let Some(c) = try_cover(signatures, free, budget - 1, offset + 1, next) {
+            return Some(c);
+        }
+    }
+    None
+}
+
+/// Exact minimum *permutation* test set size for sorting at small `n`,
+/// found by set cover: choose the fewest permutations whose covers include
+/// every unsorted string.
+///
+/// # Panics
+/// Panics if `n > 5` (the DP is over `2^(2^n − n − 1)` masks).
+#[must_use]
+pub fn minimum_permutation_testset_size(n: usize) -> usize {
+    assert!(n <= 5, "set-cover DP refused beyond n = 5");
+    let universe: Vec<BitString> = BitString::all_unsorted(n).collect();
+    let m = universe.len();
+    let full: u64 = if m == 64 { u64::MAX } else { (1u64 << m) - 1 };
+    let covers: Vec<u64> = Permutation::all(n)
+        .map(|p| {
+            let mut mask = 0u64;
+            for (i, s) in universe.iter().enumerate() {
+                if p.covers(s) {
+                    mask |= 1 << i;
+                }
+            }
+            mask
+        })
+        .filter(|&m| m != 0)
+        .collect();
+    // BFS over number of permutations used.
+    let mut reachable: BTreeSet<u64> = BTreeSet::new();
+    reachable.insert(0);
+    for count in 1..=covers.len() {
+        let mut next: BTreeSet<u64> = BTreeSet::new();
+        for &r in &reachable {
+            for &c in &covers {
+                let merged = r | c;
+                if merged == full {
+                    return count;
+                }
+                next.insert(merged);
+            }
+        }
+        reachable = next;
+    }
+    covers.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sortnet_combinat::binomial::{
+        sorting_testset_size_binary, sorting_testset_size_permutation,
+    };
+
+    #[test]
+    fn exhaustive_search_confirms_theorem_2_2_i_for_n_3() {
+        let signatures = failure_signatures(3, 4);
+        let minimum = minimum_hitting_set_size(&signatures, 4);
+        assert_eq!(minimum as u128, sorting_testset_size_binary(3));
+    }
+
+    #[test]
+    fn exhaustive_search_confirms_theorem_2_2_i_for_n_4() {
+        let signatures = failure_signatures(4, 4);
+        let minimum = minimum_hitting_set_size(&signatures, 11);
+        assert_eq!(minimum as u128, sorting_testset_size_binary(4));
+    }
+
+    #[test]
+    fn set_cover_confirms_theorem_2_2_ii_for_small_n() {
+        for n in 2..=4usize {
+            assert_eq!(
+                minimum_permutation_testset_size(n) as u128,
+                sorting_testset_size_permutation(n as u64),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn adversary_signatures_are_singletons() {
+        // Each Lemma 2.1 network is exposed by exactly one test input, which
+        // is what forces the hitting set to contain everything.
+        let universe: Vec<BitString> = BitString::all_unsorted(5).collect();
+        for (i, sigma) in universe.iter().enumerate() {
+            let h = adversary::adversary(sigma);
+            assert_eq!(failure_mask(&h, &universe), 1 << i);
+        }
+    }
+
+    #[test]
+    fn hitting_set_solver_handles_non_forced_instances() {
+        // {a,b}, {b,c}, {a,c}: optimum is 2.
+        let signatures = vec![0b011, 0b110, 0b101];
+        assert_eq!(minimum_hitting_set_size(&signatures, 3), 2);
+        // Adding a singleton forces that element and reduces the rest.
+        let signatures = vec![0b011, 0b110, 0b101, 0b001];
+        assert_eq!(minimum_hitting_set_size(&signatures, 3), 2);
+    }
+
+    #[test]
+    fn network_counter_enumerates_the_expected_number() {
+        let alphabet: Vec<Comparator> = vec![Comparator::new(0, 1), Comparator::new(1, 2)];
+        let nets: Vec<Network> = NetworkCounter::new(alphabet, 3, 3).collect();
+        assert_eq!(nets.len(), 8);
+    }
+}

@@ -1,0 +1,91 @@
+//! # sortnet-testsets
+//!
+//! Reproduction of the results of **M. J. Chung and B. Ravikumar, "Bounds on
+//! the size of test sets for sorting and related networks"** (ICPP 1987 /
+//! Discrete Mathematics 81, 1990): the exact minimum number of test inputs
+//! needed to decide, from input/output behaviour alone, whether an arbitrary
+//! comparator network sorts, selects, or merges.
+//!
+//! | property | 0/1 inputs | permutation inputs |
+//! |---|---|---|
+//! | sorter (Thm 2.2) | `2^n − n − 1` | `C(n, ⌊n/2⌋) − 1` |
+//! | `(k,n)`-selector (Thm 2.4) | `Σ_{i≤k} C(n,i) − k − 1` | `C(n, min(⌊n/2⌋,k)) − 1` |
+//! | `(n/2,n/2)`-merger (Thm 2.5) | `n²/4` | `n/2` |
+//! | height-1 sorter (§3) | `n − 1` | `1` |
+//!
+//! The crate provides, for each property: the optimal test sets themselves,
+//! exact *is-a-test-set* criteria, test-set-driven verifiers with failure
+//! witnesses, the adversary networks of Lemma 2.1 that make every test
+//! necessary, and brute-force searches that re-derive the bounds at small
+//! `n` without using the theory.
+//!
+//! ## Module map
+//!
+//! * [`zero_one`] — the zero–one principle and its per-permutation
+//!   refinement (the correctness backbone);
+//! * [`cover`] — covers of permutations, the bridge between the two input
+//!   alphabets;
+//! * [`adversary`] — Lemma 2.1: for every unsorted σ, a network sorting
+//!   everything except σ (compact and paper-layout constructions);
+//! * [`bnk`] — the `B(n, k)` prefix-covering permutation family (via
+//!   symmetric chain decompositions) and the optimal permutation test sets;
+//! * [`sorting`], [`selector`], [`merging`] — Theorems 2.2, 2.4, 2.5:
+//!   test sets, exact criteria, verifiers, closed-form bounds;
+//! * [`primitive`] — §3: the single-test criterion for height-1 networks;
+//! * [`hitting`] — brute-force minimum-test-set search (independent
+//!   confirmation at small `n`);
+//! * [`bounds`] — the closed forms and the Yao comparison table;
+//! * [`verify`] — a unified verification front end used by the examples and
+//!   benchmarks.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use sortnet_combinat::BitString;
+//! use sortnet_network::builders::batcher::odd_even_merge_sort;
+//! use sortnet_testsets::{adversary, sorting};
+//!
+//! // Batcher's 8-line sorter passes the minimal permutation test set…
+//! let batcher = odd_even_merge_sort(8);
+//! assert!(sorting::verify_sorter_permutations(&batcher).passed);
+//!
+//! // …and every unsorted string is genuinely needed: the Lemma 2.1
+//! // adversary for σ sorts everything except σ.
+//! let sigma = BitString::parse("10100110").unwrap();
+//! let h = adversary::adversary(&sigma);
+//! assert!(adversary::fails_exactly_on(&h, &sigma));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod bnk;
+pub mod bounds;
+pub mod cover;
+pub mod decision;
+pub mod hitting;
+pub mod merging;
+pub mod primitive;
+pub mod selector;
+pub mod sorting;
+pub mod verify;
+pub mod zero_one;
+
+pub use adversary::{adversary_network, AdversaryVariant};
+pub use verify::{Property, Report, Strategy};
+
+#[cfg(test)]
+mod tests {
+    use sortnet_combinat::BitString;
+    use sortnet_network::builders::batcher::odd_even_merge_sort;
+
+    #[test]
+    fn doc_example_holds() {
+        let batcher = odd_even_merge_sort(8);
+        assert!(crate::sorting::verify_sorter_permutations(&batcher).passed);
+        let sigma = BitString::parse("10100110").unwrap();
+        let h = crate::adversary::adversary(&sigma);
+        assert!(crate::adversary::fails_exactly_on(&h, &sigma));
+    }
+}

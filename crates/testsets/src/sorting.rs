@@ -1,0 +1,277 @@
+//! Theorem 2.2 — minimum test sets for the **sorting** property.
+//!
+//! * 0/1 inputs: the minimum test set is the set of all non-sorted strings;
+//!   its size is exactly `2^n − n − 1`.
+//! * permutation inputs: the minimum test set has size `C(n, ⌊n/2⌋) − 1`;
+//!   an optimal one is built from the `B(n, ⌊n/2⌋)` family
+//!   ([`crate::bnk::permutation_testset`]).
+//!
+//! This module provides the test sets themselves, the exact
+//! necessary-and-sufficient criteria for *being* a test set (via Lemma 2.1),
+//! and test-set–driven verification of candidate networks.
+
+use sortnet_combinat::{BitString, Permutation};
+use sortnet_network::bitparallel::failing_inputs_from;
+use sortnet_network::Network;
+
+use crate::adversary;
+use crate::bnk;
+
+/// The minimum 0/1 test set for sorting: every non-sorted string of
+/// length `n` (Theorem 2.2(i)); `2^n − n − 1` strings.
+///
+/// # Panics
+/// Panics if `n ≥ 26`.
+#[must_use]
+pub fn binary_testset(n: usize) -> Vec<BitString> {
+    assert!(n < 26, "materialising 2^{n} strings refused");
+    BitString::all_unsorted(n).collect()
+}
+
+/// An optimal permutation test set for sorting: `C(n, ⌊n/2⌋) − 1`
+/// permutations (Theorem 2.2(ii)).
+#[must_use]
+pub fn permutation_testset(n: usize) -> Vec<Permutation> {
+    bnk::permutation_testset(n, n / 2)
+}
+
+/// Exact criterion (necessity by Lemma 2.1, sufficiency by the zero–one
+/// principle): a set of binary strings is a test set for sorting **iff** it
+/// contains every non-sorted string of length `n`.
+#[must_use]
+pub fn is_binary_testset(candidate: &[BitString], n: usize) -> bool {
+    use std::collections::HashSet;
+    let have: HashSet<u64> = candidate
+        .iter()
+        .filter(|s| s.len() == n)
+        .map(BitString::word)
+        .collect();
+    BitString::all_unsorted(n).all(|s| have.contains(&s.word()))
+}
+
+/// Exact criterion for permutations: a set of permutations is a test set for
+/// sorting **iff** its cover contains every non-sorted string (necessity by
+/// Lemma 2.1; sufficiency by the refined zero–one principle).
+#[must_use]
+pub fn is_permutation_testset(candidate: &[Permutation], n: usize) -> bool {
+    candidate.iter().all(|p| p.len() == n)
+        && BitString::all_unsorted(n).all(|s| crate::cover::set_covers(candidate, &s))
+}
+
+/// Verdict of a test-set–driven verification run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Verdict {
+    /// `true` when the network passed every test.
+    pub passed: bool,
+    /// Number of test inputs evaluated.
+    pub tests_run: usize,
+    /// A failing input, if one was found (as a binary string, possibly the
+    /// thresholding of a failing permutation).
+    pub witness: Option<BitString>,
+}
+
+/// Decides whether `network` is a sorter using the minimum 0/1 test set.
+///
+/// Sound and complete: the test set contains every non-sorted string, so a
+/// pass certifies the sorting property by the zero–one principle; a failure
+/// returns a concrete witness.
+#[must_use]
+pub fn verify_sorter_binary(network: &Network) -> Verdict {
+    let tests = binary_testset(network.lines());
+    let failures = failing_inputs_from(network, &tests);
+    Verdict {
+        passed: failures.is_empty(),
+        tests_run: tests.len(),
+        witness: failures.into_iter().next(),
+    }
+}
+
+/// Decides whether `network` is a sorter using the optimal permutation test
+/// set (Theorem 2.2(ii)).  Sound and complete for standard networks.
+#[must_use]
+pub fn verify_sorter_permutations(network: &Network) -> Verdict {
+    let n = network.lines();
+    let tests = permutation_testset(n);
+    let tests_run = tests.len();
+    for p in &tests {
+        let out = network.apply_permutation(p);
+        if !out.is_identity() {
+            // Report the lowest threshold of the cover that is not sorted,
+            // as a binary witness comparable with the 0/1 verifier.
+            let witness = p
+                .cover()
+                .into_iter()
+                .find(|s| !network.apply_bits(s).is_sorted());
+            return Verdict {
+                passed: false,
+                tests_run,
+                witness,
+            };
+        }
+    }
+    Verdict {
+        passed: true,
+        tests_run,
+        witness: None,
+    }
+}
+
+/// The paper's lower-bound witness family for permutation test sets
+/// (Theorem 2.2(ii)): the strings of weight `⌊n/2⌋` other than the sorted
+/// one.  No permutation covers two of them, and each must be covered, so any
+/// permutation test set has at least `C(n, ⌊n/2⌋) − 1` members.
+#[must_use]
+pub fn permutation_lower_bound_witnesses(n: usize) -> Vec<BitString> {
+    BitString::all_with_weight(n, n - n / 2)
+        .filter(|s| !s.is_sorted())
+        .collect()
+}
+
+/// The Theorem 2.2 closed forms, bundled for the experiment tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SortingBounds {
+    /// Input length.
+    pub n: u64,
+    /// `2^n − n − 1`.
+    pub binary: u128,
+    /// `C(n, ⌊n/2⌋) − 1`.
+    pub permutation: u128,
+    /// `n!`, the naive permutation-exhaustive count.
+    pub exhaustive_permutations: u128,
+}
+
+/// Computes the Theorem 2.2 closed forms for a given `n`.
+#[must_use]
+pub fn bounds(n: u64) -> SortingBounds {
+    SortingBounds {
+        n,
+        binary: sortnet_combinat::binomial::sorting_testset_size_binary(n),
+        permutation: sortnet_combinat::binomial::sorting_testset_size_permutation(n),
+        exhaustive_permutations: sortnet_combinat::factorial(n),
+    }
+}
+
+/// Demonstrates the necessity half of Theorem 2.2(i) constructively: for the
+/// given non-sorted σ, returns the adversary network that would slip through
+/// any test set omitting σ.
+#[must_use]
+pub fn necessity_witness(sigma: &BitString) -> Network {
+    adversary::adversary(sigma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sortnet_combinat::binomial;
+    use sortnet_network::builders::batcher::odd_even_merge_sort;
+    use sortnet_network::builders::transposition::odd_even_transposition;
+
+    #[test]
+    fn binary_testset_has_the_theorem_2_2_size() {
+        for n in 1..=12usize {
+            assert_eq!(
+                binary_testset(n).len() as u128,
+                sortnet_combinat::binomial::sorting_testset_size_binary(n as u64)
+            );
+        }
+    }
+
+    #[test]
+    fn permutation_testset_has_the_theorem_2_2_size() {
+        for n in 2..=9usize {
+            assert_eq!(
+                permutation_testset(n).len() as u64,
+                binomial(n as u64, (n / 2) as u64) - 1
+            );
+        }
+    }
+
+    #[test]
+    fn both_testsets_satisfy_their_exact_criteria() {
+        for n in 2..=9usize {
+            assert!(is_binary_testset(&binary_testset(n), n));
+            assert!(is_permutation_testset(&permutation_testset(n), n));
+        }
+    }
+
+    #[test]
+    fn dropping_any_string_invalidates_the_binary_testset() {
+        let n = 6;
+        let full = binary_testset(n);
+        for omit in 0..full.len() {
+            let mut reduced = full.clone();
+            let sigma = reduced.remove(omit);
+            assert!(!is_binary_testset(&reduced, n));
+            // And here is the adversary that would slip through:
+            let h = necessity_witness(&sigma);
+            let verdict_on_reduced = failing_inputs_from(&h, &reduced);
+            assert!(verdict_on_reduced.is_empty(), "H_σ must pass the reduced set");
+            assert!(!verify_sorter_binary(&h).passed, "H_σ is not a sorter");
+        }
+    }
+
+    #[test]
+    fn verifiers_agree_with_the_exhaustive_oracle() {
+        for n in 2..=7usize {
+            let good = odd_even_merge_sort(n);
+            assert!(verify_sorter_binary(&good).passed);
+            assert!(verify_sorter_permutations(&good).passed);
+            for rounds in 0..n {
+                let bad = odd_even_transposition(n, rounds);
+                let oracle = sortnet_network::properties::is_sorter(&bad);
+                assert_eq!(verify_sorter_binary(&bad).passed, oracle, "n={n} rounds={rounds}");
+                assert_eq!(
+                    verify_sorter_permutations(&bad).passed,
+                    oracle,
+                    "n={n} rounds={rounds}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn failed_verification_returns_a_genuine_witness() {
+        let bad = Network::empty(6);
+        let v = verify_sorter_binary(&bad);
+        assert!(!v.passed);
+        let w = v.witness.unwrap();
+        assert!(!bad.apply_bits(&w).is_sorted());
+
+        let vp = verify_sorter_permutations(&bad);
+        assert!(!vp.passed);
+        let wp = vp.witness.unwrap();
+        assert!(!bad.apply_bits(&wp).is_sorted());
+    }
+
+    #[test]
+    fn permutation_verifier_uses_far_fewer_tests() {
+        for n in 4..=9usize {
+            let b = verify_sorter_binary(&odd_even_merge_sort(n)).tests_run;
+            let p = verify_sorter_permutations(&odd_even_merge_sort(n)).tests_run;
+            assert!(p < b, "n = {n}: {p} permutation tests vs {b} binary tests");
+        }
+    }
+
+    #[test]
+    fn lower_bound_witnesses_have_equal_weight_and_count() {
+        for n in (2..=10usize).step_by(2) {
+            let w = permutation_lower_bound_witnesses(n);
+            assert_eq!(w.len() as u64, binomial(n as u64, (n / 2) as u64) - 1);
+            assert!(w.iter().all(|s| s.count_ones() == n - n / 2 && !s.is_sorted()));
+            // No permutation covers two strings of the same weight, so any
+            // permutation test set needs at least |w| members.
+            for p in Permutation::all(n.min(6)) {
+                let covered = w.iter().filter(|s| p.covers(s)).count();
+                assert!(covered <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_struct_matches_direct_formulas() {
+        let b = bounds(10);
+        assert_eq!(b.binary, 1013);
+        assert_eq!(b.permutation, 251);
+        assert_eq!(b.exhaustive_permutations, 3_628_800);
+    }
+}

@@ -1,0 +1,221 @@
+//! A unified, test-set-driven verification front end.
+//!
+//! The decision problems of the paper's introduction — "is this network a
+//! sorter / a (k, n)-selector / a merging network?" — are answered here by
+//! three interchangeable strategies whose costs are exactly the quantities
+//! the theorems bound:
+//!
+//! | strategy | #tests for sorting | #tests for (k,n)-selection | #tests for merging |
+//! |---|---|---|---|
+//! | [`Strategy::Exhaustive`] | `2^n` | `2^n` | `(n/2+1)²` |
+//! | [`Strategy::MinimalBinary`] | `2^n − n − 1` | `Σ_{i≤k}C(n,i) − k − 1` | `n²/4` |
+//! | [`Strategy::Permutation`] | `C(n,⌊n/2⌋) − 1` | `C(n,min(k,⌊n/2⌋)) − 1` | `n/2` |
+//!
+//! All three are sound and complete for standard networks; the experiment
+//! harness (E9) measures their relative cost.
+
+use serde::{Deserialize, Serialize};
+
+use sortnet_combinat::BitString;
+use sortnet_network::bitparallel::{self, ParallelismHint};
+use sortnet_network::properties;
+use sortnet_network::Network;
+
+use crate::{merging, selector, sorting};
+
+/// Which property to verify.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Property {
+    /// Full sorting (Theorem 2.2).
+    Sorter,
+    /// `(k, n)`-selection (Theorem 2.4).
+    Selector {
+        /// Number of leading outputs that must be correct.
+        k: usize,
+    },
+    /// `(n/2, n/2)`-merging (Theorem 2.5).
+    Merger,
+}
+
+/// Which family of test inputs to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Strategy {
+    /// All `2^n` binary inputs (the zero–one principle baseline).
+    Exhaustive,
+    /// The paper's minimum 0/1 test set for the property.
+    #[default]
+    MinimalBinary,
+    /// The paper's optimal permutation test set for the property.
+    Permutation,
+}
+
+/// Outcome of a verification run.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Report {
+    /// The property that was checked.
+    pub property: Property,
+    /// The strategy that was used.
+    pub strategy: Strategy,
+    /// `true` when the network has the property.
+    pub passed: bool,
+    /// Number of test inputs evaluated (the quantity the paper bounds).
+    pub tests_run: usize,
+    /// A binary input witnessing failure, when `passed` is false.
+    pub witness: Option<BitString>,
+}
+
+/// Verifies `property` for `network` with the chosen `strategy`.
+///
+/// # Panics
+/// Panics on malformed parameters (odd `n` for merging, `k > n`, or sizes
+/// too large for exhaustive enumeration).
+#[must_use]
+pub fn verify(network: &Network, property: Property, strategy: Strategy) -> Report {
+    let n = network.lines();
+    let (passed, tests_run, witness) = match (property, strategy) {
+        (Property::Sorter, Strategy::Exhaustive) => {
+            let witness = bitparallel::find_unsorted_input(network, ParallelismHint::Rayon);
+            (witness.is_none(), 1usize << n, witness)
+        }
+        (Property::Sorter, Strategy::MinimalBinary) => {
+            let v = sorting::verify_sorter_binary(network);
+            (v.passed, v.tests_run, v.witness)
+        }
+        (Property::Sorter, Strategy::Permutation) => {
+            let v = sorting::verify_sorter_permutations(network);
+            (v.passed, v.tests_run, v.witness)
+        }
+        (Property::Selector { k }, Strategy::Exhaustive) => {
+            let passed = properties::is_selector(network, k);
+            let witness = (!passed)
+                .then(|| {
+                    BitString::all(n).find(|s| {
+                        !properties::selects_correctly(s, &network.apply_bits(s), k)
+                    })
+                })
+                .flatten();
+            (passed, 1usize << n, witness)
+        }
+        (Property::Selector { k }, Strategy::MinimalBinary) => {
+            let v = selector::verify_selector_binary(network, k);
+            (v.passed, v.tests_run, v.witness)
+        }
+        (Property::Selector { k }, Strategy::Permutation) => {
+            let v = selector::verify_selector_permutations(network, k);
+            (v.passed, v.tests_run, v.witness)
+        }
+        (Property::Merger, Strategy::Exhaustive) => {
+            let passed = properties::is_merger(network);
+            let half = n / 2;
+            let witness = (!passed)
+                .then(|| {
+                    merging::binary_testset(n)
+                        .into_iter()
+                        .find(|s| !network.apply_bits(s).is_sorted())
+                })
+                .flatten();
+            (passed, (half + 1) * (half + 1), witness)
+        }
+        (Property::Merger, Strategy::MinimalBinary) => {
+            let v = merging::verify_merger_binary(network);
+            (v.passed, v.tests_run, v.witness)
+        }
+        (Property::Merger, Strategy::Permutation) => {
+            let v = merging::verify_merger_permutations(network);
+            (v.passed, v.tests_run, v.witness)
+        }
+    };
+    Report {
+        property,
+        strategy,
+        passed,
+        tests_run,
+        witness,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sortnet_network::builders::batcher::{half_half_merger, odd_even_merge_sort};
+    use sortnet_network::builders::selection::pruned_selector;
+    use sortnet_network::random::NetworkSampler;
+
+    const STRATEGIES: [Strategy; 3] = [
+        Strategy::Exhaustive,
+        Strategy::MinimalBinary,
+        Strategy::Permutation,
+    ];
+
+    #[test]
+    fn all_strategies_agree_on_structured_networks() {
+        let n = 8;
+        let sorter = odd_even_merge_sort(n);
+        let merger = half_half_merger(n);
+        let selector3 = pruned_selector(n, 3);
+        for strategy in STRATEGIES {
+            assert!(verify(&sorter, Property::Sorter, strategy).passed);
+            assert!(verify(&sorter, Property::Merger, strategy).passed);
+            assert!(verify(&sorter, Property::Selector { k: 3 }, strategy).passed);
+            assert!(verify(&merger, Property::Merger, strategy).passed);
+            assert!(!verify(&merger, Property::Sorter, strategy).passed);
+            assert!(verify(&selector3, Property::Selector { k: 3 }, strategy).passed);
+            assert!(!verify(&selector3, Property::Sorter, strategy).passed);
+        }
+    }
+
+    #[test]
+    fn all_strategies_agree_on_random_networks() {
+        let mut sampler = NetworkSampler::new(17);
+        for _ in 0..10 {
+            let net = sampler.network(6, 8);
+            for property in [Property::Sorter, Property::Selector { k: 2 }, Property::Merger] {
+                let verdicts: Vec<bool> = STRATEGIES
+                    .iter()
+                    .map(|&s| verify(&net, property, s).passed)
+                    .collect();
+                assert!(
+                    verdicts.windows(2).all(|w| w[0] == w[1]),
+                    "strategies disagree on {net} for {property:?}: {verdicts:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tests_run_matches_the_paper_bounds() {
+        let n = 8u64;
+        let net = odd_even_merge_sort(n as usize);
+        assert_eq!(
+            verify(&net, Property::Sorter, Strategy::MinimalBinary).tests_run as u128,
+            sortnet_combinat::binomial::sorting_testset_size_binary(n)
+        );
+        assert_eq!(
+            verify(&net, Property::Sorter, Strategy::Permutation).tests_run as u128,
+            sortnet_combinat::binomial::sorting_testset_size_permutation(n)
+        );
+        assert_eq!(
+            verify(&net, Property::Selector { k: 2 }, Strategy::MinimalBinary).tests_run as u128,
+            sortnet_combinat::binomial::selector_testset_size_binary(n, 2)
+        );
+        assert_eq!(
+            verify(&net, Property::Merger, Strategy::MinimalBinary).tests_run as u128,
+            sortnet_combinat::binomial::merging_testset_size_binary(n)
+        );
+        assert_eq!(
+            verify(&net, Property::Merger, Strategy::Permutation).tests_run as u128,
+            sortnet_combinat::binomial::merging_testset_size_permutation(n)
+        );
+    }
+
+    #[test]
+    fn witnesses_are_reported_and_genuine() {
+        let bad = Network::empty(6);
+        for strategy in STRATEGIES {
+            let report = verify(&bad, Property::Sorter, strategy);
+            assert!(!report.passed);
+            let w = report.witness.expect("failure must carry a witness");
+            assert!(!bad.apply_bits(&w).is_sorted());
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Print the paper's minimal test sets for small n — the objects behind
+//! Theorems 2.2, 2.4 and 2.5 — and demonstrate their minimality via the
+//! Lemma 2.1 adversaries.
+//!
+//! ```text
+//! cargo run -p sortnet-cli --example minimal_testsets
+//! ```
+
+use sortnet_combinat::binomial::{
+    merging_testset_size_permutation, sorting_testset_size_binary,
+    sorting_testset_size_permutation,
+};
+use sortnet_testsets::{adversary, merging, selector, sorting};
+
+fn main() {
+    let n = 5;
+
+    println!("== Theorem 2.2(i): minimal 0/1 test set for sorting, n = {n} ==");
+    let binary = sorting::binary_testset(n);
+    println!(
+        "{} strings (formula 2^n - n - 1 = {}):",
+        binary.len(),
+        sorting_testset_size_binary(n as u64)
+    );
+    for chunk in binary.chunks(9) {
+        let row: Vec<String> = chunk.iter().map(ToString::to_string).collect();
+        println!("  {}", row.join("  "));
+    }
+
+    println!("\n== Theorem 2.2(ii): minimal permutation test set for sorting, n = {n} ==");
+    let perms = sorting::permutation_testset(n);
+    println!(
+        "{} permutations (formula C(n,⌊n/2⌋) - 1 = {}):",
+        perms.len(),
+        sorting_testset_size_permutation(n as u64)
+    );
+    for p in &perms {
+        println!("  {p}");
+    }
+
+    println!("\n== Minimality: every string is needed (Lemma 2.1) ==");
+    let sigma = binary[binary.len() / 2];
+    let h = adversary::adversary(&sigma);
+    println!("Take σ = {sigma}. The adversary H_σ = {h}");
+    println!("  H_σ(σ) = {} — not sorted, yet H_σ sorts every other input,", h.apply_bits(&sigma));
+    println!("  so any test set omitting σ accepts a non-sorter.");
+
+    let k = 2;
+    println!("\n== Theorem 2.4: (k,n)-selector test set, k = {k}, n = {n} ==");
+    let sel = selector::binary_testset(n, k);
+    println!("{} strings (all unsorted strings with at most {k} zeros):", sel.len());
+    for chunk in sel.chunks(9) {
+        let row: Vec<String> = chunk.iter().map(ToString::to_string).collect();
+        println!("  {}", row.join("  "));
+    }
+
+    let m = 8;
+    println!("\n== Theorem 2.5: (n/2,n/2)-merging test sets, n = {m} ==");
+    let merge_binary = merging::binary_testset(m);
+    println!("0/1 test set: {} strings (n²/4 = {})", merge_binary.len(), m * m / 4);
+    let merge_perms = merging::permutation_testset(m);
+    println!(
+        "permutation test set: {} permutations (n/2 = {}):",
+        merge_perms.len(),
+        merging_testset_size_permutation(m as u64)
+    );
+    for p in &merge_perms {
+        println!("  {p}");
+    }
+}

@@ -1,0 +1,61 @@
+//! Certify a family of classical networks (and some near-misses) as
+//! sorters / non-sorters using the paper's minimal test sets, and compare
+//! how many tests each strategy needs (Theorem 2.2, Yao's remark).
+//!
+//! ```text
+//! cargo run -p sortnet-cli --example verify_batcher --release
+//! ```
+
+use sortnet_network::builders::batcher::{odd_even_merge_sort, odd_even_merge_sort_recursive};
+use sortnet_network::builders::bitonic::{bitonic_sorter_standardised, bitonic_sorter};
+use sortnet_network::builders::bubble::{bubble_sort_network, insertion_sort_network};
+use sortnet_network::builders::transposition::odd_even_transposition;
+use sortnet_network::Network;
+use sortnet_testsets::verify::{verify, Property, Strategy};
+
+fn check(label: &str, net: &Network) {
+    let exhaustive = verify(net, Property::Sorter, Strategy::Exhaustive);
+    let minimal = verify(net, Property::Sorter, Strategy::MinimalBinary);
+    let permutation = verify(net, Property::Sorter, Strategy::Permutation);
+    assert_eq!(exhaustive.passed, minimal.passed);
+    assert_eq!(exhaustive.passed, permutation.passed);
+    println!(
+        "{label:<42} sorter={:<5}  size={:<4} depth={:<3} tests: 2^n={:<6} minimal={:<6} perm={}",
+        exhaustive.passed,
+        net.size(),
+        net.depth(),
+        exhaustive.tests_run,
+        minimal.tests_run,
+        permutation.tests_run,
+    );
+    if let Some(w) = minimal.witness {
+        println!("{:<42}   first failing input: {w}", "");
+    }
+}
+
+fn main() {
+    let n = 10;
+    println!("Verifying classical networks on {n} lines with all three strategies\n");
+    check("Batcher merge-exchange", &odd_even_merge_sort(n));
+    check("Batcher odd-even merge sort (recursive)", &odd_even_merge_sort_recursive(n));
+    check("bubble sort (primitive)", &bubble_sort_network(n));
+    check("insertion sort (primitive)", &insertion_sort_network(n));
+    check("odd-even transposition, n rounds", &odd_even_transposition(n, n));
+    check("odd-even transposition, n-1 rounds", &odd_even_transposition(n, n - 1));
+    check("odd-even transposition, n-2 rounds", &odd_even_transposition(n, n - 2));
+    check(
+        "Batcher merge-exchange minus one comparator",
+        &odd_even_merge_sort(n).without_comparator(7),
+    );
+
+    let n_pow2 = 8;
+    println!("\nNon-standard networks ({n_pow2} lines): the paper's model excludes these,");
+    println!("but standardisation (Knuth ex. 5.3.4-16) brings them back in scope.\n");
+    let bitonic = bitonic_sorter(n_pow2);
+    println!(
+        "bitonic sorter: standard = {}, sorter (exhaustive oracle) = {}",
+        bitonic.is_standard(),
+        verify(&bitonic, Property::Sorter, Strategy::Exhaustive).passed
+    );
+    check("bitonic sorter, standardised", &bitonic_sorter_standardised(n_pow2));
+}

@@ -1,0 +1,100 @@
+//! Integration test for the §1 VLSI-testing motivation (experiment E10):
+//! the paper's minimal sorting test set achieves full single-fault coverage
+//! on classical sorters, while small random samples do not.
+
+use sortnet_combinat::BitString;
+use sortnet_faults::{coverage_of_tests, enumerate_faults, Fault, FaultKind};
+use sortnet_faults::simulate::{detects, faulty_apply_bits, is_fault_redundant};
+use sortnet_network::builders::batcher::odd_even_merge_sort;
+use sortnet_network::builders::bubble::bubble_sort_network;
+use sortnet_network::random::NetworkSampler;
+use sortnet_testsets::sorting;
+
+#[test]
+fn minimal_testset_catches_every_fault_that_breaks_sorting_of_unsorted_inputs() {
+    // The paper's test set contains every *unsorted* string, so it detects
+    // every fault whose faulty network mis-handles some unsorted input.
+    // "Active" faults (e.g. a stuck-swapping comparator) can additionally
+    // corrupt *sorted* inputs — something impossible for genuine standard
+    // networks — and those few faults need the n + 1 sorted strings as extra
+    // tests.  Adding them restores full coverage.
+    for (label, net) in [
+        ("batcher", odd_even_merge_sort(7)),
+        ("bubble", bubble_sort_network(7)),
+    ] {
+        let unsorted_tests = sorting::binary_testset(7);
+        let all_inputs: Vec<BitString> = BitString::all(7).collect();
+
+        let with_unsorted_only = coverage_of_tests(&net, &unsorted_tests, true);
+        let with_everything = coverage_of_tests(&net, &all_inputs, true);
+
+        // The complete input set misses nothing.
+        assert_eq!(with_everything.missed, 0, "{label}: {with_everything:?}");
+        // The paper's test set misses at most the sorted-input-only faults,
+        // and detects everything the complete set detects apart from those.
+        assert!(with_unsorted_only.detected > 0, "{label}");
+        let sorted_only_faults = with_everything.detected - with_unsorted_only.detected;
+        assert_eq!(
+            with_unsorted_only.missed, sorted_only_faults,
+            "{label}: every miss must be a sorted-input-only (active) fault"
+        );
+        assert_eq!(
+            with_unsorted_only.detected + with_unsorted_only.redundant_faults
+                + with_unsorted_only.missed,
+            with_unsorted_only.total_faults,
+            "{label}"
+        );
+    }
+}
+
+#[test]
+fn small_random_samples_are_strictly_weaker() {
+    let net = odd_even_merge_sort(8);
+    let minimal = sorting::binary_testset(8);
+    let mut sampler = NetworkSampler::new(0xFA17);
+    let random8: Vec<BitString> = (0..8).map(|_| sampler.random_input(8)).collect();
+
+    let full = coverage_of_tests(&net, &minimal, true);
+    let sampled = coverage_of_tests(&net, &random8, true);
+    assert_eq!(full.missed, 0);
+    assert!(sampled.detected < full.detected || sampled.missed > 0);
+}
+
+#[test]
+fn fault_detection_is_consistent_with_the_faulty_simulator() {
+    let net = odd_even_merge_sort(6);
+    let tests = sorting::binary_testset(6);
+    for fault in enumerate_faults(&net) {
+        let detected_by_some = tests.iter().any(|t| detects(&net, &fault, t));
+        let redundant = is_fault_redundant(&net, &fault);
+        assert!(
+            detected_by_some || redundant,
+            "fault {fault:?} is neither detected nor redundant"
+        );
+        if redundant {
+            // A redundant fault, by definition, cannot be detected by any test.
+            assert!(!detected_by_some, "fault {fault:?} marked redundant yet detected");
+        }
+    }
+}
+
+#[test]
+fn stuck_swap_faults_can_corrupt_sorted_inputs_too() {
+    // This is exactly why hardware test generation needs more than the
+    // paper's sorting test set when the fault model allows "active" faults:
+    // a stuck-swapping comparator can mis-sort an already sorted input.
+    let net = odd_even_merge_sort(6);
+    let mut found = false;
+    for idx in 0..net.size() {
+        let fault = Fault {
+            comparator: idx,
+            kind: FaultKind::StuckSwap,
+        };
+        for s in BitString::all(6).filter(BitString::is_sorted) {
+            if !faulty_apply_bits(&net, &fault, &s).is_sorted() {
+                found = true;
+            }
+        }
+    }
+    assert!(found, "no StuckSwap fault ever corrupted a sorted input");
+}

@@ -1,0 +1,83 @@
+//! Integration test for Lemma 2.1: both adversary constructions, verified
+//! exhaustively over every unsorted string for moderate n and spot-checked
+//! at larger n.
+
+use sortnet_combinat::BitString;
+use sortnet_network::properties::{is_selector, is_sorter};
+use sortnet_testsets::adversary::{
+    adversary_network, fails_exactly_on, survey, AdversaryVariant,
+};
+
+#[test]
+fn exhaustive_verification_n_up_to_10_compact() {
+    for n in 2..=10usize {
+        for sigma in BitString::all_unsorted(n) {
+            let h = adversary_network(&sigma, AdversaryVariant::Compact);
+            assert!(fails_exactly_on(&h, &sigma), "compact failed on σ = {sigma}");
+        }
+    }
+}
+
+#[test]
+fn exhaustive_verification_n_up_to_9_paper() {
+    for n in 2..=9usize {
+        for sigma in BitString::all_unsorted(n) {
+            let h = adversary_network(&sigma, AdversaryVariant::Paper);
+            assert!(fails_exactly_on(&h, &sigma), "paper layout failed on σ = {sigma}");
+        }
+    }
+}
+
+#[test]
+fn spot_checks_at_n_12_and_14() {
+    let samples = [
+        "101010101010",
+        "010101010101",
+        "111111000000",
+        "100000000001",
+        "011111111110",
+        "110011001100",
+        "10101010101010",
+        "01111111111110",
+        "11000000000000",
+        "00000001100000",
+    ];
+    for s in samples {
+        let sigma = BitString::parse(s).unwrap();
+        if sigma.is_sorted() {
+            continue;
+        }
+        for variant in [AdversaryVariant::Compact, AdversaryVariant::Paper] {
+            let h = adversary_network(&sigma, variant);
+            assert!(h.is_standard());
+            assert!(fails_exactly_on(&h, &sigma), "{variant:?} failed on {s}");
+        }
+    }
+}
+
+#[test]
+fn adversaries_also_witness_the_selector_lower_bound() {
+    // Lemma 2.3: for σ with |σ|₀ ≤ k, H_σ fails the (k,n)-selector property
+    // (and only on σ), which is what makes T_k^n necessary.
+    let n = 6;
+    for k in 1..=n {
+        for sigma in BitString::all_unsorted(n).filter(|s| s.count_zeros() <= k) {
+            let h = adversary_network(&sigma, AdversaryVariant::Compact);
+            assert!(!is_selector(&h, k), "σ = {sigma}, k = {k}");
+            assert!(!is_sorter(&h));
+        }
+    }
+}
+
+#[test]
+fn survey_reports_consistent_statistics_for_both_variants() {
+    for n in 4..=8usize {
+        let compact = survey(n, AdversaryVariant::Compact);
+        let paper = survey(n, AdversaryVariant::Paper);
+        assert_eq!(compact.networks, paper.networks);
+        assert_eq!(compact.networks as u128, (1u128 << n) - n as u128 - 1);
+        // The paper layout embeds full Batcher sorters, so on average it is
+        // at least as large as the compact construction.
+        assert!(paper.mean_size + 1e-9 >= compact.mean_size, "n = {n}");
+    }
+}
