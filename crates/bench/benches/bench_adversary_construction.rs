@@ -21,7 +21,9 @@ fn worst_case_sigma(n: usize) -> BitString {
 
 fn bench_single_adversary(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_single_adversary_construction");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for n in [8usize, 16, 32] {
         let sigma = worst_case_sigma(n);
         for (label, variant) in [
@@ -38,7 +40,9 @@ fn bench_single_adversary(c: &mut Criterion) {
 
 fn bench_all_adversaries_for_n(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_all_adversaries");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for n in [6usize, 8] {
         group.bench_with_input(BenchmarkId::new("build_all", n), &n, |b, &n| {
             b.iter(|| {

@@ -1,5 +1,14 @@
 //! E10 — fault-simulation throughput: running the paper's minimal test set
 //! and random samples against the single-fault universe of Batcher sorters.
+//!
+//! The `engine_comparison` group races the scalar engine (one fault × one
+//! test per call) against the bit-parallel engine (64 tests per pass with
+//! shared-prefix forking) on the same workload — Batcher's merge-exchange
+//! sorter with the Theorem 2.2 minimal 0/1 test set (`2^n − n − 1` tests) —
+//! at n ∈ {8, 16}.  The criterion shim writes the measurements to
+//! `target/bench-summaries/bench_fault_coverage.json` for the `BENCH_*`
+//! perf trajectory; the `speedup` bench-id pair is the PR's acceptance
+//! measurement (bit-parallel must be ≥ 5× faster at n = 16).
 
 use std::time::Duration;
 
@@ -7,19 +16,23 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use sortnet_combinat::BitString;
-use sortnet_faults::coverage_of_tests;
+use sortnet_faults::{coverage_of_tests, coverage_of_tests_with, FaultSimEngine};
 use sortnet_network::builders::batcher::odd_even_merge_sort;
 use sortnet_network::random::NetworkSampler;
 use sortnet_testsets::sorting;
 
 fn bench_fault_coverage(c: &mut Criterion) {
     let mut group = c.benchmark_group("e10_fault_coverage");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for n in [8usize, 10] {
         let net = odd_even_merge_sort(n);
         let minimal = sorting::binary_testset(n);
         let mut sampler = NetworkSampler::new(1);
-        let random: Vec<BitString> = (0..minimal.len()).map(|_| sampler.random_input(n)).collect();
+        let random: Vec<BitString> = (0..minimal.len())
+            .map(|_| sampler.random_input(n))
+            .collect();
         group.bench_with_input(BenchmarkId::new("minimal_testset", n), &n, |b, _| {
             b.iter(|| coverage_of_tests(black_box(&net), black_box(&minimal), false))
         });
@@ -30,5 +43,56 @@ fn bench_fault_coverage(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fault_coverage);
+fn bench_engine_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_comparison");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+    for n in [8usize, 16] {
+        let net = odd_even_merge_sort(n);
+        let minimal = sorting::binary_testset(n);
+        for (label, engine) in [
+            ("scalar", FaultSimEngine::Scalar),
+            ("bitparallel", FaultSimEngine::BitParallel),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    coverage_of_tests_with(black_box(&net), black_box(&minimal), true, engine)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_engine_comparison_no_redundancy(c: &mut Criterion) {
+    // Pure simulation throughput: no redundancy sweeps, so the comparison
+    // isolates the 64-lane + shared-prefix win on the detection scan itself.
+    let mut group = c.benchmark_group("engine_comparison_no_redundancy");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+    for n in [8usize, 16] {
+        let net = odd_even_merge_sort(n);
+        let minimal = sorting::binary_testset(n);
+        for (label, engine) in [
+            ("scalar", FaultSimEngine::Scalar),
+            ("bitparallel", FaultSimEngine::BitParallel),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    coverage_of_tests_with(black_box(&net), black_box(&minimal), false, engine)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fault_coverage,
+    bench_engine_comparison,
+    bench_engine_comparison_no_redundancy
+);
 criterion_main!(benches);

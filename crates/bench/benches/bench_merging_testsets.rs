@@ -12,7 +12,9 @@ use sortnet_testsets::merging;
 
 fn bench_merger_verification(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6_merger_verification");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for n in [8usize, 16, 32] {
         let merger = half_half_merger(n);
         group.bench_with_input(BenchmarkId::new("binary_n2_over_4", n), &n, |b, _| {
@@ -27,7 +29,9 @@ fn bench_merger_verification(c: &mut Criterion) {
 
 fn bench_merging_testset_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6_merging_testset_construction");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for n in [16usize, 32, 48] {
         group.bench_with_input(BenchmarkId::new("binary", n), &n, |b, &n| {
             b.iter(|| merging::binary_testset(black_box(n)))
@@ -39,5 +43,9 @@ fn bench_merging_testset_construction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_merger_verification, bench_merging_testset_construction);
+criterion_group!(
+    benches,
+    bench_merger_verification,
+    bench_merging_testset_construction
+);
 criterion_main!(benches);

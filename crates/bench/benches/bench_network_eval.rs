@@ -14,7 +14,9 @@ use sortnet_network::builders::bubble::bubble_sort_network;
 
 fn bench_exhaustive_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrate_exhaustive_sweep");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for n in [12usize, 16, 20] {
         let net = odd_even_merge_sort(n);
         group.throughput(Throughput::Elements(1u64 << n));
@@ -37,7 +39,9 @@ fn bench_exhaustive_sweep(c: &mut Criterion) {
 
 fn bench_failure_counting(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrate_failure_counting");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for n in [12usize, 16] {
         let nearly = bubble_sort_network(n).without_comparator(0);
         group.bench_with_input(BenchmarkId::new("count_unsorted_rayon", n), &n, |b, _| {
@@ -49,7 +53,9 @@ fn bench_failure_counting(c: &mut Criterion) {
 
 fn bench_single_application(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrate_single_application");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for n in [16usize, 64] {
         let net = odd_even_merge_sort(n);
         let input: Vec<u32> = (0..n as u32).rev().collect();

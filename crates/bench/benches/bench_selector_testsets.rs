@@ -11,7 +11,9 @@ use sortnet_testsets::selector;
 
 fn bench_selector_testset_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("e4_selector_testset_construction");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let n = 14;
     for k in [1usize, 3, 7] {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
@@ -23,7 +25,9 @@ fn bench_selector_testset_construction(c: &mut Criterion) {
 
 fn bench_selector_verification(c: &mut Criterion) {
     let mut group = c.benchmark_group("e4_selector_verification");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let n = 12;
     for k in [2usize, 4, 6] {
         let net = pruned_selector(n, k);
@@ -40,7 +44,9 @@ fn bench_selector_verification(c: &mut Criterion) {
 fn bench_selector_network_construction(c: &mut Criterion) {
     // Ablation: pruned selectors vs full sorters (DESIGN.md §6).
     let mut group = c.benchmark_group("e4_pruned_selector_construction");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for k in [1usize, 4, 16] {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
             b.iter(|| pruned_selector(black_box(16), k))

@@ -11,7 +11,9 @@ use sortnet_testsets::sorting;
 
 fn bench_binary_testset_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_binary_testset_construction");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for n in [8usize, 12, 16] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| sorting::binary_testset(black_box(n)))
@@ -22,7 +24,9 @@ fn bench_binary_testset_construction(c: &mut Criterion) {
 
 fn bench_permutation_testset_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2_permutation_testset_construction");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for n in [8usize, 10, 12] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| sorting::permutation_testset(black_box(n)))
@@ -33,7 +37,9 @@ fn bench_permutation_testset_construction(c: &mut Criterion) {
 
 fn bench_testset_validity_check(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2_testset_validity_check");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for n in [8usize, 10] {
         let ts = sorting::permutation_testset(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {

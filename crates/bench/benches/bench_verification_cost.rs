@@ -18,7 +18,9 @@ use sortnet_testsets::verify::{verify, Property, Strategy};
 
 fn bench_sorter_verification(c: &mut Criterion) {
     let mut group = c.benchmark_group("e9_sorter_verification");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for n in [8usize, 12, 16] {
         let sorter = odd_even_merge_sort(n);
         for (label, strategy) in [
@@ -36,7 +38,9 @@ fn bench_sorter_verification(c: &mut Criterion) {
 
 fn bench_rejecting_a_non_sorter(c: &mut Criterion) {
     let mut group = c.benchmark_group("e9_non_sorter_rejection");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for n in [8usize, 12] {
         // One round short of sorting: a "nearly correct" network, the hard
         // case for randomised testing and the motivating case for test sets.
@@ -54,5 +58,9 @@ fn bench_rejecting_a_non_sorter(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sorter_verification, bench_rejecting_a_non_sorter);
+criterion_group!(
+    benches,
+    bench_sorter_verification,
+    bench_rejecting_a_non_sorter
+);
 criterion_main!(benches);

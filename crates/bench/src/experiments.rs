@@ -8,7 +8,7 @@ use sortnet_combinat::binomial::{
     sorting_testset_size_permutation,
 };
 use sortnet_combinat::{BitString, Permutation};
-use sortnet_faults::coverage_of_tests;
+use sortnet_faults::{coverage_of_tests_with, FaultSimEngine};
 use sortnet_network::builders::batcher::{half_half_merger, odd_even_merge_sort};
 use sortnet_network::builders::bubble::bubble_sort_network;
 use sortnet_network::builders::selection::pruned_selector;
@@ -32,7 +32,13 @@ use crate::table::Table;
 pub fn e1_sorting_binary(max_n: usize) -> Table {
     let mut t = Table::new(
         "E1 — minimum 0/1 test set for sorting (Theorem 2.2 i)",
-        &["n", "constructed |T|", "2^n - n - 1", "hitting-set optimum", "match"],
+        &[
+            "n",
+            "constructed |T|",
+            "2^n - n - 1",
+            "hitting-set optimum",
+            "match",
+        ],
     );
     for n in 2..=max_n {
         let constructed = sorting::binary_testset(n).len() as u128;
@@ -94,7 +100,14 @@ pub fn e2_sorting_permutation(max_n: usize) -> Table {
 pub fn e3_yao_comparison(max_n: u64) -> Table {
     let mut t = Table::new(
         "E3 — test counts for the sorting property (§2, Yao's observation)",
-        &["n", "n!", "2^n", "2^n - n - 1", "C(n,⌊n/2⌋) - 1", "binary/permutation ratio"],
+        &[
+            "n",
+            "n!",
+            "2^n",
+            "2^n - n - 1",
+            "C(n,⌊n/2⌋) - 1",
+            "binary/permutation ratio",
+        ],
     );
     for row in bounds::sorting_cost_table(max_n) {
         t.push_row(vec![
@@ -114,7 +127,14 @@ pub fn e3_yao_comparison(max_n: u64) -> Table {
 pub fn e4_selector_binary(n: usize) -> Table {
     let mut t = Table::new(
         "E4 — minimum 0/1 test set for (k,n)-selection (Theorem 2.4 i)",
-        &["n", "k", "constructed |T|", "Σ C(n,i) - k - 1", "pruned selector passes", "empty network passes"],
+        &[
+            "n",
+            "k",
+            "constructed |T|",
+            "Σ C(n,i) - k - 1",
+            "pruned selector passes",
+            "empty network passes",
+        ],
     );
     for k in 1..=n {
         let testset = selector::binary_testset(n, k);
@@ -139,7 +159,13 @@ pub fn e4_selector_binary(n: usize) -> Table {
 pub fn e5_selector_permutation(n: usize) -> Table {
     let mut t = Table::new(
         "E5 — minimum permutation test set for (k,n)-selection (Theorem 2.4 ii)",
-        &["n", "k", "constructed |P|", "C(n,min(⌊n/2⌋,k)) - 1", "covers T_k^n"],
+        &[
+            "n",
+            "k",
+            "constructed |P|",
+            "C(n,min(⌊n/2⌋,k)) - 1",
+            "covers T_k^n",
+        ],
     );
     for k in 1..=n {
         let testset = selector::permutation_testset(n, k);
@@ -181,8 +207,12 @@ pub fn e6_merging(max_n: usize) -> Table {
             merging_testset_size_binary(n as u64).to_string(),
             perms.len().to_string(),
             merging_testset_size_permutation(n as u64).to_string(),
-            merging::verify_merger_permutations(&merger).passed.to_string(),
-            merging::verify_merger_binary(&Network::empty(n)).passed.to_string(),
+            merging::verify_merger_permutations(&merger)
+                .passed
+                .to_string(),
+            merging::verify_merger_binary(&Network::empty(n))
+                .passed
+                .to_string(),
         ]);
     }
     t
@@ -193,7 +223,15 @@ pub fn e6_merging(max_n: usize) -> Table {
 pub fn e7_adversary_survey(max_n: usize) -> Table {
     let mut t = Table::new(
         "E7 — Lemma 2.1 adversary networks H_σ (all unsorted σ verified exhaustively)",
-        &["n", "variant", "#networks", "min size", "max size", "mean size", "max depth"],
+        &[
+            "n",
+            "variant",
+            "#networks",
+            "min size",
+            "max size",
+            "mean size",
+            "max depth",
+        ],
     );
     for n in 3..=max_n {
         for (label, variant) in [
@@ -220,7 +258,13 @@ pub fn e7_adversary_survey(max_n: usize) -> Table {
 pub fn e8_primitive(max_n: usize) -> Table {
     let mut t = Table::new(
         "E8 — height-1 (primitive) networks: the single reverse-permutation test (§3)",
-        &["n", "class checked", "criterion = ground truth", "perm test set size", "0/1 test set size"],
+        &[
+            "n",
+            "class checked",
+            "criterion = ground truth",
+            "perm test set size",
+            "0/1 test set size",
+        ],
     );
     for n in 3..=max_n {
         // Exhaustively check all primitive networks with up to n+1 comparators.
@@ -239,7 +283,9 @@ pub fn e8_primitive(max_n: usize) -> Table {
             n.to_string(),
             format!("{checked} networks (≤ {} comparators)", (n + 1).min(5)),
             agree.to_string(),
-            primitive::primitive_permutation_testset(n).len().to_string(),
+            primitive::primitive_permutation_testset(n)
+                .len()
+                .to_string(),
             primitive::primitive_binary_testset(n).len().to_string(),
         ]);
     }
@@ -252,13 +298,23 @@ pub fn e8_primitive(max_n: usize) -> Table {
 pub fn e9_verification_cost(max_n: usize) -> Table {
     let mut t = Table::new(
         "E9 — number of test evaluations to certify 'is a sorter' (per strategy)",
-        &["n", "network", "exhaustive 2^n", "minimal 0/1", "minimal permutations", "all agree"],
+        &[
+            "n",
+            "network",
+            "exhaustive 2^n",
+            "minimal 0/1",
+            "minimal permutations",
+            "all agree",
+        ],
     );
     for n in (4..=max_n).step_by(2) {
         for (label, net) in [
             ("Batcher merge-exchange", odd_even_merge_sort(n)),
             ("bubble sort", bubble_sort_network(n)),
-            ("brick (n-2 rounds, not a sorter)", odd_even_transposition(n, n.saturating_sub(2))),
+            (
+                "brick (n-2 rounds, not a sorter)",
+                odd_even_transposition(n, n.saturating_sub(2)),
+            ),
         ] {
             let ex = verify(&net, Property::Sorter, Strategy::Exhaustive);
             let mb = verify(&net, Property::Sorter, Strategy::MinimalBinary);
@@ -280,6 +336,10 @@ pub fn e9_verification_cost(max_n: usize) -> Table {
 /// E10 — fault coverage: the paper's minimal sorting test set vs small
 /// random input samples, against the single-fault universe of a Batcher
 /// sorter.
+///
+/// Runs on the bit-parallel fault-simulation engine
+/// ([`FaultSimEngine::BitParallel`]); the last column re-runs each row on
+/// the scalar oracle and records that the two reports agree bit-for-bit.
 #[must_use]
 pub fn e10_fault_coverage(n: usize) -> Table {
     let mut t = Table::new(
@@ -292,6 +352,7 @@ pub fn e10_fault_coverage(n: usize) -> Table {
             "missed",
             "coverage",
             "mean tests to first detection",
+            "engines agree",
         ],
     );
     let net = odd_even_merge_sort(n);
@@ -311,7 +372,8 @@ pub fn e10_fault_coverage(n: usize) -> Table {
         ("16 random inputs", random16),
         ("64 random inputs", random64),
     ] {
-        let report = coverage_of_tests(&net, &tests, true);
+        let report = coverage_of_tests_with(&net, &tests, true, FaultSimEngine::BitParallel);
+        let oracle = coverage_of_tests_with(&net, &tests, true, FaultSimEngine::Scalar);
         t.push_row(vec![
             n.to_string(),
             label.to_string(),
@@ -320,6 +382,7 @@ pub fn e10_fault_coverage(n: usize) -> Table {
             report.missed.to_string(),
             format!("{:.3}", report.coverage),
             format!("{:.1}", report.mean_first_detection),
+            (report == oracle).to_string(),
         ]);
     }
     t

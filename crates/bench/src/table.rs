@@ -57,7 +57,11 @@ impl fmt::Display for Table {
         writeln!(
             f,
             "|{}|",
-            self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.header
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         )?;
         for row in &self.rows {
             writeln!(f, "| {} |", row.join(" | "))?;

@@ -129,7 +129,10 @@ pub fn selector_testset_size_permutation(n: u64, k: u64) -> u128 {
 /// Panics if `n` is odd (the paper only defines merging for even `n`).
 #[must_use]
 pub fn merging_testset_size_binary(n: u64) -> u128 {
-    assert!(n % 2 == 0, "merging networks are defined for even n, got {n}");
+    assert!(
+        n.is_multiple_of(2),
+        "merging networks are defined for even n, got {n}"
+    );
     u128::from(n) * u128::from(n) / 4
 }
 
@@ -140,7 +143,10 @@ pub fn merging_testset_size_binary(n: u64) -> u128 {
 /// Panics if `n` is odd.
 #[must_use]
 pub fn merging_testset_size_permutation(n: u64) -> u128 {
-    assert!(n % 2 == 0, "merging networks are defined for even n, got {n}");
+    assert!(
+        n.is_multiple_of(2),
+        "merging networks are defined for even n, got {n}"
+    );
     u128::from(n) / 2
 }
 

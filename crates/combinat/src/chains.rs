@@ -170,7 +170,10 @@ impl SymmetricChainDecomposition {
     #[must_use]
     pub fn new(n: usize) -> Self {
         check_n(n);
-        assert!(n <= 24, "materialising the SCD of 2^{n} subsets is too large");
+        assert!(
+            n <= 24,
+            "materialising the SCD of 2^{n} subsets is too large"
+        );
         let mut chains = Vec::new();
         let mut seen = vec![false; 1usize << n];
         for s in Subset::all(n) {
@@ -221,7 +224,7 @@ mod tests {
                     assert!(w[0].is_subset_of(&w[1]));
                     assert_eq!(w[0].len() + 1, w[1].len());
                 }
-                assert!(chain.members().iter().any(|m| *m == s), "chain must contain its seed");
+                assert!(chain.members().contains(&s), "chain must contain its seed");
             }
         }
     }

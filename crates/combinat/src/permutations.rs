@@ -71,7 +71,10 @@ impl Permutation {
     /// Builds a permutation from the paper's 1-based notation.
     #[must_use]
     pub fn from_one_based(values: &[u8]) -> Option<Self> {
-        let zero_based: Vec<u8> = values.iter().map(|&v| v.checked_sub(1)).collect::<Option<_>>()?;
+        let zero_based: Vec<u8> = values
+            .iter()
+            .map(|&v| v.checked_sub(1))
+            .collect::<Option<_>>()?;
         Self::from_values(&zero_based)
     }
 
@@ -111,7 +114,10 @@ impl Permutation {
     /// `true` when the permutation is the identity (already sorted).
     #[must_use]
     pub fn is_identity(&self) -> bool {
-        self.values.iter().enumerate().all(|(i, &v)| v as usize == i)
+        self.values
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v as usize == i)
     }
 
     /// The inverse permutation: `inv[v] = i` iff `self[i] = v`.
@@ -133,7 +139,11 @@ impl Permutation {
     pub fn compose(&self, other: &Self) -> Self {
         assert_eq!(self.len(), other.len(), "length mismatch");
         Self {
-            values: other.values.iter().map(|&v| self.values[v as usize]).collect(),
+            values: other
+                .values
+                .iter()
+                .map(|&v| self.values[v as usize])
+                .collect(),
         }
     }
 
@@ -147,7 +157,11 @@ impl Permutation {
         let n = self.len();
         assert!(t <= n, "threshold {t} exceeds length {n}");
         let cutoff = n - t; // values >= cutoff become 1
-        let bits: Vec<bool> = self.values.iter().map(|&v| (v as usize) >= cutoff).collect();
+        let bits: Vec<bool> = self
+            .values
+            .iter()
+            .map(|&v| (v as usize) >= cutoff)
+            .collect();
         BitString::from_bits(&bits)
     }
 
@@ -203,7 +217,10 @@ impl Permutation {
     #[must_use]
     pub fn from_lex_rank(n: usize, mut rank: u128) -> Self {
         check_n(n);
-        assert!(rank < crate::binomial::factorial(n as u64), "rank out of range");
+        assert!(
+            rank < crate::binomial::factorial(n as u64),
+            "rank out of range"
+        );
         let mut available: Vec<u8> = (0..n as u8).collect();
         let mut values = Vec::with_capacity(n);
         for i in 0..n {

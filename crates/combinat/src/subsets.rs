@@ -193,7 +193,10 @@ impl Subset {
     #[must_use]
     pub fn from_colex_rank(n: usize, k: usize, mut rank: u128) -> Self {
         check_n(n);
-        assert!(rank < binomial_u128(n as u64, k as u64), "rank out of range");
+        assert!(
+            rank < binomial_u128(n as u64, k as u64),
+            "rank out of range"
+        );
         let mut mask = 0u64;
         let mut remaining = k;
         while remaining > 0 {

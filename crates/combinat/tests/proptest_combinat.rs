@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 
-use sortnet_combinat::subsets::Subset;
 use sortnet_combinat::chains::chain_of;
+use sortnet_combinat::subsets::Subset;
 use sortnet_combinat::{binomial_u128, BitString, Permutation};
 
 fn arb_bitstring(n: usize) -> impl Strategy<Value = BitString> {
@@ -57,7 +57,7 @@ proptest! {
     fn chains_contain_their_seed_and_are_symmetric(mask in 0u64..(1u64 << 11)) {
         let s = Subset::from_mask(mask, 11);
         let chain = chain_of(&s);
-        prop_assert!(chain.members().iter().any(|m| *m == s));
+        prop_assert!(chain.members().contains(&s));
         prop_assert_eq!(chain.min().len() + chain.max().len(), 11);
         for w in chain.members().windows(2) {
             prop_assert!(w[0].is_subset_of(&w[1]));

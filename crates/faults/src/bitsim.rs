@@ -1,0 +1,472 @@
+//! Bit-parallel fault simulation: 64 test vectors per pass per fault, with
+//! shared-prefix forking.
+//!
+//! # Lane encoding
+//!
+//! Tests are packed into [`BitBlock`]s, the transposed (bit-sliced)
+//! representation from [`sortnet_network::bitparallel`]: lane `i` is a
+//! `u64` holding, for each of up to 64 test vectors, the current value of
+//! network line `i`; bit `j` of every lane belongs to test vector `j` of
+//! the block.  A fault-free comparator on lines `(i, j)` is then two bitwise
+//! ops (`AND` to the min line, `OR` to the max line), and each of the four
+//! [`FaultKind`]s has an equally cheap lane form:
+//!
+//! | fault | lane semantics |
+//! |---|---|
+//! | [`FaultKind::StuckPass`] | skip the comparator (lanes unchanged) |
+//! | [`FaultKind::StuckSwap`] | exchange the two lanes unconditionally |
+//! | [`FaultKind::Inverted`] | `OR` to the min line, `AND` to the max line |
+//! | [`FaultKind::Misrouted`] | comparator between `top` and `new_bottom` |
+//!
+//! A test vector *detects* a fault when the faulty network leaves it
+//! unsorted, so one `unsorted_mask()` per fault per block yields 64
+//! detection verdicts at once.
+//!
+//! # Shared-prefix forking
+//!
+//! All faults located at comparator index `c` behave identically on the
+//! prefix `0..c` — only the comparator at `c` (and everything after it)
+//! differs from the fault-free network.  The engine therefore evaluates the
+//! fault-free prefix incrementally, **once per block**: when the running
+//! prefix state reaches comparator `c`, every fault at `c` forks the state
+//! (a `memcpy` of `n` words into a reusable scratch block), applies its
+//! faulty comparator, and runs only the suffix `c+1..C`.  For `F` faults,
+//! `T` tests and `C` comparators this turns the scalar `O(F·T·C)` comparator
+//! evaluations into `O(T·C + F·T·(C − c̄))/64` lane operations, where `c̄`
+//! is the mean fault position — both a 64× lane win and a ~2× average
+//! suffix win, multiplicatively.
+//!
+//! # Entry points
+//!
+//! * [`faulty_run_block`] — one fault over one block (the oracle hook the
+//!   property tests cross-check against the scalar simulator);
+//! * [`detection_matrix`] — the full faults × tests coverage bitmap;
+//! * [`first_detections`] — early-exit variant driving
+//!   [`coverage_of_tests`](crate::coverage::coverage_of_tests);
+//! * [`is_fault_redundant_bitparallel`] — blocked `2^n` redundancy sweep.
+//!
+//! The current lane width is one `u64` word, which bounds test blocks at 64
+//! vectors — networks themselves may have up to 64 lines (`BitString`'s
+//! packing limit).  Widening lanes to multi-word blocks (n > 64 tests per
+//! fork, or SIMD registers) is the recorded next scaling step in
+//! ROADMAP.md.
+
+use sortnet_combinat::BitString;
+use sortnet_network::bitparallel::{self, BitBlock};
+use sortnet_network::Network;
+
+use crate::model::{Fault, FaultKind};
+
+/// Applies the faulty version of comparator `fault.comparator` to a block:
+/// the lane-level counterpart of one faulty step of
+/// [`faulty_apply_bits`](crate::simulate::faulty_apply_bits).
+#[inline]
+fn apply_faulty_comparator(network: &Network, fault: &Fault, block: &mut BitBlock) {
+    let c = network.comparators()[fault.comparator];
+    match fault.kind {
+        FaultKind::StuckPass => {}
+        FaultKind::StuckSwap => block.swap_lanes(c.min_line(), c.max_line()),
+        FaultKind::Inverted => block.apply_comparator(c.max_line(), c.min_line()),
+        // A misroute onto the comparator's own top line degenerates to a
+        // no-op in the scalar simulator's word arithmetic; mirror that
+        // instead of tripping `apply_comparator`'s distinct-lines assert.
+        // (`enumerate_faults` never emits this shape, but the fault type
+        // admits it.)
+        FaultKind::Misrouted { new_bottom } => {
+            if new_bottom != c.top() {
+                block.apply_comparator(c.top(), new_bottom);
+            }
+        }
+    }
+}
+
+/// Runs the faulty network over one block of up to 64 test vectors,
+/// in place.
+///
+/// Equivalent to 64 scalar
+/// [`faulty_apply_bits`](crate::simulate::faulty_apply_bits) calls; the
+/// proptest suite (`tests/proptest_bitsim.rs`) holds the two to exact
+/// agreement on all four [`FaultKind`]s.
+///
+/// # Panics
+/// Panics if the fault's comparator index is out of range.
+pub fn faulty_run_block(network: &Network, fault: &Fault, block: &mut BitBlock) {
+    assert!(
+        fault.comparator < network.size(),
+        "fault index out of range"
+    );
+    block.run_range(network, 0, fault.comparator);
+    apply_faulty_comparator(network, fault, block);
+    block.run_range(network, fault.comparator + 1, network.size());
+}
+
+/// A faults × tests detection bitmap: bit `t` of row `f` is set when test
+/// `t` detects fault `f`.
+///
+/// Rows are packed 64 tests per word, so summary statistics reduce to
+/// word-level `count_ones`/`trailing_zeros` scans instead of per-test
+/// `Option<usize>` bookkeeping.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DetectionMatrix {
+    faults: Vec<Fault>,
+    test_count: usize,
+    words_per_fault: usize,
+    bits: Vec<u64>,
+}
+
+impl DetectionMatrix {
+    /// The fault universe the matrix was computed for, in row order.
+    #[must_use]
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Number of rows (faults).
+    #[must_use]
+    pub fn fault_count(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Number of columns (tests).
+    #[must_use]
+    pub fn test_count(&self) -> usize {
+        self.test_count
+    }
+
+    /// `true` when test `test` detects fault `fault`.
+    ///
+    /// # Panics
+    /// Panics if either index is out of range.
+    #[must_use]
+    pub fn is_detected_by(&self, fault: usize, test: usize) -> bool {
+        assert!(fault < self.fault_count(), "fault index out of range");
+        assert!(test < self.test_count, "test index out of range");
+        let word = self.bits[fault * self.words_per_fault + test / 64];
+        (word >> (test % 64)) & 1 == 1
+    }
+
+    /// `true` when at least one test detects fault `fault`.
+    #[must_use]
+    pub fn detected(&self, fault: usize) -> bool {
+        self.row(fault).iter().any(|&w| w != 0)
+    }
+
+    /// 0-based index of the first test detecting fault `fault`, or `None` —
+    /// a word-level `trailing_zeros` scan over the row.
+    #[must_use]
+    pub fn first_detection(&self, fault: usize) -> Option<usize> {
+        self.row(fault)
+            .iter()
+            .enumerate()
+            .find(|(_, &w)| w != 0)
+            .map(|(i, w)| i * 64 + w.trailing_zeros() as usize)
+    }
+
+    /// Number of tests that detect fault `fault` (a popcount over the row).
+    #[must_use]
+    pub fn detection_count(&self, fault: usize) -> usize {
+        self.row(fault)
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    fn row(&self, fault: usize) -> &[u64] {
+        assert!(fault < self.fault_count(), "fault index out of range");
+        &self.bits[fault * self.words_per_fault..(fault + 1) * self.words_per_fault]
+    }
+}
+
+/// Faults grouped by comparator index, so the block sweep can fork each
+/// fault exactly when the shared prefix reaches its site.
+fn faults_by_comparator(network: &Network, faults: &[Fault]) -> Vec<Vec<usize>> {
+    let mut by_comp: Vec<Vec<usize>> = vec![Vec::new(); network.size()];
+    for (idx, fault) in faults.iter().enumerate() {
+        assert!(
+            fault.comparator < network.size(),
+            "fault index out of range"
+        );
+        by_comp[fault.comparator].push(idx);
+    }
+    by_comp
+}
+
+/// Sweeps one block of tests over every fault via shared-prefix forking and
+/// hands each `(fault index, detected-mask)` pair to `record`.
+///
+/// `skip` filters faults out of the sweep (used for early exit once a fault
+/// has been detected in an earlier block).
+fn sweep_block(
+    network: &Network,
+    by_comp: &[Vec<usize>],
+    faults: &[Fault],
+    block: &BitBlock,
+    skip: impl Fn(usize) -> bool,
+    mut record: impl FnMut(usize, u64),
+) {
+    let size = network.size();
+    let mut prefix = block.clone();
+    let mut fork = block.clone();
+    for (c, faults_here) in by_comp.iter().enumerate() {
+        for &fault_idx in faults_here {
+            if skip(fault_idx) {
+                continue;
+            }
+            fork.copy_from(&prefix);
+            apply_faulty_comparator(network, &faults[fault_idx], &mut fork);
+            fork.run_range(network, c + 1, size);
+            record(fault_idx, fork.unsorted_mask());
+        }
+        let comp = network.comparators()[c];
+        prefix.apply_comparator(comp.min_line(), comp.max_line());
+    }
+}
+
+/// Computes the full faults × tests [`DetectionMatrix`] for `network`.
+///
+/// Evaluates every fault against every test (64 tests per pass, shared
+/// fault-free prefix per block).  Use [`first_detections`] instead when only
+/// first-detection indices are needed — it stops simulating each fault at
+/// its first detecting block.
+///
+/// # Panics
+/// Panics if a fault's comparator index is out of range or a test's length
+/// mismatches the network.
+#[must_use]
+pub fn detection_matrix(
+    network: &Network,
+    faults: &[Fault],
+    tests: &[BitString],
+) -> DetectionMatrix {
+    let n = network.lines();
+    let by_comp = faults_by_comparator(network, faults);
+    let words_per_fault = tests.len().div_ceil(64).max(1);
+    let mut bits = vec![0u64; faults.len() * words_per_fault];
+    for (word_idx, chunk) in tests.chunks(64).enumerate() {
+        let block = BitBlock::from_strings(n, chunk);
+        sweep_block(
+            network,
+            &by_comp,
+            faults,
+            &block,
+            |_| false,
+            |fault_idx, mask| {
+                bits[fault_idx * words_per_fault + word_idx] = mask;
+            },
+        );
+    }
+    DetectionMatrix {
+        faults: faults.to_vec(),
+        test_count: tests.len(),
+        words_per_fault,
+        bits,
+    }
+}
+
+/// For each fault, the 0-based index of the first test in `tests` that
+/// detects it (`None` when no test does).
+///
+/// Semantically identical to calling
+/// [`first_detection_index`](crate::simulate::first_detection_index) per
+/// fault, but 64 tests wide with shared-prefix forking, and each fault drops
+/// out of the sweep after its first detecting block.
+///
+/// # Panics
+/// Panics if a fault's comparator index is out of range or a test's length
+/// mismatches the network.
+#[must_use]
+pub fn first_detections(
+    network: &Network,
+    faults: &[Fault],
+    tests: &[BitString],
+) -> Vec<Option<usize>> {
+    let n = network.lines();
+    let by_comp = faults_by_comparator(network, faults);
+    let mut first: Vec<Option<usize>> = vec![None; faults.len()];
+    let mut undetected = faults.len();
+    for (block_idx, chunk) in tests.chunks(64).enumerate() {
+        if undetected == 0 {
+            break;
+        }
+        let block = BitBlock::from_strings(n, chunk);
+        // The borrow of `first` inside both closures is disjoint in time
+        // (skip reads before record writes per fault), but the compiler
+        // cannot see that — collect the block's verdicts first.
+        let mut hits: Vec<(usize, u64)> = Vec::new();
+        sweep_block(
+            network,
+            &by_comp,
+            faults,
+            &block,
+            |fault_idx| first[fault_idx].is_some(),
+            |fault_idx, mask| {
+                if mask != 0 {
+                    hits.push((fault_idx, mask));
+                }
+            },
+        );
+        for (fault_idx, mask) in hits {
+            first[fault_idx] = Some(block_idx * 64 + mask.trailing_zeros() as usize);
+            undetected -= 1;
+        }
+    }
+    first
+}
+
+/// Bit-parallel redundancy check: `true` iff the faulty network still sorts
+/// all `2^n` binary inputs, swept 64 vectors per block via
+/// [`BitBlock::from_range`].
+///
+/// Agrees with the scalar
+/// [`is_fault_redundant`](crate::simulate::is_fault_redundant) (the
+/// proptest suite checks this) while accepting the larger `n < 32` bound of
+/// the other exhaustive bit-parallel sweeps.
+///
+/// # Panics
+/// Panics if the fault's comparator index is out of range or `n ≥ 32`.
+#[must_use]
+pub fn is_fault_redundant_bitparallel(network: &Network, fault: &Fault) -> bool {
+    let n = network.lines();
+    assert!(
+        fault.comparator < network.size(),
+        "fault index out of range"
+    );
+    (0..bitparallel::sweep_block_count(n)).all(|b| {
+        let (start, count) = bitparallel::sweep_block_range(n, b);
+        let mut block = BitBlock::from_range(n, start, count);
+        faulty_run_block(network, fault, &mut block);
+        block.unsorted_mask() == 0
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::enumerate_faults;
+    use crate::simulate::{detects, faulty_apply_bits, first_detection_index, is_fault_redundant};
+    use sortnet_network::builders::batcher::odd_even_merge_sort;
+
+    #[test]
+    fn faulty_run_block_matches_scalar_simulation_exhaustively() {
+        let net = odd_even_merge_sort(6);
+        let inputs: Vec<BitString> = BitString::all(6).collect();
+        for fault in enumerate_faults(&net) {
+            for chunk in inputs.chunks(64) {
+                let mut block = BitBlock::from_strings(6, chunk);
+                faulty_run_block(&net, &fault, &mut block);
+                for (j, input) in chunk.iter().enumerate() {
+                    assert_eq!(
+                        block.extract(j as u32),
+                        faulty_apply_bits(&net, &fault, input),
+                        "fault {fault:?} input {input}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn detection_matrix_agrees_with_scalar_detects() {
+        let net = odd_even_merge_sort(5);
+        let faults = enumerate_faults(&net);
+        let tests: Vec<BitString> = BitString::all(5).collect();
+        let matrix = detection_matrix(&net, &faults, &tests);
+        assert_eq!(matrix.fault_count(), faults.len());
+        assert_eq!(matrix.test_count(), tests.len());
+        for (f, fault) in faults.iter().enumerate() {
+            for (t, test) in tests.iter().enumerate() {
+                assert_eq!(
+                    matrix.is_detected_by(f, t),
+                    detects(&net, fault, test),
+                    "fault {fault:?} test {test}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_summaries_match_their_bitwise_definitions() {
+        let net = odd_even_merge_sort(5);
+        let faults = enumerate_faults(&net);
+        let tests: Vec<BitString> = BitString::all(5).collect();
+        let matrix = detection_matrix(&net, &faults, &tests);
+        for (f, fault) in faults.iter().enumerate() {
+            assert_eq!(
+                matrix.first_detection(f),
+                first_detection_index(&net, fault, &tests)
+            );
+            assert_eq!(matrix.detected(f), matrix.first_detection(f).is_some());
+            assert_eq!(
+                matrix.detection_count(f),
+                tests.iter().filter(|t| detects(&net, fault, t)).count()
+            );
+        }
+    }
+
+    #[test]
+    fn first_detections_early_exit_matches_the_full_matrix() {
+        let net = odd_even_merge_sort(6);
+        let faults = enumerate_faults(&net);
+        let tests: Vec<BitString> = BitString::all_unsorted(6).collect();
+        let matrix = detection_matrix(&net, &faults, &tests);
+        let firsts = first_detections(&net, &faults, &tests);
+        for f in 0..faults.len() {
+            assert_eq!(
+                firsts[f],
+                matrix.first_detection(f),
+                "fault {:?}",
+                faults[f]
+            );
+        }
+    }
+
+    #[test]
+    fn bitparallel_redundancy_agrees_with_scalar() {
+        let net = odd_even_merge_sort(6);
+        for fault in enumerate_faults(&net) {
+            assert_eq!(
+                is_fault_redundant_bitparallel(&net, &fault),
+                is_fault_redundant(&net, &fault),
+                "fault {fault:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_misroute_onto_own_top_is_a_no_op_in_both_engines() {
+        // enumerate_faults never emits this shape, but the Fault type
+        // admits it; the scalar simulator treats it as a no-op.
+        let net = odd_even_merge_sort(5);
+        let fault = Fault {
+            comparator: 2,
+            kind: crate::model::FaultKind::Misrouted {
+                new_bottom: net.comparators()[2].top(),
+            },
+        };
+        let inputs: Vec<BitString> = BitString::all(5).collect();
+        let mut block = BitBlock::from_strings(5, &inputs[..32]);
+        faulty_run_block(&net, &fault, &mut block);
+        for (j, input) in inputs[..32].iter().enumerate() {
+            assert_eq!(
+                block.extract(j as u32),
+                faulty_apply_bits(&net, &fault, input)
+            );
+        }
+    }
+
+    #[test]
+    fn empty_test_list_yields_an_all_clear_matrix() {
+        let net = odd_even_merge_sort(4);
+        let faults = enumerate_faults(&net);
+        let matrix = detection_matrix(&net, &faults, &[]);
+        assert_eq!(matrix.test_count(), 0);
+        for f in 0..faults.len() {
+            assert!(!matrix.detected(f));
+            assert_eq!(matrix.first_detection(f), None);
+        }
+        assert_eq!(
+            first_detections(&net, &faults, &[]),
+            vec![None; faults.len()]
+        );
+    }
+}

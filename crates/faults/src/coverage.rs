@@ -7,8 +7,28 @@ use serde::{Deserialize, Serialize};
 use sortnet_combinat::BitString;
 use sortnet_network::Network;
 
+use crate::bitsim::{first_detections, is_fault_redundant_bitparallel};
 use crate::model::{enumerate_faults, Fault};
 use crate::simulate::{first_detection_index, is_fault_redundant};
+
+/// Which simulation engine evaluates the fault universe.
+///
+/// The two engines produce bit-for-bit equal reports wherever both run (the
+/// proptest suite and experiment E10 cross-check them);
+/// [`FaultSimEngine::Scalar`] is retained as the oracle the bit-parallel
+/// path is validated against.  One bounds difference: with
+/// `check_redundancy` the scalar engine's per-fault sweep refuses `n ≥ 24`
+/// ([`is_fault_redundant`]) while the bit-parallel engine accepts up to
+/// `n < 32` ([`is_fault_redundant_bitparallel`]), so oracle comparisons
+/// with redundancy checking are limited to `n < 24`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FaultSimEngine {
+    /// One fault × one test per call ([`crate::simulate`]).
+    Scalar,
+    /// 64 tests per pass with shared-prefix forking ([`crate::bitsim`]).
+    #[default]
+    BitParallel,
+}
 
 /// Result of running a test sequence against the single-fault universe.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -33,11 +53,12 @@ pub struct CoverageReport {
 }
 
 /// Runs every single fault of `network` against the test sequence `tests`
-/// and summarises detection.
+/// and summarises detection, using the default
+/// [`FaultSimEngine::BitParallel`] engine.
 ///
 /// Set `check_redundancy` to `true` to classify undetected faults as
 /// redundant (needs an exhaustive sweep per missed fault, so it is only
-/// advisable for `n ≲ 16`); with `false`, undetected faults are counted as
+/// advisable for `n ≲ 24`); with `false`, undetected faults are counted as
 /// missed.
 #[must_use]
 pub fn coverage_of_tests(
@@ -45,19 +66,43 @@ pub fn coverage_of_tests(
     tests: &[BitString],
     check_redundancy: bool,
 ) -> CoverageReport {
+    coverage_of_tests_with(network, tests, check_redundancy, FaultSimEngine::default())
+}
+
+/// [`coverage_of_tests`] with an explicit engine choice — the scalar path
+/// is the cross-check oracle for the bit-parallel one.
+#[must_use]
+pub fn coverage_of_tests_with(
+    network: &Network,
+    tests: &[BitString],
+    check_redundancy: bool,
+    engine: FaultSimEngine,
+) -> CoverageReport {
     let faults = enumerate_faults(network);
-    let results: Vec<(Option<usize>, bool)> = faults
-        .par_iter()
-        .map(|fault: &Fault| {
-            let first = first_detection_index(network, fault, tests);
-            let redundant = if first.is_none() && check_redundancy {
-                is_fault_redundant(network, fault)
-            } else {
-                false
-            };
-            (first, redundant)
-        })
-        .collect();
+    let results: Vec<(Option<usize>, bool)> = match engine {
+        FaultSimEngine::Scalar => faults
+            .par_iter()
+            .map(|fault: &Fault| {
+                let first = first_detection_index(network, fault, tests);
+                let redundant = if first.is_none() && check_redundancy {
+                    is_fault_redundant(network, fault)
+                } else {
+                    false
+                };
+                (first, redundant)
+            })
+            .collect(),
+        FaultSimEngine::BitParallel => first_detections(network, &faults, tests)
+            .into_iter()
+            .zip(&faults)
+            .map(|(first, fault)| {
+                let redundant = first.is_none()
+                    && check_redundancy
+                    && is_fault_redundant_bitparallel(network, fault);
+                (first, redundant)
+            })
+            .collect(),
+    };
 
     let total_faults = faults.len();
     let redundant_faults = results.iter().filter(|(_, r)| *r).count();
@@ -123,7 +168,10 @@ mod tests {
         let tests: Vec<_> = (0..3).map(|_| sampler.random_input(8)).collect();
         let report = coverage_of_tests(&net, &tests, false);
         assert!(report.detected + report.missed == report.total_faults);
-        assert!(report.missed > 0, "three random inputs should not catch everything");
+        assert!(
+            report.missed > 0,
+            "three random inputs should not catch everything"
+        );
     }
 
     #[test]
@@ -133,6 +181,26 @@ mod tests {
         assert_eq!(report.detected, 0);
         assert_eq!(report.missed, report.total_faults);
         assert_eq!(report.mean_first_detection, 0.0);
+    }
+
+    #[test]
+    fn scalar_and_bitparallel_engines_produce_identical_reports() {
+        let mut sampler = NetworkSampler::new(1234);
+        for _ in 0..5 {
+            let net = sampler.network(7, 14);
+            let tests: Vec<_> = (0..20).map(|_| sampler.random_input(7)).collect();
+            for check_redundancy in [false, true] {
+                let scalar =
+                    coverage_of_tests_with(&net, &tests, check_redundancy, FaultSimEngine::Scalar);
+                let bitpar = coverage_of_tests_with(
+                    &net,
+                    &tests,
+                    check_redundancy,
+                    FaultSimEngine::BitParallel,
+                );
+                assert_eq!(scalar, bitpar, "net {net} redundancy={check_redundancy}");
+            }
+        }
     }
 
     #[test]

@@ -16,14 +16,25 @@
 //! unsorted string, it detects every fault that breaks the sorting property
 //! at all — the interesting measurements are how many tests are needed
 //! before the first detection, and how random sampling compares.
+//!
+//! Fault simulation runs through two engines: the scalar reference in
+//! [`simulate`] (one fault × one test per call) and the bit-parallel engine
+//! in [`bitsim`] (64 tests per pass with shared-prefix forking), selected
+//! via [`coverage::FaultSimEngine`].  The bit-parallel engine is the
+//! default hot path; the scalar one is kept as its cross-check oracle.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitsim;
 pub mod coverage;
 pub mod model;
 pub mod simulate;
 
-pub use coverage::{coverage_of_tests, CoverageReport};
+pub use bitsim::{
+    detection_matrix, faulty_run_block, first_detections, is_fault_redundant_bitparallel,
+    DetectionMatrix,
+};
+pub use coverage::{coverage_of_tests, coverage_of_tests_with, CoverageReport, FaultSimEngine};
 pub use model::{enumerate_faults, Fault, FaultKind};
 pub use simulate::{apply_fault, detects, first_detection_index, is_fault_redundant};

@@ -13,8 +13,18 @@ use crate::model::{Fault, FaultKind};
 /// length mismatches the network.
 #[must_use]
 pub fn faulty_apply_bits(network: &Network, fault: &Fault, input: &BitString) -> BitString {
-    assert!(fault.comparator < network.size(), "fault index out of range");
+    assert!(
+        fault.comparator < network.size(),
+        "fault index out of range"
+    );
     assert_eq!(input.len(), network.lines(), "input length mismatch");
+    // The line indices below shift a u64 word; larger networks would make
+    // `1u64 << i` undefined behaviour-shaped (a shift-overflow panic in
+    // debug, a wrapped shift in release).
+    assert!(
+        network.lines() <= 64,
+        "word-packed fault simulation needs n <= 64 lines"
+    );
     let mut w = input.word();
     for (idx, c) in network.comparators().iter().enumerate() {
         let (i, j) = (c.min_line(), c.max_line());
@@ -30,7 +40,7 @@ pub fn faulty_apply_bits(network: &Network, fault: &Fault, input: &BitString) ->
                     let top = c.top();
                     let bt = (w >> top) & 1;
                     let bb = (w >> new_bottom) & 1;
-                    w = (w & !((1 << top) | (1 << new_bottom)))
+                    w = (w & !((1u64 << top) | (1u64 << new_bottom)))
                         | ((bt & bb) << top)
                         | ((bt | bb) << new_bottom);
                     continue;
@@ -39,7 +49,7 @@ pub fn faulty_apply_bits(network: &Network, fault: &Fault, input: &BitString) ->
         } else {
             (bi & bj, bi | bj)
         };
-        w = (w & !((1 << i) | (1 << j))) | (new_i << i) | (new_j << j);
+        w = (w & !((1u64 << i) | (1u64 << j))) | (new_i << i) | (new_j << j);
     }
     BitString::from_word(w, network.lines())
 }
@@ -91,7 +101,11 @@ pub fn is_fault_redundant(network: &Network, fault: &Fault) -> bool {
 /// Index (0-based) of the first test in `tests` that detects the fault, or
 /// `None` if none does.
 #[must_use]
-pub fn first_detection_index(network: &Network, fault: &Fault, tests: &[BitString]) -> Option<usize> {
+pub fn first_detection_index(
+    network: &Network,
+    fault: &Fault,
+    tests: &[BitString],
+) -> Option<usize> {
     tests.iter().position(|t| detects(network, fault, t))
 }
 

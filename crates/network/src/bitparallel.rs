@@ -49,7 +49,10 @@ impl BitBlock {
     /// inconsistent with `n`.
     #[must_use]
     pub fn from_strings(n: usize, inputs: &[BitString]) -> Self {
-        assert!(!inputs.is_empty() && inputs.len() <= 64, "block must hold 1..=64 vectors");
+        assert!(
+            !inputs.is_empty() && inputs.len() <= 64,
+            "block must hold 1..=64 vectors"
+        );
         let mut lanes = vec![0u64; n];
         for (j, s) in inputs.iter().enumerate() {
             assert_eq!(s.len(), n, "input length mismatch");
@@ -73,7 +76,7 @@ impl BitBlock {
     /// Panics if `count` is 0 or exceeds 64.
     #[must_use]
     pub fn from_range(n: usize, start: u64, count: u32) -> Self {
-        assert!(count >= 1 && count <= 64, "block must hold 1..=64 vectors");
+        assert!((1..=64).contains(&count), "block must hold 1..=64 vectors");
         let mut lanes = vec![0u64; n];
         for j in 0..count {
             let word = start + u64::from(j);
@@ -92,15 +95,83 @@ impl BitBlock {
         self.count
     }
 
+    /// Bitmask with one set bit per vector actually present in the block
+    /// (bits `0..count`).
+    #[must_use]
+    pub fn live_mask(&self) -> u64 {
+        if self.count == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.count) - 1
+        }
+    }
+
+    /// Overwrites this block's lanes and count with `other`'s, reusing the
+    /// existing allocation — the cheap "fork from a shared prefix" primitive
+    /// used by the fault-simulation engine.
+    ///
+    /// # Panics
+    /// Panics if the two blocks have different line counts.
+    pub fn copy_from(&mut self, other: &Self) {
+        assert_eq!(self.lanes.len(), other.lanes.len(), "line count mismatch");
+        self.lanes.copy_from_slice(&other.lanes);
+        self.count = other.count;
+    }
+
+    /// Applies one comparator across all 64 lanes: the AND of the two lanes
+    /// (the 64 minima) is routed to `min_to`, the OR (the 64 maxima) to
+    /// `max_to`.  The lines need not be ordered, so this also evaluates
+    /// non-standard (inverted) comparators.
+    ///
+    /// # Panics
+    /// Panics if either line is out of range or the lines coincide.
+    #[inline]
+    pub fn apply_comparator(&mut self, min_to: usize, max_to: usize) {
+        assert_ne!(min_to, max_to, "a comparator needs two distinct lines");
+        let a = self.lanes[min_to];
+        let b = self.lanes[max_to];
+        self.lanes[min_to] = a & b;
+        self.lanes[max_to] = a | b;
+    }
+
+    /// Exchanges two lanes unconditionally (the lane-level form of a
+    /// stuck-swapping comparator).
+    #[inline]
+    pub fn swap_lanes(&mut self, i: usize, j: usize) {
+        self.lanes.swap(i, j);
+    }
+
+    /// Rewrites the pair of lanes `(i, j)` through an arbitrary 64-lane
+    /// bitwise transfer function — the escape hatch for behavioural fault
+    /// models that are not expressible as a plain comparator.
+    ///
+    /// # Panics
+    /// Panics if `i == j` or either line is out of range.
+    #[inline]
+    pub fn map_pair(&mut self, i: usize, j: usize, f: impl FnOnce(u64, u64) -> (u64, u64)) {
+        assert_ne!(i, j, "map_pair needs two distinct lines");
+        let (a, b) = f(self.lanes[i], self.lanes[j]);
+        self.lanes[i] = a;
+        self.lanes[j] = b;
+    }
+
     /// Runs `network` over the block in place.
     pub fn run(&mut self, network: &Network) {
-        for c in network.comparators() {
-            let i = c.min_line();
-            let j = c.max_line();
-            let a = self.lanes[i];
-            let b = self.lanes[j];
-            self.lanes[i] = a & b;
-            self.lanes[j] = a | b;
+        self.run_range(network, 0, network.size());
+    }
+
+    /// Runs only comparators `start..end` of `network` over the block — the
+    /// suffix-evaluation primitive behind shared-prefix fault forking.
+    ///
+    /// # Panics
+    /// Panics if `start > end` or `end` exceeds the network size.
+    pub fn run_range(&mut self, network: &Network, start: usize, end: usize) {
+        assert!(
+            start <= end && end <= network.size(),
+            "bad comparator range {start}..{end}"
+        );
+        for c in &network.comparators()[start..end] {
+            self.apply_comparator(c.min_line(), c.max_line());
         }
     }
 
@@ -118,12 +189,7 @@ impl BitBlock {
             unsorted |= seen_one & !lane;
             seen_one |= lane;
         }
-        let live = if self.count == 64 {
-            u64::MAX
-        } else {
-            (1u64 << self.count) - 1
-        };
-        unsorted & live
+        unsorted & self.live_mask()
     }
 
     /// Returns, for output line `i`, the 64 output bits of the block.
@@ -149,6 +215,34 @@ impl BitBlock {
     }
 }
 
+/// Number of 64-vector blocks an exhaustive `2^n` sweep visits.
+///
+/// # Panics
+/// Panics if `n ≥ 32` (a larger sweep would take > 4 G evaluations; callers
+/// wanting larger `n` should use the test-set verifiers instead).
+#[must_use]
+pub fn sweep_block_count(n: usize) -> u64 {
+    assert!(
+        n < 32,
+        "exhaustive 2^{n} sweep refused; use test-set verification"
+    );
+    (1u64 << n).div_ceil(64)
+}
+
+/// The `(start word, vector count)` of block `b` of the exhaustive `2^n`
+/// sweep — the shared arithmetic behind every blocked sweep in this module
+/// and the fault-simulation engine.
+///
+/// # Panics
+/// Panics if `n ≥ 32` or `b` is past the last block.
+#[must_use]
+pub fn sweep_block_range(n: usize, b: u64) -> (u64, u32) {
+    assert!(b < sweep_block_count(n), "block index {b} out of range");
+    let total: u64 = 1u64 << n;
+    let start = b * 64;
+    (start, (total - start).min(64) as u32)
+}
+
 /// Exhaustively checks the zero–one sorting property of `network` over all
 /// `2^n` binary inputs, 64 at a time.
 ///
@@ -161,13 +255,10 @@ impl BitBlock {
 #[must_use]
 pub fn find_unsorted_input(network: &Network, hint: ParallelismHint) -> Option<BitString> {
     let n = network.lines();
-    assert!(n < 32, "exhaustive 2^{n} sweep refused; use test-set verification");
-    let total: u64 = 1u64 << n;
-    let block_count = total.div_ceil(64);
+    let block_count = sweep_block_count(n);
 
     let check_block = |b: u64| -> Option<BitString> {
-        let start = b * 64;
-        let count = (total - start).min(64) as u32;
+        let (start, count) = sweep_block_range(n, b);
         let mut block = BitBlock::from_range(n, start, count);
         block.run(network);
         let mask = block.unsorted_mask();
@@ -181,10 +272,10 @@ pub fn find_unsorted_input(network: &Network, hint: ParallelismHint) -> Option<B
 
     match hint {
         ParallelismHint::Sequential => (0..block_count).find_map(check_block),
-        ParallelismHint::Rayon => (0..block_count)
-            .into_par_iter()
-            .filter_map(check_block)
-            .min_by_key(BitString::word),
+        // `find_map_first` keeps the lowest-word witness (blocks are in
+        // ascending word order) and short-circuits, matching the
+        // sequential arm's early exit on the first failing block.
+        ParallelismHint::Rayon => (0..block_count).into_par_iter().find_map_first(check_block),
     }
 }
 
@@ -202,12 +293,9 @@ pub fn is_sorter_exhaustive(network: &Network, hint: ParallelismHint) -> bool {
 #[must_use]
 pub fn count_unsorted_outputs(network: &Network, hint: ParallelismHint) -> u64 {
     let n = network.lines();
-    assert!(n < 32, "exhaustive 2^{n} sweep refused");
-    let total: u64 = 1u64 << n;
-    let block_count = total.div_ceil(64);
+    let block_count = sweep_block_count(n);
     let count_block = |b: u64| -> u64 {
-        let start = b * 64;
-        let count = (total - start).min(64) as u32;
+        let (start, count) = sweep_block_range(n, b);
         let mut block = BitBlock::from_range(n, start, count);
         block.run(network);
         u64::from(block.unsorted_mask().count_ones())
@@ -216,6 +304,67 @@ pub fn count_unsorted_outputs(network: &Network, hint: ParallelismHint) -> u64 {
         ParallelismHint::Sequential => (0..block_count).map(count_block).sum(),
         ParallelismHint::Rayon => (0..block_count).into_par_iter().map(count_block).sum(),
     }
+}
+
+/// Exhaustively checks the `(k, n)`-selection property over all `2^n`
+/// binary inputs, 64 vectors at a time, returning the first (lowest-word)
+/// input whose first `k` outputs are wrong, or `None` for a valid selector.
+///
+/// Per block, the candidate outputs are compared lane-by-lane against the
+/// outputs of a known-good reference sorter (Batcher's merge-exchange
+/// network, itself certified by [`is_sorter_exhaustive`] in this crate's
+/// tests): vector `j` violates selection iff some lane `i < k` of the two
+/// outputs differs.
+///
+/// # Panics
+/// Panics if `k > n` or `n ≥ 32`.
+#[must_use]
+pub fn find_selector_violation(
+    network: &Network,
+    k: usize,
+    hint: ParallelismHint,
+) -> Option<BitString> {
+    let n = network.lines();
+    assert!(k <= n, "k = {k} exceeds n = {n}");
+    let block_count = sweep_block_count(n);
+    if k == 0 {
+        return None;
+    }
+    let reference = crate::builders::batcher::odd_even_merge_sort(n);
+
+    let check_block = |b: u64| -> Option<BitString> {
+        let (start, count) = sweep_block_range(n, b);
+        let inputs = BitBlock::from_range(n, start, count);
+        let mut out = inputs.clone();
+        out.run(network);
+        let mut sorted = inputs;
+        sorted.run(&reference);
+        let mut wrong = 0u64;
+        for i in 0..k {
+            wrong |= out.lane(i) ^ sorted.lane(i);
+        }
+        wrong &= out.live_mask();
+        if wrong == 0 {
+            None
+        } else {
+            let j = wrong.trailing_zeros();
+            Some(BitString::from_word(start + u64::from(j), n))
+        }
+    };
+
+    match hint {
+        ParallelismHint::Sequential => (0..block_count).find_map(check_block),
+        // As in `find_unsorted_input`: first block in ascending order is the
+        // lowest-word witness, and the sweep stops at the first violation.
+        ParallelismHint::Rayon => (0..block_count).into_par_iter().find_map_first(check_block),
+    }
+}
+
+/// `true` iff `network` is a `(k, n)`-selector (bit-parallel exhaustive
+/// sweep; see [`find_selector_violation`]).
+#[must_use]
+pub fn is_selector_exhaustive(network: &Network, k: usize, hint: ParallelismHint) -> bool {
+    find_selector_violation(network, k, hint).is_none()
 }
 
 /// Runs `network` over an arbitrary list of 0/1 test vectors (in 64-wide
@@ -258,7 +407,11 @@ mod tests {
         let mut block = BitBlock::from_strings(4, &inputs[..16]);
         block.run(&net);
         for (j, input) in inputs[..16].iter().enumerate() {
-            assert_eq!(block.extract(j as u32), net.apply_bits(input), "input {input}");
+            assert_eq!(
+                block.extract(j as u32),
+                net.apply_bits(input),
+                "input {input}"
+            );
         }
     }
 
@@ -277,7 +430,10 @@ mod tests {
 
     #[test]
     fn exhaustive_check_accepts_a_real_sorter() {
-        assert!(is_sorter_exhaustive(&batcher4(), ParallelismHint::Sequential));
+        assert!(is_sorter_exhaustive(
+            &batcher4(),
+            ParallelismHint::Sequential
+        ));
         assert!(is_sorter_exhaustive(&batcher4(), ParallelismHint::Rayon));
     }
 
@@ -297,7 +453,10 @@ mod tests {
             let scalar = BitString::all(4)
                 .filter(|s| !net.apply_bits(s).is_sorted())
                 .count() as u64;
-            assert_eq!(count_unsorted_outputs(&net, ParallelismHint::Sequential), scalar);
+            assert_eq!(
+                count_unsorted_outputs(&net, ParallelismHint::Sequential),
+                scalar
+            );
             assert_eq!(count_unsorted_outputs(&net, ParallelismHint::Rayon), scalar);
         }
     }
@@ -306,7 +465,10 @@ mod tests {
     fn empty_network_fails_on_every_unsorted_input() {
         let empty = Network::empty(6);
         let expected = (1u64 << 6) - 6 - 1;
-        assert_eq!(count_unsorted_outputs(&empty, ParallelismHint::Rayon), expected);
+        assert_eq!(
+            count_unsorted_outputs(&empty, ParallelismHint::Rayon),
+            expected
+        );
     }
 
     #[test]
@@ -337,5 +499,72 @@ mod tests {
         let a = BitBlock::from_strings(5, &inputs[..32]);
         let b = BitBlock::from_range(5, 0, 32);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn run_range_splits_compose_to_a_full_run() {
+        let net = batcher4();
+        for cut in 0..=net.size() {
+            let mut split = BitBlock::from_range(4, 0, 16);
+            split.run_range(&net, 0, cut);
+            split.run_range(&net, cut, net.size());
+            let mut whole = BitBlock::from_range(4, 0, 16);
+            whole.run(&net);
+            assert_eq!(split, whole, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn copy_from_forks_a_shared_prefix() {
+        let net = batcher4();
+        let mut prefix = BitBlock::from_range(4, 0, 16);
+        prefix.run_range(&net, 0, 2);
+        let mut fork = BitBlock::from_range(4, 48, 5);
+        fork.copy_from(&prefix);
+        assert_eq!(fork, prefix);
+        fork.run_range(&net, 2, net.size());
+        let mut direct = BitBlock::from_range(4, 0, 16);
+        direct.run(&net);
+        assert_eq!(fork, direct);
+    }
+
+    #[test]
+    fn lane_level_fault_hooks_behave_as_specified() {
+        let mut block = BitBlock::from_range(3, 0, 8);
+        let (a, b) = (block.lane(0), block.lane(2));
+        block.swap_lanes(0, 2);
+        assert_eq!((block.lane(0), block.lane(2)), (b, a));
+        block.map_pair(0, 2, |x, y| (x | y, x & y));
+        assert_eq!((block.lane(0), block.lane(2)), (a | b, a & b));
+        // An inverted comparator is apply_comparator with the lines swapped.
+        let mut inv = BitBlock::from_range(3, 0, 8);
+        inv.apply_comparator(2, 0);
+        assert_eq!(inv.lane(2), a & b);
+        assert_eq!(inv.lane(0), a | b);
+    }
+
+    #[test]
+    fn selector_sweep_agrees_with_scalar_definition() {
+        use crate::builders::batcher::odd_even_merge_sort;
+        for k in 0..=6 {
+            assert!(is_selector_exhaustive(
+                &odd_even_merge_sort(6),
+                k,
+                ParallelismHint::Sequential
+            ));
+        }
+        let empty = Network::empty(5);
+        assert!(is_selector_exhaustive(&empty, 0, ParallelismHint::Rayon));
+        let witness = find_selector_violation(&empty, 2, ParallelismHint::Sequential).unwrap();
+        // The scalar definition: output i (< k) must be 0 exactly when
+        // i < |input|₀ — the empty network violates that on its witness.
+        let out = empty.apply_bits(&witness);
+        let zeros = witness.count_zeros();
+        assert!((0..2).any(|i| out.get(i) != (i >= zeros)));
+        // Sequential and rayon sweeps return the same lowest witness.
+        assert_eq!(
+            find_selector_violation(&empty, 2, ParallelismHint::Rayon),
+            Some(witness)
+        );
     }
 }

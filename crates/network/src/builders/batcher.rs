@@ -124,7 +124,7 @@ pub fn odd_even_merger(p: usize, q: usize) -> Network {
 /// Panics if `n` is odd.
 #[must_use]
 pub fn half_half_merger(n: usize) -> Network {
-    assert!(n % 2 == 0, "(n/2, n/2)-merging needs even n");
+    assert!(n.is_multiple_of(2), "(n/2, n/2)-merging needs even n");
     odd_even_merger(n / 2, n / 2)
 }
 
@@ -147,7 +147,10 @@ mod tests {
         for n in 1..=16 {
             let net = odd_even_merge_sort_recursive(n);
             assert!(net.is_standard());
-            assert!(is_sorter(&net), "recursive odd-even merge sort failed for n = {n}");
+            assert!(
+                is_sorter(&net),
+                "recursive odd-even merge sort failed for n = {n}"
+            );
         }
     }
 
@@ -197,7 +200,10 @@ mod tests {
     fn merger_is_not_a_sorter_for_n_at_least_4() {
         for m in 2..=5 {
             let net = half_half_merger(2 * m);
-            assert!(!is_sorter(&net), "a merger should not sort arbitrary inputs (m={m})");
+            assert!(
+                !is_sorter(&net),
+                "a merger should not sort arbitrary inputs (m={m})"
+            );
         }
     }
 

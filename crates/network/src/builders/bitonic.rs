@@ -18,7 +18,10 @@ use crate::network::Network;
 /// Panics if `n` is not a power of two.
 #[must_use]
 pub fn bitonic_sorter(n: usize) -> Network {
-    assert!(n.is_power_of_two(), "the bitonic sorter requires n to be a power of two");
+    assert!(
+        n.is_power_of_two(),
+        "the bitonic sorter requires n to be a power of two"
+    );
     let mut net = Network::empty(n);
     bitonic_sort(&mut net, 0, n, true);
     net

@@ -45,7 +45,10 @@ pub fn insertion_sort_network(n: usize) -> Network {
 /// of the shape `0^a 1^b 0` restricted to that range.
 #[must_use]
 pub fn bubble_up_chain(n: usize, lo: usize, hi: usize) -> Network {
-    assert!(lo <= hi && hi < n, "invalid chain range {lo}..={hi} on {n} lines");
+    assert!(
+        lo <= hi && hi < n,
+        "invalid chain range {lo}..={hi} on {n} lines"
+    );
     let mut net = Network::empty(n);
     let mut i = hi;
     while i > lo {
@@ -87,7 +90,10 @@ mod tests {
         let n = 6;
         let net = bubble_sort_network(n);
         for idx in 0..net.size() {
-            assert!(!is_sorter(&net.without_comparator(idx)), "comparator {idx} is redundant");
+            assert!(
+                !is_sorter(&net.without_comparator(idx)),
+                "comparator {idx} is redundant"
+            );
         }
     }
 

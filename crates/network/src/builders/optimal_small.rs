@@ -73,7 +73,10 @@ mod tests {
         for n in 1..=10usize {
             let batcher = odd_even_merge_sort(n);
             let optimum = optimal_size(n).unwrap();
-            assert!(batcher.size() >= optimum, "Batcher beats a proved optimum at n = {n}");
+            assert!(
+                batcher.size() >= optimum,
+                "Batcher beats a proved optimum at n = {n}"
+            );
             if n <= 8 {
                 // Batcher's merge exchange is optimal for n ≤ 8.
                 assert_eq!(batcher.size(), optimum, "n = {n}");

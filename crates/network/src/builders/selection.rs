@@ -83,7 +83,11 @@ mod tests {
                     let full = sorter.apply_bits(&input);
                     let part = pruned.apply_bits(&input);
                     for i in 0..k {
-                        assert_eq!(full.get(i), part.get(i), "n={n} k={k} input={input} line={i}");
+                        assert_eq!(
+                            full.get(i),
+                            part.get(i),
+                            "n={n} k={k} input={input} line={i}"
+                        );
                     }
                 }
             }
@@ -107,7 +111,10 @@ mod tests {
                 let sel = chain_selector(n, k);
                 assert!(is_selector(&sel, k), "n={n} k={k}");
                 if k < n - 1 {
-                    assert!(!is_sorter(&sel), "chain selector n={n} k={k} should not be a sorter");
+                    assert!(
+                        !is_sorter(&sel),
+                        "chain selector n={n} k={k} should not be a sorter"
+                    );
                 }
             }
         }

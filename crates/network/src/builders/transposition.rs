@@ -68,7 +68,9 @@ mod tests {
         for n in 2..=8usize {
             for rounds in 0..=n {
                 let net = odd_even_transposition(n, rounds);
-                let sorts_reverse = net.apply_permutation(&Permutation::reverse(n)).is_identity();
+                let sorts_reverse = net
+                    .apply_permutation(&Permutation::reverse(n))
+                    .is_identity();
                 assert_eq!(sorts_reverse, is_sorter(&net), "n={n} rounds={rounds}");
             }
         }

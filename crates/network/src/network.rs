@@ -92,7 +92,11 @@ impl Network {
     /// empty network.
     #[must_use]
     pub fn height(&self) -> usize {
-        self.comparators.iter().map(Comparator::height).max().unwrap_or(0)
+        self.comparators
+            .iter()
+            .map(Comparator::height)
+            .max()
+            .unwrap_or(0)
     }
 
     /// `true` when the network is *primitive* (height-1): every comparator
@@ -479,7 +483,10 @@ mod tests {
         for layer in &layers {
             for (i, a) in layer.iter().enumerate() {
                 for b in &layer[i + 1..] {
-                    assert!(!a.conflicts_with(b), "{a} and {b} share a line in one layer");
+                    assert!(
+                        !a.conflicts_with(b),
+                        "{a} and {b} share a line in one layer"
+                    );
                 }
             }
         }
@@ -513,10 +520,7 @@ mod tests {
         let net = fig1();
         let smaller = net.without_comparator(2);
         assert_eq!(smaller.size(), 3);
-        assert_eq!(
-            smaller.to_compact_string(),
-            "[1,3][2,4][3,4]"
-        );
+        assert_eq!(smaller.to_compact_string(), "[1,3][2,4][3,4]");
     }
 
     #[test]

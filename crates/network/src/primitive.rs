@@ -40,12 +40,11 @@ pub fn for_each_network(n: usize, k: usize, size: usize, mut visit: impl FnMut(&
     let alphabet = comparators_of_height_at_most(n, k);
     let mut stack: Vec<usize> = Vec::with_capacity(size);
     let mut current = Network::empty(n);
-    enumerate(&alphabet, n, size, &mut stack, &mut current, &mut visit);
+    enumerate(&alphabet, size, &mut stack, &mut current, &mut visit);
 }
 
 fn enumerate(
     alphabet: &[Comparator],
-    n: usize,
     remaining: usize,
     stack: &mut Vec<usize>,
     current: &mut Network,
@@ -59,7 +58,7 @@ fn enumerate(
         stack.push(idx);
         let mut next = current.clone();
         next.push(*c);
-        enumerate(alphabet, n, remaining - 1, stack, &mut next, visit);
+        enumerate(alphabet, remaining - 1, stack, &mut next, visit);
         stack.pop();
     }
 }

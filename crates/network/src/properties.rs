@@ -40,21 +40,14 @@ pub fn is_sorter_by_permutations(network: &Network) -> bool {
 ///
 /// For a 0/1 input `σ`, output `i` (0-based, `i < k`) must equal the `i`-th
 /// smallest bit of `σ`, i.e. outputs `0..|σ|₀` must be 0 and outputs
-/// `|σ|₀..k` must be 1.
+/// `|σ|₀..k` must be 1.  The sweep runs 64 vectors per pass through
+/// [`bitparallel::find_selector_violation`].
 ///
 /// # Panics
-/// Panics if `k > n` or `n ≥ 26`.
+/// Panics if `k > n` or `n ≥ 32`.
 #[must_use]
 pub fn is_selector(network: &Network, k: usize) -> bool {
-    let n = network.lines();
-    assert!(k <= n, "k = {k} exceeds n = {n}");
-    assert!(n < 26, "exhaustive 2^{n} selector sweep refused");
-    let total = 1u64 << n;
-    (0..total).into_par_iter().all(|w| {
-        let input = BitString::from_word(w, n);
-        let out = network.apply_bits(&input);
-        selects_correctly(&input, &out, k)
-    })
+    bitparallel::is_selector_exhaustive(network, k, ParallelismHint::Rayon)
 }
 
 /// `true` iff `output` carries the correct `k` smallest bits of `input` on
@@ -74,7 +67,10 @@ pub fn selects_correctly(input: &BitString, output: &BitString, k: usize) -> boo
 #[must_use]
 pub fn is_merger(network: &Network) -> bool {
     let n = network.lines();
-    assert!(n % 2 == 0, "merging networks need an even number of lines");
+    assert!(
+        n.is_multiple_of(2),
+        "merging networks need an even number of lines"
+    );
     let half = n / 2;
     for z1 in 0..=half {
         for z2 in 0..=half {
@@ -97,7 +93,10 @@ pub fn is_merger(network: &Network) -> bool {
 #[must_use]
 pub fn is_merger_by_permutations(network: &Network) -> bool {
     let n = network.lines();
-    assert!(n % 2 == 0, "merging networks need an even number of lines");
+    assert!(
+        n.is_multiple_of(2),
+        "merging networks need an even number of lines"
+    );
     assert!(n <= 16, "C(n, n/2) enumeration refused for n = {n}");
     let half = n / 2;
     // Choose which values go to the first half; each half is then sorted.
@@ -206,11 +205,37 @@ mod tests {
     }
 
     #[test]
+    fn bitparallel_selector_sweep_matches_the_scalar_definition() {
+        use crate::random::NetworkSampler;
+        let mut sampler = NetworkSampler::new(99);
+        for _ in 0..20 {
+            let net = sampler.network(6, 7);
+            for k in 0..=6 {
+                let scalar =
+                    BitString::all(6).all(|s| selects_correctly(&s, &net.apply_bits(&s), k));
+                assert_eq!(is_selector(&net, k), scalar, "net {net} k={k}");
+            }
+        }
+    }
+
+    #[test]
     fn selects_correctly_examples() {
         let input = BitString::parse("0110").unwrap();
         // sorted(input) = 0011: first two outputs must be 0,0.
-        assert!(selects_correctly(&input, &BitString::parse("0011").unwrap(), 4));
-        assert!(selects_correctly(&input, &BitString::parse("0010").unwrap(), 2));
-        assert!(!selects_correctly(&input, &BitString::parse("0100").unwrap(), 2));
+        assert!(selects_correctly(
+            &input,
+            &BitString::parse("0011").unwrap(),
+            4
+        ));
+        assert!(selects_correctly(
+            &input,
+            &BitString::parse("0010").unwrap(),
+            2
+        ));
+        assert!(!selects_correctly(
+            &input,
+            &BitString::parse("0100").unwrap(),
+            2
+        ));
     }
 }

@@ -49,7 +49,8 @@ pub fn ascii_diagram(network: &Network) -> String {
 /// when laid out left-to-right.
 #[must_use]
 pub fn dot(network: &Network) -> String {
-    let mut out = String::from("digraph comparator_network {\n  rankdir=LR;\n  node [shape=point];\n");
+    let mut out =
+        String::from("digraph comparator_network {\n  rankdir=LR;\n  node [shape=point];\n");
     let n = network.lines();
     let depth = network.layers().len();
     // Nodes: (line, stage).

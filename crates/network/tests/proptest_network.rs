@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 
 use sortnet_combinat::BitString;
-use sortnet_network::bitparallel::{BitBlock, count_unsorted_outputs, ParallelismHint};
+use sortnet_network::bitparallel::{count_unsorted_outputs, BitBlock, ParallelismHint};
 use sortnet_network::builders::batcher::odd_even_merge_sort;
 use sortnet_network::{Comparator, Network};
 

@@ -1,0 +1,320 @@
+//! Small wall-clock benchmarking harness shimming the subset of the
+//! `criterion` API this workspace uses (the build environment has no
+//! crates.io access).
+//!
+//! Measurement model: each benchmark is calibrated with one timed call, the
+//! per-sample iteration count is chosen so a sample lasts ≳1 ms, and up to
+//! `sample_size` samples are collected subject to the group's
+//! `measurement_time` budget.  The reported statistic is the **median**
+//! ns/iteration (plus min/mean), which is robust to scheduler noise.
+//!
+//! Every run appends its results to a JSON summary —
+//! `target/bench-summaries/<benchmark-binary>.json` by default, overridable
+//! with the `BENCH_SUMMARY_PATH` environment variable — so perf trajectories
+//! (the `BENCH_*` records in CHANGES.md/ROADMAP.md) can be diffed across
+//! commits without parsing human-oriented output.
+
+use std::fmt;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group: `function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Throughput annotation (recorded in the JSON summary).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// One measured benchmark, as recorded in the JSON summary.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// `group/function/parameter`.
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+    /// Optional throughput annotation.
+    pub throughput: Option<Throughput>,
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    records: Vec<BenchRecord>,
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut group = self.benchmark_group("default");
+        let id = id.to_string();
+        group.bench_with_input(BenchmarkId::from_parameter(id), &(), move |b, ()| f(b));
+        group.finish();
+        self
+    }
+
+    /// Writes the JSON summary and prints its location.  Called by
+    /// [`criterion_main!`] after all groups have run.
+    pub fn final_summary(&self) {
+        if self.records.is_empty() {
+            return;
+        }
+        let path = std::env::var("BENCH_SUMMARY_PATH").unwrap_or_else(|_| {
+            let exe_path = std::env::current_exe().ok();
+            let exe = exe_path
+                .as_deref()
+                .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+                .unwrap_or_else(|| "bench".to_string());
+            // Strip cargo's `-<hash>` suffix from the bench binary name.
+            let stem = exe.rsplit_once('-').map_or(exe.clone(), |(head, tail)| {
+                if tail.len() == 16 && tail.bytes().all(|b| b.is_ascii_hexdigit()) {
+                    head.to_string()
+                } else {
+                    exe.clone()
+                }
+            });
+            // Anchor at the build's real `target/` directory (the bench
+            // binary lives in `<ws>/target/<profile>/deps/`); cargo runs
+            // benches with the *package* dir as cwd, so a relative path
+            // would otherwise land in `crates/<pkg>/target/`.
+            let summary_dir = exe_path
+                .and_then(|p| {
+                    p.ancestors()
+                        .find(|a| a.file_name().is_some_and(|n| n == "target"))
+                        .map(|t| t.join("bench-summaries"))
+                })
+                .unwrap_or_else(|| std::path::PathBuf::from("target/bench-summaries"));
+            summary_dir
+                .join(format!("{stem}.json"))
+                .display()
+                .to_string()
+        });
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        let mut out = String::from("[\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let sep = if i + 1 == self.records.len() { "" } else { "," };
+            let throughput = match r.throughput {
+                Some(Throughput::Elements(e)) => format!(", \"elements\": {e}"),
+                Some(Throughput::Bytes(b)) => format!(", \"bytes\": {b}"),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "  {{\"id\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}{}}}{}\n",
+                r.id, r.median_ns, r.mean_ns, r.min_ns, r.samples, r.iters_per_sample, throughput, sep
+            ));
+        }
+        out.push_str("]\n");
+        match std::fs::File::create(&path).and_then(|mut f| f.write_all(out.as_bytes())) {
+            Ok(()) => println!("\nbench summary written to {path}"),
+            Err(e) => eprintln!("\ncould not write bench summary {path}: {e}"),
+        }
+    }
+}
+
+/// A group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples to collect per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(2);
+        self
+    }
+
+    /// Sets the wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            result: None,
+        };
+        f(&mut bencher, input);
+        if let Some((samples_ns_per_iter, iters)) = bencher.result {
+            let mut sorted = samples_ns_per_iter.clone();
+            sorted.sort_by(f64::total_cmp);
+            let median = sorted[sorted.len() / 2];
+            let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+            let record = BenchRecord {
+                id: format!("{}/{}", self.name, id),
+                median_ns: median,
+                mean_ns: mean,
+                min_ns: sorted[0],
+                samples: sorted.len(),
+                iters_per_sample: iters,
+                throughput: self.throughput,
+            };
+            println!(
+                "bench: {:<60} median {:>12.1} ns/iter ({} samples x {} iters)",
+                record.id, record.median_ns, record.samples, record.iters_per_sample
+            );
+            self.criterion.records.push(record);
+        }
+        self
+    }
+
+    /// Ends the group (statistics are recorded incrementally).
+    pub fn finish(&mut self) {}
+}
+
+/// The per-benchmark timing driver handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    /// `(ns-per-iter samples, iters per sample)` once [`Bencher::iter`] ran.
+    result: Option<(Vec<f64>, u64)>,
+}
+
+impl Bencher {
+    /// Measures `f`, keeping its output alive so the call is not optimised
+    /// away.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Calibrate: one warmup/calibration call.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        // Aim for ≥1 ms per sample so short closures are batch-timed.
+        let iters =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let budget = Instant::now();
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / iters as f64;
+            samples.push(ns);
+            if budget.elapsed() > self.measurement_time && samples.len() >= 2 {
+                break;
+            }
+        }
+        self.result = Some((samples, iters));
+    }
+}
+
+/// Declares a function running a list of benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary: runs every group, then writes
+/// the JSON summary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_a_measurement() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("unit");
+            g.sample_size(3).measurement_time(Duration::from_millis(50));
+            g.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+            g.finish();
+        }
+        assert_eq!(c.records.len(), 1);
+        assert!(c.records[0].median_ns > 0.0);
+        assert_eq!(c.records[0].id, "unit/sum/100");
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter(3).to_string(), "3");
+    }
+}

@@ -1,0 +1,467 @@
+//! Mini property-testing harness shimming the subset of the `proptest` API
+//! this workspace uses (the build environment has no crates.io access).
+//!
+//! Supported surface:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(N))]` header and
+//!   `name in strategy` argument bindings;
+//! * [`strategy::Strategy`] with `prop_map`, implemented for integer ranges
+//!   (`Range`, `RangeInclusive`) and tuples of strategies;
+//! * `prop::collection::vec(strategy, size)` with exact, `a..b` and `a..=b`
+//!   sizes;
+//! * [`arbitrary::any`] for the primitive integers;
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assume!`.
+//!
+//! Differences from real proptest: failing cases are **not shrunk** (the
+//! failing case number is printed to stderr and the RNG is deterministic
+//! per test name, so failures reproduce exactly), and there is no
+//! persistence file.  Each test function runs `config.cases` random cases.
+
+/// Runner configuration and the deterministic RNG.
+pub mod test_runner {
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` random cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    use rand::prelude::{Rng, SeedableRng, StdRng};
+
+    /// Deterministic RNG used to drive strategies — the rand shim's
+    /// xoshiro256++ generator behind a name-seeded constructor (real
+    /// proptest likewise builds its `TestRng` on the rand crate).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// A generator seeded deterministically from a test's name, so each
+        /// `proptest!` test has a stable, independent stream.
+        #[must_use]
+        pub fn deterministic(name: &str) -> Self {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a over the name
+            for b in name.bytes() {
+                seed ^= u64::from(b);
+                seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self {
+                inner: StdRng::seed_from_u64(seed),
+            }
+        }
+
+        /// The next 64 raw bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.inner.random()
+        }
+
+        /// Uniform value below `bound` (rejection sampling, exact).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "empty sampling bound");
+            self.inner.random_range(0..bound)
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Integer types usable as range endpoints.
+    pub trait RangeValue: Copy {
+        /// To `u128` for uniform span arithmetic.
+        fn to_u128(self) -> u128;
+        /// Back from `u128`.
+        fn from_u128(v: u128) -> Self;
+    }
+
+    macro_rules! impl_range_value {
+        ($($t:ty),*) => {$(
+            impl RangeValue for $t {
+                fn to_u128(self) -> u128 { self as u128 }
+                fn from_u128(v: u128) -> Self { v as $t }
+            }
+        )*};
+    }
+    impl_range_value!(u8, u16, u32, u64, u128, usize);
+
+    fn sample_span(rng: &mut TestRng, span: u128) -> u128 {
+        if span <= u128::from(u64::MAX) {
+            u128::from(rng.below(span as u64))
+        } else {
+            // Spans beyond 2^64 never occur in this workspace's tests; a
+            // two-word draw modulo the span is plenty uniform for a shim.
+            let wide = (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64());
+            wide % span
+        }
+    }
+
+    impl<T: RangeValue> Strategy for Range<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let lo = self.start.to_u128();
+            let hi = self.end.to_u128();
+            assert!(lo < hi, "cannot sample from an empty range");
+            T::from_u128(lo + sample_span(rng, hi - lo))
+        }
+    }
+
+    impl<T: RangeValue> Strategy for RangeInclusive<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let lo = self.start().to_u128();
+            let hi = self.end().to_u128();
+            assert!(lo <= hi, "cannot sample from an empty range");
+            T::from_u128(lo + sample_span(rng, hi - lo + 1))
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+}
+
+/// `prop::collection` — strategies over collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Accepted sizes for [`vec`]: an exact length or a length range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max: n }
+        }
+    }
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            Self {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min + 1) as u64;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A `Vec` of values from `element`, with `size` elements.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// `any::<T>()` for primitive types.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "whole domain" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws a uniform value over the type's domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self { rng.next_u64() as $t }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A strategy producing uniform values over `T`'s whole domain.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// Runs `config.cases` random cases of a property (the engine behind
+/// [`proptest!`]).  The property returns `ControlFlow::Break` to skip a case
+/// (via `prop_assume!`) and panics to fail.
+///
+/// A failing case is reported to stderr with its case number before the
+/// panic propagates, so the (deterministic, name-seeded) failure is easy to
+/// locate when re-running.
+pub fn run_cases(
+    name: &str,
+    config: &test_runner::Config,
+    mut case: impl FnMut(&mut test_runner::TestRng, u32),
+) {
+    let mut rng = test_runner::TestRng::deterministic(name);
+    for case_number in 0..config.cases {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            case(&mut rng, case_number);
+        }));
+        if let Err(payload) = outcome {
+            eprintln!(
+                "proptest shim: property `{name}` failed at case {case_number} of {} \
+                 (deterministic per test name — re-running reproduces it)",
+                config.cases
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// The proptest macro: declares `#[test]` functions whose arguments are
+/// drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (@config ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                let __strategies = ( $($strat,)* );
+                $crate::run_cases(stringify!($name), &__config, |__rng, __case| {
+                    let ( $($arg,)* ) = {
+                        let ( $(ref $arg,)* ) = __strategies;
+                        ( $($crate::strategy::Strategy::sample($arg, __rng),)* )
+                    };
+                    #[allow(clippy::redundant_closure_call)]
+                    let __flow: ::core::ops::ControlFlow<()> = (|| {
+                        { $body }
+                        ::core::ops::ControlFlow::Continue(())
+                    })();
+                    let _ = (__flow, __case);
+                });
+            }
+        )*
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@config ($config) $($rest)*);
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@config (<$crate::test_runner::Config as ::core::default::Default>::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        assert!($cond $(, $($fmt)*)?)
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(, $($fmt:tt)*)?) => {
+        assert_eq!($left, $right $(, $($fmt)*)?)
+    };
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::ops::ControlFlow::Break(());
+        }
+    };
+}
+
+/// The proptest prelude.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+
+    /// The `prop` namespace (`prop::collection::vec(...)`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in 0u64..=5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 5);
+        }
+
+        #[test]
+        fn tuples_and_vecs_compose(pair in (0usize..4, 0usize..4), v in prop::collection::vec(0u32..100, 2..=6)) {
+            prop_assert!(pair.0 < 4 && pair.1 < 4);
+            prop_assert!((2..=6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 100));
+        }
+
+        #[test]
+        fn prop_map_and_any_work(w in any::<u64>(), s in (0u64..100).prop_map(|x| x * 2)) {
+            let _ = w;
+            prop_assert_eq!(s % 2, 0);
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0usize..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    static EXECUTED_CASES: AtomicU32 = AtomicU32::new(0);
+
+    // Declared without `#[test]` so only the counting test below drives it
+    // (attributes are passed through verbatim by the macro).
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(37))]
+
+        fn bodies_actually_run(x in 0u64..1000) {
+            let _ = x;
+            EXECUTED_CASES.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn proptest_macro_runs_the_configured_number_of_cases() {
+        bodies_actually_run();
+        assert_eq!(EXECUTED_CASES.load(Ordering::SeqCst), 37);
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion must trip")]
+    fn failing_properties_panic() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn always_fails(x in 5u64..10) {
+                prop_assert!(x < 5, "assertion must trip");
+            }
+        }
+        always_fails();
+    }
+
+    #[test]
+    fn deterministic_rng_is_stable_per_name() {
+        let mut a = crate::test_runner::TestRng::deterministic("abc");
+        let mut b = crate::test_runner::TestRng::deterministic("abc");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,161 @@
+//! Minimal shim for the subset of the `rand` 0.9 API this workspace uses:
+//! `StdRng::seed_from_u64`, `Rng::random`, and `Rng::random_range` over
+//! integer ranges.
+//!
+//! The generator is **xoshiro256++** seeded through SplitMix64 — the same
+//! construction the real `rand` crate documents for `SeedableRng::seed_from_u64`
+//! — so it is a high-quality, reproducible source for the experiment
+//! harness.  It is *not* the same stream as the real `StdRng` (which is
+//! ChaCha12); seeds are only comparable within this workspace, which is all
+//! the experiments need.
+
+/// Integer types samplable by [`Rng::random`] and [`Rng::random_range`].
+pub trait SampleUniform: Copy {
+    /// Draws a uniform value of `Self` from 64 raw bits.
+    fn from_raw(raw: u64) -> Self;
+    /// Converts to `u64` for range arithmetic.
+    fn to_u64(self) -> u64;
+    /// Converts back from `u64` after range arithmetic.
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn from_raw(raw: u64) -> Self { raw as $t }
+            fn to_u64(self) -> u64 { self as u64 }
+            fn from_u64(v: u64) -> Self { v as $t }
+        }
+    )*};
+}
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+/// The random-value and random-range interface.
+pub trait Rng {
+    /// The next 64 raw bits from the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform random value of `T` over its whole domain.
+    fn random<T: SampleUniform>(&mut self) -> T {
+        T::from_raw(self.next_u64())
+    }
+
+    /// A uniform random value in `range` (half-open), via Lemire-style
+    /// rejection sampling so the distribution is exactly uniform.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T {
+        let lo = range.start.to_u64();
+        let hi = range.end.to_u64();
+        assert!(lo < hi, "cannot sample from an empty range");
+        let span = hi - lo;
+        // Rejection sampling on the top bits: unbiased and fast for the
+        // small spans used by the samplers.
+        let zone = u64::MAX - (u64::MAX % span);
+        loop {
+            let raw = self.next_u64();
+            if raw < zone {
+                return T::from_u64(lo + raw % span);
+            }
+        }
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a deterministic function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// xoshiro256++ generator (see module docs: a stand-in for the real
+    /// `StdRng`, deterministic per seed).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut s = seed;
+            Self {
+                state: [
+                    splitmix64(&mut s),
+                    splitmix64(&mut s),
+                    splitmix64(&mut s),
+                    splitmix64(&mut s),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [mut s0, mut s1, mut s2, mut s3] = self.state;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            s2 ^= s0;
+            s3 ^= s1;
+            s1 ^= s2;
+            s0 ^= s3;
+            s2 ^= t;
+            s3 = s3.rotate_left(45);
+            self.state = [s0, s1, s2, s3];
+            result
+        }
+    }
+}
+
+/// The rand prelude: the traits users call methods through.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::{Rng, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..10).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..10).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..10).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds_and_hit_everything() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v: usize = rng.random_range(0..10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn random_u64_varies() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a: u64 = rng.random();
+        let b: u64 = rng.random();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,104 @@
+//! Minimal, **sequential** drop-in shim for the subset of the `rayon` API
+//! this workspace uses.
+//!
+//! The build environment has no crates.io access, so the real work-stealing
+//! thread pool is replaced by plain `std` iterators: `into_par_iter()` /
+//! `par_iter()` simply hand back the corresponding sequential iterator, and
+//! every downstream adaptor (`map`, `filter_map`, `all`, `sum`,
+//! `min_by_key`, `collect`, …) is the ordinary [`Iterator`] machinery.
+//!
+//! Semantics are identical to rayon's for the combinators used here (rayon
+//! guarantees deterministic results for these adaptors); only the wall-clock
+//! scaling across cores is lost.  The workspace's hot paths get their speed
+//! from 64-lane bit-parallel evaluation instead (see
+//! `sortnet_network::bitparallel` and `sortnet_faults::bitsim`), which is
+//! orthogonal to thread-level parallelism.
+
+/// The rayon prelude: parallel-iterator conversion traits.
+pub mod prelude {
+    /// Conversion into a "parallel" iterator (sequential in this shim).
+    pub trait IntoParallelIterator {
+        /// The iterator produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// The element type.
+        type Item;
+        /// Converts `self` into an iterator (sequentially evaluated).
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        type Item = I::Item;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Rayon-only adaptors that have no [`Iterator`] counterpart, provided
+    /// for every sequential iterator so call sites need no changes.
+    pub trait ParallelIterator: Iterator + Sized {
+        /// Rayon's `flat_map_iter`: sequentially identical to `flat_map`.
+        fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+        where
+            U: IntoIterator,
+            F: FnMut(Self::Item) -> U,
+        {
+            self.flat_map(f)
+        }
+
+        /// Rayon's `find_map_first`: the first (in iterator order) mapped
+        /// `Some`.  Sequentially this is exactly `Iterator::find_map`, which
+        /// also short-circuits — callers keep their early exit under the
+        /// shim.
+        fn find_map_first<U, F>(mut self, f: F) -> Option<U>
+        where
+            F: FnMut(Self::Item) -> Option<U>,
+        {
+            self.find_map(f)
+        }
+    }
+
+    impl<I: Iterator> ParallelIterator for I {}
+
+    /// `par_iter()` on collections borrowed by reference.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The iterator produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// The element type (a shared reference).
+        type Item: 'data;
+        /// Iterates `self` by reference (sequentially evaluated).
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, C> IntoParallelRefIterator<'data> for C
+    where
+        C: ?Sized + 'data,
+        &'data C: IntoParallelIterator,
+    {
+        type Iter = <&'data C as IntoParallelIterator>::Iter;
+        type Item = <&'data C as IntoParallelIterator>::Item;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_par_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_slices_behave_like_std_iterators() {
+        let sum: u64 = (0u64..100).into_par_iter().map(|x| x * 2).sum();
+        assert_eq!(sum, 9900);
+        let v = vec![3, 1, 2];
+        let collected: Vec<i32> = v.par_iter().map(|x| x + 1).collect();
+        assert_eq!(collected, vec![4, 2, 3]);
+        let smallest_multiple = (1u64..50)
+            .into_par_iter()
+            .filter_map(|x| if x % 7 == 0 { Some(x * 10) } else { None })
+            .min_by_key(|&x| x);
+        assert_eq!(smallest_multiple, Some(70));
+        assert!((0u32..10).into_par_iter().all(|x| x < 10));
+    }
+}

@@ -1,0 +1,35 @@
+//! Marker-trait shim for the `serde` API surface this workspace uses.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types so they
+//! are interchange-ready; with no crates.io access the real serde cannot be
+//! built, so this shim provides the two traits as **markers** (no methods)
+//! plus the derive macros from the sibling `serde_derive` shim.  Nothing in
+//! the workspace performs actual serialization at build time — the JSON the
+//! experiment harness emits is written by hand — so marker impls are all the
+//! type system needs.  Dropping the real serde back in is a manifest-only
+//! change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! impl_markers {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+impl_markers!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, String
+);
+
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for [T] {}
+impl<T: Serialize> Serialize for &T where T: ?Sized {}

@@ -1,0 +1,61 @@
+//! Derive-macro shim for `serde`'s `Serialize` / `Deserialize`.
+//!
+//! The workspace's types carry `#[derive(Serialize, Deserialize)]` so they
+//! are interchange-ready when the real serde is available.  This shim (used
+//! because the build environment has no crates.io access) emits **marker
+//! impls** of the shimmed traits in `crate serde` — enough for the derives
+//! and trait bounds to compile, with no actual serialization format behind
+//! them.  It parses the item header with `proc_macro` alone (no `syn`), so
+//! it supports the plain non-generic structs and enums this workspace
+//! defines; deriving on a generic type is a compile error with a clear
+//! message.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name from a struct/enum definition token stream.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Ident(ident) => {
+                let word = ident.to_string();
+                if word == "struct" || word == "enum" {
+                    let name = match tokens.next() {
+                        Some(TokenTree::Ident(name)) => name.to_string(),
+                        other => panic!("expected a type name after `{word}`, found {other:?}"),
+                    };
+                    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                        assert!(
+                            p.as_char() != '<',
+                            "the serde shim derive does not support generic types (type `{name}`)"
+                        );
+                    }
+                    return name;
+                }
+                // `pub`, `pub(crate)`, etc. — keep scanning.
+            }
+            // Outer attributes (#[...]) and doc comments arrive as Punct +
+            // Group pairs; skip them.
+            TokenTree::Punct(_) | TokenTree::Group(_) | TokenTree::Literal(_) => {}
+        }
+    }
+    panic!("serde shim derive: no `struct` or `enum` found in input");
+}
+
+/// Marker-impl derive for `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl must parse")
+}
+
+/// Marker-impl derive for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl must parse")
+}

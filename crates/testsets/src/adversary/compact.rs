@@ -84,7 +84,10 @@ pub fn build(sigma: &BitString) -> Network {
 /// failure output).
 #[must_use]
 pub fn canonical_failure_output(z: usize, o: usize) -> BitString {
-    assert!(z >= 1 && o >= 1, "canonical failure output needs both symbols");
+    assert!(
+        z >= 1 && o >= 1,
+        "canonical failure output needs both symbols"
+    );
     BitString::sorted_with(z - 1, 1)
         .concat(&BitString::zeros(1))
         .concat(&BitString::sorted_with(0, o - 1))
@@ -98,7 +101,10 @@ fn identity_map(k: usize) -> Vec<usize> {
 /// the `S(n−k)` box).
 fn build_ends_in_one(sigma: &BitString, prefix: &BitString) -> Network {
     let n = sigma.len();
-    debug_assert!(!prefix.is_sorted(), "σ unsorted and ending in 1 forces an unsorted prefix");
+    debug_assert!(
+        !prefix.is_sorted(),
+        "σ unsorted and ending in 1 forces an unsorted prefix"
+    );
     let inner = build(prefix);
     let rho = inner.apply_bits(prefix);
     debug_assert!(!rho.is_sorted());
@@ -140,11 +146,7 @@ mod tests {
         // The compact recursion, specialised to n = 3, produces exactly the
         // two-comparator networks of the paper's Figure 2.
         for sigma in fig2::fig2_strings() {
-            assert_eq!(
-                build(&sigma),
-                fig2::base_adversary(&sigma),
-                "σ = {sigma}"
-            );
+            assert_eq!(build(&sigma), fig2::base_adversary(&sigma), "σ = {sigma}");
         }
     }
 
@@ -164,8 +166,7 @@ mod tests {
             for sigma in BitString::all_unsorted(n) {
                 let net = build(&sigma);
                 let out = net.apply_bits(&sigma);
-                let expected =
-                    canonical_failure_output(sigma.count_zeros(), sigma.count_ones());
+                let expected = canonical_failure_output(sigma.count_zeros(), sigma.count_ones());
                 assert_eq!(out, expected, "σ = {sigma}");
             }
         }

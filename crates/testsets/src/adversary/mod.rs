@@ -165,7 +165,10 @@ mod tests {
             for sigma in BitString::all_unsorted(n) {
                 for variant in [AdversaryVariant::Compact, AdversaryVariant::Paper] {
                     let net = adversary_network(&sigma, variant);
-                    assert!(net.is_standard(), "{variant:?} produced a non-standard network");
+                    assert!(
+                        net.is_standard(),
+                        "{variant:?} produced a non-standard network"
+                    );
                     assert!(
                         fails_exactly_on(&net, &sigma),
                         "{variant:?} failed Lemma 2.1 for σ = {sigma}"

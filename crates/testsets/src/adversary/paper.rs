@@ -162,7 +162,10 @@ mod tests {
             *seen.entry(label).or_default() += 1;
         }
         for case in ["A", "B", "C", "mirror"] {
-            assert!(seen.get(case).copied().unwrap_or(0) > 0, "case {case} never exercised");
+            assert!(
+                seen.get(case).copied().unwrap_or(0) > 0,
+                "case {case} never exercised"
+            );
         }
     }
 
@@ -193,7 +196,10 @@ mod tests {
     #[test]
     fn classify_matches_structure_of_sigma() {
         assert_eq!(classify(&BitString::parse("0101").unwrap()), PaperCase::C);
-        assert_eq!(classify(&BitString::parse("0110").unwrap()), PaperCase::Mirror);
+        assert_eq!(
+            classify(&BitString::parse("0110").unwrap()),
+            PaperCase::Mirror
+        );
         assert_eq!(classify(&BitString::parse("1000").unwrap()), PaperCase::A);
         assert_eq!(classify(&BitString::parse("1010").unwrap()), PaperCase::B);
         assert_eq!(classify(&BitString::parse("110").unwrap()), PaperCase::Base);

@@ -53,7 +53,10 @@ pub fn has_prefix_covering_property(family: &[Permutation], n: usize, k: usize) 
         let mut seen: HashSet<u64> = HashSet::new();
         for p in family {
             let prefix = Subset::from_elements(
-                &p.values()[..t].iter().map(|&v| v as usize).collect::<Vec<_>>(),
+                &p.values()[..t]
+                    .iter()
+                    .map(|&v| v as usize)
+                    .collect::<Vec<_>>(),
                 n,
             );
             seen.insert(prefix.mask());

@@ -27,7 +27,10 @@ pub fn set_covers(perms: &[Permutation], target: &BitString) -> bool {
 /// Returns the strings in `targets` that are *not* covered by any
 /// permutation in `perms` (the witnesses that `perms` is not a test set).
 #[must_use]
-pub fn uncovered<'a>(perms: &[Permutation], targets: impl IntoIterator<Item = &'a BitString>) -> Vec<BitString> {
+pub fn uncovered<'a>(
+    perms: &[Permutation],
+    targets: impl IntoIterator<Item = &'a BitString>,
+) -> Vec<BitString> {
     targets
         .into_iter()
         .filter(|t| !set_covers(perms, t))
@@ -48,12 +51,12 @@ pub fn covering_permutation(sigma: &BitString) -> Permutation {
     let mut values = vec![0u8; n];
     let mut next_small = 0u8;
     let mut next_large = sigma.count_zeros() as u8;
-    for i in 0..n {
+    for (i, value) in values.iter_mut().enumerate() {
         if sigma.get(i) {
-            values[i] = next_large;
+            *value = next_large;
             next_large += 1;
         } else {
-            values[i] = next_small;
+            *value = next_small;
             next_small += 1;
         }
     }

@@ -60,11 +60,9 @@ pub fn check_certificate(network: &Network, certificate: &Certificate) -> bool {
     let output = network.apply_bits(&certificate.input);
     match certificate.property {
         Property::Sorter => !output.is_sorted(),
-        Property::Selector { k } => {
-            k <= n && !selects_correctly(&certificate.input, &output, k)
-        }
+        Property::Selector { k } => k <= n && !selects_correctly(&certificate.input, &output, k),
         Property::Merger => {
-            if n % 2 != 0 {
+            if !n.is_multiple_of(2) {
                 return false;
             }
             let half = n / 2;
@@ -118,7 +116,10 @@ mod tests {
         for sigma in BitString::all_unsorted(6) {
             let h = adversary::adversary(&sigma);
             let cert = find_certificate(&h, Property::Sorter).expect("H_σ is not a sorter");
-            assert_eq!(cert.input, sigma, "the only possible certificate is σ itself");
+            assert_eq!(
+                cert.input, sigma,
+                "the only possible certificate is σ itself"
+            );
             assert!(check_certificate(&h, &cert));
         }
     }
@@ -167,8 +168,14 @@ mod tests {
             let merging = testset_exponential_fraction(Property::Merger, n);
             let select1 = testset_exponential_fraction(Property::Selector { k: 1 }, n);
             assert!(sorting > 0.9, "sorting fraction at n = {n} was {sorting}");
-            assert!(merging < previous_merging, "merging fraction must shrink with n");
-            assert!(select1 <= merging, "1-selection needs no more tests than merging");
+            assert!(
+                merging < previous_merging,
+                "merging fraction must shrink with n"
+            );
+            assert!(
+                select1 <= merging,
+                "1-selection needs no more tests than merging"
+            );
             previous_merging = merging;
         }
         assert!(testset_exponential_fraction(Property::Merger, 24) < 1e-4);

@@ -151,7 +151,9 @@ pub fn minimum_hitting_set_size(signatures: &[u64], universe_size: usize) -> usi
     // Greedy upper bound followed by exact search over the few unforced
     // elements (in the paper's setting `remaining` is empty, but keep the
     // solver honest for weaker adversary pools).
-    let free: Vec<usize> = (0..universe_size).filter(|&i| forced & (1 << i) == 0).collect();
+    let free: Vec<usize> = (0..universe_size)
+        .filter(|&i| forced & (1 << i) == 0)
+        .collect();
     for extra in 0..=free.len() {
         if let Some(count) = try_cover(&remaining, &free, extra, 0, 0) {
             return forced.count_ones() as usize + count;
@@ -160,7 +162,13 @@ pub fn minimum_hitting_set_size(signatures: &[u64], universe_size: usize) -> usi
     forced.count_ones() as usize + free.len()
 }
 
-fn try_cover(signatures: &[u64], free: &[usize], budget: usize, start: usize, chosen: u64) -> Option<usize> {
+fn try_cover(
+    signatures: &[u64],
+    free: &[usize],
+    budget: usize,
+    start: usize,
+    chosen: u64,
+) -> Option<usize> {
     if signatures.iter().all(|&s| s & chosen != 0) {
         return Some(chosen.count_ones() as usize);
     }

@@ -24,7 +24,10 @@ use sortnet_network::Network;
 /// Panics if `n` is odd.
 #[must_use]
 pub fn binary_testset(n: usize) -> Vec<BitString> {
-    assert!(n % 2 == 0, "merging networks need an even number of lines");
+    assert!(
+        n.is_multiple_of(2),
+        "merging networks need an even number of lines"
+    );
     let half = n / 2;
     let mut out = Vec::new();
     for z1 in 0..=half {
@@ -51,7 +54,10 @@ pub fn binary_testset(n: usize) -> Vec<BitString> {
 /// Panics if `n` is odd.
 #[must_use]
 pub fn permutation_testset(n: usize) -> Vec<Permutation> {
-    assert!(n % 2 == 0, "merging networks need an even number of lines");
+    assert!(
+        n.is_multiple_of(2),
+        "merging networks need an even number of lines"
+    );
     let half = n / 2;
     let mut out = Vec::new();
     for i in 0..half {
@@ -69,12 +75,13 @@ pub fn permutation_testset(n: usize) -> Vec<Permutation> {
 /// so no permutation covers two of them, and each must be covered.
 #[must_use]
 pub fn permutation_lower_bound_witnesses(n: usize) -> Vec<BitString> {
-    assert!(n % 2 == 0, "merging networks need an even number of lines");
+    assert!(
+        n.is_multiple_of(2),
+        "merging networks need an even number of lines"
+    );
     let half = n / 2;
     (0..half)
-        .map(|i| {
-            BitString::sorted_with(i, half - i).concat(&BitString::sorted_with(half - i, i))
-        })
+        .map(|i| BitString::sorted_with(i, half - i).concat(&BitString::sorted_with(half - i, i)))
         .collect()
 }
 
@@ -224,7 +231,10 @@ mod tests {
     #[test]
     fn tau_permutations_cover_all_binary_merge_tests() {
         for n in (2..=12usize).step_by(2) {
-            assert!(is_permutation_testset(&permutation_testset(n), n), "n = {n}");
+            assert!(
+                is_permutation_testset(&permutation_testset(n), n),
+                "n = {n}"
+            );
         }
     }
 
@@ -267,7 +277,11 @@ mod tests {
             ];
             for net in candidates {
                 let oracle = is_merger(&net);
-                assert_eq!(verify_merger_binary(&net).passed, oracle, "binary, n={n}, {net}");
+                assert_eq!(
+                    verify_merger_binary(&net).passed,
+                    oracle,
+                    "binary, n={n}, {net}"
+                );
                 assert_eq!(
                     verify_merger_permutations(&net).passed,
                     oracle,

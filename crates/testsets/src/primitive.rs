@@ -61,7 +61,10 @@ pub fn primitive_binary_testset(n: usize) -> Vec<BitString> {
 /// Panics if the enumeration would be too large (`n > 5` or `size > 6`).
 #[must_use]
 pub fn height2_min_testset_within_class(n: usize, size: usize) -> usize {
-    assert!(n <= 5 && size <= 6, "height-2 enumeration refused for n={n}, size={size}");
+    assert!(
+        n <= 5 && size <= 6,
+        "height-2 enumeration refused for n={n}, size={size}"
+    );
     let universe: Vec<BitString> = BitString::all_unsorted(n).collect();
     // Failure masks of all non-sorters in the class.
     let mut signatures: Vec<u64> = Vec::new();

@@ -54,7 +54,9 @@ pub fn is_binary_testset(candidate: &[BitString], n: usize, k: usize) -> bool {
         .filter(|s| s.len() == n)
         .map(BitString::word)
         .collect();
-    binary_testset(n, k).iter().all(|s| have.contains(&s.word()))
+    binary_testset(n, k)
+        .iter()
+        .all(|s| have.contains(&s.word()))
 }
 
 /// Exact criterion for permutations: the cover of the candidate set must
@@ -192,8 +194,7 @@ mod tests {
     #[test]
     fn with_k_equal_n_the_selector_testset_is_the_sorting_testset() {
         for n in 2..=8usize {
-            let sel: std::collections::BTreeSet<_> =
-                binary_testset(n, n).into_iter().collect();
+            let sel: std::collections::BTreeSet<_> = binary_testset(n, n).into_iter().collect();
             let sort: std::collections::BTreeSet<_> =
                 crate::sorting::binary_testset(n).into_iter().collect();
             assert_eq!(sel, sort);
@@ -223,7 +224,10 @@ mod tests {
             assert!(!is_selector(&h, k), "H_σ must not be a (k,n)-selector");
             for t in &reduced {
                 let out = h.apply_bits(t);
-                assert!(selects_correctly(t, &out, k), "H_σ must pass all other tests");
+                assert!(
+                    selects_correctly(t, &out, k),
+                    "H_σ must pass all other tests"
+                );
             }
         }
     }

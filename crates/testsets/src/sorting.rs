@@ -205,7 +205,10 @@ mod tests {
             // And here is the adversary that would slip through:
             let h = necessity_witness(&sigma);
             let verdict_on_reduced = failing_inputs_from(&h, &reduced);
-            assert!(verdict_on_reduced.is_empty(), "H_σ must pass the reduced set");
+            assert!(
+                verdict_on_reduced.is_empty(),
+                "H_σ must pass the reduced set"
+            );
             assert!(!verify_sorter_binary(&h).passed, "H_σ is not a sorter");
         }
     }
@@ -219,7 +222,11 @@ mod tests {
             for rounds in 0..n {
                 let bad = odd_even_transposition(n, rounds);
                 let oracle = sortnet_network::properties::is_sorter(&bad);
-                assert_eq!(verify_sorter_binary(&bad).passed, oracle, "n={n} rounds={rounds}");
+                assert_eq!(
+                    verify_sorter_binary(&bad).passed,
+                    oracle,
+                    "n={n} rounds={rounds}"
+                );
                 assert_eq!(
                     verify_sorter_permutations(&bad).passed,
                     oracle,
@@ -257,7 +264,9 @@ mod tests {
         for n in (2..=10usize).step_by(2) {
             let w = permutation_lower_bound_witnesses(n);
             assert_eq!(w.len() as u64, binomial(n as u64, (n / 2) as u64) - 1);
-            assert!(w.iter().all(|s| s.count_ones() == n - n / 2 && !s.is_sorted()));
+            assert!(w
+                .iter()
+                .all(|s| s.count_ones() == n - n / 2 && !s.is_sorted()));
             // No permutation covers two strings of the same weight, so any
             // permutation test set needs at least |w| members.
             for p in Permutation::all(n.min(6)) {

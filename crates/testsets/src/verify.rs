@@ -86,15 +86,10 @@ pub fn verify(network: &Network, property: Property, strategy: Strategy) -> Repo
             (v.passed, v.tests_run, v.witness)
         }
         (Property::Selector { k }, Strategy::Exhaustive) => {
-            let passed = properties::is_selector(network, k);
-            let witness = (!passed)
-                .then(|| {
-                    BitString::all(n).find(|s| {
-                        !properties::selects_correctly(s, &network.apply_bits(s), k)
-                    })
-                })
-                .flatten();
-            (passed, 1usize << n, witness)
+            // Bit-parallel 64-lane sweep; its witness is the lowest failing
+            // word, matching what a scalar scan would report first.
+            let witness = bitparallel::find_selector_violation(network, k, ParallelismHint::Rayon);
+            (witness.is_none(), 1usize << n, witness)
         }
         (Property::Selector { k }, Strategy::MinimalBinary) => {
             let v = selector::verify_selector_binary(network, k);
@@ -169,7 +164,11 @@ mod tests {
         let mut sampler = NetworkSampler::new(17);
         for _ in 0..10 {
             let net = sampler.network(6, 8);
-            for property in [Property::Sorter, Property::Selector { k: 2 }, Property::Merger] {
+            for property in [
+                Property::Sorter,
+                Property::Selector { k: 2 },
+                Property::Merger,
+            ] {
                 let verdicts: Vec<bool> = STRATEGIES
                     .iter()
                     .map(|&s| verify(&net, property, s).passed)

@@ -65,7 +65,9 @@ mod tests {
             assert!(zero_one_principle_holds_for(&odd_even_merge_sort(n)));
             assert!(zero_one_principle_holds_for(&Network::empty(n)));
             for rounds in 0..=n {
-                assert!(zero_one_principle_holds_for(&odd_even_transposition(n, rounds)));
+                assert!(zero_one_principle_holds_for(&odd_even_transposition(
+                    n, rounds
+                )));
             }
         }
     }

@@ -7,8 +7,7 @@
 //! ```
 
 use sortnet_combinat::binomial::{
-    merging_testset_size_permutation, sorting_testset_size_binary,
-    sorting_testset_size_permutation,
+    merging_testset_size_permutation, sorting_testset_size_binary, sorting_testset_size_permutation,
 };
 use sortnet_testsets::{adversary, merging, selector, sorting};
 
@@ -42,13 +41,19 @@ fn main() {
     let sigma = binary[binary.len() / 2];
     let h = adversary::adversary(&sigma);
     println!("Take σ = {sigma}. The adversary H_σ = {h}");
-    println!("  H_σ(σ) = {} — not sorted, yet H_σ sorts every other input,", h.apply_bits(&sigma));
+    println!(
+        "  H_σ(σ) = {} — not sorted, yet H_σ sorts every other input,",
+        h.apply_bits(&sigma)
+    );
     println!("  so any test set omitting σ accepts a non-sorter.");
 
     let k = 2;
     println!("\n== Theorem 2.4: (k,n)-selector test set, k = {k}, n = {n} ==");
     let sel = selector::binary_testset(n, k);
-    println!("{} strings (all unsorted strings with at most {k} zeros):", sel.len());
+    println!(
+        "{} strings (all unsorted strings with at most {k} zeros):",
+        sel.len()
+    );
     for chunk in sel.chunks(9) {
         let row: Vec<String> = chunk.iter().map(ToString::to_string).collect();
         println!("  {}", row.join("  "));
@@ -57,7 +62,11 @@ fn main() {
     let m = 8;
     println!("\n== Theorem 2.5: (n/2,n/2)-merging test sets, n = {m} ==");
     let merge_binary = merging::binary_testset(m);
-    println!("0/1 test set: {} strings (n²/4 = {})", merge_binary.len(), m * m / 4);
+    println!(
+        "0/1 test set: {} strings (n²/4 = {})",
+        merge_binary.len(),
+        m * m / 4
+    );
     let merge_perms = merging::permutation_testset(m);
     println!(
         "permutation test set: {} permutations (n/2 = {}):",

@@ -25,7 +25,11 @@ fn main() {
     println!("apply_vec([42,7,99,1,13,8,77,3]) = {sorted:?}");
 
     // ...and passes all three verification strategies of the paper.
-    for strategy in [Strategy::Exhaustive, Strategy::MinimalBinary, Strategy::Permutation] {
+    for strategy in [
+        Strategy::Exhaustive,
+        Strategy::MinimalBinary,
+        Strategy::Permutation,
+    ] {
         let report = verify(&sorter, Property::Sorter, strategy);
         println!(
             "verify(sorter) with {:?}: passed = {}, tests run = {}",
@@ -38,7 +42,10 @@ fn main() {
     // (Lemma 2.1).  Drop σ from the test set and this network slips through.
     let sigma = BitString::parse("01101001").unwrap();
     let h = adversary::adversary(&sigma);
-    println!("\nLemma 2.1 adversary for σ = {sigma}: {} comparators", h.size());
+    println!(
+        "\nLemma 2.1 adversary for σ = {sigma}: {} comparators",
+        h.size()
+    );
     println!("  H_σ(σ)          = {} (not sorted)", h.apply_bits(&sigma));
     let others_sorted = BitString::all(n)
         .filter(|t| *t != sigma)

@@ -63,7 +63,10 @@ fn main() {
     let merger = half_half_merger(8);
     let as_sorter = verify(&merger, Property::Sorter, Strategy::MinimalBinary);
     let as_merger = verify(&merger, Property::Merger, Strategy::Permutation);
-    println!("odd-even merger (8 lines): merger = {}, sorter = {}", as_merger.passed, as_sorter.passed);
+    println!(
+        "odd-even merger (8 lines): merger = {}, sorter = {}",
+        as_merger.passed, as_sorter.passed
+    );
     if let Some(w) = as_sorter.witness {
         println!("witness (an input the merger cannot sort because its halves are unsorted): {w}");
     }

@@ -7,7 +7,7 @@
 //! ```
 
 use sortnet_network::builders::batcher::{odd_even_merge_sort, odd_even_merge_sort_recursive};
-use sortnet_network::builders::bitonic::{bitonic_sorter_standardised, bitonic_sorter};
+use sortnet_network::builders::bitonic::{bitonic_sorter, bitonic_sorter_standardised};
 use sortnet_network::builders::bubble::{bubble_sort_network, insertion_sort_network};
 use sortnet_network::builders::transposition::odd_even_transposition;
 use sortnet_network::Network;
@@ -37,12 +37,24 @@ fn main() {
     let n = 10;
     println!("Verifying classical networks on {n} lines with all three strategies\n");
     check("Batcher merge-exchange", &odd_even_merge_sort(n));
-    check("Batcher odd-even merge sort (recursive)", &odd_even_merge_sort_recursive(n));
+    check(
+        "Batcher odd-even merge sort (recursive)",
+        &odd_even_merge_sort_recursive(n),
+    );
     check("bubble sort (primitive)", &bubble_sort_network(n));
     check("insertion sort (primitive)", &insertion_sort_network(n));
-    check("odd-even transposition, n rounds", &odd_even_transposition(n, n));
-    check("odd-even transposition, n-1 rounds", &odd_even_transposition(n, n - 1));
-    check("odd-even transposition, n-2 rounds", &odd_even_transposition(n, n - 2));
+    check(
+        "odd-even transposition, n rounds",
+        &odd_even_transposition(n, n),
+    );
+    check(
+        "odd-even transposition, n-1 rounds",
+        &odd_even_transposition(n, n - 1),
+    );
+    check(
+        "odd-even transposition, n-2 rounds",
+        &odd_even_transposition(n, n - 2),
+    );
     check(
         "Batcher merge-exchange minus one comparator",
         &odd_even_merge_sort(n).without_comparator(7),
@@ -57,5 +69,8 @@ fn main() {
         bitonic.is_standard(),
         verify(&bitonic, Property::Sorter, Strategy::Exhaustive).passed
     );
-    check("bitonic sorter, standardised", &bitonic_sorter_standardised(n_pow2));
+    check(
+        "bitonic sorter, standardised",
+        &bitonic_sorter_standardised(n_pow2),
+    );
 }

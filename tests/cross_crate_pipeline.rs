@@ -37,7 +37,9 @@ fn full_pipeline_from_chains_to_certified_sorter() {
     let corrupted = sorter.without_comparator(10);
     let report = verify(&corrupted, Property::Sorter, Strategy::Permutation);
     assert!(!report.passed);
-    let witness = report.witness.expect("failing verification carries a witness");
+    let witness = report
+        .witness
+        .expect("failing verification carries a witness");
     assert!(!corrupted.apply_bits(&witness).is_sorted());
 
     // 5. Rendering and serialisation round-trips for the artefacts involved.

@@ -3,8 +3,8 @@
 //! on classical sorters, while small random samples do not.
 
 use sortnet_combinat::BitString;
-use sortnet_faults::{coverage_of_tests, enumerate_faults, Fault, FaultKind};
 use sortnet_faults::simulate::{detects, faulty_apply_bits, is_fault_redundant};
+use sortnet_faults::{coverage_of_tests, enumerate_faults, Fault, FaultKind};
 use sortnet_network::builders::batcher::odd_even_merge_sort;
 use sortnet_network::builders::bubble::bubble_sort_network;
 use sortnet_network::random::NetworkSampler;
@@ -39,7 +39,8 @@ fn minimal_testset_catches_every_fault_that_breaks_sorting_of_unsorted_inputs() 
             "{label}: every miss must be a sorted-input-only (active) fault"
         );
         assert_eq!(
-            with_unsorted_only.detected + with_unsorted_only.redundant_faults
+            with_unsorted_only.detected
+                + with_unsorted_only.redundant_faults
                 + with_unsorted_only.missed,
             with_unsorted_only.total_faults,
             "{label}"
@@ -73,7 +74,10 @@ fn fault_detection_is_consistent_with_the_faulty_simulator() {
         );
         if redundant {
             // A redundant fault, by definition, cannot be detected by any test.
-            assert!(!detected_by_some, "fault {fault:?} marked redundant yet detected");
+            assert!(
+                !detected_by_some,
+                "fault {fault:?} marked redundant yet detected"
+            );
         }
     }
 }

@@ -4,16 +4,17 @@
 
 use sortnet_combinat::BitString;
 use sortnet_network::properties::{is_selector, is_sorter};
-use sortnet_testsets::adversary::{
-    adversary_network, fails_exactly_on, survey, AdversaryVariant,
-};
+use sortnet_testsets::adversary::{adversary_network, fails_exactly_on, survey, AdversaryVariant};
 
 #[test]
 fn exhaustive_verification_n_up_to_10_compact() {
     for n in 2..=10usize {
         for sigma in BitString::all_unsorted(n) {
             let h = adversary_network(&sigma, AdversaryVariant::Compact);
-            assert!(fails_exactly_on(&h, &sigma), "compact failed on σ = {sigma}");
+            assert!(
+                fails_exactly_on(&h, &sigma),
+                "compact failed on σ = {sigma}"
+            );
         }
     }
 }
@@ -23,7 +24,10 @@ fn exhaustive_verification_n_up_to_9_paper() {
     for n in 2..=9usize {
         for sigma in BitString::all_unsorted(n) {
             let h = adversary_network(&sigma, AdversaryVariant::Paper);
-            assert!(fails_exactly_on(&h, &sigma), "paper layout failed on σ = {sigma}");
+            assert!(
+                fails_exactly_on(&h, &sigma),
+                "paper layout failed on σ = {sigma}"
+            );
         }
     }
 }

@@ -4,9 +4,9 @@
 
 use sortnet_combinat::binomial::{sorting_testset_size_binary, sorting_testset_size_permutation};
 use sortnet_combinat::BitString;
+use sortnet_network::bitparallel::failing_inputs_from;
 use sortnet_network::builders::batcher::{odd_even_merge_sort, odd_even_merge_sort_recursive};
 use sortnet_network::builders::bubble::bubble_sort_network;
-use sortnet_network::bitparallel::failing_inputs_from;
 use sortnet_network::properties::is_sorter;
 use sortnet_network::random::NetworkSampler;
 use sortnet_testsets::{adversary, sorting};
@@ -45,7 +45,11 @@ fn testset_verdicts_agree_with_the_exhaustive_oracle_on_many_networks() {
         }
         for net in candidates {
             let oracle = is_sorter(&net);
-            assert_eq!(sorting::verify_sorter_binary(&net).passed, oracle, "binary, {net}");
+            assert_eq!(
+                sorting::verify_sorter_binary(&net).passed,
+                oracle,
+                "binary, {net}"
+            );
             assert_eq!(
                 sorting::verify_sorter_permutations(&net).passed,
                 oracle,
@@ -89,7 +93,10 @@ fn permutation_testset_cannot_be_smaller() {
         }
         for p in &testset {
             let covered = witnesses.iter().filter(|w| p.covers(w)).count();
-            assert!(covered <= 1, "a permutation covers two witnesses for n = {n}");
+            assert!(
+                covered <= 1,
+                "a permutation covers two witnesses for n = {n}"
+            );
         }
     }
 }

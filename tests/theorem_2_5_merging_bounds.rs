@@ -40,8 +40,16 @@ fn verifier_verdicts_agree_with_both_exhaustive_oracles() {
         }
         for net in candidates {
             let oracle = is_merger(&net);
-            assert_eq!(oracle, is_merger_by_permutations(&net), "oracles disagree on {net}");
-            assert_eq!(merging::verify_merger_binary(&net).passed, oracle, "binary, {net}");
+            assert_eq!(
+                oracle,
+                is_merger_by_permutations(&net),
+                "oracles disagree on {net}"
+            );
+            assert_eq!(
+                merging::verify_merger_binary(&net).passed,
+                oracle,
+                "binary, {net}"
+            );
             assert_eq!(
                 merging::verify_merger_permutations(&net).passed,
                 oracle,
@@ -72,7 +80,10 @@ fn dropping_any_comparator_from_batchers_merger_is_caught_by_both_testsets() {
 #[test]
 fn the_n_over_2_permutations_are_legal_merge_inputs_and_cover_everything() {
     for n in (2..=14usize).step_by(2) {
-        assert!(merging::is_permutation_testset(&merging::permutation_testset(n), n));
+        assert!(merging::is_permutation_testset(
+            &merging::permutation_testset(n),
+            n
+        ));
     }
 }
 
