@@ -5,10 +5,11 @@
 //! test per call) against the bit-parallel engine (64 tests per pass with
 //! shared-prefix forking) on the same workload — Batcher's merge-exchange
 //! sorter with the Theorem 2.2 minimal 0/1 test set (`2^n − n − 1` tests) —
-//! at n ∈ {8, 16}.  The criterion shim writes the measurements to
-//! `target/bench-summaries/bench_fault_coverage.json` for the `BENCH_*`
-//! perf trajectory; the `speedup` bench-id pair is the PR's acceptance
-//! measurement (bit-parallel must be ≥ 5× faster at n = 16).
+//! at n ∈ {8, 16}.  The `lane_width_sweep` group races lane widths
+//! W ∈ {1, 2, 4} on the same coverage workload and on the plain exhaustive
+//! `2^n` sorter sweep at n ∈ {16, 20}.  The criterion shim writes the
+//! measurements to `target/bench-summaries/bench_fault_coverage.json` for
+//! the `BENCH_*` perf trajectory.
 
 use std::time::Duration;
 
@@ -17,7 +18,9 @@ use std::hint::black_box;
 
 use sortnet_combinat::BitString;
 use sortnet_faults::{coverage_of_tests, coverage_of_tests_with, FaultSimEngine};
+use sortnet_network::bitparallel::{is_sorter_exhaustive_wide, ParallelismHint};
 use sortnet_network::builders::batcher::odd_even_merge_sort;
+use sortnet_network::lanes::LaneWidth;
 use sortnet_network::random::NetworkSampler;
 use sortnet_testsets::sorting;
 
@@ -89,10 +92,52 @@ fn bench_engine_comparison_no_redundancy(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_lane_width_sweep(c: &mut Criterion) {
+    // The PR's acceptance measurement: the same workloads at lane widths
+    // W ∈ {1, 2, 4}.  `coverage` runs the Theorem 2.2 minimal test set
+    // against the full single-fault universe (with redundancy sweeps for
+    // missed faults); `verify_exhaustive` is the plain `2^n` zero–one
+    // sorter sweep.  Sequential hints so the comparison isolates the lane
+    // width from thread-pool effects.
+    let mut group = c.benchmark_group("lane_width_sweep");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+
+    let n = 16usize;
+    let net = odd_even_merge_sort(n);
+    let minimal = sorting::binary_testset(n);
+    for (label, width) in [
+        ("coverage_w1", LaneWidth::W1),
+        ("coverage_w2", LaneWidth::W2),
+        ("coverage_w4", LaneWidth::W4),
+    ] {
+        let engine = FaultSimEngine::BitParallelWide(width);
+        group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+            b.iter(|| coverage_of_tests_with(black_box(&net), black_box(&minimal), true, engine))
+        });
+    }
+
+    for vn in [16usize, 20] {
+        let vnet = odd_even_merge_sort(vn);
+        group.bench_with_input(BenchmarkId::new("verify_exhaustive_w1", vn), &vn, |b, _| {
+            b.iter(|| is_sorter_exhaustive_wide::<1>(black_box(&vnet), ParallelismHint::Sequential))
+        });
+        group.bench_with_input(BenchmarkId::new("verify_exhaustive_w2", vn), &vn, |b, _| {
+            b.iter(|| is_sorter_exhaustive_wide::<2>(black_box(&vnet), ParallelismHint::Sequential))
+        });
+        group.bench_with_input(BenchmarkId::new("verify_exhaustive_w4", vn), &vn, |b, _| {
+            b.iter(|| is_sorter_exhaustive_wide::<4>(black_box(&vnet), ParallelismHint::Sequential))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_fault_coverage,
     bench_engine_comparison,
-    bench_engine_comparison_no_redundancy
+    bench_engine_comparison_no_redundancy,
+    bench_lane_width_sweep
 );
 criterion_main!(benches);

@@ -13,6 +13,16 @@
 //! cargo run -p sortnet-cli --example fault_testing --release
 //! cargo run -p sortnet-cli --example selector_and_merger --release
 //! ```
+//!
+//! The examples all sit on the same width-generic streaming substrate
+//! (`sortnet_network::lanes`): test-vector families are generated directly
+//! in transposed `WideBlock<W>` form (`W × 64` vectors per pass) by
+//! `BlockSource` implementations — counting patterns for the exhaustive
+//! `2^n` family, block-filling adapters over the combinat generators for
+//! the Theorem 2.2/2.4/2.5 minimal sets — so no sweep materialises its
+//! vectors.  `verify_batcher` drives a `BlockSource` by hand to show the
+//! machinery; the others go through the `testsets::verify` front end and
+//! the fault engine, which use it internally.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -298,6 +298,26 @@ impl BitString {
         Self::all(n).filter(|s| !s.is_sorted())
     }
 
+    /// Iterator over all strings `σ₁σ₂` of length `n` whose two halves are
+    /// each sorted — the legal inputs of an `(n/2, n/2)`-merging network.
+    ///
+    /// The `(half + 1)²` strings are yielded in `(z₁, z₂)` order, where
+    /// `σ₁ = 0^{z₁} 1^{half − z₁}` and `σ₂ = 0^{z₂} 1^{half − z₂}` — the
+    /// enumeration order Theorem 2.5 uses.
+    ///
+    /// # Panics
+    /// Panics if `n` is odd.
+    pub fn all_half_sorted(n: usize) -> impl Iterator<Item = Self> {
+        check_n(n);
+        assert!(n.is_multiple_of(2), "merge inputs need an even length");
+        let half = n / 2;
+        (0..=half).flat_map(move |z1| {
+            (0..=half).map(move |z2| {
+                Self::sorted_with(z1, half - z1).concat(&Self::sorted_with(z2, half - z2))
+            })
+        })
+    }
+
     /// Iterator over all strings of length `n` with exactly `ones` ones, in
     /// increasing word order (Gosper's hack).
     pub fn all_with_weight(n: usize, ones: usize) -> impl Iterator<Item = Self> {
@@ -398,6 +418,27 @@ mod tests {
                 count,
                 crate::binomial::sorting_testset_size_binary(u64::from(n))
             );
+        }
+    }
+
+    #[test]
+    fn half_sorted_enumeration_is_exactly_the_merge_inputs() {
+        use std::collections::HashSet;
+        for half in 1..=5usize {
+            let n = 2 * half;
+            let all: Vec<BitString> = BitString::all_half_sorted(n).collect();
+            assert_eq!(all.len(), (half + 1) * (half + 1));
+            let distinct: HashSet<u64> = all.iter().map(BitString::word).collect();
+            assert_eq!(distinct.len(), all.len(), "no duplicates");
+            for s in &all {
+                assert!(s.slice(0, half).is_sorted());
+                assert!(s.slice(half, n).is_sorted());
+            }
+            // Completeness: every string with two sorted halves appears.
+            let scalar = BitString::all(n)
+                .filter(|s| s.slice(0, half).is_sorted() && s.slice(half, n).is_sorted())
+                .count();
+            assert_eq!(all.len(), scalar);
         }
     }
 

@@ -20,7 +20,7 @@
 //! This crate provides all of that machinery with no dependencies beyond
 //! `serde` (for data interchange in the experiment harness):
 //!
-//! * [`binomial`] — exact binomial coefficients, factorials and the closed
+//! * [`mod@binomial`] — exact binomial coefficients, factorials and the closed
 //!   forms used by the paper's theorems;
 //! * [`bitstrings`] — 0/1 strings of length ≤ 64 packed into a `u64`
 //!   ([`bitstrings::BitString`]), sortedness tests, enumeration by weight;

@@ -1,15 +1,16 @@
-//! Bit-parallel fault simulation: 64 test vectors per pass per fault, with
-//! shared-prefix forking.
+//! Bit-parallel fault simulation: `W × 64` test vectors per pass per fault,
+//! with shared-prefix forking.
 //!
 //! # Lane encoding
 //!
-//! Tests are packed into [`BitBlock`]s, the transposed (bit-sliced)
-//! representation from [`sortnet_network::bitparallel`]: lane `i` is a
-//! `u64` holding, for each of up to 64 test vectors, the current value of
-//! network line `i`; bit `j` of every lane belongs to test vector `j` of
-//! the block.  A fault-free comparator on lines `(i, j)` is then two bitwise
-//! ops (`AND` to the min line, `OR` to the max line), and each of the four
-//! [`FaultKind`]s has an equally cheap lane form:
+//! Tests are packed into [`WideBlock<W>`]s, the width-generic transposed
+//! (bit-sliced) representation from [`sortnet_network::lanes`]: lane `i` is
+//! a `[u64; W]` holding, for each of up to `W × 64` test vectors, the
+//! current value of network line `i`; bit `j` of word `w` of every lane
+//! belongs to test vector `w·64 + j` of the block.  A fault-free comparator
+//! on lines `(i, j)` is then `2W` bitwise ops (`AND` to the min line, `OR`
+//! to the max line), and each of the four [`FaultKind`]s has an equally
+//! cheap lane form:
 //!
 //! | fault | lane semantics |
 //! |---|---|
@@ -19,7 +20,7 @@
 //! | [`FaultKind::Misrouted`] | comparator between `top` and `new_bottom` |
 //!
 //! A test vector *detects* a fault when the faulty network leaves it
-//! unsorted, so one `unsorted_mask()` per fault per block yields 64
+//! unsorted, so one `unsorted_masks()` per fault per block yields `W × 64`
 //! detection verdicts at once.
 //!
 //! # Shared-prefix forking
@@ -29,30 +30,33 @@
 //! differs from the fault-free network.  The engine therefore evaluates the
 //! fault-free prefix incrementally, **once per block**: when the running
 //! prefix state reaches comparator `c`, every fault at `c` forks the state
-//! (a `memcpy` of `n` words into a reusable scratch block), applies its
+//! (a `memcpy` of `n·W` words into a reusable scratch block), applies its
 //! faulty comparator, and runs only the suffix `c+1..C`.  For `F` faults,
-//! `T` tests and `C` comparators this turns the scalar `O(F·T·C)` comparator
-//! evaluations into `O(T·C + F·T·(C − c̄))/64` lane operations, where `c̄`
-//! is the mean fault position — both a 64× lane win and a ~2× average
-//! suffix win, multiplicatively.
+//! `T` tests and `C` comparators this turns the scalar `O(F·T·C)`
+//! comparator evaluations into `O(T·C + F·T·(C − c̄))/(64·W)` lane-word
+//! operations, where `c̄` is the mean fault position — the lane win and the
+//! suffix win compose multiplicatively, and widening `W` amortises each
+//! fork over `W × 64` vectors instead of 64.
 //!
 //! # Entry points
 //!
+//! Every entry point is width-generic (`*_wide::<W>`), with a convenience
+//! wrapper fixed at [`DEFAULT_WIDTH`]; the `W = 1` instantiation reproduces
+//! the original single-word engine bit for bit (the proptest suite holds
+//! all widths to exact agreement with the scalar simulator):
+//!
 //! * [`faulty_run_block`] — one fault over one block (the oracle hook the
 //!   property tests cross-check against the scalar simulator);
-//! * [`detection_matrix`] — the full faults × tests coverage bitmap;
-//! * [`first_detections`] — early-exit variant driving
-//!   [`coverage_of_tests`](crate::coverage::coverage_of_tests);
-//! * [`is_fault_redundant_bitparallel`] — blocked `2^n` redundancy sweep.
-//!
-//! The current lane width is one `u64` word, which bounds test blocks at 64
-//! vectors — networks themselves may have up to 64 lines (`BitString`'s
-//! packing limit).  Widening lanes to multi-word blocks (n > 64 tests per
-//! fork, or SIMD registers) is the recorded next scaling step in
-//! ROADMAP.md.
+//! * [`detection_matrix`] / [`detection_matrix_wide`] — the full
+//!   faults × tests coverage bitmap (layout independent of `W`);
+//! * [`first_detections`] / [`first_detections_wide`] — early-exit variant
+//!   driving [`coverage_of_tests`](crate::coverage::coverage_of_tests);
+//! * [`is_fault_redundant_bitparallel`] / [`is_fault_redundant_wide`] —
+//!   the blocked `2^n` redundancy sweep, streamed by counting patterns.
 
 use sortnet_combinat::BitString;
-use sortnet_network::bitparallel::{self, BitBlock};
+use sortnet_network::bitparallel;
+use sortnet_network::lanes::{self, WideBlock, DEFAULT_WIDTH};
 use sortnet_network::Network;
 
 use crate::model::{Fault, FaultKind};
@@ -61,7 +65,11 @@ use crate::model::{Fault, FaultKind};
 /// the lane-level counterpart of one faulty step of
 /// [`faulty_apply_bits`](crate::simulate::faulty_apply_bits).
 #[inline]
-fn apply_faulty_comparator(network: &Network, fault: &Fault, block: &mut BitBlock) {
+fn apply_faulty_comparator<const W: usize>(
+    network: &Network,
+    fault: &Fault,
+    block: &mut WideBlock<W>,
+) {
     let c = network.comparators()[fault.comparator];
     match fault.kind {
         FaultKind::StuckPass => {}
@@ -80,17 +88,21 @@ fn apply_faulty_comparator(network: &Network, fault: &Fault, block: &mut BitBloc
     }
 }
 
-/// Runs the faulty network over one block of up to 64 test vectors,
+/// Runs the faulty network over one block of up to `W × 64` test vectors,
 /// in place.
 ///
-/// Equivalent to 64 scalar
+/// Equivalent to `W × 64` scalar
 /// [`faulty_apply_bits`](crate::simulate::faulty_apply_bits) calls; the
 /// proptest suite (`tests/proptest_bitsim.rs`) holds the two to exact
 /// agreement on all four [`FaultKind`]s.
 ///
 /// # Panics
 /// Panics if the fault's comparator index is out of range.
-pub fn faulty_run_block(network: &Network, fault: &Fault, block: &mut BitBlock) {
+pub fn faulty_run_block<const W: usize>(
+    network: &Network,
+    fault: &Fault,
+    block: &mut WideBlock<W>,
+) {
     assert!(
         fault.comparator < network.size(),
         "fault index out of range"
@@ -103,9 +115,11 @@ pub fn faulty_run_block(network: &Network, fault: &Fault, block: &mut BitBlock) 
 /// A faults × tests detection bitmap: bit `t` of row `f` is set when test
 /// `t` detects fault `f`.
 ///
-/// Rows are packed 64 tests per word, so summary statistics reduce to
-/// word-level `count_ones`/`trailing_zeros` scans instead of per-test
-/// `Option<usize>` bookkeeping.
+/// Rows are packed 64 tests per word — a layout independent of the lane
+/// width the matrix was computed with, so every `W` produces the identical
+/// matrix — and summary statistics reduce to word-level
+/// `count_ones`/`trailing_zeros` scans instead of per-test `Option<usize>`
+/// bookkeeping.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DetectionMatrix {
     faults: Vec<Fault>,
@@ -192,17 +206,17 @@ fn faults_by_comparator(network: &Network, faults: &[Fault]) -> Vec<Vec<usize>> 
 }
 
 /// Sweeps one block of tests over every fault via shared-prefix forking and
-/// hands each `(fault index, detected-mask)` pair to `record`.
+/// hands each `(fault index, detected-masks)` pair to `record`.
 ///
 /// `skip` filters faults out of the sweep (used for early exit once a fault
 /// has been detected in an earlier block).
-fn sweep_block(
+fn sweep_block<const W: usize>(
     network: &Network,
     by_comp: &[Vec<usize>],
     faults: &[Fault],
-    block: &BitBlock,
+    block: &WideBlock<W>,
     skip: impl Fn(usize) -> bool,
-    mut record: impl FnMut(usize, u64),
+    mut record: impl FnMut(usize, [u64; W]),
 ) {
     let size = network.size();
     let mut prefix = block.clone();
@@ -215,17 +229,19 @@ fn sweep_block(
             fork.copy_from(&prefix);
             apply_faulty_comparator(network, &faults[fault_idx], &mut fork);
             fork.run_range(network, c + 1, size);
-            record(fault_idx, fork.unsorted_mask());
+            record(fault_idx, fork.unsorted_masks());
         }
         let comp = network.comparators()[c];
         prefix.apply_comparator(comp.min_line(), comp.max_line());
     }
 }
 
-/// Computes the full faults × tests [`DetectionMatrix`] for `network`.
+/// Computes the full faults × tests [`DetectionMatrix`] for `network` at
+/// lane width `W`.
 ///
-/// Evaluates every fault against every test (64 tests per pass, shared
-/// fault-free prefix per block).  Use [`first_detections`] instead when only
+/// Evaluates every fault against every test (`W × 64` tests per pass,
+/// shared fault-free prefix per block).  The resulting matrix is identical
+/// for every `W`.  Use [`first_detections_wide`] instead when only
 /// first-detection indices are needed — it stops simulating each fault at
 /// its first detecting block.
 ///
@@ -233,7 +249,7 @@ fn sweep_block(
 /// Panics if a fault's comparator index is out of range or a test's length
 /// mismatches the network.
 #[must_use]
-pub fn detection_matrix(
+pub fn detection_matrix_wide<const W: usize>(
     network: &Network,
     faults: &[Fault],
     tests: &[BitString],
@@ -242,16 +258,19 @@ pub fn detection_matrix(
     let by_comp = faults_by_comparator(network, faults);
     let words_per_fault = tests.len().div_ceil(64).max(1);
     let mut bits = vec![0u64; faults.len() * words_per_fault];
-    for (word_idx, chunk) in tests.chunks(64).enumerate() {
-        let block = BitBlock::from_strings(n, chunk);
+    let capacity = WideBlock::<W>::capacity() as usize;
+    for (block_idx, chunk) in tests.chunks(capacity).enumerate() {
+        let block = WideBlock::<W>::from_strings(n, chunk);
+        let words_here = chunk.len().div_ceil(64);
         sweep_block(
             network,
             &by_comp,
             faults,
             &block,
             |_| false,
-            |fault_idx, mask| {
-                bits[fault_idx * words_per_fault + word_idx] = mask;
+            |fault_idx, masks: [u64; W]| {
+                let base = fault_idx * words_per_fault + block_idx * W;
+                bits[base..base + words_here].copy_from_slice(&masks[..words_here]);
             },
         );
     }
@@ -263,19 +282,29 @@ pub fn detection_matrix(
     }
 }
 
+/// [`detection_matrix_wide`] at the default lane width.
+#[must_use]
+pub fn detection_matrix(
+    network: &Network,
+    faults: &[Fault],
+    tests: &[BitString],
+) -> DetectionMatrix {
+    detection_matrix_wide::<DEFAULT_WIDTH>(network, faults, tests)
+}
+
 /// For each fault, the 0-based index of the first test in `tests` that
-/// detects it (`None` when no test does).
+/// detects it (`None` when no test does), computed at lane width `W`.
 ///
 /// Semantically identical to calling
 /// [`first_detection_index`](crate::simulate::first_detection_index) per
-/// fault, but 64 tests wide with shared-prefix forking, and each fault drops
-/// out of the sweep after its first detecting block.
+/// fault, but `W × 64` tests wide with shared-prefix forking, and each
+/// fault drops out of the sweep after its first detecting block.
 ///
 /// # Panics
 /// Panics if a fault's comparator index is out of range or a test's length
 /// mismatches the network.
 #[must_use]
-pub fn first_detections(
+pub fn first_detections_wide<const W: usize>(
     network: &Network,
     faults: &[Fault],
     tests: &[BitString],
@@ -284,38 +313,51 @@ pub fn first_detections(
     let by_comp = faults_by_comparator(network, faults);
     let mut first: Vec<Option<usize>> = vec![None; faults.len()];
     let mut undetected = faults.len();
-    for (block_idx, chunk) in tests.chunks(64).enumerate() {
+    let capacity = WideBlock::<W>::capacity() as usize;
+    for (block_idx, chunk) in tests.chunks(capacity).enumerate() {
         if undetected == 0 {
             break;
         }
-        let block = BitBlock::from_strings(n, chunk);
+        let block = WideBlock::<W>::from_strings(n, chunk);
         // The borrow of `first` inside both closures is disjoint in time
         // (skip reads before record writes per fault), but the compiler
         // cannot see that — collect the block's verdicts first.
-        let mut hits: Vec<(usize, u64)> = Vec::new();
+        let mut hits: Vec<(usize, [u64; W])> = Vec::new();
         sweep_block(
             network,
             &by_comp,
             faults,
             &block,
             |fault_idx| first[fault_idx].is_some(),
-            |fault_idx, mask| {
-                if mask != 0 {
-                    hits.push((fault_idx, mask));
+            |fault_idx, masks| {
+                if lanes::mask_any(&masks) {
+                    hits.push((fault_idx, masks));
                 }
             },
         );
-        for (fault_idx, mask) in hits {
-            first[fault_idx] = Some(block_idx * 64 + mask.trailing_zeros() as usize);
+        for (fault_idx, masks) in hits {
+            let j = lanes::mask_first(&masks).expect("hit must have a set bit");
+            first[fault_idx] = Some(block_idx * capacity + j as usize);
             undetected -= 1;
         }
     }
     first
 }
 
-/// Bit-parallel redundancy check: `true` iff the faulty network still sorts
-/// all `2^n` binary inputs, swept 64 vectors per block via
-/// [`BitBlock::from_range`].
+/// [`first_detections_wide`] at the default lane width.
+#[must_use]
+pub fn first_detections(
+    network: &Network,
+    faults: &[Fault],
+    tests: &[BitString],
+) -> Vec<Option<usize>> {
+    first_detections_wide::<DEFAULT_WIDTH>(network, faults, tests)
+}
+
+/// Bit-parallel redundancy check at lane width `W`: `true` iff the faulty
+/// network still sorts all `2^n` binary inputs, swept `W × 64` vectors per
+/// block with counting-pattern generation
+/// ([`WideBlock::from_range`]).
 ///
 /// Agrees with the scalar
 /// [`is_fault_redundant`](crate::simulate::is_fault_redundant) (the
@@ -325,18 +367,24 @@ pub fn first_detections(
 /// # Panics
 /// Panics if the fault's comparator index is out of range or `n ≥ 32`.
 #[must_use]
-pub fn is_fault_redundant_bitparallel(network: &Network, fault: &Fault) -> bool {
+pub fn is_fault_redundant_wide<const W: usize>(network: &Network, fault: &Fault) -> bool {
     let n = network.lines();
     assert!(
         fault.comparator < network.size(),
         "fault index out of range"
     );
-    (0..bitparallel::sweep_block_count(n)).all(|b| {
-        let (start, count) = bitparallel::sweep_block_range(n, b);
-        let mut block = BitBlock::from_range(n, start, count);
+    (0..bitparallel::sweep_block_count_wide::<W>(n)).all(|b| {
+        let (start, count) = bitparallel::sweep_block_range_wide::<W>(n, b);
+        let mut block = WideBlock::<W>::from_range(n, start, count);
         faulty_run_block(network, fault, &mut block);
-        block.unsorted_mask() == 0
+        !lanes::mask_any(&block.unsorted_masks())
     })
+}
+
+/// [`is_fault_redundant_wide`] at the default lane width.
+#[must_use]
+pub fn is_fault_redundant_bitparallel(network: &Network, fault: &Fault) -> bool {
+    is_fault_redundant_wide::<DEFAULT_WIDTH>(network, fault)
 }
 
 #[cfg(test)]
@@ -344,6 +392,7 @@ mod tests {
     use super::*;
     use crate::model::enumerate_faults;
     use crate::simulate::{detects, faulty_apply_bits, first_detection_index, is_fault_redundant};
+    use sortnet_network::bitparallel::BitBlock;
     use sortnet_network::builders::batcher::odd_even_merge_sort;
 
     #[test]
@@ -366,6 +415,23 @@ mod tests {
     }
 
     #[test]
+    fn faulty_run_block_is_width_independent() {
+        let net = odd_even_merge_sort(5);
+        let inputs: Vec<BitString> = BitString::all(5).collect();
+        for fault in enumerate_faults(&net) {
+            let mut wide = WideBlock::<2>::from_strings(5, &inputs);
+            faulty_run_block(&net, &fault, &mut wide);
+            for (j, input) in inputs.iter().enumerate() {
+                assert_eq!(
+                    wide.extract(j as u32),
+                    faulty_apply_bits(&net, &fault, input),
+                    "fault {fault:?} input {input}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn detection_matrix_agrees_with_scalar_detects() {
         let net = odd_even_merge_sort(5);
         let faults = enumerate_faults(&net);
@@ -382,6 +448,22 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn detection_matrix_is_identical_at_every_width() {
+        let net = odd_even_merge_sort(6);
+        let faults = enumerate_faults(&net);
+        let tests: Vec<BitString> = BitString::all_unsorted(6).collect();
+        let w1 = detection_matrix_wide::<1>(&net, &faults, &tests);
+        let w2 = detection_matrix_wide::<2>(&net, &faults, &tests);
+        let w4 = detection_matrix_wide::<4>(&net, &faults, &tests);
+        assert_eq!(w1, w2);
+        assert_eq!(w1, w4);
+        assert_eq!(
+            first_detections_wide::<1>(&net, &faults, &tests),
+            first_detections_wide::<4>(&net, &faults, &tests)
+        );
     }
 
     #[test]
@@ -421,13 +503,24 @@ mod tests {
     }
 
     #[test]
-    fn bitparallel_redundancy_agrees_with_scalar() {
+    fn bitparallel_redundancy_agrees_with_scalar_at_every_width() {
         let net = odd_even_merge_sort(6);
         for fault in enumerate_faults(&net) {
+            let scalar = is_fault_redundant(&net, &fault);
             assert_eq!(
                 is_fault_redundant_bitparallel(&net, &fault),
-                is_fault_redundant(&net, &fault),
+                scalar,
                 "fault {fault:?}"
+            );
+            assert_eq!(
+                is_fault_redundant_wide::<1>(&net, &fault),
+                scalar,
+                "fault {fault:?} (W = 1)"
+            );
+            assert_eq!(
+                is_fault_redundant_wide::<8>(&net, &fault),
+                scalar,
+                "fault {fault:?} (W = 8)"
             );
         }
     }

@@ -5,29 +5,36 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use sortnet_combinat::BitString;
+use sortnet_network::lanes::{LaneWidth, DEFAULT_WIDTH};
 use sortnet_network::Network;
 
-use crate::bitsim::{first_detections, is_fault_redundant_bitparallel};
+use crate::bitsim::{first_detections_wide, is_fault_redundant_wide};
 use crate::model::{enumerate_faults, Fault};
 use crate::simulate::{first_detection_index, is_fault_redundant};
 
 /// Which simulation engine evaluates the fault universe.
 ///
-/// The two engines produce bit-for-bit equal reports wherever both run (the
-/// proptest suite and experiment E10 cross-check them);
+/// All engines produce bit-for-bit equal reports wherever they run (the
+/// proptest suite and experiment E10 cross-check them; the bit-parallel
+/// report is independent of the lane width);
 /// [`FaultSimEngine::Scalar`] is retained as the oracle the bit-parallel
-/// path is validated against.  One bounds difference: with
+/// paths are validated against.  One bounds difference: with
 /// `check_redundancy` the scalar engine's per-fault sweep refuses `n ≥ 24`
 /// ([`is_fault_redundant`]) while the bit-parallel engine accepts up to
-/// `n < 32` ([`is_fault_redundant_bitparallel`]), so oracle comparisons
+/// `n < 32` ([`is_fault_redundant_wide`]), so oracle comparisons
 /// with redundancy checking are limited to `n < 24`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum FaultSimEngine {
     /// One fault × one test per call ([`crate::simulate`]).
     Scalar,
-    /// 64 tests per pass with shared-prefix forking ([`crate::bitsim`]).
+    /// `W × 64` tests per pass with shared-prefix forking
+    /// ([`crate::bitsim`]), at the default lane width
+    /// ([`DEFAULT_WIDTH`]`× 64 = 256` vectors per fork).
     #[default]
     BitParallel,
+    /// Bit-parallel with an explicit lane width — `LaneWidth::W1`
+    /// reproduces the original single-word engine exactly.
+    BitParallelWide(LaneWidth),
 }
 
 /// Result of running a test sequence against the single-fault universe.
@@ -50,6 +57,26 @@ pub struct CoverageReport {
     pub mean_first_detection: f64,
     /// Worst-case first-detection index over detected faults (1-based).
     pub max_first_detection: usize,
+}
+
+/// The bit-parallel per-fault results at lane width `W`: first-detection
+/// indices with early exit, plus the `2^n` redundancy sweep for faults the
+/// whole sequence misses.
+fn bitparallel_results<const W: usize>(
+    network: &Network,
+    faults: &[Fault],
+    tests: &[BitString],
+    check_redundancy: bool,
+) -> Vec<(Option<usize>, bool)> {
+    first_detections_wide::<W>(network, faults, tests)
+        .into_iter()
+        .zip(faults)
+        .map(|(first, fault)| {
+            let redundant =
+                first.is_none() && check_redundancy && is_fault_redundant_wide::<W>(network, fault);
+            (first, redundant)
+        })
+        .collect()
 }
 
 /// Runs every single fault of `network` against the test sequence `tests`
@@ -92,16 +119,15 @@ pub fn coverage_of_tests_with(
                 (first, redundant)
             })
             .collect(),
-        FaultSimEngine::BitParallel => first_detections(network, &faults, tests)
-            .into_iter()
-            .zip(&faults)
-            .map(|(first, fault)| {
-                let redundant = first.is_none()
-                    && check_redundancy
-                    && is_fault_redundant_bitparallel(network, fault);
-                (first, redundant)
-            })
-            .collect(),
+        FaultSimEngine::BitParallel => {
+            bitparallel_results::<DEFAULT_WIDTH>(network, &faults, tests, check_redundancy)
+        }
+        FaultSimEngine::BitParallelWide(width) => match width {
+            LaneWidth::W1 => bitparallel_results::<1>(network, &faults, tests, check_redundancy),
+            LaneWidth::W2 => bitparallel_results::<2>(network, &faults, tests, check_redundancy),
+            LaneWidth::W4 => bitparallel_results::<4>(network, &faults, tests, check_redundancy),
+            LaneWidth::W8 => bitparallel_results::<8>(network, &faults, tests, check_redundancy),
+        },
     };
 
     let total_faults = faults.len();

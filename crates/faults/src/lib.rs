@@ -18,10 +18,12 @@
 //! before the first detection, and how random sampling compares.
 //!
 //! Fault simulation runs through two engines: the scalar reference in
-//! [`simulate`] (one fault × one test per call) and the bit-parallel engine
-//! in [`bitsim`] (64 tests per pass with shared-prefix forking), selected
-//! via [`coverage::FaultSimEngine`].  The bit-parallel engine is the
-//! default hot path; the scalar one is kept as its cross-check oracle.
+//! [`simulate`] (one fault × one test per call) and the width-generic
+//! bit-parallel engine in [`bitsim`] (`W × 64` tests per pass with
+//! shared-prefix forking on `sortnet_network::lanes::WideBlock<W>`),
+//! selected — including the lane width — via
+//! [`coverage::FaultSimEngine`].  The bit-parallel engine is the default
+//! hot path; the scalar one is kept as its cross-check oracle.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,7 +34,8 @@ pub mod model;
 pub mod simulate;
 
 pub use bitsim::{
-    detection_matrix, faulty_run_block, first_detections, is_fault_redundant_bitparallel,
+    detection_matrix, detection_matrix_wide, faulty_run_block, first_detections,
+    first_detections_wide, is_fault_redundant_bitparallel, is_fault_redundant_wide,
     DetectionMatrix,
 };
 pub use coverage::{coverage_of_tests, coverage_of_tests_with, CoverageReport, FaultSimEngine};

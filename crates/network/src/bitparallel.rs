@@ -1,273 +1,114 @@
-//! Bit-parallel evaluation of comparator networks on 0/1 inputs.
+//! Bit-parallel exhaustive sweeps over comparator networks.
 //!
 //! The zero–one principle makes "is this network a sorter?" an exhaustive
-//! sweep over `2^n` binary vectors.  Instead of evaluating them one at a
-//! time, we evaluate **64 input vectors per pass**: the state is one `u64`
-//! per line, bit `j` of line `i` holding the value of line `i` in test
-//! vector `j`.  A standard comparator on lines `(i, j)` then becomes
+//! sweep over `2^n` binary vectors.  The sweeps here run on the
+//! width-generic substrate of [`crate::lanes`]: a [`WideBlock<W>`] carries
+//! `W × 64` input vectors in transposed (bit-sliced) form, so one pass over
+//! the comparators evaluates `W × 64` vectors at once, and the exhaustive
+//! family is *generated directly in block form* by counting patterns
+//! ([`lanes::RangeSource`]) — no vector list is ever materialised.
 //!
-//! ```text
-//! new_i = wᵢ & wⱼ      (the 64 minima)
-//! new_j = wᵢ | wⱼ      (the 64 maxima)
-//! ```
+//! Each entry point comes in two forms: a `*_wide::<W>` const-generic
+//! version with the lane width exposed, and a convenience wrapper fixed at
+//! [`lanes::DEFAULT_WIDTH`].  `W = 1` reproduces the original single-word
+//! sweep exactly; [`BitBlock`] is the `W = 1` block type, kept as the
+//! interchange format with the fault-simulation engine.
 //!
-//! which is the classical SIMD-within-a-register trick for sorting-network
-//! verification.  The exhaustive sweep is embarrassingly parallel across
-//! 64-vector blocks, so [`ParallelismHint::Rayon`] distributes blocks over a
-//! rayon thread pool.
+//! Sweeps are embarrassingly parallel across blocks, so
+//! [`ParallelismHint::Rayon`] distributes block index ranges over the rayon
+//! thread pool (a real `std::thread::scope`-backed pool in this
+//! workspace's shim).
 
 use rayon::prelude::*;
 
 use sortnet_combinat::BitString;
 
+use crate::lanes::{self, WideBlock};
 use crate::network::Network;
+
+/// A block of up to 64 binary input vectors in transposed form: the
+/// single-word (`W = 1`) instance of [`WideBlock`].
+pub type BitBlock = WideBlock<1>;
 
 /// How an exhaustive sweep should be executed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum ParallelismHint {
     /// Single-threaded sweep.
     Sequential,
-    /// Distribute 64-vector blocks across the rayon thread pool.
+    /// Distribute blocks of `W × 64` vectors across the rayon thread pool.
     #[default]
     Rayon,
 }
 
-/// A block of up to 64 binary input vectors in transposed (bit-sliced) form.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct BitBlock {
-    /// `lanes[i]` holds, for every vector in the block, the value of line `i`.
-    lanes: Vec<u64>,
-    /// Number of vectors actually present (1..=64).
-    count: u32,
-}
-
-impl BitBlock {
-    /// Builds a block from up to 64 input strings (all of length `n`).
-    ///
-    /// # Panics
-    /// Panics if `inputs` is empty, longer than 64, or the lengths are
-    /// inconsistent with `n`.
-    #[must_use]
-    pub fn from_strings(n: usize, inputs: &[BitString]) -> Self {
-        assert!(
-            !inputs.is_empty() && inputs.len() <= 64,
-            "block must hold 1..=64 vectors"
-        );
-        let mut lanes = vec![0u64; n];
-        for (j, s) in inputs.iter().enumerate() {
-            assert_eq!(s.len(), n, "input length mismatch");
-            for (i, lane) in lanes.iter_mut().enumerate() {
-                if s.get(i) {
-                    *lane |= 1 << j;
-                }
-            }
-        }
-        Self {
-            lanes,
-            count: inputs.len() as u32,
-        }
-    }
-
-    /// Builds the block containing the `count` consecutive binary vectors
-    /// starting at word value `start` (vector `j` of the block is the string
-    /// whose packed word is `start + j`).
-    ///
-    /// # Panics
-    /// Panics if `count` is 0 or exceeds 64.
-    #[must_use]
-    pub fn from_range(n: usize, start: u64, count: u32) -> Self {
-        assert!((1..=64).contains(&count), "block must hold 1..=64 vectors");
-        let mut lanes = vec![0u64; n];
-        for j in 0..count {
-            let word = start + u64::from(j);
-            for (i, lane) in lanes.iter_mut().enumerate() {
-                if (word >> i) & 1 == 1 {
-                    *lane |= 1 << j;
-                }
-            }
-        }
-        Self { lanes, count }
-    }
-
-    /// Number of vectors in the block.
-    #[must_use]
-    pub fn count(&self) -> u32 {
-        self.count
-    }
-
-    /// Bitmask with one set bit per vector actually present in the block
-    /// (bits `0..count`).
-    #[must_use]
-    pub fn live_mask(&self) -> u64 {
-        if self.count == 64 {
-            u64::MAX
-        } else {
-            (1u64 << self.count) - 1
-        }
-    }
-
-    /// Overwrites this block's lanes and count with `other`'s, reusing the
-    /// existing allocation — the cheap "fork from a shared prefix" primitive
-    /// used by the fault-simulation engine.
-    ///
-    /// # Panics
-    /// Panics if the two blocks have different line counts.
-    pub fn copy_from(&mut self, other: &Self) {
-        assert_eq!(self.lanes.len(), other.lanes.len(), "line count mismatch");
-        self.lanes.copy_from_slice(&other.lanes);
-        self.count = other.count;
-    }
-
-    /// Applies one comparator across all 64 lanes: the AND of the two lanes
-    /// (the 64 minima) is routed to `min_to`, the OR (the 64 maxima) to
-    /// `max_to`.  The lines need not be ordered, so this also evaluates
-    /// non-standard (inverted) comparators.
-    ///
-    /// # Panics
-    /// Panics if either line is out of range or the lines coincide.
-    #[inline]
-    pub fn apply_comparator(&mut self, min_to: usize, max_to: usize) {
-        assert_ne!(min_to, max_to, "a comparator needs two distinct lines");
-        let a = self.lanes[min_to];
-        let b = self.lanes[max_to];
-        self.lanes[min_to] = a & b;
-        self.lanes[max_to] = a | b;
-    }
-
-    /// Exchanges two lanes unconditionally (the lane-level form of a
-    /// stuck-swapping comparator).
-    #[inline]
-    pub fn swap_lanes(&mut self, i: usize, j: usize) {
-        self.lanes.swap(i, j);
-    }
-
-    /// Rewrites the pair of lanes `(i, j)` through an arbitrary 64-lane
-    /// bitwise transfer function — the escape hatch for behavioural fault
-    /// models that are not expressible as a plain comparator.
-    ///
-    /// # Panics
-    /// Panics if `i == j` or either line is out of range.
-    #[inline]
-    pub fn map_pair(&mut self, i: usize, j: usize, f: impl FnOnce(u64, u64) -> (u64, u64)) {
-        assert_ne!(i, j, "map_pair needs two distinct lines");
-        let (a, b) = f(self.lanes[i], self.lanes[j]);
-        self.lanes[i] = a;
-        self.lanes[j] = b;
-    }
-
-    /// Runs `network` over the block in place.
-    pub fn run(&mut self, network: &Network) {
-        self.run_range(network, 0, network.size());
-    }
-
-    /// Runs only comparators `start..end` of `network` over the block — the
-    /// suffix-evaluation primitive behind shared-prefix fault forking.
-    ///
-    /// # Panics
-    /// Panics if `start > end` or `end` exceeds the network size.
-    pub fn run_range(&mut self, network: &Network, start: usize, end: usize) {
-        assert!(
-            start <= end && end <= network.size(),
-            "bad comparator range {start}..{end}"
-        );
-        for c in &network.comparators()[start..end] {
-            self.apply_comparator(c.min_line(), c.max_line());
-        }
-    }
-
-    /// Returns a bitmask over the block's vectors: bit `j` is set when the
-    /// output for vector `j` is **not** sorted.
-    #[must_use]
-    pub fn unsorted_mask(&self) -> u64 {
-        // A 0/1 vector is sorted iff no position holds 1 while a later
-        // position holds 0, i.e. iff (prefix-OR of earlier lines) & !line is
-        // never 1 when scanning top to bottom — equivalently there is no i<j
-        // with lane_i = 1, lane_j = 0.
-        let mut seen_one = 0u64;
-        let mut unsorted = 0u64;
-        for &lane in &self.lanes {
-            unsorted |= seen_one & !lane;
-            seen_one |= lane;
-        }
-        unsorted & self.live_mask()
-    }
-
-    /// Returns, for output line `i`, the 64 output bits of the block.
-    #[must_use]
-    pub fn lane(&self, i: usize) -> u64 {
-        self.lanes[i]
-    }
-
-    /// Extracts the output string for vector `j` of the block.
-    ///
-    /// # Panics
-    /// Panics if `j ≥ count`.
-    #[must_use]
-    pub fn extract(&self, j: u32) -> BitString {
-        assert!(j < self.count, "vector index out of range");
-        let mut word = 0u64;
-        for (i, lane) in self.lanes.iter().enumerate() {
-            if (lane >> j) & 1 == 1 {
-                word |= 1 << i;
-            }
-        }
-        BitString::from_word(word, self.lanes.len())
-    }
-}
-
-/// Number of 64-vector blocks an exhaustive `2^n` sweep visits.
+/// Number of `W × 64`-vector blocks an exhaustive `2^n` sweep visits.
 ///
 /// # Panics
 /// Panics if `n ≥ 32` (a larger sweep would take > 4 G evaluations; callers
 /// wanting larger `n` should use the test-set verifiers instead).
 #[must_use]
-pub fn sweep_block_count(n: usize) -> u64 {
+pub fn sweep_block_count_wide<const W: usize>(n: usize) -> u64 {
     assert!(
         n < 32,
         "exhaustive 2^{n} sweep refused; use test-set verification"
     );
-    (1u64 << n).div_ceil(64)
+    (1u64 << n).div_ceil(u64::from(WideBlock::<W>::capacity()))
 }
 
 /// The `(start word, vector count)` of block `b` of the exhaustive `2^n`
-/// sweep — the shared arithmetic behind every blocked sweep in this module
-/// and the fault-simulation engine.
+/// sweep at width `W` — the shared arithmetic behind every blocked sweep in
+/// this module and the fault-simulation engine.
 ///
 /// # Panics
 /// Panics if `n ≥ 32` or `b` is past the last block.
 #[must_use]
-pub fn sweep_block_range(n: usize, b: u64) -> (u64, u32) {
-    assert!(b < sweep_block_count(n), "block index {b} out of range");
+pub fn sweep_block_range_wide<const W: usize>(n: usize, b: u64) -> (u64, u32) {
+    assert!(
+        b < sweep_block_count_wide::<W>(n),
+        "block index {b} out of range"
+    );
     let total: u64 = 1u64 << n;
-    let start = b * 64;
-    (start, (total - start).min(64) as u32)
+    let start = b * u64::from(WideBlock::<W>::capacity());
+    (
+        start,
+        (total - start).min(u64::from(WideBlock::<W>::capacity())) as u32,
+    )
+}
+
+/// [`sweep_block_count_wide`] at `W = 1` (64-vector blocks).
+#[must_use]
+pub fn sweep_block_count(n: usize) -> u64 {
+    sweep_block_count_wide::<1>(n)
+}
+
+/// [`sweep_block_range_wide`] at `W = 1` (64-vector blocks).
+#[must_use]
+pub fn sweep_block_range(n: usize, b: u64) -> (u64, u32) {
+    sweep_block_range_wide::<1>(n, b)
 }
 
 /// Exhaustively checks the zero–one sorting property of `network` over all
-/// `2^n` binary inputs, 64 at a time.
+/// `2^n` binary inputs, `W × 64` at a time.
 ///
 /// Returns the first (lowest-word) input the network fails to sort, or
-/// `None` if the network is a sorter.
+/// `None` if the network is a sorter.  The verdict and witness are
+/// independent of `W` and of the parallelism hint.
 ///
 /// # Panics
-/// Panics if `n ≥ 32` (the sweep would take > 4 G evaluations; callers
-/// wanting larger n should use the test-set verifiers instead).
+/// Panics if `n ≥ 32`.
 #[must_use]
-pub fn find_unsorted_input(network: &Network, hint: ParallelismHint) -> Option<BitString> {
+pub fn find_unsorted_input_wide<const W: usize>(
+    network: &Network,
+    hint: ParallelismHint,
+) -> Option<BitString> {
     let n = network.lines();
-    let block_count = sweep_block_count(n);
+    let block_count = sweep_block_count_wide::<W>(n);
 
     let check_block = |b: u64| -> Option<BitString> {
-        let (start, count) = sweep_block_range(n, b);
-        let mut block = BitBlock::from_range(n, start, count);
+        let (start, count) = sweep_block_range_wide::<W>(n, b);
+        let mut block = WideBlock::<W>::from_range(n, start, count);
         block.run(network);
-        let mask = block.unsorted_mask();
-        if mask == 0 {
-            None
-        } else {
-            let j = mask.trailing_zeros();
-            Some(BitString::from_word(start + u64::from(j), n))
-        }
+        lanes::mask_first(&block.unsorted_masks())
+            .map(|j| BitString::from_word(start + u64::from(j), n))
     };
 
     match hint {
@@ -279,8 +120,20 @@ pub fn find_unsorted_input(network: &Network, hint: ParallelismHint) -> Option<B
     }
 }
 
+/// [`find_unsorted_input_wide`] at the default lane width.
+#[must_use]
+pub fn find_unsorted_input(network: &Network, hint: ParallelismHint) -> Option<BitString> {
+    find_unsorted_input_wide::<{ lanes::DEFAULT_WIDTH }>(network, hint)
+}
+
 /// `true` iff `network` sorts every 0/1 input (and hence, by the zero–one
-/// principle, every input).
+/// principle, every input), swept at width `W`.
+#[must_use]
+pub fn is_sorter_exhaustive_wide<const W: usize>(network: &Network, hint: ParallelismHint) -> bool {
+    find_unsorted_input_wide::<W>(network, hint).is_none()
+}
+
+/// [`is_sorter_exhaustive_wide`] at the default lane width.
 #[must_use]
 pub fn is_sorter_exhaustive(network: &Network, hint: ParallelismHint) -> bool {
     find_unsorted_input(network, hint).is_none()
@@ -291,14 +144,17 @@ pub fn is_sorter_exhaustive(network: &Network, hint: ParallelismHint) -> bool {
 /// # Panics
 /// Panics if `n ≥ 32`.
 #[must_use]
-pub fn count_unsorted_outputs(network: &Network, hint: ParallelismHint) -> u64 {
+pub fn count_unsorted_outputs_wide<const W: usize>(
+    network: &Network,
+    hint: ParallelismHint,
+) -> u64 {
     let n = network.lines();
-    let block_count = sweep_block_count(n);
+    let block_count = sweep_block_count_wide::<W>(n);
     let count_block = |b: u64| -> u64 {
-        let (start, count) = sweep_block_range(n, b);
-        let mut block = BitBlock::from_range(n, start, count);
+        let (start, count) = sweep_block_range_wide::<W>(n, b);
+        let mut block = WideBlock::<W>::from_range(n, start, count);
         block.run(network);
-        u64::from(block.unsorted_mask().count_ones())
+        u64::from(lanes::mask_count(&block.unsorted_masks()))
     };
     match hint {
         ParallelismHint::Sequential => (0..block_count).map(count_block).sum(),
@@ -306,9 +162,16 @@ pub fn count_unsorted_outputs(network: &Network, hint: ParallelismHint) -> u64 {
     }
 }
 
+/// [`count_unsorted_outputs_wide`] at the default lane width.
+#[must_use]
+pub fn count_unsorted_outputs(network: &Network, hint: ParallelismHint) -> u64 {
+    count_unsorted_outputs_wide::<{ lanes::DEFAULT_WIDTH }>(network, hint)
+}
+
 /// Exhaustively checks the `(k, n)`-selection property over all `2^n`
-/// binary inputs, 64 vectors at a time, returning the first (lowest-word)
-/// input whose first `k` outputs are wrong, or `None` for a valid selector.
+/// binary inputs, `W × 64` vectors at a time, returning the first
+/// (lowest-word) input whose first `k` outputs are wrong, or `None` for a
+/// valid selector.
 ///
 /// Per block, the candidate outputs are compared lane-by-lane against the
 /// outputs of a known-good reference sorter (Batcher's merge-exchange
@@ -319,66 +182,69 @@ pub fn count_unsorted_outputs(network: &Network, hint: ParallelismHint) -> u64 {
 /// # Panics
 /// Panics if `k > n` or `n ≥ 32`.
 #[must_use]
-pub fn find_selector_violation(
+pub fn find_selector_violation_wide<const W: usize>(
     network: &Network,
     k: usize,
     hint: ParallelismHint,
 ) -> Option<BitString> {
     let n = network.lines();
     assert!(k <= n, "k = {k} exceeds n = {n}");
-    let block_count = sweep_block_count(n);
+    let block_count = sweep_block_count_wide::<W>(n);
     if k == 0 {
         return None;
     }
     let reference = crate::builders::batcher::odd_even_merge_sort(n);
 
     let check_block = |b: u64| -> Option<BitString> {
-        let (start, count) = sweep_block_range(n, b);
-        let inputs = BitBlock::from_range(n, start, count);
+        let (start, count) = sweep_block_range_wide::<W>(n, b);
+        let inputs = WideBlock::<W>::from_range(n, start, count);
         let mut out = inputs.clone();
         out.run(network);
         let mut sorted = inputs;
         sorted.run(&reference);
-        let mut wrong = 0u64;
-        for i in 0..k {
-            wrong |= out.lane(i) ^ sorted.lane(i);
-        }
-        wrong &= out.live_mask();
-        if wrong == 0 {
-            None
-        } else {
-            let j = wrong.trailing_zeros();
-            Some(BitString::from_word(start + u64::from(j), n))
-        }
+        let wrong = lanes::selector_violation_masks(&out, &sorted, k);
+        lanes::mask_first(&wrong).map(|j| BitString::from_word(start + u64::from(j), n))
     };
 
     match hint {
         ParallelismHint::Sequential => (0..block_count).find_map(check_block),
-        // As in `find_unsorted_input`: first block in ascending order is the
-        // lowest-word witness, and the sweep stops at the first violation.
+        // As in `find_unsorted_input_wide`: first block in ascending order
+        // is the lowest-word witness, and the sweep stops at the first
+        // violation.
         ParallelismHint::Rayon => (0..block_count).into_par_iter().find_map_first(check_block),
     }
 }
 
+/// [`find_selector_violation_wide`] at the default lane width.
+#[must_use]
+pub fn find_selector_violation(
+    network: &Network,
+    k: usize,
+    hint: ParallelismHint,
+) -> Option<BitString> {
+    find_selector_violation_wide::<{ lanes::DEFAULT_WIDTH }>(network, k, hint)
+}
+
 /// `true` iff `network` is a `(k, n)`-selector (bit-parallel exhaustive
-/// sweep; see [`find_selector_violation`]).
+/// sweep; see [`find_selector_violation_wide`]).
 #[must_use]
 pub fn is_selector_exhaustive(network: &Network, k: usize, hint: ParallelismHint) -> bool {
     find_selector_violation(network, k, hint).is_none()
 }
 
-/// Runs `network` over an arbitrary list of 0/1 test vectors (in 64-wide
-/// blocks) and returns the inputs whose outputs are not sorted.
+/// Runs `network` over an arbitrary list of 0/1 test vectors (in
+/// `W × 64`-wide blocks at the default width) and returns the inputs whose
+/// outputs are not sorted.
 #[must_use]
 pub fn failing_inputs_from(network: &Network, tests: &[BitString]) -> Vec<BitString> {
     let n = network.lines();
     let mut failures = Vec::new();
-    for chunk in tests.chunks(64) {
-        let mut block = BitBlock::from_strings(n, chunk);
+    for chunk in tests.chunks(WideBlock::<{ lanes::DEFAULT_WIDTH }>::capacity() as usize) {
+        let mut block = WideBlock::<{ lanes::DEFAULT_WIDTH }>::from_strings(n, chunk);
         block.run(network);
-        let mask = block.unsorted_mask();
+        let mask = block.unsorted_masks();
         for (j, input) in chunk.iter().enumerate() {
-            if (mask >> j) & 1 == 1 {
+            if (mask[j / 64] >> (j % 64)) & 1 == 1 {
                 failures.push(*input);
             }
         }
@@ -445,6 +311,22 @@ mod tests {
         assert_eq!(seq, par, "sequential and rayon sweeps must agree");
         let failing = seq.unwrap();
         assert!(!fig1().apply_bits(&failing).is_sorted());
+    }
+
+    #[test]
+    fn all_widths_agree_on_witness_and_count() {
+        for net in [fig1(), batcher4(), Network::empty(4)] {
+            let w1 = find_unsorted_input_wide::<1>(&net, ParallelismHint::Sequential);
+            let w2 = find_unsorted_input_wide::<2>(&net, ParallelismHint::Sequential);
+            let w4 = find_unsorted_input_wide::<4>(&net, ParallelismHint::Rayon);
+            assert_eq!(w1, w2, "net {net}");
+            assert_eq!(w1, w4, "net {net}");
+            let c1 = count_unsorted_outputs_wide::<1>(&net, ParallelismHint::Sequential);
+            let c2 = count_unsorted_outputs_wide::<2>(&net, ParallelismHint::Rayon);
+            let c4 = count_unsorted_outputs_wide::<4>(&net, ParallelismHint::Sequential);
+            assert_eq!(c1, c2, "net {net}");
+            assert_eq!(c1, c4, "net {net}");
+        }
     }
 
     #[test]
@@ -547,11 +429,12 @@ mod tests {
     fn selector_sweep_agrees_with_scalar_definition() {
         use crate::builders::batcher::odd_even_merge_sort;
         for k in 0..=6 {
-            assert!(is_selector_exhaustive(
+            assert!(find_selector_violation_wide::<2>(
                 &odd_even_merge_sort(6),
                 k,
                 ParallelismHint::Sequential
-            ));
+            )
+            .is_none());
         }
         let empty = Network::empty(5);
         assert!(is_selector_exhaustive(&empty, 0, ParallelismHint::Rayon));
@@ -561,9 +444,14 @@ mod tests {
         let out = empty.apply_bits(&witness);
         let zeros = witness.count_zeros();
         assert!((0..2).any(|i| out.get(i) != (i >= zeros)));
-        // Sequential and rayon sweeps return the same lowest witness.
+        // Sequential and rayon sweeps return the same lowest witness, at
+        // every width.
         assert_eq!(
             find_selector_violation(&empty, 2, ParallelismHint::Rayon),
+            Some(witness)
+        );
+        assert_eq!(
+            find_selector_violation_wide::<1>(&empty, 2, ParallelismHint::Sequential),
             Some(witness)
         );
     }

@@ -2,7 +2,7 @@
 //! odd–even merge sort, and stand-alone odd–even merging networks.
 //!
 //! The Lemma 2.1 figures use `S(i)`, "an i-input sorting network such as an
-//! odd-even merge sorter [2]"; [`odd_even_merge_sort`] provides exactly
+//! odd-even merge sorter \[2\]"; [`odd_even_merge_sort`] provides exactly
 //! that for every `i`.  [`odd_even_merger`] builds the `(p, q)`-merging
 //! networks evaluated by Theorem 2.5.
 

@@ -3,7 +3,7 @@
 //! Both use only adjacent (height-1) comparators, i.e. they are *primitive*
 //! networks in the sense of §3 of the paper, and both have exactly
 //! `n(n−1)/2` comparators — the optimum for primitive sorters
-//! (de Bruijn [4]).
+//! (de Bruijn \[4\]).
 
 use crate::network::Network;
 

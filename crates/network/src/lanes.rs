@@ -1,0 +1,751 @@
+//! Width-generic bit-sliced blocks and streaming test-vector sources.
+//!
+//! This module is the batching substrate every sweep in the workspace runs
+//! on.  Two ideas compose:
+//!
+//! # `WideBlock<W>`: W×64 vectors per pass
+//!
+//! A [`WideBlock<W>`] holds up to `W × 64` binary input vectors in
+//! transposed (bit-sliced) form: lane `i` is a `[u64; W]`, and bit `j` of
+//! word `w` of lane `i` holds the value of network line `i` in vector
+//! `w·64 + j` of the block.  A standard comparator on lines `(i, j)` is then
+//! `2W` bitwise operations —
+//!
+//! ```text
+//! new_i[w] = lane_i[w] & lane_j[w]      (the minima)
+//! new_j[w] = lane_i[w] | lane_j[w]      (the maxima)
+//! ```
+//!
+//! — the classical SIMD-within-a-register trick, widened so that one pass
+//! over the comparators (and one *shared-prefix fork* in the fault engine)
+//! is amortised over `W × 64` vectors instead of 64.  `W = 1` recovers the
+//! original one-word [`BitBlock`](crate::bitparallel::BitBlock) exactly;
+//! [`DEFAULT_WIDTH`] is the width the convenience wrappers use.
+//!
+//! # `BlockSource`: test-vector families generated in block form
+//!
+//! The paper's theorems are statements about *families* of test vectors
+//! (all `2^n` inputs, the minimal 0/1 sets of Theorems 2.2/2.4/2.5, …).  A
+//! [`BlockSource`] streams such a family directly into transposed blocks,
+//! so sweeps never materialise a `Vec<BitString>`:
+//!
+//! * [`RangeSource`] — the exhaustive `2^n` family, filled by *counting
+//!   patterns* (lane `i < 6` of a 64-aligned word is a fixed alternating
+//!   constant; higher lanes are broadcasts of the block-start bit), so block
+//!   generation is O(`n·W`) words with no per-vector work;
+//! * [`IterSource`] — a block-filling adapter over any
+//!   `Iterator<Item = BitString>`, which turns the `sortnet-combinat`
+//!   generators (unsorted strings, low-weight subsets, half-sorted merge
+//!   inputs) into sources without intermediate storage.
+//!
+//! [`sweep_find`] is the streaming driver: it pulls blocks from a source,
+//! asks a caller-supplied closure for a violation mask per block, and
+//! extracts the first violating *input* vector as a witness.
+
+use sortnet_combinat::BitString;
+
+use crate::network::Network;
+
+/// The lane width (in 64-bit words) the non-generic convenience entry
+/// points use: [`DEFAULT_WIDTH`]`×64 = 256` vectors per block, which keeps
+/// the working set of one block (`n` lanes) inside L1 for every `n ≤ 64`
+/// while amortising per-block work 4× better than single-word lanes.
+pub const DEFAULT_WIDTH: usize = 4;
+
+/// Runtime-selectable lane width, for APIs (engine enums, benches) that
+/// choose `W` dynamically and dispatch to the const-generic code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LaneWidth {
+    /// One `u64` word per lane: 64 vectors per block.
+    W1,
+    /// Two words per lane: 128 vectors per block.
+    W2,
+    /// Four words per lane: 256 vectors per block ([`DEFAULT_WIDTH`]).
+    W4,
+    /// Eight words per lane: 512 vectors per block.
+    W8,
+}
+
+impl LaneWidth {
+    /// Number of `u64` words per lane.
+    #[must_use]
+    pub const fn words(self) -> usize {
+        match self {
+            Self::W1 => 1,
+            Self::W2 => 2,
+            Self::W4 => 4,
+            Self::W8 => 8,
+        }
+    }
+
+    /// Number of vectors one block holds (`words × 64`).
+    #[must_use]
+    pub const fn vectors_per_block(self) -> u32 {
+        (self.words() * 64) as u32
+    }
+}
+
+/// The first six counting patterns: bit `j` of `COUNT_PATTERNS[i]` is bit
+/// `i` of `j`, so a 64-aligned word of the exhaustive sweep has lane
+/// `i < 6` equal to the constant and every higher lane equal to a broadcast
+/// of the corresponding bit of the word's start value.
+const COUNT_PATTERNS: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
+/// A block of up to `W × 64` binary input vectors in transposed
+/// (bit-sliced) form.
+///
+/// See the [module docs](self) for the lane encoding.  `WideBlock<1>` is
+/// re-exported as [`BitBlock`](crate::bitparallel::BitBlock) and carries a
+/// single-word convenience API ([`lane`](WideBlock::<1>::lane),
+/// [`unsorted_mask`](WideBlock::<1>::unsorted_mask),
+/// [`live_mask`](WideBlock::<1>::live_mask)); generic code uses the
+/// `*_words`/`*_masks` plural forms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WideBlock<const W: usize> {
+    /// `lanes[i][w]` holds bit `j` = value of line `i` in vector `w·64+j`.
+    lanes: Vec<[u64; W]>,
+    /// Number of vectors actually present (`0..=W·64`; 0 only for scratch
+    /// blocks awaiting [`WideBlock::copy_from`] or
+    /// [`BlockSource::next_block`]).
+    count: u32,
+}
+
+impl<const W: usize> WideBlock<W> {
+    /// Maximum number of vectors a block of this width holds (`W × 64`).
+    #[must_use]
+    pub const fn capacity() -> u32 {
+        (W * 64) as u32
+    }
+
+    /// An empty scratch block over `n` lines (count 0), ready to be filled
+    /// by [`WideBlock::copy_from`] or [`BlockSource::next_block`].
+    #[must_use]
+    pub fn zeroed(n: usize) -> Self {
+        Self {
+            lanes: vec![[0u64; W]; n],
+            count: 0,
+        }
+    }
+
+    /// Builds a block from up to `W × 64` input strings (all of length `n`).
+    ///
+    /// # Panics
+    /// Panics if `inputs` is empty, longer than `W × 64`, or the lengths are
+    /// inconsistent with `n`.
+    #[must_use]
+    pub fn from_strings(n: usize, inputs: &[BitString]) -> Self {
+        assert!(
+            !inputs.is_empty() && inputs.len() <= W * 64,
+            "block must hold 1..={} vectors",
+            W * 64
+        );
+        let mut block = Self::zeroed(n);
+        block.fill_from_strings(inputs);
+        block
+    }
+
+    /// Overwrites the block with `inputs` (count becomes `inputs.len()`).
+    fn fill_from_strings(&mut self, inputs: &[BitString]) {
+        let n = self.lanes.len();
+        for lane in &mut self.lanes {
+            *lane = [0u64; W];
+        }
+        for (j, s) in inputs.iter().enumerate() {
+            assert_eq!(s.len(), n, "input length mismatch");
+            let (w, bit) = (j / 64, j % 64);
+            for (i, lane) in self.lanes.iter_mut().enumerate() {
+                if s.get(i) {
+                    lane[w] |= 1 << bit;
+                }
+            }
+        }
+        self.count = inputs.len() as u32;
+    }
+
+    /// Builds the block containing the `count` consecutive binary vectors
+    /// starting at word value `start` (vector `j` of the block is the string
+    /// whose packed word is `start + j`).
+    ///
+    /// When `start` is 64-aligned (as every block of an exhaustive sweep
+    /// is), the fill is counting patterns — O(`n·W`) words, no per-vector
+    /// loop.
+    ///
+    /// # Panics
+    /// Panics if `count` is 0 or exceeds `W × 64`.
+    #[must_use]
+    pub fn from_range(n: usize, start: u64, count: u32) -> Self {
+        assert!(
+            (1..=Self::capacity()).contains(&count),
+            "block must hold 1..={} vectors",
+            W * 64
+        );
+        let mut block = Self::zeroed(n);
+        block.fill_from_range(start, count);
+        block
+    }
+
+    /// Overwrites the block with the `count` consecutive vectors starting
+    /// at `start`.
+    fn fill_from_range(&mut self, start: u64, count: u32) {
+        for w in 0..W {
+            let base = start + (w as u64) * 64;
+            let in_word = count.saturating_sub((w * 64) as u32).min(64);
+            let live = if in_word == 64 {
+                u64::MAX
+            } else {
+                (1u64 << in_word) - 1
+            };
+            if in_word == 0 {
+                for lane in &mut self.lanes {
+                    lane[w] = 0;
+                }
+            } else if base.is_multiple_of(64) {
+                // Counting patterns: adding j < 64 to a 64-aligned base
+                // never carries past bit 5, so lane i < 6 is a constant and
+                // lane i ≥ 6 is a broadcast of bit i of `base`.
+                for (i, lane) in self.lanes.iter_mut().enumerate() {
+                    let bits = if i < 6 {
+                        COUNT_PATTERNS[i]
+                    } else if (base >> i) & 1 == 1 {
+                        u64::MAX
+                    } else {
+                        0
+                    };
+                    lane[w] = bits & live;
+                }
+            } else {
+                for (i, lane) in self.lanes.iter_mut().enumerate() {
+                    let mut bits = 0u64;
+                    for j in 0..u64::from(in_word) {
+                        if ((base + j) >> i) & 1 == 1 {
+                            bits |= 1 << j;
+                        }
+                    }
+                    lane[w] = bits;
+                }
+            }
+        }
+        self.count = count;
+    }
+
+    /// Number of vectors in the block.
+    #[must_use]
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Number of network lines.
+    #[must_use]
+    pub fn lines(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Per-word bitmasks with one set bit per vector actually present.
+    #[must_use]
+    pub fn live_masks(&self) -> [u64; W] {
+        let mut m = [0u64; W];
+        for (w, word) in m.iter_mut().enumerate() {
+            let cnt = self.count.saturating_sub((w * 64) as u32).min(64);
+            *word = if cnt == 64 {
+                u64::MAX
+            } else {
+                (1u64 << cnt) - 1
+            };
+        }
+        m
+    }
+
+    /// Overwrites this block's lanes and count with `other`'s, reusing the
+    /// existing allocation — the cheap "fork from a shared prefix"
+    /// primitive used by the fault-simulation engine.
+    ///
+    /// # Panics
+    /// Panics if the two blocks have different line counts.
+    pub fn copy_from(&mut self, other: &Self) {
+        assert_eq!(self.lanes.len(), other.lanes.len(), "line count mismatch");
+        self.lanes.copy_from_slice(&other.lanes);
+        self.count = other.count;
+    }
+
+    /// Applies one comparator across all lanes: the AND of the two lanes
+    /// (the minima) is routed to `min_to`, the OR (the maxima) to `max_to`.
+    /// The lines need not be ordered, so this also evaluates non-standard
+    /// (inverted) comparators.
+    ///
+    /// # Panics
+    /// Panics if either line is out of range or the lines coincide.
+    #[inline]
+    pub fn apply_comparator(&mut self, min_to: usize, max_to: usize) {
+        assert_ne!(min_to, max_to, "a comparator needs two distinct lines");
+        let a = self.lanes[min_to];
+        let b = self.lanes[max_to];
+        for w in 0..W {
+            self.lanes[min_to][w] = a[w] & b[w];
+            self.lanes[max_to][w] = a[w] | b[w];
+        }
+    }
+
+    /// Exchanges two lanes unconditionally (the lane-level form of a
+    /// stuck-swapping comparator).
+    #[inline]
+    pub fn swap_lanes(&mut self, i: usize, j: usize) {
+        self.lanes.swap(i, j);
+    }
+
+    /// Rewrites the pair of lanes `(i, j)` through an arbitrary 64-lane
+    /// bitwise transfer function, applied word by word — the escape hatch
+    /// for behavioural fault models that are not expressible as a plain
+    /// comparator.
+    ///
+    /// # Panics
+    /// Panics if `i == j` or either line is out of range.
+    #[inline]
+    pub fn map_pair(&mut self, i: usize, j: usize, mut f: impl FnMut(u64, u64) -> (u64, u64)) {
+        assert_ne!(i, j, "map_pair needs two distinct lines");
+        for w in 0..W {
+            let (a, b) = f(self.lanes[i][w], self.lanes[j][w]);
+            self.lanes[i][w] = a;
+            self.lanes[j][w] = b;
+        }
+    }
+
+    /// Runs `network` over the block in place.
+    pub fn run(&mut self, network: &Network) {
+        self.run_range(network, 0, network.size());
+    }
+
+    /// Runs only comparators `start..end` of `network` over the block — the
+    /// suffix-evaluation primitive behind shared-prefix fault forking.
+    ///
+    /// # Panics
+    /// Panics if `start > end` or `end` exceeds the network size.
+    pub fn run_range(&mut self, network: &Network, start: usize, end: usize) {
+        assert!(
+            start <= end && end <= network.size(),
+            "bad comparator range {start}..{end}"
+        );
+        for c in &network.comparators()[start..end] {
+            self.apply_comparator(c.min_line(), c.max_line());
+        }
+    }
+
+    /// Per-word bitmasks over the block's vectors: bit `j` of word `w` is
+    /// set when the output for vector `w·64 + j` is **not** sorted.
+    #[must_use]
+    pub fn unsorted_masks(&self) -> [u64; W] {
+        // A 0/1 vector is sorted iff there is no i < j with lane_i = 1 and
+        // lane_j = 0; each word's 64 vectors are checked independently.
+        let mut seen_one = [0u64; W];
+        let mut unsorted = [0u64; W];
+        for lane in &self.lanes {
+            for w in 0..W {
+                unsorted[w] |= seen_one[w] & !lane[w];
+                seen_one[w] |= lane[w];
+            }
+        }
+        let live = self.live_masks();
+        for w in 0..W {
+            unsorted[w] &= live[w];
+        }
+        unsorted
+    }
+
+    /// The words of output line `i` across the whole block.
+    #[must_use]
+    pub fn lane_words(&self, i: usize) -> [u64; W] {
+        self.lanes[i]
+    }
+
+    /// Extracts the output string for vector `j` of the block.
+    ///
+    /// # Panics
+    /// Panics if `j ≥ count`.
+    #[must_use]
+    pub fn extract(&self, j: u32) -> BitString {
+        assert!(j < self.count, "vector index out of range");
+        let (w, bit) = ((j / 64) as usize, j % 64);
+        let mut word = 0u64;
+        for (i, lane) in self.lanes.iter().enumerate() {
+            if (lane[w] >> bit) & 1 == 1 {
+                word |= 1 << i;
+            }
+        }
+        BitString::from_word(word, self.lanes.len())
+    }
+}
+
+/// Single-word (`W = 1`) convenience API, so the original
+/// [`BitBlock`](crate::bitparallel::BitBlock) call sites read scalar `u64`
+/// masks without indexing one-element arrays.
+impl WideBlock<1> {
+    /// Bitmask with one set bit per vector actually present in the block
+    /// (bits `0..count`).
+    #[must_use]
+    pub fn live_mask(&self) -> u64 {
+        self.live_masks()[0]
+    }
+
+    /// Returns a bitmask over the block's vectors: bit `j` is set when the
+    /// output for vector `j` is **not** sorted.
+    #[must_use]
+    pub fn unsorted_mask(&self) -> u64 {
+        self.unsorted_masks()[0]
+    }
+
+    /// Returns, for output line `i`, the 64 output bits of the block.
+    #[must_use]
+    pub fn lane(&self, i: usize) -> u64 {
+        self.lanes[i][0]
+    }
+}
+
+/// `true` when any bit of a per-word violation mask is set.
+#[must_use]
+pub fn mask_any<const W: usize>(mask: &[u64; W]) -> bool {
+    mask.iter().any(|&w| w != 0)
+}
+
+/// Index (within the block) of the first set bit of a per-word mask.
+#[must_use]
+pub fn mask_first<const W: usize>(mask: &[u64; W]) -> Option<u32> {
+    mask.iter()
+        .enumerate()
+        .find(|(_, &w)| w != 0)
+        .map(|(w, word)| (w * 64) as u32 + word.trailing_zeros())
+}
+
+/// Total number of set bits of a per-word mask.
+#[must_use]
+pub fn mask_count<const W: usize>(mask: &[u64; W]) -> u32 {
+    mask.iter().map(|w| w.count_ones()).sum()
+}
+
+/// A streaming generator of test-vector blocks: the representation the
+/// paper's vector *families* travel in, instead of `Vec<BitString>`.
+///
+/// Implementations overwrite a caller-owned [`WideBlock`] (so the one
+/// allocation is reused across the whole sweep) until the family is
+/// exhausted.
+pub trait BlockSource<const W: usize> {
+    /// Number of network lines each vector has.
+    fn lines(&self) -> usize;
+
+    /// Fills `block` with the next up-to-`W×64` vectors of the family.
+    ///
+    /// Returns `false` (leaving `block` unspecified) when the family is
+    /// exhausted.  A filled block always holds at least one vector.
+    ///
+    /// # Panics
+    /// Panics if `block` was built for a different line count.
+    fn next_block(&mut self, block: &mut WideBlock<W>) -> bool;
+}
+
+impl<const W: usize, S: BlockSource<W> + ?Sized> BlockSource<W> for Box<S> {
+    fn lines(&self) -> usize {
+        (**self).lines()
+    }
+
+    fn next_block(&mut self, block: &mut WideBlock<W>) -> bool {
+        (**self).next_block(block)
+    }
+}
+
+/// The exhaustive family of all `2^n` binary vectors, generated directly in
+/// transposed form by counting patterns (see the [module docs](self)).
+#[derive(Clone, Debug)]
+pub struct RangeSource {
+    n: usize,
+    next: u64,
+    end: u64,
+}
+
+impl RangeSource {
+    /// The full `2^n` sweep.
+    ///
+    /// # Panics
+    /// Panics if `n ≥ 32` (a larger sweep would take > 4 G evaluations;
+    /// callers wanting larger `n` should use the test-set verifiers
+    /// instead).
+    #[must_use]
+    pub fn exhaustive(n: usize) -> Self {
+        assert!(
+            n < 32,
+            "exhaustive 2^{n} sweep refused; use test-set verification"
+        );
+        Self {
+            n,
+            next: 0,
+            end: 1u64 << n,
+        }
+    }
+}
+
+impl<const W: usize> BlockSource<W> for RangeSource {
+    fn lines(&self) -> usize {
+        self.n
+    }
+
+    fn next_block(&mut self, block: &mut WideBlock<W>) -> bool {
+        assert_eq!(block.lines(), self.n, "line count mismatch");
+        if self.next >= self.end {
+            return false;
+        }
+        let count = (self.end - self.next).min(u64::from(WideBlock::<W>::capacity())) as u32;
+        block.fill_from_range(self.next, count);
+        self.next += u64::from(count);
+        true
+    }
+}
+
+/// Block-filling adapter over any `Iterator<Item = BitString>`: the bridge
+/// from the `sortnet-combinat` generators (unsorted strings, low-weight
+/// subset enumerations, half-sorted merge inputs, …) to transposed blocks.
+#[derive(Clone, Debug)]
+pub struct IterSource<I> {
+    n: usize,
+    iter: I,
+    buf: Vec<BitString>,
+}
+
+impl<I: Iterator<Item = BitString>> IterSource<I> {
+    /// Wraps `iter`, whose items must all have length `n`.
+    pub fn new(n: usize, iter: impl IntoIterator<IntoIter = I>) -> Self {
+        Self {
+            n,
+            iter: iter.into_iter(),
+            buf: Vec::new(),
+        }
+    }
+}
+
+impl<const W: usize, I: Iterator<Item = BitString>> BlockSource<W> for IterSource<I> {
+    fn lines(&self) -> usize {
+        self.n
+    }
+
+    fn next_block(&mut self, block: &mut WideBlock<W>) -> bool {
+        assert_eq!(block.lines(), self.n, "line count mismatch");
+        self.buf.clear();
+        self.buf
+            .extend(self.iter.by_ref().take(WideBlock::<W>::capacity() as usize));
+        if self.buf.is_empty() {
+            return false;
+        }
+        block.fill_from_strings(&self.buf);
+        true
+    }
+}
+
+/// Outcome of a [`sweep_find`] run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SweepOutcome {
+    /// Number of vectors evaluated before the sweep stopped (all of them on
+    /// a pass; everything up to and including the failing block otherwise).
+    pub tests_run: u64,
+    /// The first violating *input* vector, in source order, if any.
+    pub witness: Option<BitString>,
+}
+
+/// Streams `source` block by block, asking `violation` for a per-word mask
+/// of failing vectors, and stops at the first violating block.
+///
+/// `violation` receives the pristine *input* block (it typically copies it
+/// into a scratch block, runs a network, and masks the outputs), so the
+/// witness can be extracted from the inputs without re-generating them.
+pub fn sweep_find<const W: usize, S: BlockSource<W>>(
+    mut source: S,
+    mut violation: impl FnMut(&WideBlock<W>) -> [u64; W],
+) -> SweepOutcome {
+    let mut block = WideBlock::<W>::zeroed(source.lines());
+    let mut tests_run = 0u64;
+    while source.next_block(&mut block) {
+        tests_run += u64::from(block.count());
+        let mask = violation(&block);
+        if let Some(j) = mask_first(&mask) {
+            return SweepOutcome {
+                tests_run,
+                witness: Some(block.extract(j)),
+            };
+        }
+    }
+    SweepOutcome {
+        tests_run,
+        witness: None,
+    }
+}
+
+/// Streams `source` through `network` and reports the first input whose
+/// output is **not sorted** — the shared "copy block, run, mask" sweep the
+/// sorting/merging verifiers and oracles build on.
+pub fn sweep_network<const W: usize, S: BlockSource<W>>(
+    source: S,
+    network: &Network,
+) -> SweepOutcome {
+    let mut work = WideBlock::<W>::zeroed(source.lines());
+    sweep_find(source, |block| {
+        work.copy_from(block);
+        work.run(network);
+        work.unsorted_masks()
+    })
+}
+
+/// Per-word masks of vectors whose first `k` output lanes differ between a
+/// candidate's evaluated block and a reference sorter's evaluated block
+/// over the same inputs — the `(k, n)`-selection violation test shared by
+/// the exhaustive sweep and the test-set verifier.
+///
+/// # Panics
+/// Panics if `k` exceeds the line count or the blocks disagree on lines.
+#[must_use]
+pub fn selector_violation_masks<const W: usize>(
+    out: &WideBlock<W>,
+    sorted: &WideBlock<W>,
+    k: usize,
+) -> [u64; W] {
+    assert_eq!(out.lines(), sorted.lines(), "line count mismatch");
+    let mut wrong = [0u64; W];
+    for i in 0..k {
+        let (a, b) = (out.lane_words(i), sorted.lane_words(i));
+        for w in 0..W {
+            wrong[w] |= a[w] ^ b[w];
+        }
+    }
+    let live = out.live_masks();
+    for w in 0..W {
+        wrong[w] &= live[w];
+    }
+    wrong
+}
+
+/// Drains a source into the materialised `Vec<BitString>` form — the thin
+/// adapter the `Vec`-returning test-set constructors delegate to.
+#[must_use]
+pub fn collect_strings<const W: usize, S: BlockSource<W>>(mut source: S) -> Vec<BitString> {
+    let mut block = WideBlock::<W>::zeroed(source.lines());
+    let mut out = Vec::new();
+    while source.next_block(&mut block) {
+        out.extend((0..block.count()).map(|j| block.extract(j)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::batcher::odd_even_merge_sort;
+
+    #[test]
+    fn from_range_counting_patterns_match_from_strings() {
+        for n in [3usize, 7, 9] {
+            let all: Vec<BitString> = BitString::all(n).collect();
+            for (start, count) in [(0u64, 1u32), (0, 64), (64, 64), (0, 65), (5, 37), (64, 100)] {
+                if start >= all.len() as u64 {
+                    continue;
+                }
+                let count = count.min((all.len() as u64 - start) as u32);
+                let chunk = &all[start as usize..start as usize + count as usize];
+                assert_eq!(
+                    WideBlock::<2>::from_range(n, start, count),
+                    WideBlock::<2>::from_strings(n, chunk),
+                    "n={n} start={start} count={count}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wide_run_matches_scalar_evaluation_across_widths() {
+        let net = odd_even_merge_sort(5);
+        let inputs: Vec<BitString> = BitString::all(5).collect();
+        fn check<const W: usize>(net: &Network, inputs: &[BitString]) {
+            let mut block = WideBlock::<W>::from_strings(5, inputs);
+            block.run(net);
+            for (j, input) in inputs.iter().enumerate() {
+                assert_eq!(block.extract(j as u32), net.apply_bits(input), "W={W}");
+            }
+            assert_eq!(mask_count(&block.unsorted_masks()), 0);
+        }
+        check::<1>(&net, &inputs[..20]);
+        check::<1>(&net, &inputs);
+        check::<2>(&net, &inputs);
+        check::<4>(&net, &inputs);
+    }
+
+    #[test]
+    fn unsorted_masks_span_word_boundaries() {
+        let net = Network::empty(7);
+        let mut block = WideBlock::<2>::from_range(7, 0, 128);
+        block.run(&net);
+        let masks = block.unsorted_masks();
+        let expected: u32 = BitString::all(7)
+            .take(128)
+            .map(|s| u32::from(!s.is_sorted()))
+            .sum();
+        assert_eq!(mask_count(&masks), expected);
+        let first = mask_first(&masks).unwrap();
+        let scalar_first = BitString::all(7).position(|s| !s.is_sorted()).unwrap();
+        assert_eq!(first as usize, scalar_first);
+        assert!(mask_any(&masks));
+    }
+
+    #[test]
+    fn range_source_streams_the_exhaustive_family_in_order() {
+        let mut source = RangeSource::exhaustive(9);
+        let mut block = WideBlock::<4>::zeroed(9);
+        let mut seen = Vec::new();
+        while BlockSource::<4>::next_block(&mut source, &mut block) {
+            seen.extend((0..block.count()).map(|j| block.extract(j)));
+        }
+        let expected: Vec<BitString> = BitString::all(9).collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn iter_source_agrees_with_its_iterator() {
+        let collected = collect_strings::<2, _>(IterSource::new(6, BitString::all_unsorted(6)));
+        let expected: Vec<BitString> = BitString::all_unsorted(6).collect();
+        assert_eq!(collected, expected);
+    }
+
+    #[test]
+    fn sweep_find_reports_the_first_violation_in_source_order() {
+        let net = Network::empty(6);
+        let mut work = WideBlock::<2>::zeroed(6);
+        let outcome = sweep_find(
+            IterSource::new(6, BitString::all(6)),
+            |block: &WideBlock<2>| {
+                work.copy_from(block);
+                work.run(&net);
+                work.unsorted_masks()
+            },
+        );
+        let scalar_first = BitString::all(6).find(|s| !s.is_sorted()).unwrap();
+        assert_eq!(outcome.witness, Some(scalar_first));
+        // The sorter passes the same sweep and counts every vector.
+        let sorter = odd_even_merge_sort(6);
+        let mut work = WideBlock::<2>::zeroed(6);
+        let outcome = sweep_find(RangeSource::exhaustive(6), |block: &WideBlock<2>| {
+            work.copy_from(block);
+            work.run(&sorter);
+            work.unsorted_masks()
+        });
+        assert_eq!(outcome.witness, None);
+        assert_eq!(outcome.tests_run, 64);
+    }
+
+    #[test]
+    fn lane_width_enum_matches_const_widths() {
+        assert_eq!(LaneWidth::W1.words(), 1);
+        assert_eq!(LaneWidth::W2.vectors_per_block(), 128);
+        assert_eq!(LaneWidth::W4.words(), DEFAULT_WIDTH);
+        assert_eq!(LaneWidth::W8.vectors_per_block(), 512);
+        assert_eq!(WideBlock::<8>::capacity(), 512);
+    }
+}

@@ -11,8 +11,11 @@
 //! * the model itself — [`Comparator`], [`Network`] — with evaluation over
 //!   arbitrary ordered values, 0/1 strings ([`sortnet_combinat::BitString`])
 //!   and permutations;
-//! * fast exhaustive verification: [`bitparallel`] evaluates 64 binary test
-//!   vectors per pass and fans blocks out over rayon;
+//! * fast exhaustive verification: [`lanes`] is the width-generic batching
+//!   substrate (`WideBlock<W>` carries `W × 64` test vectors per pass in
+//!   transposed form, `BlockSource` streams vector families directly in
+//!   block form), and [`bitparallel`] runs the exhaustive sweeps on it,
+//!   fanning blocks out over rayon;
 //! * the exhaustive property oracles of the paper — sorter, `(k, n)`-selector,
 //!   `(n/2, n/2)`-merger — in [`properties`];
 //! * the classical constructions the paper builds on in [`builders`]:
@@ -42,6 +45,7 @@
 pub mod bitparallel;
 pub mod builders;
 pub mod comparator;
+pub mod lanes;
 pub mod network;
 pub mod primitive;
 pub mod properties;

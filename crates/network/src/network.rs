@@ -240,7 +240,8 @@ impl Network {
         }
     }
 
-    /// The reverse of the comparator sequence (not the same as [`flip`];
+    /// The reverse of the comparator sequence (not the same as
+    /// [`Network::flip`];
     /// useful for structural experiments).
     #[must_use]
     pub fn reversed_sequence(&self) -> Self {

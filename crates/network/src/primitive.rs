@@ -1,7 +1,7 @@
 //! Height-restricted networks (§3 of the paper).
 //!
 //! A *height-k* network only contains comparators `[i, j]` with `j − i ≤ k`;
-//! height-1 networks are the *primitive* networks of de Bruijn [4], for
+//! height-1 networks are the *primitive* networks of de Bruijn \[4\], for
 //! which the paper recalls a striking fact: a primitive network is a sorter
 //! **iff it sorts the single reverse permutation** — a test set of size 1.
 //! The test-set side of that result lives in `sortnet-testsets::primitive`;

@@ -11,6 +11,7 @@ use rayon::prelude::*;
 use sortnet_combinat::{BitString, Permutation};
 
 use crate::bitparallel::{self, ParallelismHint};
+use crate::lanes::{self, WideBlock, DEFAULT_WIDTH};
 use crate::network::Network;
 
 /// `true` iff the network sorts every input (checked over all `2^n` binary
@@ -60,28 +61,33 @@ pub fn selects_correctly(input: &BitString, output: &BitString, k: usize) -> boo
 
 /// `true` iff the network merges every pair of sorted halves (the paper's
 /// `(n/2, n/2)`-merging network), checked over all pairs of sorted binary
-/// half-inputs.
+/// half-inputs, streamed through transposed blocks
+/// ([`BitString::all_half_sorted`] → [`lanes::IterSource`]).
 ///
 /// # Panics
 /// Panics if `n` is odd.
 #[must_use]
 pub fn is_merger(network: &Network) -> bool {
+    find_merger_violation(network).is_none()
+}
+
+/// The first (in `(z₁, z₂)` order) pair of sorted halves the network fails
+/// to merge, or `None` for a valid `(n/2, n/2)`-merging network.
+///
+/// # Panics
+/// Panics if `n` is odd.
+#[must_use]
+pub fn find_merger_violation(network: &Network) -> Option<BitString> {
     let n = network.lines();
     assert!(
         n.is_multiple_of(2),
         "merging networks need an even number of lines"
     );
-    let half = n / 2;
-    for z1 in 0..=half {
-        for z2 in 0..=half {
-            let input = BitString::sorted_with(z1, half - z1)
-                .concat(&BitString::sorted_with(z2, half - z2));
-            if !network.apply_bits(&input).is_sorted() {
-                return false;
-            }
-        }
-    }
-    true
+    lanes::sweep_network::<DEFAULT_WIDTH, _>(
+        lanes::IterSource::new(n, BitString::all_half_sorted(n)),
+        network,
+    )
+    .witness
 }
 
 /// Exhaustive merger check over *permutation* merge inputs: every
@@ -112,7 +118,8 @@ pub fn is_merger_by_permutations(network: &Network) -> bool {
 }
 
 /// The multiset of inputs (as packed words) that the network fails to sort.
-/// Exhaustive; used by the experiments on small networks.
+/// Exhaustive (swept in `W × 64`-vector blocks); used by the experiments on
+/// small networks.
 ///
 /// # Panics
 /// Panics if `n ≥ 26`.
@@ -120,16 +127,17 @@ pub fn is_merger_by_permutations(network: &Network) -> bool {
 pub fn failure_set(network: &Network) -> Vec<BitString> {
     let n = network.lines();
     assert!(n < 26, "exhaustive 2^{n} sweep refused");
-    let total = 1u64 << n;
-    (0..total)
+    let block_count = bitparallel::sweep_block_count_wide::<DEFAULT_WIDTH>(n);
+    (0..block_count)
         .into_par_iter()
-        .filter_map(|w| {
-            let input = BitString::from_word(w, n);
-            if network.apply_bits(&input).is_sorted() {
-                None
-            } else {
-                Some(input)
-            }
+        .flat_map_iter(|b| {
+            let (start, count) = bitparallel::sweep_block_range_wide::<DEFAULT_WIDTH>(n, b);
+            let mut block = WideBlock::<DEFAULT_WIDTH>::from_range(n, start, count);
+            block.run(network);
+            let mask = block.unsorted_masks();
+            (0..count)
+                .filter(move |j| (mask[(j / 64) as usize] >> (j % 64)) & 1 == 1)
+                .map(move |j| BitString::from_word(start + u64::from(j), n))
         })
         .collect()
 }

@@ -185,7 +185,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Accepted sizes for [`vec`]: an exact length or a length range.
+    /// Accepted sizes for [`vec()`]: an exact length or a length range.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         min: usize,
@@ -215,7 +215,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

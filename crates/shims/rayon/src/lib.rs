@@ -1,91 +1,579 @@
-//! Minimal, **sequential** drop-in shim for the subset of the `rayon` API
-//! this workspace uses.
+//! Minimal drop-in shim for the subset of the `rayon` API this workspace
+//! uses, backed by a real `std::thread::scope` pool.
 //!
-//! The build environment has no crates.io access, so the real work-stealing
-//! thread pool is replaced by plain `std` iterators: `into_par_iter()` /
-//! `par_iter()` simply hand back the corresponding sequential iterator, and
-//! every downstream adaptor (`map`, `filter_map`, `all`, `sum`,
-//! `min_by_key`, `collect`, …) is the ordinary [`Iterator`] machinery.
+//! The build environment has no crates.io access, so rayon's work-stealing
+//! deque is replaced by the simplest scheme that actually parallelises:
+//! **chunked work-splitting**.  A parallel iterator is a lazily composed
+//! pipeline over a splittable *source* (an integer range or a slice);
+//! adaptors (`map`, `filter`, `filter_map`, `flat_map_iter`) stack without
+//! evaluating anything, and every consumer (`sum`, `collect`, `all`,
+//! `find_map_first`, `min_by_key`) splits the source into one contiguous
+//! chunk per worker, runs the chunks on scoped threads, and merges the
+//! per-chunk results in source order — so results are deterministic and
+//! identical to the sequential evaluation, exactly as rayon guarantees for
+//! these combinators.
 //!
-//! Semantics are identical to rayon's for the combinators used here (rayon
-//! guarantees deterministic results for these adaptors); only the wall-clock
-//! scaling across cores is lost.  The workspace's hot paths get their speed
-//! from 64-lane bit-parallel evaluation instead (see
-//! `sortnet_network::bitparallel` and `sortnet_faults::bitsim`), which is
-//! orthogonal to thread-level parallelism.
+//! Worker count: the `RAYON_NUM_THREADS` environment variable if set (the
+//! same knob real rayon honours), otherwise `available_parallelism()`.
+//! Pipelines over sources with fewer than two items, or with a single
+//! worker, run inline on the calling thread with no spawn overhead.
+//!
+//! Order-sensitive consumers keep their sequential semantics:
+//! `find_map_first` returns the match from the earliest source position
+//! (later chunks cancel themselves once an earlier chunk has found one),
+//! and `all` cancels all chunks on the first counter-example.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Number of worker threads a consumer may spawn.
+fn pool_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A splittable, sequentially drainable work source: the root of every
+/// parallel pipeline and the unit handed to worker threads.
+pub trait ParallelSource: Send + Sized {
+    /// The element type produced.
+    type Item: Send;
+    /// The sequential iterator a chunk drains into.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Number of *source* items (an upper bound on produced items for
+    /// filtering pipelines; only used to balance chunk sizes).
+    fn len(&self) -> usize;
+
+    /// `true` when the source holds no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Splits into the first `index` source items and the rest.
+    fn split_at(self, index: usize) -> (Self, Self);
+
+    /// Converts the (chunk) source into a sequential iterator.
+    fn into_seq(self) -> Self::Iter;
+}
+
+macro_rules! range_source {
+    ($t:ty) => {
+        impl ParallelSource for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = Self;
+
+            fn len(&self) -> usize {
+                if self.end <= self.start {
+                    0
+                } else {
+                    usize::try_from(self.end - self.start).unwrap_or(usize::MAX)
+                }
+            }
+
+            fn split_at(self, index: usize) -> (Self, Self) {
+                let mid = self.start.saturating_add(index as $t).min(self.end);
+                (self.start..mid, mid..self.end)
+            }
+
+            fn into_seq(self) -> Self::Iter {
+                self
+            }
+        }
+    };
+}
+
+range_source!(u32);
+range_source!(u64);
+range_source!(usize);
+
+impl<'data, T: Sync> ParallelSource for &'data [T] {
+    type Item = &'data T;
+    type Iter = std::slice::Iter<'data, T>;
+
+    fn len(&self) -> usize {
+        (*self).len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        self.split_at(index)
+    }
+
+    fn into_seq(self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+/// An owned `Vec` as a work source.
+pub struct VecSource<T>(Vec<T>);
+
+impl<T: Send> ParallelSource for VecSource<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn split_at(mut self, index: usize) -> (Self, Self) {
+        let tail = self.0.split_off(index.min(self.0.len()));
+        (self, VecSource(tail))
+    }
+
+    fn into_seq(self) -> Self::Iter {
+        self.0.into_iter()
+    }
+}
+
+/// Lazy `map` stage.
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, R> ParallelSource for Map<P, F>
+where
+    P: ParallelSource,
+    F: FnMut(P::Item) -> R + Clone + Send,
+    R: Send,
+{
+    type Item = R;
+    type Iter = std::iter::Map<P::Iter, F>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(index);
+        (
+            Map {
+                base: a,
+                f: self.f.clone(),
+            },
+            Map { base: b, f: self.f },
+        )
+    }
+
+    fn into_seq(self) -> Self::Iter {
+        self.base.into_seq().map(self.f)
+    }
+}
+
+/// Lazy `filter` stage.
+pub struct Filter<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F> ParallelSource for Filter<P, F>
+where
+    P: ParallelSource,
+    F: FnMut(&P::Item) -> bool + Clone + Send,
+{
+    type Item = P::Item;
+    type Iter = std::iter::Filter<P::Iter, F>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(index);
+        (
+            Filter {
+                base: a,
+                f: self.f.clone(),
+            },
+            Filter { base: b, f: self.f },
+        )
+    }
+
+    fn into_seq(self) -> Self::Iter {
+        self.base.into_seq().filter(self.f)
+    }
+}
+
+/// Lazy `filter_map` stage.
+pub struct FilterMap<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, R> ParallelSource for FilterMap<P, F>
+where
+    P: ParallelSource,
+    F: FnMut(P::Item) -> Option<R> + Clone + Send,
+    R: Send,
+{
+    type Item = R;
+    type Iter = std::iter::FilterMap<P::Iter, F>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(index);
+        (
+            FilterMap {
+                base: a,
+                f: self.f.clone(),
+            },
+            FilterMap { base: b, f: self.f },
+        )
+    }
+
+    fn into_seq(self) -> Self::Iter {
+        self.base.into_seq().filter_map(self.f)
+    }
+}
+
+/// Lazy `flat_map_iter` stage.
+pub struct FlatMapIter<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, U> ParallelSource for FlatMapIter<P, F>
+where
+    P: ParallelSource,
+    F: FnMut(P::Item) -> U + Clone + Send,
+    U: IntoIterator,
+    U::Item: Send,
+{
+    type Item = U::Item;
+    type Iter = std::iter::FlatMap<P::Iter, U, F>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(index);
+        (
+            FlatMapIter {
+                base: a,
+                f: self.f.clone(),
+            },
+            FlatMapIter { base: b, f: self.f },
+        )
+    }
+
+    fn into_seq(self) -> Self::Iter {
+        self.base.into_seq().flat_map(self.f)
+    }
+}
+
+/// Splits `source` into `chunks` contiguous pieces of near-equal length,
+/// in source order.
+fn split_even<P: ParallelSource>(source: P, chunks: usize) -> Vec<P> {
+    let mut out = Vec::with_capacity(chunks);
+    let mut rest = source;
+    for remaining in (1..chunks).rev() {
+        let cut = rest.len().div_ceil(remaining + 1);
+        let (head, tail) = rest.split_at(cut);
+        out.push(head);
+        rest = tail;
+    }
+    out.push(rest);
+    out
+}
+
+/// Runs `consume` over one chunk per worker on scoped threads, returning
+/// the per-chunk results in source order.  Falls back to a single inline
+/// call when the source is trivial or only one worker is available.
+fn run_chunks<P, R, F>(source: P, consume: F) -> Vec<R>
+where
+    P: ParallelSource,
+    R: Send,
+    F: Fn(usize, P) -> R + Sync,
+{
+    let threads = pool_threads().min(source.len());
+    if threads <= 1 {
+        return vec![consume(0, source)];
+    }
+    let chunks = split_even(source, threads);
+    std::thread::scope(|scope| {
+        let consume = &consume;
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .enumerate()
+            .map(|(i, chunk)| scope.spawn(move || consume(i, chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    })
+}
+
+/// A parallel iterator: a lazily composed pipeline over a splittable
+/// source.  Adaptors stack without evaluating; consumers split the source
+/// into per-worker chunks and merge the results in source order.
+pub struct ParIter<P> {
+    source: P,
+}
+
+impl<P: ParallelSource> ParIter<P> {
+    /// Maps every item through `f` (rayon's `map`).
+    pub fn map<R, F>(self, f: F) -> ParIter<Map<P, F>>
+    where
+        F: FnMut(P::Item) -> R + Clone + Send,
+        R: Send,
+    {
+        ParIter {
+            source: Map {
+                base: self.source,
+                f,
+            },
+        }
+    }
+
+    /// Keeps the items satisfying `f` (rayon's `filter`).
+    pub fn filter<F>(self, f: F) -> ParIter<Filter<P, F>>
+    where
+        F: FnMut(&P::Item) -> bool + Clone + Send,
+    {
+        ParIter {
+            source: Filter {
+                base: self.source,
+                f,
+            },
+        }
+    }
+
+    /// Maps and filters in one stage (rayon's `filter_map`).
+    pub fn filter_map<R, F>(self, f: F) -> ParIter<FilterMap<P, F>>
+    where
+        F: FnMut(P::Item) -> Option<R> + Clone + Send,
+        R: Send,
+    {
+        ParIter {
+            source: FilterMap {
+                base: self.source,
+                f,
+            },
+        }
+    }
+
+    /// Rayon's `flat_map_iter`: expands each item into a sequential
+    /// iterator, keeping the expansion on the worker that produced it.
+    pub fn flat_map_iter<U, F>(self, f: F) -> ParIter<FlatMapIter<P, F>>
+    where
+        F: FnMut(P::Item) -> U + Clone + Send,
+        U: IntoIterator,
+        U::Item: Send,
+    {
+        ParIter {
+            source: FlatMapIter {
+                base: self.source,
+                f,
+            },
+        }
+    }
+
+    /// Sums the items across all workers.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<P::Item> + std::iter::Sum<S> + Send,
+    {
+        run_chunks(self.source, |_, chunk| chunk.into_seq().sum::<S>())
+            .into_iter()
+            .sum()
+    }
+
+    /// Collects the items, preserving source order.
+    pub fn collect<C: FromIterator<P::Item>>(self) -> C {
+        run_chunks(self.source, |_, chunk| {
+            chunk.into_seq().collect::<Vec<P::Item>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// `true` when every item satisfies `f`; all chunks cancel as soon as
+    /// any worker finds a counter-example.
+    pub fn all<F>(self, f: F) -> bool
+    where
+        F: Fn(P::Item) -> bool + Sync,
+    {
+        let failed = AtomicBool::new(false);
+        let verdicts = run_chunks(self.source, |_, chunk| {
+            for item in chunk.into_seq() {
+                if failed.load(Ordering::Relaxed) {
+                    // Another chunk already failed; our verdict is moot.
+                    return true;
+                }
+                if !f(item) {
+                    failed.store(true, Ordering::Relaxed);
+                    return false;
+                }
+            }
+            true
+        });
+        verdicts.into_iter().all(|v| v)
+    }
+
+    /// Rayon's `find_map_first`: the mapped `Some` of the earliest source
+    /// position.  Chunks later than an already-successful chunk cancel
+    /// themselves; earlier chunks run on, so the result equals the
+    /// sequential `find_map`.
+    pub fn find_map_first<R, F>(self, f: F) -> Option<R>
+    where
+        F: Fn(P::Item) -> Option<R> + Sync,
+        R: Send,
+    {
+        let best_chunk = AtomicUsize::new(usize::MAX);
+        let candidates = run_chunks(self.source, |idx, chunk| {
+            for (pos, item) in chunk.into_seq().enumerate() {
+                // Periodically bail out once an earlier chunk has a match.
+                if pos % 64 == 0 && best_chunk.load(Ordering::Relaxed) < idx {
+                    return None;
+                }
+                if let Some(r) = f(item) {
+                    best_chunk.fetch_min(idx, Ordering::Relaxed);
+                    return Some(r);
+                }
+            }
+            None
+        });
+        candidates.into_iter().flatten().next()
+    }
+
+    /// The item with the minimum key (the first such item on ties, matching
+    /// `Iterator::min_by_key`: per-chunk minima are reduced in source
+    /// order).
+    pub fn min_by_key<K, F>(self, f: F) -> Option<P::Item>
+    where
+        K: Ord,
+        F: Fn(&P::Item) -> K + Sync,
+    {
+        run_chunks(self.source, |_, chunk| chunk.into_seq().min_by_key(&f))
+            .into_iter()
+            .flatten()
+            .min_by_key(&f)
+    }
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The splittable source the pipeline is rooted at.
+    type Source: ParallelSource<Item = Self::Item>;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Source>;
+}
+
+macro_rules! range_into_par {
+    ($t:ty) => {
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Source = Self;
+            fn into_par_iter(self) -> ParIter<Self> {
+                ParIter { source: self }
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::RangeInclusive<$t> {
+            type Item = $t;
+            type Source = std::ops::Range<$t>;
+            fn into_par_iter(self) -> ParIter<Self::Source> {
+                let (start, end) = (*self.start(), *self.end());
+                // Saturating: an inclusive range reaching T::MAX is not a
+                // shape this workspace produces.
+                ParIter {
+                    source: start..end.saturating_add(1),
+                }
+            }
+        }
+    };
+}
+
+range_into_par!(u32);
+range_into_par!(u64);
+range_into_par!(usize);
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Source = VecSource<T>;
+    fn into_par_iter(self) -> ParIter<Self::Source> {
+        ParIter {
+            source: VecSource(self),
+        }
+    }
+}
+
+impl<'data, T: Sync> IntoParallelIterator for &'data [T] {
+    type Item = &'data T;
+    type Source = &'data [T];
+    fn into_par_iter(self) -> ParIter<Self::Source> {
+        ParIter { source: self }
+    }
+}
+
+impl<'data, T: Sync> IntoParallelIterator for &'data Vec<T> {
+    type Item = &'data T;
+    type Source = &'data [T];
+    fn into_par_iter(self) -> ParIter<Self::Source> {
+        ParIter {
+            source: self.as_slice(),
+        }
+    }
+}
+
+/// `par_iter()` on collections borrowed by reference.
+pub trait IntoParallelRefIterator<'data> {
+    /// The splittable source the pipeline is rooted at.
+    type Source: ParallelSource;
+    /// Iterates `self` by reference, in parallel.
+    fn par_iter(&'data self) -> ParIter<Self::Source>;
+}
+
+impl<'data, C> IntoParallelRefIterator<'data> for C
+where
+    C: ?Sized + 'data,
+    &'data C: IntoParallelIterator,
+{
+    type Source = <&'data C as IntoParallelIterator>::Source;
+    fn par_iter(&'data self) -> ParIter<Self::Source> {
+        self.into_par_iter()
+    }
+}
 
 /// The rayon prelude: parallel-iterator conversion traits.
 pub mod prelude {
-    /// Conversion into a "parallel" iterator (sequential in this shim).
-    pub trait IntoParallelIterator {
-        /// The iterator produced.
-        type Iter: Iterator<Item = Self::Item>;
-        /// The element type.
-        type Item;
-        /// Converts `self` into an iterator (sequentially evaluated).
-        fn into_par_iter(self) -> Self::Iter;
-    }
-
-    impl<I: IntoIterator> IntoParallelIterator for I {
-        type Iter = I::IntoIter;
-        type Item = I::Item;
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-
-    /// Rayon-only adaptors that have no [`Iterator`] counterpart, provided
-    /// for every sequential iterator so call sites need no changes.
-    pub trait ParallelIterator: Iterator + Sized {
-        /// Rayon's `flat_map_iter`: sequentially identical to `flat_map`.
-        fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
-        where
-            U: IntoIterator,
-            F: FnMut(Self::Item) -> U,
-        {
-            self.flat_map(f)
-        }
-
-        /// Rayon's `find_map_first`: the first (in iterator order) mapped
-        /// `Some`.  Sequentially this is exactly `Iterator::find_map`, which
-        /// also short-circuits — callers keep their early exit under the
-        /// shim.
-        fn find_map_first<U, F>(mut self, f: F) -> Option<U>
-        where
-            F: FnMut(Self::Item) -> Option<U>,
-        {
-            self.find_map(f)
-        }
-    }
-
-    impl<I: Iterator> ParallelIterator for I {}
-
-    /// `par_iter()` on collections borrowed by reference.
-    pub trait IntoParallelRefIterator<'data> {
-        /// The iterator produced.
-        type Iter: Iterator<Item = Self::Item>;
-        /// The element type (a shared reference).
-        type Item: 'data;
-        /// Iterates `self` by reference (sequentially evaluated).
-        fn par_iter(&'data self) -> Self::Iter;
-    }
-
-    impl<'data, C> IntoParallelRefIterator<'data> for C
-    where
-        C: ?Sized + 'data,
-        &'data C: IntoParallelIterator,
-    {
-        type Iter = <&'data C as IntoParallelIterator>::Iter;
-        type Item = <&'data C as IntoParallelIterator>::Item;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.into_par_iter()
-        }
-    }
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter, ParallelSource};
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::collections::HashSet;
+
+    /// Force a multi-thread pool for the duration of a test, regardless of
+    /// the host's core count (the CI container may have one CPU).
+    ///
+    /// The environment variable is process-global, so all tests that force
+    /// it serialise on a lock; it is held (not unset) for the whole test,
+    /// which keeps concurrently running non-forcing tests — none of which
+    /// assert anything about thread counts — on a stable value too.
+    fn with_forced_threads(test: impl FnOnce()) {
+        use std::sync::Mutex;
+        static ENV_LOCK: Mutex<()> = Mutex::new(());
+        let _guard = ENV_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+        test();
+        std::env::remove_var("RAYON_NUM_THREADS");
+    }
 
     #[test]
     fn ranges_and_slices_behave_like_std_iterators() {
@@ -100,5 +588,82 @@ mod tests {
             .min_by_key(|&x| x);
         assert_eq!(smallest_multiple, Some(70));
         assert!((0u32..10).into_par_iter().all(|x| x < 10));
+        assert!(!(0u32..10).into_par_iter().all(|x| x < 9));
+    }
+
+    #[test]
+    fn work_actually_lands_on_multiple_threads() {
+        with_forced_threads(|| {
+            let ids: HashSet<std::thread::ThreadId> = (0..1024usize)
+                .into_par_iter()
+                .map(|_| std::thread::current().id())
+                .collect::<Vec<_>>()
+                .into_iter()
+                .collect();
+            assert!(
+                ids.len() >= 2,
+                "expected work on ≥ 2 threads, saw {}",
+                ids.len()
+            );
+        });
+    }
+
+    #[test]
+    fn collect_preserves_source_order_across_chunks() {
+        with_forced_threads(|| {
+            let out: Vec<u64> = (0u64..10_000).into_par_iter().map(|x| x * 3).collect();
+            let expected: Vec<u64> = (0u64..10_000).map(|x| x * 3).collect();
+            assert_eq!(out, expected);
+        });
+    }
+
+    #[test]
+    fn find_map_first_returns_the_earliest_match() {
+        with_forced_threads(|| {
+            // Matches exist in every chunk; the earliest must win.
+            let first = (0u64..100_000).into_par_iter().find_map_first(|x| {
+                if x % 97 == 13 {
+                    Some(x)
+                } else {
+                    None
+                }
+            });
+            assert_eq!(first, Some(13));
+            let none = (0u64..1000).into_par_iter().find_map_first(|_| None::<u64>);
+            assert_eq!(none, None);
+        });
+    }
+
+    #[test]
+    fn flat_map_iter_and_filter_compose() {
+        with_forced_threads(|| {
+            let out: Vec<usize> = (0usize..100)
+                .into_par_iter()
+                .flat_map_iter(|x| vec![x, x])
+                .filter(|&x| x % 2 == 0)
+                .collect();
+            let expected: Vec<usize> = (0usize..100)
+                .flat_map(|x| vec![x, x])
+                .filter(|&x| x % 2 == 0)
+                .collect();
+            assert_eq!(out, expected);
+        });
+    }
+
+    #[test]
+    fn inclusive_ranges_and_owned_vecs_are_sources() {
+        let total: usize = (0usize..=10).into_par_iter().sum();
+        assert_eq!(total, 55);
+        let doubled: Vec<i32> = vec![1, 2, 3].into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn empty_sources_are_fine() {
+        let total: u64 = (5u64..5).into_par_iter().sum();
+        assert_eq!(total, 0);
+        let v: Vec<u64> = (5u64..5).into_par_iter().collect();
+        assert!(v.is_empty());
+        assert!((5u64..5).into_par_iter().all(|_| false));
     }
 }

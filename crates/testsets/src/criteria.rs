@@ -1,0 +1,145 @@
+//! The shared *is-a-test-set* criterion, parameterised by
+//! [`crate::verify::Property`].
+//!
+//! All three theorems have the same shape: a candidate set is a test set for
+//! a property **iff** it accounts for every string of a *required family*
+//! (necessity via the Lemma 2.1 / Lemma 2.3 adversaries, sufficiency via
+//! the zero–one principle and its refinements):
+//!
+//! | property | required family |
+//! |---|---|
+//! | sorting (Thm 2.2) | every non-sorted string |
+//! | `(k, n)`-selection (Thm 2.4) | `T_k^n = { σ : \|σ\|₀ ≤ k, σ not sorted }` |
+//! | `(n/2, n/2)`-merging (Thm 2.5) | non-sorted concatenations of two sorted halves |
+//!
+//! For 0/1 candidates "accounts for" is containment; for permutation
+//! candidates it is coverage (some *legal* candidate permutation covers the
+//! string — for merging, legal means both halves increasing, since only
+//! those permutations are valid merge inputs).
+//!
+//! The per-module `is_binary_testset` / `is_permutation_testset` functions
+//! in [`sorting`](crate::sorting), [`selector`](crate::selector) and
+//! [`merging`](crate::merging) are thin wrappers over this module.
+
+use std::collections::HashSet;
+
+use sortnet_combinat::{BitString, Permutation};
+
+use crate::verify::Property;
+
+/// The required family of 0/1 strings for `property`, streamed in the
+/// canonical enumeration order of the corresponding theorem.
+///
+/// # Panics
+/// Panics if the property is malformed for `n` (`k > n`, odd `n` for
+/// merging) or `n ≥ 26` for the sorting/selection families.
+pub fn required_strings(property: Property, n: usize) -> Box<dyn Iterator<Item = BitString>> {
+    match property {
+        Property::Sorter => {
+            assert!(n < 26, "enumerating 2^{n} strings refused");
+            Box::new(BitString::all_unsorted(n))
+        }
+        Property::Selector { k } => {
+            assert!(k <= n, "k = {k} exceeds n = {n}");
+            assert!(n < 26, "enumerating 2^{n} strings refused");
+            Box::new(
+                (0..=k)
+                    .flat_map(move |zeros| BitString::all_with_weight(n, n - zeros))
+                    .filter(|s| !s.is_sorted()),
+            )
+        }
+        Property::Merger => Box::new(BitString::all_half_sorted(n).filter(|s| !s.is_sorted())),
+    }
+}
+
+/// Exact criterion: a set of binary strings is a test set for `property`
+/// **iff** it contains every string of the required family.
+#[must_use]
+pub fn is_binary_testset(candidate: &[BitString], n: usize, property: Property) -> bool {
+    let have: HashSet<u64> = candidate
+        .iter()
+        .filter(|s| s.len() == n)
+        .map(BitString::word)
+        .collect();
+    required_strings(property, n).all(|s| have.contains(&s.word()))
+}
+
+/// Exact criterion for permutations: every string of the required family
+/// must be covered by some legal candidate permutation.
+///
+/// For sorting and selection every length-`n` candidate is legal (and a
+/// single wrong-length candidate disqualifies the set); for merging, only
+/// candidates whose two halves are increasing are legal merge inputs, and
+/// others are simply ignored.
+#[must_use]
+pub fn is_permutation_testset(candidate: &[Permutation], n: usize, property: Property) -> bool {
+    let legal: Vec<&Permutation> = match property {
+        Property::Sorter | Property::Selector { .. } => {
+            if !candidate.iter().all(|p| p.len() == n) {
+                return false;
+            }
+            candidate.iter().collect()
+        }
+        Property::Merger => {
+            let half = n / 2;
+            candidate
+                .iter()
+                .filter(|p| {
+                    p.len() == n
+                        && p.values()[..half].windows(2).all(|w| w[0] < w[1])
+                        && p.values()[half..].windows(2).all(|w| w[0] < w[1])
+                })
+                .collect()
+        }
+    };
+    required_strings(property, n).all(|s| legal.iter().any(|p| p.covers(&s)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn required_families_match_the_closed_form_sizes() {
+        use sortnet_combinat::binomial::{
+            merging_testset_size_binary, selector_testset_size_binary, sorting_testset_size_binary,
+        };
+        for n in 2..=9usize {
+            assert_eq!(
+                required_strings(Property::Sorter, n).count() as u128,
+                sorting_testset_size_binary(n as u64)
+            );
+            for k in 0..=n {
+                assert_eq!(
+                    required_strings(Property::Selector { k }, n).count() as u128,
+                    selector_testset_size_binary(n as u64, k as u64),
+                    "n={n} k={k}"
+                );
+            }
+            if n.is_multiple_of(2) {
+                assert_eq!(
+                    required_strings(Property::Merger, n).count() as u128,
+                    merging_testset_size_binary(n as u64)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_length_candidates_disqualify_only_where_the_theorems_say() {
+        let n = 4;
+        let mut perms: Vec<Permutation> = crate::sorting::permutation_testset(n);
+        perms.push(Permutation::identity(3));
+        // Sorting/selection: a stray wrong-length permutation invalidates.
+        assert!(!is_permutation_testset(&perms, n, Property::Sorter));
+        assert!(!is_permutation_testset(
+            &perms,
+            n,
+            Property::Selector { k: 2 }
+        ));
+        // Merging: wrong-length (or non-merge) candidates are ignored.
+        let mut merge = crate::merging::permutation_testset(n);
+        merge.push(Permutation::identity(3));
+        assert!(is_permutation_testset(&merge, n, Property::Merger));
+    }
+}

@@ -30,7 +30,10 @@
 //! * [`bnk`] — the `B(n, k)` prefix-covering permutation family (via
 //!   symmetric chain decompositions) and the optimal permutation test sets;
 //! * [`sorting`], [`selector`], [`merging`] — Theorems 2.2, 2.4, 2.5:
-//!   test sets, exact criteria, verifiers, closed-form bounds;
+//!   test sets (as streaming block sources *and* materialised vectors),
+//!   exact criteria, verifiers, closed-form bounds;
+//! * [`criteria`] — the shared is-a-test-set criterion the three theorem
+//!   modules delegate to, parameterised by [`verify::Property`];
 //! * [`primitive`] — §3: the single-test criterion for height-1 networks;
 //! * [`hitting`] — brute-force minimum-test-set search (independent
 //!   confirmation at small `n`);
@@ -63,6 +66,7 @@ pub mod adversary;
 pub mod bnk;
 pub mod bounds;
 pub mod cover;
+pub mod criteria;
 pub mod decision;
 pub mod hitting;
 pub mod merging;

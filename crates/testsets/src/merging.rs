@@ -14,32 +14,33 @@
 
 use sortnet_combinat::binomial::{merging_testset_size_binary, merging_testset_size_permutation};
 use sortnet_combinat::{BitString, Permutation};
+use sortnet_network::lanes::{self, IterSource, DEFAULT_WIDTH};
 use sortnet_network::Network;
 
-/// The minimum 0/1 test set for `(n/2, n/2)`-merging: all concatenations of
-/// two sorted halves that are not already sorted (Theorem 2.5(i));
-/// `n²/4` strings.
+use crate::criteria;
+use crate::verify::Property;
+
+/// The minimum 0/1 test set for `(n/2, n/2)`-merging, as a streaming block
+/// source: all concatenations of two sorted halves that are not already
+/// sorted (Theorem 2.5(i)), generated directly in transposed blocks from
+/// [`BitString::all_half_sorted`].
+///
+/// # Panics
+/// Panics if `n` is odd.
+#[must_use]
+pub fn binary_source(n: usize) -> IterSource<Box<dyn Iterator<Item = BitString>>> {
+    IterSource::new(n, criteria::required_strings(Property::Merger, n))
+}
+
+/// The minimum 0/1 test set for `(n/2, n/2)`-merging, materialised:
+/// `n²/4` strings.  A thin adapter draining [`binary_source`]; sweeps
+/// should prefer the source directly.
 ///
 /// # Panics
 /// Panics if `n` is odd.
 #[must_use]
 pub fn binary_testset(n: usize) -> Vec<BitString> {
-    assert!(
-        n.is_multiple_of(2),
-        "merging networks need an even number of lines"
-    );
-    let half = n / 2;
-    let mut out = Vec::new();
-    for z1 in 0..=half {
-        for z2 in 0..=half {
-            let s = BitString::sorted_with(z1, half - z1)
-                .concat(&BitString::sorted_with(z2, half - z2));
-            if !s.is_sorted() {
-                out.push(s);
-            }
-        }
-    }
-    out
+    lanes::collect_strings::<DEFAULT_WIDTH, _>(binary_source(n))
 }
 
 /// The optimal permutation test set for merging: the `n/2` permutations
@@ -88,34 +89,19 @@ pub fn permutation_lower_bound_witnesses(n: usize) -> Vec<BitString> {
 /// Exact criterion: a set of binary strings is a test set for merging **iff**
 /// it contains every element of [`binary_testset`] (necessity by Lemma 2.1
 /// restricted to merge inputs, sufficiency by definition of merging).
+/// Delegates to the shared [`criteria`] helper.
 #[must_use]
 pub fn is_binary_testset(candidate: &[BitString], n: usize) -> bool {
-    use std::collections::HashSet;
-    let have: HashSet<u64> = candidate
-        .iter()
-        .filter(|s| s.len() == n)
-        .map(BitString::word)
-        .collect();
-    binary_testset(n).iter().all(|s| have.contains(&s.word()))
+    criteria::is_binary_testset(candidate, n, Property::Merger)
 }
 
 /// Exact criterion for permutations: every string of the binary test set
 /// must be covered by some candidate permutation *whose halves are sorted*
-/// (only such permutations are legal merge inputs).
+/// (only such permutations are legal merge inputs).  Delegates to the
+/// shared [`criteria`] helper.
 #[must_use]
 pub fn is_permutation_testset(candidate: &[Permutation], n: usize) -> bool {
-    let half = n / 2;
-    let legal: Vec<&Permutation> = candidate
-        .iter()
-        .filter(|p| {
-            p.len() == n
-                && p.values()[..half].windows(2).all(|w| w[0] < w[1])
-                && p.values()[half..].windows(2).all(|w| w[0] < w[1])
-        })
-        .collect();
-    binary_testset(n)
-        .iter()
-        .all(|s| legal.iter().any(|p| p.covers(s)))
+    criteria::is_permutation_testset(candidate, n, Property::Merger)
 }
 
 /// Verdict of a merging verification run.
@@ -130,24 +116,17 @@ pub struct MergerVerdict {
 }
 
 /// Decides whether `network` is an `(n/2, n/2)`-merging network using the
-/// minimum 0/1 test set.  Sound and complete.
+/// minimum 0/1 test set, streamed through transposed blocks
+/// ([`binary_source`]).  Sound and complete.
 #[must_use]
 pub fn verify_merger_binary(network: &Network) -> MergerVerdict {
-    let tests = binary_testset(network.lines());
-    let tests_run = tests.len();
-    for t in &tests {
-        if !network.apply_bits(t).is_sorted() {
-            return MergerVerdict {
-                passed: false,
-                tests_run,
-                witness: Some(*t),
-            };
-        }
-    }
+    let n = network.lines();
+    let tests_run = merging_testset_size_binary(n as u64) as usize;
+    let outcome = lanes::sweep_network::<DEFAULT_WIDTH, _>(binary_source(n), network);
     MergerVerdict {
-        passed: true,
+        passed: outcome.witness.is_none(),
         tests_run,
-        witness: None,
+        witness: outcome.witness,
     }
 }
 

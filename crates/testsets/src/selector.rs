@@ -10,29 +10,34 @@
 
 use sortnet_combinat::binomial::{selector_testset_size_binary, selector_testset_size_permutation};
 use sortnet_combinat::{BitString, Permutation};
+use sortnet_network::lanes::{self, IterSource, WideBlock, DEFAULT_WIDTH};
 use sortnet_network::properties::selects_correctly;
 use sortnet_network::Network;
 
 use crate::bnk;
+use crate::criteria;
+use crate::verify::Property;
 
-/// The minimum 0/1 test set `T_k^n` for the `(k, n)`-selector property:
-/// every non-sorted string with at most `k` zeros (Theorem 2.4(i)).
+/// The minimum 0/1 test set `T_k^n` for the `(k, n)`-selector property, as
+/// a streaming block source: every non-sorted string with at most `k` zeros
+/// (Theorem 2.4(i)), generated low-weight-subset by low-weight-subset
+/// directly into transposed blocks.
+///
+/// # Panics
+/// Panics if `k > n` or `n ≥ 26`.
+#[must_use]
+pub fn binary_source(n: usize, k: usize) -> IterSource<Box<dyn Iterator<Item = BitString>>> {
+    IterSource::new(n, criteria::required_strings(Property::Selector { k }, n))
+}
+
+/// The minimum 0/1 test set `T_k^n`, materialised.  A thin adapter draining
+/// [`binary_source`]; sweeps should prefer the source directly.
 ///
 /// # Panics
 /// Panics if `k > n` or `n ≥ 26`.
 #[must_use]
 pub fn binary_testset(n: usize, k: usize) -> Vec<BitString> {
-    assert!(k <= n, "k = {k} exceeds n = {n}");
-    assert!(n < 26, "materialising 2^{n} strings refused");
-    let mut out = Vec::new();
-    for zeros in 0..=k {
-        for s in BitString::all_with_weight(n, n - zeros) {
-            if !s.is_sorted() {
-                out.push(s);
-            }
-        }
-    }
-    out
+    lanes::collect_strings::<DEFAULT_WIDTH, _>(binary_source(n, k))
 }
 
 /// An optimal permutation test set for the `(k, n)`-selector property, of
@@ -45,28 +50,18 @@ pub fn permutation_testset(n: usize, k: usize) -> Vec<Permutation> {
 /// Exact criterion: a set of binary strings is a test set for the
 /// `(k, n)`-selector property **iff** it contains every string of `T_k^n`
 /// (necessity by Lemma 2.3, sufficiency by the monotonicity argument of
-/// Theorem 2.4).
+/// Theorem 2.4).  Delegates to the shared [`criteria`] helper.
 #[must_use]
 pub fn is_binary_testset(candidate: &[BitString], n: usize, k: usize) -> bool {
-    use std::collections::HashSet;
-    let have: HashSet<u64> = candidate
-        .iter()
-        .filter(|s| s.len() == n)
-        .map(BitString::word)
-        .collect();
-    binary_testset(n, k)
-        .iter()
-        .all(|s| have.contains(&s.word()))
+    criteria::is_binary_testset(candidate, n, Property::Selector { k })
 }
 
 /// Exact criterion for permutations: the cover of the candidate set must
-/// contain every string of `T_k^n`.
+/// contain every string of `T_k^n`.  Delegates to the shared [`criteria`]
+/// helper.
 #[must_use]
 pub fn is_permutation_testset(candidate: &[Permutation], n: usize, k: usize) -> bool {
-    candidate.iter().all(|p| p.len() == n)
-        && binary_testset(n, k)
-            .iter()
-            .all(|s| crate::cover::set_covers(candidate, s))
+    criteria::is_permutation_testset(candidate, n, Property::Selector { k })
 }
 
 /// Verdict of a selector verification run.
@@ -81,26 +76,30 @@ pub struct SelectorVerdict {
 }
 
 /// Decides whether `network` is a `(k, n)`-selector using the minimum 0/1
-/// test set `T_k^n`.  Sound and complete.
+/// test set `T_k^n`, streamed through transposed blocks
+/// ([`binary_source`]).  Sound and complete.
+///
+/// Per block, the candidate's first `k` output lanes are compared against
+/// the outputs of a known-good reference sorter on the same inputs — the
+/// block-parallel formulation of [`selects_correctly`].
 #[must_use]
 pub fn verify_selector_binary(network: &Network, k: usize) -> SelectorVerdict {
     let n = network.lines();
-    let tests = binary_testset(n, k);
-    let tests_run = tests.len();
-    for t in &tests {
-        let out = network.apply_bits(t);
-        if !selects_correctly(t, &out, k) {
-            return SelectorVerdict {
-                passed: false,
-                tests_run,
-                witness: Some(*t),
-            };
-        }
-    }
+    let tests_run = selector_testset_size_binary(n as u64, k as u64) as usize;
+    let reference = sortnet_network::builders::batcher::odd_even_merge_sort(n);
+    let mut out = WideBlock::<DEFAULT_WIDTH>::zeroed(n);
+    let mut sorted = WideBlock::<DEFAULT_WIDTH>::zeroed(n);
+    let outcome = lanes::sweep_find(binary_source(n, k), |block| {
+        out.copy_from(block);
+        out.run(network);
+        sorted.copy_from(block);
+        sorted.run(&reference);
+        lanes::selector_violation_masks(&out, &sorted, k)
+    });
     SelectorVerdict {
-        passed: true,
+        passed: outcome.witness.is_none(),
         tests_run,
-        witness: None,
+        witness: outcome.witness,
     }
 }
 

@@ -11,21 +11,34 @@
 //! and test-set–driven verification of candidate networks.
 
 use sortnet_combinat::{BitString, Permutation};
-use sortnet_network::bitparallel::failing_inputs_from;
+use sortnet_network::lanes::{self, IterSource, DEFAULT_WIDTH};
 use sortnet_network::Network;
 
 use crate::adversary;
 use crate::bnk;
+use crate::criteria;
+use crate::verify::Property;
 
-/// The minimum 0/1 test set for sorting: every non-sorted string of
-/// length `n` (Theorem 2.2(i)); `2^n − n − 1` strings.
+/// The minimum 0/1 test set for sorting, as a streaming block source: every
+/// non-sorted string of length `n` (Theorem 2.2(i)), generated directly in
+/// transposed `W × 64`-vector blocks.
+///
+/// # Panics
+/// Panics if `n ≥ 26`.
+#[must_use]
+pub fn binary_source(n: usize) -> IterSource<Box<dyn Iterator<Item = BitString>>> {
+    IterSource::new(n, criteria::required_strings(Property::Sorter, n))
+}
+
+/// The minimum 0/1 test set for sorting, materialised: `2^n − n − 1`
+/// strings.  A thin adapter draining [`binary_source`]; sweeps should
+/// prefer the source directly.
 ///
 /// # Panics
 /// Panics if `n ≥ 26`.
 #[must_use]
 pub fn binary_testset(n: usize) -> Vec<BitString> {
-    assert!(n < 26, "materialising 2^{n} strings refused");
-    BitString::all_unsorted(n).collect()
+    lanes::collect_strings::<DEFAULT_WIDTH, _>(binary_source(n))
 }
 
 /// An optimal permutation test set for sorting: `C(n, ⌊n/2⌋) − 1`
@@ -37,25 +50,20 @@ pub fn permutation_testset(n: usize) -> Vec<Permutation> {
 
 /// Exact criterion (necessity by Lemma 2.1, sufficiency by the zero–one
 /// principle): a set of binary strings is a test set for sorting **iff** it
-/// contains every non-sorted string of length `n`.
+/// contains every non-sorted string of length `n`.  Delegates to the shared
+/// [`criteria`] helper.
 #[must_use]
 pub fn is_binary_testset(candidate: &[BitString], n: usize) -> bool {
-    use std::collections::HashSet;
-    let have: HashSet<u64> = candidate
-        .iter()
-        .filter(|s| s.len() == n)
-        .map(BitString::word)
-        .collect();
-    BitString::all_unsorted(n).all(|s| have.contains(&s.word()))
+    criteria::is_binary_testset(candidate, n, Property::Sorter)
 }
 
 /// Exact criterion for permutations: a set of permutations is a test set for
 /// sorting **iff** its cover contains every non-sorted string (necessity by
-/// Lemma 2.1; sufficiency by the refined zero–one principle).
+/// Lemma 2.1; sufficiency by the refined zero–one principle).  Delegates to
+/// the shared [`criteria`] helper.
 #[must_use]
 pub fn is_permutation_testset(candidate: &[Permutation], n: usize) -> bool {
-    candidate.iter().all(|p| p.len() == n)
-        && BitString::all_unsorted(n).all(|s| crate::cover::set_covers(candidate, &s))
+    criteria::is_permutation_testset(candidate, n, Property::Sorter)
 }
 
 /// Verdict of a test-set–driven verification run.
@@ -70,19 +78,22 @@ pub struct Verdict {
     pub witness: Option<BitString>,
 }
 
-/// Decides whether `network` is a sorter using the minimum 0/1 test set.
+/// Decides whether `network` is a sorter using the minimum 0/1 test set,
+/// streamed through transposed blocks ([`binary_source`]) — the test
+/// vectors are never materialised.
 ///
 /// Sound and complete: the test set contains every non-sorted string, so a
 /// pass certifies the sorting property by the zero–one principle; a failure
-/// returns a concrete witness.
+/// returns a concrete witness (the first failing test in enumeration
+/// order).
 #[must_use]
 pub fn verify_sorter_binary(network: &Network) -> Verdict {
-    let tests = binary_testset(network.lines());
-    let failures = failing_inputs_from(network, &tests);
+    let n = network.lines();
+    let outcome = lanes::sweep_network::<DEFAULT_WIDTH, _>(binary_source(n), network);
     Verdict {
-        passed: failures.is_empty(),
-        tests_run: tests.len(),
-        witness: failures.into_iter().next(),
+        passed: outcome.witness.is_none(),
+        tests_run: sortnet_combinat::binomial::sorting_testset_size_binary(n as u64) as usize,
+        witness: outcome.witness,
     }
 }
 
@@ -163,6 +174,7 @@ pub fn necessity_witness(sigma: &BitString) -> Network {
 mod tests {
     use super::*;
     use sortnet_combinat::binomial;
+    use sortnet_network::bitparallel::failing_inputs_from;
     use sortnet_network::builders::batcher::odd_even_merge_sort;
     use sortnet_network::builders::transposition::odd_even_transposition;
 
