@@ -17,7 +17,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use sortnet_combinat::BitString;
-use sortnet_faults::{coverage_of_tests, coverage_of_tests_with, FaultSimEngine};
+use sortnet_faults::{
+    coverage_of_tests, coverage_of_tests_with, coverage_of_universe_with, FaultSimEngine,
+    StandardUniverse,
+};
 use sortnet_network::bitparallel::{is_sorter_exhaustive_wide, ParallelismHint};
 use sortnet_network::builders::batcher::odd_even_merge_sort;
 use sortnet_network::lanes::LaneWidth;
@@ -133,11 +136,46 @@ fn bench_lane_width_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_universe_sweep(c: &mut Criterion) {
+    // Multi-fault universes on the bit-parallel engine: the stuck-line
+    // universe (linear in the network) and the quadratic pair universes,
+    // all with the Theorem 2.2 minimal test set and redundancy
+    // classification via the shared-prefix batch sweep.
+    let mut group = c.benchmark_group("universe_sweep");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+    let n = 8usize;
+    let net = odd_even_merge_sort(n);
+    let minimal = sorting::binary_testset(n);
+    for universe in StandardUniverse::ALL {
+        let label = match universe {
+            StandardUniverse::SingleComparator => "single",
+            StandardUniverse::StuckLine => "stuck_line",
+            StandardUniverse::SingleComparatorPairs => "single_pairs",
+            StandardUniverse::StuckLinePairs => "stuck_line_pairs",
+        };
+        group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+            b.iter(|| {
+                coverage_of_universe_with(
+                    black_box(&net),
+                    &universe,
+                    black_box(&minimal),
+                    true,
+                    FaultSimEngine::BitParallel,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_fault_coverage,
     bench_engine_comparison,
     bench_engine_comparison_no_redundancy,
-    bench_lane_width_sweep
+    bench_lane_width_sweep,
+    bench_universe_sweep
 );
 criterion_main!(benches);

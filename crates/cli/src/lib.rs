@@ -11,8 +11,15 @@
 //! cargo run -p sortnet-cli --example verify_batcher --release
 //! cargo run -p sortnet-cli --example minimal_testsets
 //! cargo run -p sortnet-cli --example fault_testing --release
+//! cargo run -p sortnet-cli --example fault_testing --release -- stuck-line
 //! cargo run -p sortnet-cli --example selector_and_merger --release
 //! ```
+//!
+//! `fault_testing` takes an optional fault-universe argument (`single`,
+//! `stuck-line`, `pairs`, `stuck-pairs` — see
+//! `sortnet_faults::universe::StandardUniverse`) and grades the paper's
+//! minimal test set against that universe; with no argument it sweeps all
+//! of them.
 //!
 //! The examples all sit on the same width-generic streaming substrate
 //! (`sortnet_network::lanes`): test-vector families are generated directly

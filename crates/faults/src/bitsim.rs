@@ -25,18 +25,22 @@
 //!
 //! # Shared-prefix forking
 //!
-//! All faults located at comparator index `c` behave identically on the
-//! prefix `0..c` — only the comparator at `c` (and everything after it)
-//! differs from the fault-free network.  The engine therefore evaluates the
-//! fault-free prefix incrementally, **once per block**: when the running
-//! prefix state reaches comparator `c`, every fault at `c` forks the state
+//! Every fault of every [`FaultUniverse`](crate::universe::FaultUniverse)
+//! has a *fork site*: the cut position before which it is identical to the
+//! fault-free network ([`MultiFault::fork_site`]).  The engine sweeps each
+//! block through the faults in nondecreasing fork-site order, evaluating
+//! the fault-free prefix incrementally, **once per block**: when the
+//! running prefix state reaches a fault's site, the fault forks the state
 //! (a `memcpy` of `n·W` words into a reusable scratch block), applies its
-//! faulty comparator, and runs only the suffix `c+1..C`.  For `F` faults,
+//! lesion timeline, and runs only the remaining suffix.  For `F` faults,
 //! `T` tests and `C` comparators this turns the scalar `O(F·T·C)`
 //! comparator evaluations into `O(T·C + F·T·(C − c̄))/(64·W)` lane-word
-//! operations, where `c̄` is the mean fault position — the lane win and the
+//! operations, where `c̄` is the mean fork site — the lane win and the
 //! suffix win compose multiplicatively, and widening `W` amortises each
-//! fork over `W × 64` vectors instead of 64.
+//! fork over `W × 64` vectors instead of 64.  The same forking drives the
+//! batch redundancy sweep ([`redundant_faults_multi_wide`]), which streams
+//! the exhaustive `2^n` family once for the whole fault set instead of
+//! re-running the fault-free prefix per fault.
 //!
 //! # Entry points
 //!
@@ -45,14 +49,19 @@
 //! the original single-word engine bit for bit (the proptest suite holds
 //! all widths to exact agreement with the scalar simulator):
 //!
-//! * [`faulty_run_block`] — one fault over one block (the oracle hook the
-//!   property tests cross-check against the scalar simulator);
-//! * [`detection_matrix`] / [`detection_matrix_wide`] — the full
+//! * [`faulty_run_block`] / [`multi_faulty_run_block`] — one fault over one
+//!   block (the oracle hooks the property tests cross-check against the
+//!   scalar simulator);
+//! * [`detection_matrix`] / [`detection_matrix_multi_wide`] — the full
 //!   faults × tests coverage bitmap (layout independent of `W`);
-//! * [`first_detections`] / [`first_detections_wide`] — early-exit variant
-//!   driving [`coverage_of_tests`](crate::coverage::coverage_of_tests);
+//! * [`first_detections`] / [`first_detections_multi_wide`] — early-exit
+//!   variant driving [`coverage_of_tests`](crate::coverage::coverage_of_tests);
 //! * [`is_fault_redundant_bitparallel`] / [`is_fault_redundant_wide`] —
-//!   the blocked `2^n` redundancy sweep, streamed by counting patterns.
+//!   the *per-fault* blocked `2^n` redundancy sweep (kept as the reference
+//!   the batch path is regression-pinned against);
+//! * [`redundant_faults_multi_wide`] — the shared-prefix **batch**
+//!   redundancy sweep: one streamed `2^n` pass classifies a whole fault
+//!   set, forking each undecided fault per block.
 
 use sortnet_combinat::BitString;
 use sortnet_network::bitparallel;
@@ -60,6 +69,7 @@ use sortnet_network::lanes::{self, WideBlock, DEFAULT_WIDTH};
 use sortnet_network::Network;
 
 use crate::model::{Fault, FaultKind};
+use crate::universe::{Lesion, MultiFault};
 
 /// Applies the faulty version of comparator `fault.comparator` to a block:
 /// the lane-level counterpart of one faulty step of
@@ -112,6 +122,65 @@ pub fn faulty_run_block<const W: usize>(
     block.run_range(network, fault.comparator + 1, network.size());
 }
 
+/// Applies one lesion to a block whose comparators `0..pos` have already
+/// run, returning the new cut position: the lane-level counterpart of one
+/// step of the scalar lesion timeline in [`crate::universe`].
+#[inline]
+fn apply_lesion_from<const W: usize>(
+    network: &Network,
+    lesion: &Lesion,
+    block: &mut WideBlock<W>,
+    pos: usize,
+) -> usize {
+    match lesion {
+        Lesion::Comparator(fault) => {
+            block.run_range(network, pos, fault.comparator);
+            apply_faulty_comparator(network, fault, block);
+            fault.comparator + 1
+        }
+        Lesion::Stuck(s) => {
+            block.run_range(network, pos, s.cut);
+            block.fill_lane(s.line, s.value);
+            s.cut
+        }
+    }
+}
+
+/// Runs a fault's lesion timeline over a block whose comparators `0..pos`
+/// have already been applied fault-free — the suffix half of a
+/// shared-prefix fork.
+///
+/// # Panics
+/// Panics (in debug builds) if `pos` exceeds the fault's fork site.
+fn run_multi_from<const W: usize>(
+    network: &Network,
+    fault: &MultiFault,
+    block: &mut WideBlock<W>,
+    mut pos: usize,
+) {
+    debug_assert!(pos <= fault.fork_site(), "fork past the fault's site");
+    for lesion in fault.lesions() {
+        pos = apply_lesion_from(network, lesion, block, pos);
+    }
+    block.run_range(network, pos, network.size());
+}
+
+/// Runs the multi-fault network over one block of up to `W × 64` test
+/// vectors, in place — the lane-level counterpart of
+/// [`multi_faulty_apply_bits`](crate::universe::multi_faulty_apply_bits),
+/// for faults of **any** universe.
+///
+/// # Panics
+/// Panics if a lesion of the fault does not fit the network.
+pub fn multi_faulty_run_block<const W: usize>(
+    network: &Network,
+    fault: &MultiFault,
+    block: &mut WideBlock<W>,
+) {
+    fault.assert_in_range(network);
+    run_multi_from(network, fault, block, 0);
+}
+
 /// A faults × tests detection bitmap: bit `t` of row `f` is set when test
 /// `t` detects fault `f`.
 ///
@@ -122,7 +191,7 @@ pub fn faulty_run_block<const W: usize>(
 /// bookkeeping.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DetectionMatrix {
-    faults: Vec<Fault>,
+    faults: Vec<MultiFault>,
     test_count: usize,
     words_per_fault: usize,
     bits: Vec<u64>,
@@ -131,7 +200,7 @@ pub struct DetectionMatrix {
 impl DetectionMatrix {
     /// The fault universe the matrix was computed for, in row order.
     #[must_use]
-    pub fn faults(&self) -> &[Fault] {
+    pub fn faults(&self) -> &[MultiFault] {
         &self.faults
     }
 
@@ -191,80 +260,80 @@ impl DetectionMatrix {
     }
 }
 
-/// Faults grouped by comparator index, so the block sweep can fork each
-/// fault exactly when the shared prefix reaches its site.
-fn faults_by_comparator(network: &Network, faults: &[Fault]) -> Vec<Vec<usize>> {
-    let mut by_comp: Vec<Vec<usize>> = vec![Vec::new(); network.size()];
-    for (idx, fault) in faults.iter().enumerate() {
-        assert!(
-            fault.comparator < network.size(),
-            "fault index out of range"
-        );
-        by_comp[fault.comparator].push(idx);
+/// Fault indices sorted (stably) by fork site, so one incremental
+/// fault-free prefix pass per block can serve every fault — the
+/// enumeration order of the slice itself stays the row/result order.
+fn site_order(network: &Network, faults: &[MultiFault]) -> Vec<usize> {
+    for fault in faults {
+        fault.assert_in_range(network);
     }
-    by_comp
+    let mut order: Vec<usize> = (0..faults.len()).collect();
+    order.sort_by_key(|&i| faults[i].fork_site());
+    order
 }
 
 /// Sweeps one block of tests over every fault via shared-prefix forking and
 /// hands each `(fault index, detected-masks)` pair to `record`.
 ///
-/// `skip` filters faults out of the sweep (used for early exit once a fault
-/// has been detected in an earlier block).
-fn sweep_block<const W: usize>(
+/// `order` is the [`site_order`] of `faults`; `skip` filters faults out of
+/// the sweep (used for early exit once a fault has been detected in an
+/// earlier block).
+fn sweep_block_multi<const W: usize>(
     network: &Network,
-    by_comp: &[Vec<usize>],
-    faults: &[Fault],
+    order: &[usize],
+    faults: &[MultiFault],
     block: &WideBlock<W>,
     skip: impl Fn(usize) -> bool,
     mut record: impl FnMut(usize, [u64; W]),
 ) {
-    let size = network.size();
     let mut prefix = block.clone();
     let mut fork = block.clone();
-    for (c, faults_here) in by_comp.iter().enumerate() {
-        for &fault_idx in faults_here {
-            if skip(fault_idx) {
-                continue;
-            }
-            fork.copy_from(&prefix);
-            apply_faulty_comparator(network, &faults[fault_idx], &mut fork);
-            fork.run_range(network, c + 1, size);
-            record(fault_idx, fork.unsorted_masks());
+    let mut pos = 0usize;
+    for &fault_idx in order {
+        let site = faults[fault_idx].fork_site();
+        debug_assert!(site >= pos, "site order must be nondecreasing");
+        if site > pos {
+            prefix.run_range(network, pos, site);
+            pos = site;
         }
-        let comp = network.comparators()[c];
-        prefix.apply_comparator(comp.min_line(), comp.max_line());
+        if skip(fault_idx) {
+            continue;
+        }
+        fork.copy_from(&prefix);
+        run_multi_from(network, &faults[fault_idx], &mut fork, pos);
+        record(fault_idx, fork.unsorted_masks());
     }
 }
 
-/// Computes the full faults × tests [`DetectionMatrix`] for `network` at
-/// lane width `W`.
+/// Computes the full faults × tests [`DetectionMatrix`] for a slice of
+/// [`MultiFault`]s (drawn from any universe) at lane width `W`.
 ///
 /// Evaluates every fault against every test (`W × 64` tests per pass,
 /// shared fault-free prefix per block).  The resulting matrix is identical
-/// for every `W`.  Use [`first_detections_wide`] instead when only
+/// for every `W`.  Use [`first_detections_multi_wide`] instead when only
 /// first-detection indices are needed — it stops simulating each fault at
 /// its first detecting block.
 ///
 /// # Panics
-/// Panics if a fault's comparator index is out of range or a test's length
+/// Panics if a fault does not fit the network or a test's length
 /// mismatches the network.
 #[must_use]
-pub fn detection_matrix_wide<const W: usize>(
+pub fn detection_matrix_multi_wide<const W: usize>(
     network: &Network,
-    faults: &[Fault],
+    faults: &[MultiFault],
     tests: &[BitString],
 ) -> DetectionMatrix {
     let n = network.lines();
-    let by_comp = faults_by_comparator(network, faults);
+    let order = site_order(network, faults);
     let words_per_fault = tests.len().div_ceil(64).max(1);
     let mut bits = vec![0u64; faults.len() * words_per_fault];
     let capacity = WideBlock::<W>::capacity() as usize;
     for (block_idx, chunk) in tests.chunks(capacity).enumerate() {
         let block = WideBlock::<W>::from_strings(n, chunk);
         let words_here = chunk.len().div_ceil(64);
-        sweep_block(
+        sweep_block_multi(
             network,
-            &by_comp,
+            &order,
             faults,
             &block,
             |_| false,
@@ -282,6 +351,23 @@ pub fn detection_matrix_wide<const W: usize>(
     }
 }
 
+/// Single-comparator convenience for [`detection_matrix_multi_wide`]: the
+/// pre-universe API, bit-identical to it on the corresponding
+/// [`MultiFault`] slice.
+///
+/// # Panics
+/// Panics if a fault's comparator index is out of range or a test's length
+/// mismatches the network.
+#[must_use]
+pub fn detection_matrix_wide<const W: usize>(
+    network: &Network,
+    faults: &[Fault],
+    tests: &[BitString],
+) -> DetectionMatrix {
+    let multi: Vec<MultiFault> = faults.iter().copied().map(MultiFault::from).collect();
+    detection_matrix_multi_wide::<W>(network, &multi, tests)
+}
+
 /// [`detection_matrix_wide`] at the default lane width.
 #[must_use]
 pub fn detection_matrix(
@@ -292,25 +378,26 @@ pub fn detection_matrix(
     detection_matrix_wide::<DEFAULT_WIDTH>(network, faults, tests)
 }
 
-/// For each fault, the 0-based index of the first test in `tests` that
-/// detects it (`None` when no test does), computed at lane width `W`.
+/// For each fault of a [`MultiFault`] slice (drawn from any universe), the
+/// 0-based index of the first test in `tests` that detects it (`None` when
+/// no test does), computed at lane width `W`.
 ///
 /// Semantically identical to calling
-/// [`first_detection_index`](crate::simulate::first_detection_index) per
-/// fault, but `W × 64` tests wide with shared-prefix forking, and each
+/// [`multi_first_detection_index`](crate::universe::multi_first_detection_index)
+/// per fault, but `W × 64` tests wide with shared-prefix forking, and each
 /// fault drops out of the sweep after its first detecting block.
 ///
 /// # Panics
-/// Panics if a fault's comparator index is out of range or a test's length
+/// Panics if a fault does not fit the network or a test's length
 /// mismatches the network.
 #[must_use]
-pub fn first_detections_wide<const W: usize>(
+pub fn first_detections_multi_wide<const W: usize>(
     network: &Network,
-    faults: &[Fault],
+    faults: &[MultiFault],
     tests: &[BitString],
 ) -> Vec<Option<usize>> {
     let n = network.lines();
-    let by_comp = faults_by_comparator(network, faults);
+    let order = site_order(network, faults);
     let mut first: Vec<Option<usize>> = vec![None; faults.len()];
     let mut undetected = faults.len();
     let capacity = WideBlock::<W>::capacity() as usize;
@@ -323,9 +410,9 @@ pub fn first_detections_wide<const W: usize>(
         // (skip reads before record writes per fault), but the compiler
         // cannot see that — collect the block's verdicts first.
         let mut hits: Vec<(usize, [u64; W])> = Vec::new();
-        sweep_block(
+        sweep_block_multi(
             network,
-            &by_comp,
+            &order,
             faults,
             &block,
             |fault_idx| first[fault_idx].is_some(),
@@ -342,6 +429,23 @@ pub fn first_detections_wide<const W: usize>(
         }
     }
     first
+}
+
+/// Single-comparator convenience for [`first_detections_multi_wide`]: the
+/// pre-universe API, identical to it on the corresponding [`MultiFault`]
+/// slice.
+///
+/// # Panics
+/// Panics if a fault's comparator index is out of range or a test's length
+/// mismatches the network.
+#[must_use]
+pub fn first_detections_wide<const W: usize>(
+    network: &Network,
+    faults: &[Fault],
+    tests: &[BitString],
+) -> Vec<Option<usize>> {
+    let multi: Vec<MultiFault> = faults.iter().copied().map(MultiFault::from).collect();
+    first_detections_multi_wide::<W>(network, &multi, tests)
 }
 
 /// [`first_detections_wide`] at the default lane width.
@@ -385,6 +489,81 @@ pub fn is_fault_redundant_wide<const W: usize>(network: &Network, fault: &Fault)
 #[must_use]
 pub fn is_fault_redundant_bitparallel(network: &Network, fault: &Fault) -> bool {
     is_fault_redundant_wide::<DEFAULT_WIDTH>(network, fault)
+}
+
+/// Shared-prefix **batch** redundancy sweep at lane width `W`: classifies a
+/// whole fault set in one streamed `2^n` pass.
+///
+/// `flags[i]` is `true` iff the faulty network of `faults[i]` still sorts
+/// all `2^n` binary inputs.  Unlike the per-fault
+/// [`is_fault_redundant_wide`] path (which re-runs the fault-free prefix
+/// for every fault in every block), each block's fault-free prefix is
+/// evaluated incrementally once and every still-undecided fault forks from
+/// it at its site; faults shown detectable drop out of later blocks, and
+/// the sweep stops early once every fault is decided.  Agrees with the
+/// per-fault path and the scalar
+/// [`is_multi_fault_redundant`](crate::universe::is_multi_fault_redundant)
+/// (regression-pinned by the differential suite).
+///
+/// # Panics
+/// Panics if a fault does not fit the network or `n ≥ 32` (an empty fault
+/// slice never sweeps, so it is accepted for every `n`).
+#[must_use]
+pub fn redundant_faults_multi_wide<const W: usize>(
+    network: &Network,
+    faults: &[MultiFault],
+) -> Vec<bool> {
+    if faults.is_empty() {
+        return Vec::new();
+    }
+    let n = network.lines();
+    let order = site_order(network, faults);
+    let mut redundant = vec![true; faults.len()];
+    let mut undecided = faults.len();
+    for b in 0..bitparallel::sweep_block_count_wide::<W>(n) {
+        if undecided == 0 {
+            break;
+        }
+        let (start, count) = bitparallel::sweep_block_range_wide::<W>(n, b);
+        let block = WideBlock::<W>::from_range(n, start, count);
+        let mut hits: Vec<usize> = Vec::new();
+        sweep_block_multi(
+            network,
+            &order,
+            faults,
+            &block,
+            |fault_idx| !redundant[fault_idx],
+            |fault_idx, masks| {
+                if lanes::mask_any(&masks) {
+                    hits.push(fault_idx);
+                }
+            },
+        );
+        for fault_idx in hits {
+            redundant[fault_idx] = false;
+            undecided -= 1;
+        }
+    }
+    redundant
+}
+
+/// [`redundant_faults_multi_wide`] at the default lane width.
+#[must_use]
+pub fn redundant_faults_multi(network: &Network, faults: &[MultiFault]) -> Vec<bool> {
+    redundant_faults_multi_wide::<DEFAULT_WIDTH>(network, faults)
+}
+
+/// Batch redundancy verdict for a single [`MultiFault`] at lane width `W`
+/// (a one-element [`redundant_faults_multi_wide`] sweep).
+///
+/// # Panics
+/// Panics if the fault does not fit the network or `n ≥ 32`.
+#[must_use]
+pub fn is_multi_fault_redundant_wide<const W: usize>(
+    network: &Network,
+    fault: &MultiFault,
+) -> bool {
+    redundant_faults_multi_wide::<W>(network, std::slice::from_ref(fault))[0]
 }
 
 #[cfg(test)]
@@ -543,6 +722,91 @@ mod tests {
             assert_eq!(
                 block.extract(j as u32),
                 faulty_apply_bits(&net, &fault, input)
+            );
+        }
+    }
+
+    #[test]
+    fn batch_redundancy_sweep_matches_the_per_fault_rerun_path() {
+        // The ROADMAP fix: one streamed 2^n pass with shared-prefix forking
+        // must classify exactly like the old per-fault re-run path (and the
+        // scalar oracle) on every single-comparator fault.
+        for n in [4usize, 6, 8] {
+            let net = odd_even_merge_sort(n);
+            let faults = enumerate_faults(&net);
+            let multi: Vec<MultiFault> = faults.iter().copied().map(MultiFault::from).collect();
+            let batch = redundant_faults_multi_wide::<4>(&net, &multi);
+            let batch_w1 = redundant_faults_multi_wide::<1>(&net, &multi);
+            assert_eq!(batch, batch_w1, "n={n}: width must not change verdicts");
+            for (i, fault) in faults.iter().enumerate() {
+                assert_eq!(
+                    batch[i],
+                    is_fault_redundant_wide::<4>(&net, fault),
+                    "n={n} fault {fault:?}"
+                );
+                assert_eq!(
+                    batch[i],
+                    is_fault_redundant(&net, fault),
+                    "n={n} fault {fault:?} (scalar)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_redundancy_sweep_is_accepted_even_beyond_the_sweep_bound() {
+        // coverage_of_universe_with(check_redundancy = true) calls the
+        // batch sweep with exactly the missed faults; when nothing was
+        // missed that slice is empty and must not trip the n < 32
+        // exhaustive-sweep assert (the old per-fault path short-circuited
+        // the same way).
+        let net = odd_even_merge_sort(32);
+        assert!(net.lines() >= 32);
+        assert_eq!(
+            redundant_faults_multi_wide::<4>(&net, &[]),
+            Vec::<bool>::new()
+        );
+    }
+
+    #[test]
+    fn multi_run_block_matches_the_scalar_lesion_timeline() {
+        use crate::universe::{multi_faulty_apply_bits, FaultUniverse, StandardUniverse};
+        let net = odd_even_merge_sort(5);
+        let inputs: Vec<BitString> = BitString::all(5).collect();
+        for universe in StandardUniverse::ALL {
+            for mf in universe.iter(&net) {
+                let mut block = WideBlock::<2>::from_strings(5, &inputs);
+                multi_faulty_run_block(&net, &mf, &mut block);
+                for (j, input) in inputs.iter().enumerate() {
+                    assert_eq!(
+                        block.extract(j as u32),
+                        multi_faulty_apply_bits(&net, &mf, input),
+                        "universe {} fault {mf} input {input}",
+                        universe.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_fault_wrappers_agree_with_the_multi_core() {
+        let net = odd_even_merge_sort(6);
+        let faults = enumerate_faults(&net);
+        let multi: Vec<MultiFault> = faults.iter().copied().map(MultiFault::from).collect();
+        let tests: Vec<BitString> = BitString::all_unsorted(6).collect();
+        assert_eq!(
+            detection_matrix_wide::<2>(&net, &faults, &tests),
+            detection_matrix_multi_wide::<2>(&net, &multi, &tests)
+        );
+        assert_eq!(
+            first_detections_wide::<2>(&net, &faults, &tests),
+            first_detections_multi_wide::<2>(&net, &multi, &tests)
+        );
+        for (i, fault) in multi.iter().enumerate() {
+            assert_eq!(
+                is_multi_fault_redundant_wide::<2>(&net, fault),
+                is_fault_redundant_wide::<2>(&net, &faults[i])
             );
         }
     }

@@ -1,5 +1,13 @@
-//! Fault-coverage analysis: how well a sequence of test inputs detects the
-//! single-fault universe of a network (experiment E10).
+//! Fault-coverage analysis: how well a sequence of test inputs detects a
+//! fault universe of a network (experiment E10).
+//!
+//! Coverage is universe-generic: [`coverage_of_universe_with`] grades a
+//! test sequence against any [`FaultUniverse`] (single-comparator faults,
+//! stuck-at lines, fault pairs), on either the scalar oracle engine or the
+//! bit-parallel engine at a chosen lane width.  The historical
+//! single-comparator entry points ([`coverage_of_tests`],
+//! [`coverage_of_tests_with`]) are thin wrappers over the
+//! [`SingleComparator`] universe.
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -8,24 +16,27 @@ use sortnet_combinat::BitString;
 use sortnet_network::lanes::{LaneWidth, DEFAULT_WIDTH};
 use sortnet_network::Network;
 
-use crate::bitsim::{first_detections_wide, is_fault_redundant_wide};
-use crate::model::{enumerate_faults, Fault};
-use crate::simulate::{first_detection_index, is_fault_redundant};
+use crate::bitsim::{first_detections_multi_wide, redundant_faults_multi_wide};
+use crate::universe::{
+    is_multi_fault_redundant, multi_first_detection_index, FaultUniverse, MultiFault,
+    SingleComparator,
+};
 
 /// Which simulation engine evaluates the fault universe.
 ///
 /// All engines produce bit-for-bit equal reports wherever they run (the
-/// proptest suite and experiment E10 cross-check them; the bit-parallel
-/// report is independent of the lane width);
-/// [`FaultSimEngine::Scalar`] is retained as the oracle the bit-parallel
-/// paths are validated against.  One bounds difference: with
+/// proptest suite, the differential-universe suite and experiment E10
+/// cross-check them; the bit-parallel report is independent of the lane
+/// width); [`FaultSimEngine::Scalar`] is retained as the oracle the
+/// bit-parallel paths are validated against.  One bounds difference: with
 /// `check_redundancy` the scalar engine's per-fault sweep refuses `n ≥ 24`
-/// ([`is_fault_redundant`]) while the bit-parallel engine accepts up to
-/// `n < 32` ([`is_fault_redundant_wide`]), so oracle comparisons
+/// ([`is_multi_fault_redundant`]) while the bit-parallel engine accepts up
+/// to `n < 32` ([`redundant_faults_multi_wide`]), so oracle comparisons
 /// with redundancy checking are limited to `n < 24`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum FaultSimEngine {
-    /// One fault × one test per call ([`crate::simulate`]).
+    /// One fault × one test per call
+    /// ([`crate::simulate`] / [`crate::universe`]).
     Scalar,
     /// `W × 64` tests per pass with shared-prefix forking
     /// ([`crate::bitsim`]), at the default lane width
@@ -37,7 +48,7 @@ pub enum FaultSimEngine {
     BitParallelWide(LaneWidth),
 }
 
-/// Result of running a test sequence against the single-fault universe.
+/// Result of running a test sequence against a fault universe.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct CoverageReport {
     /// Total number of faults considered.
@@ -57,62 +68,97 @@ pub struct CoverageReport {
     pub mean_first_detection: f64,
     /// Worst-case first-detection index over detected faults (1-based).
     pub max_first_detection: usize,
+    /// The faults counted in `missed`, in universe-enumeration order: the
+    /// detectable (or, without `check_redundancy`, not-shown-redundant)
+    /// faults the whole sequence failed to catch.
+    pub missed_faults: Vec<MultiFault>,
+    /// The provably undetectable faults counted in `redundant_faults`, in
+    /// universe-enumeration order; empty unless `check_redundancy` ran.
+    pub undetectable_faults: Vec<MultiFault>,
 }
 
 /// The bit-parallel per-fault results at lane width `W`: first-detection
-/// indices with early exit, plus the `2^n` redundancy sweep for faults the
-/// whole sequence misses.
+/// indices with early exit, plus one shared-prefix batch `2^n` redundancy
+/// sweep over exactly the faults the whole sequence missed.
 fn bitparallel_results<const W: usize>(
     network: &Network,
-    faults: &[Fault],
+    faults: &[MultiFault],
     tests: &[BitString],
     check_redundancy: bool,
 ) -> Vec<(Option<usize>, bool)> {
-    first_detections_wide::<W>(network, faults, tests)
-        .into_iter()
-        .zip(faults)
-        .map(|(first, fault)| {
-            let redundant =
-                first.is_none() && check_redundancy && is_fault_redundant_wide::<W>(network, fault);
-            (first, redundant)
-        })
-        .collect()
+    let first = first_detections_multi_wide::<W>(network, faults, tests);
+    let mut redundant = vec![false; faults.len()];
+    if check_redundancy {
+        let missed_idx: Vec<usize> = (0..faults.len()).filter(|&i| first[i].is_none()).collect();
+        let missed: Vec<MultiFault> = missed_idx.iter().map(|&i| faults[i]).collect();
+        for (&i, flag) in missed_idx
+            .iter()
+            .zip(redundant_faults_multi_wide::<W>(network, &missed))
+        {
+            redundant[i] = flag;
+        }
+    }
+    first.into_iter().zip(redundant).collect()
 }
 
-/// Runs every single fault of `network` against the test sequence `tests`
+/// Runs every fault of the `universe` against the test sequence `tests`
 /// and summarises detection, using the default
 /// [`FaultSimEngine::BitParallel`] engine.
 ///
 /// Set `check_redundancy` to `true` to classify undetected faults as
-/// redundant (needs an exhaustive sweep per missed fault, so it is only
-/// advisable for `n ≲ 24`); with `false`, undetected faults are counted as
-/// missed.
+/// redundant (needs an exhaustive sweep, so it is only advisable for
+/// `n ≲ 24`); with `false`, undetected faults are counted as missed.
 #[must_use]
-pub fn coverage_of_tests(
+pub fn coverage_of_universe(
     network: &Network,
+    universe: &dyn FaultUniverse,
     tests: &[BitString],
     check_redundancy: bool,
 ) -> CoverageReport {
-    coverage_of_tests_with(network, tests, check_redundancy, FaultSimEngine::default())
+    coverage_of_universe_with(
+        network,
+        universe,
+        tests,
+        check_redundancy,
+        FaultSimEngine::default(),
+    )
 }
 
-/// [`coverage_of_tests`] with an explicit engine choice — the scalar path
-/// is the cross-check oracle for the bit-parallel one.
+/// [`coverage_of_universe`] with an explicit engine choice — the scalar
+/// path is the cross-check oracle for the bit-parallel one.
+///
+/// The universe is enumerated (lazily) exactly once; the report's fault
+/// lists are in enumeration order for every engine, so reports from
+/// different engines are comparable with `==`.
 #[must_use]
-pub fn coverage_of_tests_with(
+pub fn coverage_of_universe_with(
     network: &Network,
+    universe: &dyn FaultUniverse,
     tests: &[BitString],
     check_redundancy: bool,
     engine: FaultSimEngine,
 ) -> CoverageReport {
-    let faults = enumerate_faults(network);
+    let faults: Vec<MultiFault> = universe.iter(network).collect();
+    coverage_of_multifaults_with(network, &faults, tests, check_redundancy, engine)
+}
+
+/// [`coverage_of_universe_with`] over an explicit, already-enumerated fault
+/// slice.
+#[must_use]
+pub fn coverage_of_multifaults_with(
+    network: &Network,
+    faults: &[MultiFault],
+    tests: &[BitString],
+    check_redundancy: bool,
+    engine: FaultSimEngine,
+) -> CoverageReport {
     let results: Vec<(Option<usize>, bool)> = match engine {
         FaultSimEngine::Scalar => faults
             .par_iter()
-            .map(|fault: &Fault| {
-                let first = first_detection_index(network, fault, tests);
+            .map(|fault: &MultiFault| {
+                let first = multi_first_detection_index(network, fault, tests);
                 let redundant = if first.is_none() && check_redundancy {
-                    is_fault_redundant(network, fault)
+                    is_multi_fault_redundant(network, fault)
                 } else {
                     false
                 };
@@ -120,21 +166,34 @@ pub fn coverage_of_tests_with(
             })
             .collect(),
         FaultSimEngine::BitParallel => {
-            bitparallel_results::<DEFAULT_WIDTH>(network, &faults, tests, check_redundancy)
+            bitparallel_results::<DEFAULT_WIDTH>(network, faults, tests, check_redundancy)
         }
         FaultSimEngine::BitParallelWide(width) => match width {
-            LaneWidth::W1 => bitparallel_results::<1>(network, &faults, tests, check_redundancy),
-            LaneWidth::W2 => bitparallel_results::<2>(network, &faults, tests, check_redundancy),
-            LaneWidth::W4 => bitparallel_results::<4>(network, &faults, tests, check_redundancy),
-            LaneWidth::W8 => bitparallel_results::<8>(network, &faults, tests, check_redundancy),
+            LaneWidth::W1 => bitparallel_results::<1>(network, faults, tests, check_redundancy),
+            LaneWidth::W2 => bitparallel_results::<2>(network, faults, tests, check_redundancy),
+            LaneWidth::W4 => bitparallel_results::<4>(network, faults, tests, check_redundancy),
+            LaneWidth::W8 => bitparallel_results::<8>(network, faults, tests, check_redundancy),
         },
     };
 
     let total_faults = faults.len();
-    let redundant_faults = results.iter().filter(|(_, r)| *r).count();
+    let undetectable_faults: Vec<MultiFault> = results
+        .iter()
+        .zip(faults)
+        .filter(|((_, r), _)| *r)
+        .map(|(_, f)| *f)
+        .collect();
+    let missed_faults: Vec<MultiFault> = results
+        .iter()
+        .zip(faults)
+        .filter(|((first, r), _)| first.is_none() && !*r)
+        .map(|(_, f)| *f)
+        .collect();
+    let redundant_faults = undetectable_faults.len();
     let detected_indices: Vec<usize> = results.iter().filter_map(|(f, _)| *f).collect();
     let detected = detected_indices.len();
-    let missed = total_faults - detected - redundant_faults;
+    let missed = missed_faults.len();
+    debug_assert_eq!(detected + missed + redundant_faults, total_faults);
     let detectable = detected + missed;
     let coverage = if detectable == 0 {
         1.0
@@ -155,12 +214,40 @@ pub fn coverage_of_tests_with(
         coverage,
         mean_first_detection,
         max_first_detection,
+        missed_faults,
+        undetectable_faults,
     }
+}
+
+/// Runs every single-comparator fault of `network` against the test
+/// sequence `tests` and summarises detection, using the default
+/// [`FaultSimEngine::BitParallel`] engine — [`coverage_of_universe`] over
+/// [`SingleComparator`].
+#[must_use]
+pub fn coverage_of_tests(
+    network: &Network,
+    tests: &[BitString],
+    check_redundancy: bool,
+) -> CoverageReport {
+    coverage_of_tests_with(network, tests, check_redundancy, FaultSimEngine::default())
+}
+
+/// [`coverage_of_tests`] with an explicit engine choice — the scalar path
+/// is the cross-check oracle for the bit-parallel one.
+#[must_use]
+pub fn coverage_of_tests_with(
+    network: &Network,
+    tests: &[BitString],
+    check_redundancy: bool,
+    engine: FaultSimEngine,
+) -> CoverageReport {
+    coverage_of_universe_with(network, &SingleComparator, tests, check_redundancy, engine)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::universe::{StandardUniverse, StuckLine};
     use sortnet_combinat::Permutation;
     use sortnet_network::builders::batcher::odd_even_merge_sort;
     use sortnet_network::random::NetworkSampler;
@@ -172,6 +259,7 @@ mod tests {
         let tests = sorting::binary_testset(6);
         let report = coverage_of_tests(&net, &tests, true);
         assert_eq!(report.missed, 0, "{report:?}");
+        assert!(report.missed_faults.is_empty());
         assert!((report.coverage - 1.0).abs() < f64::EPSILON);
         assert!(report.detected > 0);
     }
@@ -198,6 +286,8 @@ mod tests {
             report.missed > 0,
             "three random inputs should not catch everything"
         );
+        assert_eq!(report.missed_faults.len(), report.missed);
+        assert!(report.undetectable_faults.is_empty());
     }
 
     #[test]
@@ -238,7 +328,40 @@ mod tests {
             report.detected + report.missed + report.redundant_faults,
             report.total_faults
         );
+        assert_eq!(report.missed_faults.len(), report.missed);
+        assert_eq!(report.undetectable_faults.len(), report.redundant_faults);
         assert!(report.max_first_detection as f64 >= report.mean_first_detection);
         assert!(report.max_first_detection <= tests.len());
+    }
+
+    #[test]
+    fn universe_coverage_agrees_across_engines_on_stuck_lines() {
+        let net = odd_even_merge_sort(6);
+        let tests = sorting::binary_testset(6);
+        let bitpar = coverage_of_universe(&net, &StuckLine, &tests, true);
+        let scalar =
+            coverage_of_universe_with(&net, &StuckLine, &tests, true, FaultSimEngine::Scalar);
+        assert_eq!(bitpar, scalar);
+        assert_eq!(bitpar.total_faults, StuckLine.len(&net));
+        // The stuck-line universe on a correct sorter has undetectable
+        // faults (e.g. every stuck input segment) — unlike the
+        // single-comparator universe, redundancy is the common case here.
+        assert!(bitpar.redundant_faults >= 2 * net.lines());
+    }
+
+    #[test]
+    fn standard_universes_all_produce_consistent_reports() {
+        let net = odd_even_merge_sort(4);
+        let tests = sorting::binary_testset(4);
+        for universe in StandardUniverse::ALL {
+            let report = coverage_of_universe(&net, &universe, &tests, true);
+            assert_eq!(
+                report.detected + report.missed + report.redundant_faults,
+                report.total_faults,
+                "universe {}",
+                universe.name()
+            );
+            assert_eq!(report.total_faults, universe.len(&net));
+        }
     }
 }

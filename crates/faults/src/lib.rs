@@ -17,13 +17,23 @@
 //! at all — the interesting measurements are how many tests are needed
 //! before the first detection, and how random sampling compares.
 //!
+//! Faults are drawn from *universes* ([`universe::FaultUniverse`]): the
+//! original [`universe::SingleComparator`] model, the classical
+//! stuck-at-0/1 wire-segment model ([`universe::StuckLine`]), and
+//! lazily-enumerated fault pairs ([`universe::FaultPairs`]) — see
+//! [`universe`] for how each class maps onto the paper's fault-model
+//! discussion and why pair detection is not the union of member detection
+//! (fault masking).
+//!
 //! Fault simulation runs through two engines: the scalar reference in
-//! [`simulate`] (one fault × one test per call) and the width-generic
-//! bit-parallel engine in [`bitsim`] (`W × 64` tests per pass with
-//! shared-prefix forking on `sortnet_network::lanes::WideBlock<W>`),
-//! selected — including the lane width — via
-//! [`coverage::FaultSimEngine`].  The bit-parallel engine is the default
-//! hot path; the scalar one is kept as its cross-check oracle.
+//! [`simulate`] / [`universe`] (one fault × one test per call) and the
+//! width-generic bit-parallel engine in [`bitsim`] (`W × 64` tests per
+//! pass with shared-prefix forking on
+//! `sortnet_network::lanes::WideBlock<W>`), selected — including the lane
+//! width — via [`coverage::FaultSimEngine`].  The bit-parallel engine is
+//! the default hot path; the scalar one is kept as its cross-check oracle
+//! (the differential-universe suite holds every universe × engine × lane
+//! width to bit-identical detection matrices).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,12 +42,22 @@ pub mod bitsim;
 pub mod coverage;
 pub mod model;
 pub mod simulate;
+pub mod universe;
 
 pub use bitsim::{
-    detection_matrix, detection_matrix_wide, faulty_run_block, first_detections,
-    first_detections_wide, is_fault_redundant_bitparallel, is_fault_redundant_wide,
-    DetectionMatrix,
+    detection_matrix, detection_matrix_multi_wide, detection_matrix_wide, faulty_run_block,
+    first_detections, first_detections_multi_wide, first_detections_wide,
+    is_fault_redundant_bitparallel, is_fault_redundant_wide, is_multi_fault_redundant_wide,
+    multi_faulty_run_block, redundant_faults_multi, redundant_faults_multi_wide, DetectionMatrix,
 };
-pub use coverage::{coverage_of_tests, coverage_of_tests_with, CoverageReport, FaultSimEngine};
+pub use coverage::{
+    coverage_of_multifaults_with, coverage_of_tests, coverage_of_tests_with, coverage_of_universe,
+    coverage_of_universe_with, CoverageReport, FaultSimEngine,
+};
 pub use model::{enumerate_faults, Fault, FaultKind};
 pub use simulate::{apply_fault, detects, first_detection_index, is_fault_redundant};
+pub use universe::{
+    is_multi_fault_redundant, multi_detects, multi_faulty_apply_bits, multi_first_detection_index,
+    FaultPairs, FaultUniverse, Lesion, MultiFault, SingleComparator, StandardUniverse, StuckAt,
+    StuckLine,
+};

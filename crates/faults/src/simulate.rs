@@ -5,6 +5,43 @@ use sortnet_network::{Comparator, Network};
 
 use crate::model::{Fault, FaultKind};
 
+/// One fault-free comparator step on a word-packed 0/1 state: the minimum
+/// of the two line bits to `min_line`, the maximum to `max_line`.
+#[inline]
+pub(crate) fn step_word(c: &Comparator, w: u64) -> u64 {
+    let (i, j) = (c.min_line(), c.max_line());
+    let bi = (w >> i) & 1;
+    let bj = (w >> j) & 1;
+    (w & !((1u64 << i) | (1u64 << j))) | ((bi & bj) << i) | ((bi | bj) << j)
+}
+
+/// One *faulty* comparator step on a word-packed 0/1 state — the scalar
+/// semantics of each [`FaultKind`], shared by the single-fault simulator
+/// below and the multi-lesion simulator in [`crate::universe`].
+#[inline]
+pub(crate) fn step_word_faulty(c: &Comparator, kind: FaultKind, w: u64) -> u64 {
+    let (i, j) = (c.min_line(), c.max_line());
+    let bi = (w >> i) & 1;
+    let bj = (w >> j) & 1;
+    let (new_i, new_j) = match kind {
+        FaultKind::StuckPass => (bi, bj),
+        FaultKind::StuckSwap => (bj, bi),
+        FaultKind::Inverted => (bi | bj, bi & bj),
+        FaultKind::Misrouted { new_bottom } => {
+            // Re-route: comparator acts between `top` and `new_bottom`
+            // (minimum to the top line).  `new_bottom == top` degenerates
+            // to a no-op, matching the lane engine.
+            let top = c.top();
+            let bt = (w >> top) & 1;
+            let bb = (w >> new_bottom) & 1;
+            return (w & !((1u64 << top) | (1u64 << new_bottom)))
+                | ((bt & bb) << top)
+                | ((bt | bb) << new_bottom);
+        }
+    };
+    (w & !((1u64 << i) | (1u64 << j))) | (new_i << i) | (new_j << j)
+}
+
 /// A faulty evaluation of a network on a 0/1 input: comparator
 /// `fault.comparator` misbehaves according to `fault.kind`.
 ///
@@ -18,7 +55,7 @@ pub fn faulty_apply_bits(network: &Network, fault: &Fault, input: &BitString) ->
         "fault index out of range"
     );
     assert_eq!(input.len(), network.lines(), "input length mismatch");
-    // The line indices below shift a u64 word; larger networks would make
+    // The line indices shift a u64 word; larger networks would make
     // `1u64 << i` undefined behaviour-shaped (a shift-overflow panic in
     // debug, a wrapped shift in release).
     assert!(
@@ -27,29 +64,11 @@ pub fn faulty_apply_bits(network: &Network, fault: &Fault, input: &BitString) ->
     );
     let mut w = input.word();
     for (idx, c) in network.comparators().iter().enumerate() {
-        let (i, j) = (c.min_line(), c.max_line());
-        let bi = (w >> i) & 1;
-        let bj = (w >> j) & 1;
-        let (new_i, new_j) = if idx == fault.comparator {
-            match fault.kind {
-                FaultKind::StuckPass => (bi, bj),
-                FaultKind::StuckSwap => (bj, bi),
-                FaultKind::Inverted => (bi | bj, bi & bj),
-                FaultKind::Misrouted { new_bottom } => {
-                    // Re-route: comparator acts between `top` and `new_bottom`.
-                    let top = c.top();
-                    let bt = (w >> top) & 1;
-                    let bb = (w >> new_bottom) & 1;
-                    w = (w & !((1u64 << top) | (1u64 << new_bottom)))
-                        | ((bt & bb) << top)
-                        | ((bt | bb) << new_bottom);
-                    continue;
-                }
-            }
+        w = if idx == fault.comparator {
+            step_word_faulty(c, fault.kind, w)
         } else {
-            (bi & bj, bi | bj)
+            step_word(c, w)
         };
-        w = (w & !((1u64 << i) | (1u64 << j))) | (new_i << i) | (new_j << j);
     }
     BitString::from_word(w, network.lines())
 }

@@ -1,0 +1,187 @@
+//! Differential oracle harness: every [`FaultUniverse`] × every
+//! [`FaultSimEngine`] must agree bit for bit.
+//!
+//! For each universe (single-comparator, stuck-line, and the two pair
+//! universes) on bubble and Batcher sorters up to `n = 8`:
+//!
+//! * the detection matrix is identical at lane widths `W ∈ {1, 2, 4}` and
+//!   equals the scalar lesion-timeline simulator cell by cell;
+//! * the early-exit first-detection sweep equals the scalar per-fault scan;
+//! * redundant-fault classification agrees between the scalar exhaustive
+//!   sweep, the per-fault bit-parallel re-run path, and the shared-prefix
+//!   batch sweep (the ROADMAP prefix-fork fix);
+//! * full coverage reports are `==` across all engines.
+//!
+//! The `n = 8` Batcher rows double as pins for the stuck-line and
+//! fault-pair results the PR's acceptance criteria name.
+
+use sortnet_faults::bitsim::{
+    detection_matrix_multi_wide, first_detections_multi_wide, is_fault_redundant_wide,
+    redundant_faults_multi_wide,
+};
+use sortnet_faults::coverage::{coverage_of_universe_with, FaultSimEngine};
+use sortnet_faults::universe::{
+    is_multi_fault_redundant, multi_detects, multi_first_detection_index, FaultUniverse,
+    MultiFault, StandardUniverse,
+};
+use sortnet_faults::{Fault, Lesion};
+use sortnet_network::builders::batcher::odd_even_merge_sort;
+use sortnet_network::builders::bubble::bubble_sort_network;
+use sortnet_network::lanes::LaneWidth;
+use sortnet_network::Network;
+use sortnet_testsets::sorting;
+
+/// The networks the differential suite sweeps.
+fn networks(n: usize) -> Vec<(&'static str, Network)> {
+    vec![
+        ("batcher", odd_even_merge_sort(n)),
+        ("bubble", bubble_sort_network(n)),
+    ]
+}
+
+#[test]
+fn detection_matrices_are_width_independent_and_match_the_scalar_oracle() {
+    for n in [4usize, 6] {
+        let tests = sorting::binary_testset(n);
+        for (label, net) in networks(n) {
+            for universe in StandardUniverse::ALL {
+                let faults: Vec<MultiFault> = universe.iter(&net).collect();
+                let w1 = detection_matrix_multi_wide::<1>(&net, &faults, &tests);
+                let w2 = detection_matrix_multi_wide::<2>(&net, &faults, &tests);
+                let w4 = detection_matrix_multi_wide::<4>(&net, &faults, &tests);
+                assert_eq!(w1, w2, "{label} n={n} {}", universe.name());
+                assert_eq!(w1, w4, "{label} n={n} {}", universe.name());
+                for (f, fault) in faults.iter().enumerate() {
+                    for (t, test) in tests.iter().enumerate() {
+                        assert_eq!(
+                            w1.is_detected_by(f, t),
+                            multi_detects(&net, fault, test),
+                            "{label} n={n} {} fault {fault} test {test}",
+                            universe.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn first_detections_match_the_scalar_scan_in_every_universe() {
+    for n in [4usize, 6, 8] {
+        let tests = sorting::binary_testset(n);
+        for (label, net) in networks(n) {
+            for universe in StandardUniverse::ALL {
+                let faults: Vec<MultiFault> = universe.iter(&net).collect();
+                let w1 = first_detections_multi_wide::<1>(&net, &faults, &tests);
+                let w2 = first_detections_multi_wide::<2>(&net, &faults, &tests);
+                let w4 = first_detections_multi_wide::<4>(&net, &faults, &tests);
+                assert_eq!(w1, w2, "{label} n={n} {}", universe.name());
+                assert_eq!(w1, w4, "{label} n={n} {}", universe.name());
+                for (f, fault) in faults.iter().enumerate() {
+                    assert_eq!(
+                        w1[f],
+                        multi_first_detection_index(&net, fault, &tests),
+                        "{label} n={n} {} fault {fault}",
+                        universe.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn redundancy_classification_agrees_across_all_three_paths() {
+    // Scalar exhaustive sweep vs the shared-prefix batch sweep, plus — for
+    // the single-comparator universe — the old per-fault re-run path the
+    // batch sweep replaced (the ROADMAP prefix-fork fix regression pin).
+    for n in [4usize, 6] {
+        for (label, net) in networks(n) {
+            for universe in StandardUniverse::ALL {
+                let faults: Vec<MultiFault> = universe.iter(&net).collect();
+                let batch = redundant_faults_multi_wide::<4>(&net, &faults);
+                let batch_w1 = redundant_faults_multi_wide::<1>(&net, &faults);
+                assert_eq!(batch, batch_w1, "{label} n={n} {}", universe.name());
+                for (i, fault) in faults.iter().enumerate() {
+                    assert_eq!(
+                        batch[i],
+                        is_multi_fault_redundant(&net, fault),
+                        "{label} n={n} {} fault {fault}",
+                        universe.name()
+                    );
+                }
+                if universe == StandardUniverse::SingleComparator {
+                    for (i, fault) in faults.iter().enumerate() {
+                        let [Lesion::Comparator(single)] = fault.lesions() else {
+                            panic!("single-comparator universe must yield comparator lesions")
+                        };
+                        let legacy: Fault = *single;
+                        assert_eq!(
+                            batch[i],
+                            is_fault_redundant_wide::<4>(&net, &legacy),
+                            "{label} n={n} per-fault path fault {fault}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn coverage_reports_are_identical_across_every_engine() {
+    let engines = [
+        FaultSimEngine::Scalar,
+        FaultSimEngine::BitParallel,
+        FaultSimEngine::BitParallelWide(LaneWidth::W1),
+        FaultSimEngine::BitParallelWide(LaneWidth::W2),
+        FaultSimEngine::BitParallelWide(LaneWidth::W4),
+    ];
+    for n in [4usize, 6, 8] {
+        let tests = sorting::binary_testset(n);
+        for (label, net) in networks(n) {
+            for universe in StandardUniverse::ALL {
+                let reference =
+                    coverage_of_universe_with(&net, &universe, &tests, true, engines[0]);
+                for engine in &engines[1..] {
+                    let report = coverage_of_universe_with(&net, &universe, &tests, true, *engine);
+                    assert_eq!(
+                        report,
+                        reference,
+                        "{label} n={n} {} engine {engine:?}",
+                        universe.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn batcher_n8_universe_results_are_pinned() {
+    // Acceptance pin: the stuck-line and fault-pair universes on Batcher's
+    // 8-line merge-exchange sorter with the Theorem 2.2 minimal 0/1 test
+    // set.  These concrete numbers are what experiment E10 prints; any
+    // engine or universe change that shifts them must be deliberate.
+    let net = odd_even_merge_sort(8);
+    let tests = sorting::binary_testset(8);
+    assert_eq!(net.size(), 19);
+    assert_eq!(tests.len(), 247);
+
+    let expected: [(StandardUniverse, usize, usize, usize, usize); 4] = [
+        // (universe, total, detected, missed, undetectable)
+        (StandardUniverse::SingleComparator, 85, 85, 0, 0),
+        (StandardUniverse::StuckLine, 92, 54, 8, 30),
+        (StandardUniverse::SingleComparatorPairs, 3419, 3419, 0, 0),
+        (StandardUniverse::StuckLinePairs, 4140, 3367, 118, 655),
+    ];
+    for (universe, total, detected, missed, undetectable) in expected {
+        let report =
+            coverage_of_universe_with(&net, &universe, &tests, true, FaultSimEngine::BitParallel);
+        assert_eq!(report.total_faults, total, "{}", universe.name());
+        assert_eq!(report.detected, detected, "{}", universe.name());
+        assert_eq!(report.missed, missed, "{}", universe.name());
+        assert_eq!(report.redundant_faults, undetectable, "{}", universe.name());
+    }
+}

@@ -299,6 +299,23 @@ impl<const W: usize> WideBlock<W> {
         self.lanes.swap(i, j);
     }
 
+    /// Forces line `line` to the constant `value` across every vector of
+    /// the block — the lane-level form of a stuck-at-0/1 wire segment.
+    /// Combined with [`WideBlock::copy_from`], this is the prefix-fork
+    /// injection primitive of the stuck-line fault universe: fork the
+    /// fault-free prefix state, overwrite one lane, run the suffix.
+    ///
+    /// Bits beyond [`WideBlock::count`] are forced too; every mask consumer
+    /// (`unsorted_masks`, `selector_violation_masks`) intersects with
+    /// [`WideBlock::live_masks`], so dead vectors stay invisible.
+    ///
+    /// # Panics
+    /// Panics if `line` is out of range.
+    #[inline]
+    pub fn fill_lane(&mut self, line: usize, value: bool) {
+        self.lanes[line] = if value { [u64::MAX; W] } else { [0u64; W] };
+    }
+
     /// Rewrites the pair of lanes `(i, j)` through an arbitrary 64-lane
     /// bitwise transfer function, applied word by word — the escape hatch
     /// for behavioural fault models that are not expressible as a plain
@@ -738,6 +755,24 @@ mod tests {
         });
         assert_eq!(outcome.witness, None);
         assert_eq!(outcome.tests_run, 64);
+    }
+
+    #[test]
+    fn fill_lane_forces_the_line_in_every_vector() {
+        let mut block = WideBlock::<2>::from_range(5, 0, 32);
+        block.fill_lane(1, true);
+        block.fill_lane(3, false);
+        for j in 0..32u32 {
+            let s = block.extract(j);
+            assert!(s.get(1), "vector {j}");
+            assert!(!s.get(3), "vector {j}");
+            // Untouched lanes keep the counting-pattern value.
+            assert_eq!(s.get(0), (j & 1) == 1, "vector {j}");
+        }
+        // Forced bits beyond count stay invisible to the mask consumers.
+        let mut partial = WideBlock::<1>::from_range(3, 0, 4);
+        partial.fill_lane(0, true);
+        assert_eq!(partial.unsorted_masks()[0] & !partial.live_mask(), 0);
     }
 
     #[test]

@@ -4,7 +4,8 @@
 
 use sortnet_combinat::BitString;
 use sortnet_faults::simulate::{detects, faulty_apply_bits, is_fault_redundant};
-use sortnet_faults::{coverage_of_tests, enumerate_faults, Fault, FaultKind};
+use sortnet_faults::universe::{FaultUniverse, SingleComparator};
+use sortnet_faults::{coverage_of_tests, coverage_of_universe, enumerate_faults, Fault, FaultKind};
 use sortnet_network::builders::batcher::odd_even_merge_sort;
 use sortnet_network::builders::bubble::bubble_sort_network;
 use sortnet_network::random::NetworkSampler;
@@ -80,6 +81,21 @@ fn fault_detection_is_consistent_with_the_faulty_simulator() {
             );
         }
     }
+}
+
+#[test]
+fn legacy_single_fault_coverage_is_the_single_comparator_universe() {
+    // The historical `coverage_of_tests` API is now a wrapper over the
+    // `FaultUniverse` machinery; the two must agree field for field
+    // (including the named missed/undetectable fault lists) and the
+    // universe must enumerate the same faults as `enumerate_faults`.
+    let net = odd_even_merge_sort(7);
+    let tests = sorting::binary_testset(7);
+    let legacy = coverage_of_tests(&net, &tests, true);
+    let universe = coverage_of_universe(&net, &SingleComparator, &tests, true);
+    assert_eq!(legacy, universe);
+    assert_eq!(legacy.total_faults, enumerate_faults(&net).len());
+    assert_eq!(legacy.total_faults, SingleComparator.len(&net));
 }
 
 #[test]
