@@ -6,24 +6,33 @@
 //! shared-prefix forking) on the same workload — Batcher's merge-exchange
 //! sorter with the Theorem 2.2 minimal 0/1 test set (`2^n − n − 1` tests) —
 //! at n ∈ {8, 16}.  The `lane_width_sweep` group races lane widths
-//! W ∈ {1, 2, 4} on the same coverage workload and on the plain exhaustive
-//! `2^n` sorter sweep at n ∈ {16, 20}.  The criterion shim writes the
-//! measurements to `target/bench-summaries/bench_fault_coverage.json` for
-//! the `BENCH_*` perf trajectory.
+//! W ∈ {1, 2, 4, 8, 16} on the same coverage workload and on the plain
+//! exhaustive `2^n` sorter sweep at n ∈ {16, 20} — the W sweet-spot study.
+//! The `simd_backend` group races the lane-ops backends (scalar /
+//! portable-chunked / AVX2 where the CPU has it) on the exhaustive sweep
+//! and on the two-level pair-universe redundancy sweep; `universe_sweep`
+//! covers the multi-fault universes with per-fault throughput annotations
+//! (`elements` = universe size in the JSON) so universes of different
+//! sizes are comparable.  The criterion shim writes the measurements to
+//! `target/bench-summaries/bench_fault_coverage.json` for the `BENCH_*`
+//! perf trajectory.
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 use sortnet_combinat::BitString;
+use sortnet_faults::universe::FaultUniverse;
 use sortnet_faults::{
-    coverage_of_tests, coverage_of_tests_with, coverage_of_universe_with, FaultSimEngine,
-    StandardUniverse,
+    coverage_of_tests, coverage_of_tests_with, coverage_of_universe_with,
+    redundant_faults_multi_on, FaultSimEngine, MultiFault, StandardUniverse,
 };
-use sortnet_network::bitparallel::{is_sorter_exhaustive_wide, ParallelismHint};
+use sortnet_network::bitparallel::{
+    is_sorter_exhaustive_backend, is_sorter_exhaustive_wide, ParallelismHint,
+};
 use sortnet_network::builders::batcher::odd_even_merge_sort;
-use sortnet_network::lanes::LaneWidth;
+use sortnet_network::lanes::{Backend, LaneWidth};
 use sortnet_network::random::NetworkSampler;
 use sortnet_testsets::sorting;
 
@@ -96,12 +105,13 @@ fn bench_engine_comparison_no_redundancy(c: &mut Criterion) {
 }
 
 fn bench_lane_width_sweep(c: &mut Criterion) {
-    // The PR's acceptance measurement: the same workloads at lane widths
-    // W ∈ {1, 2, 4}.  `coverage` runs the Theorem 2.2 minimal test set
-    // against the full single-fault universe (with redundancy sweeps for
-    // missed faults); `verify_exhaustive` is the plain `2^n` zero–one
+    // The W sweet-spot study: the same workloads at lane widths
+    // W ∈ {1, 2, 4, 8, 16}.  `coverage` runs the Theorem 2.2 minimal test
+    // set against the full single-fault universe (with redundancy sweeps
+    // for missed faults); `verify_exhaustive` is the plain `2^n` zero–one
     // sorter sweep.  Sequential hints so the comparison isolates the lane
-    // width from thread-pool effects.
+    // width from thread-pool effects; the runtime-detected backend (AVX2
+    // here where available) applies to every width equally.
     let mut group = c.benchmark_group("lane_width_sweep");
     group
         .sample_size(10)
@@ -114,6 +124,8 @@ fn bench_lane_width_sweep(c: &mut Criterion) {
         ("coverage_w1", LaneWidth::W1),
         ("coverage_w2", LaneWidth::W2),
         ("coverage_w4", LaneWidth::W4),
+        ("coverage_w8", LaneWidth::W8),
+        ("coverage_w16", LaneWidth::W16),
     ] {
         let engine = FaultSimEngine::BitParallelWide(width);
         group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
@@ -132,6 +144,83 @@ fn bench_lane_width_sweep(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("verify_exhaustive_w4", vn), &vn, |b, _| {
             b.iter(|| is_sorter_exhaustive_wide::<4>(black_box(&vnet), ParallelismHint::Sequential))
         });
+        group.bench_with_input(BenchmarkId::new("verify_exhaustive_w8", vn), &vn, |b, _| {
+            b.iter(|| is_sorter_exhaustive_wide::<8>(black_box(&vnet), ParallelismHint::Sequential))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("verify_exhaustive_w16", vn),
+            &vn,
+            |b, _| {
+                b.iter(|| {
+                    is_sorter_exhaustive_wide::<16>(black_box(&vnet), ParallelismHint::Sequential)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_simd_backend(c: &mut Criterion) {
+    // The lane-ops backends head to head, on the CPU's runnable set (the
+    // scalar reference and the portable chunked path everywhere; AVX2 on
+    // x86_64 CPUs that have it).  Two workloads: the n = 20 exhaustive
+    // zero–one sweep at W ∈ {4, 8} (pure comparator throughput) and the
+    // two-level pairs(stuck-line) batch redundancy sweep on Batcher n = 8
+    // (fork-heavy; the PR acceptance workload).
+    let mut group = c.benchmark_group("simd_backend");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+
+    let vnet = odd_even_merge_sort(20);
+    let net8 = odd_even_merge_sort(8);
+    let stuck_pairs: Vec<MultiFault> = StandardUniverse::StuckLinePairs.iter(&net8).collect();
+    // The verify benches run before any throughput annotation is set: the
+    // shim's throughput is sticky group state, and only the pair sweeps
+    // below are per-fault workloads.
+    for backend in Backend::runnable() {
+        group.bench_with_input(
+            BenchmarkId::new(format!("verify_n20_w4_{}", backend.name()), 20),
+            &backend,
+            |b, &backend| {
+                b.iter(|| {
+                    is_sorter_exhaustive_backend::<4>(
+                        black_box(&vnet),
+                        ParallelismHint::Sequential,
+                        backend,
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("verify_n20_w8_{}", backend.name()), 20),
+            &backend,
+            |b, &backend| {
+                b.iter(|| {
+                    is_sorter_exhaustive_backend::<8>(
+                        black_box(&vnet),
+                        ParallelismHint::Sequential,
+                        backend,
+                    )
+                })
+            },
+        );
+    }
+    group.throughput(Throughput::Elements(stuck_pairs.len() as u64));
+    for backend in Backend::runnable() {
+        group.bench_with_input(
+            BenchmarkId::new(format!("pairs_redundancy_n8_{}", backend.name()), 8),
+            &backend,
+            |b, &backend| {
+                b.iter(|| {
+                    redundant_faults_multi_on::<4>(
+                        black_box(&net8),
+                        black_box(&stuck_pairs),
+                        backend,
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -140,7 +229,11 @@ fn bench_universe_sweep(c: &mut Criterion) {
     // Multi-fault universes on the bit-parallel engine: the stuck-line
     // universe (linear in the network) and the quadratic pair universes,
     // all with the Theorem 2.2 minimal test set and redundancy
-    // classification via the shared-prefix batch sweep.
+    // classification via the shared-prefix batch sweep.  Each benchmark is
+    // annotated with its universe size (`elements` in the JSON), so the
+    // JSON consumer can normalise to per-fault throughput — universes
+    // differ by two orders of magnitude, and per-run times are not
+    // comparable across them.
     let mut group = c.benchmark_group("universe_sweep");
     group
         .sample_size(10)
@@ -155,6 +248,7 @@ fn bench_universe_sweep(c: &mut Criterion) {
             StandardUniverse::SingleComparatorPairs => "single_pairs",
             StandardUniverse::StuckLinePairs => "stuck_line_pairs",
         };
+        group.throughput(Throughput::Elements(universe.len(&net) as u64));
         group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
             b.iter(|| {
                 coverage_of_universe_with(
@@ -176,6 +270,7 @@ criterion_group!(
     bench_engine_comparison,
     bench_engine_comparison_no_redundancy,
     bench_lane_width_sweep,
+    bench_simd_backend,
     bench_universe_sweep
 );
 criterion_main!(benches);

@@ -347,8 +347,15 @@ pub fn e9_verification_cost(max_n: usize) -> Table {
 /// `missed` alone.
 #[must_use]
 pub fn e10_fault_coverage(n: usize) -> Table {
+    // The engines-agree column re-runs each row on the scalar oracle, so
+    // the active lane-ops backend (scalar / portable / avx2) is itself
+    // under test here — name it in the table title.
+    let title = format!(
+        "E10 — multi-universe fault coverage on Batcher's sorter (§1 VLSI motivation; lane backend: {})",
+        sortnet_network::lanes::Backend::active().name()
+    );
     let mut t = Table::new(
-        "E10 — multi-universe fault coverage on Batcher's sorter (§1 VLSI motivation)",
+        &title,
         &[
             "n",
             "universe",

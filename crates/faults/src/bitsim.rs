@@ -23,7 +23,7 @@
 //! unsorted, so one `unsorted_masks()` per fault per block yields `W × 64`
 //! detection verdicts at once.
 //!
-//! # Shared-prefix forking
+//! # Shared-prefix forking, in two levels
 //!
 //! Every fault of every [`FaultUniverse`](crate::universe::FaultUniverse)
 //! has a *fork site*: the cut position before which it is identical to the
@@ -41,6 +41,32 @@
 //! batch redundancy sweep ([`redundant_faults_multi_wide`]), which streams
 //! the exhaustive `2^n` family once for the whole fault set instead of
 //! re-running the fault-free prefix per fault.
+//!
+//! For **two-lesion faults** (the quadratic
+//! [`FaultPairs`](crate::universe::FaultPairs) universes, where many pairs
+//! share their *first* lesion) the fork nests: the sweep
+//! plan groups faults by first lesion, the block forks **once per group**
+//! from the fault-free prefix, applies the shared first lesion, and keeps
+//! that state as a *checkpoint*; each partner then forks from the
+//! checkpoint at its own second-lesion site and runs only the remaining
+//! suffix.  The checkpoint advances fault-free between partners, so the
+//! `first lesion → second lesion` span is evaluated once per group
+//! instead of once per pair — roughly halving the quadratic sweep's
+//! suffix work.  Correctness rests on the same invariant at both levels
+//! (see the [`sortnet_network::lanes`] docs): a shared state
+//! advanced through comparators `0..p` may only serve forks whose site is
+//! `≥ p`, so fork sites must be visited in nondecreasing order — the plan
+//! sorts groups by first-lesion timeline key (whose leading component is
+//! the fork site) and partners within a group by second-lesion site.
+//!
+//! # Lane backends
+//!
+//! All sweeps execute their word kernels on a pluggable lane-ops
+//! [`Backend`] (scalar / portable-chunked / AVX2, runtime-detected; see
+//! [`sortnet_network::lanes::backend`]).  Each entry point has a `*_on`
+//! form pinning the backend explicitly; the `*_wide` forms use
+//! [`Backend::active`].  Every backend produces bit-identical results —
+//! the differential suite sweeps backend × universe × width.
 //!
 //! # Entry points
 //!
@@ -65,7 +91,7 @@
 
 use sortnet_combinat::BitString;
 use sortnet_network::bitparallel;
-use sortnet_network::lanes::{self, WideBlock, DEFAULT_WIDTH};
+use sortnet_network::lanes::{self, Backend, WideBlock, DEFAULT_WIDTH};
 use sortnet_network::Network;
 
 use crate::model::{Fault, FaultKind};
@@ -77,6 +103,7 @@ use crate::universe::{Lesion, MultiFault};
 #[inline]
 fn apply_faulty_comparator<const W: usize>(
     network: &Network,
+    backend: Backend,
     fault: &Fault,
     block: &mut WideBlock<W>,
 ) {
@@ -84,7 +111,7 @@ fn apply_faulty_comparator<const W: usize>(
     match fault.kind {
         FaultKind::StuckPass => {}
         FaultKind::StuckSwap => block.swap_lanes(c.min_line(), c.max_line()),
-        FaultKind::Inverted => block.apply_comparator(c.max_line(), c.min_line()),
+        FaultKind::Inverted => block.apply_comparator_with(backend, c.max_line(), c.min_line()),
         // A misroute onto the comparator's own top line degenerates to a
         // no-op in the scalar simulator's word arithmetic; mirror that
         // instead of tripping `apply_comparator`'s distinct-lines assert.
@@ -92,7 +119,7 @@ fn apply_faulty_comparator<const W: usize>(
         // admits it.)
         FaultKind::Misrouted { new_bottom } => {
             if new_bottom != c.top() {
-                block.apply_comparator(c.top(), new_bottom);
+                block.apply_comparator_with(backend, c.top(), new_bottom);
             }
         }
     }
@@ -117,9 +144,10 @@ pub fn faulty_run_block<const W: usize>(
         fault.comparator < network.size(),
         "fault index out of range"
     );
-    block.run_range(network, 0, fault.comparator);
-    apply_faulty_comparator(network, fault, block);
-    block.run_range(network, fault.comparator + 1, network.size());
+    let backend = Backend::active();
+    block.run_range_with(backend, network, 0, fault.comparator);
+    apply_faulty_comparator(network, backend, fault, block);
+    block.run_range_with(backend, network, fault.comparator + 1, network.size());
 }
 
 /// Applies one lesion to a block whose comparators `0..pos` have already
@@ -128,18 +156,19 @@ pub fn faulty_run_block<const W: usize>(
 #[inline]
 fn apply_lesion_from<const W: usize>(
     network: &Network,
+    backend: Backend,
     lesion: &Lesion,
     block: &mut WideBlock<W>,
     pos: usize,
 ) -> usize {
     match lesion {
         Lesion::Comparator(fault) => {
-            block.run_range(network, pos, fault.comparator);
-            apply_faulty_comparator(network, fault, block);
+            block.run_range_with(backend, network, pos, fault.comparator);
+            apply_faulty_comparator(network, backend, fault, block);
             fault.comparator + 1
         }
         Lesion::Stuck(s) => {
-            block.run_range(network, pos, s.cut);
+            block.run_range_with(backend, network, pos, s.cut);
             block.fill_lane(s.line, s.value);
             s.cut
         }
@@ -154,15 +183,16 @@ fn apply_lesion_from<const W: usize>(
 /// Panics (in debug builds) if `pos` exceeds the fault's fork site.
 fn run_multi_from<const W: usize>(
     network: &Network,
+    backend: Backend,
     fault: &MultiFault,
     block: &mut WideBlock<W>,
     mut pos: usize,
 ) {
     debug_assert!(pos <= fault.fork_site(), "fork past the fault's site");
     for lesion in fault.lesions() {
-        pos = apply_lesion_from(network, lesion, block, pos);
+        pos = apply_lesion_from(network, backend, lesion, block, pos);
     }
-    block.run_range(network, pos, network.size());
+    block.run_range_with(backend, network, pos, network.size());
 }
 
 /// Runs the multi-fault network over one block of up to `W × 64` test
@@ -178,7 +208,7 @@ pub fn multi_faulty_run_block<const W: usize>(
     block: &mut WideBlock<W>,
 ) {
     fault.assert_in_range(network);
-    run_multi_from(network, fault, block, 0);
+    run_multi_from(network, Backend::active(), fault, block, 0);
 }
 
 /// A faults × tests detection bitmap: bit `t` of row `f` is set when test
@@ -260,48 +290,174 @@ impl DetectionMatrix {
     }
 }
 
-/// Fault indices sorted (stably) by fork site, so one incremental
-/// fault-free prefix pass per block can serve every fault — the
-/// enumeration order of the slice itself stays the row/result order.
-fn site_order(network: &Network, faults: &[MultiFault]) -> Vec<usize> {
-    for fault in faults {
-        fault.assert_in_range(network);
-    }
-    let mut order: Vec<usize> = (0..faults.len()).collect();
-    order.sort_by_key(|&i| faults[i].fork_site());
-    order
+/// Precomputed traversal order for [`sweep_block_multi`]: fault indices
+/// sorted by the first lesion's timeline key and — within equal first
+/// lesions — by second-lesion fork site, then cut into contiguous
+/// *groups* of faults sharing their first lesion.
+///
+/// The double sort realises the fork invariant at both levels (see the
+/// module docs): group fork sites are nondecreasing across the sweep
+/// (the timeline key's leading component is the fork site), and
+/// second-lesion sites are nondecreasing within each group.  The
+/// enumeration order of the fault slice itself stays the row/result
+/// order — a plan only changes the *visit* order.
+struct SweepPlan {
+    /// Fault indices in visit order; groups are contiguous runs.
+    members: Vec<usize>,
+    /// Exclusive end offset of each group in `members`.
+    group_ends: Vec<usize>,
 }
 
-/// Sweeps one block of tests over every fault via shared-prefix forking and
-/// hands each `(fault index, detected-masks)` pair to `record`.
+/// Sort key of one planned fault: `(first-lesion timeline key,
+/// second-lesion fork site, enumeration index)`.
+type PlanKey = ((usize, u8, usize, usize), usize, usize);
+
+impl SweepPlan {
+    fn new(network: &Network, faults: &[MultiFault]) -> Self {
+        // Keys are materialised once and sorted as plain primitive tuples:
+        // `sort_by_key` recomputes its key per *comparison*, which made
+        // plan construction a measurable slice of quadratic pair sweeps
+        // (~57 µs of a ~400 µs pairs(stuck-line) n = 8 coverage run).
+        let mut keyed: Vec<PlanKey> = Vec::with_capacity(faults.len());
+        for (i, fault) in faults.iter().enumerate() {
+            fault.assert_in_range(network);
+            let lesions = fault.lesions();
+            let second_site = lesions.get(1).map_or(0, Lesion::fork_site);
+            keyed.push((lesions[0].order_key(), second_site, i));
+        }
+        keyed.sort_unstable();
+        let mut members = Vec::with_capacity(keyed.len());
+        let mut group_ends = Vec::new();
+        // The timeline key encodes the whole lesion, so equal keys ⟺ equal
+        // first lesions: grouping needs no lesion comparisons.
+        let mut prev_key = None;
+        for &(key, _, idx) in &keyed {
+            if prev_key != Some(key) {
+                if !members.is_empty() {
+                    group_ends.push(members.len());
+                }
+                prev_key = Some(key);
+            }
+            members.push(idx);
+        }
+        if !members.is_empty() {
+            group_ends.push(members.len());
+        }
+        Self {
+            members,
+            group_ends,
+        }
+    }
+
+    /// The groups, in visit order: each is a slice of fault indices
+    /// sharing one first lesion.
+    fn groups(&self) -> impl Iterator<Item = &[usize]> {
+        self.group_ends.iter().scan(0usize, |start, &end| {
+            let group = &self.members[*start..end];
+            *start = end;
+            Some(group)
+        })
+    }
+}
+
+/// Sweeps one block of tests over every fault via **two-level**
+/// shared-prefix forking and hands each `(fault index, detected-masks)`
+/// pair to `record`.
 ///
-/// `order` is the [`site_order`] of `faults`; `skip` filters faults out of
+/// Level 1: the fault-free prefix advances incrementally across groups
+/// (nondecreasing first-lesion sites); each multi-member group forks it
+/// once, applies the shared first lesion, and keeps the result as a
+/// checkpoint.  Level 2: the checkpoint advances fault-free within the
+/// group (nondecreasing second-lesion sites); each partner forks it,
+/// applies its second lesion, and runs only the remaining suffix.
+/// Singleton groups fork straight off the prefix — identical to the
+/// single-level engine, with no checkpoint copy.
+///
+/// `plan` is the [`SweepPlan`] of `faults`; `skip` filters faults out of
 /// the sweep (used for early exit once a fault has been detected in an
-/// earlier block).
+/// earlier block) — a fully-skipped group costs nothing beyond the
+/// shared prefix advance.
 fn sweep_block_multi<const W: usize>(
     network: &Network,
-    order: &[usize],
+    backend: Backend,
+    plan: &SweepPlan,
     faults: &[MultiFault],
     block: &WideBlock<W>,
     skip: impl Fn(usize) -> bool,
     mut record: impl FnMut(usize, [u64; W]),
 ) {
     let mut prefix = block.clone();
+    let mut checkpoint = block.clone();
     let mut fork = block.clone();
+    // The live mask depends only on the block's count — hoist it and
+    // intersect the raw fused run-and-scan masks per fault.
+    let live = block.live_masks();
+    let size = network.size();
     let mut pos = 0usize;
-    for &fault_idx in order {
-        let site = faults[fault_idx].fork_site();
-        debug_assert!(site >= pos, "site order must be nondecreasing");
+    for group in plan.groups() {
+        let first = faults[group[0]].lesions()[0];
+        let site = first.fork_site();
+        debug_assert!(site >= pos, "group sites must be nondecreasing");
         if site > pos {
-            prefix.run_range(network, pos, site);
+            prefix.run_range_with(backend, network, pos, site);
             pos = site;
         }
-        if skip(fault_idx) {
+        if let [fault_idx] = *group {
+            // Singleton group: single-level fork off the fault-free prefix.
+            if skip(fault_idx) {
+                continue;
+            }
+            fork.copy_from(&prefix);
+            let mut p = pos;
+            for lesion in faults[fault_idx].lesions() {
+                p = apply_lesion_from(network, backend, lesion, &mut fork, p);
+            }
+            let mut masks = fork.run_range_scan_with(backend, network, p, size);
+            for w in 0..W {
+                masks[w] &= live[w];
+            }
+            record(fault_idx, masks);
             continue;
         }
-        fork.copy_from(&prefix);
-        run_multi_from(network, &faults[fault_idx], &mut fork, pos);
-        record(fault_idx, fork.unsorted_masks());
+        if group.iter().all(|&i| skip(i)) {
+            continue;
+        }
+        // Level-1 fork: apply the group's shared first lesion once.
+        checkpoint.copy_from(&prefix);
+        let mut cpos = apply_lesion_from(network, backend, &first, &mut checkpoint, pos);
+        for &fault_idx in group {
+            if skip(fault_idx) {
+                continue;
+            }
+            let end = match faults[fault_idx].lesions() {
+                // A single-lesion fault sharing the group's lesion: the
+                // checkpoint (first lesion + fault-free continuation to
+                // `cpos`) is already its evaluation up to `cpos`.
+                [_] => {
+                    fork.copy_from(&checkpoint);
+                    cpos
+                }
+                // Level-2 fork: advance the checkpoint fault-free to the
+                // partner's site, snapshot, apply the second lesion.
+                [_, second] => {
+                    let second_site = second.fork_site();
+                    debug_assert!(second_site >= cpos, "partner sites must be nondecreasing");
+                    if second_site > cpos {
+                        checkpoint.run_range_with(backend, network, cpos, second_site);
+                        cpos = second_site;
+                    }
+                    fork.copy_from(&checkpoint);
+                    apply_lesion_from(network, backend, second, &mut fork, cpos)
+                }
+                _ => unreachable!("a MultiFault holds 1 or 2 lesions"),
+            };
+            // Fused suffix run + sortedness scan: one dispatch per fork.
+            let mut masks = fork.run_range_scan_with(backend, network, end, size);
+            for w in 0..W {
+                masks[w] &= live[w];
+            }
+            record(fault_idx, masks);
+        }
     }
 }
 
@@ -323,8 +479,24 @@ pub fn detection_matrix_multi_wide<const W: usize>(
     faults: &[MultiFault],
     tests: &[BitString],
 ) -> DetectionMatrix {
+    detection_matrix_multi_on::<W>(network, faults, tests, Backend::active())
+}
+
+/// [`detection_matrix_multi_wide`] pinned to an explicit lane-ops
+/// [`Backend`] — the matrix is identical for every backend and width.
+///
+/// # Panics
+/// Panics if a fault does not fit the network or a test's length
+/// mismatches the network.
+#[must_use]
+pub fn detection_matrix_multi_on<const W: usize>(
+    network: &Network,
+    faults: &[MultiFault],
+    tests: &[BitString],
+    backend: Backend,
+) -> DetectionMatrix {
     let n = network.lines();
-    let order = site_order(network, faults);
+    let plan = SweepPlan::new(network, faults);
     let words_per_fault = tests.len().div_ceil(64).max(1);
     let mut bits = vec![0u64; faults.len() * words_per_fault];
     let capacity = WideBlock::<W>::capacity() as usize;
@@ -333,7 +505,8 @@ pub fn detection_matrix_multi_wide<const W: usize>(
         let words_here = chunk.len().div_ceil(64);
         sweep_block_multi(
             network,
-            &order,
+            backend,
+            &plan,
             faults,
             &block,
             |_| false,
@@ -396,34 +569,52 @@ pub fn first_detections_multi_wide<const W: usize>(
     faults: &[MultiFault],
     tests: &[BitString],
 ) -> Vec<Option<usize>> {
+    first_detections_multi_on::<W>(network, faults, tests, Backend::active())
+}
+
+/// [`first_detections_multi_wide`] pinned to an explicit lane-ops
+/// [`Backend`].
+///
+/// # Panics
+/// Panics if a fault does not fit the network or a test's length
+/// mismatches the network.
+#[must_use]
+pub fn first_detections_multi_on<const W: usize>(
+    network: &Network,
+    faults: &[MultiFault],
+    tests: &[BitString],
+    backend: Backend,
+) -> Vec<Option<usize>> {
     let n = network.lines();
-    let order = site_order(network, faults);
+    let plan = SweepPlan::new(network, faults);
     let mut first: Vec<Option<usize>> = vec![None; faults.len()];
     let mut undetected = faults.len();
     let capacity = WideBlock::<W>::capacity() as usize;
+    // The borrow of `first` inside both sweep closures is disjoint in time
+    // (skip reads before record writes per fault), but the compiler cannot
+    // see that — collect each block's verdicts first, in a buffer reused
+    // across blocks.
+    let mut hits: Vec<(usize, u32)> = Vec::with_capacity(faults.len());
     for (block_idx, chunk) in tests.chunks(capacity).enumerate() {
         if undetected == 0 {
             break;
         }
         let block = WideBlock::<W>::from_strings(n, chunk);
-        // The borrow of `first` inside both closures is disjoint in time
-        // (skip reads before record writes per fault), but the compiler
-        // cannot see that — collect the block's verdicts first.
-        let mut hits: Vec<(usize, [u64; W])> = Vec::new();
+        hits.clear();
         sweep_block_multi(
             network,
-            &order,
+            backend,
+            &plan,
             faults,
             &block,
             |fault_idx| first[fault_idx].is_some(),
             |fault_idx, masks| {
-                if lanes::mask_any(&masks) {
-                    hits.push((fault_idx, masks));
+                if let Some(j) = lanes::mask_first(&masks) {
+                    hits.push((fault_idx, j));
                 }
             },
         );
-        for (fault_idx, masks) in hits {
-            let j = lanes::mask_first(&masks).expect("hit must have a set bit");
+        for &(fault_idx, j) in &hits {
             first[fault_idx] = Some(block_idx * capacity + j as usize);
             undetected -= 1;
         }
@@ -477,11 +668,12 @@ pub fn is_fault_redundant_wide<const W: usize>(network: &Network, fault: &Fault)
         fault.comparator < network.size(),
         "fault index out of range"
     );
+    let backend = Backend::active();
     (0..bitparallel::sweep_block_count_wide::<W>(n)).all(|b| {
         let (start, count) = bitparallel::sweep_block_range_wide::<W>(n, b);
         let mut block = WideBlock::<W>::from_range(n, start, count);
         faulty_run_block(network, fault, &mut block);
-        !lanes::mask_any(&block.unsorted_masks())
+        !lanes::mask_any(&block.unsorted_masks_with(backend))
     })
 }
 
@@ -513,23 +705,40 @@ pub fn redundant_faults_multi_wide<const W: usize>(
     network: &Network,
     faults: &[MultiFault],
 ) -> Vec<bool> {
+    redundant_faults_multi_on::<W>(network, faults, Backend::active())
+}
+
+/// [`redundant_faults_multi_wide`] pinned to an explicit lane-ops
+/// [`Backend`].
+///
+/// # Panics
+/// Panics if a fault does not fit the network or `n ≥ 32` (an empty fault
+/// slice never sweeps, so it is accepted for every `n`).
+#[must_use]
+pub fn redundant_faults_multi_on<const W: usize>(
+    network: &Network,
+    faults: &[MultiFault],
+    backend: Backend,
+) -> Vec<bool> {
     if faults.is_empty() {
         return Vec::new();
     }
     let n = network.lines();
-    let order = site_order(network, faults);
+    let plan = SweepPlan::new(network, faults);
     let mut redundant = vec![true; faults.len()];
     let mut undecided = faults.len();
+    let mut hits: Vec<usize> = Vec::with_capacity(faults.len());
     for b in 0..bitparallel::sweep_block_count_wide::<W>(n) {
         if undecided == 0 {
             break;
         }
         let (start, count) = bitparallel::sweep_block_range_wide::<W>(n, b);
         let block = WideBlock::<W>::from_range(n, start, count);
-        let mut hits: Vec<usize> = Vec::new();
+        hits.clear();
         sweep_block_multi(
             network,
-            &order,
+            backend,
+            &plan,
             faults,
             &block,
             |fault_idx| !redundant[fault_idx],
@@ -539,7 +748,7 @@ pub fn redundant_faults_multi_wide<const W: usize>(
                 }
             },
         );
-        for fault_idx in hits {
+        for &fault_idx in &hits {
             redundant[fault_idx] = false;
             undecided -= 1;
         }
@@ -766,6 +975,58 @@ mod tests {
             redundant_faults_multi_wide::<4>(&net, &[]),
             Vec::<bool>::new()
         );
+    }
+
+    #[test]
+    fn sweep_plan_groups_realise_the_two_level_fork_invariant() {
+        // The plan must (a) visit every fault exactly once, (b) group
+        // faults by identical first lesion into contiguous runs, (c) keep
+        // group fork sites nondecreasing across the sweep, and (d) keep
+        // second-lesion sites nondecreasing within each group — the two
+        // ordering preconditions `sweep_block_multi` debug-asserts.
+        use crate::universe::{FaultUniverse, StandardUniverse};
+        let net = odd_even_merge_sort(6);
+        for universe in StandardUniverse::ALL {
+            let faults: Vec<MultiFault> = universe.iter(&net).collect();
+            let plan = SweepPlan::new(&net, &faults);
+            let mut seen: Vec<usize> = plan.members.clone();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..faults.len()).collect::<Vec<_>>());
+            let mut prev_site = 0usize;
+            let mut first_lesions = Vec::new();
+            for group in plan.groups() {
+                let first = faults[group[0]].lesions()[0];
+                assert!(first.fork_site() >= prev_site, "{}", universe.name());
+                prev_site = first.fork_site();
+                first_lesions.push(first);
+                let mut prev_second = 0usize;
+                for &idx in group {
+                    assert_eq!(
+                        faults[idx].lesions()[0],
+                        first,
+                        "{}: group must share its first lesion",
+                        universe.name()
+                    );
+                    let second = faults[idx].lesions().get(1).map_or(0, Lesion::fork_site);
+                    assert!(second >= prev_second, "{}", universe.name());
+                    prev_second = second;
+                }
+            }
+            // Grouping is maximal: no first lesion spans two groups.
+            let unique: std::collections::HashSet<_> = first_lesions.iter().collect();
+            assert_eq!(unique.len(), first_lesions.len(), "{}", universe.name());
+            // Pair universes actually exercise the second fork level.
+            if matches!(
+                universe,
+                StandardUniverse::SingleComparatorPairs | StandardUniverse::StuckLinePairs
+            ) {
+                assert!(
+                    plan.groups().any(|g| g.len() > 1),
+                    "{}: expected multi-member groups",
+                    universe.name()
+                );
+            }
+        }
     }
 
     #[test]

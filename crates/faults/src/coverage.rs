@@ -85,7 +85,7 @@ fn bitparallel_results<const W: usize>(
     faults: &[MultiFault],
     tests: &[BitString],
     check_redundancy: bool,
-) -> Vec<(Option<usize>, bool)> {
+) -> (Vec<Option<usize>>, Vec<bool>) {
     let first = first_detections_multi_wide::<W>(network, faults, tests);
     let mut redundant = vec![false; faults.len()];
     if check_redundancy {
@@ -98,7 +98,7 @@ fn bitparallel_results<const W: usize>(
             redundant[i] = flag;
         }
     }
-    first.into_iter().zip(redundant).collect()
+    (first, redundant)
 }
 
 /// Runs every fault of the `universe` against the test sequence `tests`
@@ -138,7 +138,12 @@ pub fn coverage_of_universe_with(
     check_redundancy: bool,
     engine: FaultSimEngine,
 ) -> CoverageReport {
-    let faults: Vec<MultiFault> = universe.iter(network).collect();
+    // Exact-size reservation: `len` is cheap for every universe (the pair
+    // universes count conflict classes instead of enumerating), and the
+    // quadratic universes are large enough for collect-and-double to show
+    // up in the sweep benches.
+    let mut faults: Vec<MultiFault> = Vec::with_capacity(universe.len(network));
+    faults.extend(universe.iter(network));
     coverage_of_multifaults_with(network, &faults, tests, check_redundancy, engine)
 }
 
@@ -152,7 +157,7 @@ pub fn coverage_of_multifaults_with(
     check_redundancy: bool,
     engine: FaultSimEngine,
 ) -> CoverageReport {
-    let results: Vec<(Option<usize>, bool)> = match engine {
+    let (first, redundant): (Vec<Option<usize>>, Vec<bool>) = match engine {
         FaultSimEngine::Scalar => faults
             .par_iter()
             .map(|fault: &MultiFault| {
@@ -164,7 +169,9 @@ pub fn coverage_of_multifaults_with(
                 };
                 (first, redundant)
             })
-            .collect(),
+            .collect::<Vec<(Option<usize>, bool)>>()
+            .into_iter()
+            .unzip(),
         FaultSimEngine::BitParallel => {
             bitparallel_results::<DEFAULT_WIDTH>(network, faults, tests, check_redundancy)
         }
@@ -173,25 +180,31 @@ pub fn coverage_of_multifaults_with(
             LaneWidth::W2 => bitparallel_results::<2>(network, faults, tests, check_redundancy),
             LaneWidth::W4 => bitparallel_results::<4>(network, faults, tests, check_redundancy),
             LaneWidth::W8 => bitparallel_results::<8>(network, faults, tests, check_redundancy),
+            LaneWidth::W16 => bitparallel_results::<16>(network, faults, tests, check_redundancy),
         },
     };
 
+    // One pass folds the per-fault verdicts into every summary statistic —
+    // the multi-pass zip/collect chain this replaces was a visible slice of
+    // quadratic pair-universe sweeps.
     let total_faults = faults.len();
-    let undetectable_faults: Vec<MultiFault> = results
-        .iter()
-        .zip(faults)
-        .filter(|((_, r), _)| *r)
-        .map(|(_, f)| *f)
-        .collect();
-    let missed_faults: Vec<MultiFault> = results
-        .iter()
-        .zip(faults)
-        .filter(|((first, r), _)| first.is_none() && !*r)
-        .map(|(_, f)| *f)
-        .collect();
+    let mut undetectable_faults: Vec<MultiFault> = Vec::new();
+    let mut missed_faults: Vec<MultiFault> = Vec::new();
+    let mut detected = 0usize;
+    let mut first_sum = 0.0f64;
+    let mut max_first_detection = 0usize;
+    for ((f, r), fault) in first.iter().zip(&redundant).zip(faults) {
+        match f {
+            Some(i) => {
+                detected += 1;
+                first_sum += (i + 1) as f64;
+                max_first_detection = max_first_detection.max(i + 1);
+            }
+            None if *r => undetectable_faults.push(*fault),
+            None => missed_faults.push(*fault),
+        }
+    }
     let redundant_faults = undetectable_faults.len();
-    let detected_indices: Vec<usize> = results.iter().filter_map(|(f, _)| *f).collect();
-    let detected = detected_indices.len();
     let missed = missed_faults.len();
     debug_assert_eq!(detected + missed + redundant_faults, total_faults);
     let detectable = detected + missed;
@@ -203,9 +216,8 @@ pub fn coverage_of_multifaults_with(
     let mean_first_detection = if detected == 0 {
         0.0
     } else {
-        detected_indices.iter().map(|i| (i + 1) as f64).sum::<f64>() / detected as f64
+        first_sum / detected as f64
     };
-    let max_first_detection = detected_indices.iter().map(|i| i + 1).max().unwrap_or(0);
     CoverageReport {
         total_faults,
         redundant_faults,

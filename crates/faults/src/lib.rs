@@ -29,11 +29,16 @@
 //! [`simulate`] / [`universe`] (one fault × one test per call) and the
 //! width-generic bit-parallel engine in [`bitsim`] (`W × 64` tests per
 //! pass with shared-prefix forking on
-//! `sortnet_network::lanes::WideBlock<W>`), selected — including the lane
-//! width — via [`coverage::FaultSimEngine`].  The bit-parallel engine is
-//! the default hot path; the scalar one is kept as its cross-check oracle
-//! (the differential-universe suite holds every universe × engine × lane
-//! width to bit-identical detection matrices).
+//! `sortnet_network::lanes::WideBlock<W>` — nested two-level forking for
+//! pair universes, sharing the post-first-lesion state across partners),
+//! selected — including the lane width — via
+//! [`coverage::FaultSimEngine`].  The bit-parallel engine's word kernels
+//! run on a runtime-selected lane-ops backend (scalar / portable-chunked /
+//! AVX2; `sortnet_network::lanes::Backend`), pinnable per sweep through
+//! the `*_on` entry points.  The bit-parallel engine is the default hot
+//! path; the scalar one is kept as its cross-check oracle (the
+//! differential-universe suite holds every universe × engine × lane width
+//! × backend to bit-identical detection matrices).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,10 +50,12 @@ pub mod simulate;
 pub mod universe;
 
 pub use bitsim::{
-    detection_matrix, detection_matrix_multi_wide, detection_matrix_wide, faulty_run_block,
-    first_detections, first_detections_multi_wide, first_detections_wide,
-    is_fault_redundant_bitparallel, is_fault_redundant_wide, is_multi_fault_redundant_wide,
-    multi_faulty_run_block, redundant_faults_multi, redundant_faults_multi_wide, DetectionMatrix,
+    detection_matrix, detection_matrix_multi_on, detection_matrix_multi_wide,
+    detection_matrix_wide, faulty_run_block, first_detections, first_detections_multi_on,
+    first_detections_multi_wide, first_detections_wide, is_fault_redundant_bitparallel,
+    is_fault_redundant_wide, is_multi_fault_redundant_wide, multi_faulty_run_block,
+    redundant_faults_multi, redundant_faults_multi_on, redundant_faults_multi_wide,
+    DetectionMatrix,
 };
 pub use coverage::{
     coverage_of_multifaults_with, coverage_of_tests, coverage_of_tests_with, coverage_of_universe,

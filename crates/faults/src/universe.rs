@@ -117,7 +117,13 @@ impl Lesion {
     /// content, so [`MultiFault::pair`] is canonical — `pair(a, b)` and
     /// `pair(b, a)` are structurally equal — even when two lesions share a
     /// timeline position (e.g. two stuck segments at the same cut).
-    fn order_key(&self) -> (usize, u8, usize, usize) {
+    ///
+    /// Crate-visible because the bit-parallel engine sorts its sweep plan
+    /// by this key: ordering faults by the first lesion's key groups equal
+    /// first lesions contiguously *and* keeps fork sites nondecreasing
+    /// (the key's leading component is [`Lesion::fork_site`]), which is
+    /// exactly what two-level prefix forking needs.
+    pub(crate) fn order_key(&self) -> (usize, u8, usize, usize) {
         match self {
             Self::Stuck(s) => (s.cut, 0, s.line, usize::from(s.value)),
             Self::Comparator(f) => {
@@ -218,6 +224,23 @@ impl MultiFault {
         } else {
             (a, b)
         };
+        Self {
+            lesions: [first, second],
+            len: 2,
+        }
+    }
+
+    /// Pair constructor for callers that have already normalised the two
+    /// lesions into timeline order and checked them for conflicts — the
+    /// lazy pair enumerator, which compares *cached* order keys instead of
+    /// re-deriving them per pair (the derivation showed up in quadratic
+    /// universe enumerations).
+    pub(crate) fn pair_in_order(first: Lesion, second: Lesion) -> Self {
+        debug_assert!(!first.conflicts_with(&second), "conflicting lesions");
+        debug_assert!(
+            first.order_key() <= second.order_key(),
+            "pair lesions must arrive in timeline order"
+        );
         Self {
             lesions: [first, second],
             len: 2,
@@ -454,6 +477,34 @@ impl<U: FaultUniverse> FaultUniverse for FaultPairs<U> {
         format!("pairs({})", self.0.name())
     }
 
+    fn len(&self, network: &Network) -> usize {
+        // Counted without materialising the quadratic pair space: lesions
+        // conflict exactly within their *conflict class* (all faults of one
+        // comparator; the two stuck values of one segment), so the skipped
+        // pairs are Σ C(class size, 2) over classes.
+        #[derive(PartialEq, Eq, Hash)]
+        enum ConflictClass {
+            Comparator(usize),
+            Segment(usize, usize),
+        }
+        let mut class_sizes: std::collections::HashMap<ConflictClass, usize> =
+            std::collections::HashMap::new();
+        let mut base = 0usize;
+        for fault in self.0.iter(network) {
+            let [lesion] = fault.lesions() else {
+                panic!("FaultPairs requires a single-lesion base universe")
+            };
+            base += 1;
+            let class = match lesion {
+                Lesion::Comparator(f) => ConflictClass::Comparator(f.comparator),
+                Lesion::Stuck(s) => ConflictClass::Segment(s.line, s.cut),
+            };
+            *class_sizes.entry(class).or_insert(0) += 1;
+        }
+        let conflicting: usize = class_sizes.values().map(|&s| s * (s - 1) / 2).sum();
+        base * base.saturating_sub(1) / 2 - conflicting
+    }
+
     fn iter<'a>(&'a self, network: &'a Network) -> Box<dyn Iterator<Item = MultiFault> + 'a> {
         // One base enumeration (linear), then the quadratic pair space is
         // streamed lazily from the collected lesions.
@@ -467,14 +518,23 @@ impl<U: FaultUniverse> FaultUniverse for FaultPairs<U> {
                 *lesion
             })
             .collect();
-        Box::new(PairIter { base, i: 0, j: 1 })
+        let keys = base.iter().map(Lesion::order_key).collect();
+        Box::new(PairIter {
+            base,
+            keys,
+            i: 0,
+            j: 1,
+        })
     }
 }
 
 /// Lazy 2-subset iterator over an owned lesion list, in `(i, j)` index
-/// order with `i < j`, skipping conflicting members.
+/// order with `i < j`, skipping conflicting members.  Timeline keys are
+/// computed once per base lesion, so normalising each of the `O(|base|²)`
+/// pairs into timeline order is a cached-key comparison.
 struct PairIter {
     base: Vec<Lesion>,
+    keys: Vec<(usize, u8, usize, usize)>,
     i: usize,
     j: usize,
 }
@@ -487,9 +547,14 @@ impl Iterator for PairIter {
             if self.j < self.base.len() {
                 let a = self.base[self.i];
                 let b = self.base[self.j];
+                let ordered = if self.keys[self.j] < self.keys[self.i] {
+                    (b, a)
+                } else {
+                    (a, b)
+                };
                 self.j += 1;
                 if !a.conflicts_with(&b) {
-                    return Some(MultiFault::pair(a, b));
+                    return Some(MultiFault::pair_in_order(ordered.0, ordered.1));
                 }
             } else {
                 self.i += 1;

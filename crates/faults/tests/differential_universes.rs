@@ -1,23 +1,34 @@
 //! Differential oracle harness: every [`FaultUniverse`] × every
-//! [`FaultSimEngine`] must agree bit for bit.
+//! [`FaultSimEngine`] × every lane-ops backend must agree bit for bit.
 //!
 //! For each universe (single-comparator, stuck-line, and the two pair
 //! universes) on bubble and Batcher sorters up to `n = 8`:
 //!
-//! * the detection matrix is identical at lane widths `W ∈ {1, 2, 4}` and
-//!   equals the scalar lesion-timeline simulator cell by cell;
+//! * the detection matrix is identical at lane widths
+//!   `W ∈ {1, 2, 4, 8, 16}`, on every runnable [`Backend`] (scalar,
+//!   portable-chunked, and AVX2 where the CPU has it), and equals the
+//!   scalar lesion-timeline simulator cell by cell;
 //! * the early-exit first-detection sweep equals the scalar per-fault scan;
 //! * redundant-fault classification agrees between the scalar exhaustive
 //!   sweep, the per-fault bit-parallel re-run path, and the shared-prefix
-//!   batch sweep (the ROADMAP prefix-fork fix);
-//! * full coverage reports are `==` across all engines.
+//!   batch sweep (the ROADMAP prefix-fork fix) — on every backend;
+//! * full coverage reports are `==` across all engines;
+//! * the **two-level pair fork** (checkpoint after the shared first
+//!   lesion) is bit-identical to the single-fork reference that evaluates
+//!   every fault's full lesion timeline from the block start
+//!   ([`multi_faulty_run_block`]), pinned by a proptest over random
+//!   networks and random pair subsets.
 //!
 //! The `n = 8` Batcher rows double as pins for the stuck-line and
 //! fault-pair results the PR's acceptance criteria name.
 
+use proptest::prelude::*;
+
+use sortnet_combinat::BitString;
 use sortnet_faults::bitsim::{
-    detection_matrix_multi_wide, first_detections_multi_wide, is_fault_redundant_wide,
-    redundant_faults_multi_wide,
+    detection_matrix_multi_on, detection_matrix_multi_wide, first_detections_multi_wide,
+    is_fault_redundant_wide, multi_faulty_run_block, redundant_faults_multi_on,
+    redundant_faults_multi_wide, DetectionMatrix,
 };
 use sortnet_faults::coverage::{coverage_of_universe_with, FaultSimEngine};
 use sortnet_faults::universe::{
@@ -27,8 +38,8 @@ use sortnet_faults::universe::{
 use sortnet_faults::{Fault, Lesion};
 use sortnet_network::builders::batcher::odd_even_merge_sort;
 use sortnet_network::builders::bubble::bubble_sort_network;
-use sortnet_network::lanes::LaneWidth;
-use sortnet_network::Network;
+use sortnet_network::lanes::{Backend, LaneWidth, WideBlock};
+use sortnet_network::{Comparator, Network};
 use sortnet_testsets::sorting;
 
 /// The networks the differential suite sweeps.
@@ -60,6 +71,84 @@ fn detection_matrices_are_width_independent_and_match_the_scalar_oracle() {
                             universe.name()
                         );
                     }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn detection_matrices_are_backend_independent_across_all_widths() {
+    // The SIMD acceptance matrix: backend × universe × W ∈ {1, 2, 4, 8, 16}
+    // must all equal the scalar-backend W = 1 matrix (which in turn equals
+    // the PR 1 single-word engine — pinned by
+    // `detection_matrices_are_width_independent_and_match_the_scalar_oracle`
+    // via the scalar oracle).
+    for n in [4usize, 6] {
+        let tests = sorting::binary_testset(n);
+        for (label, net) in networks(n) {
+            for universe in StandardUniverse::ALL {
+                let faults: Vec<MultiFault> = universe.iter(&net).collect();
+                let reference =
+                    detection_matrix_multi_on::<1>(&net, &faults, &tests, Backend::Scalar);
+                for backend in Backend::runnable() {
+                    let check = |matrix: DetectionMatrix, w: usize| {
+                        assert_eq!(
+                            matrix,
+                            reference,
+                            "{label} n={n} {} backend={} W={w}",
+                            universe.name(),
+                            backend.name()
+                        );
+                    };
+                    check(
+                        detection_matrix_multi_on::<1>(&net, &faults, &tests, backend),
+                        1,
+                    );
+                    check(
+                        detection_matrix_multi_on::<2>(&net, &faults, &tests, backend),
+                        2,
+                    );
+                    check(
+                        detection_matrix_multi_on::<4>(&net, &faults, &tests, backend),
+                        4,
+                    );
+                    check(
+                        detection_matrix_multi_on::<8>(&net, &faults, &tests, backend),
+                        8,
+                    );
+                    check(
+                        detection_matrix_multi_on::<16>(&net, &faults, &tests, backend),
+                        16,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_redundancy_is_backend_independent() {
+    for n in [4usize, 6] {
+        for (label, net) in networks(n) {
+            for universe in StandardUniverse::ALL {
+                let faults: Vec<MultiFault> = universe.iter(&net).collect();
+                let reference = redundant_faults_multi_on::<1>(&net, &faults, Backend::Scalar);
+                for backend in Backend::runnable() {
+                    assert_eq!(
+                        redundant_faults_multi_on::<4>(&net, &faults, backend),
+                        reference,
+                        "{label} n={n} {} backend={}",
+                        universe.name(),
+                        backend.name()
+                    );
+                    assert_eq!(
+                        redundant_faults_multi_on::<16>(&net, &faults, backend),
+                        reference,
+                        "{label} n={n} {} backend={} W=16",
+                        universe.name(),
+                        backend.name()
+                    );
                 }
             }
         }
@@ -137,6 +226,8 @@ fn coverage_reports_are_identical_across_every_engine() {
         FaultSimEngine::BitParallelWide(LaneWidth::W1),
         FaultSimEngine::BitParallelWide(LaneWidth::W2),
         FaultSimEngine::BitParallelWide(LaneWidth::W4),
+        FaultSimEngine::BitParallelWide(LaneWidth::W8),
+        FaultSimEngine::BitParallelWide(LaneWidth::W16),
     ];
     for n in [4usize, 6, 8] {
         let tests = sorting::binary_testset(n);
@@ -183,5 +274,85 @@ fn batcher_n8_universe_results_are_pinned() {
         assert_eq!(report.detected, detected, "{}", universe.name());
         assert_eq!(report.missed, missed, "{}", universe.name());
         assert_eq!(report.redundant_faults, undetectable, "{}", universe.name());
+    }
+}
+
+/// Strategy: a random standard network on 7 lines with up to `max_size`
+/// comparators.
+fn arb_network(max_size: usize) -> impl Strategy<Value = Network> {
+    prop::collection::vec((0usize..7, 0usize..7), 1..=max_size).prop_map(|pairs| {
+        let mut comparators: Vec<Comparator> = pairs
+            .into_iter()
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| Comparator::new(a, b))
+            .collect();
+        if comparators.is_empty() {
+            comparators.push(Comparator::new(0, 1));
+        }
+        Network::from_comparators(7, comparators)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The two-level pair fork is bit-identical to the single-fork path:
+    /// for a random network and a random test batch, every fault of the
+    /// pair universe gets — cell for cell — the detections that evaluating
+    /// its full lesion timeline from the block start
+    /// ([`multi_faulty_run_block`], the degenerate fork-at-0 reference the
+    /// PR 3 single-fork engine was pinned against) produces.
+    #[test]
+    fn two_level_pair_fork_matches_the_single_fork_reference(
+        net in arb_network(9),
+        test_words in prop::collection::vec(0u64..(1u64 << 7), 1..=150),
+    ) {
+        let tests: Vec<BitString> = test_words
+            .into_iter()
+            .map(|w| BitString::from_word(w, 7))
+            .collect();
+        // Pairs (quadratic — subsample to keep the scalar reference cheap)
+        // plus every single fault, so the sweep mixes group sizes.
+        let pairs: Vec<MultiFault> = StandardUniverse::SingleComparatorPairs.iter(&net).collect();
+        let mut faults: Vec<MultiFault> = pairs
+            .iter()
+            .step_by((pairs.len() / 300).max(1))
+            .copied()
+            .collect();
+        faults.extend(StandardUniverse::SingleComparator.iter(&net));
+        for backend in Backend::runnable() {
+            let matrix = detection_matrix_multi_on::<2>(&net, &faults, &tests, backend);
+            let capacity = WideBlock::<2>::capacity() as usize;
+            for (f, fault) in faults.iter().enumerate() {
+                for (block_idx, chunk) in tests.chunks(capacity).enumerate() {
+                    let mut block = WideBlock::<2>::from_strings(7, chunk);
+                    multi_faulty_run_block(&net, fault, &mut block);
+                    let masks = block.unsorted_masks();
+                    for (j, _) in chunk.iter().enumerate() {
+                        let expected = (masks[j / 64] >> (j % 64)) & 1 == 1;
+                        prop_assert_eq!(
+                            matrix.is_detected_by(f, block_idx * capacity + j),
+                            expected,
+                            "fault {} test {} backend {}",
+                            fault,
+                            block_idx * capacity + j,
+                            backend.name()
+                        );
+                    }
+                }
+            }
+            // The batch redundancy sweep (also two-level) agrees with the
+            // scalar exhaustive verdicts on a subsample.
+            let redundant = redundant_faults_multi_on::<2>(&net, &faults, backend);
+            for (f, fault) in faults.iter().enumerate().step_by(37) {
+                prop_assert_eq!(
+                    redundant[f],
+                    is_multi_fault_redundant(&net, fault),
+                    "fault {} backend {}",
+                    fault,
+                    backend.name()
+                );
+            }
+        }
     }
 }

@@ -8,11 +8,14 @@
 //! family is *generated directly in block form* by counting patterns
 //! ([`lanes::RangeSource`]) — no vector list is ever materialised.
 //!
-//! Each entry point comes in two forms: a `*_wide::<W>` const-generic
-//! version with the lane width exposed, and a convenience wrapper fixed at
-//! [`lanes::DEFAULT_WIDTH`].  `W = 1` reproduces the original single-word
-//! sweep exactly; [`BitBlock`] is the `W = 1` block type, kept as the
-//! interchange format with the fault-simulation engine.
+//! Each entry point comes in three forms: a `*_backend::<W>` const-generic
+//! version with both the lane width and the lane-ops [`Backend`] exposed
+//! (how the word kernels execute: scalar, portable-chunked or AVX2 — see
+//! [`lanes::backend`]), a `*_wide::<W>` version on the runtime-detected
+//! [`Backend::active`], and a convenience wrapper fixed at
+//! [`lanes::DEFAULT_WIDTH`].  `W = 1` on the scalar backend reproduces the
+//! original single-word sweep exactly; [`BitBlock`] is the `W = 1` block
+//! type, kept as the interchange format with the fault-simulation engine.
 //!
 //! Sweeps are embarrassingly parallel across blocks, so
 //! [`ParallelismHint::Rayon`] distributes block index ranges over the rayon
@@ -23,7 +26,7 @@ use rayon::prelude::*;
 
 use sortnet_combinat::BitString;
 
-use crate::lanes::{self, WideBlock};
+use crate::lanes::{self, Backend, WideBlock};
 use crate::network::Network;
 
 /// A block of up to 64 binary input vectors in transposed form: the
@@ -100,14 +103,28 @@ pub fn find_unsorted_input_wide<const W: usize>(
     network: &Network,
     hint: ParallelismHint,
 ) -> Option<BitString> {
+    find_unsorted_input_backend::<W>(network, hint, Backend::active())
+}
+
+/// [`find_unsorted_input_wide`] pinned to an explicit lane-ops [`Backend`]
+/// (the plain form uses the runtime-detected one).
+///
+/// # Panics
+/// Panics if `n ≥ 32`.
+#[must_use]
+pub fn find_unsorted_input_backend<const W: usize>(
+    network: &Network,
+    hint: ParallelismHint,
+    backend: Backend,
+) -> Option<BitString> {
     let n = network.lines();
     let block_count = sweep_block_count_wide::<W>(n);
 
     let check_block = |b: u64| -> Option<BitString> {
         let (start, count) = sweep_block_range_wide::<W>(n, b);
         let mut block = WideBlock::<W>::from_range(n, start, count);
-        block.run(network);
-        lanes::mask_first(&block.unsorted_masks())
+        block.run_with(backend, network);
+        lanes::mask_first(&block.unsorted_masks_with(backend))
             .map(|j| BitString::from_word(start + u64::from(j), n))
     };
 
@@ -133,6 +150,17 @@ pub fn is_sorter_exhaustive_wide<const W: usize>(network: &Network, hint: Parall
     find_unsorted_input_wide::<W>(network, hint).is_none()
 }
 
+/// [`is_sorter_exhaustive_wide`] pinned to an explicit lane-ops
+/// [`Backend`].
+#[must_use]
+pub fn is_sorter_exhaustive_backend<const W: usize>(
+    network: &Network,
+    hint: ParallelismHint,
+    backend: Backend,
+) -> bool {
+    find_unsorted_input_backend::<W>(network, hint, backend).is_none()
+}
+
 /// [`is_sorter_exhaustive_wide`] at the default lane width.
 #[must_use]
 pub fn is_sorter_exhaustive(network: &Network, hint: ParallelismHint) -> bool {
@@ -148,13 +176,27 @@ pub fn count_unsorted_outputs_wide<const W: usize>(
     network: &Network,
     hint: ParallelismHint,
 ) -> u64 {
+    count_unsorted_outputs_backend::<W>(network, hint, Backend::active())
+}
+
+/// [`count_unsorted_outputs_wide`] pinned to an explicit lane-ops
+/// [`Backend`].
+///
+/// # Panics
+/// Panics if `n ≥ 32`.
+#[must_use]
+pub fn count_unsorted_outputs_backend<const W: usize>(
+    network: &Network,
+    hint: ParallelismHint,
+    backend: Backend,
+) -> u64 {
     let n = network.lines();
     let block_count = sweep_block_count_wide::<W>(n);
     let count_block = |b: u64| -> u64 {
         let (start, count) = sweep_block_range_wide::<W>(n, b);
         let mut block = WideBlock::<W>::from_range(n, start, count);
-        block.run(network);
-        u64::from(lanes::mask_count(&block.unsorted_masks()))
+        block.run_with(backend, network);
+        u64::from(lanes::mask_count(&block.unsorted_masks_with(backend)))
     };
     match hint {
         ParallelismHint::Sequential => (0..block_count).map(count_block).sum(),
@@ -187,6 +229,21 @@ pub fn find_selector_violation_wide<const W: usize>(
     k: usize,
     hint: ParallelismHint,
 ) -> Option<BitString> {
+    find_selector_violation_backend::<W>(network, k, hint, Backend::active())
+}
+
+/// [`find_selector_violation_wide`] pinned to an explicit lane-ops
+/// [`Backend`].
+///
+/// # Panics
+/// Panics if `k > n` or `n ≥ 32`.
+#[must_use]
+pub fn find_selector_violation_backend<const W: usize>(
+    network: &Network,
+    k: usize,
+    hint: ParallelismHint,
+    backend: Backend,
+) -> Option<BitString> {
     let n = network.lines();
     assert!(k <= n, "k = {k} exceeds n = {n}");
     let block_count = sweep_block_count_wide::<W>(n);
@@ -199,10 +256,10 @@ pub fn find_selector_violation_wide<const W: usize>(
         let (start, count) = sweep_block_range_wide::<W>(n, b);
         let inputs = WideBlock::<W>::from_range(n, start, count);
         let mut out = inputs.clone();
-        out.run(network);
+        out.run_with(backend, network);
         let mut sorted = inputs;
-        sorted.run(&reference);
-        let wrong = lanes::selector_violation_masks(&out, &sorted, k);
+        sorted.run_with(backend, &reference);
+        let wrong = lanes::selector_violation_masks_with(&out, &sorted, k, backend);
         lanes::mask_first(&wrong).map(|j| BitString::from_word(start + u64::from(j), n))
     };
 

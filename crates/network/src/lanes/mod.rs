@@ -41,10 +41,42 @@
 //! [`sweep_find`] is the streaming driver: it pulls blocks from a source,
 //! asks a caller-supplied closure for a violation mask per block, and
 //! extracts the first violating *input* vector as a witness.
+//!
+//! # Backend selection: how the lane words are executed
+//!
+//! The transposed layout fixes *what* is computed (which words, in which
+//! order); a pluggable [`Backend`] chooses *how* the word kernels run.
+//! Three [`LaneOps`] implementations exist — plain scalar loops, a
+//! portable chunked shape the autovectorizer handles on any target, and an
+//! explicit AVX2 `core::arch` path on `x86_64` — all bit-identical, with
+//! the best one detected at runtime ([`Backend::active`], overridable with
+//! `SORTNET_FORCE_SCALAR=1`).  Every [`WideBlock`] operation has a `*_with`
+//! form taking an explicit backend (the plain form uses the active one), so
+//! whole sweeps — exhaustive, minimal-test-set, detection-matrix,
+//! redundancy — can be pinned to a backend for differential testing and
+//! benchmarking.  See [`backend`] for the kernel contract.
+//!
+//! # The fork invariant: shared prefixes must advance in site order
+//!
+//! [`WideBlock::copy_from`] + [`WideBlock::run_range`] implement *forking*:
+//! a sweep evaluates a shared state incrementally and snapshots it where
+//! derived evaluations (faulty networks, in `sortnet-faults`) branch off.
+//! Correctness of any such scheme rests on one invariant: **a shared state
+//! that has been advanced through comparators `0..p` may only serve forks
+//! whose branch site is `≥ p`**, so fork sites must be visited in
+//! nondecreasing order (the fault engine sorts its fault universes by fork
+//! site, and — for two-lesion faults — nests a second fork level whose
+//! sites are visited in order *within* each first-lesion group).  The same
+//! rule is why counting-pattern blocks can be regenerated instead of
+//! rewound: a block is never run backwards.
 
 use sortnet_combinat::BitString;
 
 use crate::network::Network;
+
+pub mod backend;
+
+pub use backend::{Backend, LaneOps, PortableOps, ScalarOps};
 
 /// The lane width (in 64-bit words) the non-generic convenience entry
 /// points use: [`DEFAULT_WIDTH`]`×64 = 256` vectors per block, which keeps
@@ -64,9 +96,15 @@ pub enum LaneWidth {
     W4,
     /// Eight words per lane: 512 vectors per block.
     W8,
+    /// Sixteen words per lane: 1024 vectors per block.
+    W16,
 }
 
 impl LaneWidth {
+    /// Every selectable width, narrowest first — the iteration set for
+    /// width sweeps in tests and benches.
+    pub const ALL: [Self; 5] = [Self::W1, Self::W2, Self::W4, Self::W8, Self::W16];
+
     /// Number of `u64` words per lane.
     #[must_use]
     pub const fn words(self) -> usize {
@@ -75,6 +113,7 @@ impl LaneWidth {
             Self::W2 => 2,
             Self::W4 => 4,
             Self::W8 => 8,
+            Self::W16 => 16,
         }
     }
 
@@ -277,19 +316,28 @@ impl<const W: usize> WideBlock<W> {
     /// Applies one comparator across all lanes: the AND of the two lanes
     /// (the minima) is routed to `min_to`, the OR (the maxima) to `max_to`.
     /// The lines need not be ordered, so this also evaluates non-standard
-    /// (inverted) comparators.
+    /// (inverted) comparators.  Runs on the [active](Backend::active)
+    /// backend; see [`WideBlock::apply_comparator_with`].
     ///
     /// # Panics
     /// Panics if either line is out of range or the lines coincide.
     #[inline]
     pub fn apply_comparator(&mut self, min_to: usize, max_to: usize) {
+        self.apply_comparator_with(Backend::active(), min_to, max_to);
+    }
+
+    /// [`WideBlock::apply_comparator`] on an explicit [`Backend`].
+    ///
+    /// # Panics
+    /// Panics if either line is out of range or the lines coincide.
+    #[inline]
+    pub fn apply_comparator_with(&mut self, backend: Backend, min_to: usize, max_to: usize) {
         assert_ne!(min_to, max_to, "a comparator needs two distinct lines");
-        let a = self.lanes[min_to];
-        let b = self.lanes[max_to];
-        for w in 0..W {
-            self.lanes[min_to][w] = a[w] & b[w];
-            self.lanes[max_to][w] = a[w] | b[w];
-        }
+        let mut a = self.lanes[min_to];
+        let mut b = self.lanes[max_to];
+        backend.compare_exchange(&mut a, &mut b);
+        self.lanes[min_to] = a;
+        self.lanes[max_to] = b;
     }
 
     /// Exchanges two lanes unconditionally (the lane-level form of a
@@ -333,44 +381,105 @@ impl<const W: usize> WideBlock<W> {
         }
     }
 
-    /// Runs `network` over the block in place.
+    /// Runs `network` over the block in place, on the
+    /// [active](Backend::active) backend.
     pub fn run(&mut self, network: &Network) {
         self.run_range(network, 0, network.size());
     }
 
+    /// [`WideBlock::run`] on an explicit [`Backend`].
+    pub fn run_with(&mut self, backend: Backend, network: &Network) {
+        self.run_range_with(backend, network, 0, network.size());
+    }
+
     /// Runs only comparators `start..end` of `network` over the block — the
     /// suffix-evaluation primitive behind shared-prefix fault forking.
+    /// Runs on the [active](Backend::active) backend.
     ///
     /// # Panics
     /// Panics if `start > end` or `end` exceeds the network size.
     pub fn run_range(&mut self, network: &Network, start: usize, end: usize) {
+        self.run_range_with(Backend::active(), network, start, end);
+    }
+
+    /// [`WideBlock::run_range`] on an explicit [`Backend`]: dispatches once
+    /// and evaluates the whole comparator range inside the selected
+    /// implementation.
+    ///
+    /// # Panics
+    /// Panics if `start > end` or `end` exceeds the network size.
+    pub fn run_range_with(
+        &mut self,
+        backend: Backend,
+        network: &Network,
+        start: usize,
+        end: usize,
+    ) {
         assert!(
             start <= end && end <= network.size(),
             "bad comparator range {start}..{end}"
         );
-        for c in &network.comparators()[start..end] {
-            self.apply_comparator(c.min_line(), c.max_line());
-        }
+        backend.run_comparators(&mut self.lanes, &network.comparators()[start..end]);
     }
 
     /// Per-word bitmasks over the block's vectors: bit `j` of word `w` is
     /// set when the output for vector `w·64 + j` is **not** sorted.
+    /// Computed on the [active](Backend::active) backend.
     #[must_use]
     pub fn unsorted_masks(&self) -> [u64; W] {
-        // A 0/1 vector is sorted iff there is no i < j with lane_i = 1 and
-        // lane_j = 0; each word's 64 vectors are checked independently.
-        let mut seen_one = [0u64; W];
-        let mut unsorted = [0u64; W];
-        for lane in &self.lanes {
-            for w in 0..W {
-                unsorted[w] |= seen_one[w] & !lane[w];
-                seen_one[w] |= lane[w];
-            }
-        }
+        self.unsorted_masks_with(Backend::active())
+    }
+
+    /// [`WideBlock::unsorted_masks`] on an explicit [`Backend`].
+    #[must_use]
+    pub fn unsorted_masks_with(&self, backend: Backend) -> [u64; W] {
+        let mut unsorted = self.unsorted_masks_raw(backend);
         let live = self.live_masks();
         for w in 0..W {
             unsorted[w] &= live[w];
         }
+        unsorted
+    }
+
+    /// The sortedness scan *without* the live-mask intersection: bits past
+    /// [`WideBlock::count`] are unspecified, so callers must intersect
+    /// with [`WideBlock::live_masks`] before consuming the result.  Split
+    /// out for sweeps that evaluate many faults over one block and hoist
+    /// the (count-only-dependent) live mask once.
+    #[must_use]
+    pub fn unsorted_masks_raw(&self, backend: Backend) -> [u64; W] {
+        // A 0/1 vector is sorted iff there is no i < j with lane_i = 1 and
+        // lane_j = 0; each word's 64 vectors are checked independently.
+        let mut unsorted = [0u64; W];
+        backend.sorted_scan(&self.lanes, &mut unsorted);
+        unsorted
+    }
+
+    /// Fused tail of a fault fork: runs comparators `start..end` and
+    /// returns the **raw** sortedness masks of the result (see
+    /// [`WideBlock::unsorted_masks_raw`] for the live-mask caveat) in one
+    /// backend dispatch.
+    ///
+    /// # Panics
+    /// Panics if `start > end` or `end` exceeds the network size.
+    #[must_use]
+    pub fn run_range_scan_with(
+        &mut self,
+        backend: Backend,
+        network: &Network,
+        start: usize,
+        end: usize,
+    ) -> [u64; W] {
+        assert!(
+            start <= end && end <= network.size(),
+            "bad comparator range {start}..{end}"
+        );
+        let mut unsorted = [0u64; W];
+        backend.run_scan(
+            &mut self.lanes,
+            &network.comparators()[start..end],
+            &mut unsorted,
+        );
         unsorted
     }
 
@@ -600,23 +709,34 @@ pub fn sweep_find<const W: usize, S: BlockSource<W>>(
 
 /// Streams `source` through `network` and reports the first input whose
 /// output is **not sorted** — the shared "copy block, run, mask" sweep the
-/// sorting/merging verifiers and oracles build on.
+/// sorting/merging verifiers and oracles build on.  Runs on the
+/// [active](Backend::active) backend.
 pub fn sweep_network<const W: usize, S: BlockSource<W>>(
     source: S,
     network: &Network,
 ) -> SweepOutcome {
+    sweep_network_with(source, network, Backend::active())
+}
+
+/// [`sweep_network`] on an explicit [`Backend`].
+pub fn sweep_network_with<const W: usize, S: BlockSource<W>>(
+    source: S,
+    network: &Network,
+    backend: Backend,
+) -> SweepOutcome {
     let mut work = WideBlock::<W>::zeroed(source.lines());
     sweep_find(source, |block| {
         work.copy_from(block);
-        work.run(network);
-        work.unsorted_masks()
+        work.run_with(backend, network);
+        work.unsorted_masks_with(backend)
     })
 }
 
 /// Per-word masks of vectors whose first `k` output lanes differ between a
 /// candidate's evaluated block and a reference sorter's evaluated block
 /// over the same inputs — the `(k, n)`-selection violation test shared by
-/// the exhaustive sweep and the test-set verifier.
+/// the exhaustive sweep and the test-set verifier.  Computed on the
+/// [active](Backend::active) backend.
 ///
 /// # Panics
 /// Panics if `k` exceeds the line count or the blocks disagree on lines.
@@ -626,14 +746,24 @@ pub fn selector_violation_masks<const W: usize>(
     sorted: &WideBlock<W>,
     k: usize,
 ) -> [u64; W] {
+    selector_violation_masks_with(out, sorted, k, Backend::active())
+}
+
+/// [`selector_violation_masks`] on an explicit [`Backend`].
+///
+/// # Panics
+/// Panics if `k` exceeds the line count or the blocks disagree on lines.
+#[must_use]
+pub fn selector_violation_masks_with<const W: usize>(
+    out: &WideBlock<W>,
+    sorted: &WideBlock<W>,
+    k: usize,
+    backend: Backend,
+) -> [u64; W] {
     assert_eq!(out.lines(), sorted.lines(), "line count mismatch");
+    assert!(k <= out.lines(), "k = {k} exceeds the line count");
     let mut wrong = [0u64; W];
-    for i in 0..k {
-        let (a, b) = (out.lane_words(i), sorted.lane_words(i));
-        for w in 0..W {
-            wrong[w] |= a[w] ^ b[w];
-        }
-    }
+    backend.diff_scan(&out.lanes[..k], &sorted.lanes[..k], &mut wrong);
     let live = out.live_masks();
     for w in 0..W {
         wrong[w] &= live[w];
@@ -781,6 +911,35 @@ mod tests {
         assert_eq!(LaneWidth::W2.vectors_per_block(), 128);
         assert_eq!(LaneWidth::W4.words(), DEFAULT_WIDTH);
         assert_eq!(LaneWidth::W8.vectors_per_block(), 512);
+        assert_eq!(LaneWidth::W16.vectors_per_block(), 1024);
         assert_eq!(WideBlock::<8>::capacity(), 512);
+        assert_eq!(WideBlock::<16>::capacity(), 1024);
+        assert!(LaneWidth::ALL
+            .windows(2)
+            .all(|p| p[0].words() < p[1].words()));
+    }
+
+    #[test]
+    fn every_backend_runs_a_network_identically_at_wide_widths() {
+        let net = odd_even_merge_sort(6);
+        for backend in Backend::runnable() {
+            fn check<const W: usize>(net: &Network, backend: Backend) {
+                let mut block = WideBlock::<W>::from_range(6, 0, 64);
+                block.run_with(backend, net);
+                let mut reference = WideBlock::<W>::from_range(6, 0, 64);
+                reference.run_with(Backend::Scalar, net);
+                assert_eq!(block, reference, "{} W={W}", backend.name());
+                assert_eq!(
+                    block.unsorted_masks_with(backend),
+                    reference.unsorted_masks_with(Backend::Scalar),
+                    "{} W={W}",
+                    backend.name()
+                );
+            }
+            check::<1>(&net, backend);
+            check::<4>(&net, backend);
+            check::<8>(&net, backend);
+            check::<16>(&net, backend);
+        }
     }
 }

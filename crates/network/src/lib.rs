@@ -39,7 +39,11 @@
 //! assert_eq!(sorter.apply_vec(&[5, 3, 8, 1, 9, 2, 7, 4]), vec![1, 2, 3, 4, 5, 7, 8, 9]);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the AVX2 lane backend
+// (`lanes::backend`) is the one sanctioned `unsafe` island — `core::arch`
+// intrinsics behind runtime feature detection.  Everything else stays
+// unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bitparallel;

@@ -11,7 +11,7 @@ use rayon::prelude::*;
 use sortnet_combinat::{BitString, Permutation};
 
 use crate::bitparallel::{self, ParallelismHint};
-use crate::lanes::{self, WideBlock, DEFAULT_WIDTH};
+use crate::lanes::{self, Backend, WideBlock, DEFAULT_WIDTH};
 use crate::network::Network;
 
 /// `true` iff the network sorts every input (checked over all `2^n` binary
@@ -78,14 +78,25 @@ pub fn is_merger(network: &Network) -> bool {
 /// Panics if `n` is odd.
 #[must_use]
 pub fn find_merger_violation(network: &Network) -> Option<BitString> {
+    find_merger_violation_on(network, Backend::active())
+}
+
+/// [`find_merger_violation`] pinned to an explicit lane-ops [`Backend`]
+/// (the plain form uses the runtime-detected one).
+///
+/// # Panics
+/// Panics if `n` is odd.
+#[must_use]
+pub fn find_merger_violation_on(network: &Network, backend: Backend) -> Option<BitString> {
     let n = network.lines();
     assert!(
         n.is_multiple_of(2),
         "merging networks need an even number of lines"
     );
-    lanes::sweep_network::<DEFAULT_WIDTH, _>(
+    lanes::sweep_network_with::<DEFAULT_WIDTH, _>(
         lanes::IterSource::new(n, BitString::all_half_sorted(n)),
         network,
+        backend,
     )
     .witness
 }
@@ -128,13 +139,15 @@ pub fn failure_set(network: &Network) -> Vec<BitString> {
     let n = network.lines();
     assert!(n < 26, "exhaustive 2^{n} sweep refused");
     let block_count = bitparallel::sweep_block_count_wide::<DEFAULT_WIDTH>(n);
+    // Resolve the lane backend once; the per-block closures inherit it.
+    let backend = Backend::active();
     (0..block_count)
         .into_par_iter()
-        .flat_map_iter(|b| {
+        .flat_map_iter(move |b| {
             let (start, count) = bitparallel::sweep_block_range_wide::<DEFAULT_WIDTH>(n, b);
             let mut block = WideBlock::<DEFAULT_WIDTH>::from_range(n, start, count);
-            block.run(network);
-            let mask = block.unsorted_masks();
+            block.run_with(backend, network);
+            let mask = block.unsorted_masks_with(backend);
             (0..count)
                 .filter(move |j| (mask[(j / 64) as usize] >> (j % 64)) & 1 == 1)
                 .map(move |j| BitString::from_word(start + u64::from(j), n))

@@ -7,9 +7,10 @@ use proptest::prelude::*;
 
 use sortnet_combinat::BitString;
 use sortnet_network::bitparallel::{
-    count_unsorted_outputs_wide, find_unsorted_input_wide, ParallelismHint,
+    count_unsorted_outputs_backend, count_unsorted_outputs_wide, find_unsorted_input_backend,
+    find_unsorted_input_wide, ParallelismHint,
 };
-use sortnet_network::lanes::{self, BlockSource, IterSource, RangeSource, WideBlock};
+use sortnet_network::lanes::{self, Backend, BlockSource, IterSource, RangeSource, WideBlock};
 use sortnet_network::{Comparator, Network};
 
 const N: usize = 9;
@@ -41,25 +42,30 @@ fn arb_tests() -> impl Strategy<Value = Vec<BitString>> {
     })
 }
 
-/// Runs `tests` through `net` in `W`-wide blocks and checks every output
-/// and every unsorted-mask bit against the scalar evaluator.
+/// Runs `tests` through `net` in `W`-wide blocks, on every runnable
+/// lane-ops backend, and checks every output and every unsorted-mask bit
+/// against the scalar evaluator.
 fn check_width<const W: usize>(net: &Network, tests: &[BitString]) {
-    for chunk in tests.chunks(WideBlock::<W>::capacity() as usize) {
-        let mut block = WideBlock::<W>::from_strings(N, chunk);
-        block.run(net);
-        let masks = block.unsorted_masks();
-        for (j, input) in chunk.iter().enumerate() {
-            let scalar = net.apply_bits(input);
-            assert_eq!(
-                block.extract(j as u32),
-                scalar,
-                "W={W} input {input} output mismatch"
-            );
-            assert_eq!(
-                (masks[j / 64] >> (j % 64)) & 1 == 1,
-                !scalar.is_sorted(),
-                "W={W} input {input} mask mismatch"
-            );
+    for backend in Backend::runnable() {
+        for chunk in tests.chunks(WideBlock::<W>::capacity() as usize) {
+            let mut block = WideBlock::<W>::from_strings(N, chunk);
+            block.run_with(backend, net);
+            let masks = block.unsorted_masks_with(backend);
+            for (j, input) in chunk.iter().enumerate() {
+                let scalar = net.apply_bits(input);
+                assert_eq!(
+                    block.extract(j as u32),
+                    scalar,
+                    "W={W} backend={} input {input} output mismatch",
+                    backend.name()
+                );
+                assert_eq!(
+                    (masks[j / 64] >> (j % 64)) & 1 == 1,
+                    !scalar.is_sorted(),
+                    "W={W} backend={} input {input} mask mismatch",
+                    backend.name()
+                );
+            }
         }
     }
 }
@@ -67,8 +73,9 @@ fn check_width<const W: usize>(net: &Network, tests: &[BitString]) {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// `WideBlock<W>` sweeps for W ∈ {1, 2, 4} agree exactly with scalar
-    /// evaluation on random networks and random test batches.
+    /// `WideBlock<W>` sweeps for W ∈ {1, 2, 4, 8, 16} — on every runnable
+    /// lane-ops backend — agree exactly with scalar evaluation on random
+    /// networks and random test batches.
     #[test]
     fn wide_blocks_agree_with_scalar_evaluation(
         net in arb_network(14),
@@ -77,6 +84,36 @@ proptest! {
         check_width::<1>(&net, &tests);
         check_width::<2>(&net, &tests);
         check_width::<4>(&net, &tests);
+        check_width::<8>(&net, &tests);
+        check_width::<16>(&net, &tests);
+    }
+
+    /// The exhaustive sweeps return identical verdicts, witnesses and
+    /// counts on every runnable backend (scalar, portable, AVX2 where
+    /// available), at narrow and wide lane widths.
+    #[test]
+    fn exhaustive_sweeps_are_backend_independent(net in arb_network(14)) {
+        let reference =
+            find_unsorted_input_backend::<1>(&net, ParallelismHint::Sequential, Backend::Scalar);
+        let count_reference =
+            count_unsorted_outputs_backend::<1>(&net, ParallelismHint::Sequential, Backend::Scalar);
+        for backend in Backend::runnable() {
+            prop_assert_eq!(
+                find_unsorted_input_backend::<4>(&net, ParallelismHint::Sequential, backend),
+                reference.clone(),
+                "backend {}", backend.name()
+            );
+            prop_assert_eq!(
+                find_unsorted_input_backend::<16>(&net, ParallelismHint::Rayon, backend),
+                reference.clone(),
+                "backend {}", backend.name()
+            );
+            prop_assert_eq!(
+                count_unsorted_outputs_backend::<8>(&net, ParallelismHint::Sequential, backend),
+                count_reference,
+                "backend {}", backend.name()
+            );
+        }
     }
 
     /// The exhaustive sweeps return identical verdicts, witnesses and

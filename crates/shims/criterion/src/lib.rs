@@ -220,9 +220,18 @@ impl BenchmarkGroup<'_> {
                 iters_per_sample: iters,
                 throughput: self.throughput,
             };
+            let per_element = match record.throughput {
+                Some(Throughput::Elements(e)) if e > 0 => {
+                    format!(" = {:.1} ns/elem", record.median_ns / e as f64)
+                }
+                Some(Throughput::Bytes(bytes)) if bytes > 0 => {
+                    format!(" = {:.1} ns/byte", record.median_ns / bytes as f64)
+                }
+                _ => String::new(),
+            };
             println!(
-                "bench: {:<60} median {:>12.1} ns/iter ({} samples x {} iters)",
-                record.id, record.median_ns, record.samples, record.iters_per_sample
+                "bench: {:<60} median {:>12.1} ns/iter{} ({} samples x {} iters)",
+                record.id, record.median_ns, per_element, record.samples, record.iters_per_sample
             );
             self.criterion.records.push(record);
         }

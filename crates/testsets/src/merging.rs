@@ -14,7 +14,7 @@
 
 use sortnet_combinat::binomial::{merging_testset_size_binary, merging_testset_size_permutation};
 use sortnet_combinat::{BitString, Permutation};
-use sortnet_network::lanes::{self, IterSource, DEFAULT_WIDTH};
+use sortnet_network::lanes::{self, Backend, IterSource, DEFAULT_WIDTH};
 use sortnet_network::Network;
 
 use crate::criteria;
@@ -120,9 +120,19 @@ pub struct MergerVerdict {
 /// ([`binary_source`]).  Sound and complete.
 #[must_use]
 pub fn verify_merger_binary(network: &Network) -> MergerVerdict {
+    verify_merger_binary_on(network, Backend::active())
+}
+
+/// [`verify_merger_binary`] pinned to an explicit lane-ops [`Backend`]
+/// (the plain form uses the runtime-detected one).
+///
+/// # Panics
+/// Panics if `n` is odd.
+#[must_use]
+pub fn verify_merger_binary_on(network: &Network, backend: Backend) -> MergerVerdict {
     let n = network.lines();
     let tests_run = merging_testset_size_binary(n as u64) as usize;
-    let outcome = lanes::sweep_network::<DEFAULT_WIDTH, _>(binary_source(n), network);
+    let outcome = lanes::sweep_network_with::<DEFAULT_WIDTH, _>(binary_source(n), network, backend);
     MergerVerdict {
         passed: outcome.witness.is_none(),
         tests_run,

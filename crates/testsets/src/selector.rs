@@ -10,7 +10,7 @@
 
 use sortnet_combinat::binomial::{selector_testset_size_binary, selector_testset_size_permutation};
 use sortnet_combinat::{BitString, Permutation};
-use sortnet_network::lanes::{self, IterSource, WideBlock, DEFAULT_WIDTH};
+use sortnet_network::lanes::{self, Backend, IterSource, WideBlock, DEFAULT_WIDTH};
 use sortnet_network::properties::selects_correctly;
 use sortnet_network::Network;
 
@@ -84,6 +84,16 @@ pub struct SelectorVerdict {
 /// block-parallel formulation of [`selects_correctly`].
 #[must_use]
 pub fn verify_selector_binary(network: &Network, k: usize) -> SelectorVerdict {
+    verify_selector_binary_on(network, k, Backend::active())
+}
+
+/// [`verify_selector_binary`] pinned to an explicit lane-ops [`Backend`]
+/// (the plain form uses the runtime-detected one).
+///
+/// # Panics
+/// Panics if `k > n` or `n ≥ 26`.
+#[must_use]
+pub fn verify_selector_binary_on(network: &Network, k: usize, backend: Backend) -> SelectorVerdict {
     let n = network.lines();
     let tests_run = selector_testset_size_binary(n as u64, k as u64) as usize;
     let reference = sortnet_network::builders::batcher::odd_even_merge_sort(n);
@@ -91,10 +101,10 @@ pub fn verify_selector_binary(network: &Network, k: usize) -> SelectorVerdict {
     let mut sorted = WideBlock::<DEFAULT_WIDTH>::zeroed(n);
     let outcome = lanes::sweep_find(binary_source(n, k), |block| {
         out.copy_from(block);
-        out.run(network);
+        out.run_with(backend, network);
         sorted.copy_from(block);
-        sorted.run(&reference);
-        lanes::selector_violation_masks(&out, &sorted, k)
+        sorted.run_with(backend, &reference);
+        lanes::selector_violation_masks_with(&out, &sorted, k, backend)
     });
     SelectorVerdict {
         passed: outcome.witness.is_none(),

@@ -11,7 +11,7 @@
 //! and test-set–driven verification of candidate networks.
 
 use sortnet_combinat::{BitString, Permutation};
-use sortnet_network::lanes::{self, IterSource, DEFAULT_WIDTH};
+use sortnet_network::lanes::{self, Backend, IterSource, DEFAULT_WIDTH};
 use sortnet_network::Network;
 
 use crate::adversary;
@@ -88,8 +88,15 @@ pub struct Verdict {
 /// order).
 #[must_use]
 pub fn verify_sorter_binary(network: &Network) -> Verdict {
+    verify_sorter_binary_on(network, Backend::active())
+}
+
+/// [`verify_sorter_binary`] pinned to an explicit lane-ops [`Backend`]
+/// (the plain form uses the runtime-detected one).
+#[must_use]
+pub fn verify_sorter_binary_on(network: &Network, backend: Backend) -> Verdict {
     let n = network.lines();
-    let outcome = lanes::sweep_network::<DEFAULT_WIDTH, _>(binary_source(n), network);
+    let outcome = lanes::sweep_network_with::<DEFAULT_WIDTH, _>(binary_source(n), network, backend);
     Verdict {
         passed: outcome.witness.is_none(),
         tests_run: sortnet_combinat::binomial::sorting_testset_size_binary(n as u64) as usize,

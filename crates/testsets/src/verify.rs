@@ -18,6 +18,7 @@ use serde::{Deserialize, Serialize};
 
 use sortnet_combinat::BitString;
 use sortnet_network::bitparallel::{self, ParallelismHint};
+use sortnet_network::lanes::{Backend, DEFAULT_WIDTH};
 use sortnet_network::properties;
 use sortnet_network::Network;
 
@@ -64,21 +65,46 @@ pub struct Report {
     pub witness: Option<BitString>,
 }
 
-/// Verifies `property` for `network` with the chosen `strategy`.
+/// Verifies `property` for `network` with the chosen `strategy`, on the
+/// runtime-detected lane-ops backend ([`Backend::active`]).
 ///
 /// # Panics
 /// Panics on malformed parameters (odd `n` for merging, `k > n`, or sizes
 /// too large for exhaustive enumeration).
 #[must_use]
 pub fn verify(network: &Network, property: Property, strategy: Strategy) -> Report {
+    verify_on(network, property, strategy, Backend::active())
+}
+
+/// [`verify`] pinned to an explicit lane-ops [`Backend`].
+///
+/// The backend reaches every 0/1 sweep (exhaustive and minimal-binary for
+/// all three properties); the permutation strategies evaluate scalar
+/// permutations, so the backend does not apply to them.  Every backend
+/// produces an identical [`Report`].
+///
+/// # Panics
+/// Panics on malformed parameters (odd `n` for merging, `k > n`, or sizes
+/// too large for exhaustive enumeration).
+#[must_use]
+pub fn verify_on(
+    network: &Network,
+    property: Property,
+    strategy: Strategy,
+    backend: Backend,
+) -> Report {
     let n = network.lines();
     let (passed, tests_run, witness) = match (property, strategy) {
         (Property::Sorter, Strategy::Exhaustive) => {
-            let witness = bitparallel::find_unsorted_input(network, ParallelismHint::Rayon);
+            let witness = bitparallel::find_unsorted_input_backend::<DEFAULT_WIDTH>(
+                network,
+                ParallelismHint::Rayon,
+                backend,
+            );
             (witness.is_none(), 1usize << n, witness)
         }
         (Property::Sorter, Strategy::MinimalBinary) => {
-            let v = sorting::verify_sorter_binary(network);
+            let v = sorting::verify_sorter_binary_on(network, backend);
             (v.passed, v.tests_run, v.witness)
         }
         (Property::Sorter, Strategy::Permutation) => {
@@ -88,11 +114,16 @@ pub fn verify(network: &Network, property: Property, strategy: Strategy) -> Repo
         (Property::Selector { k }, Strategy::Exhaustive) => {
             // Bit-parallel 64-lane sweep; its witness is the lowest failing
             // word, matching what a scalar scan would report first.
-            let witness = bitparallel::find_selector_violation(network, k, ParallelismHint::Rayon);
+            let witness = bitparallel::find_selector_violation_backend::<DEFAULT_WIDTH>(
+                network,
+                k,
+                ParallelismHint::Rayon,
+                backend,
+            );
             (witness.is_none(), 1usize << n, witness)
         }
         (Property::Selector { k }, Strategy::MinimalBinary) => {
-            let v = selector::verify_selector_binary(network, k);
+            let v = selector::verify_selector_binary_on(network, k, backend);
             (v.passed, v.tests_run, v.witness)
         }
         (Property::Selector { k }, Strategy::Permutation) => {
@@ -102,12 +133,12 @@ pub fn verify(network: &Network, property: Property, strategy: Strategy) -> Repo
         (Property::Merger, Strategy::Exhaustive) => {
             // One streamed block sweep over all (half+1)² merge inputs —
             // verdict and witness in the same pass, nothing materialised.
-            let witness = properties::find_merger_violation(network);
+            let witness = properties::find_merger_violation_on(network, backend);
             let half = n / 2;
             (witness.is_none(), (half + 1) * (half + 1), witness)
         }
         (Property::Merger, Strategy::MinimalBinary) => {
-            let v = merging::verify_merger_binary(network);
+            let v = merging::verify_merger_binary_on(network, backend);
             (v.passed, v.tests_run, v.witness)
         }
         (Property::Merger, Strategy::Permutation) => {
