@@ -13,7 +13,10 @@
 //! and on the two-level pair-universe redundancy sweep; `universe_sweep`
 //! covers the multi-fault universes with per-fault throughput annotations
 //! (`elements` = universe size in the JSON) so universes of different
-//! sizes are comparable.  The criterion shim writes the measurements to
+//! sizes are comparable; `augmentation_search` times the certified
+//! minimal-augmentation pipeline (coverage + streamed candidate matrix +
+//! exact set cover) on the stuck-line universes.  The criterion shim
+//! writes the measurements to
 //! `target/bench-summaries/bench_fault_coverage.json` for the `BENCH_*`
 //! perf trajectory.
 
@@ -34,6 +37,9 @@ use sortnet_network::bitparallel::{
 use sortnet_network::builders::batcher::odd_even_merge_sort;
 use sortnet_network::lanes::{Backend, LaneWidth};
 use sortnet_network::random::NetworkSampler;
+use sortnet_testsets::augment::{
+    minimum_augmentation, CandidatePool, SearchOptions, SuggestAugmentation,
+};
 use sortnet_testsets::sorting;
 
 fn bench_fault_coverage(c: &mut Criterion) {
@@ -264,6 +270,68 @@ fn bench_universe_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_augmentation_search(c: &mut Criterion) {
+    // The minimal-augmentation pipeline on the PR acceptance workloads:
+    // Batcher n = 8 with the Theorem 2.2 minimal set, stuck-line and
+    // pairs(stuck-line) universes, exhaustive 2^n candidate pool.
+    // `end_to_end` includes the coverage + redundancy run; `search_only`
+    // starts from a prebuilt coverage report (the streamed candidate
+    // matrix + certified set-cover search), annotated with the number of
+    // missed faults the cover spans (`elements` in the JSON).
+    let mut group = c.benchmark_group("augmentation_search");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    let n = 8usize;
+    let net = odd_even_merge_sort(n);
+    let minimal = sorting::binary_testset(n);
+    let workloads = [
+        ("stuck_line", StandardUniverse::StuckLine),
+        ("stuck_line_pairs", StandardUniverse::StuckLinePairs),
+    ];
+    // The unannotated end-to-end benches run before any throughput is set
+    // (the shim's throughput is sticky group state).
+    for (label, universe) in workloads {
+        group.bench_with_input(
+            BenchmarkId::new(format!("{label}_end_to_end"), n),
+            &universe,
+            |b, universe| {
+                b.iter(|| {
+                    minimum_augmentation(
+                        black_box(&net),
+                        universe,
+                        black_box(&minimal),
+                        &CandidatePool::Exhaustive,
+                        &SearchOptions::default(),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    for (label, universe) in workloads {
+        let report =
+            coverage_of_universe_with(&net, &universe, &minimal, true, FaultSimEngine::BitParallel);
+        group.throughput(Throughput::Elements(report.missed_faults.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new(format!("{label}_search_only"), n),
+            &report,
+            |b, report| {
+                b.iter(|| {
+                    report
+                        .suggest_augmentation(
+                            black_box(&net),
+                            &CandidatePool::Exhaustive,
+                            &SearchOptions::default(),
+                        )
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_fault_coverage,
@@ -271,6 +339,7 @@ criterion_group!(
     bench_engine_comparison_no_redundancy,
     bench_lane_width_sweep,
     bench_simd_backend,
-    bench_universe_sweep
+    bench_universe_sweep,
+    bench_augmentation_search
 );
 criterion_main!(benches);

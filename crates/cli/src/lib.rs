@@ -19,7 +19,10 @@
 //! `stuck-line`, `pairs`, `stuck-pairs` — see
 //! `sortnet_faults::universe::StandardUniverse`) and grades the paper's
 //! minimal test set against that universe; with no argument it sweeps all
-//! of them.
+//! of them.  For every universe the minimal set leaves incomplete, it also
+//! runs the certified minimal-augmentation search
+//! (`sortnet_testsets::augment`) and prints the provably smallest set of
+//! extra vectors restoring completeness.
 //!
 //! The examples all sit on the same width-generic streaming substrate
 //! (`sortnet_network::lanes`): test-vector families are generated directly

@@ -91,7 +91,7 @@
 
 use sortnet_combinat::BitString;
 use sortnet_network::bitparallel;
-use sortnet_network::lanes::{self, Backend, WideBlock, DEFAULT_WIDTH};
+use sortnet_network::lanes::{self, Backend, BlockSource, WideBlock, DEFAULT_WIDTH};
 use sortnet_network::Network;
 
 use crate::model::{Fault, FaultKind};
@@ -282,6 +282,18 @@ impl DetectionMatrix {
             .iter()
             .map(|w| w.count_ones() as usize)
             .sum()
+    }
+
+    /// The raw detection bitmap of fault `fault`: tests packed 64 per
+    /// word, test `t` at bit `t % 64` of word `t / 64` — the export the
+    /// set-cover/augmentation machinery in `sortnet-testsets` transposes
+    /// into per-candidate fault masks.
+    ///
+    /// # Panics
+    /// Panics if the fault index is out of range.
+    #[must_use]
+    pub fn row_words(&self, fault: usize) -> &[u64] {
+        self.row(fault)
     }
 
     fn row(&self, fault: usize) -> &[u64] {
@@ -522,6 +534,110 @@ pub fn detection_matrix_multi_on<const W: usize>(
         words_per_fault,
         bits,
     }
+}
+
+/// ORs the live bits of a per-word detection mask into a growing row
+/// bitmap at bit position `offset` (the number of tests already recorded).
+/// `count` is the number of live vectors in the mask; bits past it are
+/// zero (the sweep intersects with the block's live mask), so spills past
+/// the row's end never carry set bits.
+fn append_mask_bits<const W: usize>(
+    row: &mut Vec<u64>,
+    offset: usize,
+    masks: &[u64; W],
+    count: usize,
+) {
+    let need = (offset + count).div_ceil(64);
+    if row.len() < need {
+        row.resize(need, 0);
+    }
+    for (w, &mask) in masks.iter().take(count.div_ceil(64)).enumerate() {
+        let p = offset + w * 64;
+        let (word, shift) = (p / 64, p % 64);
+        row[word] |= mask << shift;
+        if shift != 0 {
+            let spill = mask >> (64 - shift);
+            if spill != 0 {
+                row[word + 1] |= spill;
+            }
+        }
+    }
+}
+
+/// [`detection_matrix_multi_wide`] over a **streamed** candidate family:
+/// one wide-lane pass pulls blocks from `source`, forks every fault per
+/// block (same two-level shared-prefix sweep), and returns the
+/// faults × candidates matrix **plus the candidates themselves** in stream
+/// order — so callers (the augmentation search) can map matrix columns back
+/// to concrete vectors without materialising the family twice.
+///
+/// Chained sources ([`ChainSource`](sortnet_network::lanes::ChainSource))
+/// may produce partial blocks mid-stream; columns are indexed by cumulative
+/// vector count, so the matrix is identical to materialising the family and
+/// calling [`detection_matrix_multi_wide`].
+///
+/// # Panics
+/// Panics if a fault does not fit the network or the source's line count
+/// mismatches the network.
+#[must_use]
+pub fn detection_matrix_from_source<const W: usize, S: BlockSource<W>>(
+    network: &Network,
+    faults: &[MultiFault],
+    source: S,
+) -> (DetectionMatrix, Vec<BitString>) {
+    detection_matrix_from_source_on(network, faults, source, Backend::active())
+}
+
+/// [`detection_matrix_from_source`] pinned to an explicit lane-ops
+/// [`Backend`].
+///
+/// # Panics
+/// Panics if a fault does not fit the network or the source's line count
+/// mismatches the network.
+#[must_use]
+pub fn detection_matrix_from_source_on<const W: usize, S: BlockSource<W>>(
+    network: &Network,
+    faults: &[MultiFault],
+    mut source: S,
+    backend: Backend,
+) -> (DetectionMatrix, Vec<BitString>) {
+    let n = network.lines();
+    assert_eq!(source.lines(), n, "source line count mismatch");
+    let plan = SweepPlan::new(network, faults);
+    let mut rows: Vec<Vec<u64>> = vec![Vec::new(); faults.len()];
+    let mut candidates: Vec<BitString> = Vec::new();
+    let mut block = WideBlock::<W>::zeroed(n);
+    while source.next_block(&mut block) {
+        let count = block.count() as usize;
+        let offset = candidates.len();
+        candidates.extend((0..block.count()).map(|j| block.extract(j)));
+        sweep_block_multi(
+            network,
+            backend,
+            &plan,
+            faults,
+            &block,
+            |_| false,
+            |fault_idx, masks: [u64; W]| {
+                append_mask_bits(&mut rows[fault_idx], offset, &masks, count);
+            },
+        );
+    }
+    let test_count = candidates.len();
+    let words_per_fault = test_count.div_ceil(64).max(1);
+    let mut bits = vec![0u64; faults.len() * words_per_fault];
+    for (f, row) in rows.iter().enumerate() {
+        bits[f * words_per_fault..f * words_per_fault + row.len()].copy_from_slice(row);
+    }
+    (
+        DetectionMatrix {
+            faults: faults.to_vec(),
+            test_count,
+            words_per_fault,
+            bits,
+        },
+        candidates,
+    )
 }
 
 /// Single-comparator convenience for [`detection_matrix_multi_wide`]: the
@@ -1051,6 +1167,38 @@ mod tests {
     }
 
     #[test]
+    fn bitparallel_engine_matches_scalar_at_the_word_boundary() {
+        // n ∈ {63, 64}: the lane engine indexes lanes (no word shifts by
+        // line), but its verdicts must still agree with the scalar word
+        // engine whose stuck injection shifts `1u64 << line` at bit 62/63.
+        use crate::universe::{multi_faulty_apply_bits, FaultUniverse, StuckLine};
+        for n in [63usize, 64] {
+            let net = Network::from_pairs(n, &[(0, n - 1), (n - 2, n - 1), (0, 1)]);
+            let inputs: Vec<BitString> = [
+                0u64,
+                u64::MAX,
+                1u64 << (n - 1),
+                u64::MAX ^ (1u64 << (n - 1)),
+                0x8000_0000_0000_0001,
+            ]
+            .into_iter()
+            .map(|w| BitString::from_word(w, n))
+            .collect();
+            for mf in StuckLine.iter(&net) {
+                let mut block = WideBlock::<1>::from_strings(n, &inputs);
+                multi_faulty_run_block(&net, &mf, &mut block);
+                for (j, input) in inputs.iter().enumerate() {
+                    assert_eq!(
+                        block.extract(j as u32),
+                        multi_faulty_apply_bits(&net, &mf, input),
+                        "n={n} fault {mf} input {input}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn single_fault_wrappers_agree_with_the_multi_core() {
         let net = odd_even_merge_sort(6);
         let faults = enumerate_faults(&net);
@@ -1069,6 +1217,63 @@ mod tests {
                 is_multi_fault_redundant_wide::<2>(&net, fault),
                 is_fault_redundant_wide::<2>(&net, &faults[i])
             );
+        }
+    }
+
+    #[test]
+    fn streamed_matrix_equals_the_materialised_matrix_for_every_universe() {
+        use crate::universe::{FaultUniverse, StandardUniverse};
+        use sortnet_network::lanes::{ChainSource, IterSource, RangeSource};
+        let net = odd_even_merge_sort(6);
+        let tests: Vec<BitString> = BitString::all(6).collect();
+        for universe in StandardUniverse::ALL {
+            let faults: Vec<MultiFault> = universe.iter(&net).collect();
+            let expected = detection_matrix_multi_wide::<2>(&net, &faults, &tests);
+            let (streamed, candidates) =
+                detection_matrix_from_source::<2, _>(&net, &faults, RangeSource::exhaustive(6));
+            assert_eq!(streamed, expected, "universe {}", universe.name());
+            assert_eq!(candidates, tests, "universe {}", universe.name());
+        }
+        // A chained source with a partial block mid-stream (the 7 sorted
+        // strings end inside the first block) must index columns by
+        // cumulative count, matching the materialised concatenation.
+        let faults: Vec<MultiFault> = StandardUniverse::StuckLine.iter(&net).collect();
+        let sorted: Vec<BitString> = (0..=6)
+            .map(|ones| BitString::sorted_with(6 - ones, ones))
+            .collect();
+        let chained: Vec<BitString> = sorted
+            .iter()
+            .copied()
+            .chain(BitString::all_unsorted(6))
+            .collect();
+        let expected = detection_matrix_multi_wide::<1>(&net, &faults, &chained);
+        let (streamed, candidates) = detection_matrix_from_source::<1, _>(
+            &net,
+            &faults,
+            ChainSource::new(
+                IterSource::new(6, sorted),
+                IterSource::new(6, BitString::all_unsorted(6)),
+            ),
+        );
+        assert_eq!(streamed, expected);
+        assert_eq!(candidates, chained);
+    }
+
+    #[test]
+    fn row_words_expose_the_packed_detection_bitmap() {
+        let net = odd_even_merge_sort(5);
+        let faults = enumerate_faults(&net);
+        let tests: Vec<BitString> = BitString::all(5).collect();
+        let matrix = detection_matrix(&net, &faults, &tests);
+        for f in 0..faults.len() {
+            let row = matrix.row_words(f);
+            assert_eq!(row.len(), tests.len().div_ceil(64));
+            for (t, _) in tests.iter().enumerate() {
+                assert_eq!(
+                    (row[t / 64] >> (t % 64)) & 1 == 1,
+                    matrix.is_detected_by(f, t)
+                );
+            }
         }
     }
 

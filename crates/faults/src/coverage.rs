@@ -60,8 +60,17 @@ pub struct CoverageReport {
     pub detected: usize,
     /// Detectable faults missed by the whole sequence.
     pub missed: usize,
-    /// Coverage ratio `detected / (detected + missed)`; 1.0 when there are
-    /// no detectable faults.
+    /// Coverage ratio `detected / (detected + missed)`.
+    ///
+    /// Pinned edge-case semantics: the denominator counts the faults the
+    /// sequence was *obliged* to catch, so `coverage` is `1.0` **only**
+    /// when that obligation is empty — an empty universe, or one whose
+    /// every fault was proven redundant (`check_redundancy`).  An empty
+    /// test sequence over a universe with detectable (or merely
+    /// not-shown-redundant) faults reads `0.0`, never `1.0`: undetected
+    /// faults land in `missed` (the default) unless a redundancy sweep
+    /// proves them undetectable.  [`CoverageReport::is_complete`] is the
+    /// boolean form of the same criterion.
     pub coverage: f64,
     /// Mean (over detected faults) of the 1-based index of the first test
     /// that detects the fault — the "tests until detection" cost.
@@ -75,6 +84,24 @@ pub struct CoverageReport {
     /// The provably undetectable faults counted in `redundant_faults`, in
     /// universe-enumeration order; empty unless `check_redundancy` ran.
     pub undetectable_faults: Vec<MultiFault>,
+}
+
+impl CoverageReport {
+    /// `true` when the sequence caught every fault it was obliged to:
+    /// nothing is `missed`.  Vacuously true for an empty or fully-redundant
+    /// universe (including with an empty test sequence — there was nothing
+    /// detectable to miss); `false` whenever any detectable (or
+    /// not-shown-redundant) fault went uncaught.
+    ///
+    /// This is the completeness criterion the minimal-test-set augmentation
+    /// search (`sortnet-testsets::augment`, which consumes
+    /// [`CoverageReport::missed_faults`] through its `SuggestAugmentation`
+    /// extension trait — the dependency points that way, so the hook cannot
+    /// live here) drives to.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.missed == 0
+    }
 }
 
 /// The bit-parallel per-fault results at lane width `W`: first-detection
@@ -309,6 +336,59 @@ mod tests {
         assert_eq!(report.detected, 0);
         assert_eq!(report.missed, report.total_faults);
         assert_eq!(report.mean_first_detection, 0.0);
+    }
+
+    #[test]
+    fn empty_test_sequence_over_a_detectable_universe_never_reads_complete() {
+        // The pinned edge-case semantics: an empty sequence must read 0.0
+        // coverage whenever anything was detectable — with or without the
+        // redundancy sweep classifying the misses.
+        let net = odd_even_merge_sort(5);
+        for check_redundancy in [false, true] {
+            for engine in [FaultSimEngine::Scalar, FaultSimEngine::BitParallel] {
+                let report =
+                    coverage_of_universe_with(&net, &StuckLine, &[], check_redundancy, engine);
+                assert_eq!(report.detected, 0);
+                assert!(report.missed > 0, "stuck-line has detectable faults");
+                assert_eq!(report.coverage, 0.0, "redundancy={check_redundancy}");
+                assert!(!report.is_complete());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_universe_is_vacuously_complete() {
+        // A network with no comparators has no single-comparator faults:
+        // total_faults = 0, and completeness holds vacuously — even for an
+        // empty test sequence, because nothing was detectable to miss.
+        let net = sortnet_network::Network::empty(3);
+        for tests in [Vec::new(), sorting::binary_testset(3)] {
+            let report = coverage_of_tests(&net, &tests, true);
+            assert_eq!(report.total_faults, 0);
+            assert_eq!(report.coverage, 1.0);
+            assert!(report.is_complete());
+        }
+    }
+
+    #[test]
+    fn fully_redundant_universe_is_complete_even_with_no_tests() {
+        // On a 1-line network every output is sorted, so both stuck-at
+        // faults of the single input segment are redundant: the obligation
+        // set is empty and coverage is 1.0 by vacuity — but only because
+        // the redundancy sweep *proved* it, not because the sequence was
+        // empty (the companion test above pins the detectable case to 0.0).
+        let net = sortnet_network::Network::empty(1);
+        let report = coverage_of_universe(&net, &StuckLine, &[], true);
+        assert_eq!(report.total_faults, 2);
+        assert_eq!(report.redundant_faults, 2);
+        assert_eq!(report.missed, 0);
+        assert_eq!(report.coverage, 1.0);
+        assert!(report.is_complete());
+        // Without the sweep the same faults count as missed: conservative,
+        // and still not read as full coverage.
+        let unchecked = coverage_of_universe(&net, &StuckLine, &[], false);
+        assert_eq!(unchecked.coverage, 0.0);
+        assert!(!unchecked.is_complete());
     }
 
     #[test]

@@ -50,12 +50,12 @@ pub mod simulate;
 pub mod universe;
 
 pub use bitsim::{
-    detection_matrix, detection_matrix_multi_on, detection_matrix_multi_wide,
-    detection_matrix_wide, faulty_run_block, first_detections, first_detections_multi_on,
-    first_detections_multi_wide, first_detections_wide, is_fault_redundant_bitparallel,
-    is_fault_redundant_wide, is_multi_fault_redundant_wide, multi_faulty_run_block,
-    redundant_faults_multi, redundant_faults_multi_on, redundant_faults_multi_wide,
-    DetectionMatrix,
+    detection_matrix, detection_matrix_from_source, detection_matrix_from_source_on,
+    detection_matrix_multi_on, detection_matrix_multi_wide, detection_matrix_wide,
+    faulty_run_block, first_detections, first_detections_multi_on, first_detections_multi_wide,
+    first_detections_wide, is_fault_redundant_bitparallel, is_fault_redundant_wide,
+    is_multi_fault_redundant_wide, multi_faulty_run_block, redundant_faults_multi,
+    redundant_faults_multi_on, redundant_faults_multi_wide, DetectionMatrix,
 };
 pub use coverage::{
     coverage_of_multifaults_with, coverage_of_tests, coverage_of_tests_with, coverage_of_universe,

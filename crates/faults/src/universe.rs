@@ -340,11 +340,14 @@ pub fn multi_faulty_apply_bits(
     input: &BitString,
 ) -> BitString {
     fault.assert_in_range(network);
-    assert_eq!(input.len(), network.lines(), "input length mismatch");
+    // Rejected before the input-length comparison so an oversized network
+    // is reported for what it is (the stuck-at injection below shifts
+    // `1u64 << line`, which needs every line index < 64).
     assert!(
         network.lines() <= 64,
         "word-packed fault simulation needs n <= 64 lines"
     );
+    assert_eq!(input.len(), network.lines(), "input length mismatch");
     let w = multi_faulty_apply_word(network, fault.lesions(), input.word());
     BitString::from_word(w, network.lines())
 }
@@ -712,6 +715,123 @@ mod tests {
                 assert!(is_multi_fault_redundant(&net, &fault), "line {line}");
             }
         }
+    }
+
+    /// Shift-free reference for the lesion timeline over a `Vec<u8>` state
+    /// (the same event-scan idea as the proptest oracle, kept local so the
+    /// boundary tests need no dev-dependency).
+    fn reference_multi_apply(
+        network: &Network,
+        fault: &MultiFault,
+        input: &BitString,
+    ) -> BitString {
+        let mut v: Vec<u8> = input.to_vec();
+        let lesions = fault.lesions();
+        for cut in 0..=network.size() {
+            for lesion in lesions {
+                if let Lesion::Stuck(s) = lesion {
+                    if s.cut == cut {
+                        v[s.line] = u8::from(s.value);
+                    }
+                }
+            }
+            if cut == network.size() {
+                break;
+            }
+            let c = network.comparators()[cut];
+            let comparator_fault = lesions.iter().find_map(|l| match l {
+                Lesion::Comparator(f) if f.comparator == cut => Some(f.kind),
+                _ => None,
+            });
+            let (i, j) = (c.min_line(), c.max_line());
+            let (bi, bj) = (v[i], v[j]);
+            match comparator_fault {
+                None => {
+                    v[i] = bi.min(bj);
+                    v[j] = bi.max(bj);
+                }
+                Some(FaultKind::StuckPass) => {}
+                Some(FaultKind::StuckSwap) => {
+                    v[i] = bj;
+                    v[j] = bi;
+                }
+                Some(FaultKind::Inverted) => {
+                    v[i] = bi.max(bj);
+                    v[j] = bi.min(bj);
+                }
+                Some(FaultKind::Misrouted { new_bottom }) => {
+                    let t = c.top();
+                    if new_bottom != t {
+                        let (bt, bb) = (v[t], v[new_bottom]);
+                        v[t] = bt.min(bb);
+                        v[new_bottom] = bt.max(bb);
+                    }
+                }
+            }
+        }
+        BitString::from_bits(&v.iter().map(|&b| b == 1).collect::<Vec<bool>>())
+    }
+
+    #[test]
+    fn stuck_and_pair_faults_at_the_word_boundary_are_exact() {
+        // n ∈ {63, 64}: the stuck-at injection is `1u64 << line` with the
+        // top lines at bits 62/63 — the word-boundary class this audit
+        // covers.  Every stuck-line fault and a top-line pair must match
+        // the shift-free reference.
+        for n in [63usize, 64] {
+            let net = Network::from_pairs(n, &[(0, n - 1), (n - 2, n - 1)]);
+            let inputs: Vec<BitString> = [
+                0u64,
+                u64::MAX,
+                1u64 << (n - 1),
+                u64::MAX ^ (1u64 << (n - 1)),
+                0xAAAA_AAAA_AAAA_AAAA,
+            ]
+            .into_iter()
+            .map(|w| BitString::from_word(w, n))
+            .collect();
+            for mf in StuckLine.iter(&net) {
+                for input in &inputs {
+                    assert_eq!(
+                        multi_faulty_apply_bits(&net, &mf, input),
+                        reference_multi_apply(&net, &mf, input),
+                        "n={n} fault {mf} input {input}"
+                    );
+                }
+            }
+            // A pair with both lesions on the top line: stuck-1 at the
+            // input, stuck-swap on the comparator reading it.
+            let pair = MultiFault::pair(
+                Lesion::Stuck(StuckAt {
+                    line: n - 1,
+                    cut: 0,
+                    value: true,
+                }),
+                Lesion::Comparator(Fault {
+                    comparator: 1,
+                    kind: FaultKind::StuckSwap,
+                }),
+            );
+            for input in &inputs {
+                assert_eq!(
+                    multi_faulty_apply_bits(&net, &pair, input),
+                    reference_multi_apply(&net, &pair, input),
+                    "n={n} input {input}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n <= 64")]
+    fn oversized_networks_are_rejected_before_any_shift() {
+        let net = Network::from_pairs(65, &[(0, 64)]);
+        let fault = MultiFault::single(Lesion::Stuck(StuckAt {
+            line: 64,
+            cut: 0,
+            value: true,
+        }));
+        let _ = multi_faulty_apply_bits(&net, &fault, &BitString::zeros(64));
     }
 
     #[test]

@@ -669,6 +669,59 @@ impl<const W: usize, I: Iterator<Item = BitString>> BlockSource<W> for IterSourc
     }
 }
 
+/// Concatenation of two block sources over the same line count: streams
+/// every block of `first`, then every block of `second` — the combinator
+/// candidate families are assembled from (the augmentation search in
+/// `sortnet-testsets` chains a structured family ahead of a broader one so
+/// greedy tie-breaks prefer the structured candidates).
+///
+/// A block in the middle of the chained stream may be *partial* (the last
+/// block of `first` holds however many vectors that family had left), so
+/// consumers must index vectors by cumulative count, not by
+/// `block × capacity`.
+#[derive(Clone, Debug)]
+pub struct ChainSource<A, B> {
+    first: A,
+    second: B,
+    on_second: bool,
+}
+
+impl<A, B> ChainSource<A, B> {
+    /// Chains `first` and `second`.
+    ///
+    /// The two sources must agree on the line count; the mismatch is
+    /// reported at [`BlockSource::next_block`] time (the constructor is
+    /// width-agnostic and cannot call the trait accessor).
+    pub fn new(first: A, second: B) -> Self {
+        Self {
+            first,
+            second,
+            on_second: false,
+        }
+    }
+}
+
+impl<const W: usize, A: BlockSource<W>, B: BlockSource<W>> BlockSource<W> for ChainSource<A, B> {
+    fn lines(&self) -> usize {
+        self.first.lines()
+    }
+
+    fn next_block(&mut self, block: &mut WideBlock<W>) -> bool {
+        assert_eq!(
+            self.first.lines(),
+            self.second.lines(),
+            "chained sources must agree on the line count"
+        );
+        if !self.on_second {
+            if self.first.next_block(block) {
+                return true;
+            }
+            self.on_second = true;
+        }
+        self.second.next_block(block)
+    }
+}
+
 /// Outcome of a [`sweep_find`] run.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SweepOutcome {
@@ -859,6 +912,45 @@ mod tests {
         let collected = collect_strings::<2, _>(IterSource::new(6, BitString::all_unsorted(6)));
         let expected: Vec<BitString> = BitString::all_unsorted(6).collect();
         assert_eq!(collected, expected);
+    }
+
+    #[test]
+    fn chain_source_streams_both_families_in_order() {
+        // Sorted strings ahead of the unsorted family: the chain must yield
+        // the exact concatenation, including across the partial block the
+        // first family ends on.
+        let n = 6usize;
+        let sorted = (0..=n).map(|ones| BitString::sorted_with(n - ones, ones));
+        let chain = ChainSource::new(
+            IterSource::new(n, sorted.clone()),
+            IterSource::new(n, BitString::all_unsorted(n)),
+        );
+        let collected = collect_strings::<1, _>(chain);
+        let expected: Vec<BitString> = sorted.chain(BitString::all_unsorted(n)).collect();
+        assert_eq!(collected, expected);
+        // The first family ends mid-block (7 < 64), so the chained stream
+        // contains a partial block followed by full ones.
+        let mut source = ChainSource::new(
+            IterSource::new(
+                n,
+                (0..=n).map(|ones| BitString::sorted_with(n - ones, ones)),
+            ),
+            RangeSource::exhaustive(n),
+        );
+        let mut block = WideBlock::<1>::zeroed(n);
+        assert!(BlockSource::<1>::next_block(&mut source, &mut block));
+        assert_eq!(block.count(), 7, "first family's partial block");
+        assert!(BlockSource::<1>::next_block(&mut source, &mut block));
+        assert_eq!(block.count(), 64, "second family restarts full");
+        assert_eq!(block.extract(0), BitString::zeros(n));
+    }
+
+    #[test]
+    #[should_panic(expected = "line count")]
+    fn chain_source_rejects_mismatched_line_counts() {
+        let mut source = ChainSource::new(RangeSource::exhaustive(4), RangeSource::exhaustive(5));
+        let mut block = WideBlock::<1>::zeroed(4);
+        while BlockSource::<1>::next_block(&mut source, &mut block) {}
     }
 
     #[test]

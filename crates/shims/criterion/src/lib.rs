@@ -144,25 +144,36 @@ impl Criterion {
         if let Some(parent) = std::path::Path::new(&path).parent() {
             let _ = std::fs::create_dir_all(parent);
         }
-        let mut out = String::from("[\n");
-        for (i, r) in self.records.iter().enumerate() {
-            let sep = if i + 1 == self.records.len() { "" } else { "," };
-            let throughput = match r.throughput {
-                Some(Throughput::Elements(e)) => format!(", \"elements\": {e}"),
-                Some(Throughput::Bytes(b)) => format!(", \"bytes\": {b}"),
-                None => String::new(),
-            };
-            out.push_str(&format!(
-                "  {{\"id\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}{}}}{}\n",
-                r.id, r.median_ns, r.mean_ns, r.min_ns, r.samples, r.iters_per_sample, throughput, sep
-            ));
-        }
-        out.push_str("]\n");
+        let out = render_summary(&self.records);
         match std::fs::File::create(&path).and_then(|mut f| f.write_all(out.as_bytes())) {
             Ok(()) => println!("\nbench summary written to {path}"),
             Err(e) => eprintln!("\ncould not write bench summary {path}: {e}"),
         }
     }
+}
+
+/// Renders the JSON summary for a list of records — a pure function so
+/// tests can pin that **every** [`Throughput`] variant round-trips into
+/// the JSON (an annotation silently dropped here would vanish from the
+/// `target/bench-summaries/` perf trajectory).  The match is exhaustive
+/// with no wildcard arm: adding a `Throughput` variant without a JSON
+/// field is a compile error, not a silent drop.
+fn render_summary(records: &[BenchRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 == records.len() { "" } else { "," };
+        let throughput = match r.throughput {
+            Some(Throughput::Elements(e)) => format!(", \"elements\": {e}"),
+            Some(Throughput::Bytes(b)) => format!(", \"bytes\": {b}"),
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "  {{\"id\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}{}}}{}\n",
+            r.id, r.median_ns, r.mean_ns, r.min_ns, r.samples, r.iters_per_sample, throughput, sep
+        ));
+    }
+    out.push_str("]\n");
+    out
 }
 
 /// A group of benchmarks sharing sampling settings.
@@ -325,5 +336,37 @@ mod tests {
     fn benchmark_ids_render() {
         assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
         assert_eq!(BenchmarkId::from_parameter(3).to_string(), "3");
+    }
+
+    #[test]
+    fn summary_serialises_every_throughput_variant() {
+        let record = |id: &str, throughput| BenchRecord {
+            id: id.into(),
+            median_ns: 10.0,
+            mean_ns: 11.0,
+            min_ns: 9.0,
+            samples: 2,
+            iters_per_sample: 3,
+            throughput,
+        };
+        let json = render_summary(&[
+            record("g/elems/1", Some(Throughput::Elements(7))),
+            record("g/bytes/1", Some(Throughput::Bytes(4096))),
+            record("g/plain/1", None),
+        ]);
+        // No annotation vanishes: each variant lands in its record's JSON.
+        assert!(json.contains(r#""id": "g/elems/1""#));
+        assert!(json.contains(r#""elements": 7"#));
+        assert!(json.contains(r#""bytes": 4096"#));
+        assert!(!json.contains(r#""elements": 4096"#));
+        // The unannotated record carries neither field.
+        let plain_line = json
+            .lines()
+            .find(|l| l.contains("g/plain/1"))
+            .expect("plain record rendered");
+        assert!(!plain_line.contains("elements") && !plain_line.contains("bytes"));
+        // Still a well-formed JSON array with one object per record.
+        assert!(json.trim_start().starts_with('[') && json.trim_end().ends_with(']'));
+        assert_eq!(json.matches("{\"id\"").count(), 3);
     }
 }

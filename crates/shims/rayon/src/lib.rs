@@ -15,6 +15,11 @@
 //!
 //! Worker count: the `RAYON_NUM_THREADS` environment variable if set (the
 //! same knob real rayon honours), otherwise `available_parallelism()`.
+//! The variable is only ever *read* (at consume time) — mutating the
+//! process environment at runtime is a data race under the multithreaded
+//! test harness and unsound in Rust 2024, so tests that need a specific
+//! worker count inject it per pipeline with
+//! [`ParIter::with_max_threads`] instead of `std::env::set_var`.
 //! Pipelines over sources with fewer than two items, or with a single
 //! worker, run inline on the calling thread with no spawn overhead.
 //!
@@ -287,13 +292,13 @@ fn split_even<P: ParallelSource>(source: P, chunks: usize) -> Vec<P> {
 /// Runs `consume` over one chunk per worker on scoped threads, returning
 /// the per-chunk results in source order.  Falls back to a single inline
 /// call when the source is trivial or only one worker is available.
-fn run_chunks<P, R, F>(source: P, consume: F) -> Vec<R>
+fn run_chunks<P, R, F>(threads: usize, source: P, consume: F) -> Vec<R>
 where
     P: ParallelSource,
     R: Send,
     F: Fn(usize, P) -> R + Sync,
 {
-    let threads = pool_threads().min(source.len());
+    let threads = threads.max(1).min(source.len());
     if threads <= 1 {
         return vec![consume(0, source)];
     }
@@ -317,20 +322,41 @@ where
 /// into per-worker chunks and merge the results in source order.
 pub struct ParIter<P> {
     source: P,
+    /// Worker-count cap injected by [`ParIter::with_max_threads`];
+    /// `None` defers to [`pool_threads`] at consume time.
+    max_threads: Option<usize>,
 }
 
 impl<P: ParallelSource> ParIter<P> {
+    /// Caps the worker threads this pipeline's consumer may spawn — the
+    /// injectable form of the `RAYON_NUM_THREADS` knob, used by tests to
+    /// pin the worker count without mutating the process environment
+    /// (which would race the multithreaded test harness).
+    #[must_use]
+    pub fn with_max_threads(mut self, threads: usize) -> Self {
+        self.max_threads = Some(threads.max(1));
+        self
+    }
+
+    /// The worker count the consumers use: the injected cap, else the
+    /// environment/CPU default.
+    fn threads(&self) -> usize {
+        self.max_threads.unwrap_or_else(pool_threads)
+    }
+
     /// Maps every item through `f` (rayon's `map`).
     pub fn map<R, F>(self, f: F) -> ParIter<Map<P, F>>
     where
         F: FnMut(P::Item) -> R + Clone + Send,
         R: Send,
     {
+        let max_threads = self.max_threads;
         ParIter {
             source: Map {
                 base: self.source,
                 f,
             },
+            max_threads,
         }
     }
 
@@ -339,11 +365,13 @@ impl<P: ParallelSource> ParIter<P> {
     where
         F: FnMut(&P::Item) -> bool + Clone + Send,
     {
+        let max_threads = self.max_threads;
         ParIter {
             source: Filter {
                 base: self.source,
                 f,
             },
+            max_threads,
         }
     }
 
@@ -353,11 +381,13 @@ impl<P: ParallelSource> ParIter<P> {
         F: FnMut(P::Item) -> Option<R> + Clone + Send,
         R: Send,
     {
+        let max_threads = self.max_threads;
         ParIter {
             source: FilterMap {
                 base: self.source,
                 f,
             },
+            max_threads,
         }
     }
 
@@ -369,11 +399,13 @@ impl<P: ParallelSource> ParIter<P> {
         U: IntoIterator,
         U::Item: Send,
     {
+        let max_threads = self.max_threads;
         ParIter {
             source: FlatMapIter {
                 base: self.source,
                 f,
             },
+            max_threads,
         }
     }
 
@@ -382,14 +414,16 @@ impl<P: ParallelSource> ParIter<P> {
     where
         S: std::iter::Sum<P::Item> + std::iter::Sum<S> + Send,
     {
-        run_chunks(self.source, |_, chunk| chunk.into_seq().sum::<S>())
+        let threads = self.threads();
+        run_chunks(threads, self.source, |_, chunk| chunk.into_seq().sum::<S>())
             .into_iter()
             .sum()
     }
 
     /// Collects the items, preserving source order.
     pub fn collect<C: FromIterator<P::Item>>(self) -> C {
-        run_chunks(self.source, |_, chunk| {
+        let threads = self.threads();
+        run_chunks(threads, self.source, |_, chunk| {
             chunk.into_seq().collect::<Vec<P::Item>>()
         })
         .into_iter()
@@ -403,8 +437,9 @@ impl<P: ParallelSource> ParIter<P> {
     where
         F: Fn(P::Item) -> bool + Sync,
     {
+        let threads = self.threads();
         let failed = AtomicBool::new(false);
-        let verdicts = run_chunks(self.source, |_, chunk| {
+        let verdicts = run_chunks(threads, self.source, |_, chunk| {
             for item in chunk.into_seq() {
                 if failed.load(Ordering::Relaxed) {
                     // Another chunk already failed; our verdict is moot.
@@ -429,8 +464,9 @@ impl<P: ParallelSource> ParIter<P> {
         F: Fn(P::Item) -> Option<R> + Sync,
         R: Send,
     {
+        let threads = self.threads();
         let best_chunk = AtomicUsize::new(usize::MAX);
-        let candidates = run_chunks(self.source, |idx, chunk| {
+        let candidates = run_chunks(threads, self.source, |idx, chunk| {
             for (pos, item) in chunk.into_seq().enumerate() {
                 // Periodically bail out once an earlier chunk has a match.
                 if pos % 64 == 0 && best_chunk.load(Ordering::Relaxed) < idx {
@@ -454,10 +490,13 @@ impl<P: ParallelSource> ParIter<P> {
         K: Ord,
         F: Fn(&P::Item) -> K + Sync,
     {
-        run_chunks(self.source, |_, chunk| chunk.into_seq().min_by_key(&f))
-            .into_iter()
-            .flatten()
-            .min_by_key(&f)
+        let threads = self.threads();
+        run_chunks(threads, self.source, |_, chunk| {
+            chunk.into_seq().min_by_key(&f)
+        })
+        .into_iter()
+        .flatten()
+        .min_by_key(&f)
     }
 }
 
@@ -477,7 +516,10 @@ macro_rules! range_into_par {
             type Item = $t;
             type Source = Self;
             fn into_par_iter(self) -> ParIter<Self> {
-                ParIter { source: self }
+                ParIter {
+                    source: self,
+                    max_threads: None,
+                }
             }
         }
 
@@ -490,6 +532,7 @@ macro_rules! range_into_par {
                 // shape this workspace produces.
                 ParIter {
                     source: start..end.saturating_add(1),
+                    max_threads: None,
                 }
             }
         }
@@ -506,6 +549,7 @@ impl<T: Send> IntoParallelIterator for Vec<T> {
     fn into_par_iter(self) -> ParIter<Self::Source> {
         ParIter {
             source: VecSource(self),
+            max_threads: None,
         }
     }
 }
@@ -514,7 +558,10 @@ impl<'data, T: Sync> IntoParallelIterator for &'data [T] {
     type Item = &'data T;
     type Source = &'data [T];
     fn into_par_iter(self) -> ParIter<Self::Source> {
-        ParIter { source: self }
+        ParIter {
+            source: self,
+            max_threads: None,
+        }
     }
 }
 
@@ -524,6 +571,7 @@ impl<'data, T: Sync> IntoParallelIterator for &'data Vec<T> {
     fn into_par_iter(self) -> ParIter<Self::Source> {
         ParIter {
             source: self.as_slice(),
+            max_threads: None,
         }
     }
 }
@@ -557,24 +605,6 @@ mod tests {
     use super::prelude::*;
     use std::collections::HashSet;
 
-    /// Force a multi-thread pool for the duration of a test, regardless of
-    /// the host's core count (the CI container may have one CPU).
-    ///
-    /// The environment variable is process-global, so all tests that force
-    /// it serialise on a lock; it is held (not unset) for the whole test,
-    /// which keeps concurrently running non-forcing tests — none of which
-    /// assert anything about thread counts — on a stable value too.
-    fn with_forced_threads(test: impl FnOnce()) {
-        use std::sync::Mutex;
-        static ENV_LOCK: Mutex<()> = Mutex::new(());
-        let _guard = ENV_LOCK
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        std::env::set_var("RAYON_NUM_THREADS", "4");
-        test();
-        std::env::remove_var("RAYON_NUM_THREADS");
-    }
-
     #[test]
     fn ranges_and_slices_behave_like_std_iterators() {
         let sum: u64 = (0u64..100).into_par_iter().map(|x| x * 2).sum();
@@ -593,61 +623,109 @@ mod tests {
 
     #[test]
     fn work_actually_lands_on_multiple_threads() {
-        with_forced_threads(|| {
-            let ids: HashSet<std::thread::ThreadId> = (0..1024usize)
-                .into_par_iter()
-                .map(|_| std::thread::current().id())
-                .collect::<Vec<_>>()
-                .into_iter()
-                .collect();
+        // The worker count is injected per pipeline — no process-global
+        // environment mutation, which would race the multithreaded test
+        // harness (and `set_var` is unsound in Rust 2024).
+        let ids: HashSet<std::thread::ThreadId> = (0..1024usize)
+            .into_par_iter()
+            .with_max_threads(4)
+            .map(|_| std::thread::current().id())
+            .collect::<Vec<_>>()
+            .into_iter()
+            .collect();
+        assert!(
+            ids.len() >= 2,
+            "expected work on ≥ 2 threads, saw {}",
+            ids.len()
+        );
+    }
+
+    #[test]
+    fn a_single_injected_worker_runs_inline() {
+        let ids: HashSet<std::thread::ThreadId> = (0..1024usize)
+            .into_par_iter()
+            .with_max_threads(1)
+            .map(|_| std::thread::current().id())
+            .collect::<Vec<_>>()
+            .into_iter()
+            .collect();
+        assert_eq!(ids.len(), 1);
+        assert!(ids.contains(&std::thread::current().id()));
+    }
+
+    #[test]
+    fn injected_thread_cap_survives_adaptor_stacking() {
+        // with_max_threads before or after the adaptors must pin the same
+        // worker count (the cap travels with the pipeline).
+        fn check(pairs: Vec<(usize, std::thread::ThreadId)>, cap_first: bool) {
+            let ids: HashSet<_> = pairs.iter().map(|(_, id)| *id).collect();
             assert!(
-                ids.len() >= 2,
-                "expected work on ≥ 2 threads, saw {}",
+                (1..=3).contains(&ids.len()),
+                "cap_first={cap_first}: saw {} threads",
                 ids.len()
             );
-        });
+            assert_eq!(
+                pairs.iter().map(|(x, _)| *x).collect::<Vec<_>>(),
+                (0..512).collect::<Vec<_>>()
+            );
+        }
+        check(
+            (0..512usize)
+                .into_par_iter()
+                .with_max_threads(3)
+                .map(|x| (x, std::thread::current().id()))
+                .collect(),
+            true,
+        );
+        check(
+            (0..512usize)
+                .into_par_iter()
+                .map(|x| (x, std::thread::current().id()))
+                .with_max_threads(3)
+                .collect(),
+            false,
+        );
     }
 
     #[test]
     fn collect_preserves_source_order_across_chunks() {
-        with_forced_threads(|| {
-            let out: Vec<u64> = (0u64..10_000).into_par_iter().map(|x| x * 3).collect();
-            let expected: Vec<u64> = (0u64..10_000).map(|x| x * 3).collect();
-            assert_eq!(out, expected);
-        });
+        let out: Vec<u64> = (0u64..10_000)
+            .into_par_iter()
+            .with_max_threads(4)
+            .map(|x| x * 3)
+            .collect();
+        let expected: Vec<u64> = (0u64..10_000).map(|x| x * 3).collect();
+        assert_eq!(out, expected);
     }
 
     #[test]
     fn find_map_first_returns_the_earliest_match() {
-        with_forced_threads(|| {
-            // Matches exist in every chunk; the earliest must win.
-            let first = (0u64..100_000).into_par_iter().find_map_first(|x| {
-                if x % 97 == 13 {
-                    Some(x)
-                } else {
-                    None
-                }
-            });
-            assert_eq!(first, Some(13));
-            let none = (0u64..1000).into_par_iter().find_map_first(|_| None::<u64>);
-            assert_eq!(none, None);
-        });
+        // Matches exist in every chunk; the earliest must win.
+        let first = (0u64..100_000)
+            .into_par_iter()
+            .with_max_threads(4)
+            .find_map_first(|x| if x % 97 == 13 { Some(x) } else { None });
+        assert_eq!(first, Some(13));
+        let none = (0u64..1000)
+            .into_par_iter()
+            .with_max_threads(4)
+            .find_map_first(|_| None::<u64>);
+        assert_eq!(none, None);
     }
 
     #[test]
     fn flat_map_iter_and_filter_compose() {
-        with_forced_threads(|| {
-            let out: Vec<usize> = (0usize..100)
-                .into_par_iter()
-                .flat_map_iter(|x| vec![x, x])
-                .filter(|&x| x % 2 == 0)
-                .collect();
-            let expected: Vec<usize> = (0usize..100)
-                .flat_map(|x| vec![x, x])
-                .filter(|&x| x % 2 == 0)
-                .collect();
-            assert_eq!(out, expected);
-        });
+        let out: Vec<usize> = (0usize..100)
+            .into_par_iter()
+            .with_max_threads(4)
+            .flat_map_iter(|x| vec![x, x])
+            .filter(|&x| x % 2 == 0)
+            .collect();
+        let expected: Vec<usize> = (0usize..100)
+            .flat_map(|x| vec![x, x])
+            .filter(|&x| x % 2 == 0)
+            .collect();
+        assert_eq!(out, expected);
     }
 
     #[test]

@@ -1,0 +1,910 @@
+//! Minimal test-set **augmentation**: the smallest set of extra vectors
+//! that makes a base test set complete for a fault universe.
+//!
+//! PR 3 established that the paper's minimal 0/1 sets (Theorem 2.2) are
+//! *incomplete* for the stuck-line universes — on Batcher's n = 8 sorter
+//! they miss 8 of 62 detectable stuck-line faults and 118 of 3485
+//! detectable stuck-line *pairs* — and that appending the `n + 1` sorted
+//! strings restores completeness.  That gives an **upper bound** on the
+//! augmentation size; this module finds the **provably smallest** one,
+//! closing the ROADMAP's open question.
+//!
+//! # Pipeline
+//!
+//! 1. **Missed faults.**  A coverage run with redundancy classification
+//!    ([`coverage_of_universe_with`]) names the detectable faults the base
+//!    set fails to catch (`CoverageReport::missed_faults`).
+//! 2. **Candidates × missed-faults matrix.**  One streamed wide-lane pass
+//!    ([`detection_matrix_from_source`]) grades a candidate family — all
+//!    `2^n` vectors, a structured family, or an explicit list (see
+//!    [`CandidatePool`]) — against exactly the missed faults, without
+//!    materialising the family ahead of the sweep.
+//! 3. **Exact set cover.**  Choosing the fewest candidates whose detection
+//!    columns cover every missed fault is minimum set cover.  The solver
+//!    ([`SetCoverInstance`]) computes a greedy upper bound, two lower
+//!    bounds — the LP-relaxation-style counting bound
+//!    `⌈uncovered / max-column⌉` and a hitting-set *witness* bound (a set
+//!    of pairwise non-co-coverable faults, each forcing a distinct
+//!    candidate) — and certifies optimality by branch and bound, early-
+//!    exiting when greedy already meets the bound.
+//!
+//! The same subsumption pattern (greedy upper bound + exact lower-bound
+//! certificate) drives the optimal-size sorting-network searches of
+//! Frăsinaru & Răschip (arXiv:1707.08725) and Harder (arXiv:2012.04400);
+//! here the certified object is the *test set* instead of the network.
+//! The solver also powers the brute-force searches in [`crate::hitting`],
+//! which it generalises from single-word (≤ 64 element) universes to
+//! arbitrary widths.
+//!
+//! # Entry points
+//!
+//! * [`minimum_augmentation`] — end to end: coverage run, matrix, search;
+//! * [`SuggestAugmentation::suggest_augmentation`] — the hook on an
+//!   already-computed [`CoverageReport`] (the crate dependency points
+//!   `testsets → faults`, so the method lives here as an extension trait);
+//! * [`augmentation_for_missed`] — the core, over an explicit missed-fault
+//!   slice.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use sortnet_combinat::BitString;
+use sortnet_faults::bitsim::detection_matrix_from_source;
+use sortnet_faults::coverage::{coverage_of_universe_with, CoverageReport, FaultSimEngine};
+use sortnet_faults::universe::{FaultUniverse, MultiFault};
+use sortnet_network::lanes::{BlockSource, ChainSource, IterSource, RangeSource, DEFAULT_WIDTH};
+use sortnet_network::Network;
+
+/// A bitmask over a small universe (fault indices or set indices), packed
+/// 64 per word — the multi-word generalisation of the `u64` signatures in
+/// [`crate::hitting`].
+type Mask = Vec<u64>;
+
+fn mask_words(bits: usize) -> usize {
+    bits.div_ceil(64).max(1)
+}
+
+fn mask_new(bits: usize) -> Mask {
+    vec![0u64; mask_words(bits)]
+}
+
+fn mask_set(mask: &mut Mask, i: usize) {
+    mask[i / 64] |= 1u64 << (i % 64);
+}
+
+fn mask_count(mask: &[u64]) -> usize {
+    mask.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+fn mask_is_zero(mask: &[u64]) -> bool {
+    mask.iter().all(|&w| w == 0)
+}
+
+fn mask_or(dst: &mut Mask, src: &[u64]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d |= s;
+    }
+}
+
+fn mask_andnot(dst: &mut Mask, src: &[u64]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d &= !s;
+    }
+}
+
+fn mask_inter_count(a: &[u64], b: &[u64]) -> usize {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x & y).count_ones() as usize)
+        .sum()
+}
+
+fn mask_disjoint(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x & y == 0)
+}
+
+/// The set bit positions of a mask, ascending.
+fn mask_indices(mask: &[u64]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (w, &word) in mask.iter().enumerate() {
+        let mut x = word;
+        while x != 0 {
+            out.push(w * 64 + x.trailing_zeros() as usize);
+            x &= x - 1;
+        }
+    }
+    out
+}
+
+/// A minimum set-cover instance: `elements` things to cover, and candidate
+/// sets given as bitmasks over them.
+///
+/// This is the generic engine behind the augmentation search (elements =
+/// missed faults, sets = candidate test vectors) and behind the
+/// brute-force searches in [`crate::hitting`] (elements = failure
+/// signatures, sets = test strings; elements = unsorted strings, sets =
+/// permutation covers).
+#[derive(Clone, Debug)]
+pub struct SetCoverInstance {
+    elements: usize,
+    sets: Vec<Mask>,
+}
+
+/// Outcome of [`SetCoverInstance::solve`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SetCoverSolution {
+    /// The greedy cover (largest marginal gain first; ties to the lowest
+    /// set index) — the upper bound the exact search starts from.
+    pub greedy: Vec<usize>,
+    /// The best cover found; the exact minimum when `certified`.
+    pub minimum: Vec<usize>,
+    /// The root lower bound: the larger of the counting bound
+    /// `⌈elements / max-set-size⌉` and the disjoint-`witness` size.  When
+    /// `certified`, `lower_bound ≤ minimum.len()` with equality iff the
+    /// bound was tight.
+    pub lower_bound: usize,
+    /// `true` when the branch-and-bound search ran to completion (or was
+    /// unnecessary because greedy met the root bound): `minimum` is then a
+    /// provable optimum.  `false` only when a node budget aborted the
+    /// search early.
+    pub certified: bool,
+    /// Branch-and-bound nodes expanded (0 when greedy met the bound).
+    pub nodes: u64,
+    /// Elements no set covers; the cover fields span the coverable rest.
+    pub uncoverable: Vec<usize>,
+    /// The lower-bound certificate: elements whose candidate sets are
+    /// pairwise disjoint, so any cover needs a distinct set per member —
+    /// proving `minimum.len() ≥ witness.len()` independently of the search.
+    pub witness: Vec<usize>,
+}
+
+impl SetCoverInstance {
+    /// Builds an instance over `elements` things to cover.
+    ///
+    /// # Panics
+    /// Panics if a set mask has the wrong word length for `elements`.
+    #[must_use]
+    pub fn new(elements: usize, sets: Vec<Mask>) -> Self {
+        let words = mask_words(elements);
+        for (i, set) in sets.iter().enumerate() {
+            assert_eq!(set.len(), words, "set {i} has the wrong mask width");
+        }
+        Self { elements, sets }
+    }
+
+    /// Number of elements to cover.
+    #[must_use]
+    pub fn elements(&self) -> usize {
+        self.elements
+    }
+
+    /// Number of candidate sets.
+    #[must_use]
+    pub fn set_count(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Solves the instance: greedy upper bound, root lower bound, and —
+    /// unless greedy already meets the bound — an exact branch-and-bound
+    /// search (MRV branching on the element with fewest covering sets,
+    /// pruned by the node lower bound).
+    ///
+    /// `node_budget` caps the branch-and-bound nodes; `None` runs to
+    /// certification.  An exhausted budget returns the best cover found
+    /// with `certified = false`.
+    #[must_use]
+    pub fn solve(&self, node_budget: Option<u64>) -> SetCoverSolution {
+        let words = mask_words(self.elements);
+        let mut target = vec![0u64; words];
+        for e in 0..self.elements {
+            mask_set(&mut target, e);
+        }
+        let mut coverable = vec![0u64; words];
+        for set in &self.sets {
+            mask_or(&mut coverable, set);
+        }
+        let uncoverable_mask: Mask = target.iter().zip(&coverable).map(|(t, c)| t & !c).collect();
+        let uncoverable = mask_indices(&uncoverable_mask);
+        for (t, c) in target.iter_mut().zip(&coverable) {
+            *t &= c;
+        }
+
+        // Per-element covering sets, tried biggest-set-first in the search.
+        let mut covering: Vec<Vec<usize>> = vec![Vec::new(); self.elements];
+        for (s, set) in self.sets.iter().enumerate() {
+            for e in mask_indices(set) {
+                covering[e].push(s);
+            }
+        }
+        for list in &mut covering {
+            list.sort_by_key(|&s| (std::cmp::Reverse(mask_count(&self.sets[s])), s));
+        }
+        let covering_mask: Vec<Mask> = covering
+            .iter()
+            .map(|list| {
+                let mut m = mask_new(self.sets.len());
+                for &s in list {
+                    mask_set(&mut m, s);
+                }
+                m
+            })
+            .collect();
+
+        let greedy = self.greedy_cover(&target);
+        let (lower_bound, witness) =
+            cover_lower_bound(&self.sets, &target, &covering, &covering_mask);
+        let mut search = Search {
+            instance: self,
+            covering: &covering,
+            covering_mask: &covering_mask,
+            best: greedy.clone(),
+            nodes: 0,
+            budget: node_budget,
+            aborted: false,
+        };
+        if lower_bound < search.best.len() {
+            let mut chosen = Vec::new();
+            search.dfs(&target, &mut chosen);
+        }
+        SetCoverSolution {
+            greedy,
+            minimum: search.best,
+            lower_bound,
+            certified: !search.aborted,
+            nodes: search.nodes,
+            uncoverable,
+            witness,
+        }
+    }
+
+    /// Greedy cover of `target`: repeatedly the set with the largest
+    /// marginal gain, ties to the lowest index (which is why candidate
+    /// pools put preferred/structured vectors first).
+    fn greedy_cover(&self, target: &Mask) -> Vec<usize> {
+        let mut uncovered = target.clone();
+        let mut out = Vec::new();
+        while !mask_is_zero(&uncovered) {
+            let mut best_set = usize::MAX;
+            let mut best_gain = 0usize;
+            for (s, set) in self.sets.iter().enumerate() {
+                let gain = mask_inter_count(set, &uncovered);
+                if gain > best_gain {
+                    best_gain = gain;
+                    best_set = s;
+                }
+            }
+            if best_gain == 0 {
+                break; // uncoverable residue; the caller reports it
+            }
+            out.push(best_set);
+            mask_andnot(&mut uncovered, &self.sets[best_set]);
+        }
+        out
+    }
+}
+
+/// Lower bound for covering `uncovered`, with the disjoint-element witness
+/// certifying the hitting-set half of the bound.
+///
+/// * counting (LP-relaxation-style): every chosen set covers at most
+///   `max-column` uncovered elements, so ≥ `⌈|uncovered| / max-column⌉`
+///   sets are needed;
+/// * hitting-set witness: elements whose covering-set masks are pairwise
+///   disjoint each force a distinct set (greedily collected fewest-
+///   candidates-first).
+fn cover_lower_bound(
+    sets: &[Mask],
+    uncovered: &Mask,
+    covering: &[Vec<usize>],
+    covering_mask: &[Mask],
+) -> (usize, Vec<usize>) {
+    let elements = mask_indices(uncovered);
+    let mut witness = Vec::new();
+    let bound = lower_bound_over(
+        sets,
+        uncovered,
+        &elements,
+        covering,
+        covering_mask,
+        Some(&mut witness),
+    );
+    (bound, witness)
+}
+
+/// The bound computation shared by the root (which keeps the witness for
+/// the report) and the per-node pruning (which only needs the number —
+/// `witness_out: None` skips the collection).  `elements` are the set bit
+/// positions of `uncovered`, passed in so the search computes them once
+/// per node for both the bound and the MRV pick.
+fn lower_bound_over(
+    sets: &[Mask],
+    uncovered: &Mask,
+    elements: &[usize],
+    covering: &[Vec<usize>],
+    covering_mask: &[Mask],
+    mut witness_out: Option<&mut Vec<usize>>,
+) -> usize {
+    if elements.is_empty() {
+        return 0;
+    }
+    let max_gain = sets
+        .iter()
+        .map(|s| mask_inter_count(s, uncovered))
+        .max()
+        .unwrap_or(0);
+    debug_assert!(max_gain > 0, "lower bound asked over uncoverable elements");
+    let counting = elements.len().div_ceil(max_gain.max(1));
+    let mut by_degree = elements.to_vec();
+    by_degree.sort_unstable_by_key(|&e| covering[e].len());
+    let set_words = covering_mask.first().map_or(1, Vec::len);
+    let mut used = vec![0u64; set_words];
+    let mut witness_len = 0usize;
+    for e in by_degree {
+        if mask_disjoint(&covering_mask[e], &used) {
+            mask_or(&mut used, &covering_mask[e]);
+            witness_len += 1;
+            if let Some(witness) = witness_out.as_deref_mut() {
+                witness.push(e);
+            }
+        }
+    }
+    counting.max(witness_len)
+}
+
+/// Branch-and-bound state: MRV branching (the uncovered element with the
+/// fewest covering sets), pruned at each node by [`cover_lower_bound`].
+struct Search<'a> {
+    instance: &'a SetCoverInstance,
+    covering: &'a [Vec<usize>],
+    covering_mask: &'a [Mask],
+    best: Vec<usize>,
+    nodes: u64,
+    budget: Option<u64>,
+    aborted: bool,
+}
+
+impl Search<'_> {
+    fn dfs(&mut self, uncovered: &Mask, chosen: &mut Vec<usize>) {
+        if mask_is_zero(uncovered) {
+            if chosen.len() < self.best.len() {
+                self.best = chosen.clone();
+            }
+            return;
+        }
+        if let Some(budget) = self.budget {
+            if self.nodes >= budget {
+                self.aborted = true;
+                return;
+            }
+        }
+        self.nodes += 1;
+        // One index scan serves both the bound and the MRV pick; the
+        // witness elements are not materialised at interior nodes.
+        let elements = mask_indices(uncovered);
+        let bound = lower_bound_over(
+            &self.instance.sets,
+            uncovered,
+            &elements,
+            self.covering,
+            self.covering_mask,
+            None,
+        );
+        if chosen.len() + bound >= self.best.len() {
+            return;
+        }
+        let element = elements
+            .into_iter()
+            .min_by_key(|&e| self.covering[e].len())
+            .expect("uncovered is non-empty");
+        for &s in &self.covering[element] {
+            chosen.push(s);
+            let mut next = uncovered.clone();
+            mask_andnot(&mut next, &self.instance.sets[s]);
+            self.dfs(&next, chosen);
+            chosen.pop();
+            if self.aborted {
+                return;
+            }
+        }
+    }
+}
+
+/// The candidate vector family an augmentation is drawn from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CandidatePool {
+    /// Every binary vector (`2^n` candidates): the exact minimum over all
+    /// possible augmentations.  Refused for `n ≥ 32` (like every
+    /// exhaustive sweep); practical for `n ≲ 20`.
+    Exhaustive,
+    /// The `n + 1` sorted strings — exactly the vectors Theorem 2.2's
+    /// minimal set omits, and the family PR 3 showed restores stuck-line
+    /// completeness.  The optimum over this pool is the "sorted strings
+    /// suffice" upper bound the exhaustive search must meet or beat.
+    SortedStrings,
+    /// The sorted strings chained ahead of every unsorted string (the full
+    /// `2^n` family reordered through
+    /// [`ChainSource`]): same optimum
+    /// as [`CandidatePool::Exhaustive`], but greedy tie-breaks prefer the
+    /// structured candidates, which makes the reported vectors easier to
+    /// read.
+    SortedFirst,
+    /// An explicit candidate list (all of length `n`), e.g. a Theorem
+    /// 2.4/2.5 family from [`crate::selector`]/[`crate::merging`].
+    Explicit(Vec<BitString>),
+}
+
+/// The `n + 1` sorted strings `0^{n-k} 1^k`.
+fn sorted_strings(n: usize) -> impl Iterator<Item = BitString> + Clone {
+    (0..=n).map(move |ones| BitString::sorted_with(n - ones, ones))
+}
+
+impl CandidatePool {
+    /// The pool as a streaming block source over `n` lines.
+    fn source(&self, n: usize) -> Box<dyn BlockSource<DEFAULT_WIDTH> + '_> {
+        match self {
+            Self::Exhaustive => Box::new(RangeSource::exhaustive(n)),
+            Self::SortedStrings => Box::new(IterSource::new(n, sorted_strings(n))),
+            Self::SortedFirst => {
+                // Same budget as the exhaustive pool — the unsorted tail
+                // alone would otherwise slip past RangeSource's n < 32
+                // guard (BitString::all only refuses n >= 64) and grind
+                // through 2^n candidates instead of panicking.
+                assert!(n < 32, "exhaustive 2^{n} candidate pool refused");
+                Box::new(ChainSource::new(
+                    IterSource::new(n, sorted_strings(n)),
+                    IterSource::new(n, BitString::all_unsorted(n)),
+                ))
+            }
+            Self::Explicit(vectors) => Box::new(IterSource::new(n, vectors.iter().copied())),
+        }
+    }
+}
+
+/// Knobs of the augmentation search.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SearchOptions {
+    /// Engine for the coverage run in [`minimum_augmentation`] (the
+    /// candidate matrix always uses the streamed bit-parallel pass; every
+    /// engine produces the identical report).
+    pub engine: FaultSimEngine,
+    /// Branch-and-bound node cap; `None` runs to certification.  The
+    /// greedy cover is always available, so an exhausted budget degrades
+    /// the result to "best found, uncertified", never to nothing.
+    pub node_budget: Option<u64>,
+}
+
+/// Result of an augmentation search.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AugmentationReport {
+    /// The detectable faults the base set missed, in universe order — the
+    /// elements the augmentation must cover.
+    pub missed_faults: Vec<MultiFault>,
+    /// Candidates streamed through the detection matrix (before empty and
+    /// duplicate detection columns were folded away).
+    pub candidates_considered: usize,
+    /// The greedy augmentation (upper bound).
+    pub greedy: Vec<BitString>,
+    /// The smallest augmentation found; the certified minimum over the
+    /// pool when `certified`.
+    pub minimum: Vec<BitString>,
+    /// Root lower bound on any augmentation from this pool; equals
+    /// `minimum.len()` exactly when the bound is tight (it always is once
+    /// `certified` and the search closed the gap).
+    pub lower_bound: usize,
+    /// `true` when `minimum` is provably optimal over the pool.
+    pub certified: bool,
+    /// Branch-and-bound nodes expanded (0 when greedy met the bound).
+    pub search_nodes: u64,
+    /// The lower-bound certificate: missed faults no single candidate can
+    /// co-cover, each forcing a distinct extra vector.
+    pub witness_faults: Vec<MultiFault>,
+}
+
+impl AugmentationReport {
+    /// `true` when the base set was already complete (nothing missed, so
+    /// the empty augmentation is trivially optimal).
+    #[must_use]
+    pub fn is_already_complete(&self) -> bool {
+        self.missed_faults.is_empty()
+    }
+
+    /// The base test set with the minimum augmentation appended.
+    #[must_use]
+    pub fn augmented(&self, base: &[BitString]) -> Vec<BitString> {
+        base.iter()
+            .copied()
+            .chain(self.minimum.iter().copied())
+            .collect()
+    }
+}
+
+/// Why an augmentation search produced no augmentation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AugmentError {
+    /// Some missed faults are detected by no candidate in the pool — either
+    /// the pool is too narrow (e.g. [`CandidatePool::SortedStrings`] for a
+    /// fault only unsorted inputs catch), or the "missed" list was built
+    /// without redundancy classification and contains undetectable faults.
+    Infeasible {
+        /// The faults no candidate detects.
+        uncoverable: Vec<MultiFault>,
+    },
+}
+
+impl fmt::Display for AugmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Infeasible { uncoverable } => write!(
+                f,
+                "no candidate in the pool detects {} of the missed faults (first: {})",
+                uncoverable.len(),
+                uncoverable
+                    .first()
+                    .map_or_else(String::new, ToString::to_string)
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AugmentError {}
+
+/// The core search: the smallest subset of `pool` covering an explicit
+/// slice of missed faults.
+///
+/// The callers guarantee (or the redundancy sweep proved) that every
+/// missed fault is detectable; a pool too narrow to cover one yields
+/// [`AugmentError::Infeasible`] rather than a silently partial answer.
+///
+/// # Errors
+/// [`AugmentError::Infeasible`] when some missed fault is detected by no
+/// candidate.
+///
+/// # Panics
+/// Panics if a fault does not fit the network, or the pool is
+/// [`CandidatePool::Exhaustive`]/[`CandidatePool::SortedFirst`] with
+/// `n ≥ 32`.
+pub fn augmentation_for_missed(
+    network: &Network,
+    missed: &[MultiFault],
+    pool: &CandidatePool,
+    options: &SearchOptions,
+) -> Result<AugmentationReport, AugmentError> {
+    if missed.is_empty() {
+        return Ok(AugmentationReport {
+            missed_faults: Vec::new(),
+            candidates_considered: 0,
+            greedy: Vec::new(),
+            minimum: Vec::new(),
+            lower_bound: 0,
+            certified: true,
+            search_nodes: 0,
+            witness_faults: Vec::new(),
+        });
+    }
+    let (matrix, candidates) = detection_matrix_from_source::<DEFAULT_WIDTH, _>(
+        network,
+        missed,
+        pool.source(network.lines()),
+    );
+
+    // Transpose the faults × candidates rows into per-candidate fault
+    // masks, then fold away useless columns: a candidate detecting nothing
+    // can never be chosen, and of duplicate columns only the first (in
+    // stream order, so structured families win) can matter.
+    let mut columns: Vec<Mask> = vec![mask_new(missed.len()); candidates.len()];
+    for (fault_idx, column) in (0..missed.len()).map(|f| (f, matrix.row_words(f))) {
+        for (w, &word) in column.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let t = w * 64 + bits.trailing_zeros() as usize;
+                mask_set(&mut columns[t], fault_idx);
+                bits &= bits - 1;
+            }
+        }
+    }
+    let mut kept: Vec<usize> = Vec::new();
+    let mut seen: HashSet<&Mask> = HashSet::new();
+    for (t, column) in columns.iter().enumerate() {
+        if !mask_is_zero(column) && seen.insert(column) {
+            kept.push(t);
+        }
+    }
+    let sets: Vec<Mask> = kept.iter().map(|&t| columns[t].clone()).collect();
+
+    let solution = SetCoverInstance::new(missed.len(), sets).solve(options.node_budget);
+    if !solution.uncoverable.is_empty() {
+        return Err(AugmentError::Infeasible {
+            uncoverable: solution.uncoverable.iter().map(|&e| missed[e]).collect(),
+        });
+    }
+    Ok(AugmentationReport {
+        missed_faults: missed.to_vec(),
+        candidates_considered: candidates.len(),
+        greedy: solution
+            .greedy
+            .iter()
+            .map(|&s| candidates[kept[s]])
+            .collect(),
+        minimum: solution
+            .minimum
+            .iter()
+            .map(|&s| candidates[kept[s]])
+            .collect(),
+        lower_bound: solution.lower_bound,
+        certified: solution.certified,
+        search_nodes: solution.nodes,
+        witness_faults: solution.witness.iter().map(|&e| missed[e]).collect(),
+    })
+}
+
+/// End-to-end minimum augmentation: grades `base_tests` against `universe`
+/// (with redundancy classification, so undetectable faults are excluded
+/// from the obligation), then finds the smallest set of extra vectors from
+/// `pool` completing the coverage.
+///
+/// # Errors
+/// [`AugmentError::Infeasible`] when the pool cannot cover some missed
+/// fault (never with [`CandidatePool::Exhaustive`]: a detectable fault has
+/// a detecting vector by definition).
+///
+/// # Panics
+/// Panics if the redundancy sweep or an exhaustive pool is asked for
+/// `n ≥ 32`.
+pub fn minimum_augmentation(
+    network: &Network,
+    universe: &dyn FaultUniverse,
+    base_tests: &[BitString],
+    pool: &CandidatePool,
+    options: &SearchOptions,
+) -> Result<AugmentationReport, AugmentError> {
+    let coverage = coverage_of_universe_with(network, universe, base_tests, true, options.engine);
+    augmentation_for_missed(network, &coverage.missed_faults, pool, options)
+}
+
+/// The augmentation hook on a coverage report — the
+/// `CoverageReport::suggest_augmentation` surface (an extension trait
+/// because `sortnet-faults` cannot depend back on this crate).
+pub trait SuggestAugmentation {
+    /// The smallest set of extra vectors from `pool` catching every fault
+    /// this report missed.
+    ///
+    /// The report should have been produced with redundancy
+    /// classification; otherwise undetectable faults sit in the missed
+    /// list and the search reports them as
+    /// [`AugmentError::Infeasible`].
+    ///
+    /// # Errors
+    /// [`AugmentError::Infeasible`] when some missed fault is detected by
+    /// no candidate in the pool.
+    fn suggest_augmentation(
+        &self,
+        network: &Network,
+        pool: &CandidatePool,
+        options: &SearchOptions,
+    ) -> Result<AugmentationReport, AugmentError>;
+}
+
+impl SuggestAugmentation for CoverageReport {
+    fn suggest_augmentation(
+        &self,
+        network: &Network,
+        pool: &CandidatePool,
+        options: &SearchOptions,
+    ) -> Result<AugmentationReport, AugmentError> {
+        augmentation_for_missed(network, &self.missed_faults, pool, options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sortnet_faults::universe::{StandardUniverse, StuckLine};
+    use sortnet_network::builders::batcher::odd_even_merge_sort;
+
+    fn masks(elements: usize, sets: &[&[usize]]) -> Vec<Mask> {
+        sets.iter()
+            .map(|set| {
+                let mut m = mask_new(elements);
+                for &e in *set {
+                    mask_set(&mut m, e);
+                }
+                m
+            })
+            .collect()
+    }
+
+    #[test]
+    fn solver_finds_the_triangle_optimum() {
+        // {a,b}, {b,c}, {a,c}: optimum 2, and the counting bound is tight.
+        let instance = SetCoverInstance::new(3, masks(3, &[&[0, 1], &[1, 2], &[0, 2]]));
+        let solution = instance.solve(None);
+        assert_eq!(solution.minimum.len(), 2);
+        assert!(solution.certified);
+        assert_eq!(solution.lower_bound, 2);
+        assert!(solution.greedy.len() >= solution.minimum.len());
+        assert!(solution.uncoverable.is_empty());
+    }
+
+    #[test]
+    fn solver_beats_a_suboptimal_greedy_and_certifies() {
+        // Greedy takes the size-4 set first and then needs two singletons
+        // (3 sets); the optimum pairs the two 3/2-sets (2 sets).
+        let sets = masks(6, &[&[0, 1, 2, 3], &[0, 1, 2, 4], &[3, 5]]);
+        let solution = SetCoverInstance::new(6, sets).solve(None);
+        assert_eq!(solution.greedy.len(), 3);
+        assert_eq!(solution.minimum, vec![1, 2]);
+        assert!(solution.certified);
+        assert!(solution.lower_bound <= 2);
+        assert!(solution.nodes > 0);
+    }
+
+    #[test]
+    fn exhausted_node_budget_degrades_to_uncertified_greedy() {
+        let sets = masks(6, &[&[0, 1, 2, 3], &[0, 1, 2, 4], &[3, 5]]);
+        let solution = SetCoverInstance::new(6, sets).solve(Some(0));
+        assert!(!solution.certified);
+        assert_eq!(solution.minimum.len(), 3, "budget 0 keeps the greedy cover");
+        assert_eq!(solution.lower_bound, 2);
+    }
+
+    #[test]
+    fn disjoint_witness_certifies_singleton_instances() {
+        // Three singleton sets: the witness is all three elements, and it
+        // is the binding bound.
+        let solution = SetCoverInstance::new(3, masks(3, &[&[0], &[1], &[2]])).solve(None);
+        assert_eq!(solution.minimum.len(), 3);
+        assert_eq!(solution.lower_bound, 3);
+        assert_eq!(solution.witness.len(), 3);
+        assert!(solution.certified);
+        assert_eq!(solution.nodes, 0, "greedy met the bound; no search ran");
+    }
+
+    #[test]
+    fn uncoverable_elements_are_reported_not_silently_dropped() {
+        let solution = SetCoverInstance::new(3, masks(3, &[&[0]])).solve(None);
+        assert_eq!(solution.uncoverable, vec![1, 2]);
+        assert_eq!(solution.minimum, vec![0]);
+    }
+
+    #[test]
+    fn empty_instances_are_trivially_solved() {
+        let solution = SetCoverInstance::new(0, Vec::new()).solve(None);
+        assert!(solution.minimum.is_empty());
+        assert!(solution.certified);
+        assert_eq!(solution.lower_bound, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "candidate pool refused")]
+    fn sorted_first_pool_refuses_oversized_sweeps_like_exhaustive() {
+        // The unsorted tail of SortedFirst spans 2^n candidates, so it
+        // must share Exhaustive's n < 32 budget instead of slipping
+        // through to an effective hang.
+        use sortnet_faults::universe::{Lesion, StuckAt};
+        let net = sortnet_network::Network::from_pairs(32, &[(0, 1)]);
+        let missed = [MultiFault::single(Lesion::Stuck(StuckAt {
+            line: 0,
+            cut: 0,
+            value: true,
+        }))];
+        let _ = augmentation_for_missed(
+            &net,
+            &missed,
+            &CandidatePool::SortedFirst,
+            &SearchOptions::default(),
+        );
+    }
+
+    #[test]
+    fn complete_base_sets_get_the_empty_augmentation() {
+        let net = odd_even_merge_sort(6);
+        let base = crate::sorting::binary_testset(6);
+        let report = minimum_augmentation(
+            &net,
+            &StandardUniverse::SingleComparator,
+            &base,
+            &CandidatePool::Exhaustive,
+            &SearchOptions::default(),
+        )
+        .unwrap();
+        assert!(report.is_already_complete());
+        assert!(report.minimum.is_empty());
+        assert!(report.certified);
+        assert_eq!(report.lower_bound, 0);
+    }
+
+    #[test]
+    fn stuck_line_augmentation_completes_coverage_and_orders_bounds() {
+        let net = odd_even_merge_sort(6);
+        let base = crate::sorting::binary_testset(6);
+        let report = minimum_augmentation(
+            &net,
+            &StuckLine,
+            &base,
+            &CandidatePool::Exhaustive,
+            &SearchOptions::default(),
+        )
+        .unwrap();
+        assert!(!report.is_already_complete());
+        assert!(report.certified);
+        assert!(report.greedy.len() >= report.minimum.len());
+        assert!(report.minimum.len() >= report.lower_bound);
+        assert!(report.lower_bound >= report.witness_faults.len());
+        assert!(!report.minimum.is_empty());
+        // The augmented set is complete.
+        let full = coverage_of_universe_with(
+            &net,
+            &StuckLine,
+            &report.augmented(&base),
+            true,
+            FaultSimEngine::BitParallel,
+        );
+        assert!(full.is_complete(), "{full:?}");
+    }
+
+    #[test]
+    fn narrow_pools_report_infeasibility_with_the_blocking_faults() {
+        // An unsorted-only pool cannot catch the sorted-input-only misses
+        // of the stuck-line universe.
+        let net = odd_even_merge_sort(6);
+        let base = crate::sorting::binary_testset(6);
+        let err = minimum_augmentation(
+            &net,
+            &StuckLine,
+            &base,
+            &CandidatePool::Explicit(vec![BitString::parse("101010").unwrap()]),
+            &SearchOptions::default(),
+        )
+        .unwrap_err();
+        let AugmentError::Infeasible { uncoverable } = err;
+        assert!(!uncoverable.is_empty());
+    }
+
+    #[test]
+    fn sorted_first_pool_prefers_structured_candidates_on_ties() {
+        // SortedFirst spans the same 2^n family as Exhaustive, so the
+        // certified optimum must agree; the chosen vectors come from the
+        // sorted prefix whenever ties allow.
+        let net = odd_even_merge_sort(6);
+        let base = crate::sorting::binary_testset(6);
+        let exhaustive = minimum_augmentation(
+            &net,
+            &StuckLine,
+            &base,
+            &CandidatePool::Exhaustive,
+            &SearchOptions::default(),
+        )
+        .unwrap();
+        let structured = minimum_augmentation(
+            &net,
+            &StuckLine,
+            &base,
+            &CandidatePool::SortedFirst,
+            &SearchOptions::default(),
+        )
+        .unwrap();
+        assert!(exhaustive.certified && structured.certified);
+        assert_eq!(structured.minimum.len(), exhaustive.minimum.len());
+        assert_eq!(structured.candidates_considered, 1 << 6);
+    }
+
+    #[test]
+    fn suggest_augmentation_hook_matches_the_end_to_end_entry() {
+        let net = odd_even_merge_sort(6);
+        let base = crate::sorting::binary_testset(6);
+        let coverage =
+            coverage_of_universe_with(&net, &StuckLine, &base, true, FaultSimEngine::BitParallel);
+        let via_hook = coverage
+            .suggest_augmentation(&net, &CandidatePool::Exhaustive, &SearchOptions::default())
+            .unwrap();
+        let end_to_end = minimum_augmentation(
+            &net,
+            &StuckLine,
+            &base,
+            &CandidatePool::Exhaustive,
+            &SearchOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(via_hook, end_to_end);
+    }
+}

@@ -9,6 +9,11 @@
 //! the Lemma 2.1 networks, the optimum of the finite problem equals the
 //! paper's bound; with a weaker pool it can only be smaller — so matching
 //! the bound is meaningful evidence.
+//!
+//! Both searches are solved by the certified set-cover engine in
+//! [`crate::augment`] (greedy upper bound + branch and bound with
+//! hitting-set/counting lower bounds), which generalises the original
+//! single-`u64` solvers here to arbitrary universe widths.
 
 use std::collections::BTreeSet;
 
@@ -18,6 +23,7 @@ use sortnet_combinat::{BitString, Permutation};
 use sortnet_network::{Comparator, Network};
 
 use crate::adversary;
+use crate::augment;
 
 /// The failure signature of a non-sorter: the set of unsorted test inputs
 /// that expose it, as a bitmask over `universe` (the list of all unsorted
@@ -127,104 +133,75 @@ impl Iterator for NetworkCounter {
 /// Exact minimum hitting set: the smallest number of unsorted test strings
 /// needed so that every failure signature contains at least one of them.
 ///
-/// Solved by breadth-first search over subset sizes with memoised pruning —
-/// the universes involved (≤ 26 strings for n ≤ 5) keep this cheap because
-/// the answer is forced: every singleton signature `{σ}` must be hit by σ
-/// itself.
-#[must_use]
-pub fn minimum_hitting_set_size(signatures: &[u64], universe_size: usize) -> usize {
-    // Forced elements: signatures that are singletons.
-    let mut forced: u64 = 0;
-    for &s in signatures {
-        if s.count_ones() == 1 {
-            forced |= s;
-        }
-    }
-    let remaining: Vec<u64> = signatures
-        .iter()
-        .copied()
-        .filter(|s| s & forced == 0)
-        .collect();
-    if remaining.is_empty() {
-        return forced.count_ones() as usize;
-    }
-    // Greedy upper bound followed by exact search over the few unforced
-    // elements (in the paper's setting `remaining` is empty, but keep the
-    // solver honest for weaker adversary pools).
-    let free: Vec<usize> = (0..universe_size)
-        .filter(|&i| forced & (1 << i) == 0)
-        .collect();
-    for extra in 0..=free.len() {
-        if let Some(count) = try_cover(&remaining, &free, extra, 0, 0) {
-            return forced.count_ones() as usize + count;
-        }
-    }
-    forced.count_ones() as usize + free.len()
-}
-
-fn try_cover(
-    signatures: &[u64],
-    free: &[usize],
-    budget: usize,
-    start: usize,
-    chosen: u64,
-) -> Option<usize> {
-    if signatures.iter().all(|&s| s & chosen != 0) {
-        return Some(chosen.count_ones() as usize);
-    }
-    if budget == 0 {
-        return None;
-    }
-    for (offset, &elem) in free.iter().enumerate().skip(start) {
-        let next = chosen | (1 << elem);
-        if let Some(c) = try_cover(signatures, free, budget - 1, offset + 1, next) {
-            return Some(c);
-        }
-    }
-    None
-}
-
-/// Exact minimum *permutation* test set size for sorting at small `n`,
-/// found by set cover: choose the fewest permutations whose covers include
-/// every unsorted string.
+/// Hitting set is set cover with the roles transposed — the signatures are
+/// the elements to cover, and string `i` covers every signature containing
+/// `i` — so this delegates to the certified set-cover engine in
+/// [`crate::augment`] (greedy upper bound, hitting-set/counting lower
+/// bounds, branch and bound), which generalises the old single-`u64`
+/// search to arbitrary universe widths.  Forced elements (singleton
+/// signatures) need no special casing: the solver's fewest-candidates
+/// branching resolves them first.
 ///
 /// # Panics
-/// Panics if `n > 5` (the DP is over `2^(2^n − n − 1)` masks).
+/// Panics if `universe_size > 64`, or if some signature has no member
+/// below `universe_size` (such a signature cannot be hit at all, and the
+/// old search silently returned a meaningless count for it).
 #[must_use]
-pub fn minimum_permutation_testset_size(n: usize) -> usize {
-    assert!(n <= 5, "set-cover DP refused beyond n = 5");
-    let universe: Vec<BitString> = BitString::all_unsorted(n).collect();
-    let m = universe.len();
-    let full: u64 = if m == 64 { u64::MAX } else { (1u64 << m) - 1 };
-    let covers: Vec<u64> = Permutation::all(n)
-        .map(|p| {
-            let mut mask = 0u64;
-            for (i, s) in universe.iter().enumerate() {
-                if p.covers(s) {
-                    mask |= 1 << i;
+pub fn minimum_hitting_set_size(signatures: &[u64], universe_size: usize) -> usize {
+    assert!(universe_size <= 64, "signatures are single u64 masks");
+    let words = signatures.len().div_ceil(64).max(1);
+    let sets: Vec<Vec<u64>> = (0..universe_size)
+        .map(|i| {
+            let mut mask = vec![0u64; words];
+            for (j, &signature) in signatures.iter().enumerate() {
+                if signature & (1u64 << i) != 0 {
+                    mask[j / 64] |= 1u64 << (j % 64);
                 }
             }
             mask
         })
-        .filter(|&m| m != 0)
         .collect();
-    // BFS over number of permutations used.
-    let mut reachable: BTreeSet<u64> = BTreeSet::new();
-    reachable.insert(0);
-    for count in 1..=covers.len() {
-        let mut next: BTreeSet<u64> = BTreeSet::new();
-        for &r in &reachable {
-            for &c in &covers {
-                let merged = r | c;
-                if merged == full {
-                    return count;
+    let solution = augment::SetCoverInstance::new(signatures.len(), sets).solve(None);
+    assert!(
+        solution.uncoverable.is_empty(),
+        "a failure signature contains no universe member and cannot be hit"
+    );
+    debug_assert!(solution.certified, "no node budget was set");
+    solution.minimum.len()
+}
+
+/// Exact minimum *permutation* test set size for sorting at small `n`,
+/// found by set cover: choose the fewest permutations whose covers include
+/// every unsorted string.  Solved by the same certified set-cover engine
+/// as [`minimum_hitting_set_size`] (elements = unsorted strings, sets =
+/// permutation covers), replacing the old breadth-first search over
+/// `2^(2^n − n − 1)` reachable masks.
+///
+/// # Panics
+/// Panics if `n > 5` (the branch-and-bound is exact but untamed beyond
+/// the sizes the paper's tables need).
+#[must_use]
+pub fn minimum_permutation_testset_size(n: usize) -> usize {
+    assert!(n <= 5, "exact set cover refused beyond n = 5");
+    let universe: Vec<BitString> = BitString::all_unsorted(n).collect();
+    let covers: Vec<Vec<u64>> = Permutation::all(n)
+        .map(|p| {
+            let mut mask = vec![0u64; universe.len().div_ceil(64).max(1)];
+            for (i, s) in universe.iter().enumerate() {
+                if p.covers(s) {
+                    mask[i / 64] |= 1u64 << (i % 64);
                 }
-                next.insert(merged);
             }
-        }
-        reachable = next;
-    }
-    covers.len()
+            mask
+        })
+        .filter(|m| m.iter().any(|&w| w != 0))
+        .collect();
+    let solution = augment::SetCoverInstance::new(universe.len(), covers).solve(None);
+    assert!(
+        solution.uncoverable.is_empty(),
+        "every unsorted string is covered by some permutation"
+    );
+    solution.minimum.len()
 }
 
 #[cfg(test)]

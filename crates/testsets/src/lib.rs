@@ -36,7 +36,12 @@
 //!   modules delegate to, parameterised by [`verify::Property`];
 //! * [`primitive`] — §3: the single-test criterion for height-1 networks;
 //! * [`hitting`] — brute-force minimum-test-set search (independent
-//!   confirmation at small `n`);
+//!   confirmation at small `n`), solved by the exact set-cover engine in
+//!   [`augment`];
+//! * [`augment`] — minimal test-set **augmentation**: the certified
+//!   smallest set of extra vectors completing a base set's fault coverage
+//!   (greedy upper bound + branch-and-bound with hitting-set/counting
+//!   lower bounds over the `sortnet-faults` detection matrix);
 //! * [`bounds`] — the closed forms and the Yao comparison table;
 //! * [`verify`] — a unified verification front end used by the examples and
 //!   benchmarks.
@@ -63,6 +68,7 @@
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod augment;
 pub mod bnk;
 pub mod bounds;
 pub mod cover;
@@ -77,6 +83,10 @@ pub mod verify;
 pub mod zero_one;
 
 pub use adversary::{adversary_network, AdversaryVariant};
+pub use augment::{
+    minimum_augmentation, AugmentError, AugmentationReport, CandidatePool, SearchOptions,
+    SuggestAugmentation,
+};
 pub use verify::{Property, Report, Strategy};
 
 #[cfg(test)]
