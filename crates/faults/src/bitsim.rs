@@ -91,6 +91,8 @@
 
 use sortnet_combinat::BitString;
 use sortnet_network::bitparallel;
+use sortnet_network::budget::{BudgetMeter, Budgeted, SweepBudget};
+use sortnet_network::error::{self, EngineError};
 use sortnet_network::lanes::{self, Backend, BlockSource, WideBlock, DEFAULT_WIDTH};
 use sortnet_network::Network;
 
@@ -389,6 +391,14 @@ impl SweepPlan {
 /// the sweep (used for early exit once a fault has been detected in an
 /// earlier block) — a fully-skipped group costs nothing beyond the
 /// shared prefix advance.
+///
+/// Every fork (level-1 checkpoint copies and level-2 partner copies
+/// alike) asks `meter` for admission first.  Returns `false` when the
+/// meter refuses mid-block — the caller must then discard everything
+/// `record` received for this block (the no-partial-rows guarantee);
+/// unbudgeted callers pass [`BudgetMeter::unlimited`] and always get
+/// `true` back.
+#[allow(clippy::too_many_arguments)]
 fn sweep_block_multi<const W: usize>(
     network: &Network,
     backend: Backend,
@@ -397,7 +407,8 @@ fn sweep_block_multi<const W: usize>(
     block: &WideBlock<W>,
     skip: impl Fn(usize) -> bool,
     mut record: impl FnMut(usize, [u64; W]),
-) {
+    meter: &mut BudgetMeter,
+) -> bool {
     let mut prefix = block.clone();
     let mut checkpoint = block.clone();
     let mut fork = block.clone();
@@ -419,6 +430,9 @@ fn sweep_block_multi<const W: usize>(
             if skip(fault_idx) {
                 continue;
             }
+            if !meter.admit_fork() {
+                return false;
+            }
             fork.copy_from(&prefix);
             let mut p = pos;
             for lesion in faults[fault_idx].lesions() {
@@ -435,11 +449,17 @@ fn sweep_block_multi<const W: usize>(
             continue;
         }
         // Level-1 fork: apply the group's shared first lesion once.
+        if !meter.admit_fork() {
+            return false;
+        }
         checkpoint.copy_from(&prefix);
         let mut cpos = apply_lesion_from(network, backend, &first, &mut checkpoint, pos);
         for &fault_idx in group {
             if skip(fault_idx) {
                 continue;
+            }
+            if !meter.admit_fork() {
+                return false;
             }
             let end = match faults[fault_idx].lesions() {
                 // A single-lesion fault sharing the group's lesion: the
@@ -471,6 +491,7 @@ fn sweep_block_multi<const W: usize>(
             record(fault_idx, masks);
         }
     }
+    true
 }
 
 /// Computes the full faults × tests [`DetectionMatrix`] for a slice of
@@ -526,6 +547,7 @@ pub fn detection_matrix_multi_on<const W: usize>(
                 let base = fault_idx * words_per_fault + block_idx * W;
                 bits[base..base + words_here].copy_from_slice(&masks[..words_here]);
             },
+            &mut BudgetMeter::unlimited(),
         );
     }
     DetectionMatrix {
@@ -621,6 +643,7 @@ pub fn detection_matrix_from_source_on<const W: usize, S: BlockSource<W>>(
             |fault_idx, masks: [u64; W]| {
                 append_mask_bits(&mut rows[fault_idx], offset, &masks, count);
             },
+            &mut BudgetMeter::unlimited(),
         );
     }
     let test_count = candidates.len();
@@ -729,6 +752,7 @@ pub fn first_detections_multi_on<const W: usize>(
                     hits.push((fault_idx, j));
                 }
             },
+            &mut BudgetMeter::unlimited(),
         );
         for &(fault_idx, j) in &hits {
             first[fault_idx] = Some(block_idx * capacity + j as usize);
@@ -863,6 +887,7 @@ pub fn redundant_faults_multi_on<const W: usize>(
                     hits.push(fault_idx);
                 }
             },
+            &mut BudgetMeter::unlimited(),
         );
         for &fault_idx in &hits {
             redundant[fault_idx] = false;
@@ -889,6 +914,410 @@ pub fn is_multi_fault_redundant_wide<const W: usize>(
     fault: &MultiFault,
 ) -> bool {
     redundant_faults_multi_wide::<W>(network, std::slice::from_ref(fault))[0]
+}
+
+// ---------------------------------------------------------------------------
+// Typed (`try_*`) and budgeted entry points.
+//
+// The `try_*` forms validate every precondition up front and return the
+// refusal as an `EngineError` instead of panicking; the `*_budgeted`
+// forms additionally thread a `BudgetMeter` through the sweep — checked
+// at every block boundary and every fork site — and degrade to a
+// `Budgeted::Partial` that is exact for the committed prefix of tests.
+// ---------------------------------------------------------------------------
+
+/// Validates the shared preconditions of the faults × tests entry
+/// points: the network fits the word-packed engines, every fault fits
+/// the network and every test vector has the network's length.
+fn check_matrix_inputs(
+    network: &Network,
+    faults: &[MultiFault],
+    tests: &[BitString],
+) -> Result<(), EngineError> {
+    error::ensure_word_packable(network.lines())?;
+    for fault in faults {
+        fault.check_in_range(network)?;
+    }
+    for test in tests {
+        if test.len() != network.lines() {
+            return Err(EngineError::InputLengthMismatch {
+                expected: network.lines(),
+                actual: test.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Validates the preconditions of the exhaustive `2^n` batch sweeps:
+/// the sweep is admissible (`n < 32`) and every fault fits the network.
+/// An empty fault slice never sweeps, so it passes for every `n` (the
+/// same escape hatch the panicking path grants).
+fn check_exhaustive_inputs(network: &Network, faults: &[MultiFault]) -> Result<(), EngineError> {
+    if faults.is_empty() {
+        return Ok(());
+    }
+    error::ensure_sweepable(network.lines())?;
+    for fault in faults {
+        fault.check_in_range(network)?;
+    }
+    Ok(())
+}
+
+/// [`detection_matrix_multi_on`] with typed validation instead of
+/// panics: oversized networks, out-of-range faults and mismatched test
+/// lengths come back as an [`EngineError`].
+pub fn try_detection_matrix_multi_on<const W: usize>(
+    network: &Network,
+    faults: &[MultiFault],
+    tests: &[BitString],
+    backend: Backend,
+) -> Result<DetectionMatrix, EngineError> {
+    check_matrix_inputs(network, faults, tests)?;
+    Ok(detection_matrix_multi_on::<W>(
+        network, faults, tests, backend,
+    ))
+}
+
+/// [`try_detection_matrix_multi_on`] on [`Backend::active`].
+pub fn try_detection_matrix_multi_wide<const W: usize>(
+    network: &Network,
+    faults: &[MultiFault],
+    tests: &[BitString],
+) -> Result<DetectionMatrix, EngineError> {
+    try_detection_matrix_multi_on::<W>(network, faults, tests, Backend::active())
+}
+
+/// [`detection_matrix_from_source_on`] with typed validation instead of
+/// panics.
+pub fn try_detection_matrix_from_source_on<const W: usize, S: BlockSource<W>>(
+    network: &Network,
+    faults: &[MultiFault],
+    source: S,
+    backend: Backend,
+) -> Result<(DetectionMatrix, Vec<BitString>), EngineError> {
+    error::ensure_same_lines(network.lines(), source.lines())?;
+    for fault in faults {
+        fault.check_in_range(network)?;
+    }
+    Ok(detection_matrix_from_source_on(
+        network, faults, source, backend,
+    ))
+}
+
+/// [`try_detection_matrix_from_source_on`] on [`Backend::active`].
+pub fn try_detection_matrix_from_source<const W: usize, S: BlockSource<W>>(
+    network: &Network,
+    faults: &[MultiFault],
+    source: S,
+) -> Result<(DetectionMatrix, Vec<BitString>), EngineError> {
+    try_detection_matrix_from_source_on(network, faults, source, Backend::active())
+}
+
+/// [`first_detections_multi_on`] with typed validation instead of
+/// panics.
+pub fn try_first_detections_multi_on<const W: usize>(
+    network: &Network,
+    faults: &[MultiFault],
+    tests: &[BitString],
+    backend: Backend,
+) -> Result<Vec<Option<usize>>, EngineError> {
+    check_matrix_inputs(network, faults, tests)?;
+    Ok(first_detections_multi_on::<W>(
+        network, faults, tests, backend,
+    ))
+}
+
+/// [`try_first_detections_multi_on`] on [`Backend::active`].
+pub fn try_first_detections_multi_wide<const W: usize>(
+    network: &Network,
+    faults: &[MultiFault],
+    tests: &[BitString],
+) -> Result<Vec<Option<usize>>, EngineError> {
+    try_first_detections_multi_on::<W>(network, faults, tests, Backend::active())
+}
+
+/// [`redundant_faults_multi_on`] with typed validation instead of
+/// panics.
+pub fn try_redundant_faults_multi_on<const W: usize>(
+    network: &Network,
+    faults: &[MultiFault],
+    backend: Backend,
+) -> Result<Vec<bool>, EngineError> {
+    check_exhaustive_inputs(network, faults)?;
+    Ok(redundant_faults_multi_on::<W>(network, faults, backend))
+}
+
+/// [`try_redundant_faults_multi_on`] on [`Backend::active`].
+pub fn try_redundant_faults_multi_wide<const W: usize>(
+    network: &Network,
+    faults: &[MultiFault],
+) -> Result<Vec<bool>, EngineError> {
+    try_redundant_faults_multi_on::<W>(network, faults, Backend::active())
+}
+
+/// [`detection_matrix_multi_on`] under a [`SweepBudget`]: validated
+/// like [`try_detection_matrix_multi_on`], metered at every block
+/// boundary and fork site.
+///
+/// On a trip, the [`Budgeted::Partial`] carries a matrix over the
+/// *committed prefix* of `tests` only — [`DetectionMatrix::test_count`]
+/// reports how many.  A mid-block trip (fork budget, cancellation,
+/// deadline) discards that block's masks entirely, so no
+/// partially-swept columns are observable: the partial matrix is
+/// bit-identical to the full matrix restricted to its first
+/// `test_count` columns, making every per-fault detection count an
+/// exact lower bound.
+pub fn detection_matrix_multi_budgeted_on<const W: usize>(
+    network: &Network,
+    faults: &[MultiFault],
+    tests: &[BitString],
+    backend: Backend,
+    budget: &SweepBudget,
+) -> Result<Budgeted<DetectionMatrix>, EngineError> {
+    check_matrix_inputs(network, faults, tests)?;
+    let n = network.lines();
+    let plan = SweepPlan::new(network, faults);
+    let words_per_fault = tests.len().div_ceil(64).max(1);
+    let mut bits = vec![0u64; faults.len() * words_per_fault];
+    let capacity = WideBlock::<W>::capacity() as usize;
+    let mut meter = BudgetMeter::new(budget);
+    let mut committed = 0usize;
+    // Per-block scratch: masks move into `bits` only once the whole
+    // block has swept within budget (the no-partial-rows guarantee).
+    let mut scratch = vec![[0u64; W]; faults.len()];
+    for (block_idx, chunk) in tests.chunks(capacity).enumerate() {
+        if !meter.admit_block(chunk.len() as u64) {
+            break;
+        }
+        let block = WideBlock::<W>::from_strings(n, chunk);
+        scratch.fill([0u64; W]);
+        let swept = sweep_block_multi(
+            network,
+            backend,
+            &plan,
+            faults,
+            &block,
+            |_| false,
+            |fault_idx, masks: [u64; W]| scratch[fault_idx] = masks,
+            &mut meter,
+        );
+        if !swept {
+            break;
+        }
+        let words_here = chunk.len().div_ceil(64);
+        for (fault_idx, masks) in scratch.iter().enumerate() {
+            let base = fault_idx * words_per_fault + block_idx * W;
+            bits[base..base + words_here].copy_from_slice(&masks[..words_here]);
+        }
+        committed += chunk.len();
+    }
+    let matrix = if meter.tripped().is_some() {
+        let wpf = committed.div_ceil(64).max(1);
+        let mut partial = vec![0u64; faults.len() * wpf];
+        for (dst, src) in partial
+            .chunks_exact_mut(wpf)
+            .zip(bits.chunks_exact(words_per_fault))
+        {
+            dst.copy_from_slice(&src[..wpf]);
+        }
+        DetectionMatrix {
+            faults: faults.to_vec(),
+            test_count: committed,
+            words_per_fault: wpf,
+            bits: partial,
+        }
+    } else {
+        DetectionMatrix {
+            faults: faults.to_vec(),
+            test_count: tests.len(),
+            words_per_fault,
+            bits,
+        }
+    };
+    Ok(meter.finish(matrix))
+}
+
+/// [`detection_matrix_multi_budgeted_on`] on [`Backend::active`].
+pub fn detection_matrix_multi_budgeted<const W: usize>(
+    network: &Network,
+    faults: &[MultiFault],
+    tests: &[BitString],
+    budget: &SweepBudget,
+) -> Result<Budgeted<DetectionMatrix>, EngineError> {
+    detection_matrix_multi_budgeted_on::<W>(network, faults, tests, Backend::active(), budget)
+}
+
+/// [`first_detections_multi_on`] under a [`SweepBudget`].
+///
+/// In a [`Budgeted::Partial`], a `Some` entry is exact (the same index
+/// the unbudgeted sweep returns) and a `None` entry means *undecided
+/// over the committed prefix* — a later test may still detect the
+/// fault.  In a [`Budgeted::Complete`], `None` means what it always
+/// meant: no test detects the fault.
+pub fn first_detections_multi_budgeted_on<const W: usize>(
+    network: &Network,
+    faults: &[MultiFault],
+    tests: &[BitString],
+    backend: Backend,
+    budget: &SweepBudget,
+) -> Result<Budgeted<Vec<Option<usize>>>, EngineError> {
+    check_matrix_inputs(network, faults, tests)?;
+    let mut meter = BudgetMeter::new(budget);
+    let first = first_detections_multi_metered::<W>(network, faults, tests, backend, &mut meter);
+    Ok(meter.finish(first))
+}
+
+/// The meter-threading core of [`first_detections_multi_budgeted_on`]:
+/// inputs must already be validated.  `pub(crate)` so a coverage grade
+/// (`crate::coverage`) can span its first-detection and redundancy
+/// phases with one shared meter — the budget then bounds the whole
+/// grade, not each phase separately.
+pub(crate) fn first_detections_multi_metered<const W: usize>(
+    network: &Network,
+    faults: &[MultiFault],
+    tests: &[BitString],
+    backend: Backend,
+    meter: &mut BudgetMeter,
+) -> Vec<Option<usize>> {
+    let n = network.lines();
+    let plan = SweepPlan::new(network, faults);
+    let mut first: Vec<Option<usize>> = vec![None; faults.len()];
+    let mut undetected = faults.len();
+    let capacity = WideBlock::<W>::capacity() as usize;
+    let mut hits: Vec<(usize, u32)> = Vec::with_capacity(faults.len());
+    for (block_idx, chunk) in tests.chunks(capacity).enumerate() {
+        if undetected == 0 {
+            break;
+        }
+        if !meter.admit_block(chunk.len() as u64) {
+            break;
+        }
+        let block = WideBlock::<W>::from_strings(n, chunk);
+        hits.clear();
+        let swept = sweep_block_multi(
+            network,
+            backend,
+            &plan,
+            faults,
+            &block,
+            |fault_idx| first[fault_idx].is_some(),
+            |fault_idx, masks| {
+                if let Some(j) = lanes::mask_first(&masks) {
+                    hits.push((fault_idx, j));
+                }
+            },
+            meter,
+        );
+        if !swept {
+            break;
+        }
+        for &(fault_idx, j) in &hits {
+            first[fault_idx] = Some(block_idx * capacity + j as usize);
+            undetected -= 1;
+        }
+    }
+    first
+}
+
+/// [`first_detections_multi_budgeted_on`] on [`Backend::active`].
+pub fn first_detections_multi_budgeted<const W: usize>(
+    network: &Network,
+    faults: &[MultiFault],
+    tests: &[BitString],
+    budget: &SweepBudget,
+) -> Result<Budgeted<Vec<Option<usize>>>, EngineError> {
+    first_detections_multi_budgeted_on::<W>(network, faults, tests, Backend::active(), budget)
+}
+
+/// [`redundant_faults_multi_on`] under a [`SweepBudget`]: the streamed
+/// `2^n` batch redundancy sweep, metered at every block boundary and
+/// fork site.
+///
+/// Verdicts are three-valued while the budget may trip: `Some(false)`
+/// is a witnessed detection (exact — the fault is *not* redundant),
+/// `Some(true)` is issued only when the full `2^n` family has been
+/// swept, and `None` in a [`Budgeted::Partial`] means the fault
+/// survived the committed prefix but later inputs were never tried.
+/// A [`Budgeted::Complete`] outcome never contains `None`.
+pub fn redundant_faults_multi_budgeted_on<const W: usize>(
+    network: &Network,
+    faults: &[MultiFault],
+    backend: Backend,
+    budget: &SweepBudget,
+) -> Result<Budgeted<Vec<Option<bool>>>, EngineError> {
+    check_exhaustive_inputs(network, faults)?;
+    let mut meter = BudgetMeter::new(budget);
+    let verdicts = redundant_faults_multi_metered::<W>(network, faults, backend, &mut meter);
+    Ok(meter.finish(verdicts))
+}
+
+/// The meter-threading core of [`redundant_faults_multi_budgeted_on`]:
+/// inputs must already be validated.  `pub(crate)` for the same
+/// shared-meter reason as [`first_detections_multi_metered`].
+pub(crate) fn redundant_faults_multi_metered<const W: usize>(
+    network: &Network,
+    faults: &[MultiFault],
+    backend: Backend,
+    meter: &mut BudgetMeter,
+) -> Vec<Option<bool>> {
+    if faults.is_empty() {
+        return Vec::new();
+    }
+    let n = network.lines();
+    let plan = SweepPlan::new(network, faults);
+    let mut verdicts: Vec<Option<bool>> = vec![None; faults.len()];
+    let mut undecided = faults.len();
+    let mut hits: Vec<usize> = Vec::with_capacity(faults.len());
+    for b in 0..bitparallel::sweep_block_count_wide::<W>(n) {
+        if undecided == 0 {
+            break;
+        }
+        let (start, count) = bitparallel::sweep_block_range_wide::<W>(n, b);
+        if !meter.admit_block(u64::from(count)) {
+            break;
+        }
+        let block = WideBlock::<W>::from_range(n, start, count);
+        hits.clear();
+        let swept = sweep_block_multi(
+            network,
+            backend,
+            &plan,
+            faults,
+            &block,
+            |fault_idx| verdicts[fault_idx].is_some(),
+            |fault_idx, masks| {
+                if lanes::mask_any(&masks) {
+                    hits.push(fault_idx);
+                }
+            },
+            meter,
+        );
+        if !swept {
+            break;
+        }
+        for &fault_idx in &hits {
+            verdicts[fault_idx] = Some(false);
+            undecided -= 1;
+        }
+    }
+    if meter.tripped().is_none() {
+        for verdict in &mut verdicts {
+            if verdict.is_none() {
+                *verdict = Some(true);
+            }
+        }
+    }
+    verdicts
+}
+
+/// [`redundant_faults_multi_budgeted_on`] on [`Backend::active`].
+pub fn redundant_faults_multi_budgeted<const W: usize>(
+    network: &Network,
+    faults: &[MultiFault],
+    budget: &SweepBudget,
+) -> Result<Budgeted<Vec<Option<bool>>>, EngineError> {
+    redundant_faults_multi_budgeted_on::<W>(network, faults, Backend::active(), budget)
 }
 
 #[cfg(test)]
@@ -1291,5 +1720,228 @@ mod tests {
             first_detections(&net, &faults, &[]),
             vec![None; faults.len()]
         );
+    }
+
+    #[test]
+    fn try_variants_reject_bad_inputs_and_match_the_panicking_engine() {
+        let net = odd_even_merge_sort(5);
+        let multi: Vec<MultiFault> = enumerate_faults(&net)
+            .iter()
+            .copied()
+            .map(MultiFault::from)
+            .collect();
+        let tests: Vec<BitString> = BitString::all_unsorted(5).collect();
+        let bad = vec![BitString::from_word(0, 4)];
+        assert_eq!(
+            try_detection_matrix_multi_wide::<2>(&net, &multi, &bad).unwrap_err(),
+            sortnet_network::EngineError::InputLengthMismatch {
+                expected: 5,
+                actual: 4
+            }
+        );
+        let rogue = MultiFault::from(Fault {
+            comparator: net.size(),
+            kind: FaultKind::StuckPass,
+        });
+        assert!(matches!(
+            try_first_detections_multi_wide::<1>(&net, &[rogue], &tests).unwrap_err(),
+            sortnet_network::EngineError::IndexOutOfRange { .. }
+        ));
+        assert_eq!(
+            try_detection_matrix_multi_wide::<2>(&net, &multi, &tests).unwrap(),
+            detection_matrix_multi_wide::<2>(&net, &multi, &tests)
+        );
+        assert_eq!(
+            try_first_detections_multi_wide::<2>(&net, &multi, &tests).unwrap(),
+            first_detections_multi_wide::<2>(&net, &multi, &tests)
+        );
+        assert_eq!(
+            try_redundant_faults_multi_wide::<2>(&net, &multi).unwrap(),
+            redundant_faults_multi_wide::<2>(&net, &multi)
+        );
+        // The empty-slice escape hatch of the panicking path survives.
+        let huge = odd_even_merge_sort(32);
+        assert_eq!(
+            try_redundant_faults_multi_wide::<2>(&huge, &[]).unwrap(),
+            []
+        );
+        // Streamed matrices validate the source's line count.
+        use sortnet_network::lanes::RangeSource;
+        assert!(matches!(
+            try_detection_matrix_from_source::<1, _>(&net, &multi, RangeSource::exhaustive(6))
+                .unwrap_err(),
+            sortnet_network::EngineError::ChannelMismatch {
+                expected: 5,
+                actual: 6
+            }
+        ));
+        let (streamed, candidates) =
+            try_detection_matrix_from_source::<1, _>(&net, &multi, RangeSource::exhaustive(5))
+                .unwrap();
+        let all: Vec<BitString> = BitString::all(5).collect();
+        assert_eq!(candidates, all);
+        assert_eq!(
+            streamed,
+            detection_matrix_multi_wide::<1>(&net, &multi, &all)
+        );
+    }
+
+    #[test]
+    fn budgeted_matrix_partial_is_an_exact_prefix_of_the_full_matrix() {
+        use sortnet_network::budget::BudgetReason;
+        let net = odd_even_merge_sort(7);
+        let multi: Vec<MultiFault> = enumerate_faults(&net)
+            .iter()
+            .copied()
+            .map(MultiFault::from)
+            .collect();
+        let tests: Vec<BitString> = BitString::all(7).collect(); // 128 = two W=1 blocks
+        let full = detection_matrix_multi_on::<1>(&net, &multi, &tests, Backend::Scalar);
+        let complete = detection_matrix_multi_budgeted_on::<1>(
+            &net,
+            &multi,
+            &tests,
+            Backend::Scalar,
+            &SweepBudget::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(complete, Budgeted::Complete(full));
+        let partial = detection_matrix_multi_budgeted_on::<1>(
+            &net,
+            &multi,
+            &tests,
+            Backend::Scalar,
+            &SweepBudget::unlimited().with_max_blocks(1),
+        )
+        .unwrap();
+        match partial {
+            Budgeted::Partial {
+                progress,
+                reason,
+                best_so_far,
+            } => {
+                assert_eq!(reason, BudgetReason::Blocks);
+                assert_eq!(progress.blocks, 1);
+                assert_eq!(progress.vectors, 64);
+                assert_eq!(
+                    best_so_far,
+                    detection_matrix_multi_on::<1>(&net, &multi, &tests[..64], Backend::Scalar)
+                );
+            }
+            Budgeted::Complete(_) => panic!("a one-block budget must trip on two blocks"),
+        }
+    }
+
+    #[test]
+    fn a_fork_trip_discards_the_inflight_block_entirely() {
+        use sortnet_network::budget::BudgetReason;
+        let net = odd_even_merge_sort(6);
+        let multi: Vec<MultiFault> = enumerate_faults(&net)
+            .iter()
+            .copied()
+            .map(MultiFault::from)
+            .collect();
+        assert!(multi.len() > 3);
+        let tests: Vec<BitString> = BitString::all(6).collect();
+        let out = detection_matrix_multi_budgeted_on::<1>(
+            &net,
+            &multi,
+            &tests,
+            Backend::Scalar,
+            &SweepBudget::unlimited().with_max_forks(3),
+        )
+        .unwrap();
+        match out {
+            Budgeted::Partial {
+                reason,
+                best_so_far,
+                ..
+            } => {
+                // The fork budget tripped inside the first block, so the
+                // partial matrix must not expose any of its columns.
+                assert_eq!(reason, BudgetReason::Forks);
+                assert_eq!(best_so_far.test_count(), 0);
+                assert!((0..multi.len()).all(|f| !best_so_far.detected(f)));
+            }
+            Budgeted::Complete(_) => panic!("a three-fork budget must trip"),
+        }
+    }
+
+    #[test]
+    fn budgeted_first_detections_are_exact_inside_the_committed_prefix() {
+        let net = odd_even_merge_sort(7);
+        let multi: Vec<MultiFault> = enumerate_faults(&net)
+            .iter()
+            .copied()
+            .map(MultiFault::from)
+            .collect();
+        let tests: Vec<BitString> = BitString::all_unsorted(7).collect();
+        let full = first_detections_multi_on::<1>(&net, &multi, &tests, Backend::Scalar);
+        let out = first_detections_multi_budgeted_on::<1>(
+            &net,
+            &multi,
+            &tests,
+            Backend::Scalar,
+            &SweepBudget::unlimited().with_max_blocks(1),
+        )
+        .unwrap();
+        let committed = if out.is_complete() { tests.len() } else { 64 };
+        for (partial, expected) in out.into_value().iter().zip(&full) {
+            match partial {
+                Some(i) => {
+                    assert!(*i < committed);
+                    assert_eq!(Some(*i), *expected);
+                }
+                None => assert!(expected.is_none() || expected.unwrap() >= committed),
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_redundancy_degrades_to_three_valued_verdicts() {
+        let net = odd_even_merge_sort(6);
+        let multi: Vec<MultiFault> = enumerate_faults(&net)
+            .iter()
+            .copied()
+            .map(MultiFault::from)
+            .collect();
+        let full = redundant_faults_multi_on::<1>(&net, &multi, Backend::Scalar);
+        let complete = redundant_faults_multi_budgeted_on::<1>(
+            &net,
+            &multi,
+            Backend::Scalar,
+            &SweepBudget::unlimited(),
+        )
+        .unwrap();
+        assert!(complete.is_complete());
+        assert_eq!(
+            complete.into_value(),
+            full.iter().map(|&b| Some(b)).collect::<Vec<_>>()
+        );
+        // A zero-block budget decides nothing: all verdicts stay open.
+        let starved = redundant_faults_multi_budgeted_on::<1>(
+            &net,
+            &multi,
+            Backend::Scalar,
+            &SweepBudget::unlimited().with_max_blocks(0),
+        )
+        .unwrap();
+        assert!(!starved.is_complete());
+        assert!(starved.value().iter().all(Option::is_none));
+        // A one-block budget may only issue witnessed (false) verdicts,
+        // and each must agree with the full sweep.
+        let partial = redundant_faults_multi_budgeted_on::<1>(
+            &net,
+            &multi,
+            Backend::Scalar,
+            &SweepBudget::unlimited().with_max_blocks(1),
+        )
+        .unwrap();
+        for (verdict, &expected) in partial.value().iter().zip(&full) {
+            if let Some(v) = verdict {
+                assert!(partial.is_complete() || !*v);
+                assert_eq!(*v, expected);
+            }
+        }
     }
 }

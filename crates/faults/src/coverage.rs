@@ -13,10 +13,15 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use sortnet_combinat::BitString;
-use sortnet_network::lanes::{LaneWidth, DEFAULT_WIDTH};
+use sortnet_network::budget::{BudgetMeter, Budgeted, SweepBudget};
+use sortnet_network::error::{self, EngineError};
+use sortnet_network::lanes::{Backend, LaneWidth, DEFAULT_WIDTH};
 use sortnet_network::Network;
 
-use crate::bitsim::{first_detections_multi_wide, redundant_faults_multi_wide};
+use crate::bitsim::{
+    first_detections_multi_metered, first_detections_multi_wide, redundant_faults_multi_metered,
+    redundant_faults_multi_wide,
+};
 use crate::universe::{
     is_multi_fault_redundant, multi_first_detection_index, FaultUniverse, MultiFault,
     SingleComparator,
@@ -210,7 +215,20 @@ pub fn coverage_of_multifaults_with(
             LaneWidth::W16 => bitparallel_results::<16>(network, faults, tests, check_redundancy),
         },
     };
+    summarise_verdicts(faults, &first, &redundant)
+}
 
+/// Folds per-fault verdicts into a [`CoverageReport`]: `first[i]` is the
+/// fault's first-detection index, `redundant[i]` whether it was *proven*
+/// undetectable.  A `None` detection that is not proven redundant counts
+/// as missed — which is also how budgeted grades stay conservative:
+/// undecided faults land in `missed`, never in `detected` or
+/// `redundant_faults`.
+fn summarise_verdicts(
+    faults: &[MultiFault],
+    first: &[Option<usize>],
+    redundant: &[bool],
+) -> CoverageReport {
     // One pass folds the per-fault verdicts into every summary statistic —
     // the multi-pass zip/collect chain this replaces was a visible slice of
     // quadratic pair-universe sweeps.
@@ -220,7 +238,7 @@ pub fn coverage_of_multifaults_with(
     let mut detected = 0usize;
     let mut first_sum = 0.0f64;
     let mut max_first_detection = 0usize;
-    for ((f, r), fault) in first.iter().zip(&redundant).zip(faults) {
+    for ((f, r), fault) in first.iter().zip(redundant).zip(faults) {
         match f {
             Some(i) => {
                 detected += 1;
@@ -256,6 +274,227 @@ pub fn coverage_of_multifaults_with(
         missed_faults,
         undetectable_faults,
     }
+}
+
+/// Validates a coverage grade up front and enumerates the universe.
+///
+/// Typed refusals: the network must fit the word-packed engines
+/// (`n <= 64`), every test must have the network's length, the universe
+/// must be non-empty for this network (grading nothing is a caller
+/// bug — [`EngineError::EmptyUniverse`]; note the *panicking* API
+/// instead reports an empty universe as vacuously complete), its size
+/// computation must not overflow, and — when `check_redundancy` is
+/// requested — the exhaustive `2^n` redundancy sweep must be admissible
+/// for the chosen engine (`n < 24` scalar, `n < 32` bit-parallel),
+/// even if it later turns out no fault is missed.
+fn check_coverage_inputs(
+    network: &Network,
+    universe: &dyn FaultUniverse,
+    tests: &[BitString],
+    check_redundancy: bool,
+    engine: FaultSimEngine,
+) -> Result<Vec<MultiFault>, EngineError> {
+    error::ensure_word_packable(network.lines())?;
+    for test in tests {
+        if test.len() != network.lines() {
+            return Err(EngineError::InputLengthMismatch {
+                expected: network.lines(),
+                actual: test.len(),
+            });
+        }
+    }
+    let len = universe.try_len(network)?;
+    if len == 0 {
+        return Err(EngineError::EmptyUniverse);
+    }
+    if check_redundancy {
+        match engine {
+            FaultSimEngine::Scalar => {
+                if network.lines() >= 24 {
+                    return Err(EngineError::OversizedNetwork {
+                        lines: network.lines(),
+                        max: 23,
+                    });
+                }
+            }
+            FaultSimEngine::BitParallel | FaultSimEngine::BitParallelWide(_) => {
+                error::ensure_sweepable(network.lines())?;
+            }
+        }
+    }
+    let mut faults = Vec::with_capacity(len);
+    faults.extend(universe.iter(network));
+    Ok(faults)
+}
+
+/// [`coverage_of_universe_with`] with typed validation instead of
+/// panics.  The contract is deliberately stricter than the panicking
+/// path: empty universes and redundancy sweeps that *could* be refused
+/// are rejected up front.
+pub fn try_coverage_of_universe_with(
+    network: &Network,
+    universe: &dyn FaultUniverse,
+    tests: &[BitString],
+    check_redundancy: bool,
+    engine: FaultSimEngine,
+) -> Result<CoverageReport, EngineError> {
+    let faults = check_coverage_inputs(network, universe, tests, check_redundancy, engine)?;
+    Ok(coverage_of_multifaults_with(
+        network,
+        &faults,
+        tests,
+        check_redundancy,
+        engine,
+    ))
+}
+
+/// [`try_coverage_of_universe_with`] on the default engine.
+pub fn try_coverage_of_universe(
+    network: &Network,
+    universe: &dyn FaultUniverse,
+    tests: &[BitString],
+    check_redundancy: bool,
+) -> Result<CoverageReport, EngineError> {
+    try_coverage_of_universe_with(
+        network,
+        universe,
+        tests,
+        check_redundancy,
+        FaultSimEngine::default(),
+    )
+}
+
+/// [`bitparallel_results`] threading one shared [`BudgetMeter`] through
+/// both sweep phases, so the budget bounds the whole grade.  Undecided
+/// faults keep `first = None, redundant = false` and therefore fold
+/// into `missed` — the conservative reading.
+fn bitparallel_results_metered<const W: usize>(
+    network: &Network,
+    faults: &[MultiFault],
+    tests: &[BitString],
+    check_redundancy: bool,
+    meter: &mut BudgetMeter,
+) -> (Vec<Option<usize>>, Vec<bool>) {
+    let backend = Backend::active();
+    let first = first_detections_multi_metered::<W>(network, faults, tests, backend, meter);
+    let mut redundant = vec![false; faults.len()];
+    if check_redundancy {
+        let missed_idx: Vec<usize> = (0..faults.len()).filter(|&i| first[i].is_none()).collect();
+        let missed: Vec<MultiFault> = missed_idx.iter().map(|&i| faults[i]).collect();
+        let verdicts = redundant_faults_multi_metered::<W>(network, &missed, backend, meter);
+        for (&i, verdict) in missed_idx.iter().zip(verdicts) {
+            redundant[i] = verdict == Some(true);
+        }
+    }
+    (first, redundant)
+}
+
+/// [`coverage_of_universe_with`] under a [`SweepBudget`]: one meter
+/// spans the first-detection sweep *and* the redundancy sweep, so the
+/// budget bounds the whole grade rather than each phase separately.
+///
+/// On a trip the [`Budgeted::Partial`] report stays conservative and
+/// internally consistent: faults whose verdict never committed count as
+/// `missed` (never as `detected` or `redundant_faults`), so `detected`
+/// is an exact lower bound, `missed` an exact upper bound, and
+/// `coverage` a lower bound on the true ratio.  The bit-parallel
+/// engines meter per test block and per fork; the scalar engine meters
+/// per fault (each fault's full test scan is one block, its redundancy
+/// sweep another) and runs sequentially — a budgeted scalar grade
+/// trades the rayon fan-out for cancellability.
+pub fn coverage_of_universe_budgeted_with(
+    network: &Network,
+    universe: &dyn FaultUniverse,
+    tests: &[BitString],
+    check_redundancy: bool,
+    engine: FaultSimEngine,
+    budget: &SweepBudget,
+) -> Result<Budgeted<CoverageReport>, EngineError> {
+    let faults = check_coverage_inputs(network, universe, tests, check_redundancy, engine)?;
+    let mut meter = BudgetMeter::new(budget);
+    let (first, redundant): (Vec<Option<usize>>, Vec<bool>) = match engine {
+        FaultSimEngine::Scalar => {
+            let mut first = vec![None; faults.len()];
+            let mut redundant = vec![false; faults.len()];
+            for (i, fault) in faults.iter().enumerate() {
+                if !meter.admit_block(tests.len() as u64) {
+                    break;
+                }
+                first[i] = multi_first_detection_index(network, fault, tests);
+                if first[i].is_none() && check_redundancy {
+                    if !meter.admit_block(1u64 << network.lines()) {
+                        break;
+                    }
+                    redundant[i] = is_multi_fault_redundant(network, fault);
+                }
+            }
+            (first, redundant)
+        }
+        FaultSimEngine::BitParallel => bitparallel_results_metered::<DEFAULT_WIDTH>(
+            network,
+            &faults,
+            tests,
+            check_redundancy,
+            &mut meter,
+        ),
+        FaultSimEngine::BitParallelWide(width) => match width {
+            LaneWidth::W1 => bitparallel_results_metered::<1>(
+                network,
+                &faults,
+                tests,
+                check_redundancy,
+                &mut meter,
+            ),
+            LaneWidth::W2 => bitparallel_results_metered::<2>(
+                network,
+                &faults,
+                tests,
+                check_redundancy,
+                &mut meter,
+            ),
+            LaneWidth::W4 => bitparallel_results_metered::<4>(
+                network,
+                &faults,
+                tests,
+                check_redundancy,
+                &mut meter,
+            ),
+            LaneWidth::W8 => bitparallel_results_metered::<8>(
+                network,
+                &faults,
+                tests,
+                check_redundancy,
+                &mut meter,
+            ),
+            LaneWidth::W16 => bitparallel_results_metered::<16>(
+                network,
+                &faults,
+                tests,
+                check_redundancy,
+                &mut meter,
+            ),
+        },
+    };
+    let report = summarise_verdicts(&faults, &first, &redundant);
+    Ok(meter.finish(report))
+}
+
+/// [`coverage_of_universe_budgeted_with`] on the default engine.
+pub fn coverage_of_universe_budgeted(
+    network: &Network,
+    universe: &dyn FaultUniverse,
+    tests: &[BitString],
+    check_redundancy: bool,
+    budget: &SweepBudget,
+) -> Result<Budgeted<CoverageReport>, EngineError> {
+    coverage_of_universe_budgeted_with(
+        network,
+        universe,
+        tests,
+        check_redundancy,
+        FaultSimEngine::default(),
+        budget,
+    )
 }
 
 /// Runs every single-comparator fault of `network` against the test
@@ -455,5 +694,122 @@ mod tests {
             );
             assert_eq!(report.total_faults, universe.len(&net));
         }
+    }
+
+    #[test]
+    fn try_coverage_validates_up_front_and_agrees_otherwise() {
+        let net = odd_even_merge_sort(6);
+        let tests = sorting::binary_testset(6);
+        // Agreement with the panicking path on a valid grade.
+        assert_eq!(
+            try_coverage_of_universe(&net, &StuckLine, &tests, true).unwrap(),
+            coverage_of_universe(&net, &StuckLine, &tests, true)
+        );
+        // An empty universe is a typed refusal (the panicking path reads
+        // it as vacuously complete instead).
+        let empty = sortnet_network::Network::empty(3);
+        assert_eq!(
+            try_coverage_of_universe(&empty, &SingleComparator, &[], false).unwrap_err(),
+            EngineError::EmptyUniverse
+        );
+        // Mismatched test vectors are refused before any sweeping.
+        let short = vec![BitString::from_word(0, 5)];
+        assert_eq!(
+            try_coverage_of_universe(&net, &StuckLine, &short, false).unwrap_err(),
+            EngineError::InputLengthMismatch {
+                expected: 6,
+                actual: 5
+            }
+        );
+        // Redundancy sweeps are checked for admissibility even though the
+        // panicking path would only trip once a fault is actually missed.
+        let wide = sortnet_network::Network::empty(33);
+        assert_eq!(
+            try_coverage_of_universe(&wide, &StuckLine, &[], true).unwrap_err(),
+            EngineError::SweepTooLarge { lines: 33 }
+        );
+        let scalar_wide = sortnet_network::Network::empty(24);
+        assert_eq!(
+            try_coverage_of_universe_with(
+                &scalar_wide,
+                &StuckLine,
+                &[],
+                true,
+                FaultSimEngine::Scalar
+            )
+            .unwrap_err(),
+            EngineError::OversizedNetwork { lines: 24, max: 23 }
+        );
+    }
+
+    #[test]
+    fn unlimited_budget_reproduces_the_unbudgeted_report_on_every_engine() {
+        let net = odd_even_merge_sort(6);
+        let tests = sorting::binary_testset(6);
+        for engine in [
+            FaultSimEngine::Scalar,
+            FaultSimEngine::BitParallel,
+            FaultSimEngine::BitParallelWide(LaneWidth::W1),
+        ] {
+            let budgeted = coverage_of_universe_budgeted_with(
+                &net,
+                &StuckLine,
+                &tests,
+                true,
+                engine,
+                &SweepBudget::unlimited(),
+            )
+            .unwrap();
+            assert!(budgeted.is_complete(), "{engine:?}");
+            assert_eq!(
+                budgeted.into_value(),
+                coverage_of_universe_with(&net, &StuckLine, &tests, true, engine),
+                "{engine:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn tripped_budget_degrades_to_a_conservative_partial_report() {
+        use sortnet_network::budget::CancelToken;
+        let net = odd_even_merge_sort(7);
+        let tests = sorting::binary_testset(7);
+        let full = coverage_of_universe(&net, &StuckLine, &tests, false);
+        // A pre-cancelled token: nothing commits, everything reads missed.
+        let token = CancelToken::new();
+        token.cancel();
+        let cancelled = coverage_of_universe_budgeted(
+            &net,
+            &StuckLine,
+            &tests,
+            false,
+            &SweepBudget::unlimited().with_cancel(token),
+        )
+        .unwrap();
+        assert!(!cancelled.is_complete());
+        let report = cancelled.value();
+        assert_eq!(report.detected, 0);
+        assert_eq!(report.missed, report.total_faults);
+        assert!(!report.is_complete());
+        // A small fork budget on the scalar-metered engine: whatever was
+        // decided is exact, the rest is conservatively missed.
+        let starved = coverage_of_universe_budgeted_with(
+            &net,
+            &StuckLine,
+            &tests,
+            false,
+            FaultSimEngine::Scalar,
+            &SweepBudget::unlimited().with_max_blocks(3),
+        )
+        .unwrap();
+        assert!(!starved.is_complete());
+        let partial = starved.value();
+        assert_eq!(
+            partial.detected + partial.missed + partial.redundant_faults,
+            partial.total_faults
+        );
+        assert!(partial.detected <= full.detected);
+        assert!(partial.missed >= full.missed);
+        assert!(partial.coverage <= full.coverage + f64::EPSILON);
     }
 }

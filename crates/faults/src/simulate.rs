@@ -1,6 +1,7 @@
 //! Fault injection and simulation.
 
 use sortnet_combinat::BitString;
+use sortnet_network::error::{self, EngineError};
 use sortnet_network::{Comparator, Network};
 
 use crate::model::{Fault, FaultKind};
@@ -46,24 +47,42 @@ pub(crate) fn step_word_faulty(c: &Comparator, kind: FaultKind, w: u64) -> u64 {
 /// `fault.comparator` misbehaves according to `fault.kind`.
 ///
 /// # Panics
-/// Panics if the fault's comparator index is out of range or the input
-/// length mismatches the network.
+/// Panics if the fault's comparator index is out of range, the network
+/// has more than 64 lines, or the input length mismatches the network —
+/// the panicking wrapper over [`try_faulty_apply_bits`].
 #[must_use]
 pub fn faulty_apply_bits(network: &Network, fault: &Fault, input: &BitString) -> BitString {
-    assert!(
-        fault.comparator < network.size(),
-        "fault index out of range"
-    );
-    // The line indices shift a u64 word; larger networks would make
-    // `1u64 << i` undefined behaviour-shaped (a shift-overflow panic in
-    // debug, a wrapped shift in release).  Checked before the input-length
-    // comparison so an oversized network is rejected for what it is, not
-    // as a length mismatch.
-    assert!(
-        network.lines() <= 64,
-        "word-packed fault simulation needs n <= 64 lines"
-    );
-    assert_eq!(input.len(), network.lines(), "input length mismatch");
+    try_faulty_apply_bits(network, fault, input).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`faulty_apply_bits`] with every precondition reported as a typed
+/// [`EngineError`] instead of a panic.
+///
+/// # Errors
+/// [`EngineError::IndexOutOfRange`] for an out-of-range fault index;
+/// [`EngineError::OversizedNetwork`] when `n > 64` (the evaluation is
+/// word-packed — checked before the input-length comparison so an
+/// oversized network is rejected for what it is, not as a length
+/// mismatch); [`EngineError::InputLengthMismatch`] otherwise.
+pub fn try_faulty_apply_bits(
+    network: &Network,
+    fault: &Fault,
+    input: &BitString,
+) -> Result<BitString, EngineError> {
+    if fault.comparator >= network.size() {
+        return Err(EngineError::IndexOutOfRange {
+            what: "fault",
+            index: fault.comparator,
+            limit: network.size(),
+        });
+    }
+    error::ensure_word_packable(network.lines())?;
+    if input.len() != network.lines() {
+        return Err(EngineError::InputLengthMismatch {
+            expected: network.lines(),
+            actual: input.len(),
+        });
+    }
     let mut w = input.word();
     for (idx, c) in network.comparators().iter().enumerate() {
         w = if idx == fault.comparator {
@@ -72,7 +91,7 @@ pub fn faulty_apply_bits(network: &Network, fault: &Fault, input: &BitString) ->
             step_word(c, w)
         };
     }
-    BitString::from_word(w, network.lines())
+    Ok(BitString::from_word(w, network.lines()))
 }
 
 /// Materialises the faulty network as a [`Network`] when the fault is
@@ -106,6 +125,18 @@ pub fn detects(network: &Network, fault: &Fault, input: &BitString) -> bool {
     !faulty_apply_bits(network, fault, input).is_sorted()
 }
 
+/// [`detects`] with preconditions reported as a typed [`EngineError`].
+///
+/// # Errors
+/// As [`try_faulty_apply_bits`].
+pub fn try_detects(
+    network: &Network,
+    fault: &Fault,
+    input: &BitString,
+) -> Result<bool, EngineError> {
+    Ok(!try_faulty_apply_bits(network, fault, input)?.is_sorted())
+}
+
 /// `true` iff the fault is *redundant* for the sorting property: the faulty
 /// network still sorts all `2^n` inputs (so no test can — or needs to —
 /// detect it).
@@ -119,6 +150,28 @@ pub fn is_fault_redundant(network: &Network, fault: &Fault) -> bool {
     BitString::all(n).all(|s| faulty_apply_bits(network, fault, &s).is_sorted())
 }
 
+/// [`is_fault_redundant`] with the size guard reported as a typed
+/// [`EngineError`] (the scalar exhaustive check is refused for
+/// `n ≥ 24`; use the bit-parallel sweep for larger networks).
+///
+/// # Errors
+/// [`EngineError::OversizedNetwork`] when `n ≥ 24`;
+/// [`EngineError::IndexOutOfRange`] for an out-of-range fault index.
+pub fn try_is_fault_redundant(network: &Network, fault: &Fault) -> Result<bool, EngineError> {
+    let n = network.lines();
+    if n >= 24 {
+        return Err(EngineError::OversizedNetwork { lines: n, max: 23 });
+    }
+    if fault.comparator >= network.size() {
+        return Err(EngineError::IndexOutOfRange {
+            what: "fault",
+            index: fault.comparator,
+            limit: network.size(),
+        });
+    }
+    Ok(is_fault_redundant(network, fault))
+}
+
 /// Index (0-based) of the first test in `tests` that detects the fault, or
 /// `None` if none does.
 #[must_use]
@@ -128,6 +181,24 @@ pub fn first_detection_index(
     tests: &[BitString],
 ) -> Option<usize> {
     tests.iter().position(|t| detects(network, fault, t))
+}
+
+/// [`first_detection_index`] with preconditions reported as a typed
+/// [`EngineError`].
+///
+/// # Errors
+/// As [`try_faulty_apply_bits`], for any test in the list.
+pub fn try_first_detection_index(
+    network: &Network,
+    fault: &Fault,
+    tests: &[BitString],
+) -> Result<Option<usize>, EngineError> {
+    for (i, t) in tests.iter().enumerate() {
+        if try_detects(network, fault, t)? {
+            return Ok(Some(i));
+        }
+    }
+    Ok(None)
 }
 
 #[cfg(test)]

@@ -67,6 +67,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use sortnet_combinat::BitString;
+use sortnet_network::error::{self, EngineError};
 use sortnet_network::Network;
 
 use crate::model::{enumerate_faults, Fault, FaultKind};
@@ -152,15 +153,42 @@ impl Lesion {
 
     /// Panics unless the lesion fits `network`.
     fn assert_in_range(&self, network: &Network) {
+        if let Err(e) = self.check_in_range(network) {
+            panic!("{e}");
+        }
+    }
+
+    /// The typed form of the range guard: a lesion fits `network` when
+    /// its comparator index / cut position / line index do.
+    fn check_in_range(&self, network: &Network) -> Result<(), EngineError> {
         match self {
             Self::Comparator(f) => {
-                assert!(f.comparator < network.size(), "fault index out of range")
+                if f.comparator >= network.size() {
+                    return Err(EngineError::IndexOutOfRange {
+                        what: "fault",
+                        index: f.comparator,
+                        limit: network.size(),
+                    });
+                }
             }
             Self::Stuck(s) => {
-                assert!(s.cut <= network.size(), "stuck-at cut out of range");
-                assert!(s.line < network.lines(), "stuck-at line out of range");
+                if s.cut > network.size() {
+                    return Err(EngineError::IndexOutOfRange {
+                        what: "stuck-at cut",
+                        index: s.cut,
+                        limit: network.size() + 1,
+                    });
+                }
+                if s.line >= network.lines() {
+                    return Err(EngineError::IndexOutOfRange {
+                        what: "stuck-at line",
+                        index: s.line,
+                        limit: network.lines(),
+                    });
+                }
             }
         }
+        Ok(())
     }
 }
 
@@ -272,6 +300,14 @@ impl MultiFault {
             lesion.assert_in_range(network);
         }
     }
+
+    /// The typed form of the range guard.
+    pub(crate) fn check_in_range(&self, network: &Network) -> Result<(), EngineError> {
+        for lesion in self.lesions() {
+            lesion.check_in_range(network)?;
+        }
+        Ok(())
+    }
 }
 
 impl From<Fault> for MultiFault {
@@ -339,17 +375,34 @@ pub fn multi_faulty_apply_bits(
     fault: &MultiFault,
     input: &BitString,
 ) -> BitString {
-    fault.assert_in_range(network);
-    // Rejected before the input-length comparison so an oversized network
-    // is reported for what it is (the stuck-at injection below shifts
-    // `1u64 << line`, which needs every line index < 64).
-    assert!(
-        network.lines() <= 64,
-        "word-packed fault simulation needs n <= 64 lines"
-    );
-    assert_eq!(input.len(), network.lines(), "input length mismatch");
+    try_multi_faulty_apply_bits(network, fault, input).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`multi_faulty_apply_bits`] with every precondition reported as a
+/// typed [`EngineError`] instead of a panic.
+///
+/// # Errors
+/// [`EngineError::IndexOutOfRange`] when a lesion does not fit the
+/// network; [`EngineError::OversizedNetwork`] when `n > 64` (rejected
+/// before the input-length comparison so an oversized network is
+/// reported for what it is — the stuck-at injection shifts
+/// `1u64 << line`, which needs every line index < 64);
+/// [`EngineError::InputLengthMismatch`] otherwise.
+pub fn try_multi_faulty_apply_bits(
+    network: &Network,
+    fault: &MultiFault,
+    input: &BitString,
+) -> Result<BitString, EngineError> {
+    fault.check_in_range(network)?;
+    error::ensure_word_packable(network.lines())?;
+    if input.len() != network.lines() {
+        return Err(EngineError::InputLengthMismatch {
+            expected: network.lines(),
+            actual: input.len(),
+        });
+    }
     let w = multi_faulty_apply_word(network, fault.lesions(), input.word());
-    BitString::from_word(w, network.lines())
+    Ok(BitString::from_word(w, network.lines()))
 }
 
 /// `true` iff `input` detects the fault: the faulty network fails to sort
@@ -357,6 +410,19 @@ pub fn multi_faulty_apply_bits(
 #[must_use]
 pub fn multi_detects(network: &Network, fault: &MultiFault, input: &BitString) -> bool {
     !multi_faulty_apply_bits(network, fault, input).is_sorted()
+}
+
+/// [`multi_detects`] with preconditions reported as a typed
+/// [`EngineError`].
+///
+/// # Errors
+/// As [`try_multi_faulty_apply_bits`].
+pub fn try_multi_detects(
+    network: &Network,
+    fault: &MultiFault,
+    input: &BitString,
+) -> Result<bool, EngineError> {
+    Ok(!try_multi_faulty_apply_bits(network, fault, input)?.is_sorted())
 }
 
 /// Index (0-based) of the first test in `tests` detecting the fault, or
@@ -384,6 +450,25 @@ pub fn is_multi_fault_redundant(network: &Network, fault: &MultiFault) -> bool {
     BitString::all(n).all(|s| multi_faulty_apply_bits(network, fault, &s).is_sorted())
 }
 
+/// [`is_multi_fault_redundant`] with the size guard reported as a typed
+/// [`EngineError`].
+///
+/// # Errors
+/// [`EngineError::OversizedNetwork`] when `n ≥ 24` (use the
+/// bit-parallel sweep for larger networks);
+/// [`EngineError::IndexOutOfRange`] when a lesion does not fit.
+pub fn try_is_multi_fault_redundant(
+    network: &Network,
+    fault: &MultiFault,
+) -> Result<bool, EngineError> {
+    let n = network.lines();
+    if n >= 24 {
+        return Err(EngineError::OversizedNetwork { lines: n, max: 23 });
+    }
+    fault.check_in_range(network)?;
+    Ok(is_multi_fault_redundant(network, fault))
+}
+
 /// A streaming enumeration of a fault space.
 ///
 /// Implementations yield their faults lazily — [`FaultPairs`] in particular
@@ -401,6 +486,18 @@ pub trait FaultUniverse {
     #[must_use]
     fn len(&self, network: &Network) -> usize {
         self.iter(network).count()
+    }
+
+    /// [`len`](FaultUniverse::len) with overflow-checked arithmetic:
+    /// implementations whose closed-form size computation can overflow
+    /// on degenerate huge networks (quadratic pair spaces, `2·(n + 2m)`
+    /// segment counts) return [`EngineError::TooLarge`] instead of a
+    /// debug-only integer overflow.
+    ///
+    /// # Errors
+    /// [`EngineError::TooLarge`] when the size exceeds `usize`.
+    fn try_len(&self, network: &Network) -> Result<usize, EngineError> {
+        Ok(self.len(network))
     }
 
     /// `true` when the universe is empty for `network`.
@@ -460,7 +557,20 @@ impl FaultUniverse for StuckLine {
     }
 
     fn len(&self, network: &Network) -> usize {
-        2 * (network.lines() + 2 * network.size())
+        self.try_len(network).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_len(&self, network: &Network) -> Result<usize, EngineError> {
+        // 2·(n + 2m) segments, checked so a degenerate huge network is a
+        // typed refusal rather than a debug-only overflow.
+        network
+            .size()
+            .checked_mul(2)
+            .and_then(|m2| network.lines().checked_add(m2))
+            .and_then(|segments| segments.checked_mul(2))
+            .ok_or(EngineError::TooLarge {
+                what: "stuck-line universe",
+            })
     }
 }
 
@@ -481,15 +591,24 @@ impl<U: FaultUniverse> FaultUniverse for FaultPairs<U> {
     }
 
     fn len(&self, network: &Network) -> usize {
+        self.try_len(network).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_len(&self, network: &Network) -> Result<usize, EngineError> {
         // Counted without materialising the quadratic pair space: lesions
         // conflict exactly within their *conflict class* (all faults of one
         // comparator; the two stuck values of one segment), so the skipped
-        // pairs are Σ C(class size, 2) over classes.
+        // pairs are Σ C(class size, 2) over classes.  All arithmetic is
+        // overflow-checked — the pair count is quadratic in the base, so a
+        // huge (but enumerable) base universe can overflow `usize` here.
         #[derive(PartialEq, Eq, Hash)]
         enum ConflictClass {
             Comparator(usize),
             Segment(usize, usize),
         }
+        let too_large = EngineError::TooLarge {
+            what: "fault-pair universe",
+        };
         let mut class_sizes: std::collections::HashMap<ConflictClass, usize> =
             std::collections::HashMap::new();
         let mut base = 0usize;
@@ -504,8 +623,17 @@ impl<U: FaultUniverse> FaultUniverse for FaultPairs<U> {
             };
             *class_sizes.entry(class).or_insert(0) += 1;
         }
-        let conflicting: usize = class_sizes.values().map(|&s| s * (s - 1) / 2).sum();
-        base * base.saturating_sub(1) / 2 - conflicting
+        let choose2 =
+            |s: usize| -> Option<usize> { s.checked_mul(s.saturating_sub(1)).map(|p| p / 2) };
+        let mut conflicting = 0usize;
+        for &s in class_sizes.values() {
+            conflicting = conflicting
+                .checked_add(choose2(s).ok_or(too_large.clone())?)
+                .ok_or(too_large.clone())?;
+        }
+        choose2(base)
+            .and_then(|pairs| pairs.checked_sub(conflicting))
+            .ok_or(too_large)
     }
 
     fn iter<'a>(&'a self, network: &'a Network) -> Box<dyn Iterator<Item = MultiFault> + 'a> {
@@ -632,6 +760,10 @@ impl FaultUniverse for StandardUniverse {
 
     fn len(&self, network: &Network) -> usize {
         self.as_universe().len(network)
+    }
+
+    fn try_len(&self, network: &Network) -> Result<usize, EngineError> {
+        self.as_universe().try_len(network)
     }
 }
 

@@ -1,0 +1,343 @@
+//! # sortnet-grinder
+//!
+//! A seeded differential fuzz grinder for the fault-simulation engines.
+//!
+//! The workspace keeps three implementations of the same detection
+//! semantics: the scalar reference (`sortnet_faults::universe`), the
+//! width-generic bit-parallel engine (`sortnet_faults::bitsim`) and the
+//! runtime-selected lane-ops backends underneath it
+//! (`sortnet_network::lanes::Backend`: scalar / portable-chunked / AVX2).
+//! The structured differential test suites hold them together on curated
+//! networks; the grinder holds them together on *random* ones.
+//!
+//! Each case is a deterministic function of `(seed, case index)`: a random
+//! network (3–9 lines, 0–12 comparators), a random standard fault universe,
+//! and a random test list (1–96 vectors, so both one- and two-word matrix
+//! rows occur).  The scalar engine's verdict for every fault × test is the
+//! oracle; the case fails when any bit-parallel matrix (each runnable
+//! backend × lane widths 1 and 4) disagrees, or when scalar and
+//! bit-parallel coverage reports diverge.
+//!
+//! A failing case is **shrunk** before it is reported: comparators, then
+//! faults, then tests are dropped greedily while the disagreement persists,
+//! so the [`Mismatch`] carries a minimal reproducer.  Every mismatch also
+//! prints a replay line — `SORTNET_GRINDER_SEED=<seed> … --only-case <i>`
+//! — that regenerates the case from the seed alone.
+//!
+//! [`Corruption`] is the grinder's self-test hook: it flips one oracle bit
+//! so the whole catch-and-shrink pipeline can be exercised (and is, in the
+//! smoke tests and CI) without planting a real bug in an engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use rand::prelude::*;
+
+use sortnet_combinat::BitString;
+use sortnet_faults::bitsim::try_detection_matrix_multi_on;
+use sortnet_faults::coverage::{coverage_of_universe_with, FaultSimEngine};
+use sortnet_faults::universe::{multi_detects, FaultUniverse, MultiFault, StandardUniverse};
+use sortnet_network::budget::{BudgetMeter, Budgeted, SweepBudget};
+use sortnet_network::lanes::Backend;
+use sortnet_network::random::NetworkSampler;
+use sortnet_network::Network;
+
+/// Per-case seed derivation: SplitMix64's golden-ratio increment keeps
+/// neighbouring case indices decorrelated.
+const CASE_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Deliberate oracle corruption — the grinder's self-test hook.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Corruption {
+    /// No corruption: any mismatch is a real engine disagreement.
+    #[default]
+    None,
+    /// Flip the scalar oracle's verdict for the last fault on the first
+    /// test.  The flip tracks the *current* fault/test lists, so it
+    /// survives shrinking — the pipeline must chase it all the way down
+    /// to a one-fault, one-test reproducer.
+    FlipLastFault,
+}
+
+/// Knobs of a grind run.
+#[derive(Clone, Debug)]
+pub struct GrinderConfig {
+    /// Master seed; every case is a pure function of `(seed, index)`.
+    pub seed: u64,
+    /// Number of cases to grind (case indices `0..cases`).
+    pub cases: u64,
+    /// Run budget: each case admits one block, so
+    /// [`SweepBudget::with_max_blocks`] caps the case count and a
+    /// deadline or [`sortnet_network::CancelToken`] stops a long grind
+    /// cleanly with a [`Budgeted::Partial`] result.
+    pub budget: SweepBudget,
+    /// Oracle corruption (self-test hook); [`Corruption::None`] for real
+    /// fuzzing.
+    pub corruption: Corruption,
+}
+
+impl GrinderConfig {
+    /// A config grinding `cases` cases from `seed` with no budget and no
+    /// corruption.
+    #[must_use]
+    pub fn new(seed: u64, cases: u64) -> Self {
+        Self {
+            seed,
+            cases,
+            budget: SweepBudget::unlimited(),
+            corruption: Corruption::None,
+        }
+    }
+}
+
+/// A shrunk engine disagreement, reproducible from `(seed, case_index)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mismatch {
+    /// The master seed the run was grinding.
+    pub seed: u64,
+    /// The case index within the run.
+    pub case_index: u64,
+    /// The fault universe the case drew.
+    pub universe: StandardUniverse,
+    /// The shrunk network still exhibiting the disagreement.
+    pub network: Network,
+    /// Comparator count of the network as generated, before shrinking.
+    pub original_size: usize,
+    /// The shrunk fault list (a subset of the universe over `network`).
+    pub faults: Vec<MultiFault>,
+    /// The shrunk test list.
+    pub tests: Vec<BitString>,
+    /// Human-readable description of the first disagreement.
+    pub detail: String,
+}
+
+impl fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "differential mismatch (seed {seed:#x}, case {case})",
+            seed = self.seed,
+            case = self.case_index
+        )?;
+        writeln!(f, "  universe: {}", FaultUniverse::name(&self.universe))?;
+        writeln!(
+            f,
+            "  network:  {} ({} of originally {} comparators)",
+            self.network,
+            self.network.size(),
+            self.original_size
+        )?;
+        writeln!(f, "  faults:   {} kept after shrinking", self.faults.len())?;
+        writeln!(f, "  tests:    {} kept after shrinking", self.tests.len())?;
+        writeln!(f, "  detail:   {}", self.detail)?;
+        write!(
+            f,
+            "  replay:   SORTNET_GRINDER_SEED={:#x} cargo run -p sortnet-grinder -- --only-case {}",
+            self.seed, self.case_index
+        )
+    }
+}
+
+/// Scalar-oracle cross-check of the bit-parallel matrices over an explicit
+/// fault list.  Returns a description of the first disagreement, `None`
+/// when every engine agrees.
+fn check_faults(
+    network: &Network,
+    faults: &[MultiFault],
+    tests: &[BitString],
+    corruption: Corruption,
+) -> Option<String> {
+    let mut expected = Vec::with_capacity(faults.len() * tests.len());
+    for fault in faults {
+        for test in tests {
+            expected.push(multi_detects(network, fault, test));
+        }
+    }
+    if corruption == Corruption::FlipLastFault && !faults.is_empty() && !tests.is_empty() {
+        let idx = (faults.len() - 1) * tests.len();
+        expected[idx] = !expected[idx];
+    }
+    for backend in Backend::runnable() {
+        let matrices = [
+            (
+                1usize,
+                try_detection_matrix_multi_on::<1>(network, faults, tests, backend),
+            ),
+            (
+                4usize,
+                try_detection_matrix_multi_on::<4>(network, faults, tests, backend),
+            ),
+        ];
+        for (width, matrix) in matrices {
+            let matrix = match matrix {
+                Ok(m) => m,
+                Err(e) => {
+                    return Some(format!(
+                        "typed refusal on a case the scalar oracle accepted ({backend:?}, W{width}): {e}"
+                    ))
+                }
+            };
+            for (fi, fault) in faults.iter().enumerate() {
+                for (ti, test) in tests.iter().enumerate() {
+                    let want = expected[fi * tests.len() + ti];
+                    let got = matrix.is_detected_by(fi, ti);
+                    if want != got {
+                        return Some(format!(
+                            "fault {fault} x test {test}: scalar oracle says detected={want}, \
+                             {backend:?} W{width} matrix says detected={got}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Full case check: matrix cross-check over the whole universe, then
+/// scalar-vs-bit-parallel coverage reports (skipped under corruption —
+/// the planted flip lives in the matrix comparison only).
+fn check_case(
+    network: &Network,
+    universe: StandardUniverse,
+    tests: &[BitString],
+    corruption: Corruption,
+) -> Option<String> {
+    let faults: Vec<MultiFault> = universe.iter(network).collect();
+    if let Some(detail) = check_faults(network, &faults, tests, corruption) {
+        return Some(detail);
+    }
+    if corruption == Corruption::None {
+        let scalar =
+            coverage_of_universe_with(network, &universe, tests, false, FaultSimEngine::Scalar);
+        let wide = coverage_of_universe_with(
+            network,
+            &universe,
+            tests,
+            false,
+            FaultSimEngine::BitParallel,
+        );
+        if scalar != wide {
+            return Some(format!(
+                "coverage reports disagree: scalar {scalar:?} vs bit-parallel {wide:?}"
+            ));
+        }
+    }
+    None
+}
+
+/// Greedy list shrink: first try pinning a single element (the common
+/// case — one fault or one test reproduces), then a single forward
+/// removal pass.  `still_fails` returns the mismatch detail when the
+/// candidate list still reproduces the disagreement.
+fn shrink_list<T: Clone>(
+    mut items: Vec<T>,
+    detail: &mut String,
+    mut still_fails: impl FnMut(&[T]) -> Option<String>,
+) -> Vec<T> {
+    for item in &items {
+        let one = [item.clone()];
+        if let Some(d) = still_fails(&one) {
+            *detail = d;
+            return one.to_vec();
+        }
+    }
+    let mut i = 0;
+    while i < items.len() && items.len() > 1 {
+        let mut candidate = items.clone();
+        candidate.remove(i);
+        if let Some(d) = still_fails(&candidate) {
+            *detail = d;
+            items = candidate;
+        } else {
+            i += 1;
+        }
+    }
+    items
+}
+
+/// Shrinks a failing case to a minimal-ish reproducer: comparators first
+/// (the fault universe follows the network automatically), then the fault
+/// list, then the test list.
+fn shrink(
+    seed: u64,
+    case_index: u64,
+    universe: StandardUniverse,
+    network: Network,
+    tests: Vec<BitString>,
+    detail: String,
+    corruption: Corruption,
+) -> Mismatch {
+    let original_size = network.size();
+    let mut network = network;
+    let mut detail = detail;
+    let mut i = 0;
+    while i < network.size() {
+        let candidate = network.without_comparator(i);
+        if let Some(d) = check_case(&candidate, universe, &tests, corruption) {
+            detail = d;
+            network = candidate;
+        } else {
+            i += 1;
+        }
+    }
+    let faults = shrink_list(
+        universe.iter(&network).collect(),
+        &mut detail,
+        |candidate| check_faults(&network, candidate, &tests, corruption),
+    );
+    let tests = shrink_list(tests, &mut detail, |candidate| {
+        check_faults(&network, &faults, candidate, corruption)
+    });
+    Mismatch {
+        seed,
+        case_index,
+        universe,
+        network,
+        original_size,
+        faults,
+        tests,
+        detail,
+    }
+}
+
+/// Runs one case: generates the deterministic `(seed, index)` inputs,
+/// cross-checks every engine, and returns the shrunk [`Mismatch`] if they
+/// disagree.
+#[must_use]
+pub fn run_case(seed: u64, index: u64, corruption: Corruption) -> Option<Mismatch> {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(index.wrapping_mul(CASE_STRIDE)));
+    let n = rng.random_range(3usize..10);
+    let size = rng.random_range(0usize..13);
+    let mut sampler = NetworkSampler::new(rng.next_u64());
+    let network = sampler.network(n, size);
+    let universe = StandardUniverse::ALL[rng.random_range(0usize..StandardUniverse::ALL.len())];
+    let test_count = rng.random_range(1usize..97);
+    let tests: Vec<BitString> = (0..test_count).map(|_| sampler.random_input(n)).collect();
+    let detail = check_case(&network, universe, &tests, corruption)?;
+    Some(shrink(
+        seed, index, universe, network, tests, detail, corruption,
+    ))
+}
+
+/// Grinds `config.cases` cases, collecting every (shrunk) mismatch.
+///
+/// Each case admits one block against `config.budget`, so a block cap,
+/// deadline or cancel token stops the grind early with
+/// [`Budgeted::Partial`] carrying the mismatches found so far.
+#[must_use]
+pub fn run(config: &GrinderConfig) -> Budgeted<Vec<Mismatch>> {
+    let mut meter = BudgetMeter::new(&config.budget);
+    let mut mismatches = Vec::new();
+    for index in 0..config.cases {
+        if !meter.admit_block(1) {
+            break;
+        }
+        if let Some(m) = run_case(config.seed, index, config.corruption) {
+            mismatches.push(m);
+        }
+    }
+    meter.finish(mismatches)
+}

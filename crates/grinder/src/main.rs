@@ -1,0 +1,133 @@
+//! Command-line front end of the differential fuzz grinder.
+//!
+//! ```text
+//! SORTNET_GRINDER_SEED=0xfeed cargo run -p sortnet-grinder -- --cases 256
+//! ```
+//!
+//! The seed comes from `--seed`, the `SORTNET_GRINDER_SEED` environment
+//! variable, or the wall clock (printed, so any run is replayable).
+//! Exit status is non-zero when any mismatch was found, so the binary
+//! doubles as a CI job.
+
+use std::process::ExitCode;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use sortnet_grinder::{run, run_case, Corruption, GrinderConfig};
+use sortnet_network::{Budgeted, SweepBudget};
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: sortnet-grinder [--seed N] [--cases N] [--max-blocks N] \
+         [--only-case N] [--corrupt-last-fault]\n\
+         \n\
+         The seed defaults to $SORTNET_GRINDER_SEED, then the wall clock.\n\
+         --max-blocks caps the number of cases through the sweep budget;\n\
+         --only-case replays one case; --corrupt-last-fault plants a fake\n\
+         oracle flip to self-test the catch-and-shrink pipeline."
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut seed: Option<u64> = std::env::var("SORTNET_GRINDER_SEED")
+        .ok()
+        .and_then(|s| parse_u64(&s));
+    let mut cases: u64 = 128;
+    let mut max_blocks: Option<u64> = None;
+    let mut only_case: Option<u64> = None;
+    let mut corruption = Corruption::None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| -> Result<u64, ExitCode> {
+            args.next().as_deref().and_then(parse_u64).ok_or_else(|| {
+                eprintln!("{what} needs a numeric argument");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--seed" => match value("--seed") {
+                Ok(v) => seed = Some(v),
+                Err(code) => return code,
+            },
+            "--cases" => match value("--cases") {
+                Ok(v) => cases = v,
+                Err(code) => return code,
+            },
+            "--max-blocks" => match value("--max-blocks") {
+                Ok(v) => max_blocks = Some(v),
+                Err(code) => return code,
+            },
+            "--only-case" => match value("--only-case") {
+                Ok(v) => only_case = Some(v),
+                Err(code) => return code,
+            },
+            "--corrupt-last-fault" => corruption = Corruption::FlipLastFault,
+            _ => return usage(),
+        }
+    }
+
+    let seed = seed.unwrap_or_else(|| {
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map_or(0x5EED_CAFE, |d| d.as_nanos() as u64)
+    });
+
+    if let Some(index) = only_case {
+        println!("replaying case {index} of seed {seed:#x}");
+        return match run_case(seed, index, corruption) {
+            Some(mismatch) => {
+                println!("{mismatch}");
+                ExitCode::FAILURE
+            }
+            None => {
+                println!("case {index} is clean: every engine agrees");
+                ExitCode::SUCCESS
+            }
+        };
+    }
+
+    let mut budget = SweepBudget::unlimited();
+    if let Some(blocks) = max_blocks {
+        budget = budget.with_max_blocks(blocks);
+    }
+    let config = GrinderConfig {
+        seed,
+        cases,
+        budget,
+        corruption,
+    };
+    println!("grinding {cases} cases from seed {seed:#x} (replay: SORTNET_GRINDER_SEED={seed:#x})");
+    let outcome = run(&config);
+    let mismatches = match outcome {
+        Budgeted::Complete(m) => m,
+        Budgeted::Partial {
+            progress,
+            reason,
+            best_so_far,
+        } => {
+            println!(
+                "budget tripped ({reason:?}) after {} cases; reporting what was found",
+                progress.blocks
+            );
+            best_so_far
+        }
+    };
+    if mismatches.is_empty() {
+        println!("no mismatches: the engines agree on every case");
+        return ExitCode::SUCCESS;
+    }
+    for mismatch in &mismatches {
+        println!("{mismatch}");
+    }
+    println!("{} mismatch(es) found", mismatches.len());
+    ExitCode::FAILURE
+}

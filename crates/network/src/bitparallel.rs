@@ -26,6 +26,8 @@ use rayon::prelude::*;
 
 use sortnet_combinat::BitString;
 
+use crate::budget::{BudgetMeter, Budgeted, SweepBudget};
+use crate::error::{self, EngineError};
 use crate::lanes::{self, Backend, WideBlock};
 use crate::network::Network;
 
@@ -143,6 +145,67 @@ pub fn find_unsorted_input(network: &Network, hint: ParallelismHint) -> Option<B
     find_unsorted_input_wide::<{ lanes::DEFAULT_WIDTH }>(network, hint)
 }
 
+/// [`find_unsorted_input_backend`] with the sweep size checked up front,
+/// returning a typed error instead of a panic.
+///
+/// # Errors
+/// [`EngineError::SweepTooLarge`] when `n ≥ 32`.
+pub fn try_find_unsorted_input_backend<const W: usize>(
+    network: &Network,
+    hint: ParallelismHint,
+    backend: Backend,
+) -> Result<Option<BitString>, EngineError> {
+    error::ensure_sweepable(network.lines())?;
+    Ok(find_unsorted_input_backend::<W>(network, hint, backend))
+}
+
+/// [`try_find_unsorted_input_backend`] at the default lane width on the
+/// runtime-detected backend.
+///
+/// # Errors
+/// [`EngineError::SweepTooLarge`] when `n ≥ 32`.
+pub fn try_find_unsorted_input(
+    network: &Network,
+    hint: ParallelismHint,
+) -> Result<Option<BitString>, EngineError> {
+    try_find_unsorted_input_backend::<{ lanes::DEFAULT_WIDTH }>(network, hint, Backend::active())
+}
+
+/// The exhaustive sorter sweep under a [`SweepBudget`], checked per
+/// block.  Runs sequentially (block-granular metering and the rayon
+/// fan-out do not compose), so a budgeted sweep trades the thread-pool
+/// speed-up for interruptibility.
+///
+/// A [`Budgeted::Partial`] outcome carries `None`: no unsorted input was
+/// found among the committed blocks (the verdict for the unswept
+/// remainder is open).  A witness found inside the budget completes the
+/// sweep early as usual.
+///
+/// # Errors
+/// [`EngineError::SweepTooLarge`] when `n ≥ 32`.
+pub fn find_unsorted_input_budgeted<const W: usize>(
+    network: &Network,
+    budget: &SweepBudget,
+    backend: Backend,
+) -> Result<Budgeted<Option<BitString>>, EngineError> {
+    let n = network.lines();
+    error::ensure_sweepable(n)?;
+    let block_count = sweep_block_count_wide::<W>(n);
+    let mut meter = BudgetMeter::new(budget);
+    for b in 0..block_count {
+        let (start, count) = sweep_block_range_wide::<W>(n, b);
+        if !meter.admit_block(u64::from(count)) {
+            break;
+        }
+        let mut block = WideBlock::<W>::from_range(n, start, count);
+        block.run_with(backend, network);
+        if let Some(j) = lanes::mask_first(&block.unsorted_masks_with(backend)) {
+            return Ok(meter.finish(Some(BitString::from_word(start + u64::from(j), n))));
+        }
+    }
+    Ok(meter.finish(None))
+}
+
 /// `true` iff `network` sorts every 0/1 input (and hence, by the zero–one
 /// principle, every input), swept at width `W`.
 #[must_use]
@@ -208,6 +271,49 @@ pub fn count_unsorted_outputs_backend<const W: usize>(
 #[must_use]
 pub fn count_unsorted_outputs(network: &Network, hint: ParallelismHint) -> u64 {
     count_unsorted_outputs_wide::<{ lanes::DEFAULT_WIDTH }>(network, hint)
+}
+
+/// [`count_unsorted_outputs_backend`] with the sweep size checked up
+/// front.
+///
+/// # Errors
+/// [`EngineError::SweepTooLarge`] when `n ≥ 32`.
+pub fn try_count_unsorted_outputs_backend<const W: usize>(
+    network: &Network,
+    hint: ParallelismHint,
+    backend: Backend,
+) -> Result<u64, EngineError> {
+    error::ensure_sweepable(network.lines())?;
+    Ok(count_unsorted_outputs_backend::<W>(network, hint, backend))
+}
+
+/// The unsorted-output count under a [`SweepBudget`] (sequential; see
+/// [`find_unsorted_input_budgeted`] for why).  A
+/// [`Budgeted::Partial`] count is exact for the committed blocks and
+/// therefore a **lower bound** on the full count.
+///
+/// # Errors
+/// [`EngineError::SweepTooLarge`] when `n ≥ 32`.
+pub fn count_unsorted_outputs_budgeted<const W: usize>(
+    network: &Network,
+    budget: &SweepBudget,
+    backend: Backend,
+) -> Result<Budgeted<u64>, EngineError> {
+    let n = network.lines();
+    error::ensure_sweepable(n)?;
+    let block_count = sweep_block_count_wide::<W>(n);
+    let mut meter = BudgetMeter::new(budget);
+    let mut unsorted = 0u64;
+    for b in 0..block_count {
+        let (start, count) = sweep_block_range_wide::<W>(n, b);
+        if !meter.admit_block(u64::from(count)) {
+            break;
+        }
+        let mut block = WideBlock::<W>::from_range(n, start, count);
+        block.run_with(backend, network);
+        unsorted += u64::from(lanes::mask_count(&block.unsorted_masks_with(backend)));
+    }
+    Ok(meter.finish(unsorted))
 }
 
 /// Exhaustively checks the `(k, n)`-selection property over all `2^n`
@@ -289,6 +395,32 @@ pub fn is_selector_exhaustive(network: &Network, k: usize, hint: ParallelismHint
     find_selector_violation(network, k, hint).is_none()
 }
 
+/// [`find_selector_violation_backend`] with both parameters checked up
+/// front.
+///
+/// # Errors
+/// [`EngineError::SweepTooLarge`] when `n ≥ 32`;
+/// [`EngineError::IndexOutOfRange`] when `k > n`.
+pub fn try_find_selector_violation_backend<const W: usize>(
+    network: &Network,
+    k: usize,
+    hint: ParallelismHint,
+    backend: Backend,
+) -> Result<Option<BitString>, EngineError> {
+    let n = network.lines();
+    error::ensure_sweepable(n)?;
+    if k > n {
+        return Err(EngineError::IndexOutOfRange {
+            what: "selector k",
+            index: k,
+            limit: n + 1,
+        });
+    }
+    Ok(find_selector_violation_backend::<W>(
+        network, k, hint, backend,
+    ))
+}
+
 /// Runs `network` over an arbitrary list of 0/1 test vectors (in
 /// `W × 64`-wide blocks at the default width) and returns the inputs whose
 /// outputs are not sorted.
@@ -307,6 +439,28 @@ pub fn failing_inputs_from(network: &Network, tests: &[BitString]) -> Vec<BitStr
         }
     }
     failures
+}
+
+/// [`failing_inputs_from`] with the test-vector lengths checked up
+/// front, returning a typed error instead of a block-builder panic.
+///
+/// # Errors
+/// [`EngineError::InputLengthMismatch`] when any test's length disagrees
+/// with the network's line count.
+pub fn try_failing_inputs_from(
+    network: &Network,
+    tests: &[BitString],
+) -> Result<Vec<BitString>, EngineError> {
+    let n = network.lines();
+    for t in tests {
+        if t.len() != n {
+            return Err(EngineError::InputLengthMismatch {
+                expected: n,
+                actual: t.len(),
+            });
+        }
+    }
+    Ok(failing_inputs_from(network, tests))
 }
 
 #[cfg(test)]
@@ -480,6 +634,86 @@ mod tests {
         inv.apply_comparator(2, 0);
         assert_eq!(inv.lane(2), a & b);
         assert_eq!(inv.lane(0), a | b);
+    }
+
+    #[test]
+    fn try_variants_reject_hostile_inputs_and_agree_otherwise() {
+        let net = batcher4();
+        assert_eq!(
+            try_find_unsorted_input(&net, ParallelismHint::Sequential).unwrap(),
+            None
+        );
+        let big = Network::empty(40);
+        assert_eq!(
+            try_find_unsorted_input(&big, ParallelismHint::Sequential).unwrap_err(),
+            EngineError::SweepTooLarge { lines: 40 }
+        );
+        assert!(matches!(
+            try_count_unsorted_outputs_backend::<1>(
+                &big,
+                ParallelismHint::Sequential,
+                Backend::Scalar
+            ),
+            Err(EngineError::SweepTooLarge { lines: 40 })
+        ));
+        assert!(matches!(
+            try_find_selector_violation_backend::<1>(
+                &net,
+                9,
+                ParallelismHint::Sequential,
+                Backend::Scalar
+            ),
+            Err(EngineError::IndexOutOfRange { index: 9, .. })
+        ));
+        let mismatched = vec![BitString::zeros(5)];
+        assert!(matches!(
+            try_failing_inputs_from(&net, &mismatched),
+            Err(EngineError::InputLengthMismatch {
+                expected: 4,
+                actual: 5
+            })
+        ));
+    }
+
+    #[test]
+    fn budgeted_exhaustive_sweeps_degrade_to_exact_prefixes() {
+        use crate::budget::SweepBudget;
+        let sorter = crate::builders::batcher::odd_even_merge_sort(9);
+        // 2^9 = 8 one-word blocks; cap at 2.
+        let budget = SweepBudget::unlimited().with_max_blocks(2);
+        let partial = find_unsorted_input_budgeted::<1>(&sorter, &budget, Backend::Scalar).unwrap();
+        assert!(!partial.is_complete());
+        assert_eq!(*partial.value(), None);
+        let full =
+            find_unsorted_input_budgeted::<1>(&sorter, &SweepBudget::unlimited(), Backend::Scalar)
+                .unwrap();
+        assert!(full.is_complete());
+        // Budgeted counting is a lower bound that matches the full count
+        // on the committed prefix.
+        let empty = Network::empty(8);
+        let capped = count_unsorted_outputs_budgeted::<1>(
+            &empty,
+            &SweepBudget::unlimited().with_max_blocks(2),
+            Backend::Scalar,
+        )
+        .unwrap();
+        let scalar_prefix = BitString::all(8)
+            .take(128)
+            .filter(|s| !s.is_sorted())
+            .count() as u64;
+        assert_eq!(*capped.value(), scalar_prefix);
+        let full_count = count_unsorted_outputs_budgeted::<1>(
+            &empty,
+            &SweepBudget::unlimited(),
+            Backend::Scalar,
+        )
+        .unwrap();
+        assert!(full_count.is_complete());
+        assert_eq!(
+            *full_count.value(),
+            count_unsorted_outputs(&empty, ParallelismHint::Sequential)
+        );
+        assert!(*capped.value() <= *full_count.value());
     }
 
     #[test]

@@ -72,6 +72,8 @@
 
 use sortnet_combinat::BitString;
 
+use crate::budget::{BudgetMeter, Budgeted, SweepBudget};
+use crate::error::{self, EngineError};
 use crate::network::Network;
 
 pub mod backend;
@@ -601,15 +603,21 @@ impl RangeSource {
     /// instead).
     #[must_use]
     pub fn exhaustive(n: usize) -> Self {
-        assert!(
-            n < 32,
-            "exhaustive 2^{n} sweep refused; use test-set verification"
-        );
-        Self {
+        Self::try_exhaustive(n).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The full `2^n` sweep, refusing `n ≥ 32` with a typed error
+    /// instead of a panic.
+    ///
+    /// # Errors
+    /// [`EngineError::SweepTooLarge`] when `n ≥ 32`.
+    pub fn try_exhaustive(n: usize) -> Result<Self, EngineError> {
+        error::ensure_sweepable(n)?;
+        Ok(Self {
             n,
             next: 0,
             end: 1u64 << n,
-        }
+        })
     }
 }
 
@@ -760,6 +768,38 @@ pub fn sweep_find<const W: usize, S: BlockSource<W>>(
     }
 }
 
+/// [`sweep_find`] under a [`SweepBudget`]: the budget is consulted once
+/// per block, and a trip abandons the stream, returning
+/// [`Budgeted::Partial`] whose `best_so_far` outcome covers exactly the
+/// committed blocks (no witness was found in them — had one been found,
+/// the sweep would have returned it already).
+pub fn sweep_find_budgeted<const W: usize, S: BlockSource<W>>(
+    mut source: S,
+    budget: &SweepBudget,
+    mut violation: impl FnMut(&WideBlock<W>) -> [u64; W],
+) -> Budgeted<SweepOutcome> {
+    let mut meter = BudgetMeter::new(budget);
+    let mut block = WideBlock::<W>::zeroed(source.lines());
+    let mut tests_run = 0u64;
+    while source.next_block(&mut block) {
+        if !meter.admit_block(u64::from(block.count())) {
+            break;
+        }
+        tests_run += u64::from(block.count());
+        let mask = violation(&block);
+        if let Some(j) = mask_first(&mask) {
+            return meter.finish(SweepOutcome {
+                tests_run,
+                witness: Some(block.extract(j)),
+            });
+        }
+    }
+    meter.finish(SweepOutcome {
+        tests_run,
+        witness: None,
+    })
+}
+
 /// Streams `source` through `network` and reports the first input whose
 /// output is **not sorted** — the shared "copy block, run, mask" sweep the
 /// sorting/merging verifiers and oracles build on.  Runs on the
@@ -783,6 +823,69 @@ pub fn sweep_network_with<const W: usize, S: BlockSource<W>>(
         work.run_with(backend, network);
         work.unsorted_masks_with(backend)
     })
+}
+
+/// [`sweep_network`] with the source/network agreement checked up front,
+/// returning a typed error instead of an engine-internal panic.
+///
+/// # Errors
+/// [`EngineError::ChannelMismatch`] when `source` and `network` disagree
+/// on the line count.
+pub fn try_sweep_network<const W: usize, S: BlockSource<W>>(
+    source: S,
+    network: &Network,
+) -> Result<SweepOutcome, EngineError> {
+    try_sweep_network_with(source, network, Backend::active())
+}
+
+/// [`try_sweep_network`] on an explicit [`Backend`].
+///
+/// # Errors
+/// [`EngineError::ChannelMismatch`] when `source` and `network` disagree
+/// on the line count.
+pub fn try_sweep_network_with<const W: usize, S: BlockSource<W>>(
+    source: S,
+    network: &Network,
+    backend: Backend,
+) -> Result<SweepOutcome, EngineError> {
+    error::ensure_same_lines(network.lines(), source.lines())?;
+    Ok(sweep_network_with(source, network, backend))
+}
+
+/// [`sweep_network`] under a [`SweepBudget`]: checked and budgeted.  A
+/// [`Budgeted::Partial`] outcome means no violation was found in the
+/// committed prefix of the family (the property may still fail on the
+/// unswept remainder).
+///
+/// # Errors
+/// [`EngineError::ChannelMismatch`] when `source` and `network` disagree
+/// on the line count.
+pub fn sweep_network_budgeted<const W: usize, S: BlockSource<W>>(
+    source: S,
+    network: &Network,
+    budget: &SweepBudget,
+) -> Result<Budgeted<SweepOutcome>, EngineError> {
+    sweep_network_budgeted_with(source, network, budget, Backend::active())
+}
+
+/// [`sweep_network_budgeted`] on an explicit [`Backend`].
+///
+/// # Errors
+/// [`EngineError::ChannelMismatch`] when `source` and `network` disagree
+/// on the line count.
+pub fn sweep_network_budgeted_with<const W: usize, S: BlockSource<W>>(
+    source: S,
+    network: &Network,
+    budget: &SweepBudget,
+    backend: Backend,
+) -> Result<Budgeted<SweepOutcome>, EngineError> {
+    error::ensure_same_lines(network.lines(), source.lines())?;
+    let mut work = WideBlock::<W>::zeroed(source.lines());
+    Ok(sweep_find_budgeted(source, budget, |block| {
+        work.copy_from(block);
+        work.run_with(backend, network);
+        work.unsorted_masks_with(backend)
+    }))
 }
 
 /// Per-word masks of vectors whose first `k` output lanes differ between a
@@ -977,6 +1080,77 @@ mod tests {
         });
         assert_eq!(outcome.witness, None);
         assert_eq!(outcome.tests_run, 64);
+    }
+
+    #[test]
+    fn try_exhaustive_refuses_oversized_sweeps_with_a_typed_error() {
+        assert!(RangeSource::try_exhaustive(10).is_ok());
+        assert_eq!(
+            RangeSource::try_exhaustive(32).unwrap_err(),
+            EngineError::SweepTooLarge { lines: 32 }
+        );
+    }
+
+    #[test]
+    fn try_sweep_network_rejects_line_count_mismatch() {
+        let net = odd_even_merge_sort(6);
+        let err = try_sweep_network::<1, _>(RangeSource::exhaustive(5), &net).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::ChannelMismatch {
+                expected: 6,
+                actual: 5
+            }
+        );
+        let ok = try_sweep_network::<1, _>(RangeSource::exhaustive(6), &net).unwrap();
+        assert_eq!(ok.witness, None);
+        assert_eq!(ok.tests_run, 64);
+    }
+
+    #[test]
+    fn budgeted_sweep_trips_at_the_block_cap_with_an_exact_prefix() {
+        // 2^9 inputs at W = 1 is 8 blocks; a 3-block budget must commit
+        // exactly 192 vectors and report Partial.
+        let sorter = odd_even_merge_sort(9);
+        let budget = SweepBudget::unlimited().with_max_blocks(3);
+        let outcome =
+            sweep_network_budgeted::<1, _>(RangeSource::exhaustive(9), &sorter, &budget).unwrap();
+        match outcome {
+            Budgeted::Partial {
+                progress,
+                best_so_far,
+                ..
+            } => {
+                assert_eq!(progress.blocks, 3);
+                assert_eq!(progress.vectors, 192);
+                assert_eq!(best_so_far.tests_run, 192);
+                assert_eq!(best_so_far.witness, None);
+            }
+            Budgeted::Complete(_) => panic!("a 3-block budget cannot cover 8 blocks"),
+        }
+        // An unlimited budget is the unbudgeted sweep.
+        let full = sweep_network_budgeted::<1, _>(
+            RangeSource::exhaustive(9),
+            &sorter,
+            &SweepBudget::unlimited(),
+        )
+        .unwrap();
+        assert!(full.is_complete());
+        assert_eq!(full.value().tests_run, 512);
+    }
+
+    #[test]
+    fn budgeted_sweep_still_reports_witnesses_inside_the_budget() {
+        let non_sorter = Network::empty(6);
+        let budget = SweepBudget::unlimited().with_max_blocks(1);
+        let outcome =
+            sweep_network_budgeted::<1, _>(RangeSource::exhaustive(6), &non_sorter, &budget)
+                .unwrap();
+        // The first violation sits in block 0, inside the budget: the
+        // sweep completes early with the witness.
+        assert!(outcome.is_complete());
+        let scalar_first = BitString::all(6).find(|s| !s.is_sorted()).unwrap();
+        assert_eq!(outcome.value().witness, Some(scalar_first));
     }
 
     #[test]

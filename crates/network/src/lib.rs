@@ -47,8 +47,10 @@
 #![warn(missing_docs)]
 
 pub mod bitparallel;
+pub mod budget;
 pub mod builders;
 pub mod comparator;
+pub mod error;
 pub mod lanes;
 pub mod network;
 pub mod primitive;
@@ -56,7 +58,9 @@ pub mod properties;
 pub mod random;
 pub mod render;
 
+pub use budget::{BudgetMeter, BudgetReason, Budgeted, CancelToken, SweepBudget, SweepProgress};
 pub use comparator::Comparator;
+pub use error::EngineError;
 pub use network::Network;
 
 #[cfg(test)]

@@ -49,9 +49,14 @@ use std::collections::HashSet;
 use std::fmt;
 
 use sortnet_combinat::BitString;
-use sortnet_faults::bitsim::detection_matrix_from_source;
-use sortnet_faults::coverage::{coverage_of_universe_with, CoverageReport, FaultSimEngine};
+use sortnet_faults::bitsim::{detection_matrix_from_source, try_detection_matrix_from_source};
+use sortnet_faults::coverage::{
+    coverage_of_universe_with, try_coverage_of_universe_with, CoverageReport, FaultSimEngine,
+};
 use sortnet_faults::universe::{FaultUniverse, MultiFault};
+use sortnet_faults::DetectionMatrix;
+use sortnet_network::budget::{BudgetMeter, Budgeted, SweepBudget};
+use sortnet_network::error::{self, EngineError};
 use sortnet_network::lanes::{BlockSource, ChainSource, IterSource, RangeSource, DEFAULT_WIDTH};
 use sortnet_network::Network;
 
@@ -194,6 +199,28 @@ impl SetCoverInstance {
     /// with `certified = false`.
     #[must_use]
     pub fn solve(&self, node_budget: Option<u64>) -> SetCoverSolution {
+        self.solve_budgeted(node_budget, &SweepBudget::unlimited())
+            .into_value()
+    }
+
+    /// [`Self::solve`] under a [`SweepBudget`]: every expanded
+    /// branch-and-bound node is admitted as a fork, so a fork cap,
+    /// deadline, or [`sortnet_network::CancelToken`] cuts the exact search
+    /// off cleanly.
+    ///
+    /// A tripped budget yields [`Budgeted::Partial`] carrying the best
+    /// cover found so far (at worst the greedy cover, which is computed
+    /// before any metered work) with `certified = false` and the root
+    /// `lower_bound` still valid as a certificate — never nothing.  The
+    /// greedy pass and bound computation themselves are not metered; only
+    /// the potentially exponential search is.
+    #[must_use]
+    pub fn solve_budgeted(
+        &self,
+        node_budget: Option<u64>,
+        budget: &SweepBudget,
+    ) -> Budgeted<SetCoverSolution> {
+        let mut meter = BudgetMeter::new(budget);
         let words = mask_words(self.elements);
         let mut target = vec![0u64; words];
         for e in 0..self.elements {
@@ -233,28 +260,33 @@ impl SetCoverInstance {
         let greedy = self.greedy_cover(&target);
         let (lower_bound, witness) =
             cover_lower_bound(&self.sets, &target, &covering, &covering_mask);
-        let mut search = Search {
-            instance: self,
-            covering: &covering,
-            covering_mask: &covering_mask,
-            best: greedy.clone(),
-            nodes: 0,
-            budget: node_budget,
-            aborted: false,
+        let (best, nodes, aborted) = {
+            let mut search = Search {
+                instance: self,
+                covering: &covering,
+                covering_mask: &covering_mask,
+                best: greedy.clone(),
+                nodes: 0,
+                budget: node_budget,
+                meter: &mut meter,
+                aborted: false,
+            };
+            if lower_bound < search.best.len() {
+                let mut chosen = Vec::new();
+                search.dfs(&target, &mut chosen);
+            }
+            (search.best, search.nodes, search.aborted)
         };
-        if lower_bound < search.best.len() {
-            let mut chosen = Vec::new();
-            search.dfs(&target, &mut chosen);
-        }
-        SetCoverSolution {
+        let solution = SetCoverSolution {
             greedy,
-            minimum: search.best,
+            minimum: best,
             lower_bound,
-            certified: !search.aborted,
-            nodes: search.nodes,
+            certified: !aborted && meter.tripped().is_none(),
+            nodes,
             uncoverable,
             witness,
-        }
+        };
+        meter.finish(solution)
     }
 
     /// Greedy cover of `target`: repeatedly the set with the largest
@@ -360,6 +392,7 @@ struct Search<'a> {
     best: Vec<usize>,
     nodes: u64,
     budget: Option<u64>,
+    meter: &'a mut BudgetMeter,
     aborted: bool,
 }
 
@@ -376,6 +409,10 @@ impl Search<'_> {
                 self.aborted = true;
                 return;
             }
+        }
+        if !self.meter.admit_fork() {
+            self.aborted = true;
+            return;
         }
         self.nodes += 1;
         // One index scan serves both the bound and the MRV pick; the
@@ -461,7 +498,7 @@ impl CandidatePool {
 }
 
 /// Knobs of the augmentation search.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct SearchOptions {
     /// Engine for the coverage run in [`minimum_augmentation`] (the
     /// candidate matrix always uses the streamed bit-parallel pass; every
@@ -471,6 +508,11 @@ pub struct SearchOptions {
     /// greedy cover is always available, so an exhausted budget degrades
     /// the result to "best found, uncertified", never to nothing.
     pub node_budget: Option<u64>,
+    /// Wall-clock / cancellation budget for the branch-and-bound search
+    /// (checked at every expanded node, counted as a fork).  The default
+    /// is unlimited.  A tripped budget degrades exactly like an exhausted
+    /// `node_budget`: best cover found so far, `certified = false`.
+    pub budget: SweepBudget,
 }
 
 /// Result of an augmentation search.
@@ -570,29 +612,55 @@ pub fn augmentation_for_missed(
     options: &SearchOptions,
 ) -> Result<AugmentationReport, AugmentError> {
     if missed.is_empty() {
-        return Ok(AugmentationReport {
-            missed_faults: Vec::new(),
-            candidates_considered: 0,
-            greedy: Vec::new(),
-            minimum: Vec::new(),
-            lower_bound: 0,
-            certified: true,
-            search_nodes: 0,
-            witness_faults: Vec::new(),
-        });
+        return Ok(empty_report());
     }
     let (matrix, candidates) = detection_matrix_from_source::<DEFAULT_WIDTH, _>(
         network,
         missed,
         pool.source(network.lines()),
     );
+    let (kept, sets) = candidate_sets(&matrix, missed.len(), candidates.len());
 
-    // Transpose the faults × candidates rows into per-candidate fault
-    // masks, then fold away useless columns: a candidate detecting nothing
-    // can never be chosen, and of duplicate columns only the first (in
-    // stream order, so structured families win) can matter.
-    let mut columns: Vec<Mask> = vec![mask_new(missed.len()); candidates.len()];
-    for (fault_idx, column) in (0..missed.len()).map(|f| (f, matrix.row_words(f))) {
+    // A tripped `options.budget` already flows into `certified = false`
+    // through the solution, so flattening the Budgeted wrapper loses
+    // nothing the legacy report can express.
+    let solution = SetCoverInstance::new(missed.len(), sets)
+        .solve_budgeted(options.node_budget, &options.budget)
+        .into_value();
+    if !solution.uncoverable.is_empty() {
+        return Err(AugmentError::Infeasible {
+            uncoverable: solution.uncoverable.iter().map(|&e| missed[e]).collect(),
+        });
+    }
+    Ok(report_from_solution(missed, &candidates, &kept, &solution))
+}
+
+/// The trivial report for an already-complete base set.
+fn empty_report() -> AugmentationReport {
+    AugmentationReport {
+        missed_faults: Vec::new(),
+        candidates_considered: 0,
+        greedy: Vec::new(),
+        minimum: Vec::new(),
+        lower_bound: 0,
+        certified: true,
+        search_nodes: 0,
+        witness_faults: Vec::new(),
+    }
+}
+
+/// Transposes the faults × candidates rows into per-candidate fault
+/// masks, then folds away useless columns: a candidate detecting nothing
+/// can never be chosen, and of duplicate columns only the first (in
+/// stream order, so structured families win) can matter.  Returns the
+/// kept candidate indices and their fault masks.
+fn candidate_sets(
+    matrix: &DetectionMatrix,
+    missed_len: usize,
+    candidate_count: usize,
+) -> (Vec<usize>, Vec<Mask>) {
+    let mut columns: Vec<Mask> = vec![mask_new(missed_len); candidate_count];
+    for (fault_idx, column) in (0..missed_len).map(|f| (f, matrix.row_words(f))) {
         for (w, &word) in column.iter().enumerate() {
             let mut bits = word;
             while bits != 0 {
@@ -610,14 +678,18 @@ pub fn augmentation_for_missed(
         }
     }
     let sets: Vec<Mask> = kept.iter().map(|&t| columns[t].clone()).collect();
+    (kept, sets)
+}
 
-    let solution = SetCoverInstance::new(missed.len(), sets).solve(options.node_budget);
-    if !solution.uncoverable.is_empty() {
-        return Err(AugmentError::Infeasible {
-            uncoverable: solution.uncoverable.iter().map(|&e| missed[e]).collect(),
-        });
-    }
-    Ok(AugmentationReport {
+/// Maps a set-cover solution back through the kept-column indirection to
+/// candidate vectors and missed faults.
+fn report_from_solution(
+    missed: &[MultiFault],
+    candidates: &[BitString],
+    kept: &[usize],
+    solution: &SetCoverSolution,
+) -> AugmentationReport {
+    AugmentationReport {
         missed_faults: missed.to_vec(),
         candidates_considered: candidates.len(),
         greedy: solution
@@ -634,7 +706,56 @@ pub fn augmentation_for_missed(
         certified: solution.certified,
         search_nodes: solution.nodes,
         witness_faults: solution.witness.iter().map(|&e| missed[e]).collect(),
-    })
+    }
+}
+
+/// Typed, budget-aware form of [`augmentation_for_missed`].
+///
+/// Validates up front instead of panicking: an exhaustive pool
+/// ([`CandidatePool::Exhaustive`]/[`CandidatePool::SortedFirst`]) over
+/// `n ≥ 32` lines is [`EngineError::SweepTooLarge`], and oversized
+/// networks or ill-fitting faults surface through the typed matrix sweep.
+/// An infeasible pool is [`EngineError::InfeasibleCover`] carrying the
+/// uncoverable-fault count (the legacy [`AugmentError::Infeasible`] keeps
+/// the fault list itself).
+///
+/// `options.budget` meters the branch-and-bound set-cover search (one
+/// fork admission per expanded node); a trip degrades to
+/// [`Budgeted::Partial`] whose report still carries the greedy cover,
+/// the valid root `lower_bound` certificate, and `certified = false`.
+/// The candidate matrix sweep itself runs unmetered — it is linear in
+/// the pool, while the search is the part that can blow up.
+///
+/// # Errors
+/// [`EngineError`] as described above.
+pub fn try_augmentation_for_missed(
+    network: &Network,
+    missed: &[MultiFault],
+    pool: &CandidatePool,
+    options: &SearchOptions,
+) -> Result<Budgeted<AugmentationReport>, EngineError> {
+    if missed.is_empty() {
+        return Ok(Budgeted::Complete(empty_report()));
+    }
+    if matches!(pool, CandidatePool::Exhaustive | CandidatePool::SortedFirst) {
+        error::ensure_sweepable(network.lines())?;
+    }
+    let (matrix, candidates) = try_detection_matrix_from_source::<DEFAULT_WIDTH, _>(
+        network,
+        missed,
+        pool.source(network.lines()),
+    )?;
+    let (kept, sets) = candidate_sets(&matrix, missed.len(), candidates.len());
+    let budgeted = SetCoverInstance::new(missed.len(), sets)
+        .solve_budgeted(options.node_budget, &options.budget);
+    let uncoverable = match &budgeted {
+        Budgeted::Complete(s) => s.uncoverable.len(),
+        Budgeted::Partial { best_so_far, .. } => best_so_far.uncoverable.len(),
+    };
+    if uncoverable != 0 {
+        return Err(EngineError::InfeasibleCover { uncoverable });
+    }
+    Ok(budgeted.map(|s| report_from_solution(missed, &candidates, &kept, &s)))
 }
 
 /// End-to-end minimum augmentation: grades `base_tests` against `universe`
@@ -661,6 +782,30 @@ pub fn minimum_augmentation(
     augmentation_for_missed(network, &coverage.missed_faults, pool, options)
 }
 
+/// Typed, budget-aware form of [`minimum_augmentation`]: the coverage
+/// grade goes through
+/// [`try_coverage_of_universe_with`]
+/// (typed refusals for oversized networks, empty universes and
+/// mismatched tests) and the search through
+/// [`try_augmentation_for_missed`].
+///
+/// # Errors
+/// [`EngineError`] from either stage; an uncoverable missed fault is
+/// [`EngineError::InfeasibleCover`] (impossible with
+/// [`CandidatePool::Exhaustive`]: a detectable fault has a detecting
+/// vector by definition).
+pub fn try_minimum_augmentation(
+    network: &Network,
+    universe: &dyn FaultUniverse,
+    base_tests: &[BitString],
+    pool: &CandidatePool,
+    options: &SearchOptions,
+) -> Result<Budgeted<AugmentationReport>, EngineError> {
+    let coverage =
+        try_coverage_of_universe_with(network, universe, base_tests, true, options.engine)?;
+    try_augmentation_for_missed(network, &coverage.missed_faults, pool, options)
+}
+
 /// The augmentation hook on a coverage report — the
 /// `CoverageReport::suggest_augmentation` surface (an extension trait
 /// because `sortnet-faults` cannot depend back on this crate).
@@ -682,6 +827,20 @@ pub trait SuggestAugmentation {
         pool: &CandidatePool,
         options: &SearchOptions,
     ) -> Result<AugmentationReport, AugmentError>;
+
+    /// Typed, budget-aware form of
+    /// [`suggest_augmentation`](Self::suggest_augmentation) — see
+    /// [`try_augmentation_for_missed`] for the validation and budget
+    /// semantics.
+    ///
+    /// # Errors
+    /// [`EngineError`] as for [`try_augmentation_for_missed`].
+    fn try_suggest_augmentation(
+        &self,
+        network: &Network,
+        pool: &CandidatePool,
+        options: &SearchOptions,
+    ) -> Result<Budgeted<AugmentationReport>, EngineError>;
 }
 
 impl SuggestAugmentation for CoverageReport {
@@ -692,6 +851,15 @@ impl SuggestAugmentation for CoverageReport {
         options: &SearchOptions,
     ) -> Result<AugmentationReport, AugmentError> {
         augmentation_for_missed(network, &self.missed_faults, pool, options)
+    }
+
+    fn try_suggest_augmentation(
+        &self,
+        network: &Network,
+        pool: &CandidatePool,
+        options: &SearchOptions,
+    ) -> Result<Budgeted<AugmentationReport>, EngineError> {
+        try_augmentation_for_missed(network, &self.missed_faults, pool, options)
     }
 }
 
@@ -906,5 +1074,130 @@ mod tests {
         )
         .unwrap();
         assert_eq!(via_hook, end_to_end);
+    }
+
+    #[test]
+    fn cancelled_solver_degrades_to_a_partial_greedy_with_the_root_bound() {
+        use sortnet_network::{BudgetReason, Budgeted, CancelToken, SweepBudget};
+        // Greedy needs 3 sets, the bound says 2, so the exact search must
+        // run — and a pre-tripped cancel token cuts it at the first node.
+        let sets = masks(6, &[&[0, 1, 2, 3], &[0, 1, 2, 4], &[3, 5]]);
+        let token = CancelToken::new();
+        token.cancel();
+        let budgeted = SetCoverInstance::new(6, sets)
+            .solve_budgeted(None, &SweepBudget::unlimited().with_cancel(token));
+        let Budgeted::Partial {
+            reason,
+            best_so_far,
+            ..
+        } = budgeted
+        else {
+            panic!("a cancelled search must report Partial");
+        };
+        assert_eq!(reason, BudgetReason::Cancelled);
+        assert!(!best_so_far.certified);
+        assert_eq!(best_so_far.minimum.len(), 3, "greedy cover survives");
+        assert_eq!(best_so_far.lower_bound, 2, "certificate bound survives");
+        assert_eq!(best_so_far.nodes, 0);
+    }
+
+    #[test]
+    fn unlimited_budget_keeps_solve_budgeted_equal_to_solve() {
+        let sets = masks(6, &[&[0, 1, 2, 3], &[0, 1, 2, 4], &[3, 5]]);
+        let instance = SetCoverInstance::new(6, sets);
+        let plain = instance.solve(None);
+        let budgeted = instance.solve_budgeted(None, &SweepBudget::unlimited());
+        assert!(budgeted.is_complete());
+        assert_eq!(budgeted.into_value(), plain);
+    }
+
+    #[test]
+    fn try_minimum_augmentation_agrees_with_the_panicking_entry() {
+        let net = odd_even_merge_sort(6);
+        let base = crate::sorting::binary_testset(6);
+        let typed = try_minimum_augmentation(
+            &net,
+            &StuckLine,
+            &base,
+            &CandidatePool::Exhaustive,
+            &SearchOptions::default(),
+        )
+        .unwrap();
+        let legacy = minimum_augmentation(
+            &net,
+            &StuckLine,
+            &base,
+            &CandidatePool::Exhaustive,
+            &SearchOptions::default(),
+        )
+        .unwrap();
+        assert!(typed.is_complete());
+        assert_eq!(typed.into_value(), legacy);
+    }
+
+    #[test]
+    fn try_augmentation_refuses_oversized_exhaustive_pools_with_a_typed_error() {
+        use sortnet_faults::universe::{Lesion, StuckAt};
+        let net = sortnet_network::Network::from_pairs(33, &[(0, 1)]);
+        let missed = [MultiFault::single(Lesion::Stuck(StuckAt {
+            line: 0,
+            cut: 0,
+            value: true,
+        }))];
+        for pool in [CandidatePool::Exhaustive, CandidatePool::SortedFirst] {
+            let err = try_augmentation_for_missed(&net, &missed, &pool, &SearchOptions::default())
+                .unwrap_err();
+            assert_eq!(err, EngineError::SweepTooLarge { lines: 33 });
+        }
+    }
+
+    #[test]
+    fn try_augmentation_maps_infeasibility_to_the_typed_cover_error() {
+        let net = odd_even_merge_sort(6);
+        let base = crate::sorting::binary_testset(6);
+        let err = try_minimum_augmentation(
+            &net,
+            &StuckLine,
+            &base,
+            &CandidatePool::Explicit(vec![BitString::parse("101010").unwrap()]),
+            &SearchOptions::default(),
+        )
+        .unwrap_err();
+        let EngineError::InfeasibleCover { uncoverable } = err else {
+            panic!("expected InfeasibleCover, got {err:?}");
+        };
+        let legacy = minimum_augmentation(
+            &net,
+            &StuckLine,
+            &base,
+            &CandidatePool::Explicit(vec![BitString::parse("101010").unwrap()]),
+            &SearchOptions::default(),
+        )
+        .unwrap_err();
+        let AugmentError::Infeasible {
+            uncoverable: faults,
+        } = legacy;
+        assert_eq!(uncoverable, faults.len());
+    }
+
+    #[test]
+    fn try_suggest_augmentation_hook_matches_the_typed_entry() {
+        let net = odd_even_merge_sort(6);
+        let base = crate::sorting::binary_testset(6);
+        let coverage =
+            coverage_of_universe_with(&net, &StuckLine, &base, true, FaultSimEngine::BitParallel);
+        let via_hook = coverage
+            .try_suggest_augmentation(&net, &CandidatePool::Exhaustive, &SearchOptions::default())
+            .unwrap();
+        let end_to_end = try_minimum_augmentation(
+            &net,
+            &StuckLine,
+            &base,
+            &CandidatePool::Exhaustive,
+            &SearchOptions::default(),
+        )
+        .unwrap();
+        assert!(via_hook.is_complete());
+        assert_eq!(via_hook.into_value(), end_to_end.into_value());
     }
 }

@@ -84,10 +84,17 @@ pub mod zero_one;
 
 pub use adversary::{adversary_network, AdversaryVariant};
 pub use augment::{
-    minimum_augmentation, AugmentError, AugmentationReport, CandidatePool, SearchOptions,
+    augmentation_for_missed, minimum_augmentation, try_augmentation_for_missed,
+    try_minimum_augmentation, AugmentError, AugmentationReport, CandidatePool, SearchOptions,
     SuggestAugmentation,
 };
-pub use verify::{Property, Report, Strategy};
+pub use verify::{try_verify, try_verify_on, Property, Report, Strategy};
+
+// The budget/cancellation/error vocabulary lives in `sortnet-network`;
+// re-exported here so test-set callers need only one crate in scope.
+pub use sortnet_network::{
+    BudgetMeter, BudgetReason, Budgeted, CancelToken, EngineError, SweepBudget, SweepProgress,
+};
 
 #[cfg(test)]
 mod tests {

@@ -18,6 +18,7 @@ use serde::{Deserialize, Serialize};
 
 use sortnet_combinat::BitString;
 use sortnet_network::bitparallel::{self, ParallelismHint};
+use sortnet_network::error::{self, EngineError};
 use sortnet_network::lanes::{Backend, DEFAULT_WIDTH};
 use sortnet_network::properties;
 use sortnet_network::Network;
@@ -155,6 +156,54 @@ pub fn verify_on(
     }
 }
 
+/// Typed form of [`verify`]: validates the parameters that would make the
+/// sweep unrunnable and returns an [`EngineError`] instead of panicking.
+///
+/// Checked up front: the [`Strategy::Exhaustive`] `2^n` sweep is refused
+/// for `n ≥ 32` ([`EngineError::SweepTooLarge`] — use a minimal test set
+/// instead), and a selector `k > n` is
+/// [`EngineError::IndexOutOfRange`].  Merger shape constraints (even
+/// `n`, power-of-two layouts in some builders) stay panicking: they are
+/// construction-time contracts of the specific test-set generators, not
+/// sweep-capacity limits — see `docs/ERRORS.md`.
+///
+/// # Errors
+/// As listed above.
+pub fn try_verify(
+    network: &Network,
+    property: Property,
+    strategy: Strategy,
+) -> Result<Report, EngineError> {
+    try_verify_on(network, property, strategy, Backend::active())
+}
+
+/// [`try_verify`] pinned to an explicit lane-ops [`Backend`].
+///
+/// # Errors
+/// As for [`try_verify`].
+pub fn try_verify_on(
+    network: &Network,
+    property: Property,
+    strategy: Strategy,
+    backend: Backend,
+) -> Result<Report, EngineError> {
+    let n = network.lines();
+    error::ensure_word_packable(n)?;
+    if strategy == Strategy::Exhaustive && !matches!(property, Property::Merger) {
+        error::ensure_sweepable(n)?;
+    }
+    if let Property::Selector { k } = property {
+        if k > n {
+            return Err(EngineError::IndexOutOfRange {
+                what: "selector k",
+                index: k,
+                limit: n + 1,
+            });
+        }
+    }
+    Ok(verify_on(network, property, strategy, backend))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,5 +291,44 @@ mod tests {
             let w = report.witness.expect("failure must carry a witness");
             assert!(!bad.apply_bits(&w).is_sorted());
         }
+    }
+
+    #[test]
+    fn try_verify_agrees_with_verify_on_well_formed_inputs() {
+        let net = odd_even_merge_sort(8);
+        for strategy in STRATEGIES {
+            for property in [
+                Property::Sorter,
+                Property::Selector { k: 3 },
+                Property::Merger,
+            ] {
+                assert_eq!(
+                    try_verify(&net, property, strategy).unwrap(),
+                    verify(&net, property, strategy)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn try_verify_refuses_unrunnable_parameters_with_typed_errors() {
+        let wide = Network::empty(33);
+        assert_eq!(
+            try_verify(&wide, Property::Sorter, Strategy::Exhaustive).unwrap_err(),
+            EngineError::SweepTooLarge { lines: 33 }
+        );
+        assert_eq!(
+            try_verify(&wide, Property::Selector { k: 2 }, Strategy::Exhaustive).unwrap_err(),
+            EngineError::SweepTooLarge { lines: 33 }
+        );
+        let net = odd_even_merge_sort(8);
+        assert_eq!(
+            try_verify(&net, Property::Selector { k: 9 }, Strategy::MinimalBinary).unwrap_err(),
+            EngineError::IndexOutOfRange {
+                what: "selector k",
+                index: 9,
+                limit: 9,
+            }
+        );
     }
 }

@@ -21,8 +21,12 @@
 //! vectors restoring completeness, searched over all `2^n` candidates.
 
 use sortnet_combinat::BitString;
-use sortnet_faults::{coverage_of_universe, FaultUniverse, StandardUniverse};
+use sortnet_faults::{
+    coverage_of_universe, coverage_of_universe_budgeted_with, Budgeted, FaultSimEngine,
+    FaultUniverse, StandardUniverse, SweepBudget,
+};
 use sortnet_network::builders::batcher::odd_even_merge_sort;
+use sortnet_network::lanes::LaneWidth;
 use sortnet_network::random::NetworkSampler;
 use sortnet_testsets::augment::{CandidatePool, SearchOptions, SuggestAugmentation};
 use sortnet_testsets::sorting;
@@ -102,10 +106,17 @@ fn main() {
             );
             // The provably smallest repair, searched over all 2^n vectors:
             // greedy upper bound, hitting-set lower bound, branch-and-bound
-            // certificate (sortnet_testsets::augment).
+            // certificate (sortnet_testsets::augment) — through the typed
+            // entry point, whose budget hook would cut a runaway search off
+            // with the greedy answer instead of hanging.
             let fix = r
-                .suggest_augmentation(&net, &CandidatePool::Exhaustive, &SearchOptions::default())
-                .expect("the exhaustive pool covers every detectable fault");
+                .try_suggest_augmentation(
+                    &net,
+                    &CandidatePool::Exhaustive,
+                    &SearchOptions::default(),
+                )
+                .expect("the exhaustive pool covers every detectable fault")
+                .into_value();
             let vectors: Vec<String> = fix.minimum.iter().map(ToString::to_string).collect();
             println!(
                 "  -> smallest augmentation: {} vector(s) [{}] — {} (lower bound {}, {} candidates)\n",
@@ -122,8 +133,35 @@ fn main() {
         }
     }
 
+    // The budgeted front end: the same coverage grade under an absurdly
+    // tiny budget (one committed block), showing how a long sweep degrades
+    // to a conservative partial report instead of hanging — undecided
+    // faults count as missed, never as detected.
+    let tiny = SweepBudget::unlimited().with_max_blocks(1);
+    match coverage_of_universe_budgeted_with(
+        &net,
+        &StandardUniverse::StuckLine,
+        &minimal,
+        false,
+        FaultSimEngine::BitParallelWide(LaneWidth::W1),
+        &tiny,
+    )
+    .expect("inputs are valid")
+    {
+        Budgeted::Complete(_) => println!("\n(one block was enough to finish the sweep)"),
+        Budgeted::Partial {
+            progress,
+            reason,
+            best_so_far,
+        } => println!(
+            "\nbudget demo: a 1-block budget tripped ({reason:?}) after {} vectors —\n\
+             partial verdict: {}/{} faults proven detected, {} still undecided (counted missed)",
+            progress.vectors, best_so_far.detected, best_so_far.total_faults, best_so_far.missed
+        ),
+    }
+
     println!(
-        "The minimal test set contains every unsorted string, so for *passive* fault\n\
+        "\nThe minimal test set contains every unsorted string, so for *passive* fault\n\
          models (single-comparator faults and their pairs) it detects everything\n\
          detectable.  Stuck-at lines are different: a stuck segment can corrupt an\n\
          already-sorted input — or be masked entirely — so completeness for that\n\

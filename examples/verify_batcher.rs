@@ -14,7 +14,7 @@ use sortnet_network::builders::transposition::odd_even_transposition;
 use sortnet_network::lanes::{self, RangeSource, WideBlock};
 use sortnet_network::Network;
 use sortnet_testsets::sorting;
-use sortnet_testsets::verify::{verify, Property, Strategy};
+use sortnet_testsets::verify::{try_verify, verify, Property, Strategy};
 
 fn check(label: &str, net: &Network) {
     let exhaustive = verify(net, Property::Sorter, Strategy::Exhaustive);
@@ -109,5 +109,26 @@ fn main() {
     check(
         "bitonic sorter, standardised",
         &bitonic_sorter_standardised(n_pow2),
+    );
+
+    // The typed front end: the same verdicts as `verify`, but unrunnable
+    // requests come back as an `EngineError` value instead of a panic —
+    // here the 2^40 exhaustive sweep a 40-line network would need, where
+    // the right move is a minimal test set, not a hang.
+    println!("\nTyped refusals (try_verify):");
+    let big = Network::empty(40);
+    match try_verify(&big, Property::Sorter, Strategy::Exhaustive) {
+        Ok(report) => println!("unexpectedly ran: {report:?}"),
+        Err(e) => println!("  40-line exhaustive sweep refused: {e}"),
+    }
+    let minimal_ok = try_verify(
+        &odd_even_merge_sort(n_pow2),
+        Property::Sorter,
+        Strategy::MinimalBinary,
+    )
+    .expect("minimal-set verification needs no exhaustive sweep");
+    println!(
+        "  the same decision through the Theorem 2.2 set: sorter={} in {} tests",
+        minimal_ok.passed, minimal_ok.tests_run
     );
 }
