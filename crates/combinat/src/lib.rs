@@ -24,6 +24,9 @@
 //!   forms used by the paper's theorems;
 //! * [`bitstrings`] — 0/1 strings of length ≤ 64 packed into a `u64`
 //!   ([`bitstrings::BitString`]), sortedness tests, enumeration by weight;
+//! * [`channels`] — multi-word 0/1 strings ([`channels::ChannelVec`], one
+//!   channel word per 64 lines) and the [`channels::ChannelPack`] trait the
+//!   engine layers use to stay generic over both packings;
 //! * [`subsets`] — subset enumeration, ranking/unranking in colex order,
 //!   Gosper's hack for fixed-weight iteration;
 //! * [`permutations`] — permutations of `0..n`, inverses, composition,
@@ -44,6 +47,7 @@
 pub mod binomial;
 pub mod bitstrings;
 pub mod chains;
+pub mod channels;
 pub mod compositions;
 pub mod gray;
 pub mod permutations;
@@ -52,6 +56,7 @@ pub mod subsets;
 pub use binomial::{binomial, binomial_u128, factorial, multinomial};
 pub use bitstrings::BitString;
 pub use chains::{chain_of, SymmetricChain, SymmetricChainDecomposition};
+pub use channels::{channel_words, ChannelPack, ChannelVec};
 pub use permutations::Permutation;
 pub use subsets::Subset;
 

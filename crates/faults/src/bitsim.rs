@@ -88,6 +88,18 @@
 //! * [`redundant_faults_multi_wide`] — the shared-prefix **batch**
 //!   redundancy sweep: one streamed `2^n` pass classifies a whole fault
 //!   set, forking each undecided fault per block.
+//!
+//! Every faults × tests sweep (materialised, streamed and budgeted) also
+//! has a `*_packed` form generic over the
+//! [`crate::universe::TestVector`] packing of its test
+//! vectors: `P = BitString` **is** the monomorphised `n ≤ 64` fast path
+//! (the named entry points above delegate to it, so nothing changes for
+//! existing callers or codegen), while `P = ChannelVec`
+//! (`sortnet_combinat::ChannelVec`) runs the identical sweep past the
+//! 64-line wall.  The lane dimension of [`WideBlock`] is line-indexed —
+//! `n > 64` costs more lanes, not different kernels — so only the
+//! pack/extract boundary and the packability guard depend on `P` (see the
+//! *ChannelWords* section of [`sortnet_network::lanes`]).
 
 use sortnet_combinat::BitString;
 use sortnet_network::bitparallel;
@@ -97,7 +109,7 @@ use sortnet_network::lanes::{self, Backend, BlockSource, WideBlock, DEFAULT_WIDT
 use sortnet_network::Network;
 
 use crate::model::{Fault, FaultKind};
-use crate::universe::{Lesion, MultiFault};
+use crate::universe::{Lesion, MultiFault, TestVector};
 
 /// Applies the faulty version of comparator `fault.comparator` to a block:
 /// the lane-level counterpart of one faulty step of
@@ -528,6 +540,36 @@ pub fn detection_matrix_multi_on<const W: usize>(
     tests: &[BitString],
     backend: Backend,
 ) -> DetectionMatrix {
+    detection_matrix_multi_packed_on::<W, BitString>(network, faults, tests, backend)
+}
+
+/// [`detection_matrix_multi_packed_on`] on [`Backend::active`].
+#[must_use]
+pub fn detection_matrix_multi_packed<const W: usize, P: TestVector>(
+    network: &Network,
+    faults: &[MultiFault],
+    tests: &[P],
+) -> DetectionMatrix {
+    detection_matrix_multi_packed_on::<W, P>(network, faults, tests, Backend::active())
+}
+
+/// The packing-generic matrix core: [`detection_matrix_multi_on`] over any
+/// [`TestVector`] representation.  With `P = BitString` this *is* the
+/// `n ≤ 64` fast path (the named entry points monomorphise to it); with
+/// `P = ChannelVec`(`sortnet_combinat::ChannelVec`) the same sweep crosses
+/// the 64-line wall — the lane dimension of [`WideBlock`] is line-indexed,
+/// so no kernel changes, only the pack/extract boundary differs.
+///
+/// # Panics
+/// Panics if a fault does not fit the network or a test's length
+/// mismatches the network.
+#[must_use]
+pub fn detection_matrix_multi_packed_on<const W: usize, P: TestVector>(
+    network: &Network,
+    faults: &[MultiFault],
+    tests: &[P],
+    backend: Backend,
+) -> DetectionMatrix {
     let n = network.lines();
     let plan = SweepPlan::new(network, faults);
     let words_per_fault = tests.len().div_ceil(64).max(1);
@@ -620,19 +662,46 @@ pub fn detection_matrix_from_source<const W: usize, S: BlockSource<W>>(
 pub fn detection_matrix_from_source_on<const W: usize, S: BlockSource<W>>(
     network: &Network,
     faults: &[MultiFault],
-    mut source: S,
+    source: S,
     backend: Backend,
 ) -> (DetectionMatrix, Vec<BitString>) {
+    detection_matrix_from_source_packed_on::<W, BitString, S>(network, faults, source, backend)
+}
+
+/// [`detection_matrix_from_source_packed_on`] on [`Backend::active`].
+#[must_use]
+pub fn detection_matrix_from_source_packed<const W: usize, P: TestVector, S: BlockSource<W>>(
+    network: &Network,
+    faults: &[MultiFault],
+    source: S,
+) -> (DetectionMatrix, Vec<P>) {
+    detection_matrix_from_source_packed_on(network, faults, source, Backend::active())
+}
+
+/// The packing-generic streamed-matrix core: [`detection_matrix_from_source_on`]
+/// over any [`TestVector`] representation, so the candidate echo crosses
+/// the 64-line wall (`P = ChannelVec`) without a second extraction pass.
+///
+/// # Panics
+/// Panics if a fault does not fit the network or the source's line count
+/// mismatches the network.
+#[must_use]
+pub fn detection_matrix_from_source_packed_on<const W: usize, P: TestVector, S: BlockSource<W>>(
+    network: &Network,
+    faults: &[MultiFault],
+    mut source: S,
+    backend: Backend,
+) -> (DetectionMatrix, Vec<P>) {
     let n = network.lines();
     assert_eq!(source.lines(), n, "source line count mismatch");
     let plan = SweepPlan::new(network, faults);
     let mut rows: Vec<Vec<u64>> = vec![Vec::new(); faults.len()];
-    let mut candidates: Vec<BitString> = Vec::new();
+    let mut candidates: Vec<P> = Vec::new();
     let mut block = WideBlock::<W>::zeroed(n);
     while source.next_block(&mut block) {
         let count = block.count() as usize;
         let offset = candidates.len();
-        candidates.extend((0..block.count()).map(|j| block.extract(j)));
+        candidates.extend((0..block.count()).map(|j| block.extract_packed::<P>(j)));
         sweep_block_multi(
             network,
             backend,
@@ -722,6 +791,23 @@ pub fn first_detections_multi_on<const W: usize>(
     network: &Network,
     faults: &[MultiFault],
     tests: &[BitString],
+    backend: Backend,
+) -> Vec<Option<usize>> {
+    first_detections_multi_packed_on::<W, BitString>(network, faults, tests, backend)
+}
+
+/// The packing-generic first-detection core: [`first_detections_multi_on`]
+/// over any [`TestVector`] representation (the `n > 64` entry takes
+/// `ChannelVec` tests).
+///
+/// # Panics
+/// Panics if a fault does not fit the network or a test's length
+/// mismatches the network.
+#[must_use]
+pub fn first_detections_multi_packed_on<const W: usize, P: TestVector>(
+    network: &Network,
+    faults: &[MultiFault],
+    tests: &[P],
     backend: Backend,
 ) -> Vec<Option<usize>> {
     let n = network.lines();
@@ -927,14 +1013,16 @@ pub fn is_multi_fault_redundant_wide<const W: usize>(
 // ---------------------------------------------------------------------------
 
 /// Validates the shared preconditions of the faults × tests entry
-/// points: the network fits the word-packed engines, every fault fits
-/// the network and every test vector has the network's length.
-fn check_matrix_inputs(
+/// points: the network fits the packing `P` (single-word for
+/// [`BitString`], the multi-word channel cap for `ChannelVec` — see
+/// [`TestVector::ensure_packable`]), every fault fits the network and
+/// every test vector has the network's length.
+fn check_matrix_inputs<P: TestVector>(
     network: &Network,
     faults: &[MultiFault],
-    tests: &[BitString],
+    tests: &[P],
 ) -> Result<(), EngineError> {
-    error::ensure_word_packable(network.lines())?;
+    P::ensure_packable(network.lines())?;
     for fault in faults {
         fault.check_in_range(network)?;
     }
@@ -973,10 +1061,7 @@ pub fn try_detection_matrix_multi_on<const W: usize>(
     tests: &[BitString],
     backend: Backend,
 ) -> Result<DetectionMatrix, EngineError> {
-    check_matrix_inputs(network, faults, tests)?;
-    Ok(detection_matrix_multi_on::<W>(
-        network, faults, tests, backend,
-    ))
+    try_detection_matrix_multi_packed_on::<W, BitString>(network, faults, tests, backend)
 }
 
 /// [`try_detection_matrix_multi_on`] on [`Backend::active`].
@@ -988,6 +1073,31 @@ pub fn try_detection_matrix_multi_wide<const W: usize>(
     try_detection_matrix_multi_on::<W>(network, faults, tests, Backend::active())
 }
 
+/// [`detection_matrix_multi_packed_on`] with typed validation instead of
+/// panics.  The packability guard is `P`'s own: [`BitString`] keeps the
+/// single-word `n ≤ 64` refusal, `ChannelVec` admits any `n` up to the
+/// [channel-line cap](sortnet_network::error::max_channel_lines).
+pub fn try_detection_matrix_multi_packed_on<const W: usize, P: TestVector>(
+    network: &Network,
+    faults: &[MultiFault],
+    tests: &[P],
+    backend: Backend,
+) -> Result<DetectionMatrix, EngineError> {
+    check_matrix_inputs(network, faults, tests)?;
+    Ok(detection_matrix_multi_packed_on::<W, P>(
+        network, faults, tests, backend,
+    ))
+}
+
+/// [`try_detection_matrix_multi_packed_on`] on [`Backend::active`].
+pub fn try_detection_matrix_multi_packed<const W: usize, P: TestVector>(
+    network: &Network,
+    faults: &[MultiFault],
+    tests: &[P],
+) -> Result<DetectionMatrix, EngineError> {
+    try_detection_matrix_multi_packed_on::<W, P>(network, faults, tests, Backend::active())
+}
+
 /// [`detection_matrix_from_source_on`] with typed validation instead of
 /// panics.
 pub fn try_detection_matrix_from_source_on<const W: usize, S: BlockSource<W>>(
@@ -996,13 +1106,7 @@ pub fn try_detection_matrix_from_source_on<const W: usize, S: BlockSource<W>>(
     source: S,
     backend: Backend,
 ) -> Result<(DetectionMatrix, Vec<BitString>), EngineError> {
-    error::ensure_same_lines(network.lines(), source.lines())?;
-    for fault in faults {
-        fault.check_in_range(network)?;
-    }
-    Ok(detection_matrix_from_source_on(
-        network, faults, source, backend,
-    ))
+    try_detection_matrix_from_source_packed_on::<W, BitString, S>(network, faults, source, backend)
 }
 
 /// [`try_detection_matrix_from_source_on`] on [`Backend::active`].
@@ -1014,6 +1118,36 @@ pub fn try_detection_matrix_from_source<const W: usize, S: BlockSource<W>>(
     try_detection_matrix_from_source_on(network, faults, source, Backend::active())
 }
 
+/// [`detection_matrix_from_source_packed_on`] with typed validation
+/// instead of panics.
+pub fn try_detection_matrix_from_source_packed_on<
+    const W: usize,
+    P: TestVector,
+    S: BlockSource<W>,
+>(
+    network: &Network,
+    faults: &[MultiFault],
+    source: S,
+    backend: Backend,
+) -> Result<(DetectionMatrix, Vec<P>), EngineError> {
+    error::ensure_same_lines(network.lines(), source.lines())?;
+    for fault in faults {
+        fault.check_in_range(network)?;
+    }
+    Ok(detection_matrix_from_source_packed_on(
+        network, faults, source, backend,
+    ))
+}
+
+/// [`try_detection_matrix_from_source_packed_on`] on [`Backend::active`].
+pub fn try_detection_matrix_from_source_packed<const W: usize, P: TestVector, S: BlockSource<W>>(
+    network: &Network,
+    faults: &[MultiFault],
+    source: S,
+) -> Result<(DetectionMatrix, Vec<P>), EngineError> {
+    try_detection_matrix_from_source_packed_on(network, faults, source, Backend::active())
+}
+
 /// [`first_detections_multi_on`] with typed validation instead of
 /// panics.
 pub fn try_first_detections_multi_on<const W: usize>(
@@ -1022,10 +1156,7 @@ pub fn try_first_detections_multi_on<const W: usize>(
     tests: &[BitString],
     backend: Backend,
 ) -> Result<Vec<Option<usize>>, EngineError> {
-    check_matrix_inputs(network, faults, tests)?;
-    Ok(first_detections_multi_on::<W>(
-        network, faults, tests, backend,
-    ))
+    try_first_detections_multi_packed_on::<W, BitString>(network, faults, tests, backend)
 }
 
 /// [`try_first_detections_multi_on`] on [`Backend::active`].
@@ -1035,6 +1166,20 @@ pub fn try_first_detections_multi_wide<const W: usize>(
     tests: &[BitString],
 ) -> Result<Vec<Option<usize>>, EngineError> {
     try_first_detections_multi_on::<W>(network, faults, tests, Backend::active())
+}
+
+/// [`first_detections_multi_packed_on`] with typed validation instead of
+/// panics.
+pub fn try_first_detections_multi_packed_on<const W: usize, P: TestVector>(
+    network: &Network,
+    faults: &[MultiFault],
+    tests: &[P],
+    backend: Backend,
+) -> Result<Vec<Option<usize>>, EngineError> {
+    check_matrix_inputs(network, faults, tests)?;
+    Ok(first_detections_multi_packed_on::<W, P>(
+        network, faults, tests, backend,
+    ))
 }
 
 /// [`redundant_faults_multi_on`] with typed validation instead of
@@ -1072,6 +1217,21 @@ pub fn detection_matrix_multi_budgeted_on<const W: usize>(
     network: &Network,
     faults: &[MultiFault],
     tests: &[BitString],
+    backend: Backend,
+    budget: &SweepBudget,
+) -> Result<Budgeted<DetectionMatrix>, EngineError> {
+    detection_matrix_multi_budgeted_packed_on::<W, BitString>(
+        network, faults, tests, backend, budget,
+    )
+}
+
+/// The packing-generic budgeted-matrix core:
+/// [`detection_matrix_multi_budgeted_on`] over any [`TestVector`]
+/// representation, with the same whole-block-commit guarantee.
+pub fn detection_matrix_multi_budgeted_packed_on<const W: usize, P: TestVector>(
+    network: &Network,
+    faults: &[MultiFault],
+    tests: &[P],
     backend: Backend,
     budget: &SweepBudget,
 ) -> Result<Budgeted<DetectionMatrix>, EngineError> {
@@ -1162,9 +1322,24 @@ pub fn first_detections_multi_budgeted_on<const W: usize>(
     backend: Backend,
     budget: &SweepBudget,
 ) -> Result<Budgeted<Vec<Option<usize>>>, EngineError> {
+    first_detections_multi_budgeted_packed_on::<W, BitString>(
+        network, faults, tests, backend, budget,
+    )
+}
+
+/// The packing-generic budgeted first-detection core:
+/// [`first_detections_multi_budgeted_on`] over any [`TestVector`]
+/// representation.
+pub fn first_detections_multi_budgeted_packed_on<const W: usize, P: TestVector>(
+    network: &Network,
+    faults: &[MultiFault],
+    tests: &[P],
+    backend: Backend,
+    budget: &SweepBudget,
+) -> Result<Budgeted<Vec<Option<usize>>>, EngineError> {
     check_matrix_inputs(network, faults, tests)?;
     let mut meter = BudgetMeter::new(budget);
-    let first = first_detections_multi_metered::<W>(network, faults, tests, backend, &mut meter);
+    let first = first_detections_multi_metered::<W, P>(network, faults, tests, backend, &mut meter);
     Ok(meter.finish(first))
 }
 
@@ -1173,10 +1348,10 @@ pub fn first_detections_multi_budgeted_on<const W: usize>(
 /// (`crate::coverage`) can span its first-detection and redundancy
 /// phases with one shared meter — the budget then bounds the whole
 /// grade, not each phase separately.
-pub(crate) fn first_detections_multi_metered<const W: usize>(
+pub(crate) fn first_detections_multi_metered<const W: usize, P: TestVector>(
     network: &Network,
     faults: &[MultiFault],
-    tests: &[BitString],
+    tests: &[P],
     backend: Backend,
     meter: &mut BudgetMeter,
 ) -> Vec<Option<usize>> {
@@ -1228,6 +1403,94 @@ pub fn first_detections_multi_budgeted<const W: usize>(
     budget: &SweepBudget,
 ) -> Result<Budgeted<Vec<Option<usize>>>, EngineError> {
     first_detections_multi_budgeted_on::<W>(network, faults, tests, Backend::active(), budget)
+}
+
+/// [`detection_matrix_from_source_packed_on`] under a [`SweepBudget`]:
+/// the streamed candidate-matrix sweep, metered at every block boundary
+/// and fork site — this is the engine behind budgeted augmentation
+/// candidate sweeps.
+///
+/// The whole-block-commit invariant of the other budgeted sweeps holds
+/// here too: a block's columns and its echoed candidates are committed
+/// **together, only after the block sweeps to completion** within
+/// budget.  On a trip (block budget, fork budget, deadline or
+/// cancellation) the in-flight block is discarded entirely, so the
+/// [`Budgeted::Partial`] carries a matrix and candidate list truncated
+/// to the same whole-block prefix — bit-identical to the unbudgeted
+/// sweep restricted to its first `test_count` candidates, with no
+/// partially-swept columns observable.
+pub fn detection_matrix_from_source_budgeted_on<
+    const W: usize,
+    P: TestVector,
+    S: BlockSource<W>,
+>(
+    network: &Network,
+    faults: &[MultiFault],
+    mut source: S,
+    backend: Backend,
+    budget: &SweepBudget,
+) -> Result<Budgeted<(DetectionMatrix, Vec<P>)>, EngineError> {
+    error::ensure_same_lines(network.lines(), source.lines())?;
+    for fault in faults {
+        fault.check_in_range(network)?;
+    }
+    let n = network.lines();
+    let plan = SweepPlan::new(network, faults);
+    let mut rows: Vec<Vec<u64>> = vec![Vec::new(); faults.len()];
+    let mut candidates: Vec<P> = Vec::new();
+    let mut meter = BudgetMeter::new(budget);
+    let mut block = WideBlock::<W>::zeroed(n);
+    // Per-block scratch: masks and candidates reach `rows`/`candidates`
+    // only once the whole block has swept within budget.
+    let mut scratch = vec![[0u64; W]; faults.len()];
+    while source.next_block(&mut block) {
+        let count = block.count() as usize;
+        if !meter.admit_block(count as u64) {
+            break;
+        }
+        scratch.fill([0u64; W]);
+        let swept = sweep_block_multi(
+            network,
+            backend,
+            &plan,
+            faults,
+            &block,
+            |_| false,
+            |fault_idx, masks: [u64; W]| scratch[fault_idx] = masks,
+            &mut meter,
+        );
+        if !swept {
+            break;
+        }
+        let offset = candidates.len();
+        candidates.extend((0..block.count()).map(|j| block.extract_packed::<P>(j)));
+        for (fault_idx, masks) in scratch.iter().enumerate() {
+            append_mask_bits(&mut rows[fault_idx], offset, masks, count);
+        }
+    }
+    let test_count = candidates.len();
+    let words_per_fault = test_count.div_ceil(64).max(1);
+    let mut bits = vec![0u64; faults.len() * words_per_fault];
+    for (f, row) in rows.iter().enumerate() {
+        bits[f * words_per_fault..f * words_per_fault + row.len()].copy_from_slice(row);
+    }
+    let matrix = DetectionMatrix {
+        faults: faults.to_vec(),
+        test_count,
+        words_per_fault,
+        bits,
+    };
+    Ok(meter.finish((matrix, candidates)))
+}
+
+/// [`detection_matrix_from_source_budgeted_on`] on [`Backend::active`].
+pub fn detection_matrix_from_source_budgeted<const W: usize, P: TestVector, S: BlockSource<W>>(
+    network: &Network,
+    faults: &[MultiFault],
+    source: S,
+    budget: &SweepBudget,
+) -> Result<Budgeted<(DetectionMatrix, Vec<P>)>, EngineError> {
+    detection_matrix_from_source_budgeted_on(network, faults, source, Backend::active(), budget)
 }
 
 /// [`redundant_faults_multi_on`] under a [`SweepBudget`]: the streamed
@@ -1942,6 +2205,151 @@ mod tests {
                 assert!(partial.is_complete() || !*v);
                 assert_eq!(*v, expected);
             }
+        }
+    }
+
+    #[test]
+    fn packed_matrix_crosses_the_64_line_wall_and_matches_the_channel_oracle() {
+        // n = 96 (two channel words): the packed engine must agree bit for
+        // bit with the scalar channel simulator on every stuck-line fault,
+        // at W = 1 and W = 4, for BitString-impossible line counts.
+        use crate::universe::{FaultUniverse, StuckLine};
+        use sortnet_combinat::ChannelVec;
+        let n = 96usize;
+        let net = Network::from_pairs(n, &[(0, 95), (0, 64), (63, 65), (31, 64), (0, 1)]);
+        let faults: Vec<MultiFault> = StuckLine.iter(&net).collect();
+        let tests: Vec<ChannelVec> = vec![
+            ChannelVec::zeros(n),
+            ChannelVec::ones(n),
+            ChannelVec::from_fn(n, |i| i == 64),
+            ChannelVec::from_fn(n, |i| i != 63),
+            ChannelVec::from_fn(n, |i| i % 2 == 0),
+            ChannelVec::from_fn(n, |i| (32..66).contains(&i)),
+        ];
+        let w1 = detection_matrix_multi_packed_on::<1, ChannelVec>(
+            &net,
+            &faults,
+            &tests,
+            Backend::Scalar,
+        );
+        let w4 = detection_matrix_multi_packed::<4, ChannelVec>(&net, &faults, &tests);
+        assert_eq!(w1, w4, "channel matrix must be width-independent");
+        for (f, fault) in faults.iter().enumerate() {
+            for (t, test) in tests.iter().enumerate() {
+                assert_eq!(
+                    w1.is_detected_by(f, t),
+                    crate::universe::multi_detects_channels(&net, fault, test),
+                    "fault {fault} test {test}"
+                );
+            }
+        }
+        assert_eq!(
+            try_detection_matrix_multi_packed::<1, ChannelVec>(&net, &faults, &tests).unwrap(),
+            w1
+        );
+        assert_eq!(
+            first_detections_multi_packed_on::<2, ChannelVec>(
+                &net,
+                &faults,
+                &tests,
+                Backend::Scalar
+            ),
+            (0..faults.len())
+                .map(|f| w1.first_detection(f))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn budgeted_streamed_matrix_commits_whole_blocks_only() {
+        use sortnet_network::budget::BudgetReason;
+        use sortnet_network::lanes::IterSource;
+        let net = odd_even_merge_sort(7);
+        let multi: Vec<MultiFault> = enumerate_faults(&net)
+            .iter()
+            .copied()
+            .map(MultiFault::from)
+            .collect();
+        let tests: Vec<BitString> = BitString::all(7).collect(); // 128 = two W=1 blocks
+        let (full, all) = detection_matrix_from_source_packed_on::<1, BitString, _>(
+            &net,
+            &multi,
+            IterSource::new(7, tests.clone()),
+            Backend::Scalar,
+        );
+        let complete = detection_matrix_from_source_budgeted_on::<1, BitString, _>(
+            &net,
+            &multi,
+            IterSource::new(7, tests.clone()),
+            Backend::Scalar,
+            &SweepBudget::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(complete, Budgeted::Complete((full.clone(), all)));
+        let partial = detection_matrix_from_source_budgeted_on::<1, BitString, _>(
+            &net,
+            &multi,
+            IterSource::new(7, tests.clone()),
+            Backend::Scalar,
+            &SweepBudget::unlimited().with_max_blocks(1),
+        )
+        .unwrap();
+        match partial {
+            Budgeted::Partial {
+                progress,
+                reason,
+                best_so_far: (matrix, candidates),
+            } => {
+                assert_eq!(reason, BudgetReason::Blocks);
+                assert_eq!(progress.vectors, 64);
+                // Whole-block commit: exactly one block of candidates, and
+                // the matrix is the full matrix restricted to that prefix.
+                assert_eq!(candidates, tests[..64]);
+                assert_eq!(
+                    matrix,
+                    detection_matrix_multi_on::<1>(&net, &multi, &tests[..64], Backend::Scalar)
+                );
+            }
+            Budgeted::Complete(_) => panic!("a one-block budget must trip on two blocks"),
+        }
+    }
+
+    #[test]
+    fn cancelling_the_streamed_matrix_discards_the_inflight_block() {
+        use sortnet_network::budget::{BudgetReason, CancelToken};
+        use sortnet_network::lanes::IterSource;
+        let net = odd_even_merge_sort(6);
+        let multi: Vec<MultiFault> = enumerate_faults(&net)
+            .iter()
+            .copied()
+            .map(MultiFault::from)
+            .collect();
+        let tests: Vec<BitString> = BitString::all(6).collect();
+        // A pre-cancelled token: the very first admission poll must trip,
+        // and the whole-block-commit rule then demands an empty matrix —
+        // no candidates, no columns from any block.
+        let token = CancelToken::new();
+        token.cancel();
+        let out = detection_matrix_from_source_budgeted_on::<1, BitString, _>(
+            &net,
+            &multi,
+            IterSource::new(6, tests),
+            Backend::Scalar,
+            &SweepBudget::unlimited().with_cancel(token),
+        )
+        .unwrap();
+        match out {
+            Budgeted::Partial {
+                reason,
+                best_so_far: (matrix, candidates),
+                ..
+            } => {
+                assert_eq!(reason, BudgetReason::Cancelled);
+                assert!(candidates.is_empty());
+                assert_eq!(matrix.test_count(), 0);
+                assert!((0..multi.len()).all(|f| !matrix.detected(f)));
+            }
+            Budgeted::Complete(_) => panic!("a cancelled sweep must come back partial"),
         }
     }
 }

@@ -19,12 +19,12 @@ use sortnet_network::lanes::{Backend, LaneWidth, DEFAULT_WIDTH};
 use sortnet_network::Network;
 
 use crate::bitsim::{
-    first_detections_multi_metered, first_detections_multi_wide, redundant_faults_multi_metered,
-    redundant_faults_multi_wide,
+    first_detections_multi_metered, first_detections_multi_packed_on,
+    redundant_faults_multi_metered, redundant_faults_multi_wide,
 };
 use crate::universe::{
-    is_multi_fault_redundant, multi_first_detection_index, FaultUniverse, MultiFault,
-    SingleComparator,
+    is_multi_fault_redundant, multi_first_detection_index_packed, FaultUniverse, MultiFault,
+    SingleComparator, TestVector,
 };
 
 /// Which simulation engine evaluates the fault universe.
@@ -112,13 +112,13 @@ impl CoverageReport {
 /// The bit-parallel per-fault results at lane width `W`: first-detection
 /// indices with early exit, plus one shared-prefix batch `2^n` redundancy
 /// sweep over exactly the faults the whole sequence missed.
-fn bitparallel_results<const W: usize>(
+fn bitparallel_results<const W: usize, P: TestVector>(
     network: &Network,
     faults: &[MultiFault],
-    tests: &[BitString],
+    tests: &[P],
     check_redundancy: bool,
 ) -> (Vec<Option<usize>>, Vec<bool>) {
-    let first = first_detections_multi_wide::<W>(network, faults, tests);
+    let first = first_detections_multi_packed_on::<W, P>(network, faults, tests, Backend::active());
     let mut redundant = vec![false; faults.len()];
     if check_redundancy {
         let missed_idx: Vec<usize> = (0..faults.len()).filter(|&i| first[i].is_none()).collect();
@@ -189,11 +189,34 @@ pub fn coverage_of_multifaults_with(
     check_redundancy: bool,
     engine: FaultSimEngine,
 ) -> CoverageReport {
+    coverage_of_multifaults_packed_with::<BitString>(
+        network,
+        faults,
+        tests,
+        check_redundancy,
+        engine,
+    )
+}
+
+/// The packing-generic coverage core: [`coverage_of_multifaults_with`]
+/// over any [`TestVector`] representation.  `P = BitString` is the
+/// monomorphised `n ≤ 64` path the named entry points delegate to;
+/// `P = ChannelVec` grades networks past the 64-line wall (where the
+/// exhaustive redundancy sweep is inadmissible, so `check_redundancy`
+/// panics there exactly as an oversized `n ≤ 64` sweep would).
+#[must_use]
+pub fn coverage_of_multifaults_packed_with<P: TestVector + Sync>(
+    network: &Network,
+    faults: &[MultiFault],
+    tests: &[P],
+    check_redundancy: bool,
+    engine: FaultSimEngine,
+) -> CoverageReport {
     let (first, redundant): (Vec<Option<usize>>, Vec<bool>) = match engine {
         FaultSimEngine::Scalar => faults
             .par_iter()
             .map(|fault: &MultiFault| {
-                let first = multi_first_detection_index(network, fault, tests);
+                let first = multi_first_detection_index_packed(network, fault, tests);
                 let redundant = if first.is_none() && check_redundancy {
                     is_multi_fault_redundant(network, fault)
                 } else {
@@ -205,17 +228,35 @@ pub fn coverage_of_multifaults_with(
             .into_iter()
             .unzip(),
         FaultSimEngine::BitParallel => {
-            bitparallel_results::<DEFAULT_WIDTH>(network, faults, tests, check_redundancy)
+            bitparallel_results::<DEFAULT_WIDTH, P>(network, faults, tests, check_redundancy)
         }
         FaultSimEngine::BitParallelWide(width) => match width {
-            LaneWidth::W1 => bitparallel_results::<1>(network, faults, tests, check_redundancy),
-            LaneWidth::W2 => bitparallel_results::<2>(network, faults, tests, check_redundancy),
-            LaneWidth::W4 => bitparallel_results::<4>(network, faults, tests, check_redundancy),
-            LaneWidth::W8 => bitparallel_results::<8>(network, faults, tests, check_redundancy),
-            LaneWidth::W16 => bitparallel_results::<16>(network, faults, tests, check_redundancy),
+            LaneWidth::W1 => bitparallel_results::<1, P>(network, faults, tests, check_redundancy),
+            LaneWidth::W2 => bitparallel_results::<2, P>(network, faults, tests, check_redundancy),
+            LaneWidth::W4 => bitparallel_results::<4, P>(network, faults, tests, check_redundancy),
+            LaneWidth::W8 => bitparallel_results::<8, P>(network, faults, tests, check_redundancy),
+            LaneWidth::W16 => {
+                bitparallel_results::<16, P>(network, faults, tests, check_redundancy)
+            }
         },
     };
     summarise_verdicts(faults, &first, &redundant)
+}
+
+/// [`coverage_of_universe_with`] over any [`TestVector`] packing: the
+/// `n > 64` entry (take `ChannelVec` tests).  The universe is enumerated
+/// once, exactly like the `BitString` path.
+#[must_use]
+pub fn coverage_of_universe_packed_with<P: TestVector + Sync>(
+    network: &Network,
+    universe: &dyn FaultUniverse,
+    tests: &[P],
+    check_redundancy: bool,
+    engine: FaultSimEngine,
+) -> CoverageReport {
+    let mut faults: Vec<MultiFault> = Vec::with_capacity(universe.len(network));
+    faults.extend(universe.iter(network));
+    coverage_of_multifaults_packed_with(network, &faults, tests, check_redundancy, engine)
 }
 
 /// Folds per-fault verdicts into a [`CoverageReport`]: `first[i]` is the
@@ -287,14 +328,14 @@ fn summarise_verdicts(
 /// requested — the exhaustive `2^n` redundancy sweep must be admissible
 /// for the chosen engine (`n < 24` scalar, `n < 32` bit-parallel),
 /// even if it later turns out no fault is missed.
-fn check_coverage_inputs(
+fn check_coverage_inputs<P: TestVector>(
     network: &Network,
     universe: &dyn FaultUniverse,
-    tests: &[BitString],
+    tests: &[P],
     check_redundancy: bool,
     engine: FaultSimEngine,
 ) -> Result<Vec<MultiFault>, EngineError> {
-    error::ensure_word_packable(network.lines())?;
+    P::ensure_packable(network.lines())?;
     for test in tests {
         if test.len() != network.lines() {
             return Err(EngineError::InputLengthMismatch {
@@ -338,8 +379,29 @@ pub fn try_coverage_of_universe_with(
     check_redundancy: bool,
     engine: FaultSimEngine,
 ) -> Result<CoverageReport, EngineError> {
+    try_coverage_of_universe_packed_with::<BitString>(
+        network,
+        universe,
+        tests,
+        check_redundancy,
+        engine,
+    )
+}
+
+/// [`try_coverage_of_universe_with`] over any [`TestVector`] packing.
+/// `P`'s own packability guard replaces the blanket `n ≤ 64` refusal:
+/// `ChannelVec` grades are admitted up to the
+/// [channel-line cap](sortnet_network::error::max_channel_lines), though
+/// `check_redundancy` keeps its engine-specific exhaustive-sweep bounds.
+pub fn try_coverage_of_universe_packed_with<P: TestVector + Sync>(
+    network: &Network,
+    universe: &dyn FaultUniverse,
+    tests: &[P],
+    check_redundancy: bool,
+    engine: FaultSimEngine,
+) -> Result<CoverageReport, EngineError> {
     let faults = check_coverage_inputs(network, universe, tests, check_redundancy, engine)?;
-    Ok(coverage_of_multifaults_with(
+    Ok(coverage_of_multifaults_packed_with(
         network,
         &faults,
         tests,
@@ -368,15 +430,15 @@ pub fn try_coverage_of_universe(
 /// both sweep phases, so the budget bounds the whole grade.  Undecided
 /// faults keep `first = None, redundant = false` and therefore fold
 /// into `missed` — the conservative reading.
-fn bitparallel_results_metered<const W: usize>(
+fn bitparallel_results_metered<const W: usize, P: TestVector>(
     network: &Network,
     faults: &[MultiFault],
-    tests: &[BitString],
+    tests: &[P],
     check_redundancy: bool,
     meter: &mut BudgetMeter,
 ) -> (Vec<Option<usize>>, Vec<bool>) {
     let backend = Backend::active();
-    let first = first_detections_multi_metered::<W>(network, faults, tests, backend, meter);
+    let first = first_detections_multi_metered::<W, P>(network, faults, tests, backend, meter);
     let mut redundant = vec![false; faults.len()];
     if check_redundancy {
         let missed_idx: Vec<usize> = (0..faults.len()).filter(|&i| first[i].is_none()).collect();
@@ -410,6 +472,27 @@ pub fn coverage_of_universe_budgeted_with(
     engine: FaultSimEngine,
     budget: &SweepBudget,
 ) -> Result<Budgeted<CoverageReport>, EngineError> {
+    coverage_of_universe_budgeted_packed_with::<BitString>(
+        network,
+        universe,
+        tests,
+        check_redundancy,
+        engine,
+        budget,
+    )
+}
+
+/// [`coverage_of_universe_budgeted_with`] over any [`TestVector`]
+/// packing, with the same shared-meter and conservative-partial
+/// semantics.
+pub fn coverage_of_universe_budgeted_packed_with<P: TestVector + Sync>(
+    network: &Network,
+    universe: &dyn FaultUniverse,
+    tests: &[P],
+    check_redundancy: bool,
+    engine: FaultSimEngine,
+    budget: &SweepBudget,
+) -> Result<Budgeted<CoverageReport>, EngineError> {
     let faults = check_coverage_inputs(network, universe, tests, check_redundancy, engine)?;
     let mut meter = BudgetMeter::new(budget);
     let (first, redundant): (Vec<Option<usize>>, Vec<bool>) = match engine {
@@ -420,7 +503,7 @@ pub fn coverage_of_universe_budgeted_with(
                 if !meter.admit_block(tests.len() as u64) {
                     break;
                 }
-                first[i] = multi_first_detection_index(network, fault, tests);
+                first[i] = multi_first_detection_index_packed(network, fault, tests);
                 if first[i].is_none() && check_redundancy {
                     if !meter.admit_block(1u64 << network.lines()) {
                         break;
@@ -430,7 +513,7 @@ pub fn coverage_of_universe_budgeted_with(
             }
             (first, redundant)
         }
-        FaultSimEngine::BitParallel => bitparallel_results_metered::<DEFAULT_WIDTH>(
+        FaultSimEngine::BitParallel => bitparallel_results_metered::<DEFAULT_WIDTH, P>(
             network,
             &faults,
             tests,
@@ -438,35 +521,35 @@ pub fn coverage_of_universe_budgeted_with(
             &mut meter,
         ),
         FaultSimEngine::BitParallelWide(width) => match width {
-            LaneWidth::W1 => bitparallel_results_metered::<1>(
+            LaneWidth::W1 => bitparallel_results_metered::<1, P>(
                 network,
                 &faults,
                 tests,
                 check_redundancy,
                 &mut meter,
             ),
-            LaneWidth::W2 => bitparallel_results_metered::<2>(
+            LaneWidth::W2 => bitparallel_results_metered::<2, P>(
                 network,
                 &faults,
                 tests,
                 check_redundancy,
                 &mut meter,
             ),
-            LaneWidth::W4 => bitparallel_results_metered::<4>(
+            LaneWidth::W4 => bitparallel_results_metered::<4, P>(
                 network,
                 &faults,
                 tests,
                 check_redundancy,
                 &mut meter,
             ),
-            LaneWidth::W8 => bitparallel_results_metered::<8>(
+            LaneWidth::W8 => bitparallel_results_metered::<8, P>(
                 network,
                 &faults,
                 tests,
                 check_redundancy,
                 &mut meter,
             ),
-            LaneWidth::W16 => bitparallel_results_metered::<16>(
+            LaneWidth::W16 => bitparallel_results_metered::<16, P>(
                 network,
                 &faults,
                 tests,
@@ -811,5 +894,63 @@ mod tests {
         assert!(partial.detected <= full.detected);
         assert!(partial.missed >= full.missed);
         assert!(partial.coverage <= full.coverage + f64::EPSILON);
+    }
+
+    #[test]
+    fn packed_coverage_crosses_the_64_line_wall_consistently() {
+        // n = 96 stuck-line coverage: scalar channel oracle and every
+        // bit-parallel width must produce the identical report, and the
+        // typed entry must agree (redundancy checking stays off — the
+        // exhaustive 2^96 sweep is inadmissible, as at any n ≥ 32).
+        use sortnet_combinat::ChannelVec;
+        let n = 96usize;
+        let net = Network::from_pairs(n, &[(0, 95), (0, 64), (63, 65), (31, 64), (0, 1)]);
+        let tests: Vec<ChannelVec> = vec![
+            ChannelVec::from_fn(n, |i| i == 64),
+            ChannelVec::from_fn(n, |i| i != 63),
+            ChannelVec::from_fn(n, |i| i % 3 == 1),
+        ];
+        let scalar = coverage_of_universe_packed_with(
+            &net,
+            &StuckLine,
+            &tests,
+            false,
+            FaultSimEngine::Scalar,
+        );
+        assert_eq!(scalar.total_faults, StuckLine.len(&net));
+        assert!(scalar.detected > 0, "{scalar:?}");
+        for engine in [
+            FaultSimEngine::BitParallel,
+            FaultSimEngine::BitParallelWide(LaneWidth::W1),
+            FaultSimEngine::BitParallelWide(LaneWidth::W4),
+        ] {
+            assert_eq!(
+                coverage_of_universe_packed_with(&net, &StuckLine, &tests, false, engine),
+                scalar,
+                "{engine:?}"
+            );
+        }
+        assert_eq!(
+            try_coverage_of_universe_packed_with(
+                &net,
+                &StuckLine,
+                &tests,
+                false,
+                FaultSimEngine::BitParallel
+            )
+            .unwrap(),
+            scalar
+        );
+        // The budgeted packed grade completes under an unlimited budget.
+        let budgeted = coverage_of_universe_budgeted_packed_with(
+            &net,
+            &StuckLine,
+            &tests,
+            false,
+            FaultSimEngine::BitParallelWide(LaneWidth::W1),
+            &SweepBudget::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(budgeted, Budgeted::Complete(scalar));
     }
 }

@@ -50,33 +50,46 @@ pub mod simulate;
 pub mod universe;
 
 pub use bitsim::{
-    detection_matrix, detection_matrix_from_source, detection_matrix_from_source_on,
-    detection_matrix_multi_budgeted, detection_matrix_multi_budgeted_on, detection_matrix_multi_on,
-    detection_matrix_multi_wide, detection_matrix_wide, faulty_run_block, first_detections,
-    first_detections_multi_budgeted, first_detections_multi_budgeted_on, first_detections_multi_on,
-    first_detections_multi_wide, first_detections_wide, is_fault_redundant_bitparallel,
-    is_fault_redundant_wide, is_multi_fault_redundant_wide, multi_faulty_run_block,
-    redundant_faults_multi, redundant_faults_multi_budgeted, redundant_faults_multi_budgeted_on,
-    redundant_faults_multi_on, redundant_faults_multi_wide, try_detection_matrix_from_source,
-    try_detection_matrix_from_source_on, try_detection_matrix_multi_on,
+    detection_matrix, detection_matrix_from_source, detection_matrix_from_source_budgeted,
+    detection_matrix_from_source_budgeted_on, detection_matrix_from_source_on,
+    detection_matrix_from_source_packed, detection_matrix_from_source_packed_on,
+    detection_matrix_multi_budgeted, detection_matrix_multi_budgeted_on,
+    detection_matrix_multi_budgeted_packed_on, detection_matrix_multi_on,
+    detection_matrix_multi_packed, detection_matrix_multi_packed_on, detection_matrix_multi_wide,
+    detection_matrix_wide, faulty_run_block, first_detections, first_detections_multi_budgeted,
+    first_detections_multi_budgeted_on, first_detections_multi_budgeted_packed_on,
+    first_detections_multi_on, first_detections_multi_packed_on, first_detections_multi_wide,
+    first_detections_wide, is_fault_redundant_bitparallel, is_fault_redundant_wide,
+    is_multi_fault_redundant_wide, multi_faulty_run_block, redundant_faults_multi,
+    redundant_faults_multi_budgeted, redundant_faults_multi_budgeted_on, redundant_faults_multi_on,
+    redundant_faults_multi_wide, try_detection_matrix_from_source,
+    try_detection_matrix_from_source_on, try_detection_matrix_from_source_packed,
+    try_detection_matrix_from_source_packed_on, try_detection_matrix_multi_on,
+    try_detection_matrix_multi_packed, try_detection_matrix_multi_packed_on,
     try_detection_matrix_multi_wide, try_first_detections_multi_on,
-    try_first_detections_multi_wide, try_redundant_faults_multi_on,
-    try_redundant_faults_multi_wide, DetectionMatrix,
+    try_first_detections_multi_packed_on, try_first_detections_multi_wide,
+    try_redundant_faults_multi_on, try_redundant_faults_multi_wide, DetectionMatrix,
 };
 pub use coverage::{
-    coverage_of_multifaults_with, coverage_of_tests, coverage_of_tests_with, coverage_of_universe,
-    coverage_of_universe_budgeted, coverage_of_universe_budgeted_with, coverage_of_universe_with,
-    try_coverage_of_universe, try_coverage_of_universe_with, CoverageReport, FaultSimEngine,
+    coverage_of_multifaults_packed_with, coverage_of_multifaults_with, coverage_of_tests,
+    coverage_of_tests_with, coverage_of_universe, coverage_of_universe_budgeted,
+    coverage_of_universe_budgeted_packed_with, coverage_of_universe_budgeted_with,
+    coverage_of_universe_packed_with, coverage_of_universe_with, try_coverage_of_universe,
+    try_coverage_of_universe_packed_with, try_coverage_of_universe_with, CoverageReport,
+    FaultSimEngine,
 };
 pub use model::{enumerate_faults, Fault, FaultKind};
 pub use simulate::{
-    apply_fault, detects, first_detection_index, is_fault_redundant, try_detects,
-    try_faulty_apply_bits, try_first_detection_index, try_is_fault_redundant,
+    apply_fault, detects, faulty_apply_channels, first_detection_index, is_fault_redundant,
+    try_detects, try_faulty_apply_bits, try_faulty_apply_channels, try_first_detection_index,
+    try_is_fault_redundant,
 };
 pub use universe::{
-    is_multi_fault_redundant, multi_detects, multi_faulty_apply_bits, multi_first_detection_index,
-    try_is_multi_fault_redundant, try_multi_detects, try_multi_faulty_apply_bits, FaultPairs,
-    FaultUniverse, Lesion, MultiFault, SingleComparator, StandardUniverse, StuckAt, StuckLine,
+    is_multi_fault_redundant, multi_detects, multi_detects_channels, multi_faulty_apply_bits,
+    multi_faulty_apply_channels, multi_first_detection_index, multi_first_detection_index_packed,
+    try_is_multi_fault_redundant, try_multi_detects, try_multi_faulty_apply_bits,
+    try_multi_faulty_apply_channels, FaultPairs, FaultUniverse, Lesion, MultiFault,
+    SingleComparator, StandardUniverse, StuckAt, StuckLine, TestVector,
 };
 
 // The budget/cancellation/error vocabulary lives in `sortnet-network`;

@@ -1,6 +1,6 @@
 //! Fault injection and simulation.
 
-use sortnet_combinat::BitString;
+use sortnet_combinat::{channel_words, BitString, ChannelVec};
 use sortnet_network::error::{self, EngineError};
 use sortnet_network::{Comparator, Network};
 
@@ -41,6 +41,113 @@ pub(crate) fn step_word_faulty(c: &Comparator, kind: FaultKind, w: u64) -> u64 {
         }
     };
     (w & !((1u64 << i) | (1u64 << j))) | (new_i << i) | (new_j << j)
+}
+
+/// Reads the bit of line `line` from a multi-word channel state
+/// (`ceil(n/64)` words, line `i` at word `i / 64`, bit `i % 64`).
+#[inline]
+pub(crate) fn channel_bit(w: &[u64], line: usize) -> u64 {
+    (w[line / 64] >> (line % 64)) & 1
+}
+
+/// Writes the bit of line `line` in a multi-word channel state.
+#[inline]
+pub(crate) fn set_channel_bit(w: &mut [u64], line: usize, value: u64) {
+    let mask = 1u64 << (line % 64);
+    if value == 1 {
+        w[line / 64] |= mask;
+    } else {
+        w[line / 64] &= !mask;
+    }
+}
+
+/// One fault-free comparator step on a multi-word channel state — the
+/// `ChannelWords ≥ 1` sibling of [`step_word`], with per-line word
+/// indexing instead of a `1 << line` shift (so lines past 63 are exact,
+/// not wrapped).
+#[inline]
+pub(crate) fn step_channels(c: &Comparator, w: &mut [u64]) {
+    let (i, j) = (c.min_line(), c.max_line());
+    let bi = channel_bit(w, i);
+    let bj = channel_bit(w, j);
+    set_channel_bit(w, i, bi & bj);
+    set_channel_bit(w, j, bi | bj);
+}
+
+/// One *faulty* comparator step on a multi-word channel state — the
+/// `ChannelWords ≥ 1` sibling of [`step_word_faulty`], kind by kind.
+#[inline]
+pub(crate) fn step_channels_faulty(c: &Comparator, kind: FaultKind, w: &mut [u64]) {
+    let (i, j) = (c.min_line(), c.max_line());
+    let bi = channel_bit(w, i);
+    let bj = channel_bit(w, j);
+    let (new_i, new_j) = match kind {
+        FaultKind::StuckPass => (bi, bj),
+        FaultKind::StuckSwap => (bj, bi),
+        FaultKind::Inverted => (bi | bj, bi & bj),
+        FaultKind::Misrouted { new_bottom } => {
+            // Re-route: comparator acts between `top` and `new_bottom`
+            // (minimum to the top line).  `new_bottom == top` degenerates
+            // to a no-op, matching the lane engine.
+            let top = c.top();
+            let bt = channel_bit(w, top);
+            let bb = channel_bit(w, new_bottom);
+            set_channel_bit(w, top, bt & bb);
+            set_channel_bit(w, new_bottom, bt | bb);
+            return;
+        }
+    };
+    set_channel_bit(w, i, new_i);
+    set_channel_bit(w, j, new_j);
+}
+
+/// A faulty evaluation of a network on a multi-word channel input — the
+/// arbitrary-`n` form of [`faulty_apply_bits`].
+///
+/// # Panics
+/// The panicking wrapper over [`try_faulty_apply_channels`].
+#[must_use]
+pub fn faulty_apply_channels(network: &Network, fault: &Fault, input: &ChannelVec) -> ChannelVec {
+    try_faulty_apply_channels(network, fault, input).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`faulty_apply_channels`] with every precondition reported as a typed
+/// [`EngineError`] instead of a panic.
+///
+/// # Errors
+/// [`EngineError::IndexOutOfRange`] for an out-of-range fault index;
+/// [`EngineError::OversizedNetwork`] past the
+/// [`max_channel_lines`](sortnet_network::error::max_channel_lines) cap;
+/// [`EngineError::InputLengthMismatch`] otherwise.
+pub fn try_faulty_apply_channels(
+    network: &Network,
+    fault: &Fault,
+    input: &ChannelVec,
+) -> Result<ChannelVec, EngineError> {
+    if fault.comparator >= network.size() {
+        return Err(EngineError::IndexOutOfRange {
+            what: "fault",
+            index: fault.comparator,
+            limit: network.size(),
+        });
+    }
+    let n = network.lines();
+    error::ensure_channel_packable(n, channel_words(n))?;
+    if input.len() != n {
+        return Err(EngineError::InputLengthMismatch {
+            expected: n,
+            actual: input.len(),
+        });
+    }
+    let mut w = input.words().to_vec();
+    for (idx, c) in network.comparators().iter().enumerate() {
+        if idx == fault.comparator {
+            step_channels_faulty(c, fault.kind, &mut w);
+        } else {
+            step_channels(c, &mut w);
+        }
+    }
+    Ok(ChannelVec::from_words(&w, n))
 }
 
 /// A faulty evaluation of a network on a 0/1 input: comparator
@@ -358,6 +465,58 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn channel_simulator_agrees_with_the_word_engine_up_to_64_lines() {
+        // The multi-word scalar path must be bit-identical to the packed
+        // u64 path wherever both run — including the top-of-word lines.
+        for n in [5usize, 63, 64] {
+            let net = Network::from_pairs(n, &[(0, n - 1), (n - 2, n - 1), (0, 1), (1, n - 2)]);
+            for fault in enumerate_faults(&net) {
+                for input in boundary_inputs(n) {
+                    let wide = ChannelVec::from_bitstring(input);
+                    assert_eq!(
+                        faulty_apply_channels(&net, &fault, &wide),
+                        ChannelVec::from_bitstring(faulty_apply_bits(&net, &fault, &input)),
+                        "n={n} fault {fault:?} input {input}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn channel_simulator_crosses_the_word_63_64_seam() {
+        // A comparator spanning lines 63/64 moves a bit between channel
+        // words; a wrong word index would leave both words untouched or
+        // corrupt a neighbour.
+        let n = 65usize;
+        let net = Network::from_pairs(n, &[(63, 64)]);
+        let fault = Fault {
+            comparator: 0,
+            kind: FaultKind::StuckSwap,
+        };
+        let mut input = ChannelVec::zeros(n);
+        input.set(63, true); // 1 on line 63, 0 on line 64: the comparator swaps
+        let sorted = input.with_bit(63, false).with_bit(64, true);
+        assert_eq!(
+            faulty_apply_channels(
+                &net,
+                &Fault {
+                    comparator: 0,
+                    kind: FaultKind::StuckPass
+                },
+                &input
+            ),
+            input,
+            "StuckPass leaves the seam untouched"
+        );
+        assert_eq!(
+            faulty_apply_channels(&net, &fault, &input),
+            sorted,
+            "StuckSwap on an inverted pair sorts it"
+        );
     }
 
     #[test]

@@ -66,12 +66,14 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use sortnet_combinat::BitString;
+use sortnet_combinat::{channel_words, BitString, ChannelPack, ChannelVec};
 use sortnet_network::error::{self, EngineError};
 use sortnet_network::Network;
 
 use crate::model::{enumerate_faults, Fault, FaultKind};
-use crate::simulate::{step_word, step_word_faulty};
+use crate::simulate::{
+    set_channel_bit, step_channels, step_channels_faulty, step_word, step_word_faulty,
+};
 
 /// A stuck-at-0/1 fault on one wire segment.
 ///
@@ -405,6 +407,136 @@ pub fn try_multi_faulty_apply_bits(
     Ok(BitString::from_word(w, network.lines()))
 }
 
+/// Evaluates the faulty network on a multi-word channel state in place —
+/// the `ChannelWords ≥ 1` sibling of [`multi_faulty_apply_word`], with the
+/// stuck-at injection indexing word `line / 64` instead of shifting
+/// `1u64 << line`.
+fn multi_faulty_apply_channel_state(network: &Network, lesions: &[Lesion], w: &mut [u64]) {
+    let comparators = network.comparators();
+    let mut pos = 0usize;
+    for lesion in lesions {
+        match lesion {
+            Lesion::Comparator(fault) => {
+                for c in &comparators[pos..fault.comparator] {
+                    step_channels(c, w);
+                }
+                step_channels_faulty(&comparators[fault.comparator], fault.kind, w);
+                pos = fault.comparator + 1;
+            }
+            Lesion::Stuck(s) => {
+                for c in &comparators[pos..s.cut] {
+                    step_channels(c, w);
+                }
+                set_channel_bit(w, s.line, u64::from(s.value));
+                pos = s.cut;
+            }
+        }
+    }
+    for c in &comparators[pos..] {
+        step_channels(c, w);
+    }
+}
+
+/// Scalar faulty evaluation of a [`MultiFault`] on a multi-word channel
+/// input — the arbitrary-`n` form of [`multi_faulty_apply_bits`] and the
+/// oracle the multi-word bit-parallel sweeps are cross-checked against.
+///
+/// # Panics
+/// The panicking wrapper over [`try_multi_faulty_apply_channels`].
+#[must_use]
+pub fn multi_faulty_apply_channels(
+    network: &Network,
+    fault: &MultiFault,
+    input: &ChannelVec,
+) -> ChannelVec {
+    try_multi_faulty_apply_channels(network, fault, input).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`multi_faulty_apply_channels`] with every precondition reported as a
+/// typed [`EngineError`] instead of a panic.
+///
+/// # Errors
+/// [`EngineError::IndexOutOfRange`] when a lesion does not fit the
+/// network; [`EngineError::OversizedNetwork`] past the
+/// [`max_channel_lines`](sortnet_network::error::max_channel_lines) cap;
+/// [`EngineError::InputLengthMismatch`] otherwise.
+pub fn try_multi_faulty_apply_channels(
+    network: &Network,
+    fault: &MultiFault,
+    input: &ChannelVec,
+) -> Result<ChannelVec, EngineError> {
+    fault.check_in_range(network)?;
+    let n = network.lines();
+    error::ensure_channel_packable(n, channel_words(n))?;
+    if input.len() != n {
+        return Err(EngineError::InputLengthMismatch {
+            expected: n,
+            actual: input.len(),
+        });
+    }
+    let mut w = input.words().to_vec();
+    multi_faulty_apply_channel_state(network, fault.lesions(), &mut w);
+    Ok(ChannelVec::from_words(&w, n))
+}
+
+/// `true` iff the multi-word channel input detects the fault.
+#[must_use]
+pub fn multi_detects_channels(network: &Network, fault: &MultiFault, input: &ChannelVec) -> bool {
+    !multi_faulty_apply_channels(network, fault, input).is_sorted()
+}
+
+/// A packed test vector the scalar fault engines can evaluate directly:
+/// the hook that lets the coverage/augmentation layers stay generic over
+/// the vector packing without losing the single-word fast path.
+///
+/// `BitString` routes to the historical word-packed scalar simulator
+/// (so the `n ≤ 64` scalar engine is byte-identical to before), and
+/// `ChannelVec` to the multi-word channel simulator.  `ensure_packable`
+/// is the packing's own size guard: the 64-line wall for `BitString`
+/// (with its pinned `"n <= 64"` text), the
+/// [`max_channel_lines`](sortnet_network::error::max_channel_lines) cap
+/// for `ChannelVec`.
+pub trait TestVector: ChannelPack {
+    /// Faulty scalar evaluation of `fault` on `input`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range lesions or mismatched input lengths —
+    /// callers validate with [`TestVector::ensure_packable`] and a length
+    /// check first, as the engines do.
+    #[must_use]
+    fn multi_apply(network: &Network, fault: &MultiFault, input: &Self) -> Self;
+
+    /// The packing's size guard for an `lines`-line network.
+    ///
+    /// # Errors
+    /// [`EngineError::OversizedNetwork`] past the packing's cap.
+    fn ensure_packable(lines: usize) -> Result<(), EngineError>;
+}
+
+impl TestVector for BitString {
+    #[inline]
+    fn multi_apply(network: &Network, fault: &MultiFault, input: &Self) -> Self {
+        multi_faulty_apply_bits(network, fault, input)
+    }
+
+    #[inline]
+    fn ensure_packable(lines: usize) -> Result<(), EngineError> {
+        error::ensure_word_packable(lines)
+    }
+}
+
+impl TestVector for ChannelVec {
+    #[inline]
+    fn multi_apply(network: &Network, fault: &MultiFault, input: &Self) -> Self {
+        multi_faulty_apply_channels(network, fault, input)
+    }
+
+    #[inline]
+    fn ensure_packable(lines: usize) -> Result<(), EngineError> {
+        error::ensure_channel_packable(lines, channel_words(lines))
+    }
+}
+
 /// `true` iff `input` detects the fault: the faulty network fails to sort
 /// it.
 #[must_use]
@@ -434,6 +566,19 @@ pub fn multi_first_detection_index(
     tests: &[BitString],
 ) -> Option<usize> {
     tests.iter().position(|t| multi_detects(network, fault, t))
+}
+
+/// [`multi_first_detection_index`] generic over the vector packing — the
+/// scalar reference the multi-word engines are graded against.
+#[must_use]
+pub fn multi_first_detection_index_packed<P: TestVector>(
+    network: &Network,
+    fault: &MultiFault,
+    tests: &[P],
+) -> Option<usize> {
+    tests
+        .iter()
+        .position(|t| !P::multi_apply(network, fault, t).is_sorted())
 }
 
 /// `true` iff the fault is *redundant* (undetectable): the faulty network

@@ -1,0 +1,289 @@
+//! Multi-word (ChannelWords > 1) differential suite: the bit-parallel
+//! engines past the 64-line wall are pinned bit for bit against a
+//! **shift-free `Vec<u8>` reference** that re-codes the lesion-timeline
+//! semantics with one byte per line — no word packing, no shifts, no lane
+//! indexing — so every hazard class the multi-word layout introduces
+//! (lane indices above 63, comparators spanning the 63/64 and 127/128
+//! word seams, live-mask math in the top word) is checked against an
+//! implementation that cannot share the bug.
+//!
+//! Coverage:
+//!
+//! * `n ∈ {65, 96, 127, 128}` — one line over a seam, mid-word, one line
+//!   under a seam, and exactly two full words;
+//! * single-comparator and stuck-line universes, plus hand-built lesion
+//!   *pairs* straddling the word seam;
+//! * every runnable lane-ops backend × lane widths `W ∈ {1, 4}`;
+//! * the streamed-source matrix against the slice-at-once matrix, and
+//!   scalar vs bit-parallel coverage reports on a 96-line network.
+
+use sortnet_combinat::{channel_words, ChannelPack, ChannelVec};
+use sortnet_faults::bitsim::{
+    detection_matrix_from_source_packed_on, detection_matrix_multi_packed_on,
+    first_detections_multi_packed_on,
+};
+use sortnet_faults::coverage::{coverage_of_universe_packed_with, FaultSimEngine};
+use sortnet_faults::universe::{
+    FaultUniverse, Lesion, MultiFault, StandardUniverse, StuckAt, TestVector,
+};
+use sortnet_faults::{Fault, FaultKind};
+use sortnet_network::lanes::{Backend, IterSource, LaneWidth};
+use sortnet_network::Network;
+
+/// Shift-free reference for a full lesion timeline: one `u8` per line.
+///
+/// Semantics mirrored from the engines: a stuck lesion at cut `c` forces
+/// its line *after* `c` comparators have been applied (downstream
+/// comparators read the constant but write fresh segments); a comparator
+/// lesion replaces that comparator's behaviour.
+fn reference_multi(network: &Network, fault: &MultiFault, input: &ChannelVec) -> ChannelVec {
+    let mut v: Vec<u8> = (0..input.len()).map(|i| u8::from(input.bit(i))).collect();
+    let stuck_at = |v: &mut Vec<u8>, cut: usize| {
+        for lesion in fault.lesions() {
+            if let Lesion::Stuck(StuckAt {
+                line,
+                cut: c,
+                value,
+            }) = lesion
+            {
+                if *c == cut {
+                    v[*line] = u8::from(*value);
+                }
+            }
+        }
+    };
+    for (idx, c) in network.comparators().iter().enumerate() {
+        stuck_at(&mut v, idx);
+        let broken = fault.lesions().iter().find_map(|lesion| match lesion {
+            Lesion::Comparator(f) if f.comparator == idx => Some(f),
+            _ => None,
+        });
+        let (i, j) = (c.min_line(), c.max_line());
+        let (bi, bj) = (v[i], v[j]);
+        match broken.map(|f| f.kind) {
+            None => {
+                v[i] = bi.min(bj);
+                v[j] = bi.max(bj);
+            }
+            Some(FaultKind::StuckPass) => {}
+            Some(FaultKind::StuckSwap) => {
+                v[i] = bj;
+                v[j] = bi;
+            }
+            Some(FaultKind::Inverted) => {
+                v[i] = bi.max(bj);
+                v[j] = bi.min(bj);
+            }
+            Some(FaultKind::Misrouted { new_bottom }) => {
+                let t = c.top();
+                if new_bottom != t {
+                    let (bt, bb) = (v[t], v[new_bottom]);
+                    v[t] = bt.min(bb);
+                    v[new_bottom] = bt.max(bb);
+                }
+            }
+        }
+    }
+    stuck_at(&mut v, network.size());
+    ChannelVec::from_fn(v.len(), |i| v[i] == 1)
+}
+
+/// Detection per the engines' contract: the faulty output is unsorted.
+fn reference_detects(network: &Network, fault: &MultiFault, input: &ChannelVec) -> bool {
+    !reference_multi(network, fault, input).is_sorted()
+}
+
+/// A small network whose comparators straddle every word seam `n` has.
+fn seam_network(n: usize) -> Network {
+    assert!(n >= 65);
+    let mut pairs = vec![
+        (0, n - 1),
+        (63, 64),
+        (62, 63),
+        if n > 65 { (64, 65) } else { (1, 64) },
+        (0, 64),
+        (n - 2, n - 1),
+        (0, 1),
+        (1, 62),
+    ];
+    if n >= 128 {
+        pairs.push((126, 127));
+    }
+    Network::from_pairs(n, &pairs)
+}
+
+/// Inputs with live bits at every word boundary of an `n`-line state.
+fn boundary_channel_inputs(n: usize) -> Vec<ChannelVec> {
+    let mut inputs = vec![
+        ChannelVec::zeros(n),
+        ChannelVec::ones(n),
+        ChannelVec::from_fn(n, |i| i % 2 == 1),
+        ChannelVec::from_fn(n, |i| i == n - 1),
+        ChannelVec::from_fn(n, |i| i != n - 1),
+        ChannelVec::from_fn(n, |i| i == 63),
+        ChannelVec::from_fn(n, |i| i == 64),
+        ChannelVec::from_fn(n, |i| i < 64),
+        ChannelVec::from_fn(n, |i| i >= 64),
+    ];
+    if n >= 128 {
+        inputs.push(ChannelVec::from_fn(n, |i| i == 127));
+    }
+    inputs
+}
+
+#[test]
+fn multiword_matrices_match_the_byte_reference_on_every_backend_and_width() {
+    for n in [65usize, 96, 127, 128] {
+        let net = seam_network(n);
+        let tests = boundary_channel_inputs(n);
+        for universe in [
+            StandardUniverse::SingleComparator,
+            StandardUniverse::StuckLine,
+        ] {
+            let faults: Vec<MultiFault> = universe.iter(&net).collect();
+            let mut expected = Vec::with_capacity(faults.len() * tests.len());
+            for fault in &faults {
+                for test in &tests {
+                    expected.push(reference_detects(&net, fault, test));
+                }
+            }
+            for backend in Backend::runnable() {
+                let w1 = detection_matrix_multi_packed_on::<1, ChannelVec>(
+                    &net, &faults, &tests, backend,
+                );
+                let w4 = detection_matrix_multi_packed_on::<4, ChannelVec>(
+                    &net, &faults, &tests, backend,
+                );
+                assert_eq!(w1, w4, "n={n} {} {}", universe.name(), backend.name());
+                for (f, fault) in faults.iter().enumerate() {
+                    for (t, test) in tests.iter().enumerate() {
+                        assert_eq!(
+                            w1.is_detected_by(f, t),
+                            expected[f * tests.len() + t],
+                            "n={n} {} {} fault {fault} test {test}",
+                            universe.name(),
+                            backend.name()
+                        );
+                    }
+                }
+            }
+            // The scalar TestVector oracle agrees with the byte reference
+            // (so the channel simulator itself is pinned too).
+            for (f, fault) in faults.iter().enumerate().step_by(17) {
+                for (t, test) in tests.iter().enumerate() {
+                    assert_eq!(
+                        !ChannelVec::multi_apply(&net, fault, test).is_sorted(),
+                        expected[f * tests.len() + t],
+                        "scalar channel oracle n={n} fault {fault} test {test}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn lesion_pairs_straddling_the_word_seam_match_the_byte_reference() {
+    // The two-level pair fork re-checkpoints the block after the first
+    // lesion; past the 64-line wall that checkpoint copies multi-word
+    // lanes.  Pairs are built by hand so each combination (stuck+stuck,
+    // stuck+comparator) crosses the 63/64 seam with distinct cuts.
+    for n in [65usize, 96, 128] {
+        let net = seam_network(n);
+        let tests = boundary_channel_inputs(n);
+        let stuck = |line, cut, value| Lesion::Stuck(StuckAt { line, cut, value });
+        let comp = |comparator, kind| Lesion::Comparator(Fault { comparator, kind });
+        let faults = vec![
+            MultiFault::pair(stuck(63, 0, true), stuck(64, 2, false)),
+            MultiFault::pair(stuck(64, 1, true), stuck(n - 1, net.size(), false)),
+            MultiFault::pair(stuck(0, 0, true), stuck(64, net.size(), true)),
+            MultiFault::pair(stuck(63, 3, false), comp(1, FaultKind::StuckSwap)),
+            MultiFault::pair(comp(1, FaultKind::StuckPass), stuck(n - 2, 4, true)),
+            MultiFault::pair(
+                comp(3, FaultKind::Inverted),
+                comp(4, FaultKind::Misrouted { new_bottom: 63 }),
+            ),
+        ];
+        for backend in Backend::runnable() {
+            let w4 =
+                detection_matrix_multi_packed_on::<4, ChannelVec>(&net, &faults, &tests, backend);
+            for (f, fault) in faults.iter().enumerate() {
+                for (t, test) in tests.iter().enumerate() {
+                    assert_eq!(
+                        w4.is_detected_by(f, t),
+                        reference_detects(&net, fault, test),
+                        "n={n} {} pair {fault} test {test}",
+                        backend.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn streamed_source_and_first_detections_agree_with_the_slice_matrix_past_64() {
+    let n = 96usize;
+    let net = seam_network(n);
+    let tests = boundary_channel_inputs(n);
+    let faults: Vec<MultiFault> = StandardUniverse::StuckLine.iter(&net).collect();
+    let reference =
+        detection_matrix_multi_packed_on::<1, ChannelVec>(&net, &faults, &tests, Backend::Scalar);
+    for backend in Backend::runnable() {
+        let (streamed, echoed) = detection_matrix_from_source_packed_on::<4, ChannelVec, _>(
+            &net,
+            &faults,
+            IterSource::new(n, tests.clone()),
+            backend,
+        );
+        assert_eq!(streamed, reference, "{}", backend.name());
+        assert_eq!(echoed, tests, "{}", backend.name());
+        let firsts =
+            first_detections_multi_packed_on::<4, ChannelVec>(&net, &faults, &tests, backend);
+        for (f, &first) in firsts.iter().enumerate() {
+            let expected = (0..tests.len()).find(|&t| reference.is_detected_by(f, t));
+            assert_eq!(first, expected, "{} fault {f}", backend.name());
+        }
+    }
+}
+
+#[test]
+fn stuck_line_coverage_sweep_completes_on_a_96_channel_network() {
+    // The acceptance sweep: a full stuck-line coverage run on a 96-line
+    // network, identical across the scalar engine, the default
+    // bit-parallel engine, and pinned lane widths.
+    let n = 96usize;
+    assert_eq!(channel_words(n), 2);
+    // Two brick-wall exchange passes: enough structure for non-trivial
+    // detection patterns while keeping the scalar cross-check affordable.
+    let mut pairs: Vec<(usize, usize)> = (0..n - 1).step_by(2).map(|i| (i, i + 1)).collect();
+    pairs.extend((1..n - 1).step_by(2).map(|i| (i, i + 1)));
+    let net = Network::from_pairs(n, &pairs);
+    let tests = boundary_channel_inputs(n);
+    let reference = coverage_of_universe_packed_with(
+        &net,
+        &StuckLineUniverse,
+        &tests,
+        false,
+        FaultSimEngine::Scalar,
+    );
+    // StuckLine enumerates the 2n input segments plus both output
+    // segments of every comparator at both values: 2n + 4·size lesions.
+    assert_eq!(
+        reference.total_faults,
+        2 * n + 4 * net.size(),
+        "stuck-line universe size"
+    );
+    assert!(reference.detected > 0, "the sweep must detect something");
+    for engine in [
+        FaultSimEngine::BitParallel,
+        FaultSimEngine::BitParallelWide(LaneWidth::W1),
+        FaultSimEngine::BitParallelWide(LaneWidth::W4),
+    ] {
+        let report =
+            coverage_of_universe_packed_with(&net, &StuckLineUniverse, &tests, false, engine);
+        assert_eq!(report, reference, "engine {engine:?}");
+    }
+}
+
+use sortnet_faults::universe::StuckLine as StuckLineUniverse;

@@ -18,6 +18,12 @@
 //! backend × lane widths 1 and 4) disagrees, or when scalar and
 //! bit-parallel coverage reports diverge.
 //!
+//! Every fourth case instead crosses the 64-line wall: 65–96 lines with
+//! multi-word [`ChannelVec`] test vectors (a single-lesion universe and a
+//! smaller test list, keeping the scalar oracle affordable), so the
+//! channel-words dimension of every engine is ground under the same seeds
+//! as the single-word path.
+//!
 //! A failing case is **shrunk** before it is reported: comparators, then
 //! faults, then tests are dropped greedily while the disagreement persists,
 //! so the [`Mismatch`] carries a minimal reproducer.  Every mismatch also
@@ -35,10 +41,10 @@ use std::fmt;
 
 use rand::prelude::*;
 
-use sortnet_combinat::BitString;
-use sortnet_faults::bitsim::try_detection_matrix_multi_on;
-use sortnet_faults::coverage::{coverage_of_universe_with, FaultSimEngine};
-use sortnet_faults::universe::{multi_detects, FaultUniverse, MultiFault, StandardUniverse};
+use sortnet_combinat::{BitString, ChannelVec};
+use sortnet_faults::bitsim::try_detection_matrix_multi_packed_on;
+use sortnet_faults::coverage::{coverage_of_universe_packed_with, FaultSimEngine};
+use sortnet_faults::universe::{FaultUniverse, MultiFault, StandardUniverse, TestVector};
 use sortnet_network::budget::{BudgetMeter, Budgeted, SweepBudget};
 use sortnet_network::lanes::Backend;
 use sortnet_network::random::NetworkSampler;
@@ -107,8 +113,9 @@ pub struct Mismatch {
     pub original_size: usize,
     /// The shrunk fault list (a subset of the universe over `network`).
     pub faults: Vec<MultiFault>,
-    /// The shrunk test list.
-    pub tests: Vec<BitString>,
+    /// The shrunk test list, stored in the universal multi-word packing
+    /// (single-word cases are widened losslessly for the report).
+    pub tests: Vec<ChannelVec>,
     /// Human-readable description of the first disagreement.
     pub detail: String,
 }
@@ -140,19 +147,25 @@ impl fmt::Display for Mismatch {
     }
 }
 
+/// Scalar-oracle detection verdict in any packing: the faulty network
+/// mis-sorts the test.
+fn detects_packed<P: TestVector>(network: &Network, fault: &MultiFault, test: &P) -> bool {
+    !P::multi_apply(network, fault, test).is_sorted()
+}
+
 /// Scalar-oracle cross-check of the bit-parallel matrices over an explicit
 /// fault list.  Returns a description of the first disagreement, `None`
 /// when every engine agrees.
-fn check_faults(
+fn check_faults<P: TestVector + fmt::Display>(
     network: &Network,
     faults: &[MultiFault],
-    tests: &[BitString],
+    tests: &[P],
     corruption: Corruption,
 ) -> Option<String> {
     let mut expected = Vec::with_capacity(faults.len() * tests.len());
     for fault in faults {
         for test in tests {
-            expected.push(multi_detects(network, fault, test));
+            expected.push(detects_packed(network, fault, test));
         }
     }
     if corruption == Corruption::FlipLastFault && !faults.is_empty() && !tests.is_empty() {
@@ -163,11 +176,11 @@ fn check_faults(
         let matrices = [
             (
                 1usize,
-                try_detection_matrix_multi_on::<1>(network, faults, tests, backend),
+                try_detection_matrix_multi_packed_on::<1, P>(network, faults, tests, backend),
             ),
             (
                 4usize,
-                try_detection_matrix_multi_on::<4>(network, faults, tests, backend),
+                try_detection_matrix_multi_packed_on::<4, P>(network, faults, tests, backend),
             ),
         ];
         for (width, matrix) in matrices {
@@ -199,10 +212,10 @@ fn check_faults(
 /// Full case check: matrix cross-check over the whole universe, then
 /// scalar-vs-bit-parallel coverage reports (skipped under corruption —
 /// the planted flip lives in the matrix comparison only).
-fn check_case(
+fn check_case<P: TestVector + Sync + fmt::Display>(
     network: &Network,
     universe: StandardUniverse,
-    tests: &[BitString],
+    tests: &[P],
     corruption: Corruption,
 ) -> Option<String> {
     let faults: Vec<MultiFault> = universe.iter(network).collect();
@@ -210,9 +223,14 @@ fn check_case(
         return Some(detail);
     }
     if corruption == Corruption::None {
-        let scalar =
-            coverage_of_universe_with(network, &universe, tests, false, FaultSimEngine::Scalar);
-        let wide = coverage_of_universe_with(
+        let scalar = coverage_of_universe_packed_with(
+            network,
+            &universe,
+            tests,
+            false,
+            FaultSimEngine::Scalar,
+        );
+        let wide = coverage_of_universe_packed_with(
             network,
             &universe,
             tests,
@@ -261,12 +279,12 @@ fn shrink_list<T: Clone>(
 /// Shrinks a failing case to a minimal-ish reproducer: comparators first
 /// (the fault universe follows the network automatically), then the fault
 /// list, then the test list.
-fn shrink(
+fn shrink<P: TestVector + Sync + fmt::Display>(
     seed: u64,
     case_index: u64,
     universe: StandardUniverse,
     network: Network,
-    tests: Vec<BitString>,
+    tests: Vec<P>,
     detail: String,
     corruption: Corruption,
 ) -> Mismatch {
@@ -298,7 +316,10 @@ fn shrink(
         network,
         original_size,
         faults,
-        tests,
+        tests: tests
+            .iter()
+            .map(|t| ChannelVec::from_fn(t.len(), |i| t.bit(i)))
+            .collect(),
         detail,
     }
 }
@@ -309,6 +330,30 @@ fn shrink(
 #[must_use]
 pub fn run_case(seed: u64, index: u64, corruption: Corruption) -> Option<Mismatch> {
     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(index.wrapping_mul(CASE_STRIDE)));
+    if index % 4 == 3 {
+        // Wide-channel case: the same cross-check past the 64-line wall.
+        // Single-lesion universes and a small test list keep the
+        // one-fault-at-a-time scalar oracle affordable at these widths.
+        let n = rng.random_range(65usize..97);
+        let size = rng.random_range(0usize..13);
+        let mut sampler = NetworkSampler::new(rng.next_u64());
+        let network = sampler.network(n, size);
+        let universe = [
+            StandardUniverse::SingleComparator,
+            StandardUniverse::StuckLine,
+        ][rng.random_range(0usize..2)];
+        let test_count = rng.random_range(1usize..17);
+        let tests: Vec<ChannelVec> = (0..test_count)
+            .map(|_| {
+                let words: Vec<u64> = (0..n.div_ceil(64)).map(|_| rng.next_u64()).collect();
+                ChannelVec::from_words(&words, n)
+            })
+            .collect();
+        let detail = check_case(&network, universe, &tests, corruption)?;
+        return Some(shrink(
+            seed, index, universe, network, tests, detail, corruption,
+        ));
+    }
     let n = rng.random_range(3usize..10);
     let size = rng.random_range(0usize..13);
     let mut sampler = NetworkSampler::new(rng.next_u64());

@@ -63,6 +63,25 @@ fn mismatches_replay_from_the_seed_alone() {
 }
 
 #[test]
+fn wide_channel_cases_cross_the_64_line_wall() {
+    // Every fourth case index draws 65–96 lines with multi-word test
+    // vectors.  Clean on the pinned seed, and when the oracle flip is
+    // planted the catch-and-shrink pipeline must chase it down the same
+    // way it does on single-word cases.
+    for index in [3u64, 7, 11] {
+        assert!(
+            run_case(PINNED_SEED, index, Corruption::None).is_none(),
+            "engines disagree on pinned wide case {index}"
+        );
+        let m = run_case(PINNED_SEED, index, Corruption::FlipLastFault)
+            .expect("the planted flip must be caught on wide cases");
+        assert!(m.tests.iter().all(|t| t.len() > 64));
+        assert_eq!(m.faults.len(), 1);
+        assert_eq!(m.tests.len(), 1);
+    }
+}
+
+#[test]
 fn grinding_is_deterministic_per_seed() {
     let mut config = GrinderConfig::new(42, 4);
     config.corruption = Corruption::FlipLastFault;

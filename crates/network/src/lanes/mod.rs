@@ -33,14 +33,29 @@
 //!   patterns* (lane `i < 6` of a 64-aligned word is a fixed alternating
 //!   constant; higher lanes are broadcasts of the block-start bit), so block
 //!   generation is O(`n·W`) words with no per-vector work;
-//! * [`IterSource`] — a block-filling adapter over any
-//!   `Iterator<Item = BitString>`, which turns the `sortnet-combinat`
-//!   generators (unsorted strings, low-weight subsets, half-sorted merge
-//!   inputs) into sources without intermediate storage.
+//! * [`IterSource`] — a block-filling adapter over any iterator of packed
+//!   vectors, which turns the `sortnet-combinat` generators (unsorted
+//!   strings, low-weight subsets, half-sorted merge inputs) into sources
+//!   without intermediate storage.
 //!
 //! [`sweep_find`] is the streaming driver: it pulls blocks from a source,
 //! asks a caller-supplied closure for a violation mask per block, and
 //! extracts the first violating *input* vector as a witness.
+//!
+//! # `ChannelWords`: networks past 64 lines
+//!
+//! The lane table is indexed by *line*, so nothing in the transposed
+//! layout caps `n` at 64: a network with `n` lines simply has `n` lane
+//! rows, and a single test vector's payload is `ceil(n/64)` **channel
+//! words** (`lanes[line][channel_word][W]` when viewed vector-side).  The
+//! historical 64-line wall lived entirely at the *boundaries* — filling
+//! blocks from, and extracting witnesses into, the one-word
+//! [`BitString`].  Those boundaries are now generic over
+//! [`ChannelPack`]: instantiated at [`BitString`] they monomorphise to
+//! the exact single-word code the `n ≤ 64` benches have always measured,
+//! and instantiated at [`sortnet_combinat::ChannelVec`] they thread any
+//! `n` up to [`crate::error::max_channel_lines`] through the identical
+//! kernels.  See `docs/LANES.md` for the full layout story.
 //!
 //! # Backend selection: how the lane words are executed
 //!
@@ -70,7 +85,7 @@
 //! rule is why counting-pattern blocks can be regenerated instead of
 //! rewound: a block is never run backwards.
 
-use sortnet_combinat::BitString;
+use sortnet_combinat::{BitString, ChannelPack};
 
 use crate::budget::{BudgetMeter, Budgeted, SweepBudget};
 use crate::error::{self, EngineError};
@@ -175,13 +190,19 @@ impl<const W: usize> WideBlock<W> {
         }
     }
 
-    /// Builds a block from up to `W × 64` input strings (all of length `n`).
+    /// Builds a block from up to `W × 64` input vectors (all of length `n`).
+    ///
+    /// Generic over the vector packing: [`BitString`] for the historical
+    /// `n ≤ 64` path, [`sortnet_combinat::ChannelVec`] (or any other
+    /// [`ChannelPack`]) for multi-word channels — the lane table is indexed
+    /// by line, so a block scales to any `n` without a representation
+    /// change.
     ///
     /// # Panics
     /// Panics if `inputs` is empty, longer than `W × 64`, or the lengths are
     /// inconsistent with `n`.
     #[must_use]
-    pub fn from_strings(n: usize, inputs: &[BitString]) -> Self {
+    pub fn from_strings<P: ChannelPack>(n: usize, inputs: &[P]) -> Self {
         assert!(
             !inputs.is_empty() && inputs.len() <= W * 64,
             "block must hold 1..={} vectors",
@@ -193,7 +214,7 @@ impl<const W: usize> WideBlock<W> {
     }
 
     /// Overwrites the block with `inputs` (count becomes `inputs.len()`).
-    fn fill_from_strings(&mut self, inputs: &[BitString]) {
+    fn fill_from_strings<P: ChannelPack>(&mut self, inputs: &[P]) {
         let n = self.lanes.len();
         for lane in &mut self.lanes {
             *lane = [0u64; W];
@@ -202,7 +223,7 @@ impl<const W: usize> WideBlock<W> {
             assert_eq!(s.len(), n, "input length mismatch");
             let (w, bit) = (j / 64, j % 64);
             for (i, lane) in self.lanes.iter_mut().enumerate() {
-                if s.get(i) {
+                if s.bit(i) {
                     lane[w] |= 1 << bit;
                 }
             }
@@ -250,11 +271,14 @@ impl<const W: usize> WideBlock<W> {
             } else if base.is_multiple_of(64) {
                 // Counting patterns: adding j < 64 to a 64-aligned base
                 // never carries past bit 5, so lane i < 6 is a constant and
-                // lane i ≥ 6 is a broadcast of bit i of `base`.
+                // lane i ≥ 6 is a broadcast of bit i of `base`.  Lanes
+                // i ≥ 64 exist on multi-word-channel networks; the start
+                // value is a single word, so those lines are always 0 (a
+                // raw `base >> i` would be an overflowing shift).
                 for (i, lane) in self.lanes.iter_mut().enumerate() {
                     let bits = if i < 6 {
                         COUNT_PATTERNS[i]
-                    } else if (base >> i) & 1 == 1 {
+                    } else if i < 64 && (base >> i) & 1 == 1 {
                         u64::MAX
                     } else {
                         0
@@ -264,9 +288,11 @@ impl<const W: usize> WideBlock<W> {
             } else {
                 for (i, lane) in self.lanes.iter_mut().enumerate() {
                     let mut bits = 0u64;
-                    for j in 0..u64::from(in_word) {
-                        if ((base + j) >> i) & 1 == 1 {
-                            bits |= 1 << j;
+                    if i < 64 {
+                        for j in 0..u64::from(in_word) {
+                            if ((base + j) >> i) & 1 == 1 {
+                                bits |= 1 << j;
+                            }
                         }
                     }
                     lane[w] = bits;
@@ -494,18 +520,24 @@ impl<const W: usize> WideBlock<W> {
     /// Extracts the output string for vector `j` of the block.
     ///
     /// # Panics
-    /// Panics if `j ≥ count`.
+    /// Panics if `j ≥ count`, or if the block spans more than 64 lines
+    /// (use [`WideBlock::extract_packed`] with a multi-word packing then).
     #[must_use]
     pub fn extract(&self, j: u32) -> BitString {
+        self.extract_packed(j)
+    }
+
+    /// Extracts the output vector `j` of the block into any
+    /// [`ChannelPack`] packing — the multi-word-capable form of
+    /// [`WideBlock::extract`].
+    ///
+    /// # Panics
+    /// Panics if `j ≥ count`.
+    #[must_use]
+    pub fn extract_packed<P: ChannelPack>(&self, j: u32) -> P {
         assert!(j < self.count, "vector index out of range");
         let (w, bit) = ((j / 64) as usize, j % 64);
-        let mut word = 0u64;
-        for (i, lane) in self.lanes.iter().enumerate() {
-            if (lane[w] >> bit) & 1 == 1 {
-                word |= 1 << i;
-            }
-        }
-        BitString::from_word(word, self.lanes.len())
+        P::assemble(self.lanes.len(), |i| (self.lanes[i][w] >> bit) & 1 == 1)
     }
 }
 
@@ -638,17 +670,48 @@ impl<const W: usize> BlockSource<W> for RangeSource {
     }
 }
 
-/// Block-filling adapter over any `Iterator<Item = BitString>`: the bridge
+/// Block-filling adapter over any iterator of packed vectors: the bridge
 /// from the `sortnet-combinat` generators (unsorted strings, low-weight
 /// subset enumerations, half-sorted merge inputs, …) to transposed blocks.
-#[derive(Clone, Debug)]
-pub struct IterSource<I> {
+///
+/// The item type is any [`ChannelPack`]: `BitString` iterators drive the
+/// historical `n ≤ 64` path, `ChannelVec` iterators the multi-word one.
+pub struct IterSource<I: Iterator> {
     n: usize,
     iter: I,
-    buf: Vec<BitString>,
+    buf: Vec<I::Item>,
 }
 
-impl<I: Iterator<Item = BitString>> IterSource<I> {
+impl<I: Iterator + Clone> Clone for IterSource<I>
+where
+    I::Item: Clone,
+{
+    fn clone(&self) -> Self {
+        Self {
+            n: self.n,
+            iter: self.iter.clone(),
+            buf: self.buf.clone(),
+        }
+    }
+}
+
+impl<I: Iterator + std::fmt::Debug> std::fmt::Debug for IterSource<I>
+where
+    I::Item: std::fmt::Debug,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IterSource")
+            .field("n", &self.n)
+            .field("iter", &self.iter)
+            .field("buf", &self.buf)
+            .finish()
+    }
+}
+
+impl<I: Iterator> IterSource<I>
+where
+    I::Item: ChannelPack,
+{
     /// Wraps `iter`, whose items must all have length `n`.
     pub fn new(n: usize, iter: impl IntoIterator<IntoIter = I>) -> Self {
         Self {
@@ -659,7 +722,10 @@ impl<I: Iterator<Item = BitString>> IterSource<I> {
     }
 }
 
-impl<const W: usize, I: Iterator<Item = BitString>> BlockSource<W> for IterSource<I> {
+impl<const W: usize, I: Iterator> BlockSource<W> for IterSource<I>
+where
+    I::Item: ChannelPack,
+{
     fn lines(&self) -> usize {
         self.n
     }
@@ -731,13 +797,17 @@ impl<const W: usize, A: BlockSource<W>, B: BlockSource<W>> BlockSource<W> for Ch
 }
 
 /// Outcome of a [`sweep_find`] run.
+///
+/// Generic over the witness packing `P` (default [`BitString`]); the
+/// multi-word drivers ([`sweep_find_packed`] and friends) return
+/// `SweepOutcome<ChannelVec>`-style outcomes for `n > 64`.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct SweepOutcome {
+pub struct SweepOutcome<P = BitString> {
     /// Number of vectors evaluated before the sweep stopped (all of them on
     /// a pass; everything up to and including the failing block otherwise).
     pub tests_run: u64,
     /// The first violating *input* vector, in source order, if any.
-    pub witness: Option<BitString>,
+    pub witness: Option<P>,
 }
 
 /// Streams `source` block by block, asking `violation` for a per-word mask
@@ -747,9 +817,18 @@ pub struct SweepOutcome {
 /// into a scratch block, runs a network, and masks the outputs), so the
 /// witness can be extracted from the inputs without re-generating them.
 pub fn sweep_find<const W: usize, S: BlockSource<W>>(
+    source: S,
+    violation: impl FnMut(&WideBlock<W>) -> [u64; W],
+) -> SweepOutcome {
+    sweep_find_packed(source, violation)
+}
+
+/// [`sweep_find`] with the witness extracted into any [`ChannelPack`]
+/// packing — the entry point for sweeps over more than 64 lines.
+pub fn sweep_find_packed<const W: usize, P: ChannelPack, S: BlockSource<W>>(
     mut source: S,
     mut violation: impl FnMut(&WideBlock<W>) -> [u64; W],
-) -> SweepOutcome {
+) -> SweepOutcome<P> {
     let mut block = WideBlock::<W>::zeroed(source.lines());
     let mut tests_run = 0u64;
     while source.next_block(&mut block) {
@@ -758,7 +837,7 @@ pub fn sweep_find<const W: usize, S: BlockSource<W>>(
         if let Some(j) = mask_first(&mask) {
             return SweepOutcome {
                 tests_run,
-                witness: Some(block.extract(j)),
+                witness: Some(block.extract_packed(j)),
             };
         }
     }
@@ -774,10 +853,20 @@ pub fn sweep_find<const W: usize, S: BlockSource<W>>(
 /// committed blocks (no witness was found in them — had one been found,
 /// the sweep would have returned it already).
 pub fn sweep_find_budgeted<const W: usize, S: BlockSource<W>>(
+    source: S,
+    budget: &SweepBudget,
+    violation: impl FnMut(&WideBlock<W>) -> [u64; W],
+) -> Budgeted<SweepOutcome> {
+    sweep_find_budgeted_packed(source, budget, violation)
+}
+
+/// [`sweep_find_budgeted`] with the witness extracted into any
+/// [`ChannelPack`] packing.
+pub fn sweep_find_budgeted_packed<const W: usize, P: ChannelPack, S: BlockSource<W>>(
     mut source: S,
     budget: &SweepBudget,
     mut violation: impl FnMut(&WideBlock<W>) -> [u64; W],
-) -> Budgeted<SweepOutcome> {
+) -> Budgeted<SweepOutcome<P>> {
     let mut meter = BudgetMeter::new(budget);
     let mut block = WideBlock::<W>::zeroed(source.lines());
     let mut tests_run = 0u64;
@@ -790,7 +879,7 @@ pub fn sweep_find_budgeted<const W: usize, S: BlockSource<W>>(
         if let Some(j) = mask_first(&mask) {
             return meter.finish(SweepOutcome {
                 tests_run,
-                witness: Some(block.extract(j)),
+                witness: Some(block.extract_packed(j)),
             });
         }
     }
@@ -817,8 +906,26 @@ pub fn sweep_network_with<const W: usize, S: BlockSource<W>>(
     network: &Network,
     backend: Backend,
 ) -> SweepOutcome {
+    sweep_network_packed_with(source, network, backend)
+}
+
+/// [`sweep_network`] with the witness extracted into any [`ChannelPack`]
+/// packing — the sortedness sweep for networks past 64 lines.
+pub fn sweep_network_packed<const W: usize, P: ChannelPack, S: BlockSource<W>>(
+    source: S,
+    network: &Network,
+) -> SweepOutcome<P> {
+    sweep_network_packed_with(source, network, Backend::active())
+}
+
+/// [`sweep_network_packed`] on an explicit [`Backend`].
+pub fn sweep_network_packed_with<const W: usize, P: ChannelPack, S: BlockSource<W>>(
+    source: S,
+    network: &Network,
+    backend: Backend,
+) -> SweepOutcome<P> {
     let mut work = WideBlock::<W>::zeroed(source.lines());
-    sweep_find(source, |block| {
+    sweep_find_packed(source, |block| {
         work.copy_from(block);
         work.run_with(backend, network);
         work.unsorted_masks_with(backend)
@@ -930,11 +1037,18 @@ pub fn selector_violation_masks_with<const W: usize>(
 /// Drains a source into the materialised `Vec<BitString>` form — the thin
 /// adapter the `Vec`-returning test-set constructors delegate to.
 #[must_use]
-pub fn collect_strings<const W: usize, S: BlockSource<W>>(mut source: S) -> Vec<BitString> {
+pub fn collect_strings<const W: usize, S: BlockSource<W>>(source: S) -> Vec<BitString> {
+    collect_packed(source)
+}
+
+/// Drains a source into a materialised `Vec` of any [`ChannelPack`]
+/// packing — the multi-word form of [`collect_strings`].
+#[must_use]
+pub fn collect_packed<const W: usize, P: ChannelPack, S: BlockSource<W>>(mut source: S) -> Vec<P> {
     let mut block = WideBlock::<W>::zeroed(source.lines());
     let mut out = Vec::new();
     while source.next_block(&mut block) {
-        out.extend((0..block.count()).map(|j| block.extract(j)));
+        out.extend((0..block.count()).map(|j| block.extract_packed(j)));
     }
     out
 }
@@ -1207,5 +1321,161 @@ mod tests {
             check::<8>(&net, backend);
             check::<16>(&net, backend);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Multi-word channel (n > 64) boundary audit — the PR 5 n ∈ {63, 64}
+    // word-boundary audit, one channel word up.
+    // ------------------------------------------------------------------
+
+    use sortnet_combinat::ChannelVec;
+
+    #[test]
+    fn packed_fill_and_extract_round_trip_across_channel_words() {
+        for n in [63usize, 64, 65, 96, 127, 128] {
+            let inputs: Vec<ChannelVec> = (0..100u64)
+                .map(|v| {
+                    ChannelVec::from_fn(n, |i| {
+                        (v.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(i as u32)) & 1 == 1
+                    })
+                })
+                .collect();
+            fn check<const W: usize>(n: usize, inputs: &[ChannelVec]) {
+                let chunk = &inputs[..inputs.len().min(W * 64)];
+                let block = WideBlock::<W>::from_strings(n, chunk);
+                assert_eq!(block.lines(), n);
+                for (j, input) in chunk.iter().enumerate() {
+                    let got: ChannelVec = block.extract_packed(j as u32);
+                    assert_eq!(&got, input, "n={n} W={W} j={j}");
+                }
+            }
+            check::<1>(n, &inputs);
+            check::<2>(n, &inputs);
+            check::<4>(n, &inputs);
+        }
+    }
+
+    #[test]
+    fn counting_fill_is_consistent_past_64_lines() {
+        // On an n > 64 network the range start is still a single word, so
+        // lanes 64.. must be all-zero — and, crucially, the fill must not
+        // overflow-shift by the lane index.  Cross-check against the
+        // explicit per-vector fill at both aligned and unaligned starts.
+        for n in [63usize, 64, 65, 128] {
+            for (start, count) in [(0u64, 64u32), (64, 64), (5, 37), (64, 100), (1, 128)] {
+                let expected: Vec<ChannelVec> = (start..start + u64::from(count))
+                    .map(|v| ChannelVec::from_words(&[v, 0], n.max(1)))
+                    .collect();
+                let range = WideBlock::<2>::from_range(n, start, count);
+                let strings = WideBlock::<2>::from_strings(n, &expected);
+                assert_eq!(range, strings, "n={n} start={start} count={count}");
+            }
+        }
+    }
+
+    #[test]
+    fn network_run_matches_scalar_apply_past_64_lines() {
+        // Comparators crossing the word-63/64 channel boundary, run through
+        // the block engine on every backend, against a per-vector scalar
+        // evaluation on Vec<u8>.
+        let n = 96usize;
+        let net = Network::from_pairs(
+            n,
+            &[
+                (0, 95),
+                (63, 64),
+                (0, 1),
+                (64, 65),
+                (62, 63),
+                (1, 94),
+                (31, 65),
+            ],
+        );
+        let inputs: Vec<ChannelVec> = (0..128u64)
+            .map(|v| {
+                ChannelVec::from_fn(n, |i| {
+                    (v.wrapping_mul(0xA076_1D64_78BD_642F)
+                        .rotate_left((i * 7) as u32))
+                        & 1
+                        == 1
+                })
+            })
+            .collect();
+        let reference: Vec<Vec<u8>> = inputs
+            .iter()
+            .map(|input| {
+                let mut bits = input.to_vec();
+                for c in net.comparators() {
+                    let (i, j) = (c.top(), c.bottom());
+                    if bits[i] > bits[j] {
+                        bits.swap(i, j);
+                    }
+                }
+                bits
+            })
+            .collect();
+        for backend in Backend::runnable() {
+            fn check<const W: usize>(
+                net: &Network,
+                inputs: &[ChannelVec],
+                reference: &[Vec<u8>],
+                backend: Backend,
+            ) {
+                let n = net.lines();
+                for chunk_bounds in [(0, inputs.len().min(W * 64))] {
+                    let chunk = &inputs[chunk_bounds.0..chunk_bounds.1];
+                    let mut block = WideBlock::<W>::from_strings(n, chunk);
+                    block.run_with(backend, net);
+                    for (j, expected) in reference[..chunk.len()].iter().enumerate() {
+                        let got: ChannelVec = block.extract_packed(j as u32);
+                        assert_eq!(&got.to_vec(), expected, "{} W={W} j={j}", backend.name());
+                    }
+                }
+            }
+            check::<1>(&net, &inputs, &reference, backend);
+            check::<4>(&net, &inputs, &reference, backend);
+        }
+    }
+
+    #[test]
+    fn packed_sweep_finds_witnesses_past_64_lines() {
+        // An identity network on 96 lines sorts nothing: the first unsorted
+        // vector of the streamed family must come back as the witness, in
+        // its multi-word packing.
+        let n = 96usize;
+        let net = Network::empty(n);
+        let sorted: Vec<ChannelVec> = (0..=n)
+            .map(|ones| ChannelVec::sorted_of(n - ones, ones))
+            .collect();
+        let outcome: SweepOutcome<ChannelVec> =
+            sweep_network_packed::<4, _, _>(IterSource::new(n, sorted.iter().cloned()), &net);
+        assert_eq!(outcome.tests_run, (n + 1) as u64);
+        assert_eq!(outcome.witness, None, "sorted inputs pass the identity");
+        let mut unsorted = ChannelVec::zeros(n);
+        unsorted.set(64, true); // 1 at line 64, 0 at line 65: unsorted
+        let family: Vec<ChannelVec> = sorted.iter().cloned().chain([unsorted.clone()]).collect();
+        let outcome: SweepOutcome<ChannelVec> =
+            sweep_network_packed::<2, _, _>(IterSource::new(n, family), &net);
+        assert_eq!(outcome.witness, Some(unsorted));
+        // And a real sorter on 96 lines leaves the same family violation-free.
+        let sorter = odd_even_merge_sort(n);
+        let mixed: Vec<ChannelVec> = (0..64u64)
+            .map(|v| {
+                ChannelVec::from_fn(n, |i| {
+                    (v.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(i as u32)) & 1 == 1
+                })
+            })
+            .collect();
+        let outcome: SweepOutcome<ChannelVec> =
+            sweep_network_packed::<1, _, _>(IterSource::new(n, mixed), &sorter);
+        assert_eq!(outcome.witness, None, "a Batcher sorter sorts all samples");
+        assert_eq!(outcome.tests_run, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the supported maximum")]
+    fn extracting_a_bitstring_witness_past_64_lines_panics_cleanly() {
+        let block = WideBlock::<1>::from_strings(65, &[ChannelVec::zeros(65)]);
+        let _ = block.extract(0);
     }
 }

@@ -15,10 +15,14 @@
 //!    ([`coverage_of_universe_with`]) names the detectable faults the base
 //!    set fails to catch (`CoverageReport::missed_faults`).
 //! 2. **Candidates × missed-faults matrix.**  One streamed wide-lane pass
-//!    ([`detection_matrix_from_source`]) grades a candidate family — all
-//!    `2^n` vectors, a structured family, or an explicit list (see
-//!    [`CandidatePool`]) — against exactly the missed faults, without
-//!    materialising the family ahead of the sweep.
+//!    ([`detection_matrix_from_source_packed`] — metered block by block via
+//!    [`detection_matrix_from_source_budgeted`] in the `try_*` entries)
+//!    grades a candidate family — all `2^n` vectors, a structured family,
+//!    or an explicit list (see [`CandidatePool`]) — against exactly the
+//!    missed faults, without materialising the family ahead of the sweep.
+//!    The pass is generic over the vector packing, so candidate pools and
+//!    reports cross the 64-line wall
+//!    ([`ChannelVec`](sortnet_combinat::ChannelVec) for `n > 64`).
 //! 3. **Exact set cover.**  Choosing the fewest candidates whose detection
 //!    columns cover every missed fault is minimum set cover.  The solver
 //!    ([`SetCoverInstance`]) computes a greedy upper bound, two lower
@@ -48,12 +52,16 @@
 use std::collections::HashSet;
 use std::fmt;
 
-use sortnet_combinat::BitString;
-use sortnet_faults::bitsim::{detection_matrix_from_source, try_detection_matrix_from_source};
-use sortnet_faults::coverage::{
-    coverage_of_universe_with, try_coverage_of_universe_with, CoverageReport, FaultSimEngine,
+use sortnet_combinat::{BitString, ChannelPack};
+use sortnet_faults::bitsim::{
+    detection_matrix_from_source_budgeted, detection_matrix_from_source_packed,
 };
-use sortnet_faults::universe::{FaultUniverse, MultiFault};
+use sortnet_faults::coverage::{
+    coverage_of_universe_packed_with, coverage_of_universe_with,
+    try_coverage_of_universe_packed_with, try_coverage_of_universe_with, CoverageReport,
+    FaultSimEngine,
+};
+use sortnet_faults::universe::{FaultUniverse, MultiFault, TestVector};
 use sortnet_faults::DetectionMatrix;
 use sortnet_network::budget::{BudgetMeter, Budgeted, SweepBudget};
 use sortnet_network::error::{self, EngineError};
@@ -447,8 +455,14 @@ impl Search<'_> {
 }
 
 /// The candidate vector family an augmentation is drawn from.
+///
+/// Generic over the vector packing `P` ([`BitString`] by default): a
+/// `CandidatePool<ChannelVec>` carries the same structured families past
+/// the 64-line wall.  The exhaustive variants are refused much earlier
+/// anyway (`n ≥ 32`), so only [`CandidatePool::SortedStrings`] and
+/// [`CandidatePool::Explicit`] are meaningful at multi-word widths.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub enum CandidatePool {
+pub enum CandidatePool<P = BitString> {
     /// Every binary vector (`2^n` candidates): the exact minimum over all
     /// possible augmentations.  Refused for `n ≥ 32` (like every
     /// exhaustive sweep); practical for `n ≲ 20`.
@@ -467,32 +481,36 @@ pub enum CandidatePool {
     SortedFirst,
     /// An explicit candidate list (all of length `n`), e.g. a Theorem
     /// 2.4/2.5 family from [`crate::selector`]/[`crate::merging`].
-    Explicit(Vec<BitString>),
+    Explicit(Vec<P>),
 }
 
-/// The `n + 1` sorted strings `0^{n-k} 1^k`.
-fn sorted_strings(n: usize) -> impl Iterator<Item = BitString> + Clone {
-    (0..=n).map(move |ones| BitString::sorted_with(n - ones, ones))
+/// The `n + 1` sorted strings `0^{n-k} 1^k`, in any packing.
+fn sorted_strings<P: ChannelPack>(n: usize) -> impl Iterator<Item = P> + Clone {
+    (0..=n).map(move |ones| P::sorted_of(n - ones, ones))
 }
 
-impl CandidatePool {
-    /// The pool as a streaming block source over `n` lines.
+impl<P: ChannelPack> CandidatePool<P> {
+    /// The pool as a streaming block source over `n` lines.  The blocks a
+    /// source fills are packing-agnostic (lanes, not vectors), so only the
+    /// candidate echo downstream depends on `P`.
     fn source(&self, n: usize) -> Box<dyn BlockSource<DEFAULT_WIDTH> + '_> {
         match self {
             Self::Exhaustive => Box::new(RangeSource::exhaustive(n)),
-            Self::SortedStrings => Box::new(IterSource::new(n, sorted_strings(n))),
+            Self::SortedStrings => Box::new(IterSource::new(n, sorted_strings::<P>(n))),
             Self::SortedFirst => {
                 // Same budget as the exhaustive pool — the unsorted tail
                 // alone would otherwise slip past RangeSource's n < 32
                 // guard (BitString::all only refuses n >= 64) and grind
-                // through 2^n candidates instead of panicking.
+                // through 2^n candidates instead of panicking.  n < 32
+                // also keeps the single-word tail iterator valid for any
+                // packing.
                 assert!(n < 32, "exhaustive 2^{n} candidate pool refused");
                 Box::new(ChainSource::new(
-                    IterSource::new(n, sorted_strings(n)),
+                    IterSource::new(n, sorted_strings::<BitString>(n)),
                     IterSource::new(n, BitString::all_unsorted(n)),
                 ))
             }
-            Self::Explicit(vectors) => Box::new(IterSource::new(n, vectors.iter().copied())),
+            Self::Explicit(vectors) => Box::new(IterSource::new(n, vectors.iter().cloned())),
         }
     }
 }
@@ -508,27 +526,35 @@ pub struct SearchOptions {
     /// greedy cover is always available, so an exhausted budget degrades
     /// the result to "best found, uncertified", never to nothing.
     pub node_budget: Option<u64>,
-    /// Wall-clock / cancellation budget for the branch-and-bound search
-    /// (checked at every expanded node, counted as a fork).  The default
-    /// is unlimited.  A tripped budget degrades exactly like an exhausted
-    /// `node_budget`: best cover found so far, `certified = false`.
+    /// Wall-clock / cancellation budget.  In the `try_*` entry points it
+    /// meters **both** expensive stages: the streamed candidate ×
+    /// missed-fault matrix (admitted block by block; whole blocks commit
+    /// or are discarded atomically) and the branch-and-bound set-cover
+    /// search (one fork admission per expanded node).  The default is
+    /// unlimited.  A trip degrades to [`Budgeted::Partial`]: the best
+    /// cover found over the committed candidate prefix with
+    /// `certified = false` — never nothing.  The legacy panicking entries
+    /// keep the matrix sweep unmetered (they cannot express a partial
+    /// candidate pool) and meter only the search.
     pub budget: SweepBudget,
 }
 
-/// Result of an augmentation search.
+/// Result of an augmentation search, in the pool's packing `P`.
 #[derive(Clone, Debug, PartialEq)]
-pub struct AugmentationReport {
+pub struct AugmentationReport<P = BitString> {
     /// The detectable faults the base set missed, in universe order — the
     /// elements the augmentation must cover.
     pub missed_faults: Vec<MultiFault>,
     /// Candidates streamed through the detection matrix (before empty and
-    /// duplicate detection columns were folded away).
+    /// duplicate detection columns were folded away).  When a `try_*`
+    /// budget tripped the matrix sweep, this counts only the committed
+    /// whole-block prefix of the pool.
     pub candidates_considered: usize,
     /// The greedy augmentation (upper bound).
-    pub greedy: Vec<BitString>,
+    pub greedy: Vec<P>,
     /// The smallest augmentation found; the certified minimum over the
     /// pool when `certified`.
-    pub minimum: Vec<BitString>,
+    pub minimum: Vec<P>,
     /// Root lower bound on any augmentation from this pool; equals
     /// `minimum.len()` exactly when the bound is tight (it always is once
     /// `certified` and the search closed the gap).
@@ -542,7 +568,7 @@ pub struct AugmentationReport {
     pub witness_faults: Vec<MultiFault>,
 }
 
-impl AugmentationReport {
+impl<P: Clone> AugmentationReport<P> {
     /// `true` when the base set was already complete (nothing missed, so
     /// the empty augmentation is trivially optimal).
     #[must_use]
@@ -552,10 +578,10 @@ impl AugmentationReport {
 
     /// The base test set with the minimum augmentation appended.
     #[must_use]
-    pub fn augmented(&self, base: &[BitString]) -> Vec<BitString> {
+    pub fn augmented(&self, base: &[P]) -> Vec<P> {
         base.iter()
-            .copied()
-            .chain(self.minimum.iter().copied())
+            .cloned()
+            .chain(self.minimum.iter().cloned())
             .collect()
     }
 }
@@ -611,10 +637,29 @@ pub fn augmentation_for_missed(
     pool: &CandidatePool,
     options: &SearchOptions,
 ) -> Result<AugmentationReport, AugmentError> {
+    augmentation_for_missed_packed(network, missed, pool, options)
+}
+
+/// [`augmentation_for_missed`] generic over the vector packing: the
+/// single-word [`BitString`] case is exactly the legacy entry, and
+/// `P = ChannelVec` runs the identical search past the 64-line wall.
+///
+/// # Errors
+/// [`AugmentError::Infeasible`] when some missed fault is detected by no
+/// candidate.
+///
+/// # Panics
+/// As [`augmentation_for_missed`].
+pub fn augmentation_for_missed_packed<P: TestVector>(
+    network: &Network,
+    missed: &[MultiFault],
+    pool: &CandidatePool<P>,
+    options: &SearchOptions,
+) -> Result<AugmentationReport<P>, AugmentError> {
     if missed.is_empty() {
         return Ok(empty_report());
     }
-    let (matrix, candidates) = detection_matrix_from_source::<DEFAULT_WIDTH, _>(
+    let (matrix, candidates) = detection_matrix_from_source_packed::<DEFAULT_WIDTH, P, _>(
         network,
         missed,
         pool.source(network.lines()),
@@ -636,7 +681,7 @@ pub fn augmentation_for_missed(
 }
 
 /// The trivial report for an already-complete base set.
-fn empty_report() -> AugmentationReport {
+fn empty_report<P>() -> AugmentationReport<P> {
     AugmentationReport {
         missed_faults: Vec::new(),
         candidates_considered: 0,
@@ -683,24 +728,24 @@ fn candidate_sets(
 
 /// Maps a set-cover solution back through the kept-column indirection to
 /// candidate vectors and missed faults.
-fn report_from_solution(
+fn report_from_solution<P: Clone>(
     missed: &[MultiFault],
-    candidates: &[BitString],
+    candidates: &[P],
     kept: &[usize],
     solution: &SetCoverSolution,
-) -> AugmentationReport {
+) -> AugmentationReport<P> {
     AugmentationReport {
         missed_faults: missed.to_vec(),
         candidates_considered: candidates.len(),
         greedy: solution
             .greedy
             .iter()
-            .map(|&s| candidates[kept[s]])
+            .map(|&s| candidates[kept[s]].clone())
             .collect(),
         minimum: solution
             .minimum
             .iter()
-            .map(|&s| candidates[kept[s]])
+            .map(|&s| candidates[kept[s]].clone())
             .collect(),
         lower_bound: solution.lower_bound,
         certified: solution.certified,
@@ -719,12 +764,17 @@ fn report_from_solution(
 /// uncoverable-fault count (the legacy [`AugmentError::Infeasible`] keeps
 /// the fault list itself).
 ///
-/// `options.budget` meters the branch-and-bound set-cover search (one
-/// fork admission per expanded node); a trip degrades to
-/// [`Budgeted::Partial`] whose report still carries the greedy cover,
-/// the valid root `lower_bound` certificate, and `certified = false`.
-/// The candidate matrix sweep itself runs unmetered — it is linear in
-/// the pool, while the search is the part that can blow up.
+/// `options.budget` meters both expensive stages.  The streamed candidate
+/// matrix is admitted block by block ([`detection_matrix_from_source_budgeted`]),
+/// with whole blocks committed or discarded atomically; a trip there
+/// degrades to [`Budgeted::Partial`] whose report covers exactly the
+/// committed candidate prefix (`candidates_considered` counts it) with
+/// `certified = false` — and is **never** [`EngineError::InfeasibleCover`],
+/// because a fault uncoverable by the streamed prefix may be covered by
+/// the unstreamed remainder.  The branch-and-bound set-cover search is
+/// metered one fork admission per expanded node; a trip there degrades
+/// the same way, still carrying the greedy cover and the valid root
+/// `lower_bound` certificate.
 ///
 /// # Errors
 /// [`EngineError`] as described above.
@@ -734,28 +784,69 @@ pub fn try_augmentation_for_missed(
     pool: &CandidatePool,
     options: &SearchOptions,
 ) -> Result<Budgeted<AugmentationReport>, EngineError> {
+    try_augmentation_for_missed_packed(network, missed, pool, options)
+}
+
+/// [`try_augmentation_for_missed`] generic over the vector packing —
+/// `P = ChannelVec` runs the identical validated, budgeted search past
+/// the 64-line wall.
+///
+/// # Errors
+/// [`EngineError`] as for [`try_augmentation_for_missed`].
+pub fn try_augmentation_for_missed_packed<P: TestVector>(
+    network: &Network,
+    missed: &[MultiFault],
+    pool: &CandidatePool<P>,
+    options: &SearchOptions,
+) -> Result<Budgeted<AugmentationReport<P>>, EngineError> {
     if missed.is_empty() {
         return Ok(Budgeted::Complete(empty_report()));
     }
     if matches!(pool, CandidatePool::Exhaustive | CandidatePool::SortedFirst) {
         error::ensure_sweepable(network.lines())?;
     }
-    let (matrix, candidates) = try_detection_matrix_from_source::<DEFAULT_WIDTH, _>(
+    let swept = detection_matrix_from_source_budgeted::<DEFAULT_WIDTH, P, _>(
         network,
         missed,
         pool.source(network.lines()),
+        &options.budget,
     )?;
-    let (kept, sets) = candidate_sets(&matrix, missed.len(), candidates.len());
-    let budgeted = SetCoverInstance::new(missed.len(), sets)
-        .solve_budgeted(options.node_budget, &options.budget);
-    let uncoverable = match &budgeted {
-        Budgeted::Complete(s) => s.uncoverable.len(),
-        Budgeted::Partial { best_so_far, .. } => best_so_far.uncoverable.len(),
-    };
-    if uncoverable != 0 {
-        return Err(EngineError::InfeasibleCover { uncoverable });
+    match swept {
+        Budgeted::Complete((matrix, candidates)) => {
+            let (kept, sets) = candidate_sets(&matrix, missed.len(), candidates.len());
+            let budgeted = SetCoverInstance::new(missed.len(), sets)
+                .solve_budgeted(options.node_budget, &options.budget);
+            let uncoverable = match &budgeted {
+                Budgeted::Complete(s) => s.uncoverable.len(),
+                Budgeted::Partial { best_so_far, .. } => best_so_far.uncoverable.len(),
+            };
+            if uncoverable != 0 {
+                return Err(EngineError::InfeasibleCover { uncoverable });
+            }
+            Ok(budgeted.map(|s| report_from_solution(missed, &candidates, &kept, &s)))
+        }
+        Budgeted::Partial {
+            progress,
+            reason,
+            best_so_far: (matrix, candidates),
+        } => {
+            // Whole-block commit means the candidates are exact for the
+            // committed prefix, so the cover search still runs — but a
+            // fault the prefix cannot cover is *unknown*, not infeasible,
+            // and the report is pinned uncertified even when the search
+            // itself closed its bound over the prefix.
+            let (kept, sets) = candidate_sets(&matrix, missed.len(), candidates.len());
+            let mut solution = SetCoverInstance::new(missed.len(), sets)
+                .solve_budgeted(options.node_budget, &options.budget)
+                .into_value();
+            solution.certified = false;
+            Ok(Budgeted::Partial {
+                progress,
+                reason,
+                best_so_far: report_from_solution(missed, &candidates, &kept, &solution),
+            })
+        }
     }
-    Ok(budgeted.map(|s| report_from_solution(missed, &candidates, &kept, &s)))
 }
 
 /// End-to-end minimum augmentation: grades `base_tests` against `universe`
@@ -782,6 +873,30 @@ pub fn minimum_augmentation(
     augmentation_for_missed(network, &coverage.missed_faults, pool, options)
 }
 
+/// [`minimum_augmentation`] generic over the vector packing.
+///
+/// The redundancy-classifying coverage grade still requires an exhaustive
+/// sweep (`n < 24` scalar / `n < 32` bit-parallel), so at multi-word
+/// widths build the missed-fault obligation another way and call
+/// [`augmentation_for_missed_packed`] directly.
+///
+/// # Errors
+/// [`AugmentError::Infeasible`] as for [`minimum_augmentation`].
+///
+/// # Panics
+/// As [`minimum_augmentation`].
+pub fn minimum_augmentation_packed<P: TestVector + Sync>(
+    network: &Network,
+    universe: &dyn FaultUniverse,
+    base_tests: &[P],
+    pool: &CandidatePool<P>,
+    options: &SearchOptions,
+) -> Result<AugmentationReport<P>, AugmentError> {
+    let coverage =
+        coverage_of_universe_packed_with(network, universe, base_tests, true, options.engine);
+    augmentation_for_missed_packed(network, &coverage.missed_faults, pool, options)
+}
+
 /// Typed, budget-aware form of [`minimum_augmentation`]: the coverage
 /// grade goes through
 /// [`try_coverage_of_universe_with`]
@@ -804,6 +919,24 @@ pub fn try_minimum_augmentation(
     let coverage =
         try_coverage_of_universe_with(network, universe, base_tests, true, options.engine)?;
     try_augmentation_for_missed(network, &coverage.missed_faults, pool, options)
+}
+
+/// [`try_minimum_augmentation`] generic over the vector packing — see
+/// [`minimum_augmentation_packed`] for the redundancy-sweep caveat at
+/// multi-word widths.
+///
+/// # Errors
+/// [`EngineError`] as for [`try_minimum_augmentation`].
+pub fn try_minimum_augmentation_packed<P: TestVector + Sync>(
+    network: &Network,
+    universe: &dyn FaultUniverse,
+    base_tests: &[P],
+    pool: &CandidatePool<P>,
+    options: &SearchOptions,
+) -> Result<Budgeted<AugmentationReport<P>>, EngineError> {
+    let coverage =
+        try_coverage_of_universe_packed_with(network, universe, base_tests, true, options.engine)?;
+    try_augmentation_for_missed_packed(network, &coverage.missed_faults, pool, options)
 }
 
 /// The augmentation hook on a coverage report — the
@@ -1178,6 +1311,107 @@ mod tests {
             uncoverable: faults,
         } = legacy;
         assert_eq!(uncoverable, faults.len());
+    }
+
+    #[test]
+    fn packed_augmentation_certifies_past_the_64_line_wall() {
+        use sortnet_combinat::ChannelVec;
+        use sortnet_faults::universe::{multi_detects_channels, Lesion, StuckAt};
+        let n = 96;
+        let net = odd_even_merge_sort(n);
+        let cut = net.size();
+        // Output-segment stuck lesions with known detectors: stuck-at-1 on
+        // an output line below the top is exposed exactly by the all-zeros
+        // input, stuck-at-0 above the bottom exactly by all-ones (the top
+        // stuck at 1 / bottom stuck at 0 would be undetectable: a sorted
+        // output stays sorted).
+        let stuck = |line, value| MultiFault::single(Lesion::Stuck(StuckAt { line, cut, value }));
+        let missed: Vec<MultiFault> = [0usize, 31, 63, 64]
+            .into_iter()
+            .map(|line| stuck(line, true))
+            .chain(
+                [31usize, 63, 64, 95]
+                    .into_iter()
+                    .map(|line| stuck(line, false)),
+            )
+            .collect();
+        let pool = CandidatePool::Explicit(vec![ChannelVec::zeros(n), ChannelVec::ones(n)]);
+        let report =
+            augmentation_for_missed_packed(&net, &missed, &pool, &SearchOptions::default())
+                .unwrap();
+        // Zeros catches exactly the stuck-at-1 half, ones the stuck-at-0
+        // half: the certified minimum is both vectors, and the counting
+        // bound 8/4 is tight.
+        assert!(report.certified);
+        assert_eq!(report.minimum.len(), 2);
+        assert_eq!(report.lower_bound, 2);
+        assert_eq!(report.candidates_considered, 2);
+        for fault in &report.missed_faults {
+            assert!(
+                report
+                    .minimum
+                    .iter()
+                    .any(|t| multi_detects_channels(&net, fault, t)),
+                "augmentation fails to detect {fault}"
+            );
+        }
+        let typed =
+            try_augmentation_for_missed_packed(&net, &missed, &pool, &SearchOptions::default())
+                .unwrap();
+        assert!(typed.is_complete());
+        assert_eq!(typed.into_value(), report);
+        // A half-pool is genuinely infeasible, and says which faults block.
+        let narrow = CandidatePool::Explicit(vec![ChannelVec::zeros(n)]);
+        let AugmentError::Infeasible { uncoverable } =
+            augmentation_for_missed_packed(&net, &missed, &narrow, &SearchOptions::default())
+                .unwrap_err();
+        assert_eq!(uncoverable.len(), 4);
+    }
+
+    #[test]
+    fn budget_tripped_candidate_matrix_degrades_to_partial_not_infeasible() {
+        use sortnet_network::{BudgetReason, Budgeted, SweepBudget};
+        let net = odd_even_merge_sort(6);
+        let base = crate::sorting::binary_testset(6);
+        let coverage =
+            coverage_of_universe_with(&net, &StuckLine, &base, true, FaultSimEngine::BitParallel);
+        let options = SearchOptions {
+            budget: SweepBudget::unlimited().with_max_blocks(0),
+            ..SearchOptions::default()
+        };
+        // Zero admitted blocks: no candidate ever streams, so the missed
+        // faults are uncovered — which must surface as an uncertified
+        // Partial over the empty committed prefix, not as InfeasibleCover.
+        let budgeted = try_augmentation_for_missed(
+            &net,
+            &coverage.missed_faults,
+            &CandidatePool::SortedStrings,
+            &options,
+        )
+        .unwrap();
+        let Budgeted::Partial {
+            reason,
+            best_so_far,
+            ..
+        } = budgeted
+        else {
+            panic!("a tripped matrix sweep must report Partial");
+        };
+        assert_eq!(reason, BudgetReason::Blocks);
+        assert!(!best_so_far.certified);
+        assert_eq!(best_so_far.candidates_considered, 0);
+        assert!(best_so_far.minimum.is_empty());
+        // The same pool unmetered completes the search (PR 3: the sorted
+        // strings restore stuck-line completeness).
+        let complete = try_augmentation_for_missed(
+            &net,
+            &coverage.missed_faults,
+            &CandidatePool::SortedStrings,
+            &SearchOptions::default(),
+        )
+        .unwrap();
+        assert!(complete.is_complete());
+        assert!(complete.into_value().certified);
     }
 
     #[test]

@@ -84,11 +84,15 @@ pub mod zero_one;
 
 pub use adversary::{adversary_network, AdversaryVariant};
 pub use augment::{
-    augmentation_for_missed, minimum_augmentation, try_augmentation_for_missed,
-    try_minimum_augmentation, AugmentError, AugmentationReport, CandidatePool, SearchOptions,
-    SuggestAugmentation,
+    augmentation_for_missed, augmentation_for_missed_packed, minimum_augmentation,
+    minimum_augmentation_packed, try_augmentation_for_missed, try_augmentation_for_missed_packed,
+    try_minimum_augmentation, try_minimum_augmentation_packed, AugmentError, AugmentationReport,
+    CandidatePool, SearchOptions, SuggestAugmentation,
 };
-pub use verify::{try_verify, try_verify_on, Property, Report, Strategy};
+pub use verify::{
+    try_spot_check_sorter_packed, try_spot_check_sorter_packed_on, try_verify, try_verify_on,
+    Property, Report, Strategy,
+};
 
 // The budget/cancellation/error vocabulary lives in `sortnet-network`;
 // re-exported here so test-set callers need only one crate in scope.

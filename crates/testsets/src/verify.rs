@@ -16,10 +16,10 @@
 
 use serde::{Deserialize, Serialize};
 
-use sortnet_combinat::BitString;
+use sortnet_combinat::{channel_words, BitString, ChannelPack};
 use sortnet_network::bitparallel::{self, ParallelismHint};
 use sortnet_network::error::{self, EngineError};
-use sortnet_network::lanes::{Backend, DEFAULT_WIDTH};
+use sortnet_network::lanes::{self, Backend, IterSource, SweepOutcome, DEFAULT_WIDTH};
 use sortnet_network::properties;
 use sortnet_network::Network;
 
@@ -204,6 +204,56 @@ pub fn try_verify_on(
     Ok(verify_on(network, property, strategy, backend))
 }
 
+/// Spot-checks the sorting property over an explicitly supplied packed
+/// 0/1 test family — the `n > 64` verification entry.
+///
+/// The paper's complete test sets only fit under the 64-line wall; past
+/// it the exhaustive and minimal-binary families (`2^n` and
+/// `2^n − n − 1` tests) are out of reach, and verification degrades to
+/// *spot-checking*: sound for rejection (a returned witness is a genuine
+/// unsorted output — the zero–one principle still applies to each test)
+/// but not complete.  The sweep runs on the multi-word channel-lane
+/// engine, so any `n` up to the
+/// [channel-line cap](sortnet_network::error::max_channel_lines) is
+/// admitted; with `P = BitString` it spot-checks `n ≤ 64` networks with
+/// the identical engine.
+///
+/// # Errors
+/// [`EngineError::OversizedNetwork`] past the channel-line cap, and
+/// [`EngineError::InputLengthMismatch`] for a test of the wrong length.
+pub fn try_spot_check_sorter_packed_on<P: ChannelPack>(
+    network: &Network,
+    tests: &[P],
+    backend: Backend,
+) -> Result<SweepOutcome<P>, EngineError> {
+    let n = network.lines();
+    error::ensure_channel_packable(n, channel_words(n))?;
+    for test in tests {
+        if test.len() != n {
+            return Err(EngineError::InputLengthMismatch {
+                expected: n,
+                actual: test.len(),
+            });
+        }
+    }
+    Ok(lanes::sweep_network_packed_with::<DEFAULT_WIDTH, P, _>(
+        IterSource::new(n, tests.to_vec()),
+        network,
+        backend,
+    ))
+}
+
+/// [`try_spot_check_sorter_packed_on`] on [`Backend::active`].
+///
+/// # Errors
+/// As for [`try_spot_check_sorter_packed_on`].
+pub fn try_spot_check_sorter_packed<P: ChannelPack>(
+    network: &Network,
+    tests: &[P],
+) -> Result<SweepOutcome<P>, EngineError> {
+    try_spot_check_sorter_packed_on(network, tests, Backend::active())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -328,6 +378,39 @@ mod tests {
                 what: "selector k",
                 index: 9,
                 limit: 9,
+            }
+        );
+    }
+
+    #[test]
+    fn packed_spot_check_crosses_the_64_line_wall() {
+        use sortnet_combinat::ChannelVec;
+        use sortnet_network::lanes::WideBlock;
+        let n = 96usize;
+        let sorter = odd_even_merge_sort(n);
+        let tests: Vec<ChannelVec> = vec![
+            ChannelVec::from_fn(n, |i| i % 2 == 1),
+            ChannelVec::from_fn(n, |i| i == 0 || i == 65),
+            ChannelVec::from_fn(n, |i| i < 70),
+            ChannelVec::ones(n),
+        ];
+        let outcome = try_spot_check_sorter_packed(&sorter, &tests).unwrap();
+        assert_eq!(outcome.tests_run, tests.len() as u64);
+        assert!(outcome.witness.is_none(), "{:?}", outcome.witness);
+        // A single comparator over 96 lines is nowhere near a sorter; the
+        // witness must be genuine (its fault-free output is unsorted).
+        let broken = Network::from_pairs(n, &[(0, 1)]);
+        let outcome = try_spot_check_sorter_packed(&broken, &tests).unwrap();
+        let witness = outcome.witness.expect("a non-sorter must yield a witness");
+        let mut block = WideBlock::<1>::from_strings(n, std::slice::from_ref(&witness));
+        block.run(&broken);
+        assert!(!block.extract_packed::<ChannelVec>(0).is_sorted());
+        // Guards: wrong-length tests and over-cap networks refuse cleanly.
+        assert_eq!(
+            try_spot_check_sorter_packed(&sorter, &[ChannelVec::zeros(65)]).unwrap_err(),
+            EngineError::InputLengthMismatch {
+                expected: 96,
+                actual: 65
             }
         );
     }

@@ -20,15 +20,18 @@
 //! (`sortnet_testsets::augment`): the certified minimum set of extra
 //! vectors restoring completeness, searched over all `2^n` candidates.
 
-use sortnet_combinat::BitString;
+use sortnet_combinat::{BitString, ChannelVec};
+use sortnet_faults::universe::{Lesion, MultiFault, StuckAt};
 use sortnet_faults::{
-    coverage_of_universe, coverage_of_universe_budgeted_with, Budgeted, FaultSimEngine,
-    FaultUniverse, StandardUniverse, SweepBudget,
+    coverage_of_universe, coverage_of_universe_budgeted_with, coverage_of_universe_packed_with,
+    Budgeted, FaultSimEngine, FaultUniverse, StandardUniverse, SweepBudget,
 };
 use sortnet_network::builders::batcher::odd_even_merge_sort;
 use sortnet_network::lanes::LaneWidth;
 use sortnet_network::random::NetworkSampler;
-use sortnet_testsets::augment::{CandidatePool, SearchOptions, SuggestAugmentation};
+use sortnet_testsets::augment::{
+    augmentation_for_missed_packed, CandidatePool, SearchOptions, SuggestAugmentation,
+};
 use sortnet_testsets::sorting;
 
 fn main() {
@@ -158,6 +161,88 @@ fn main() {
              partial verdict: {}/{} faults proven detected, {} still undecided (counted missed)",
             progress.vectors, best_so_far.detected, best_so_far.total_faults, best_so_far.missed
         ),
+    }
+
+    // Past the 64-line wall: the same pipeline on a Batcher sorter at
+    // n = 96, where test vectors carry ceil(96/64) = 2 channel words.
+    // Complete 2^n families are out of reach at this size, so the sweep
+    // grades a hand-picked probe family (the n + 1 sorted strings plus
+    // seam-heavy unsorted probes), and — since redundancy classification
+    // would itself be a 2^96 sweep — every undecided fault conservatively
+    // counts as missed.
+    let wall_n = 96;
+    let big = odd_even_merge_sort(wall_n);
+    let mut probes: Vec<ChannelVec> = (0..=wall_n)
+        .map(|ones| ChannelVec::sorted_of(wall_n - ones, ones))
+        .collect();
+    probes.extend([
+        ChannelVec::from_fn(wall_n, |i| i % 2 == 1),
+        ChannelVec::from_fn(wall_n, |i| i == 63),
+        ChannelVec::from_fn(wall_n, |i| i >= 64),
+    ]);
+    let wide = coverage_of_universe_packed_with(
+        &big,
+        &StandardUniverse::StuckLine,
+        &probes,
+        false,
+        FaultSimEngine::BitParallelWide(LaneWidth::W4),
+    );
+    println!(
+        "\nPast the 64-line wall: Batcher n={wall_n} ({} comparators), stuck-line\n\
+         universe of {} faults, {} probes ({} channel words each):\n\
+         {} proven detected, {} missed-or-undetectable (no 2^{wall_n} redundancy sweep)",
+        big.size(),
+        wide.total_faults,
+        probes.len(),
+        sortnet_combinat::channel_words(wall_n),
+        wide.detected,
+        wide.missed,
+    );
+
+    // The certified augmentation search at the same width: the smallest
+    // test set detecting eight stuck lesions chosen to straddle the
+    // 63/64 word seam (stuck-at on the output segments of lines around
+    // both word boundaries).  The streamed candidates × faults matrix and
+    // the exact set-cover search run on the multi-word engine; the
+    // all-zeros + all-ones pair is certified minimal, echoing the n ≤ 64
+    // headline result.
+    let seam_targets: Vec<MultiFault> = [
+        (0, true),
+        (31, true),
+        (63, true),
+        (64, true),
+        (31, false),
+        (63, false),
+        (64, false),
+        (95, false),
+    ]
+    .into_iter()
+    .map(|(line, value)| {
+        MultiFault::single(Lesion::Stuck(StuckAt {
+            line,
+            cut: big.size(),
+            value,
+        }))
+    })
+    .collect();
+    let pool = CandidatePool::Explicit(vec![
+        ChannelVec::zeros(wall_n),
+        ChannelVec::ones(wall_n),
+        ChannelVec::from_fn(wall_n, |i| i % 2 == 0),
+    ]);
+    match augmentation_for_missed_packed(&big, &seam_targets, &pool, &SearchOptions::default()) {
+        Ok(fix) => println!(
+            "  seam-straddling stuck lesions: smallest detecting set = {} vector(s) \
+             ({}, lower bound {})",
+            fix.minimum.len(),
+            if fix.certified {
+                "certified minimal"
+            } else {
+                "budget exhausted"
+            },
+            fix.lower_bound,
+        ),
+        Err(e) => println!("  augmentation refused: {e}"),
     }
 
     println!(
