@@ -7,6 +7,10 @@
 //! are asymptotically smaller; this bench shows the corresponding wall-clock
 //! ordering on real sorters and near-sorters.
 
+// The legacy panicking wrappers stay exercised here until stage 3 of the
+// deprecation path (docs/ERRORS.md) reclaims them.
+#![allow(deprecated)]
+
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

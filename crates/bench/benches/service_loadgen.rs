@@ -1,0 +1,86 @@
+//! `service_loadgen` — load-generator replay against the oracle service.
+//!
+//! Not a criterion micro-bench: the unit of interest is the **served
+//! query**, so this binary starts a real [`Service`] (workers, queue,
+//! caches), replays the seeded mixed workload from
+//! `sortnet_service::loadgen` (hot repeats, cold networks, `n > 64`
+//! packed queries, starved budgets) and writes the latency/throughput
+//! summary to `target/bench-summaries/service_loadgen.json` — the same
+//! summary directory the criterion shim uses, resolved the same way.
+//!
+//! Every response is cross-checked against the cold path; the process
+//! exits non-zero on any mismatch, which is what the CI smoke job
+//! asserts.  Knobs: `SERVICE_LOADGEN_QUERIES` (default 400),
+//! `SERVICE_LOADGEN_SEED` (default the repo's pinned grinder seed),
+//! `BENCH_SUMMARY_PATH` (explicit output file).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use sortnet_service::loadgen::{run, LoadgenOptions};
+use sortnet_service::ServiceConfig;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Ok(raw) => {
+            let raw = raw.trim();
+            let parsed = raw
+                .strip_prefix("0x")
+                .map_or_else(|| raw.parse(), |hex| u64::from_str_radix(hex, 16));
+            parsed.unwrap_or_else(|_| panic!("{name} must be an integer, got {raw:?}"))
+        }
+        Err(_) => default,
+    }
+}
+
+/// `target/bench-summaries/service_loadgen.json`, resolved from the
+/// bench executable's location (cargo runs benches with the package
+/// directory as CWD, so a relative path would land in the wrong place).
+fn summary_path() -> PathBuf {
+    if let Ok(explicit) = std::env::var("BENCH_SUMMARY_PATH") {
+        return PathBuf::from(explicit);
+    }
+    let target = std::env::current_exe()
+        .ok()
+        .and_then(|exe| {
+            exe.ancestors()
+                .find(|p| p.file_name().is_some_and(|n| n == "target"))
+                .map(Path::to_path_buf)
+        })
+        .unwrap_or_else(|| PathBuf::from("target"));
+    target.join("bench-summaries").join("service_loadgen.json")
+}
+
+fn main() -> ExitCode {
+    let options = LoadgenOptions {
+        seed: env_u64("SERVICE_LOADGEN_SEED", 0xC0FF_EE00_5EED),
+        queries: env_u64("SERVICE_LOADGEN_QUERIES", 400) as usize,
+        ..LoadgenOptions::default()
+    };
+    let config = ServiceConfig::default();
+    let summary = run(&config, &options);
+    let json = summary.to_json();
+    print!("{json}");
+
+    let path = summary_path();
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("service_loadgen: summary written to {}", path.display()),
+        Err(e) => eprintln!("service_loadgen: could not write {}: {e}", path.display()),
+    }
+
+    if summary.mismatches > 0 {
+        eprintln!(
+            "service_loadgen: {} answer(s) differed from the cold path",
+            summary.mismatches
+        );
+        return ExitCode::FAILURE;
+    }
+    if summary.hits == 0 {
+        eprintln!("service_loadgen: hot repeats produced no cache hits");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

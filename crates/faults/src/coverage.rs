@@ -33,11 +33,12 @@ use crate::universe::{
 /// proptest suite, the differential-universe suite and experiment E10
 /// cross-check them; the bit-parallel report is independent of the lane
 /// width); [`FaultSimEngine::Scalar`] is retained as the oracle the
-/// bit-parallel paths are validated against.  One bounds difference: with
-/// `check_redundancy` the scalar engine's per-fault sweep refuses `n ≥ 24`
-/// ([`is_multi_fault_redundant`]) while the bit-parallel engine accepts up
-/// to `n < 32` ([`redundant_faults_multi_wide`]), so oracle comparisons
-/// with redundancy checking are limited to `n < 24`.
+/// bit-parallel paths are validated against.  All engines share one
+/// redundancy-sweep bound: with `check_redundancy` both the scalar
+/// per-fault sweep ([`is_multi_fault_redundant`]) and the bit-parallel
+/// batch sweep ([`redundant_faults_multi_wide`]) guard through the
+/// canonical `ensure_sweepable` (`n < 32`) with one pinned error text,
+/// so the engines agree on exactly which inputs are sweepable.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum FaultSimEngine {
     /// One fault × one test per call
@@ -140,6 +141,11 @@ fn bitparallel_results<const W: usize, P: TestVector>(
 /// Set `check_redundancy` to `true` to classify undetected faults as
 /// redundant (needs an exhaustive sweep, so it is only advisable for
 /// `n ≲ 24`); with `false`, undetected faults are counted as missed.
+#[deprecated(
+    since = "0.1.0",
+    note = "panics on refused sweeps; use `try_coverage_of_universe` and match the typed error"
+)]
+#[allow(deprecated)] // the wrappers delegate to each other until stage 3 reclaims them
 #[must_use]
 pub fn coverage_of_universe(
     network: &Network,
@@ -162,6 +168,10 @@ pub fn coverage_of_universe(
 /// The universe is enumerated (lazily) exactly once; the report's fault
 /// lists are in enumeration order for every engine, so reports from
 /// different engines are comparable with `==`.
+#[deprecated(
+    since = "0.1.0",
+    note = "panics on refused sweeps; use `try_coverage_of_universe_with` and match the typed error"
+)]
 #[must_use]
 pub fn coverage_of_universe_with(
     network: &Network,
@@ -203,7 +213,16 @@ pub fn coverage_of_multifaults_with(
 /// monomorphised `n ≤ 64` path the named entry points delegate to;
 /// `P = ChannelVec` grades networks past the 64-line wall (where the
 /// exhaustive redundancy sweep is inadmissible, so `check_redundancy`
-/// panics there exactly as an oversized `n ≤ 64` sweep would).
+/// is refused *up front*, before any detection sweep runs — see below).
+///
+/// # Panics
+/// With `check_redundancy` on a network where the exhaustive `2^n`
+/// sweep is inadmissible (`n ≥ 32` — `ensure_sweepable`), the call
+/// panics immediately at this boundary with the pinned
+/// `SweepTooLarge` text: callers never pay a full first-detection
+/// sweep only to be refused deep inside the redundancy phase.  The
+/// typed siblings ([`try_coverage_of_universe_packed_with`]) return
+/// the same refusal as an [`EngineError`].
 #[must_use]
 pub fn coverage_of_multifaults_packed_with<P: TestVector + Sync>(
     network: &Network,
@@ -212,6 +231,11 @@ pub fn coverage_of_multifaults_packed_with<P: TestVector + Sync>(
     check_redundancy: bool,
     engine: FaultSimEngine,
 ) -> CoverageReport {
+    if check_redundancy {
+        if let Err(e) = error::ensure_sweepable(network.lines()) {
+            panic!("{e}");
+        }
+    }
     let (first, redundant): (Vec<Option<usize>>, Vec<bool>) = match engine {
         FaultSimEngine::Scalar => faults
             .par_iter()
@@ -265,11 +289,29 @@ pub fn coverage_of_universe_packed_with<P: TestVector + Sync>(
 /// as missed — which is also how budgeted grades stay conservative:
 /// undecided faults land in `missed`, never in `detected` or
 /// `redundant_faults`.
-fn summarise_verdicts(
+///
+/// Public so external batching layers (the oracle service) that derive
+/// per-query verdicts from a shared [`DetectionMatrix`] pass fold them
+/// through *this* function and stay bit-identical to the cold path —
+/// reimplementing the fold is how summary statistics drift.
+///
+/// [`DetectionMatrix`]: crate::bitsim::DetectionMatrix
+///
+/// # Panics
+/// Panics if `first` and `redundant` do not both have one entry per
+/// fault.
+#[must_use]
+pub fn summarise_verdicts(
     faults: &[MultiFault],
     first: &[Option<usize>],
     redundant: &[bool],
 ) -> CoverageReport {
+    assert_eq!(first.len(), faults.len(), "one first-detection per fault");
+    assert_eq!(
+        redundant.len(),
+        faults.len(),
+        "one redundancy bit per fault"
+    );
     // One pass folds the per-fault verdicts into every summary statistic —
     // the multi-pass zip/collect chain this replaces was a visible slice of
     // quadratic pair-universe sweeps.
@@ -319,21 +361,28 @@ fn summarise_verdicts(
 
 /// Validates a coverage grade up front and enumerates the universe.
 ///
-/// Typed refusals: the network must fit the word-packed engines
-/// (`n <= 64`), every test must have the network's length, the universe
-/// must be non-empty for this network (grading nothing is a caller
-/// bug — [`EngineError::EmptyUniverse`]; note the *panicking* API
-/// instead reports an empty universe as vacuously complete), its size
+/// Typed refusals: the network must fit the chosen packing, every test
+/// must have the network's length, the universe must be non-empty for
+/// this network (grading nothing is a caller bug —
+/// [`EngineError::EmptyUniverse`]; note the *panicking* API instead
+/// reports an empty universe as vacuously complete), its size
 /// computation must not overflow, and — when `check_redundancy` is
 /// requested — the exhaustive `2^n` redundancy sweep must be admissible
-/// for the chosen engine (`n < 24` scalar, `n < 32` bit-parallel),
-/// even if it later turns out no fault is missed.
-fn check_coverage_inputs<P: TestVector>(
+/// (`n < 32`, the engine-independent `ensure_sweepable` bound), even if
+/// it later turns out no fault is missed.
+/// Public for external batching layers (the oracle service): a batched
+/// grade that shares one detection matrix across queries must admit or
+/// refuse each query by *these* rules — the same ones the cold entry
+/// points apply — or batched and cold answers diverge on the error
+/// surface.
+///
+/// # Errors
+/// As listed above.
+pub fn check_coverage_inputs<P: TestVector>(
     network: &Network,
     universe: &dyn FaultUniverse,
     tests: &[P],
     check_redundancy: bool,
-    engine: FaultSimEngine,
 ) -> Result<Vec<MultiFault>, EngineError> {
     P::ensure_packable(network.lines())?;
     for test in tests {
@@ -349,19 +398,10 @@ fn check_coverage_inputs<P: TestVector>(
         return Err(EngineError::EmptyUniverse);
     }
     if check_redundancy {
-        match engine {
-            FaultSimEngine::Scalar => {
-                if network.lines() >= 24 {
-                    return Err(EngineError::OversizedNetwork {
-                        lines: network.lines(),
-                        max: 23,
-                    });
-                }
-            }
-            FaultSimEngine::BitParallel | FaultSimEngine::BitParallelWide(_) => {
-                error::ensure_sweepable(network.lines())?;
-            }
-        }
+        // One canonical bound for every engine: the scalar per-fault sweep
+        // and the bit-parallel batch sweep agree on which inputs are
+        // sweepable (and refuse with the same pinned text).
+        error::ensure_sweepable(network.lines())?;
     }
     let mut faults = Vec::with_capacity(len);
     faults.extend(universe.iter(network));
@@ -400,7 +440,7 @@ pub fn try_coverage_of_universe_packed_with<P: TestVector + Sync>(
     check_redundancy: bool,
     engine: FaultSimEngine,
 ) -> Result<CoverageReport, EngineError> {
-    let faults = check_coverage_inputs(network, universe, tests, check_redundancy, engine)?;
+    let faults = check_coverage_inputs(network, universe, tests, check_redundancy)?;
     Ok(coverage_of_multifaults_packed_with(
         network,
         &faults,
@@ -451,6 +491,103 @@ fn bitparallel_results_metered<const W: usize, P: TestVector>(
     (first, redundant)
 }
 
+/// One worker's slice of a pooled budgeted scalar grade, joined back
+/// into the caller's verdict arrays and meter by
+/// [`scalar_results_pooled`].
+struct ScalarChunkOutcome {
+    /// Index of the chunk's first fault in the undivided fault list.
+    start: usize,
+    first: Vec<Option<usize>>,
+    redundant: Vec<bool>,
+    progress: sortnet_network::budget::SweepProgress,
+    tripped: Option<sortnet_network::budget::BudgetReason>,
+    worker: std::thread::ThreadId,
+}
+
+/// The scalar engine's budgeted grade, fanned out on the rayon-shim
+/// pool: the fault list is split into one contiguous chunk per worker,
+/// each chunk runs the sequential metered scan under its own
+/// [`BudgetMeter`] holding a share of the caps
+/// ([`SweepBudget::split_shares`] — deadline and cancel token shared),
+/// and the per-chunk meters are merged into `meter` at the join
+/// ([`BudgetMeter::absorb`]).  Within a chunk the whole-block-commit
+/// invariant is untouched: a fault's verdict lands in the output only
+/// when its block (full test scan, or `2^n` redundancy sweep) was
+/// admitted, so undecided faults stay `None`/`false` and summarise as
+/// conservative misses.
+///
+/// `workers` caps the fan-out (`None` = the pool's
+/// [`rayon::current_num_threads`], i.e. `RAYON_NUM_THREADS` or the
+/// machine width); it is injectable so tests can pin the worker count
+/// without mutating the process environment.  The returned thread ids
+/// (one per chunk) exist for those tests.
+#[allow(clippy::too_many_arguments)]
+fn scalar_results_pooled<P: TestVector + Sync>(
+    network: &Network,
+    faults: &[MultiFault],
+    tests: &[P],
+    check_redundancy: bool,
+    budget: &SweepBudget,
+    meter: &mut BudgetMeter,
+    workers: Option<usize>,
+) -> (Vec<Option<usize>>, Vec<bool>, Vec<std::thread::ThreadId>) {
+    let workers = workers
+        .unwrap_or_else(rayon::current_num_threads)
+        .clamp(1, faults.len().max(1));
+    let shares = budget.split_shares(workers);
+    // Chunk bounds à la slice::chunks: the first `len % workers` chunks
+    // take one extra fault.
+    let base = faults.len() / workers;
+    let extra = faults.len() % workers;
+    let mut chunks: Vec<(usize, usize, SweepBudget)> = Vec::with_capacity(workers);
+    let mut start = 0usize;
+    for (i, share) in shares.into_iter().enumerate() {
+        let end = start + base + usize::from(i < extra);
+        chunks.push((start, end, share));
+        start = end;
+    }
+    let outcomes: Vec<ScalarChunkOutcome> = chunks
+        .into_par_iter()
+        .with_max_threads(workers)
+        .map(|(start, end, share)| {
+            let mut chunk_meter = BudgetMeter::new(&share);
+            let mut first = vec![None; end - start];
+            let mut redundant = vec![false; end - start];
+            for (j, fault) in faults[start..end].iter().enumerate() {
+                if !chunk_meter.admit_block(tests.len() as u64) {
+                    break;
+                }
+                first[j] = multi_first_detection_index_packed(network, fault, tests);
+                if first[j].is_none() && check_redundancy {
+                    if !chunk_meter.admit_block(1u64 << network.lines()) {
+                        break;
+                    }
+                    redundant[j] = is_multi_fault_redundant(network, fault);
+                }
+            }
+            ScalarChunkOutcome {
+                start,
+                first,
+                redundant,
+                progress: chunk_meter.progress(),
+                tripped: chunk_meter.tripped(),
+                worker: std::thread::current().id(),
+            }
+        })
+        .collect();
+    let mut first = vec![None; faults.len()];
+    let mut redundant = vec![false; faults.len()];
+    let mut worker_ids = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        let end = outcome.start + outcome.first.len();
+        first[outcome.start..end].clone_from_slice(&outcome.first);
+        redundant[outcome.start..end].clone_from_slice(&outcome.redundant);
+        meter.absorb(outcome.progress, outcome.tripped);
+        worker_ids.push(outcome.worker);
+    }
+    (first, redundant, worker_ids)
+}
+
 /// [`coverage_of_universe_with`] under a [`SweepBudget`]: one meter
 /// spans the first-detection sweep *and* the redundancy sweep, so the
 /// budget bounds the whole grade rather than each phase separately.
@@ -462,8 +599,10 @@ fn bitparallel_results_metered<const W: usize, P: TestVector>(
 /// `coverage` a lower bound on the true ratio.  The bit-parallel
 /// engines meter per test block and per fork; the scalar engine meters
 /// per fault (each fault's full test scan is one block, its redundancy
-/// sweep another) and runs sequentially — a budgeted scalar grade
-/// trades the rayon fan-out for cancellability.
+/// sweep another) and fans out on the rayon-shim pool with the budget
+/// split into per-worker shares ([`SweepBudget::split_shares`]) that
+/// are merged back at the join — a budgeted scalar grade keeps both
+/// the fan-out and cancellability.
 pub fn coverage_of_universe_budgeted_with(
     network: &Network,
     universe: &dyn FaultUniverse,
@@ -493,24 +632,19 @@ pub fn coverage_of_universe_budgeted_packed_with<P: TestVector + Sync>(
     engine: FaultSimEngine,
     budget: &SweepBudget,
 ) -> Result<Budgeted<CoverageReport>, EngineError> {
-    let faults = check_coverage_inputs(network, universe, tests, check_redundancy, engine)?;
+    let faults = check_coverage_inputs(network, universe, tests, check_redundancy)?;
     let mut meter = BudgetMeter::new(budget);
     let (first, redundant): (Vec<Option<usize>>, Vec<bool>) = match engine {
         FaultSimEngine::Scalar => {
-            let mut first = vec![None; faults.len()];
-            let mut redundant = vec![false; faults.len()];
-            for (i, fault) in faults.iter().enumerate() {
-                if !meter.admit_block(tests.len() as u64) {
-                    break;
-                }
-                first[i] = multi_first_detection_index_packed(network, fault, tests);
-                if first[i].is_none() && check_redundancy {
-                    if !meter.admit_block(1u64 << network.lines()) {
-                        break;
-                    }
-                    redundant[i] = is_multi_fault_redundant(network, fault);
-                }
-            }
+            let (first, redundant, _workers) = scalar_results_pooled(
+                network,
+                &faults,
+                tests,
+                check_redundancy,
+                budget,
+                &mut meter,
+                None,
+            );
             (first, redundant)
         }
         FaultSimEngine::BitParallel => bitparallel_results_metered::<DEFAULT_WIDTH, P>(
@@ -584,6 +718,11 @@ pub fn coverage_of_universe_budgeted(
 /// sequence `tests` and summarises detection, using the default
 /// [`FaultSimEngine::BitParallel`] engine — [`coverage_of_universe`] over
 /// [`SingleComparator`].
+#[deprecated(
+    since = "0.1.0",
+    note = "panics on refused sweeps; use `try_coverage_of_universe` over `SingleComparator`"
+)]
+#[allow(deprecated)] // the wrappers delegate to each other until stage 3 reclaims them
 #[must_use]
 pub fn coverage_of_tests(
     network: &Network,
@@ -595,6 +734,11 @@ pub fn coverage_of_tests(
 
 /// [`coverage_of_tests`] with an explicit engine choice — the scalar path
 /// is the cross-check oracle for the bit-parallel one.
+#[deprecated(
+    since = "0.1.0",
+    note = "panics on refused sweeps; use `try_coverage_of_universe_with` over `SingleComparator`"
+)]
+#[allow(deprecated)] // the wrappers delegate to each other until stage 3 reclaims them
 #[must_use]
 pub fn coverage_of_tests_with(
     network: &Network,
@@ -606,6 +750,7 @@ pub fn coverage_of_tests_with(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the tests keep the legacy wrappers covered until stage 3
 mod tests {
     use super::*;
     use crate::universe::{StandardUniverse, StuckLine};
@@ -804,25 +949,76 @@ mod tests {
                 actual: 5
             }
         );
-        // Redundancy sweeps are checked for admissibility even though the
-        // panicking path would only trip once a fault is actually missed.
+        // Redundancy sweeps are checked for admissibility up front, and
+        // every engine shares the one canonical `ensure_sweepable` bound
+        // with a single pinned error text.
         let wide = sortnet_network::Network::empty(33);
-        assert_eq!(
-            try_coverage_of_universe(&wide, &StuckLine, &[], true).unwrap_err(),
-            EngineError::SweepTooLarge { lines: 33 }
+        for engine in [FaultSimEngine::Scalar, FaultSimEngine::BitParallel] {
+            assert_eq!(
+                try_coverage_of_universe_with(&wide, &StuckLine, &[], true, engine).unwrap_err(),
+                EngineError::SweepTooLarge { lines: 33 },
+                "{engine:?}"
+            );
+        }
+        // n = 24 (the old scalar-only refusal point) is now admissible on
+        // every engine — the unified guard sits at n < 32.
+        let tests24 = vec![BitString::from_word(0, 24)];
+        let net24 = sortnet_network::Network::from_pairs(24, &[(0, 1)]);
+        assert!(try_coverage_of_universe_with(
+            &net24,
+            &SingleComparator,
+            &tests24,
+            false,
+            FaultSimEngine::Scalar
+        )
+        .is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "exhaustive 2^96 sweep refused")]
+    fn packed_redundancy_grade_is_refused_up_front() {
+        // Before the up-front guard, this call paid the whole n = 96
+        // first-detection sweep and only then hit `SweepTooLarge` deep in
+        // the redundancy phase; now it panics at the boundary with the
+        // same pinned text.
+        use sortnet_combinat::ChannelVec;
+        let net = Network::from_pairs(96, &[(0, 95)]);
+        let tests = vec![ChannelVec::zeros(96)];
+        let _ = coverage_of_universe_packed_with(
+            &net,
+            &StuckLine,
+            &tests,
+            true,
+            FaultSimEngine::BitParallel,
         );
-        let scalar_wide = sortnet_network::Network::empty(24);
-        assert_eq!(
-            try_coverage_of_universe_with(
-                &scalar_wide,
-                &StuckLine,
-                &[],
-                true,
-                FaultSimEngine::Scalar
-            )
-            .unwrap_err(),
-            EngineError::OversizedNetwork { lines: 24, max: 23 }
-        );
+    }
+
+    #[test]
+    fn scalar_and_bitparallel_agree_on_redundancy_at_the_old_scalar_bound() {
+        // n = 24 sat in the scalar-refused / bit-parallel-accepted gap
+        // before the guards were unified; pin that the scalar engine now
+        // accepts it (guard-wise) by grading a trivially small universe
+        // with redundancy on a 24-line network under a budget that keeps
+        // the exhaustive sweep affordable.
+        let net = sortnet_network::Network::from_pairs(24, &[(0, 1)]);
+        let tests = vec![BitString::from_word(1 << 1, 24)];
+        // One block: the first fault's test scan is admitted, the 2^24
+        // redundancy sweep is budget-refused — the guard acceptance is
+        // what's under test, not the exhaustive sweep itself.
+        let budget = SweepBudget::unlimited().with_max_blocks(1);
+        let scalar = coverage_of_universe_budgeted_with(
+            &net,
+            &SingleComparator,
+            &tests,
+            true,
+            FaultSimEngine::Scalar,
+            &budget,
+        )
+        .unwrap();
+        // The grade ran (budget bounds the exhaustive part); the point is
+        // the guard no longer refuses n = 24 on the scalar engine.
+        let report = scalar.into_value();
+        assert_eq!(report.total_faults, SingleComparator.len(&net));
     }
 
     #[test]
@@ -894,6 +1090,66 @@ mod tests {
         assert!(partial.detected <= full.detected);
         assert!(partial.missed >= full.missed);
         assert!(partial.coverage <= full.coverage + f64::EPSILON);
+    }
+
+    #[test]
+    fn budgeted_scalar_grade_fans_out_on_the_pool_and_commits_whole_blocks() {
+        use sortnet_network::budget::BudgetReason;
+        // The budgeted scalar path used to drop to a sequential loop; pin
+        // that it now runs on the rayon-shim pool.  The worker count is
+        // injected (the `RAYON_NUM_THREADS=4` environment knob maps onto
+        // the same cap via `rayon::current_num_threads`, but mutating the
+        // environment from a test is unsound in Rust 2024, and this
+        // container may expose a single CPU).
+        let net = odd_even_merge_sort(7);
+        let tests = sorting::binary_testset(7);
+        let faults: Vec<MultiFault> = StuckLine.iter(&net).collect();
+        assert!(faults.len() >= 4);
+
+        // Unlimited budget: ≥ 2 distinct workers, and the joined verdicts
+        // are bit-identical to the unbudgeted scalar grade.
+        let budget = SweepBudget::unlimited();
+        let mut meter = BudgetMeter::new(&budget);
+        let (first, redundant, workers) =
+            scalar_results_pooled(&net, &faults, &tests, false, &budget, &mut meter, Some(4));
+        let distinct: std::collections::HashSet<_> = workers.into_iter().collect();
+        assert!(
+            distinct.len() >= 2,
+            "budgeted scalar grade ran on {} worker(s) under a 4-thread pool",
+            distinct.len()
+        );
+        assert_eq!(meter.tripped(), None);
+        assert_eq!(
+            summarise_verdicts(&faults, &first, &redundant),
+            coverage_of_multifaults_packed_with(
+                &net,
+                &faults,
+                &tests,
+                false,
+                FaultSimEngine::Scalar
+            )
+        );
+
+        // Capped budget: the whole-block-commit invariant holds across the
+        // join — every committed block is one whole fault × all-tests scan
+        // (so vectors = blocks × |tests| exactly), the merged progress
+        // never exceeds the undivided cap, and only committed faults carry
+        // verdicts.
+        let cap = 5u64;
+        let budget = SweepBudget::unlimited().with_max_blocks(cap);
+        let mut meter = BudgetMeter::new(&budget);
+        let (first, _, _) =
+            scalar_results_pooled(&net, &faults, &tests, false, &budget, &mut meter, Some(4));
+        assert_eq!(meter.tripped(), Some(BudgetReason::Blocks));
+        let progress = meter.progress();
+        assert!(progress.blocks <= cap, "{progress:?}");
+        assert_eq!(progress.vectors, progress.blocks * tests.len() as u64);
+        let decided = first.iter().filter(|f| f.is_some()).count() as u64;
+        assert!(
+            decided <= progress.blocks,
+            "{decided} > {}",
+            progress.blocks
+        );
     }
 
     #[test]

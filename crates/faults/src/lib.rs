@@ -70,6 +70,7 @@ pub use bitsim::{
     try_first_detections_multi_packed_on, try_first_detections_multi_wide,
     try_redundant_faults_multi_on, try_redundant_faults_multi_wide, DetectionMatrix,
 };
+#[allow(deprecated)] // the legacy wrappers stay re-exported until stage 3 reclaims them
 pub use coverage::{
     coverage_of_multifaults_packed_with, coverage_of_multifaults_with, coverage_of_tests,
     coverage_of_tests_with, coverage_of_universe, coverage_of_universe_budgeted,

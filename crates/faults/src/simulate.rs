@@ -249,26 +249,27 @@ pub fn try_detects(
 /// detect it).
 ///
 /// # Panics
-/// Panics if `n ≥ 24`.
+/// Panics when the exhaustive `2^n` sweep is inadmissible (`n ≥ 32` —
+/// the canonical [`error::ensure_sweepable`] bound, shared with the
+/// bit-parallel engine).
 #[must_use]
 pub fn is_fault_redundant(network: &Network, fault: &Fault) -> bool {
     let n = network.lines();
-    assert!(n < 24, "exhaustive redundancy check refused for n = {n}");
+    if let Err(e) = error::ensure_sweepable(n) {
+        panic!("{e}");
+    }
     BitString::all(n).all(|s| faulty_apply_bits(network, fault, &s).is_sorted())
 }
 
 /// [`is_fault_redundant`] with the size guard reported as a typed
-/// [`EngineError`] (the scalar exhaustive check is refused for
-/// `n ≥ 24`; use the bit-parallel sweep for larger networks).
+/// [`EngineError`] (the exhaustive check is refused for `n ≥ 32`,
+/// exactly as in the bit-parallel sweep).
 ///
 /// # Errors
-/// [`EngineError::OversizedNetwork`] when `n ≥ 24`;
+/// [`EngineError::SweepTooLarge`] when `n ≥ 32`;
 /// [`EngineError::IndexOutOfRange`] for an out-of-range fault index.
 pub fn try_is_fault_redundant(network: &Network, fault: &Fault) -> Result<bool, EngineError> {
-    let n = network.lines();
-    if n >= 24 {
-        return Err(EngineError::OversizedNetwork { lines: n, max: 23 });
-    }
+    error::ensure_sweepable(network.lines())?;
     if fault.comparator >= network.size() {
         return Err(EngineError::IndexOutOfRange {
             what: "fault",

@@ -587,11 +587,15 @@ pub fn multi_first_detection_index_packed<P: TestVector>(
 /// ([`crate::bitsim::redundant_faults_multi_wide`]) must agree.
 ///
 /// # Panics
-/// Panics if `n ≥ 24` (use the bit-parallel sweep for larger `n`).
+/// Panics when the exhaustive `2^n` sweep is inadmissible (`n ≥ 32` —
+/// the canonical [`error::ensure_sweepable`] bound, shared with the
+/// bit-parallel engine so the two agree on which inputs are sweepable).
 #[must_use]
 pub fn is_multi_fault_redundant(network: &Network, fault: &MultiFault) -> bool {
     let n = network.lines();
-    assert!(n < 24, "exhaustive redundancy check refused for n = {n}");
+    if let Err(e) = error::ensure_sweepable(n) {
+        panic!("{e}");
+    }
     BitString::all(n).all(|s| multi_faulty_apply_bits(network, fault, &s).is_sorted())
 }
 
@@ -599,17 +603,14 @@ pub fn is_multi_fault_redundant(network: &Network, fault: &MultiFault) -> bool {
 /// [`EngineError`].
 ///
 /// # Errors
-/// [`EngineError::OversizedNetwork`] when `n ≥ 24` (use the
-/// bit-parallel sweep for larger networks);
-/// [`EngineError::IndexOutOfRange`] when a lesion does not fit.
+/// [`EngineError::SweepTooLarge`] when `n ≥ 32` (the canonical
+/// [`error::ensure_sweepable`] bound, shared with the bit-parallel
+/// engine); [`EngineError::IndexOutOfRange`] when a lesion does not fit.
 pub fn try_is_multi_fault_redundant(
     network: &Network,
     fault: &MultiFault,
 ) -> Result<bool, EngineError> {
-    let n = network.lines();
-    if n >= 24 {
-        return Err(EngineError::OversizedNetwork { lines: n, max: 23 });
-    }
+    error::ensure_sweepable(network.lines())?;
     fault.check_in_range(network)?;
     Ok(is_multi_fault_redundant(network, fault))
 }

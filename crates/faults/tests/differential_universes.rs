@@ -22,6 +22,10 @@
 //! The `n = 8` Batcher rows double as pins for the stuck-line and
 //! fault-pair results the PR's acceptance criteria name.
 
+// The legacy panicking wrappers stay exercised here until stage 3 of the
+// deprecation path (docs/ERRORS.md) reclaims them.
+#![allow(deprecated)]
+
 use proptest::prelude::*;
 
 use sortnet_combinat::BitString;

@@ -386,3 +386,124 @@ pub fn run(config: &GrinderConfig) -> Budgeted<Vec<Mismatch>> {
     }
     meter.finish(mismatches)
 }
+
+/// Tally of one [`grind_service_cache`] run.
+#[derive(Clone, Debug, Default)]
+pub struct CacheGrindReport {
+    /// Requests submitted across all legs.
+    pub queries: u64,
+    /// Answer-cache hits observed (every hit was compared to cold).
+    pub hits: u64,
+    /// Answer-cache evictions forced by the tiny capacity.
+    pub evictions: u64,
+    /// Human-readable descriptions of every service-vs-cold divergence;
+    /// empty on a clean grind.
+    pub mismatches: Vec<String>,
+}
+
+/// Differential grind of the oracle service's cache: every served
+/// answer — cold, batched, cached, and cached-after-eviction — must be
+/// bit-identical to [`sortnet_service::answer_cold`] on the same
+/// request.
+///
+/// Legs: lane widths W ∈ {1, 4} × line counts n ∈ {8, 96}, each against
+/// a service whose answer cache holds only four entries while the
+/// request pool holds six distinct coverage queries — so steady-state
+/// traffic rotates entries through eviction and re-insertion, and the
+/// comparison covers answers served *after* their cache line was
+/// evicted and recomputed.  The lane-ops backend dimension comes from
+/// the process environment ([`Backend::active`], forced scalar in one
+/// CI leg), like every other grinder strategy.
+///
+/// The report carries hit/eviction counters so callers can assert the
+/// grind actually exercised the cache, not just the cold path.
+#[must_use]
+pub fn grind_service_cache(seed: u64, queries_per_leg: u64) -> CacheGrindReport {
+    use sortnet_network::lanes::LaneWidth;
+    use sortnet_service::{CacheStatus, Query, Request, Service, ServiceConfig};
+
+    let mut report = CacheGrindReport::default();
+    for (width, engine) in [
+        (1usize, FaultSimEngine::BitParallelWide(LaneWidth::W1)),
+        (4, FaultSimEngine::BitParallelWide(LaneWidth::W4)),
+    ] {
+        for n in [8usize, 96] {
+            let mut rng =
+                StdRng::seed_from_u64(seed.wrapping_add(((width as u64) << 32) | n as u64));
+            // Six distinct coverage requests against a four-entry cache:
+            // rotation forces evictions while repeats force hits.
+            let pool: Vec<Request> = (0..6)
+                .map(|_| {
+                    let mut sampler = NetworkSampler::new(rng.next_u64());
+                    let network = sampler.network(n, rng.random_range(1usize..9));
+                    let test_count = rng.random_range(1usize..9);
+                    let tests: Vec<ChannelVec> = (0..test_count)
+                        .map(|_| {
+                            let words: Vec<u64> =
+                                (0..n.div_ceil(64)).map(|_| rng.next_u64()).collect();
+                            ChannelVec::from_words(&words, n)
+                        })
+                        .collect();
+                    Request {
+                        network,
+                        query: Query::Coverage {
+                            universe: StandardUniverse::StuckLine,
+                            tests,
+                            check_redundancy: n < 32 && rng.random_range(0u32..2) == 0,
+                        },
+                        budget: None,
+                    }
+                })
+                .collect();
+            let cold: Vec<_> = pool
+                .iter()
+                .map(|r| answer_cold_outcome(r, engine))
+                .collect();
+
+            let service = Service::start(ServiceConfig {
+                workers: 2,
+                max_batch: 4,
+                engine,
+                answer_cache: 4,
+                matrix_cache: 2,
+                ..ServiceConfig::default()
+            });
+            for _ in 0..queries_per_leg {
+                let pick = rng.random_range(0..pool.len());
+                let response = service.submit(pool[pick].clone());
+                report.queries += 1;
+                if response.cache == CacheStatus::Hit {
+                    report.hits += 1;
+                }
+                let (outcome, completion) = &cold[pick];
+                if &response.outcome != outcome || &response.completion != completion {
+                    report.mismatches.push(format!(
+                        "W{width} n={n} pool[{pick}] ({:?}): service answered {:?}/{:?}, \
+                         cold path answered {outcome:?}/{completion:?}",
+                        response.cache, response.outcome, response.completion
+                    ));
+                }
+            }
+            report.evictions += service.stats().answers.evictions;
+        }
+    }
+    report
+}
+
+/// The cold reference (outcome, completion) for one request under one
+/// engine, with the grinder's fixed service knobs.
+fn answer_cold_outcome(
+    request: &sortnet_service::Request,
+    engine: FaultSimEngine,
+) -> (
+    Result<sortnet_service::Answer, sortnet_network::error::EngineError>,
+    sortnet_service::Completion,
+) {
+    use sortnet_service::{answer_cold, ServiceConfig};
+    let config = ServiceConfig {
+        engine,
+        ..ServiceConfig::default()
+    };
+    let response = answer_cold(&config, request);
+    (response.outcome, response.completion)
+}

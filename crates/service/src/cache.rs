@@ -1,0 +1,240 @@
+//! A plain O(1) LRU cache with hit/miss/eviction counters.
+//!
+//! The service keeps two instances: finished answers keyed by
+//! [`crate::oracle::AnswerKey`], and shared detection matrices keyed by
+//! [`crate::oracle::MatrixKey`]
+//! (see `docs/SERVICE.md` for the key definitions and why the test
+//! fingerprint must be part of both).  The implementation is a
+//! `HashMap` into a slab-allocated doubly-linked recency list — no
+//! external crates, every operation O(1) amortised.
+
+use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+
+/// Cumulative counters of one cache instance.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure (not overwrites).
+    pub evictions: u64,
+}
+
+const NIL: usize = usize::MAX;
+
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// An LRU map of bounded capacity.
+///
+/// `get` refreshes recency; `insert` evicts the least-recently-used
+/// entry when full.  A capacity of zero caches nothing (every lookup
+/// is a miss, every insert an immediate no-op) — the configuration
+/// spelling for "cache off".
+pub struct Lru<K, V> {
+    map: HashMap<K, usize>,
+    slab: Vec<Entry<K, V>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+    counters: CacheCounters,
+}
+
+impl<K: Hash + Eq + Clone, V> Lru<K, V> {
+    /// An empty cache holding at most `capacity` entries.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::with_capacity(capacity.min(1024)),
+            slab: Vec::with_capacity(capacity.min(1024)),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// Number of live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when no entry is live.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The counters accumulated so far.
+    #[must_use]
+    pub fn counters(&self) -> CacheCounters {
+        self.counters
+    }
+
+    /// Looks `key` up, refreshing its recency and counting the outcome.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        match self.map.get(key).copied() {
+            Some(idx) => {
+                self.counters.hits += 1;
+                self.unlink(idx);
+                self.push_front(idx);
+                Some(&self.slab[idx].value)
+            }
+            None => {
+                self.counters.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or overwrites) `key`, evicting the least-recently-used
+    /// entry if the cache is full.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            self.slab[idx].value = value;
+            self.unlink(idx);
+            self.push_front(idx);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL, "a full cache has a tail");
+            self.unlink(victim);
+            self.map.remove(&self.slab[victim].key);
+            self.free.push(victim);
+            self.counters.evictions += 1;
+        }
+        let entry = Entry {
+            key: key.clone(),
+            value,
+            prev: NIL,
+            next: NIL,
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slab[i] = entry;
+                i
+            }
+            None => {
+                self.slab.push(entry);
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev == NIL {
+            if self.head == idx {
+                self.head = next;
+            }
+        } else {
+            self.slab[prev].next = next;
+        }
+        if next == NIL {
+            if self.tail == idx {
+                self.tail = prev;
+            }
+        } else {
+            self.slab[next].prev = prev;
+        }
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+/// Hashes one value with the std sip hasher's fixed keys — deterministic
+/// within and across processes, which keeps cache keys and the wire
+/// protocol stable.
+#[must_use]
+pub fn fingerprint<T: Hash>(value: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_entry() {
+        let mut lru: Lru<u32, &str> = Lru::new(2);
+        lru.insert(1, "one");
+        lru.insert(2, "two");
+        assert_eq!(lru.get(&1), Some(&"one")); // 1 is now most recent
+        lru.insert(3, "three"); // evicts 2
+        assert_eq!(lru.get(&2), None);
+        assert_eq!(lru.get(&1), Some(&"one"));
+        assert_eq!(lru.get(&3), Some(&"three"));
+        let c = lru.counters();
+        assert_eq!(c.evictions, 1);
+        assert_eq!(c.hits, 3);
+        assert_eq!(c.misses, 1);
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn overwrite_refreshes_without_evicting() {
+        let mut lru: Lru<u32, u32> = Lru::new(2);
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        lru.insert(1, 11); // overwrite, no eviction
+        assert_eq!(lru.counters().evictions, 0);
+        lru.insert(3, 30); // 2 is now LRU (1 was refreshed by overwrite)
+        assert_eq!(lru.get(&2), None);
+        assert_eq!(lru.get(&1), Some(&11));
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing() {
+        let mut lru: Lru<u32, u32> = Lru::new(0);
+        lru.insert(1, 10);
+        assert_eq!(lru.get(&1), None);
+        assert!(lru.is_empty());
+        assert_eq!(lru.counters().evictions, 0);
+    }
+
+    #[test]
+    fn single_slot_cache_cycles_through_evictions() {
+        let mut lru: Lru<u32, u32> = Lru::new(1);
+        for i in 0..5 {
+            lru.insert(i, i);
+            assert_eq!(lru.get(&i), Some(&i));
+        }
+        assert_eq!(lru.counters().evictions, 4);
+        assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_input_sensitive() {
+        assert_eq!(fingerprint(&(1u64, "a")), fingerprint(&(1u64, "a")));
+        assert_ne!(fingerprint(&(1u64, "a")), fingerprint(&(2u64, "a")));
+    }
+}

@@ -1,0 +1,92 @@
+//! A long-running test-set oracle for comparator networks.
+//!
+//! The paper's result is that a *small certified test set* answers "is
+//! this network correct / which faults does this set catch?".  The
+//! engine crates compute those answers as one-shot library calls; this
+//! crate turns them into a **service**: a work queue and worker pool
+//! accept verify / coverage / minimum-augmentation queries for
+//! arbitrary submitted networks and answer them at high throughput.
+//!
+//! The serving problem has three levers, each its own module:
+//!
+//! * **Batching** ([`oracle`]) — queued coverage queries are sharded by
+//!   (network hash, universe, redundancy flag); each shard computes one
+//!   shared [`DetectionMatrix`](sortnet_faults::bitsim::DetectionMatrix)
+//!   over the union of the shard's test vectors and derives every
+//!   member's report from it, folding verdicts through the engine's own
+//!   [`summarise_verdicts`](sortnet_faults::coverage::summarise_verdicts)
+//!   so batched answers are bit-identical to cold ones.
+//! * **Caching** ([`cache`]) — an LRU over finished answers and over
+//!   detection matrices, keyed by (network hash, universe, `n`, test
+//!   fingerprint, query kind), with hit/miss/eviction counters.
+//! * **Budget degradation** ([`pool`], [`oracle`]) — a per-request
+//!   [`SweepBudget`] (or the
+//!   service default) is plumbed into the engine's budgeted entry
+//!   points, so one oversized query degrades to a typed
+//!   [`Completion::Partial`] answer instead of stalling the queue.
+//!
+//! The front ends: a direct in-process API ([`Service`]) driven by the
+//! CLI, benches and the grinder, and a minimal length-prefixed wire
+//! protocol over a Unix socket ([`wire`]).  A seeded load generator
+//! ([`loadgen`]) replays a mixed workload (hot repeats, cold networks,
+//! `n > 64` packed queries, deliberately starved budgets) and reports
+//! latency percentiles, throughput and cache hit rate.
+//!
+//! See `docs/SERVICE.md` for the architecture notes and the exact
+//! batching/caching rules.
+
+use sortnet_faults::FaultSimEngine;
+use sortnet_network::budget::SweepBudget;
+use sortnet_network::lanes::Backend;
+
+pub mod cache;
+pub mod loadgen;
+pub mod oracle;
+pub mod pool;
+pub mod wire;
+
+pub use oracle::{
+    answer_cold, Answer, AugmentSummary, CacheStatus, Completion, Query, Request, Response,
+};
+pub use pool::{Service, ServiceStats};
+
+/// Tuning knobs of one [`Service`] instance.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Most queued requests one worker drains into a single batch —
+    /// the sharding window.  Larger batches amortise matrices across
+    /// more queries; smaller ones bound per-answer latency.
+    pub max_batch: usize,
+    /// Simulation engine for coverage grades and candidate matrices.
+    pub engine: FaultSimEngine,
+    /// Lane-ops backend for every bit-parallel sweep.
+    pub backend: Backend,
+    /// Answer-cache capacity in entries (0 = off).
+    pub answer_cache: usize,
+    /// Detection-matrix cache capacity in entries (0 = off).
+    pub matrix_cache: usize,
+    /// Budget applied to requests that do not carry their own.  Any
+    /// bounded effective budget routes a request down the solo,
+    /// cache-bypassing path (see [`oracle::answer_batch`]).
+    pub default_budget: SweepBudget,
+    /// Branch-and-bound node cap for augmentation searches; `None`
+    /// runs every search to certification.
+    pub node_budget: Option<u64>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            max_batch: 32,
+            engine: FaultSimEngine::default(),
+            backend: Backend::active(),
+            answer_cache: 256,
+            matrix_cache: 32,
+            default_budget: SweepBudget::unlimited(),
+            node_budget: Some(10_000),
+        }
+    }
+}

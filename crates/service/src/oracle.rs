@@ -1,0 +1,819 @@
+//! Query/answer types and the two evaluation paths of the oracle.
+//!
+//! [`answer_cold`] is the reference path: one request, straight through
+//! the engine's typed entry points, no cache.  [`answer_batch`] is the
+//! serving path the worker pool drives: it looks finished answers up in
+//! the LRU, shards the remaining coverage queries by (network, universe,
+//! redundancy flag), computes **one** detection matrix per shard over
+//! the union of the shard's test vectors, and derives every member's
+//! report from that matrix — folding verdicts through the engine's own
+//! [`summarise_verdicts`] so a batched answer is bit-identical to the
+//! cold one (the grinder's cache strategy and the load generator both
+//! assert this).
+//!
+//! Budget rule: a request carrying its own [`SweepBudget`] (or running
+//! under a bounded service default) is evaluated **solo** through the
+//! engine's budgeted entry points and never touches the cache in either
+//! direction ([`CacheStatus::Bypass`]) — partial answers depend on the
+//! budget that produced them, so caching them would let one request's
+//! starvation leak into another's answer.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use sortnet_combinat::ChannelVec;
+use sortnet_faults::bitsim::{detection_matrix_multi_packed_on, DetectionMatrix};
+use sortnet_faults::coverage::{
+    check_coverage_inputs, coverage_of_universe_budgeted_packed_with, summarise_verdicts,
+    try_coverage_of_universe_packed_with, CoverageReport,
+};
+use sortnet_faults::universe::{is_multi_fault_redundant, MultiFault, StandardUniverse};
+use sortnet_faults::FaultSimEngine;
+use sortnet_network::budget::{BudgetReason, Budgeted, SweepBudget, SweepProgress};
+use sortnet_network::error::EngineError;
+use sortnet_network::lanes::LaneWidth;
+use sortnet_network::Network;
+use sortnet_testsets::augment::{try_minimum_augmentation_packed, CandidatePool, SearchOptions};
+use sortnet_testsets::verify::{self, try_verify_on, Property, Strategy};
+
+use crate::cache::{fingerprint, CacheCounters, Lru};
+use crate::ServiceConfig;
+
+/// One question about one submitted network.
+///
+/// Test vectors are always carried in the universal multi-word packing
+/// ([`ChannelVec`]) so a single request type spans `n ≤ 64` and the
+/// packed `n > 64` regime.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Query {
+    /// "Does this network have the property?" — the paper's test-set
+    /// verification ([`verify::try_verify_on`]; `n ≤ 64`).
+    Verify {
+        /// The property to check.
+        property: Property,
+        /// The test family to drive the check with.
+        strategy: Strategy,
+    },
+    /// "Which faults of this universe does my test set catch?"
+    Coverage {
+        /// The fault universe to grade against.
+        universe: StandardUniverse,
+        /// The submitted test set, in submission order.
+        tests: Vec<ChannelVec>,
+        /// Also classify missed faults as redundant/testable (admissible
+        /// only for `n < 32`; refused up front otherwise).
+        check_redundancy: bool,
+    },
+    /// "What is the smallest augmentation making my test set complete?"
+    /// (sorted-strings candidate pool, exact set-cover search).
+    Augment {
+        /// The fault universe the augmented set must cover.
+        universe: StandardUniverse,
+        /// The base test set to augment.
+        tests: Vec<ChannelVec>,
+    },
+}
+
+impl Query {
+    /// A deterministic fingerprint of the query for cache keys.  The
+    /// test vectors are part of the hash: coverage and augmentation
+    /// answers depend on the submitted set (first-detection indices are
+    /// positions *in that set*), so two queries differing only in tests
+    /// must never share a cache line.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        match self {
+            Query::Verify { property, strategy } => {
+                let (ptag, k) = match property {
+                    Property::Sorter => (0u8, 0u64),
+                    Property::Selector { k } => (1, *k as u64),
+                    Property::Merger => (2, 0),
+                };
+                let stag = match strategy {
+                    Strategy::Exhaustive => 0u8,
+                    Strategy::MinimalBinary => 1,
+                    Strategy::Permutation => 2,
+                };
+                fingerprint(&(0u8, ptag, k, stag))
+            }
+            Query::Coverage {
+                universe,
+                tests,
+                check_redundancy,
+            } => fingerprint(&(1u8, universe, check_redundancy, tests)),
+            Query::Augment { universe, tests } => fingerprint(&(2u8, universe, tests)),
+        }
+    }
+}
+
+/// A queued unit of work: a network, a question, an optional budget.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// The submitted network.
+    pub network: Network,
+    /// The question.
+    pub query: Query,
+    /// Per-request budget; `None` falls back to the service default.
+    /// Any bounded effective budget routes the request down the solo,
+    /// cache-bypassing path.
+    pub budget: Option<SweepBudget>,
+}
+
+/// The minimum-augmentation answer, summarised for serving (the full
+/// [`AugmentationReport`](sortnet_testsets::augment::AugmentationReport)
+/// carries per-fault witness lists the wire front does not ship).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AugmentSummary {
+    /// Detectable faults the base set missed.
+    pub missed: usize,
+    /// Candidates streamed through the matrix before dedup.
+    pub candidates_considered: usize,
+    /// The greedy augmentation (upper bound).
+    pub greedy: Vec<ChannelVec>,
+    /// The smallest augmentation found.
+    pub minimum: Vec<ChannelVec>,
+    /// Root lower bound on any augmentation from the pool.
+    pub lower_bound: usize,
+    /// `true` when `minimum` is a certified optimum over the pool.
+    pub certified: bool,
+}
+
+/// A successful answer, by query kind.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Answer {
+    /// Outcome of a [`Query::Verify`].
+    Verify(verify::Report),
+    /// Outcome of a [`Query::Coverage`].
+    Coverage(CoverageReport),
+    /// Outcome of a [`Query::Augment`].
+    Augment(AugmentSummary),
+}
+
+/// Whether the answer reflects the whole computation or a budgeted
+/// prefix of it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Completion {
+    /// The run finished; the answer equals the unbudgeted one.
+    Complete,
+    /// The budget tripped; the answer is the engine's conservative
+    /// partial (see `docs/SERVICE.md` for the per-kind semantics).
+    Partial {
+        /// The axis that tripped.
+        reason: BudgetReason,
+        /// Work committed before the trip.
+        progress: SweepProgress,
+    },
+}
+
+/// How the cache participated in an answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// Served from the answer cache.
+    Hit,
+    /// Computed (and, when complete, stored).
+    Miss,
+    /// Budgeted solo path: the cache was neither read nor written.
+    Bypass,
+}
+
+/// The service's reply to one [`Request`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Response {
+    /// The answer, or the engine's typed refusal.
+    pub outcome: Result<Answer, EngineError>,
+    /// Complete vs budget-degraded.
+    pub completion: Completion,
+    /// Cache participation.
+    pub cache: CacheStatus,
+    /// Service-side processing latency in microseconds (queue wait
+    /// excluded; the load generator measures client-side round trips
+    /// separately).
+    pub micros: u64,
+}
+
+/// The answer-cache key: network fingerprint + line count + query
+/// fingerprint (which covers universe, flags and the submitted tests —
+/// see [`Query::fingerprint`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct AnswerKey {
+    /// [`fingerprint`] of the whole network (lines + comparator list).
+    pub network: u64,
+    /// Line count, kept explicit so `n` is part of the key even under
+    /// fingerprint collisions of the comparator list.
+    pub lines: usize,
+    /// [`Query::fingerprint`].
+    pub query: u64,
+}
+
+impl AnswerKey {
+    /// The key for `request`.
+    #[must_use]
+    pub fn of(request: &Request) -> Self {
+        Self {
+            network: fingerprint(&request.network),
+            lines: request.network.lines(),
+            query: request.query.fingerprint(),
+        }
+    }
+}
+
+/// The matrix-cache key: one shared detection matrix per (network,
+/// universe, union-test-list) triple.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MatrixKey {
+    /// [`fingerprint`] of the whole network.
+    pub network: u64,
+    /// Line count (same rationale as [`AnswerKey::lines`]).
+    pub lines: usize,
+    /// The fault universe the rows enumerate.
+    pub universe: StandardUniverse,
+    /// [`fingerprint`] of the union test list, order-sensitive (columns
+    /// are positional).
+    pub tests: u64,
+}
+
+/// The two LRU caches the workers share.  Each is behind its own mutex
+/// and locked only for lookups and inserts — matrix and coverage
+/// computation happen outside the locks, so concurrent workers can
+/// (rarely) both compute the same entry; the second insert is a
+/// harmless overwrite.
+pub struct OracleCaches {
+    answers: Mutex<Lru<AnswerKey, Answer>>,
+    matrices: Mutex<Lru<MatrixKey, Arc<DetectionMatrix>>>,
+}
+
+impl OracleCaches {
+    /// Fresh caches with the given entry capacities.
+    #[must_use]
+    pub fn new(answer_capacity: usize, matrix_capacity: usize) -> Self {
+        Self {
+            answers: Mutex::new(Lru::new(answer_capacity)),
+            matrices: Mutex::new(Lru::new(matrix_capacity)),
+        }
+    }
+
+    /// (answer-cache counters, matrix-cache counters).
+    #[must_use]
+    pub fn counters(&self) -> (CacheCounters, CacheCounters) {
+        (
+            self.answers.lock().unwrap().counters(),
+            self.matrices.lock().unwrap().counters(),
+        )
+    }
+}
+
+fn effective_budget(config: &ServiceConfig, request: &Request) -> SweepBudget {
+    request
+        .budget
+        .clone()
+        .unwrap_or_else(|| config.default_budget.clone())
+}
+
+fn completion_of<T>(outcome: &Budgeted<T>) -> Completion {
+    match outcome {
+        Budgeted::Complete(_) => Completion::Complete,
+        Budgeted::Partial {
+            reason, progress, ..
+        } => Completion::Partial {
+            reason: *reason,
+            progress: *progress,
+        },
+    }
+}
+
+/// One shared-prefix detection matrix, at the lane width the configured
+/// engine implies (the scalar engine maps to `W = 1`; all widths
+/// produce bit-identical matrices, so the choice is a throughput knob,
+/// never a semantic one).
+fn build_matrix(
+    config: &ServiceConfig,
+    network: &Network,
+    faults: &[MultiFault],
+    tests: &[ChannelVec],
+) -> DetectionMatrix {
+    let b = config.backend;
+    match config.engine {
+        FaultSimEngine::Scalar => {
+            detection_matrix_multi_packed_on::<1, ChannelVec>(network, faults, tests, b)
+        }
+        FaultSimEngine::BitParallel => {
+            detection_matrix_multi_packed_on::<4, ChannelVec>(network, faults, tests, b)
+        }
+        FaultSimEngine::BitParallelWide(w) => match w {
+            LaneWidth::W1 => {
+                detection_matrix_multi_packed_on::<1, ChannelVec>(network, faults, tests, b)
+            }
+            LaneWidth::W2 => {
+                detection_matrix_multi_packed_on::<2, ChannelVec>(network, faults, tests, b)
+            }
+            LaneWidth::W4 => {
+                detection_matrix_multi_packed_on::<4, ChannelVec>(network, faults, tests, b)
+            }
+            LaneWidth::W8 => {
+                detection_matrix_multi_packed_on::<8, ChannelVec>(network, faults, tests, b)
+            }
+            LaneWidth::W16 => {
+                detection_matrix_multi_packed_on::<16, ChannelVec>(network, faults, tests, b)
+            }
+        },
+    }
+}
+
+/// The reference path: evaluates one request straight through the
+/// engine's typed entry points, with the request's effective budget and
+/// no cache in either direction.  The batched path is proven
+/// bit-identical to this one.
+#[must_use]
+pub fn answer_cold(config: &ServiceConfig, request: &Request) -> Response {
+    let start = Instant::now();
+    let budget = effective_budget(config, request);
+    let (outcome, completion) = evaluate(config, request, &budget);
+    Response {
+        outcome,
+        completion,
+        cache: CacheStatus::Bypass,
+        micros: start.elapsed().as_micros() as u64,
+    }
+}
+
+fn evaluate(
+    config: &ServiceConfig,
+    request: &Request,
+    budget: &SweepBudget,
+) -> (Result<Answer, EngineError>, Completion) {
+    let network = &request.network;
+    match &request.query {
+        // Verification cost is bounded by the paper's test-set sizes
+        // (the whole point of the theorems), so it runs unbudgeted; the
+        // typed guards refuse the genuinely unbounded shapes (n > 64,
+        // exhaustive n ≥ 32) up front.
+        Query::Verify { property, strategy } => (
+            try_verify_on(network, *property, *strategy, config.backend).map(Answer::Verify),
+            Completion::Complete,
+        ),
+        Query::Coverage {
+            universe,
+            tests,
+            check_redundancy,
+        } => {
+            if budget.is_unlimited() {
+                let report = try_coverage_of_universe_packed_with(
+                    network,
+                    universe,
+                    tests,
+                    *check_redundancy,
+                    config.engine,
+                );
+                (report.map(Answer::Coverage), Completion::Complete)
+            } else {
+                match coverage_of_universe_budgeted_packed_with(
+                    network,
+                    universe,
+                    tests,
+                    *check_redundancy,
+                    config.engine,
+                    budget,
+                ) {
+                    Ok(budgeted) => {
+                        let completion = completion_of(&budgeted);
+                        (Ok(Answer::Coverage(budgeted.into_value())), completion)
+                    }
+                    Err(e) => (Err(e), Completion::Complete),
+                }
+            }
+        }
+        Query::Augment { universe, tests } => {
+            let options = SearchOptions {
+                engine: config.engine,
+                node_budget: config.node_budget,
+                budget: budget.clone(),
+            };
+            match try_minimum_augmentation_packed::<ChannelVec>(
+                network,
+                universe,
+                tests,
+                &CandidatePool::SortedStrings,
+                &options,
+            ) {
+                Ok(budgeted) => {
+                    let completion = completion_of(&budgeted);
+                    let report = budgeted.into_value();
+                    (
+                        Ok(Answer::Augment(AugmentSummary {
+                            missed: report.missed_faults.len(),
+                            candidates_considered: report.candidates_considered,
+                            greedy: report.greedy,
+                            minimum: report.minimum,
+                            lower_bound: report.lower_bound,
+                            certified: report.certified,
+                        })),
+                        completion,
+                    )
+                }
+                Err(e) => (Err(e), Completion::Complete),
+            }
+        }
+    }
+}
+
+/// A coverage shard: every member grades the same network against the
+/// same universe with the same redundancy flag, so one matrix serves
+/// them all.
+struct Shard {
+    members: Vec<usize>,
+}
+
+/// The serving path: answers a drained batch of requests with cache
+/// lookups, coverage sharding and shared matrices.  Responses come back
+/// in request order.
+#[must_use]
+pub fn answer_batch(
+    config: &ServiceConfig,
+    caches: &OracleCaches,
+    requests: &[Request],
+) -> Vec<Response> {
+    let start = Instant::now();
+    let mut responses: Vec<Option<Response>> = (0..requests.len()).map(|_| None).collect();
+    let mut shards: HashMap<(u64, usize, StandardUniverse, bool), Shard> = HashMap::new();
+
+    for (i, request) in requests.iter().enumerate() {
+        let budget = effective_budget(config, request);
+        if !budget.is_unlimited() {
+            // Solo, cache-bypassing path: partial answers are shaped by
+            // their budget and must not be shared.
+            let (outcome, completion) = evaluate(config, request, &budget);
+            responses[i] = Some(Response {
+                outcome,
+                completion,
+                cache: CacheStatus::Bypass,
+                micros: start.elapsed().as_micros() as u64,
+            });
+            continue;
+        }
+        let key = AnswerKey::of(request);
+        if let Some(answer) = caches.answers.lock().unwrap().get(&key) {
+            responses[i] = Some(Response {
+                outcome: Ok(answer.clone()),
+                completion: Completion::Complete,
+                cache: CacheStatus::Hit,
+                micros: start.elapsed().as_micros() as u64,
+            });
+            continue;
+        }
+        match &request.query {
+            Query::Coverage {
+                universe,
+                check_redundancy,
+                ..
+            } => {
+                shards
+                    .entry((key.network, key.lines, *universe, *check_redundancy))
+                    .or_insert_with(|| Shard {
+                        members: Vec::new(),
+                    })
+                    .members
+                    .push(i);
+            }
+            Query::Verify { .. } | Query::Augment { .. } => {
+                let (outcome, completion) = evaluate(config, request, &SweepBudget::unlimited());
+                if completion == Completion::Complete {
+                    if let Ok(answer) = &outcome {
+                        caches.answers.lock().unwrap().insert(key, answer.clone());
+                    }
+                }
+                responses[i] = Some(Response {
+                    outcome,
+                    completion,
+                    cache: CacheStatus::Miss,
+                    micros: start.elapsed().as_micros() as u64,
+                });
+            }
+        }
+    }
+
+    for ((net_fp, lines, universe, check_redundancy), shard) in shards {
+        // A fingerprint groups, equality decides: members whose network
+        // is not byte-equal to the sub-shard leader get their own pass,
+        // so a (astronomically unlikely) hash collision can never share
+        // a matrix across different networks.
+        let mut pending = shard.members;
+        while let Some(&leader) = pending.first() {
+            let network = requests[leader].network.clone();
+            let (same, rest): (Vec<usize>, Vec<usize>) = pending
+                .iter()
+                .partition(|&&i| requests[i].network == network);
+            pending = rest;
+            answer_coverage_shard(
+                config,
+                caches,
+                requests,
+                &network,
+                (net_fp, lines, universe, check_redundancy),
+                &same,
+                &mut responses,
+                start,
+            );
+        }
+    }
+
+    responses
+        .into_iter()
+        .map(|r| r.expect("every request gets a response"))
+        .collect()
+}
+
+fn shard_tests(requests: &[Request], i: usize) -> &[ChannelVec] {
+    match &requests[i].query {
+        Query::Coverage { tests, .. } => tests,
+        _ => unreachable!("coverage shards hold coverage queries"),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn answer_coverage_shard(
+    config: &ServiceConfig,
+    caches: &OracleCaches,
+    requests: &[Request],
+    network: &Network,
+    key: (u64, usize, StandardUniverse, bool),
+    members: &[usize],
+    responses: &mut [Option<Response>],
+    start: Instant,
+) {
+    let (net_fp, lines, universe, check_redundancy) = key;
+    // Admission per member, by the cold path's own rules.
+    let mut faults: Option<Vec<MultiFault>> = None;
+    let mut valid: Vec<usize> = Vec::with_capacity(members.len());
+    for &i in members {
+        match check_coverage_inputs(
+            network,
+            &universe,
+            shard_tests(requests, i),
+            check_redundancy,
+        ) {
+            Ok(f) => {
+                faults.get_or_insert(f);
+                valid.push(i);
+            }
+            Err(e) => {
+                responses[i] = Some(Response {
+                    outcome: Err(e),
+                    completion: Completion::Complete,
+                    cache: CacheStatus::Miss,
+                    micros: start.elapsed().as_micros() as u64,
+                });
+            }
+        }
+    }
+    let Some(faults) = faults else { return };
+
+    // The union test list, deduplicated in arrival order; per-member
+    // columns map each submitted test to its union column.
+    let mut union: Vec<ChannelVec> = Vec::new();
+    let mut column: HashMap<&ChannelVec, usize> = HashMap::new();
+    for &i in &valid {
+        for test in shard_tests(requests, i) {
+            if !column.contains_key(test) {
+                column.insert(test, union.len());
+                union.push(test.clone());
+            }
+        }
+    }
+
+    let mkey = MatrixKey {
+        network: net_fp,
+        lines,
+        universe,
+        tests: fingerprint(&union),
+    };
+    let matrix: Arc<DetectionMatrix> = {
+        let cached = caches.matrices.lock().unwrap().get(&mkey).cloned();
+        match cached {
+            Some(m) => m,
+            None => {
+                let m = Arc::new(build_matrix(config, network, &faults, &union));
+                caches.matrices.lock().unwrap().insert(mkey, Arc::clone(&m));
+                m
+            }
+        }
+    };
+
+    // Per-member first detections, in each member's own test order —
+    // exactly what the cold path's per-query sweep reports.
+    let member_first: Vec<Vec<Option<usize>>> = valid
+        .iter()
+        .map(|&i| {
+            let cols: Vec<usize> = shard_tests(requests, i).iter().map(|t| column[t]).collect();
+            (0..faults.len())
+                .map(|f| cols.iter().position(|&c| matrix.is_detected_by(f, c)))
+                .collect()
+        })
+        .collect();
+
+    // One redundancy sweep for the union of the shard's missed faults;
+    // the verdict of a fault is engine-independent, so every member
+    // shares it.
+    let mut union_redundant: Vec<bool> = vec![false; faults.len()];
+    if check_redundancy {
+        let need: Vec<usize> = (0..faults.len())
+            .filter(|&f| member_first.iter().any(|first| first[f].is_none()))
+            .collect();
+        for &f in &need {
+            union_redundant[f] = is_multi_fault_redundant(network, &faults[f]);
+        }
+    }
+
+    for (slot, &i) in valid.iter().enumerate() {
+        let first = &member_first[slot];
+        let redundant: Vec<bool> = first
+            .iter()
+            .zip(&union_redundant)
+            .map(|(f, &r)| f.is_none() && r)
+            .collect();
+        let report = summarise_verdicts(&faults, first, &redundant);
+        caches.answers.lock().unwrap().insert(
+            AnswerKey::of(&requests[i]),
+            Answer::Coverage(report.clone()),
+        );
+        responses[i] = Some(Response {
+            outcome: Ok(Answer::Coverage(report)),
+            completion: Completion::Complete,
+            cache: CacheStatus::Miss,
+            micros: start.elapsed().as_micros() as u64,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sortnet_network::builders::batcher::odd_even_merge_sort;
+
+    fn sorted_tests(n: usize) -> Vec<ChannelVec> {
+        (0..=n)
+            .map(|ones| ChannelVec::sorted_of(n - ones, ones))
+            .collect()
+    }
+
+    fn coverage_request(n: usize, check_redundancy: bool) -> Request {
+        Request {
+            network: odd_even_merge_sort(n),
+            query: Query::Coverage {
+                universe: StandardUniverse::StuckLine,
+                tests: sorted_tests(n),
+                check_redundancy,
+            },
+            budget: None,
+        }
+    }
+
+    #[test]
+    fn batched_coverage_is_bit_identical_to_cold_and_caches_repeats() {
+        let config = ServiceConfig::default();
+        let caches = OracleCaches::new(8, 4);
+        let requests = vec![coverage_request(8, true), coverage_request(8, true)];
+        let batch = answer_batch(&config, &caches, &requests);
+        let cold = answer_cold(&config, &requests[0]);
+        // Both members miss the cache (the duplicate joins the same
+        // shard in the same batch), but both answers equal the cold one.
+        for response in &batch {
+            assert_eq!(response.outcome, cold.outcome);
+            assert_eq!(response.completion, Completion::Complete);
+        }
+        // A repeat in a later batch is a pure cache hit.
+        let again = answer_batch(&config, &caches, &requests[..1]);
+        assert_eq!(again[0].cache, CacheStatus::Hit);
+        assert_eq!(again[0].outcome, cold.outcome);
+    }
+
+    #[test]
+    fn mixed_shard_members_get_their_own_first_detection_order() {
+        // Two queries over the same network/universe whose test lists
+        // differ in order: the shared matrix must not leak one member's
+        // indices into the other's report.
+        let n = 6;
+        let network = odd_even_merge_sort(n);
+        let forward = sorted_tests(n);
+        let mut reversed = forward.clone();
+        reversed.reverse();
+        let config = ServiceConfig::default();
+        let caches = OracleCaches::new(8, 4);
+        let make = |tests: Vec<ChannelVec>| Request {
+            network: network.clone(),
+            query: Query::Coverage {
+                universe: StandardUniverse::SingleComparator,
+                tests,
+                check_redundancy: false,
+            },
+            budget: None,
+        };
+        let requests = vec![make(forward), make(reversed)];
+        let batch = answer_batch(&config, &caches, &requests);
+        for (response, request) in batch.iter().zip(&requests) {
+            assert_eq!(response.outcome, answer_cold(&config, request).outcome);
+        }
+    }
+
+    #[test]
+    fn budgeted_requests_bypass_the_cache_and_degrade_typed() {
+        // The scalar engine admits one block per fault scan, so a
+        // one-block cap must trip on the 16-fault stuck-line universe
+        // (the W = 4 engine would fit all nine tests in a single block
+        // and complete).
+        let config = ServiceConfig {
+            engine: FaultSimEngine::Scalar,
+            ..ServiceConfig::default()
+        };
+        let caches = OracleCaches::new(8, 4);
+        let mut request = coverage_request(8, false);
+        request.budget = Some(SweepBudget::unlimited().with_max_blocks(1));
+        let batch = answer_batch(&config, &caches, std::slice::from_ref(&request));
+        assert_eq!(batch[0].cache, CacheStatus::Bypass);
+        assert!(matches!(
+            batch[0].completion,
+            Completion::Partial {
+                reason: BudgetReason::Blocks,
+                ..
+            }
+        ));
+        // Identical to the cold path under the same budget.
+        assert_eq!(batch[0].outcome, answer_cold(&config, &request).outcome);
+        // Nothing was cached.
+        let (answers, _) = caches.counters();
+        assert_eq!(answers.hits, 0);
+    }
+
+    #[test]
+    fn verify_and_augment_queries_cache_their_answers() {
+        let config = ServiceConfig::default();
+        let caches = OracleCaches::new(8, 4);
+        let network = odd_even_merge_sort(6);
+        let verify_req = Request {
+            network: network.clone(),
+            query: Query::Verify {
+                property: Property::Sorter,
+                strategy: Strategy::MinimalBinary,
+            },
+            budget: None,
+        };
+        // The paper's minimal binary sorter set misses some stuck-line
+        // faults, and those misses are detectable by sorted strings —
+        // exactly what the service's SortedStrings pool offers, so the
+        // augmentation search is feasible and certifies.
+        let augment_req = Request {
+            network,
+            query: Query::Augment {
+                universe: StandardUniverse::StuckLine,
+                tests: sortnet_testsets::sorting::binary_testset(6)
+                    .into_iter()
+                    .map(ChannelVec::from_bitstring)
+                    .collect(),
+            },
+            budget: None,
+        };
+        let first = answer_batch(&config, &caches, &[verify_req.clone(), augment_req.clone()]);
+        assert!(first.iter().all(|r| r.cache == CacheStatus::Miss));
+        let second = answer_batch(&config, &caches, &[verify_req, augment_req]);
+        assert!(second.iter().all(|r| r.cache == CacheStatus::Hit));
+        assert_eq!(
+            first.iter().map(|r| &r.outcome).collect::<Vec<_>>(),
+            second.iter().map(|r| &r.outcome).collect::<Vec<_>>()
+        );
+        match &first[0].outcome {
+            Ok(Answer::Verify(report)) => assert!(report.passed),
+            other => panic!("expected a verify answer, got {other:?}"),
+        }
+        match &first[1].outcome {
+            Ok(Answer::Augment(summary)) => {
+                assert!(summary.certified);
+                assert!(!summary.minimum.is_empty());
+            }
+            other => panic!("expected an augment answer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn typed_refusals_flow_through_the_batch_path() {
+        // Packed redundancy at n = 96 is refused up front with the
+        // pinned SweepTooLarge error, batched exactly as cold.
+        let config = ServiceConfig::default();
+        let caches = OracleCaches::new(8, 4);
+        let n = 96;
+        let request = Request {
+            network: Network::from_pairs(n, &[(0, 1), (1, 95)]),
+            query: Query::Coverage {
+                universe: StandardUniverse::StuckLine,
+                tests: sorted_tests(n),
+                check_redundancy: true,
+            },
+            budget: None,
+        };
+        let batch = answer_batch(&config, &caches, std::slice::from_ref(&request));
+        assert_eq!(
+            batch[0].outcome,
+            Err(EngineError::SweepTooLarge { lines: n })
+        );
+        assert_eq!(batch[0].outcome, answer_cold(&config, &request).outcome);
+    }
+}

@@ -1,0 +1,177 @@
+//! The work queue and worker pool behind the in-process service front.
+//!
+//! [`Service::start`] spawns `config.workers` plain `std::thread`
+//! workers over one shared FIFO.  A worker wakes, drains up to
+//! `config.max_batch` queued jobs in one gulp and hands them to
+//! [`answer_batch`] — so batching emerges
+//! from queue pressure: an idle service answers each request alone,
+//! a loaded one shards whole gulps through shared matrices.  Replies
+//! travel back over per-job rendezvous channels, so [`Service::submit`]
+//! is a plain blocking call from any thread.
+//!
+//! Shutdown is cooperative: dropping the [`Service`] flags the pool,
+//! wakes every worker and joins them; queued jobs are still answered
+//! first (drain-then-stop), so no submitter is left hanging.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::cache::CacheCounters;
+use crate::oracle::{answer_batch, Completion, OracleCaches, Request, Response};
+use crate::ServiceConfig;
+
+struct Job {
+    request: Request,
+    reply: SyncSender<Response>,
+}
+
+struct Inner {
+    config: ServiceConfig,
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: Mutex<bool>,
+    caches: OracleCaches,
+    answered: AtomicU64,
+    partials: AtomicU64,
+}
+
+/// A snapshot of the service's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests answered (hits, misses and bypasses alike).
+    pub answered: u64,
+    /// Answers that degraded to [`Completion::Partial`].
+    pub partials: u64,
+    /// Answer-cache counters.
+    pub answers: CacheCounters,
+    /// Detection-matrix-cache counters.
+    pub matrices: CacheCounters,
+}
+
+/// The long-running oracle: a queue, a worker pool, the shared caches.
+///
+/// Cheap to share (`Arc` inside); dropping the last handle shuts the
+/// pool down after the queue drains.
+pub struct Service {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Starts the worker pool.
+    #[must_use]
+    pub fn start(config: ServiceConfig) -> Self {
+        let workers = config.workers.max(1);
+        let inner = Arc::new(Inner {
+            caches: OracleCaches::new(config.answer_cache, config.matrix_cache),
+            config,
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: Mutex::new(false),
+            answered: AtomicU64::new(0),
+            partials: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        Self {
+            inner,
+            workers: handles,
+        }
+    }
+
+    /// Answers one request, blocking until a worker replies.
+    #[must_use]
+    pub fn submit(&self, request: Request) -> Response {
+        self.submit_batch(vec![request]).pop().expect("one reply")
+    }
+
+    /// Enqueues `requests` together (one notification wave, so a single
+    /// worker can gulp them into one shard-friendly batch) and blocks
+    /// until every reply arrives.  Replies come back in request order.
+    #[must_use]
+    pub fn submit_batch(&self, requests: Vec<Request>) -> Vec<Response> {
+        let mut receivers = Vec::with_capacity(requests.len());
+        {
+            let mut queue = self.inner.queue.lock().unwrap();
+            for request in requests {
+                let (reply, receiver) = sync_channel(1);
+                queue.push_back(Job { request, reply });
+                receivers.push(receiver);
+            }
+        }
+        self.inner.available.notify_all();
+        receivers
+            .into_iter()
+            .map(|r| r.recv().expect("worker pool answers before shutdown"))
+            .collect()
+    }
+
+    /// Current counters.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        let (answers, matrices) = self.inner.caches.counters();
+        ServiceStats {
+            answered: self.inner.answered.load(Ordering::Relaxed),
+            partials: self.inner.partials.load(Ordering::Relaxed),
+            answers,
+            matrices,
+        }
+    }
+
+    /// The configuration the pool runs with.
+    #[must_use]
+    pub fn config(&self) -> &ServiceConfig {
+        &self.inner.config
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        *self.inner.shutdown.lock().unwrap() = true;
+        self.inner.available.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let jobs: Vec<Job> = {
+            let mut queue = inner.queue.lock().unwrap();
+            loop {
+                if !queue.is_empty() {
+                    break;
+                }
+                if *inner.shutdown.lock().unwrap() {
+                    return;
+                }
+                queue = inner.available.wait(queue).unwrap();
+            }
+            let take = queue.len().min(inner.config.max_batch.max(1));
+            queue.drain(..take).collect()
+        };
+        let requests: Vec<Request> = jobs.iter().map(|j| j.request.clone()).collect();
+        let responses = answer_batch(&inner.config, &inner.caches, &requests);
+        inner
+            .answered
+            .fetch_add(responses.len() as u64, Ordering::Relaxed);
+        let partials = responses
+            .iter()
+            .filter(|r| !matches!(r.completion, Completion::Complete))
+            .count() as u64;
+        inner.partials.fetch_add(partials, Ordering::Relaxed);
+        for (job, response) in jobs.into_iter().zip(responses) {
+            // A submitter that gave up (disconnected receiver) is not an
+            // error for the pool.
+            let _ = job.reply.send(response);
+        }
+    }
+}

@@ -1,0 +1,871 @@
+//! A minimal wire front: length-prefixed binary frames over a Unix
+//! domain socket.
+//!
+//! Framing: every message is `[u32 LE length][payload]`.  Payloads are
+//! hand-rolled little-endian binary (the workspace builds without
+//! serde's real derive machinery), with one byte of tag per enum.  The
+//! response payload is a **compact summary** — coverage reports ship
+//! their counts and statistics but not the per-fault lists, and typed
+//! engine errors ship as their pinned display text.  Budgets cross the
+//! wire as the counted axes only (`max_blocks`, `max_forks`); deadlines
+//! and cancel tokens are process-local by nature and stay on the
+//! in-process API.
+//!
+//! The server ([`WireServer::bind`]) accepts connections on a
+//! background thread and answers each connection's frames in order
+//! through a shared [`Service`].  [`WireClient`] is the matching
+//! blocking caller.  This front intentionally stays small: one
+//! request–response exchange per frame, no pipelining, no auth.
+
+use std::io::{self, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use sortnet_combinat::{BitString, ChannelVec};
+use sortnet_faults::universe::StandardUniverse;
+use sortnet_network::budget::{BudgetReason, SweepBudget, SweepProgress};
+use sortnet_network::Network;
+use sortnet_testsets::verify::{Property, Strategy};
+
+use crate::oracle::{Answer, CacheStatus, Completion, Query, Request, Response};
+use crate::pool::Service;
+
+/// Largest accepted frame (16 MiB) — a submitted query should never be
+/// near this; the cap bounds a malformed length prefix.
+pub const MAX_FRAME: u32 = 16 << 20;
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Writes one `[len][payload]` frame.
+///
+/// # Errors
+/// Propagates socket write errors; refuses payloads over [`MAX_FRAME`].
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| bad("frame too large"))?;
+    if len > MAX_FRAME {
+        return Err(bad("frame too large"));
+    }
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame; `Ok(None)` is a clean EOF at a frame boundary.
+///
+/// # Errors
+/// Propagates socket read errors; refuses length prefixes over
+/// [`MAX_FRAME`].
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    match r.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME {
+        return Err(bad("frame length over MAX_FRAME"));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+// ---- primitive put/take helpers ----------------------------------------
+
+fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+fn put_bool(out: &mut Vec<u8>, v: bool) {
+    put_u8(out, u8::from(v));
+}
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Take<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Take<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf }
+    }
+    fn bytes(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.buf.len() < n {
+            return Err(bad("truncated payload"));
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.bytes(1)?[0])
+    }
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> io::Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn bool(&mut self) -> io::Result<bool> {
+        Ok(self.u8()? != 0)
+    }
+    fn str(&mut self) -> io::Result<String> {
+        let len = self.u32()? as usize;
+        String::from_utf8(self.bytes(len)?.to_vec()).map_err(|_| bad("invalid utf-8"))
+    }
+    fn finished(&self) -> io::Result<()> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(bad("trailing bytes in payload"))
+        }
+    }
+}
+
+// ---- domain encodings ---------------------------------------------------
+
+fn put_network(out: &mut Vec<u8>, network: &Network) {
+    put_u32(out, network.lines() as u32);
+    put_u32(out, network.size() as u32);
+    for c in network.comparators() {
+        put_u32(out, c.min_line() as u32);
+        put_u32(out, c.max_line() as u32);
+    }
+}
+
+fn take_network(t: &mut Take) -> io::Result<Network> {
+    let lines = t.u32()? as usize;
+    let count = t.u32()? as usize;
+    if count > (MAX_FRAME as usize) / 8 {
+        return Err(bad("comparator count over frame budget"));
+    }
+    let mut pairs = Vec::with_capacity(count);
+    for _ in 0..count {
+        let a = t.u32()? as usize;
+        let b = t.u32()? as usize;
+        if a >= lines || b >= lines || a == b {
+            return Err(bad("comparator lines out of range"));
+        }
+        pairs.push((a, b));
+    }
+    Ok(Network::from_pairs(lines, &pairs))
+}
+
+fn put_channel_vec(out: &mut Vec<u8>, v: &ChannelVec) {
+    put_u32(out, v.len() as u32);
+    put_u32(out, v.word_count() as u32);
+    for &w in v.words() {
+        put_u64(out, w);
+    }
+}
+
+fn take_channel_vec(t: &mut Take) -> io::Result<ChannelVec> {
+    let n = t.u32()? as usize;
+    let words = t.u32()? as usize;
+    if words != n.div_ceil(64).max(1) {
+        return Err(bad("channel word count does not match length"));
+    }
+    let mut buf = Vec::with_capacity(words);
+    for _ in 0..words {
+        buf.push(t.u64()?);
+    }
+    Ok(ChannelVec::from_words(&buf, n))
+}
+
+fn put_tests(out: &mut Vec<u8>, tests: &[ChannelVec]) {
+    put_u32(out, tests.len() as u32);
+    for t in tests {
+        put_channel_vec(out, t);
+    }
+}
+
+fn take_tests(t: &mut Take) -> io::Result<Vec<ChannelVec>> {
+    let count = t.u32()? as usize;
+    if count > (MAX_FRAME as usize) / 8 {
+        return Err(bad("test count over frame budget"));
+    }
+    let mut tests = Vec::with_capacity(count);
+    for _ in 0..count {
+        tests.push(take_channel_vec(t)?);
+    }
+    Ok(tests)
+}
+
+fn universe_tag(u: StandardUniverse) -> u8 {
+    match u {
+        StandardUniverse::SingleComparator => 0,
+        StandardUniverse::StuckLine => 1,
+        StandardUniverse::SingleComparatorPairs => 2,
+        StandardUniverse::StuckLinePairs => 3,
+    }
+}
+
+fn take_universe(t: &mut Take) -> io::Result<StandardUniverse> {
+    match t.u8()? {
+        0 => Ok(StandardUniverse::SingleComparator),
+        1 => Ok(StandardUniverse::StuckLine),
+        2 => Ok(StandardUniverse::SingleComparatorPairs),
+        3 => Ok(StandardUniverse::StuckLinePairs),
+        tag => Err(bad(format!("unknown universe tag {tag}"))),
+    }
+}
+
+/// Encodes a request payload (no frame prefix).
+#[must_use]
+pub fn encode_request(request: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_network(&mut out, &request.network);
+    match &request.query {
+        Query::Verify { property, strategy } => {
+            put_u8(&mut out, 0);
+            let (ptag, k) = match property {
+                Property::Sorter => (0u8, 0u32),
+                Property::Selector { k } => (1, *k as u32),
+                Property::Merger => (2, 0),
+            };
+            put_u8(&mut out, ptag);
+            put_u32(&mut out, k);
+            put_u8(
+                &mut out,
+                match strategy {
+                    Strategy::Exhaustive => 0,
+                    Strategy::MinimalBinary => 1,
+                    Strategy::Permutation => 2,
+                },
+            );
+        }
+        Query::Coverage {
+            universe,
+            tests,
+            check_redundancy,
+        } => {
+            put_u8(&mut out, 1);
+            put_u8(&mut out, universe_tag(*universe));
+            put_bool(&mut out, *check_redundancy);
+            put_tests(&mut out, tests);
+        }
+        Query::Augment { universe, tests } => {
+            put_u8(&mut out, 2);
+            put_u8(&mut out, universe_tag(*universe));
+            put_tests(&mut out, tests);
+        }
+    }
+    match &request.budget {
+        None => put_u8(&mut out, 0),
+        Some(budget) => {
+            put_u8(&mut out, 1);
+            match budget.max_blocks {
+                None => put_u8(&mut out, 0),
+                Some(v) => {
+                    put_u8(&mut out, 1);
+                    put_u64(&mut out, v);
+                }
+            }
+            match budget.max_forks {
+                None => put_u8(&mut out, 0),
+                Some(v) => {
+                    put_u8(&mut out, 1);
+                    put_u64(&mut out, v);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Decodes a request payload.
+///
+/// # Errors
+/// [`io::ErrorKind::InvalidData`] on any malformed payload.
+pub fn decode_request(payload: &[u8]) -> io::Result<Request> {
+    let mut t = Take::new(payload);
+    let network = take_network(&mut t)?;
+    let query = match t.u8()? {
+        0 => {
+            let ptag = t.u8()?;
+            let k = t.u32()? as usize;
+            let property = match ptag {
+                0 => Property::Sorter,
+                1 => Property::Selector { k },
+                2 => Property::Merger,
+                tag => return Err(bad(format!("unknown property tag {tag}"))),
+            };
+            let strategy = match t.u8()? {
+                0 => Strategy::Exhaustive,
+                1 => Strategy::MinimalBinary,
+                2 => Strategy::Permutation,
+                tag => return Err(bad(format!("unknown strategy tag {tag}"))),
+            };
+            Query::Verify { property, strategy }
+        }
+        1 => {
+            let universe = take_universe(&mut t)?;
+            let check_redundancy = t.bool()?;
+            let tests = take_tests(&mut t)?;
+            Query::Coverage {
+                universe,
+                tests,
+                check_redundancy,
+            }
+        }
+        2 => {
+            let universe = take_universe(&mut t)?;
+            let tests = take_tests(&mut t)?;
+            Query::Augment { universe, tests }
+        }
+        tag => return Err(bad(format!("unknown query tag {tag}"))),
+    };
+    let budget = match t.u8()? {
+        0 => None,
+        1 => {
+            let mut budget = SweepBudget::unlimited();
+            if t.u8()? == 1 {
+                budget = budget.with_max_blocks(t.u64()?);
+            }
+            if t.u8()? == 1 {
+                budget = budget.with_max_forks(t.u64()?);
+            }
+            Some(budget)
+        }
+        tag => return Err(bad(format!("unknown budget tag {tag}"))),
+    };
+    t.finished()?;
+    Ok(Request {
+        network,
+        query,
+        budget,
+    })
+}
+
+/// The compact coverage summary the wire ships (no per-fault lists).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CoverageSummary {
+    /// Total faults in the universe.
+    pub total_faults: u64,
+    /// Faults proven redundant.
+    pub redundant_faults: u64,
+    /// Faults detected by the submitted set.
+    pub detected: u64,
+    /// Detectable faults the set missed (or left undecided).
+    pub missed: u64,
+    /// `detected / (total - redundant)` as the engine computed it.
+    pub coverage: f64,
+    /// Mean 1-based first-detection index over detected faults.
+    pub mean_first_detection: f64,
+    /// Max 1-based first-detection index.
+    pub max_first_detection: u64,
+}
+
+/// A wire-shaped answer (see module docs for what is summarised away).
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireAnswer {
+    /// Verify outcome; the witness is `(word, n)` of the failing input.
+    Verify {
+        /// Whether the property held.
+        passed: bool,
+        /// Tests evaluated.
+        tests_run: u64,
+        /// A failing input, when `passed` is false.
+        witness: Option<(u64, u32)>,
+    },
+    /// Coverage summary.
+    Coverage(CoverageSummary),
+    /// Augmentation outcome, with the suggested vectors in full.
+    Augment {
+        /// Missed faults the augmentation must cover.
+        missed: u64,
+        /// Candidates streamed through the matrix.
+        candidates_considered: u64,
+        /// Greedy augmentation.
+        greedy: Vec<ChannelVec>,
+        /// Best augmentation found.
+        minimum: Vec<ChannelVec>,
+        /// Root lower bound.
+        lower_bound: u64,
+        /// Whether `minimum` is certified optimal over the pool.
+        certified: bool,
+    },
+}
+
+/// A wire-shaped response: typed errors collapse to their pinned
+/// display text.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireResponse {
+    /// The answer or the engine's refusal text.
+    pub outcome: Result<WireAnswer, String>,
+    /// Complete vs budget-degraded.
+    pub completion: Completion,
+    /// Cache participation.
+    pub cache: CacheStatus,
+    /// Service-side processing latency in microseconds.
+    pub micros: u64,
+}
+
+/// Compacts an in-process [`Response`] into its wire shape.
+#[must_use]
+pub fn compact(response: &Response) -> WireResponse {
+    let outcome = match &response.outcome {
+        Err(e) => Err(e.to_string()),
+        Ok(Answer::Verify(report)) => Ok(WireAnswer::Verify {
+            passed: report.passed,
+            tests_run: report.tests_run as u64,
+            witness: report
+                .witness
+                .as_ref()
+                .map(|w: &BitString| (w.word(), w.len() as u32)),
+        }),
+        Ok(Answer::Coverage(report)) => Ok(WireAnswer::Coverage(CoverageSummary {
+            total_faults: report.total_faults as u64,
+            redundant_faults: report.redundant_faults as u64,
+            detected: report.detected as u64,
+            missed: report.missed as u64,
+            coverage: report.coverage,
+            mean_first_detection: report.mean_first_detection,
+            max_first_detection: report.max_first_detection as u64,
+        })),
+        Ok(Answer::Augment(summary)) => Ok(WireAnswer::Augment {
+            missed: summary.missed as u64,
+            candidates_considered: summary.candidates_considered as u64,
+            greedy: summary.greedy.clone(),
+            minimum: summary.minimum.clone(),
+            lower_bound: summary.lower_bound as u64,
+            certified: summary.certified,
+        }),
+    };
+    WireResponse {
+        outcome,
+        completion: response.completion,
+        cache: response.cache,
+        micros: response.micros,
+    }
+}
+
+/// Encodes a response payload (no frame prefix).
+#[must_use]
+pub fn encode_response(response: &WireResponse) -> Vec<u8> {
+    let mut out = Vec::new();
+    match &response.outcome {
+        Err(text) => {
+            put_u8(&mut out, 0);
+            put_str(&mut out, text);
+        }
+        Ok(WireAnswer::Verify {
+            passed,
+            tests_run,
+            witness,
+        }) => {
+            put_u8(&mut out, 1);
+            put_bool(&mut out, *passed);
+            put_u64(&mut out, *tests_run);
+            match witness {
+                None => put_u8(&mut out, 0),
+                Some((word, n)) => {
+                    put_u8(&mut out, 1);
+                    put_u64(&mut out, *word);
+                    put_u32(&mut out, *n);
+                }
+            }
+        }
+        Ok(WireAnswer::Coverage(s)) => {
+            put_u8(&mut out, 2);
+            put_u64(&mut out, s.total_faults);
+            put_u64(&mut out, s.redundant_faults);
+            put_u64(&mut out, s.detected);
+            put_u64(&mut out, s.missed);
+            put_f64(&mut out, s.coverage);
+            put_f64(&mut out, s.mean_first_detection);
+            put_u64(&mut out, s.max_first_detection);
+        }
+        Ok(WireAnswer::Augment {
+            missed,
+            candidates_considered,
+            greedy,
+            minimum,
+            lower_bound,
+            certified,
+        }) => {
+            put_u8(&mut out, 3);
+            put_u64(&mut out, *missed);
+            put_u64(&mut out, *candidates_considered);
+            put_tests(&mut out, greedy);
+            put_tests(&mut out, minimum);
+            put_u64(&mut out, *lower_bound);
+            put_bool(&mut out, *certified);
+        }
+    }
+    match response.completion {
+        Completion::Complete => put_u8(&mut out, 0),
+        Completion::Partial { reason, progress } => {
+            put_u8(&mut out, 1);
+            put_u8(
+                &mut out,
+                match reason {
+                    BudgetReason::Blocks => 0,
+                    BudgetReason::Forks => 1,
+                    BudgetReason::Deadline => 2,
+                    BudgetReason::Cancelled => 3,
+                },
+            );
+            put_u64(&mut out, progress.blocks);
+            put_u64(&mut out, progress.vectors);
+            put_u64(&mut out, progress.forks);
+        }
+    }
+    put_u8(
+        &mut out,
+        match response.cache {
+            CacheStatus::Hit => 0,
+            CacheStatus::Miss => 1,
+            CacheStatus::Bypass => 2,
+        },
+    );
+    put_u64(&mut out, response.micros);
+    out
+}
+
+/// Decodes a response payload.
+///
+/// # Errors
+/// [`io::ErrorKind::InvalidData`] on any malformed payload.
+pub fn decode_response(payload: &[u8]) -> io::Result<WireResponse> {
+    let mut t = Take::new(payload);
+    let outcome = match t.u8()? {
+        0 => Err(t.str()?),
+        1 => {
+            let passed = t.bool()?;
+            let tests_run = t.u64()?;
+            let witness = match t.u8()? {
+                0 => None,
+                1 => Some((t.u64()?, t.u32()?)),
+                tag => return Err(bad(format!("unknown witness tag {tag}"))),
+            };
+            Ok(WireAnswer::Verify {
+                passed,
+                tests_run,
+                witness,
+            })
+        }
+        2 => Ok(WireAnswer::Coverage(CoverageSummary {
+            total_faults: t.u64()?,
+            redundant_faults: t.u64()?,
+            detected: t.u64()?,
+            missed: t.u64()?,
+            coverage: t.f64()?,
+            mean_first_detection: t.f64()?,
+            max_first_detection: t.u64()?,
+        })),
+        3 => Ok(WireAnswer::Augment {
+            missed: t.u64()?,
+            candidates_considered: t.u64()?,
+            greedy: take_tests(&mut t)?,
+            minimum: take_tests(&mut t)?,
+            lower_bound: t.u64()?,
+            certified: t.bool()?,
+        }),
+        tag => return Err(bad(format!("unknown outcome tag {tag}"))),
+    };
+    let completion = match t.u8()? {
+        0 => Completion::Complete,
+        1 => {
+            let reason = match t.u8()? {
+                0 => BudgetReason::Blocks,
+                1 => BudgetReason::Forks,
+                2 => BudgetReason::Deadline,
+                3 => BudgetReason::Cancelled,
+                tag => return Err(bad(format!("unknown reason tag {tag}"))),
+            };
+            Completion::Partial {
+                reason,
+                progress: SweepProgress {
+                    blocks: t.u64()?,
+                    vectors: t.u64()?,
+                    forks: t.u64()?,
+                },
+            }
+        }
+        tag => return Err(bad(format!("unknown completion tag {tag}"))),
+    };
+    let cache = match t.u8()? {
+        0 => CacheStatus::Hit,
+        1 => CacheStatus::Miss,
+        2 => CacheStatus::Bypass,
+        tag => return Err(bad(format!("unknown cache tag {tag}"))),
+    };
+    let micros = t.u64()?;
+    t.finished()?;
+    Ok(WireResponse {
+        outcome,
+        completion,
+        cache,
+        micros,
+    })
+}
+
+// ---- server and client --------------------------------------------------
+
+/// A Unix-socket server answering framed requests through a shared
+/// [`Service`].  Dropping the handle stops the accept loop and removes
+/// the socket file; open connections finish their in-flight frame and
+/// exit on the next read.
+pub struct WireServer {
+    path: PathBuf,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl WireServer {
+    /// Binds `path` (removing a stale socket file first) and starts the
+    /// accept loop.
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn bind(path: impl AsRef<Path>, service: Arc<Service>) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    match stream {
+                        Ok(stream) => {
+                            let service = Arc::clone(&service);
+                            std::thread::spawn(move || {
+                                let _ = serve_connection(stream, &service);
+                            });
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+        };
+        Ok(Self {
+            path,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The socket path the server listens on.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = UnixStream::connect(&self.path);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+fn serve_connection(mut stream: UnixStream, service: &Service) -> io::Result<()> {
+    while let Some(payload) = read_frame(&mut stream)? {
+        let reply = match decode_request(&payload) {
+            Ok(request) => compact(&service.submit(request)),
+            Err(e) => WireResponse {
+                outcome: Err(format!("malformed request: {e}")),
+                completion: Completion::Complete,
+                cache: CacheStatus::Bypass,
+                micros: 0,
+            },
+        };
+        write_frame(&mut stream, &encode_response(&reply))?;
+    }
+    Ok(())
+}
+
+/// A blocking client for the framed protocol.
+pub struct WireClient {
+    stream: UnixStream,
+}
+
+impl WireClient {
+    /// Connects to a [`WireServer`] socket.
+    ///
+    /// # Errors
+    /// Propagates connection failures.
+    pub fn connect(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self {
+            stream: UnixStream::connect(path)?,
+        })
+    }
+
+    /// One request–response exchange.
+    ///
+    /// # Errors
+    /// Propagates socket errors and malformed response payloads.
+    pub fn call(&mut self, request: &Request) -> io::Result<WireResponse> {
+        write_frame(&mut self.stream, &encode_request(request))?;
+        match read_frame(&mut self.stream)? {
+            Some(payload) => decode_response(&payload),
+            None => Err(bad("server closed the connection mid-call")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(request: &Request) -> Request {
+        decode_request(&encode_request(request)).expect("roundtrip")
+    }
+
+    #[test]
+    fn request_payloads_roundtrip() {
+        let network = Network::from_pairs(96, &[(0, 95), (3, 64)]);
+        let tests = vec![ChannelVec::zeros(96), ChannelVec::ones(96)];
+        let requests = [
+            Request {
+                network: Network::from_pairs(6, &[(0, 1), (2, 3)]),
+                query: Query::Verify {
+                    property: Property::Selector { k: 2 },
+                    strategy: Strategy::Permutation,
+                },
+                budget: None,
+            },
+            Request {
+                network: network.clone(),
+                query: Query::Coverage {
+                    universe: StandardUniverse::StuckLine,
+                    tests: tests.clone(),
+                    check_redundancy: false,
+                },
+                budget: Some(SweepBudget::unlimited().with_max_blocks(7)),
+            },
+            Request {
+                network,
+                query: Query::Augment {
+                    universe: StandardUniverse::SingleComparator,
+                    tests,
+                },
+                budget: Some(
+                    SweepBudget::unlimited()
+                        .with_max_blocks(1)
+                        .with_max_forks(2),
+                ),
+            },
+        ];
+        for request in &requests {
+            let back = roundtrip_request(request);
+            assert_eq!(back.network, request.network);
+            assert_eq!(back.query, request.query);
+            match (&back.budget, &request.budget) {
+                (None, None) => {}
+                (Some(b), Some(a)) => {
+                    assert_eq!(b.max_blocks, a.max_blocks);
+                    assert_eq!(b.max_forks, a.max_forks);
+                }
+                other => panic!("budget shape changed: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn response_payloads_roundtrip() {
+        let responses = [
+            WireResponse {
+                outcome: Err("exhaustive 2^96 sweep refused; use test-set verification".into()),
+                completion: Completion::Complete,
+                cache: CacheStatus::Bypass,
+                micros: 12,
+            },
+            WireResponse {
+                outcome: Ok(WireAnswer::Verify {
+                    passed: false,
+                    tests_run: 57,
+                    witness: Some((0b10, 6)),
+                }),
+                completion: Completion::Complete,
+                cache: CacheStatus::Miss,
+                micros: 3,
+            },
+            WireResponse {
+                outcome: Ok(WireAnswer::Coverage(CoverageSummary {
+                    total_faults: 10,
+                    redundant_faults: 1,
+                    detected: 8,
+                    missed: 1,
+                    coverage: 8.0 / 9.0,
+                    mean_first_detection: 1.5,
+                    max_first_detection: 4,
+                })),
+                completion: Completion::Partial {
+                    reason: BudgetReason::Deadline,
+                    progress: SweepProgress {
+                        blocks: 3,
+                        vectors: 192,
+                        forks: 0,
+                    },
+                },
+                cache: CacheStatus::Bypass,
+                micros: 99,
+            },
+            WireResponse {
+                outcome: Ok(WireAnswer::Augment {
+                    missed: 2,
+                    candidates_considered: 9,
+                    greedy: vec![ChannelVec::ones(65)],
+                    minimum: vec![ChannelVec::ones(65)],
+                    lower_bound: 1,
+                    certified: true,
+                }),
+                completion: Completion::Complete,
+                cache: CacheStatus::Hit,
+                micros: 7,
+            },
+        ];
+        for response in &responses {
+            let back = decode_response(&encode_response(response)).expect("roundtrip");
+            assert_eq!(&back, response);
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_io_errors() {
+        assert!(decode_request(&[]).is_err());
+        assert!(decode_response(&[9, 9, 9]).is_err());
+        // Trailing garbage is refused, not ignored.
+        let mut payload = encode_request(&Request {
+            network: Network::from_pairs(4, &[(0, 1)]),
+            query: Query::Verify {
+                property: Property::Sorter,
+                strategy: Strategy::MinimalBinary,
+            },
+            budget: None,
+        });
+        payload.push(0xFF);
+        assert!(decode_request(&payload).is_err());
+    }
+}

@@ -1,0 +1,175 @@
+//! End-to-end exercises of the oracle service: the in-process pool and
+//! the Unix-socket wire front, each checked against the cold reference
+//! path.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use sortnet_combinat::ChannelVec;
+use sortnet_faults::universe::StandardUniverse;
+use sortnet_network::budget::SweepBudget;
+use sortnet_network::builders::batcher::odd_even_merge_sort;
+use sortnet_network::Network;
+use sortnet_service::wire::{compact, WireClient, WireServer};
+use sortnet_service::{
+    answer_cold, CacheStatus, Completion, Query, Request, Service, ServiceConfig,
+};
+use sortnet_testsets::verify::{Property, Strategy};
+
+fn sorted_tests(n: usize) -> Vec<ChannelVec> {
+    (0..=n)
+        .map(|ones| ChannelVec::sorted_of(n - ones, ones))
+        .collect()
+}
+
+fn coverage_request(n: usize) -> Request {
+    Request {
+        network: odd_even_merge_sort(n),
+        query: Query::Coverage {
+            universe: StandardUniverse::StuckLine,
+            tests: sorted_tests(n),
+            check_redundancy: n < 32,
+        },
+        budget: None,
+    }
+}
+
+fn socket_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("sortnet-oracle-{}-{tag}.sock", std::process::id()))
+}
+
+#[test]
+fn pooled_service_answers_match_cold_across_query_kinds() {
+    let service = Service::start(ServiceConfig {
+        workers: 2,
+        max_batch: 4,
+        ..ServiceConfig::default()
+    });
+    let config = service.config().clone();
+    let requests = vec![
+        coverage_request(8),
+        coverage_request(96), // typed up-front refusal (packed redundancy)
+        Request {
+            network: odd_even_merge_sort(6),
+            query: Query::Verify {
+                property: Property::Sorter,
+                strategy: Strategy::MinimalBinary,
+            },
+            budget: None,
+        },
+    ];
+    let responses = service.submit_batch(requests.clone());
+    for (request, response) in requests.iter().zip(&responses) {
+        let cold = answer_cold(&config, request);
+        assert_eq!(response.outcome, cold.outcome);
+        assert_eq!(response.completion, cold.completion);
+    }
+    // A repeat of the successful coverage query is a cache hit with the
+    // identical answer.
+    let again = service.submit(requests[0].clone());
+    assert_eq!(again.cache, CacheStatus::Hit);
+    assert_eq!(again.outcome, responses[0].outcome);
+    let stats = service.stats();
+    assert_eq!(stats.answered, 4);
+    assert!(stats.answers.hits >= 1);
+}
+
+#[test]
+fn concurrent_submitters_all_get_their_own_answers() {
+    let service = Arc::new(Service::start(ServiceConfig {
+        workers: 2,
+        max_batch: 8,
+        ..ServiceConfig::default()
+    }));
+    let config = service.config().clone();
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                let request = coverage_request(5 + t % 3);
+                let response = service.submit(request.clone());
+                (request, response)
+            })
+        })
+        .collect();
+    for handle in handles {
+        let (request, response) = handle.join().expect("submitter thread");
+        assert_eq!(response.outcome, answer_cold(&config, &request).outcome);
+        assert_eq!(response.completion, Completion::Complete);
+    }
+}
+
+#[test]
+fn wire_front_round_trips_queries_and_stops_cleanly() {
+    let service = Arc::new(Service::start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    }));
+    let path = socket_path("roundtrip");
+    let server = WireServer::bind(&path, Arc::clone(&service)).expect("bind");
+    let mut client = WireClient::connect(server.path()).expect("connect");
+
+    // A verify, a small coverage, a packed n = 96 coverage and a
+    // budgeted (degrading) query, all over one connection.
+    let wide_tests: Vec<ChannelVec> = (0..=96)
+        .step_by(16)
+        .map(|ones| ChannelVec::sorted_of(96 - ones, ones))
+        .collect();
+    let requests = vec![
+        Request {
+            network: odd_even_merge_sort(8),
+            query: Query::Verify {
+                property: Property::Sorter,
+                strategy: Strategy::MinimalBinary,
+            },
+            budget: None,
+        },
+        coverage_request(6),
+        Request {
+            network: Network::from_pairs(96, &[(0, 48), (1, 49), (2, 95)]),
+            query: Query::Coverage {
+                universe: StandardUniverse::StuckLine,
+                tests: wide_tests,
+                check_redundancy: false,
+            },
+            budget: None,
+        },
+        Request {
+            network: odd_even_merge_sort(8),
+            query: Query::Coverage {
+                universe: StandardUniverse::StuckLine,
+                tests: sorted_tests(8),
+                check_redundancy: true,
+            },
+            budget: Some(SweepBudget::unlimited().with_max_blocks(1)),
+        },
+    ];
+    for request in &requests {
+        let over_wire = client.call(request).expect("wire call");
+        let direct = compact(&service.submit(request.clone()));
+        assert_eq!(over_wire.outcome, direct.outcome);
+        assert_eq!(over_wire.completion, direct.completion);
+    }
+
+    // The typed packed-redundancy refusal crosses the wire as its
+    // pinned display text.
+    let refused = Request {
+        network: Network::from_pairs(96, &[(0, 1)]),
+        query: Query::Coverage {
+            universe: StandardUniverse::StuckLine,
+            tests: vec![ChannelVec::zeros(96)],
+            check_redundancy: true,
+        },
+        budget: None,
+    };
+    let response = client.call(&refused).expect("wire call");
+    let err = response.outcome.expect_err("refusal expected");
+    assert!(
+        err.contains("sweep refused"),
+        "pinned refusal text expected, got: {err}"
+    );
+
+    drop(client);
+    drop(server);
+    assert!(!path.exists(), "server drop removes the socket file");
+}

@@ -42,6 +42,17 @@ fn pool_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// The number of worker threads a consumer started right now would use:
+/// the `RAYON_NUM_THREADS` environment variable if set, otherwise the
+/// machine's available parallelism — real rayon's `current_num_threads`.
+///
+/// Callers that partition external state per worker (e.g. per-chunk
+/// budget meters) use this to size their partitions to the pool.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    pool_threads()
+}
+
 /// A splittable, sequentially drainable work source: the root of every
 /// parallel pipeline and the unit handed to worker threads.
 pub trait ParallelSource: Send + Sized {

@@ -56,6 +56,7 @@ use sortnet_combinat::{BitString, ChannelPack};
 use sortnet_faults::bitsim::{
     detection_matrix_from_source_budgeted, detection_matrix_from_source_packed,
 };
+#[allow(deprecated)] // `minimum_augmentation` still grades through the legacy entry
 use sortnet_faults::coverage::{
     coverage_of_universe_packed_with, coverage_of_universe_with,
     try_coverage_of_universe_packed_with, try_coverage_of_universe_with, CoverageReport,
@@ -631,6 +632,11 @@ impl std::error::Error for AugmentError {}
 /// Panics if a fault does not fit the network, or the pool is
 /// [`CandidatePool::Exhaustive`]/[`CandidatePool::SortedFirst`] with
 /// `n ≥ 32`.
+#[deprecated(
+    since = "0.1.0",
+    note = "panics on refused sweeps; use `try_augmentation_for_missed` and match the typed error"
+)]
+#[allow(deprecated)] // the wrappers delegate to each other until stage 3 reclaims them
 pub fn augmentation_for_missed(
     network: &Network,
     missed: &[MultiFault],
@@ -862,6 +868,11 @@ pub fn try_augmentation_for_missed_packed<P: TestVector>(
 /// # Panics
 /// Panics if the redundancy sweep or an exhaustive pool is asked for
 /// `n ≥ 32`.
+#[deprecated(
+    since = "0.1.0",
+    note = "panics on refused sweeps; use `try_minimum_augmentation` and match the typed error"
+)]
+#[allow(deprecated)] // the wrappers delegate to each other until stage 3 reclaims them
 pub fn minimum_augmentation(
     network: &Network,
     universe: &dyn FaultUniverse,
@@ -977,6 +988,7 @@ pub trait SuggestAugmentation {
 }
 
 impl SuggestAugmentation for CoverageReport {
+    #[allow(deprecated)] // the panicking hook mirrors the legacy wrapper until stage 3
     fn suggest_augmentation(
         &self,
         network: &Network,
@@ -997,6 +1009,7 @@ impl SuggestAugmentation for CoverageReport {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the tests keep the legacy wrappers covered until stage 3
 mod tests {
     use super::*;
     use sortnet_faults::universe::{StandardUniverse, StuckLine};

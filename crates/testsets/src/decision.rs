@@ -78,6 +78,7 @@ pub fn check_certificate(network: &Network, certificate: &Certificate) -> bool {
 /// the property (no certificate exists).
 #[must_use]
 pub fn find_certificate(network: &Network, property: Property) -> Option<Certificate> {
+    #[allow(deprecated)] // certificate extraction shares the legacy panic contract
     let report = crate::verify::verify(network, property, crate::verify::Strategy::MinimalBinary);
     if report.passed {
         return None;

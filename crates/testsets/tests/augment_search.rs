@@ -9,6 +9,10 @@
 //! finding — "the n + 1 sorted strings restore completeness" — enters as
 //! an upper bound the exact search must meet or beat.
 
+// The legacy panicking wrappers stay exercised here until stage 3 of the
+// deprecation path (docs/ERRORS.md) reclaims them.
+#![allow(deprecated)]
+
 use proptest::prelude::*;
 
 use sortnet_combinat::BitString;

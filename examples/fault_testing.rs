@@ -23,7 +23,7 @@
 use sortnet_combinat::{BitString, ChannelVec};
 use sortnet_faults::universe::{Lesion, MultiFault, StuckAt};
 use sortnet_faults::{
-    coverage_of_universe, coverage_of_universe_budgeted_with, coverage_of_universe_packed_with,
+    coverage_of_universe_budgeted_with, coverage_of_universe_packed_with, try_coverage_of_universe,
     Budgeted, FaultSimEngine, FaultUniverse, StandardUniverse, SweepBudget,
 };
 use sortnet_network::builders::batcher::odd_even_merge_sort;
@@ -67,7 +67,8 @@ fn main() {
         );
         for budget in [16usize, 64] {
             let random: Vec<BitString> = (0..budget).map(|_| sampler.random_input(n)).collect();
-            let r = coverage_of_universe(&net, &universe, &random, true);
+            let r = try_coverage_of_universe(&net, &universe, &random, true)
+                .expect("n = 8 is well within the redundancy-sweep bound");
             println!(
                 "  {:<34} {:>7} {:>9} {:>7} {:>13} {:>9.3}",
                 format!("{budget} random inputs"),
@@ -78,7 +79,8 @@ fn main() {
                 r.coverage
             );
         }
-        let r = coverage_of_universe(&net, &universe, &minimal, true);
+        let r = try_coverage_of_universe(&net, &universe, &minimal, true)
+            .expect("n = 8 is well within the redundancy-sweep bound");
         println!(
             "  {:<34} {:>7} {:>9} {:>7} {:>13} {:>9.3}",
             "minimal 0/1 test set (Thm 2.2 i)",

@@ -8,7 +8,7 @@
 
 use sortnet_network::builders::batcher::{half_half_merger, odd_even_merge_sort};
 use sortnet_network::builders::selection::{chain_selector, pruned_selector};
-use sortnet_testsets::verify::{verify, Property, Strategy};
+use sortnet_testsets::verify::{try_verify, Property, Strategy};
 use sortnet_testsets::{merging, selector};
 
 fn main() {
@@ -61,8 +61,10 @@ fn main() {
 
     println!("\n== A merger is not a sorter (and the test sets know it) ==\n");
     let merger = half_half_merger(8);
-    let as_sorter = verify(&merger, Property::Sorter, Strategy::MinimalBinary);
-    let as_merger = verify(&merger, Property::Merger, Strategy::Permutation);
+    let as_sorter = try_verify(&merger, Property::Sorter, Strategy::MinimalBinary)
+        .expect("minimal-binary sweeps have no size refusal at n = 8");
+    let as_merger = try_verify(&merger, Property::Merger, Strategy::Permutation)
+        .expect("permutation sweeps have no size refusal at n = 8");
     println!(
         "odd-even merger (8 lines): merger = {}, sorter = {}",
         as_merger.passed, as_sorter.passed

@@ -15,14 +15,15 @@ use sortnet_network::builders::transposition::odd_even_transposition;
 use sortnet_network::lanes::{self, RangeSource, WideBlock};
 use sortnet_network::Network;
 use sortnet_testsets::sorting;
-use sortnet_testsets::verify::{
-    try_spot_check_sorter_packed, try_verify, verify, Property, Strategy,
-};
+use sortnet_testsets::verify::{try_spot_check_sorter_packed, try_verify, Property, Strategy};
 
 fn check(label: &str, net: &Network) {
-    let exhaustive = verify(net, Property::Sorter, Strategy::Exhaustive);
-    let minimal = verify(net, Property::Sorter, Strategy::MinimalBinary);
-    let permutation = verify(net, Property::Sorter, Strategy::Permutation);
+    let exhaustive = try_verify(net, Property::Sorter, Strategy::Exhaustive)
+        .expect("the demo sizes stay below the exhaustive-sweep refusal");
+    let minimal = try_verify(net, Property::Sorter, Strategy::MinimalBinary)
+        .expect("minimal-binary sweeps have no size refusal at demo sizes");
+    let permutation = try_verify(net, Property::Sorter, Strategy::Permutation)
+        .expect("permutation sweeps have no size refusal at demo sizes");
     assert_eq!(exhaustive.passed, minimal.passed);
     assert_eq!(exhaustive.passed, permutation.passed);
     println!(
@@ -107,7 +108,9 @@ fn main() {
     println!(
         "bitonic sorter: standard = {}, sorter (exhaustive oracle) = {}",
         bitonic.is_standard(),
-        verify(&bitonic, Property::Sorter, Strategy::Exhaustive).passed
+        try_verify(&bitonic, Property::Sorter, Strategy::Exhaustive)
+            .expect("n = 8 is below the exhaustive-sweep refusal")
+            .passed
     );
     check(
         "bitonic sorter, standardised",

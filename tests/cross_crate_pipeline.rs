@@ -2,6 +2,10 @@
 //! test-set generation → verification → rendering/serialisation, as a user
 //! of the workspace would chain them.
 
+// The legacy panicking wrappers stay exercised here until stage 3 of the
+// deprecation path (docs/ERRORS.md) reclaims them.
+#![allow(deprecated)]
+
 use sortnet_combinat::{BitString, Permutation, SymmetricChainDecomposition};
 use sortnet_network::builders::batcher::odd_even_merge_sort;
 use sortnet_network::render::{ascii_diagram, dot};

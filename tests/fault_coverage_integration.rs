@@ -2,6 +2,10 @@
 //! the paper's minimal sorting test set achieves full single-fault coverage
 //! on classical sorters, while small random samples do not.
 
+// The legacy panicking wrappers stay exercised here until stage 3 of the
+// deprecation path (docs/ERRORS.md) reclaims them.
+#![allow(deprecated)]
+
 use sortnet_combinat::BitString;
 use sortnet_faults::simulate::{detects, faulty_apply_bits, is_fault_redundant};
 use sortnet_faults::universe::{FaultUniverse, SingleComparator};

@@ -11,6 +11,10 @@
 //! that are already sorted, and the Theorem 2.2 set deliberately contains
 //! no sorted strings).
 
+// The legacy panicking wrappers stay exercised here until stage 3 of the
+// deprecation path (docs/ERRORS.md) reclaims them.
+#![allow(deprecated)]
+
 use std::collections::BTreeSet;
 
 use sortnet_combinat::BitString;
