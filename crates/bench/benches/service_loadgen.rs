@@ -82,5 +82,14 @@ fn main() -> ExitCode {
         eprintln!("service_loadgen: hot repeats produced no cache hits");
         return ExitCode::FAILURE;
     }
+    if summary.refusals > 0 {
+        // No deadlines, no failpoints, a queue far deeper than the
+        // workload: any typed refusal here is a robustness regression.
+        eprintln!(
+            "service_loadgen: {} request(s) refused under a calm load",
+            summary.refusals
+        );
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }

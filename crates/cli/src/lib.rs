@@ -1,8 +1,11 @@
 //! # sortnet-cli
 //!
 //! Glue crate hosting the workspace's runnable examples (in the top-level
-//! `examples/` directory).  It re-exports the public crates so the examples
-//! can be read as self-contained programs against the workspace API.
+//! `examples/` directory) and the `sortnet-cli` binary — a client for the
+//! oracle service's Unix-socket front (`serve` / `verify` / `coverage` /
+//! `augment`, with `--timeout`, `--retries` and `--deadline-ms` flags; see
+//! `src/main.rs`).  It re-exports the public crates so the examples can be
+//! read as self-contained programs against the workspace API.
 //!
 //! Run them with, e.g.:
 //!
@@ -40,4 +43,5 @@
 pub use sortnet_combinat as combinat;
 pub use sortnet_faults as faults;
 pub use sortnet_network as network;
+pub use sortnet_service as service;
 pub use sortnet_testsets as testsets;

@@ -1,0 +1,291 @@
+//! Command-line client (and one-shot host) for the oracle service's
+//! Unix-socket wire front.
+//!
+//! ```text
+//! # serve a socket until killed
+//! cargo run -p sortnet-cli -- serve --socket /tmp/oracle.sock
+//!
+//! # drive it from another shell, with a resilient client
+//! cargo run -p sortnet-cli -- coverage -n 8 --socket /tmp/oracle.sock \
+//!     --timeout 500 --retries 3 --deadline-ms 2000
+//!
+//! # or do both in one process (no second shell needed)
+//! cargo run -p sortnet-cli -- verify -n 8 --self-host
+//! ```
+//!
+//! Queries are built deterministically from `-n`: the Batcher
+//! odd–even merge sorter on `n` lines, the paper's minimal binary
+//! sorter test set (optionally truncated with `--drop`), stuck-line
+//! faults.  `verify` asks the sorter property over the minimal binary
+//! strategy, `coverage` grades the test set, `augment` searches for
+//! the smallest completion of the truncated set.  The exit status is
+//! non-zero when the oracle answers with any typed error, so the
+//! binary scripts cleanly.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sortnet_combinat::ChannelVec;
+use sortnet_faults::universe::StandardUniverse;
+use sortnet_network::builders::batcher::odd_even_merge_sort;
+use sortnet_service::wire::{WireClient, WireClientConfig, WireResponse, WireServer};
+use sortnet_service::{Query, Request, Service, ServiceConfig};
+use sortnet_testsets::verify::{Property, Strategy};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: sortnet-cli serve   --socket PATH [--workers N]\n\
+         \x20      sortnet-cli verify   -n N [query options]\n\
+         \x20      sortnet-cli coverage -n N [query options]\n\
+         \x20      sortnet-cli augment  -n N [query options]\n\
+         \n\
+         query options:\n\
+         \x20 --socket PATH     socket of a running `serve` instance\n\
+         \x20 --self-host       spin the service up in-process instead\n\
+         \x20 --drop K          truncate the test set by K vectors\n\
+         \x20 --timeout MS      per-call client timeout (default: none)\n\
+         \x20 --retries N       client reconnect retries (default: 0)\n\
+         \x20 --deadline-ms D   per-request service deadline (default: none)"
+    );
+    ExitCode::from(2)
+}
+
+struct Options {
+    socket: Option<String>,
+    self_host: bool,
+    n: usize,
+    drop: usize,
+    workers: usize,
+    timeout: Option<Duration>,
+    retries: u32,
+    deadline: Option<Duration>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            socket: None,
+            self_host: false,
+            n: 8,
+            drop: 0,
+            workers: 2,
+            timeout: None,
+            retries: 0,
+            deadline: None,
+        }
+    }
+}
+
+/// The paper's minimal binary sorter test set, with the last `drop`
+/// vectors withheld (so `coverage` has something to miss and `augment`
+/// has something feasible to restore).
+fn binary_tests(n: usize, drop: usize) -> Vec<ChannelVec> {
+    let mut tests: Vec<ChannelVec> = sortnet_testsets::sorting::binary_testset(n)
+        .into_iter()
+        .map(ChannelVec::from_bitstring)
+        .collect();
+    tests.truncate(tests.len().saturating_sub(drop));
+    tests
+}
+
+fn build_request(command: &str, options: &Options) -> Request {
+    let n = options.n;
+    let query = match command {
+        "verify" => Query::Verify {
+            property: Property::Sorter,
+            strategy: Strategy::MinimalBinary,
+        },
+        "coverage" => Query::Coverage {
+            universe: StandardUniverse::StuckLine,
+            tests: binary_tests(n, options.drop),
+            check_redundancy: false,
+        },
+        _ => Query::Augment {
+            universe: StandardUniverse::StuckLine,
+            tests: binary_tests(n, options.drop),
+        },
+    };
+    Request {
+        network: odd_even_merge_sort(n),
+        query,
+        budget: None,
+        deadline: options.deadline.map(|d| Instant::now() + d),
+    }
+}
+
+fn print_response(response: &WireResponse) -> bool {
+    println!("completion: {:?}", response.completion);
+    println!("cache:      {:?}", response.cache);
+    println!("micros:     {}", response.micros);
+    match &response.outcome {
+        Ok(answer) => {
+            println!("answer:     {answer:?}");
+            true
+        }
+        Err(text) => {
+            println!("error:      {text}");
+            false
+        }
+    }
+}
+
+fn run_query(command: &str, options: &Options) -> ExitCode {
+    let request = build_request(command, options);
+    let client_config = WireClientConfig {
+        call_timeout: options.timeout,
+        retries: options.retries,
+        ..WireClientConfig::default()
+    };
+
+    // One-shot self-hosting: service + wire server + client in-process,
+    // over a private socket, torn down before exit.
+    let (_host, socket) = if options.self_host {
+        let service = Arc::new(Service::start(ServiceConfig {
+            workers: options.workers,
+            ..ServiceConfig::default()
+        }));
+        let path = std::env::temp_dir().join(format!("sortnet-cli-{}.sock", std::process::id()));
+        match WireServer::bind(&path, service) {
+            Ok(server) => (Some(server), path.display().to_string()),
+            Err(e) => {
+                eprintln!("sortnet-cli: self-host bind failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match &options.socket {
+            Some(path) => (None, path.clone()),
+            None => {
+                eprintln!("sortnet-cli: {command} needs --socket PATH or --self-host");
+                return usage();
+            }
+        }
+    };
+
+    let mut client = match WireClient::connect_with(&socket, client_config) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("sortnet-cli: connect to {socket} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match client.call(&request) {
+        Ok(response) => {
+            if client.retries_used() > 0 {
+                println!("retries:    {}", client.retries_used());
+            }
+            if print_response(&response) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!(
+                "sortnet-cli: call failed after {} retries: {e}",
+                options.retries
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_serve(options: &Options) -> ExitCode {
+    let Some(socket) = &options.socket else {
+        eprintln!("sortnet-cli: serve needs --socket PATH");
+        return usage();
+    };
+    let service = Arc::new(Service::start(ServiceConfig {
+        workers: options.workers,
+        ..ServiceConfig::default()
+    }));
+    let server = match WireServer::bind(socket, service) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("sortnet-cli: bind {socket} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "serving on {}; kill the process to stop",
+        server.path().display()
+    );
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        return usage();
+    };
+    if !matches!(
+        command.as_str(),
+        "serve" | "verify" | "coverage" | "augment"
+    ) {
+        return usage();
+    }
+
+    let mut options = Options::default();
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| -> Result<u64, ExitCode> {
+            args.next()
+                .as_deref()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| {
+                    eprintln!("sortnet-cli: {what} needs a numeric argument");
+                    usage()
+                })
+        };
+        match arg.as_str() {
+            "--socket" => match args.next() {
+                Some(path) => options.socket = Some(path),
+                None => {
+                    eprintln!("sortnet-cli: --socket needs a path argument");
+                    return usage();
+                }
+            },
+            "--self-host" => options.self_host = true,
+            "-n" | "--lines" => match value("-n") {
+                Ok(v) if (2..=512).contains(&(v as usize)) => options.n = v as usize,
+                Ok(_) => {
+                    eprintln!("sortnet-cli: -n must be in 2..=512");
+                    return usage();
+                }
+                Err(code) => return code,
+            },
+            "--drop" => match value("--drop") {
+                Ok(v) => options.drop = v as usize,
+                Err(code) => return code,
+            },
+            "--workers" => match value("--workers") {
+                Ok(v) if v >= 1 => options.workers = v as usize,
+                Ok(_) => {
+                    eprintln!("sortnet-cli: --workers must be at least 1");
+                    return usage();
+                }
+                Err(code) => return code,
+            },
+            "--timeout" => match value("--timeout") {
+                Ok(v) => options.timeout = Some(Duration::from_millis(v)),
+                Err(code) => return code,
+            },
+            "--retries" => match value("--retries") {
+                Ok(v) => options.retries = v.min(u64::from(u32::MAX)) as u32,
+                Err(code) => return code,
+            },
+            "--deadline-ms" => match value("--deadline-ms") {
+                Ok(v) => options.deadline = Some(Duration::from_millis(v)),
+                Err(code) => return code,
+            },
+            _ => return usage(),
+        }
+    }
+
+    match command.as_str() {
+        "serve" => run_serve(&options),
+        _ => run_query(&command, &options),
+    }
+}

@@ -452,6 +452,7 @@ pub fn grind_service_cache(seed: u64, queries_per_leg: u64) -> CacheGrindReport 
                             check_redundancy: n < 32 && rng.random_range(0u32..2) == 0,
                         },
                         budget: None,
+                        deadline: None,
                     }
                 })
                 .collect();
@@ -490,13 +491,246 @@ pub fn grind_service_cache(seed: u64, queries_per_leg: u64) -> CacheGrindReport 
     report
 }
 
+/// Tally of one [`grind_service_chaos`] run.
+#[derive(Clone, Debug, Default)]
+pub struct ChaosReport {
+    /// In-process requests submitted (leg 1).
+    pub submitted: u64,
+    /// Replies received — must equal `submitted` (exactly one reply per
+    /// request, panics and stalls notwithstanding).
+    pub replies: u64,
+    /// Replies that answered `Ok` and complete.
+    pub complete: u64,
+    /// Replies that degraded to a typed partial (budget or deadline).
+    pub partials: u64,
+    /// Typed service-level refusals (quarantine, expired deadline,
+    /// overload).
+    pub refusals: u64,
+    /// Typed engine refusals — the cold path reproduces these, so they
+    /// take part in the differential comparison.
+    pub engine_refusals: u64,
+    /// Wire calls that completed (leg 2).
+    pub wire_calls: u64,
+    /// Client reconnects spent healing torn frames and stalled reads.
+    pub wire_retries: u64,
+    /// Evaluation panics the pool's supervision caught.
+    pub service_panics: u64,
+    /// Worker-loop respawns after escaped panics.
+    pub worker_restarts: u64,
+    /// Divergences and invariant violations; empty on a clean grind.
+    pub mismatches: Vec<String>,
+}
+
+/// Chaos grind of the oracle service: replays the seeded loadgen
+/// workload through a service whose failpoints are armed (per-request
+/// panics, escaped worker crashes, queue stalls) and then drives the
+/// wire front under torn reply frames and stalled reads with a retrying
+/// client.
+///
+/// Invariants checked (violations land in
+/// [`mismatches`](ChaosReport::mismatches)):
+///
+/// * every submitted request gets exactly one reply — an answer or a
+///   typed refusal, never a hang or a dropped channel;
+/// * every undecorated request's answer (no budget, no deadline) is
+///   bit-identical to [`sortnet_service::answer_cold`], panic-retries
+///   and cache traffic notwithstanding;
+/// * every wire call, healed by retries where needed, returns the same
+///   compacted answer the cold path gives.
+///
+/// Requires the service's `failpoints` feature (this crate always
+/// enables it).  The registry is process-global: do not run this
+/// concurrently with other failpoint users in the same process.
+#[must_use]
+pub fn grind_service_chaos(seed: u64, queries: usize, wire_queries: u64) -> ChaosReport {
+    use std::collections::HashMap;
+    use std::time::{Duration, Instant};
+
+    use sortnet_service::failpoint::{self, Schedule};
+    use sortnet_service::loadgen::{workload, LoadgenOptions};
+    use sortnet_service::oracle::AnswerKey;
+    use sortnet_service::wire::{compact, WireClient, WireClientConfig, WireServer};
+    use sortnet_service::{answer_cold, Completion, Request, Service, ServiceConfig, ServiceError};
+
+    let mut report = ChaosReport::default();
+    failpoint::reset();
+
+    // ---- leg 1: the pool under panic / crash / stall injection ------
+    failpoint::configure("worker-panic", Schedule::Seeded { seed, permille: 60 });
+    failpoint::configure(
+        "worker-crash",
+        Schedule::Seeded {
+            seed: seed ^ 0xA5A5,
+            permille: 8,
+        },
+    );
+    failpoint::configure_sleep(
+        "queue-stall",
+        Schedule::Seeded {
+            seed: seed ^ 0x5A5A,
+            permille: 40,
+        },
+        Duration::from_millis(3),
+    );
+
+    let config = ServiceConfig {
+        workers: 2,
+        max_batch: 8,
+        ..ServiceConfig::default()
+    };
+    let mut requests = workload(&LoadgenOptions {
+        seed,
+        queries,
+        check_against_cold: false,
+        ..LoadgenOptions::default()
+    });
+    // Sprinkle tight deadlines: under the injected stalls some expire
+    // at dequeue, some degrade mid-sweep — all must come back typed.
+    for (index, request) in requests.iter_mut().enumerate() {
+        if index % 9 == 3 {
+            request.deadline = Some(Instant::now() + Duration::from_millis(1));
+        }
+    }
+    // Cold references, memoised; the failpoint sites live in the pool
+    // and wire layers, so the cold path is unaffected by the arming.
+    let mut cold: HashMap<AnswerKey, sortnet_service::Response> = HashMap::new();
+    let service = Service::start(config.clone());
+    for wave in requests.chunks(8) {
+        let responses = service.submit_batch(wave.to_vec());
+        report.submitted += wave.len() as u64;
+        report.replies += responses.len() as u64;
+        for (request, response) in wave.iter().zip(&responses) {
+            match &response.outcome {
+                Err(ServiceError::Engine(_)) => report.engine_refusals += 1,
+                Err(_) => {
+                    report.refusals += 1;
+                    continue;
+                }
+                Ok(_) => {}
+            }
+            if matches!(response.completion, Completion::Complete) {
+                report.complete += 1;
+            } else {
+                report.partials += 1;
+            }
+            // Only undecorated requests are comparable to the memoised
+            // cold path — budgets change completion and deadlines ride
+            // the bypass path with an intersected budget.
+            if request.budget.is_none() && request.deadline.is_none() {
+                let reference = cold
+                    .entry(AnswerKey::of(request))
+                    .or_insert_with(|| answer_cold(&config, request));
+                if reference.outcome != response.outcome
+                    || reference.completion != response.completion
+                {
+                    report.mismatches.push(format!(
+                        "chaos pool leg: service answered {:?}/{:?}, cold answered {:?}/{:?}",
+                        response.outcome,
+                        response.completion,
+                        reference.outcome,
+                        reference.completion,
+                    ));
+                }
+            }
+        }
+    }
+    let stats = service.stats();
+    report.service_panics = stats.panics;
+    report.worker_restarts = stats.worker_restarts;
+    drop(service);
+    failpoint::reset();
+
+    // ---- leg 2: the wire front under torn frames and stalled reads --
+    failpoint::configure(
+        "torn-frame",
+        Schedule::Seeded {
+            seed: seed ^ 0x0FF0,
+            permille: 150,
+        },
+    );
+    failpoint::configure_sleep(
+        "slow-read",
+        Schedule::Seeded {
+            seed: seed ^ 0xF00F,
+            permille: 80,
+        },
+        Duration::from_millis(120),
+    );
+    let service = std::sync::Arc::new(Service::start(config.clone()));
+    let path = std::env::temp_dir().join(format!(
+        "sortnet-chaos-grind-{}-{seed:x}.sock",
+        std::process::id()
+    ));
+    match WireServer::bind(&path, std::sync::Arc::clone(&service)) {
+        Err(e) => report
+            .mismatches
+            .push(format!("wire leg: bind failed: {e}")),
+        Ok(server) => {
+            let wire_pool: Vec<Request> = requests
+                .iter()
+                .filter(|r| r.budget.is_none() && r.deadline.is_none())
+                .take(4)
+                .cloned()
+                .collect();
+            let client = WireClient::connect_with(
+                &path,
+                WireClientConfig {
+                    call_timeout: Some(Duration::from_millis(50)),
+                    retries: 12,
+                    backoff_base: Duration::from_millis(2),
+                    seed,
+                    ..WireClientConfig::default()
+                },
+            );
+            match client {
+                Err(e) => report
+                    .mismatches
+                    .push(format!("wire leg: connect failed: {e}")),
+                Ok(mut client) => {
+                    for index in 0..wire_queries {
+                        let request = &wire_pool[(index as usize) % wire_pool.len()];
+                        match client.call(request) {
+                            Ok(reply) => {
+                                report.wire_calls += 1;
+                                let reference = compact(
+                                    cold.entry(AnswerKey::of(request))
+                                        .or_insert_with(|| answer_cold(&config, request)),
+                                );
+                                if reply.outcome != reference.outcome
+                                    || reply.completion != reference.completion
+                                {
+                                    report.mismatches.push(format!(
+                                        "wire leg: call {index} diverged: {:?}/{:?} vs cold \
+                                         {:?}/{:?}",
+                                        reply.outcome,
+                                        reply.completion,
+                                        reference.outcome,
+                                        reference.completion,
+                                    ));
+                                }
+                            }
+                            Err(e) => report.mismatches.push(format!(
+                                "wire leg: call {index} failed through all retries: {e}"
+                            )),
+                        }
+                    }
+                    report.wire_retries = client.retries_used();
+                }
+            }
+            drop(server);
+        }
+    }
+    failpoint::reset();
+    report
+}
+
 /// The cold reference (outcome, completion) for one request under one
 /// engine, with the grinder's fixed service knobs.
 fn answer_cold_outcome(
     request: &sortnet_service::Request,
     engine: FaultSimEngine,
 ) -> (
-    Result<sortnet_service::Answer, sortnet_network::error::EngineError>,
+    Result<sortnet_service::Answer, sortnet_service::ServiceError>,
     sortnet_service::Completion,
 ) {
     use sortnet_service::{answer_cold, ServiceConfig};

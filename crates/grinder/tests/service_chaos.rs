@@ -1,0 +1,67 @@
+//! The chaos leg on its pinned CI seed: every request answered exactly
+//! once, answers bit-identical to cold, wire calls healed by retries,
+//! and no threads leaked once the services are gone.
+//!
+//! The failpoint registry is process-global, so this is the only
+//! failpoint user in this test binary.
+
+use std::time::{Duration, Instant};
+
+use sortnet_grinder::grind_service_chaos;
+
+const PINNED_SEED: u64 = 0xC0FF_EE00_5EED;
+
+/// Live threads of this process, from `/proc/self/status`.
+fn thread_count() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").expect("proc status");
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .and_then(|rest| rest.trim().parse().ok())
+        .expect("Threads: line")
+}
+
+#[test]
+fn chaos_grind_is_clean_on_the_pinned_seed() {
+    let baseline = thread_count();
+    let report = grind_service_chaos(PINNED_SEED, 120, 24);
+
+    assert_eq!(
+        report.submitted, report.replies,
+        "every request gets exactly one reply: {report:?}"
+    );
+    assert_eq!(report.submitted, 120);
+    assert!(
+        report.mismatches.is_empty(),
+        "chaos grind diverged:\n{}",
+        report.mismatches.join("\n")
+    );
+    assert!(
+        report.service_panics > 0,
+        "the panic failpoint must actually fire: {report:?}"
+    );
+    assert!(
+        report.complete > 0,
+        "most of the workload still answers: {report:?}"
+    );
+    assert_eq!(report.wire_calls, 24, "every wire call must be healed");
+    assert!(
+        report.wire_retries > 0,
+        "the torn-frame/slow-read failpoints must actually fire: {report:?}"
+    );
+
+    // Both services and the wire server are dropped: worker, handler,
+    // accept and reaper threads must all be gone.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let now = thread_count();
+        if now <= baseline {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "threads leaked: {now} alive vs baseline {baseline}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}

@@ -10,6 +10,7 @@
 
 use std::collections::HashMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
+use std::time::{Duration, Instant};
 
 /// Cumulative counters of one cache instance.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -20,6 +21,11 @@ pub struct CacheCounters {
     pub misses: u64,
     /// Entries displaced by capacity pressure (not overwrites).
     pub evictions: u64,
+    /// Entries dropped because their TTL elapsed — counted separately
+    /// from capacity evictions, on both the lookup path (a stale hit is
+    /// a miss plus an expiration) and the insert path (displacing a
+    /// stale tail is an expiration, not an eviction).
+    pub expirations: u64,
 }
 
 const NIL: usize = usize::MAX;
@@ -27,16 +33,20 @@ const NIL: usize = usize::MAX;
 struct Entry<K, V> {
     key: K,
     value: V,
+    inserted: Instant,
     prev: usize,
     next: usize,
 }
 
-/// An LRU map of bounded capacity.
+/// An LRU map of bounded capacity, with optional entry TTL.
 ///
 /// `get` refreshes recency; `insert` evicts the least-recently-used
 /// entry when full.  A capacity of zero caches nothing (every lookup
 /// is a miss, every insert an immediate no-op) — the configuration
-/// spelling for "cache off".
+/// spelling for "cache off".  With a TTL ([`Lru::with_ttl`]) an entry
+/// older than the TTL is never served: the lookup removes it, counts an
+/// expiration, and reports a miss, so stale answers cannot outlive
+/// their window no matter how hot they are.
 pub struct Lru<K, V> {
     map: HashMap<K, usize>,
     slab: Vec<Entry<K, V>>,
@@ -44,13 +54,21 @@ pub struct Lru<K, V> {
     head: usize,
     tail: usize,
     capacity: usize,
+    ttl: Option<Duration>,
     counters: CacheCounters,
 }
 
 impl<K: Hash + Eq + Clone, V> Lru<K, V> {
-    /// An empty cache holding at most `capacity` entries.
+    /// An empty cache holding at most `capacity` entries, no TTL.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
+        Self::with_ttl(capacity, None)
+    }
+
+    /// An empty cache holding at most `capacity` entries whose entries
+    /// expire `ttl` after insertion (overwrites restart the clock).
+    #[must_use]
+    pub fn with_ttl(capacity: usize, ttl: Option<Duration>) -> Self {
         Self {
             map: HashMap::with_capacity(capacity.min(1024)),
             slab: Vec::with_capacity(capacity.min(1024)),
@@ -58,6 +76,7 @@ impl<K: Hash + Eq + Clone, V> Lru<K, V> {
             head: NIL,
             tail: NIL,
             capacity,
+            ttl,
             counters: CacheCounters::default(),
         }
     }
@@ -80,10 +99,25 @@ impl<K: Hash + Eq + Clone, V> Lru<K, V> {
         self.counters
     }
 
+    fn is_expired(&self, idx: usize) -> bool {
+        self.ttl
+            .is_some_and(|ttl| self.slab[idx].inserted.elapsed() >= ttl)
+    }
+
     /// Looks `key` up, refreshing its recency and counting the outcome.
+    /// An entry past its TTL is removed, counted as an expiration, and
+    /// reported as a miss — never served.
     pub fn get(&mut self, key: &K) -> Option<&V> {
         match self.map.get(key).copied() {
             Some(idx) => {
+                if self.is_expired(idx) {
+                    self.unlink(idx);
+                    self.map.remove(key);
+                    self.free.push(idx);
+                    self.counters.expirations += 1;
+                    self.counters.misses += 1;
+                    return None;
+                }
                 self.counters.hits += 1;
                 self.unlink(idx);
                 self.push_front(idx);
@@ -97,13 +131,14 @@ impl<K: Hash + Eq + Clone, V> Lru<K, V> {
     }
 
     /// Inserts (or overwrites) `key`, evicting the least-recently-used
-    /// entry if the cache is full.
+    /// entry if the cache is full.  Overwrites restart the TTL clock.
     pub fn insert(&mut self, key: K, value: V) {
         if self.capacity == 0 {
             return;
         }
         if let Some(&idx) = self.map.get(&key) {
             self.slab[idx].value = value;
+            self.slab[idx].inserted = Instant::now();
             self.unlink(idx);
             self.push_front(idx);
             return;
@@ -111,14 +146,19 @@ impl<K: Hash + Eq + Clone, V> Lru<K, V> {
         if self.map.len() >= self.capacity {
             let victim = self.tail;
             debug_assert_ne!(victim, NIL, "a full cache has a tail");
+            if self.is_expired(victim) {
+                self.counters.expirations += 1;
+            } else {
+                self.counters.evictions += 1;
+            }
             self.unlink(victim);
             self.map.remove(&self.slab[victim].key);
             self.free.push(victim);
-            self.counters.evictions += 1;
         }
         let entry = Entry {
             key: key.clone(),
             value,
+            inserted: Instant::now(),
             prev: NIL,
             next: NIL,
         };
@@ -236,5 +276,46 @@ mod tests {
     fn fingerprint_is_deterministic_and_input_sensitive() {
         assert_eq!(fingerprint(&(1u64, "a")), fingerprint(&(1u64, "a")));
         assert_ne!(fingerprint(&(1u64, "a")), fingerprint(&(2u64, "a")));
+    }
+
+    #[test]
+    fn expired_entries_are_never_served_and_counted_separately() {
+        // A zero TTL expires an entry the instant it lands.
+        let mut lru: Lru<u32, &str> = Lru::with_ttl(4, Some(Duration::ZERO));
+        lru.insert(1, "one");
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.get(&1), None, "an expired entry is never served");
+        assert!(lru.is_empty(), "the stale lookup removed it");
+        let c = lru.counters();
+        assert_eq!(c.expirations, 1);
+        assert_eq!(c.evictions, 0, "TTL drops are not capacity evictions");
+        assert_eq!(c.hits, 0);
+        assert_eq!(c.misses, 1, "a stale hit reads as a miss to callers");
+        // Reinsert after expiry: a fresh entry, fresh clock.
+        lru.insert(1, "again");
+        assert_eq!(lru.get(&1), None);
+        assert_eq!(lru.counters().expirations, 2);
+    }
+
+    #[test]
+    fn generous_ttl_serves_normally_and_overwrite_restarts_the_clock() {
+        let mut lru: Lru<u32, u32> = Lru::with_ttl(2, Some(Duration::from_secs(3600)));
+        lru.insert(1, 10);
+        assert_eq!(lru.get(&1), Some(&10));
+        lru.insert(1, 11);
+        assert_eq!(lru.get(&1), Some(&11));
+        let c = lru.counters();
+        assert_eq!(c.expirations, 0);
+        assert_eq!(c.hits, 2);
+    }
+
+    #[test]
+    fn displacing_a_stale_tail_counts_as_expiration_not_eviction() {
+        let mut lru: Lru<u32, u32> = Lru::with_ttl(1, Some(Duration::ZERO));
+        lru.insert(1, 10);
+        lru.insert(2, 20); // the stale tail (1) is displaced
+        let c = lru.counters();
+        assert_eq!(c.expirations, 1);
+        assert_eq!(c.evictions, 0);
     }
 }

@@ -1,0 +1,119 @@
+//! The service-level error taxonomy.
+//!
+//! The engine crates refuse or degrade with [`EngineError`]; the
+//! service adds failure modes of its own — overload shedding, expired
+//! deadlines, quarantined panicking requests — that the engines cannot
+//! know about.  [`ServiceError`] is the union: engine refusals pass
+//! through transparently (same pinned display text, so wire clients and
+//! tests that match on e.g. `"sweep refused"` keep working), and the
+//! service-native variants get pinned prefixes of their own
+//! (`"service overloaded"`, `"deadline expired"`,
+//! `"evaluation panicked"`).
+
+use std::time::Duration;
+
+use sortnet_network::error::EngineError;
+
+/// Why the service refused (or could not complete) a request.
+///
+/// `#[non_exhaustive]` like [`EngineError`]: matching code must carry a
+/// wildcard arm so later service PRs can add failure modes without
+/// breaking callers.
+#[non_exhaustive]
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The engine's own typed refusal, passed through unchanged.
+    Engine(EngineError),
+    /// The queue was full and the shed policy refused this request (or
+    /// evicted it to admit newer work).  Pure backpressure: nothing was
+    /// evaluated, resubmitting later is always safe.
+    Overloaded {
+        /// Jobs waiting in the queue when the request was shed.
+        queue_depth: usize,
+        /// A rough "come back in" estimate from the queue depth and the
+        /// pool's moving average service time.  A hint, not a promise.
+        retry_after_hint: Duration,
+    },
+    /// The request's deadline had already passed when a worker dequeued
+    /// it; the engine was never touched.
+    DeadlineExpired {
+        /// How far past the deadline the dequeue happened.
+        late_by: Duration,
+    },
+    /// Evaluating this request panicked repeatedly and the request is
+    /// quarantined; it will keep getting this answer (never a retry
+    /// loop, never a worker death) until the service restarts.
+    WorkerPanicked {
+        /// Evaluation attempts that panicked before quarantine.
+        attempts: u32,
+    },
+}
+
+impl From<EngineError> for ServiceError {
+    fn from(e: EngineError) -> Self {
+        ServiceError::Engine(e)
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            // Transparent: engine refusals keep their pinned texts.
+            ServiceError::Engine(e) => write!(f, "{e}"),
+            ServiceError::Overloaded {
+                queue_depth,
+                retry_after_hint,
+            } => write!(
+                f,
+                "service overloaded: {queue_depth} requests queued; retry in ~{} ms",
+                retry_after_hint.as_millis()
+            ),
+            ServiceError::DeadlineExpired { late_by } => write!(
+                f,
+                "deadline expired {} µs before evaluation began",
+                late_by.as_micros()
+            ),
+            ServiceError::WorkerPanicked { attempts } => write!(
+                f,
+                "evaluation panicked {attempts} time(s); request quarantined"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_errors_pass_their_pinned_text_through() {
+        let inner = EngineError::SweepTooLarge { lines: 96 };
+        let wrapped = ServiceError::from(inner.clone());
+        assert_eq!(wrapped.to_string(), inner.to_string());
+        assert_eq!(wrapped, ServiceError::Engine(inner));
+    }
+
+    #[test]
+    fn service_variants_have_pinned_prefixes() {
+        let overloaded = ServiceError::Overloaded {
+            queue_depth: 7,
+            retry_after_hint: Duration::from_millis(3),
+        };
+        assert!(overloaded.to_string().starts_with("service overloaded"));
+        let expired = ServiceError::DeadlineExpired {
+            late_by: Duration::from_micros(42),
+        };
+        assert!(expired.to_string().starts_with("deadline expired"));
+        let panicked = ServiceError::WorkerPanicked { attempts: 2 };
+        assert!(panicked.to_string().starts_with("evaluation panicked"));
+    }
+}

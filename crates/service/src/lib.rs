@@ -25,6 +25,16 @@
 //!   points, so one oversized query degrades to a typed
 //!   [`Completion::Partial`] answer instead of stalling the queue.
 //!
+//! On top of the serving levers sits a **robustness layer**: admission
+//! control with a typed [`ServiceError::Overloaded`] refusal and a
+//! configurable shed policy ([`pool`]), per-request deadlines checked
+//! at dequeue and intersected with the sweep budget ([`oracle`]),
+//! per-request `catch_unwind` worker supervision with a quarantine
+//! ledger ([`pool`]), connection deadlines / an idle reaper / a
+//! retrying client on the wire ([`wire`]), and a deterministic
+//! fault-injection registry ([`failpoint`]) the grinder's chaos leg
+//! drives.
+//!
 //! The front ends: a direct in-process API ([`Service`]) driven by the
 //! CLI, benches and the grinder, and a minimal length-prefixed wire
 //! protocol over a Unix socket ([`wire`]).  A seeded load generator
@@ -35,20 +45,25 @@
 //! See `docs/SERVICE.md` for the architecture notes and the exact
 //! batching/caching rules.
 
+use std::time::Duration;
+
 use sortnet_faults::FaultSimEngine;
 use sortnet_network::budget::SweepBudget;
 use sortnet_network::lanes::Backend;
 
 pub mod cache;
+pub mod error;
+pub mod failpoint;
 pub mod loadgen;
 pub mod oracle;
 pub mod pool;
 pub mod wire;
 
+pub use error::ServiceError;
 pub use oracle::{
     answer_cold, Answer, AugmentSummary, CacheStatus, Completion, Query, Request, Response,
 };
-pub use pool::{Service, ServiceStats};
+pub use pool::{Service, ServiceStats, ShedPolicy};
 
 /// Tuning knobs of one [`Service`] instance.
 #[derive(Clone, Debug)]
@@ -67,6 +82,12 @@ pub struct ServiceConfig {
     pub answer_cache: usize,
     /// Detection-matrix cache capacity in entries (0 = off).
     pub matrix_cache: usize,
+    /// Answer-cache entry time-to-live; `None` never expires.  Expired
+    /// entries are never served and are counted separately from LRU
+    /// evictions (see [`cache::CacheCounters::expirations`]).
+    pub answer_ttl: Option<Duration>,
+    /// Detection-matrix cache entry time-to-live; `None` never expires.
+    pub matrix_ttl: Option<Duration>,
     /// Budget applied to requests that do not carry their own.  Any
     /// bounded effective budget routes a request down the solo,
     /// cache-bypassing path (see [`oracle::answer_batch`]).
@@ -74,6 +95,18 @@ pub struct ServiceConfig {
     /// Branch-and-bound node cap for augmentation searches; `None`
     /// runs every search to certification.
     pub node_budget: Option<u64>,
+    /// Most jobs allowed to wait in the queue before admission control
+    /// sheds work (`0` = unbounded, the pre-admission-control
+    /// behaviour).  A full queue answers with a typed
+    /// [`ServiceError::Overloaded`] refusal instead of blocking.
+    pub queue_capacity: usize,
+    /// What to shed when the queue is full: the incoming request or the
+    /// oldest queued one.
+    pub shed_policy: ShedPolicy,
+    /// Panicking evaluation attempts a request gets before it is
+    /// quarantined and answered with a typed
+    /// [`ServiceError::WorkerPanicked`].
+    pub panic_attempts: u32,
 }
 
 impl Default for ServiceConfig {
@@ -85,8 +118,13 @@ impl Default for ServiceConfig {
             backend: Backend::active(),
             answer_cache: 256,
             matrix_cache: 32,
+            answer_ttl: None,
+            matrix_ttl: None,
             default_budget: SweepBudget::unlimited(),
             node_budget: Some(10_000),
+            queue_capacity: 1024,
+            shed_policy: ShedPolicy::RejectNew,
+            panic_attempts: 2,
         }
     }
 }

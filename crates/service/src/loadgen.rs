@@ -26,6 +26,7 @@ use sortnet_network::builders::batcher::odd_even_merge_sort;
 use sortnet_network::Network;
 use sortnet_testsets::verify::{Property, Strategy};
 
+use crate::error::ServiceError;
 use crate::oracle::{answer_cold, AnswerKey, CacheStatus, Completion, Query, Request};
 use crate::pool::Service;
 use crate::ServiceConfig;
@@ -117,6 +118,12 @@ pub struct LoadgenSummary {
     pub hit_rate: f64,
     /// Responses that degraded to [`Completion::Partial`].
     pub partials: u64,
+    /// Service-level refusals (overload, deadline, quarantine) — not
+    /// engine errors, which the cold path reproduces and the mismatch
+    /// counter covers.  Refused responses are excluded from the cold
+    /// comparison; under the default unbounded-ish queue this workload
+    /// must produce zero.
+    pub refusals: u64,
     /// Responses whose outcome or completion differed from
     /// [`answer_cold`] — must be zero.
     pub mismatches: u64,
@@ -144,6 +151,7 @@ impl LoadgenSummary {
                 "  \"matrix_hits\": {},\n",
                 "  \"hit_rate\": {:.4},\n",
                 "  \"partials\": {},\n",
+                "  \"refusals\": {},\n",
                 "  \"mismatches\": {}\n",
                 "}}\n",
             ),
@@ -160,6 +168,7 @@ impl LoadgenSummary {
             self.matrix_hits,
             self.hit_rate,
             self.partials,
+            self.refusals,
             self.mismatches,
         )
     }
@@ -223,6 +232,7 @@ pub fn workload(options: &LoadgenOptions) -> Vec<Request> {
                 check_redundancy: true,
             },
             budget: None,
+            deadline: None,
         },
         Request {
             network: odd_even_merge_sort(6),
@@ -232,6 +242,7 @@ pub fn workload(options: &LoadgenOptions) -> Vec<Request> {
                 check_redundancy: false,
             },
             budget: None,
+            deadline: None,
         },
         Request {
             network: odd_even_merge_sort(8),
@@ -240,6 +251,7 @@ pub fn workload(options: &LoadgenOptions) -> Vec<Request> {
                 strategy: Strategy::MinimalBinary,
             },
             budget: None,
+            deadline: None,
         },
         Request {
             network: odd_even_merge_sort(6),
@@ -248,6 +260,7 @@ pub fn workload(options: &LoadgenOptions) -> Vec<Request> {
                 tests: binary_sorter_tests(6),
             },
             budget: None,
+            deadline: None,
         },
         Request {
             network: wide_hot_network(),
@@ -257,6 +270,7 @@ pub fn workload(options: &LoadgenOptions) -> Vec<Request> {
                 check_redundancy: false,
             },
             budget: None,
+            deadline: None,
         },
     ];
 
@@ -272,6 +286,7 @@ pub fn workload(options: &LoadgenOptions) -> Vec<Request> {
             check_redundancy: false,
         },
         budget: None,
+        deadline: None,
     };
 
     (0..options.queries)
@@ -297,6 +312,7 @@ pub fn workload(options: &LoadgenOptions) -> Vec<Request> {
                     network: odd_even_merge_sort(n),
                     query: Query::Verify { property, strategy },
                     budget: None,
+                    deadline: None,
                 }
             }
             // 10 % augmentation of a truncated base set.  Some
@@ -313,6 +329,7 @@ pub fn workload(options: &LoadgenOptions) -> Vec<Request> {
                         tests: base[..keep].to_vec(),
                     },
                     budget: None,
+                    deadline: None,
                 }
             }
             // 20 % cold coverage of random small networks.
@@ -329,6 +346,7 @@ pub fn workload(options: &LoadgenOptions) -> Vec<Request> {
                         check_redundancy,
                     },
                     budget: None,
+                    deadline: None,
                 }
             }
             // 10 % cold n = 96 packed coverage; one in four asks for the
@@ -344,6 +362,7 @@ pub fn workload(options: &LoadgenOptions) -> Vec<Request> {
                         check_redundancy,
                     },
                     budget: None,
+                    deadline: None,
                 }
             }
             // 5 % deliberately starved budgets: one admitted block can
@@ -383,6 +402,7 @@ pub fn run(config: &ServiceConfig, options: &LoadgenOptions) -> LoadgenSummary {
     let mut misses = 0u64;
     let mut bypasses = 0u64;
     let mut partials = 0u64;
+    let mut refusals = 0u64;
     let mut mismatches = 0u64;
     // Cold reference answers, memoised so a hot request is only ever
     // recomputed once per distinct budget.
@@ -403,6 +423,12 @@ pub fn run(config: &ServiceConfig, options: &LoadgenOptions) -> LoadgenSummary {
             }
             if !matches!(response.completion, Completion::Complete) {
                 partials += 1;
+            }
+            // A service-level refusal never reaches the engine, so the
+            // cold path has nothing to agree with — count it apart.
+            if matches!(&response.outcome, Err(e) if !matches!(e, ServiceError::Engine(_))) {
+                refusals += 1;
+                continue;
             }
             if options.check_against_cold {
                 let key = (AnswerKey::of(request), budget_axes(request));
@@ -441,6 +467,7 @@ pub fn run(config: &ServiceConfig, options: &LoadgenOptions) -> LoadgenSummary {
             hits as f64 / cacheable as f64
         },
         partials,
+        refusals,
         mismatches,
     }
 }
@@ -490,6 +517,7 @@ mod tests {
         let summary = run(&config, &options);
         assert_eq!(summary.queries, 48);
         assert_eq!(summary.mismatches, 0, "service answers must equal cold");
+        assert_eq!(summary.refusals, 0, "the default queue never sheds this");
         assert!(summary.hits > 0, "hot repeats must hit the cache");
         assert!(summary.partials > 0, "starved budgets must degrade typed");
         assert!(summary.bypasses > 0, "budgeted requests must bypass");

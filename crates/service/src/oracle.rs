@@ -17,9 +17,18 @@
 //! direction ([`CacheStatus::Bypass`]) — partial answers depend on the
 //! budget that produced them, so caching them would let one request's
 //! starvation leak into another's answer.
+//!
+//! Deadline rule: a request's [`Request::deadline`] is intersected into
+//! its effective budget's deadline axis, which makes the budget bounded
+//! — so deadline-carrying requests automatically ride the solo,
+//! cache-bypassing path (a deadline-shaped partial must never be
+//! cached) and in-flight work degrades to the engine's typed
+//! [`Completion::Partial`] with [`BudgetReason::Deadline`].  The *queue*
+//! half of the deadline contract (answering an already-expired request
+//! without touching the engine) lives in [`crate::pool`].
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 use sortnet_combinat::ChannelVec;
@@ -31,13 +40,14 @@ use sortnet_faults::coverage::{
 use sortnet_faults::universe::{is_multi_fault_redundant, MultiFault, StandardUniverse};
 use sortnet_faults::FaultSimEngine;
 use sortnet_network::budget::{BudgetReason, Budgeted, SweepBudget, SweepProgress};
-use sortnet_network::error::EngineError;
 use sortnet_network::lanes::LaneWidth;
 use sortnet_network::Network;
 use sortnet_testsets::augment::{try_minimum_augmentation_packed, CandidatePool, SearchOptions};
 use sortnet_testsets::verify::{self, try_verify_on, Property, Strategy};
 
 use crate::cache::{fingerprint, CacheCounters, Lru};
+use crate::error::ServiceError;
+use crate::failpoint;
 use crate::ServiceConfig;
 
 /// One question about one submitted network.
@@ -107,7 +117,8 @@ impl Query {
     }
 }
 
-/// A queued unit of work: a network, a question, an optional budget.
+/// A queued unit of work: a network, a question, an optional budget,
+/// an optional deadline.
 #[derive(Clone, Debug)]
 pub struct Request {
     /// The submitted network.
@@ -118,6 +129,12 @@ pub struct Request {
     /// Any bounded effective budget routes the request down the solo,
     /// cache-bypassing path.
     pub budget: Option<SweepBudget>,
+    /// Per-request deadline.  Checked at dequeue (an already-expired
+    /// request gets a typed [`ServiceError::DeadlineExpired`] without
+    /// touching the engine) and intersected into the effective budget
+    /// so in-flight work degrades to a typed deadline partial.  Crosses
+    /// the wire as a relative remaining-time axis.
+    pub deadline: Option<Instant>,
 }
 
 /// The minimum-augmentation answer, summarised for serving (the full
@@ -180,8 +197,10 @@ pub enum CacheStatus {
 /// The service's reply to one [`Request`].
 #[derive(Clone, Debug, PartialEq)]
 pub struct Response {
-    /// The answer, or the engine's typed refusal.
-    pub outcome: Result<Answer, EngineError>,
+    /// The answer, or a typed refusal — the engine's (passed through as
+    /// [`ServiceError::Engine`]) or the service's own (overload,
+    /// expired deadline, quarantined panic).
+    pub outcome: Result<Answer, ServiceError>,
     /// Complete vs budget-degraded.
     pub completion: Completion,
     /// Cache participation.
@@ -244,12 +263,23 @@ pub struct OracleCaches {
 }
 
 impl OracleCaches {
-    /// Fresh caches with the given entry capacities.
+    /// Fresh caches with the given entry capacities and no TTL.
     #[must_use]
     pub fn new(answer_capacity: usize, matrix_capacity: usize) -> Self {
+        Self::with_ttls(answer_capacity, None, matrix_capacity, None)
+    }
+
+    /// Fresh caches with capacities and per-cache entry TTLs.
+    #[must_use]
+    pub fn with_ttls(
+        answer_capacity: usize,
+        answer_ttl: Option<std::time::Duration>,
+        matrix_capacity: usize,
+        matrix_ttl: Option<std::time::Duration>,
+    ) -> Self {
         Self {
-            answers: Mutex::new(Lru::new(answer_capacity)),
-            matrices: Mutex::new(Lru::new(matrix_capacity)),
+            answers: Mutex::new(Lru::with_ttl(answer_capacity, answer_ttl)),
+            matrices: Mutex::new(Lru::with_ttl(matrix_capacity, matrix_ttl)),
         }
     }
 
@@ -257,17 +287,36 @@ impl OracleCaches {
     #[must_use]
     pub fn counters(&self) -> (CacheCounters, CacheCounters) {
         (
-            self.answers.lock().unwrap().counters(),
-            self.matrices.lock().unwrap().counters(),
+            unpoisoned(&self.answers).counters(),
+            unpoisoned(&self.matrices).counters(),
         )
     }
 }
 
+/// Locks through poisoning.  Worker panics are caught and supervised
+/// per request ([`crate::pool`]); the cache locks are only ever held
+/// across single LRU operations (whose invariants hold between calls),
+/// and the in-tree panic sites — the engine's entry points and the
+/// `worker-panic` failpoint — all sit outside these locks, so a
+/// poisoned flag here means "another worker panicked elsewhere", not
+/// "this data is torn".
+fn unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 fn effective_budget(config: &ServiceConfig, request: &Request) -> SweepBudget {
-    request
+    let mut budget = request
         .budget
         .clone()
-        .unwrap_or_else(|| config.default_budget.clone())
+        .unwrap_or_else(|| config.default_budget.clone());
+    if let Some(deadline) = request.deadline {
+        // Intersect: the sooner of the budget's own deadline and the
+        // request's.  This bounds the budget, which routes the request
+        // down the solo cache-bypassing path — deadline-shaped partials
+        // must never be cached.
+        budget.deadline = Some(budget.deadline.map_or(deadline, |d| d.min(deadline)));
+    }
+    budget
 }
 
 fn completion_of<T>(outcome: &Budgeted<T>) -> Completion {
@@ -341,7 +390,7 @@ fn evaluate(
     config: &ServiceConfig,
     request: &Request,
     budget: &SweepBudget,
-) -> (Result<Answer, EngineError>, Completion) {
+) -> (Result<Answer, ServiceError>, Completion) {
     let network = &request.network;
     match &request.query {
         // Verification cost is bounded by the paper's test-set sizes
@@ -349,7 +398,9 @@ fn evaluate(
         // typed guards refuse the genuinely unbounded shapes (n > 64,
         // exhaustive n ≥ 32) up front.
         Query::Verify { property, strategy } => (
-            try_verify_on(network, *property, *strategy, config.backend).map(Answer::Verify),
+            try_verify_on(network, *property, *strategy, config.backend)
+                .map(Answer::Verify)
+                .map_err(ServiceError::from),
             Completion::Complete,
         ),
         Query::Coverage {
@@ -365,7 +416,10 @@ fn evaluate(
                     *check_redundancy,
                     config.engine,
                 );
-                (report.map(Answer::Coverage), Completion::Complete)
+                (
+                    report.map(Answer::Coverage).map_err(ServiceError::from),
+                    Completion::Complete,
+                )
             } else {
                 match coverage_of_universe_budgeted_packed_with(
                     network,
@@ -379,7 +433,7 @@ fn evaluate(
                         let completion = completion_of(&budgeted);
                         (Ok(Answer::Coverage(budgeted.into_value())), completion)
                     }
-                    Err(e) => (Err(e), Completion::Complete),
+                    Err(e) => (Err(e.into()), Completion::Complete),
                 }
             }
         }
@@ -411,7 +465,7 @@ fn evaluate(
                         completion,
                     )
                 }
-                Err(e) => (Err(e), Completion::Complete),
+                Err(e) => (Err(e.into()), Completion::Complete),
             }
         }
     }
@@ -438,6 +492,10 @@ pub fn answer_batch(
     let mut shards: HashMap<(u64, usize, StandardUniverse, bool), Shard> = HashMap::new();
 
     for (i, request) in requests.iter().enumerate() {
+        // Chaos site: a per-request injected panic, caught and
+        // supervised by the worker pool like any real evaluation panic.
+        // Deliberately placed before any cache lock is taken.
+        failpoint::maybe_panic("worker-panic");
         let budget = effective_budget(config, request);
         if !budget.is_unlimited() {
             // Solo, cache-bypassing path: partial answers are shaped by
@@ -452,7 +510,7 @@ pub fn answer_batch(
             continue;
         }
         let key = AnswerKey::of(request);
-        if let Some(answer) = caches.answers.lock().unwrap().get(&key) {
+        if let Some(answer) = unpoisoned(&caches.answers).get(&key) {
             responses[i] = Some(Response {
                 outcome: Ok(answer.clone()),
                 completion: Completion::Complete,
@@ -479,7 +537,7 @@ pub fn answer_batch(
                 let (outcome, completion) = evaluate(config, request, &SweepBudget::unlimited());
                 if completion == Completion::Complete {
                     if let Ok(answer) = &outcome {
-                        caches.answers.lock().unwrap().insert(key, answer.clone());
+                        unpoisoned(&caches.answers).insert(key, answer.clone());
                     }
                 }
                 responses[i] = Some(Response {
@@ -558,7 +616,7 @@ fn answer_coverage_shard(
             }
             Err(e) => {
                 responses[i] = Some(Response {
-                    outcome: Err(e),
+                    outcome: Err(e.into()),
                     completion: Completion::Complete,
                     cache: CacheStatus::Miss,
                     micros: start.elapsed().as_micros() as u64,
@@ -588,12 +646,12 @@ fn answer_coverage_shard(
         tests: fingerprint(&union),
     };
     let matrix: Arc<DetectionMatrix> = {
-        let cached = caches.matrices.lock().unwrap().get(&mkey).cloned();
+        let cached = unpoisoned(&caches.matrices).get(&mkey).cloned();
         match cached {
             Some(m) => m,
             None => {
                 let m = Arc::new(build_matrix(config, network, &faults, &union));
-                caches.matrices.lock().unwrap().insert(mkey, Arc::clone(&m));
+                unpoisoned(&caches.matrices).insert(mkey, Arc::clone(&m));
                 m
             }
         }
@@ -632,7 +690,7 @@ fn answer_coverage_shard(
             .map(|(f, &r)| f.is_none() && r)
             .collect();
         let report = summarise_verdicts(&faults, first, &redundant);
-        caches.answers.lock().unwrap().insert(
+        unpoisoned(&caches.answers).insert(
             AnswerKey::of(&requests[i]),
             Answer::Coverage(report.clone()),
         );
@@ -649,6 +707,7 @@ fn answer_coverage_shard(
 mod tests {
     use super::*;
     use sortnet_network::builders::batcher::odd_even_merge_sort;
+    use sortnet_network::error::EngineError;
 
     fn sorted_tests(n: usize) -> Vec<ChannelVec> {
         (0..=n)
@@ -665,6 +724,7 @@ mod tests {
                 check_redundancy,
             },
             budget: None,
+            deadline: None,
         }
     }
 
@@ -707,6 +767,7 @@ mod tests {
                 check_redundancy: false,
             },
             budget: None,
+            deadline: None,
         };
         let requests = vec![make(forward), make(reversed)];
         let batch = answer_batch(&config, &caches, &requests);
@@ -756,6 +817,7 @@ mod tests {
                 strategy: Strategy::MinimalBinary,
             },
             budget: None,
+            deadline: None,
         };
         // The paper's minimal binary sorter set misses some stuck-line
         // faults, and those misses are detectable by sorted strings —
@@ -771,6 +833,7 @@ mod tests {
                     .collect(),
             },
             budget: None,
+            deadline: None,
         };
         let first = answer_batch(&config, &caches, &[verify_req.clone(), augment_req.clone()]);
         assert!(first.iter().all(|r| r.cache == CacheStatus::Miss));
@@ -808,12 +871,59 @@ mod tests {
                 check_redundancy: true,
             },
             budget: None,
+            deadline: None,
         };
         let batch = answer_batch(&config, &caches, std::slice::from_ref(&request));
         assert_eq!(
             batch[0].outcome,
-            Err(EngineError::SweepTooLarge { lines: n })
+            Err(ServiceError::Engine(EngineError::SweepTooLarge {
+                lines: n
+            }))
         );
         assert_eq!(batch[0].outcome, answer_cold(&config, &request).outcome);
+    }
+
+    #[test]
+    fn a_past_deadline_intersects_into_the_budget_and_degrades_typed() {
+        // The engine-side half of the deadline contract: an expired
+        // deadline bounds the effective budget, the first block is
+        // refused, and the answer is the engine's conservative partial
+        // with the Deadline reason — on the cache-bypassing path.
+        let config = ServiceConfig::default();
+        let caches = OracleCaches::new(8, 4);
+        let mut request = coverage_request(8, false);
+        request.deadline = Some(Instant::now() - std::time::Duration::from_millis(5));
+        let cold = answer_cold(&config, &request);
+        assert!(matches!(
+            cold.completion,
+            Completion::Partial {
+                reason: BudgetReason::Deadline,
+                ..
+            }
+        ));
+        assert!(cold.outcome.is_ok(), "a deadline partial is still typed Ok");
+        let batch = answer_batch(&config, &caches, std::slice::from_ref(&request));
+        assert_eq!(batch[0].cache, CacheStatus::Bypass);
+        assert_eq!(batch[0].outcome, cold.outcome);
+        assert_eq!(batch[0].completion, cold.completion);
+        let (answers, _) = caches.counters();
+        assert_eq!(answers.hits + answers.misses, 0, "deadline requests bypass");
+    }
+
+    #[test]
+    fn a_deadline_intersects_with_an_existing_budget_deadline() {
+        let config = ServiceConfig::default();
+        let far = Instant::now() + std::time::Duration::from_secs(3600);
+        let near = Instant::now() + std::time::Duration::from_secs(60);
+        let mut request = coverage_request(8, false);
+        request.budget = Some(SweepBudget::unlimited().with_deadline(far));
+        request.deadline = Some(near);
+        let budget = effective_budget(&config, &request);
+        assert_eq!(budget.deadline, Some(near), "the sooner deadline wins");
+        // And the other way round.
+        request.budget = Some(SweepBudget::unlimited().with_deadline(near));
+        request.deadline = Some(far);
+        let budget = effective_budget(&config, &request);
+        assert_eq!(budget.deadline, Some(near));
     }
 }

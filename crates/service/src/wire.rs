@@ -7,22 +7,36 @@
 //! response payload is a **compact summary** — coverage reports ship
 //! their counts and statistics but not the per-fault lists, and typed
 //! engine errors ship as their pinned display text.  Budgets cross the
-//! wire as the counted axes only (`max_blocks`, `max_forks`); deadlines
-//! and cancel tokens are process-local by nature and stay on the
-//! in-process API.
+//! wire as the counted axes only (`max_blocks`, `max_forks`) plus the
+//! deadline as a **relative remaining-ms budget** (an absolute
+//! `Instant` means nothing to another process; the decoder re-anchors
+//! it at arrival).  Cancel tokens are process-local by nature and stay
+//! on the in-process API.
 //!
 //! The server ([`WireServer::bind`]) accepts connections on a
 //! background thread and answers each connection's frames in order
 //! through a shared [`Service`].  [`WireClient`] is the matching
 //! blocking caller.  This front intentionally stays small: one
 //! request–response exchange per frame, no pipelining, no auth.
+//!
+//! Both ends are hardened ([`WireServerConfig`], [`WireClientConfig`]):
+//! the server puts a read/write deadline on every connection (a peer
+//! that stalls **mid-frame** is cut off — the slow-loris defense) and
+//! runs an idle reaper that shuts down connections silent past
+//! `idle_timeout`; the client can retry a failed call on a fresh
+//! connection under capped, seeded-jitter exponential backoff, with a
+//! per-call timeout so a dead server costs bounded time.  Requests are
+//! re-encoded per attempt, so a retried deadline ships its *shrunken*
+//! remaining budget.
 
 use std::io::{self, Read, Write};
+use std::net::Shutdown;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use sortnet_combinat::{BitString, ChannelVec};
 use sortnet_faults::universe::StandardUniverse;
@@ -30,6 +44,8 @@ use sortnet_network::budget::{BudgetReason, SweepBudget, SweepProgress};
 use sortnet_network::Network;
 use sortnet_testsets::verify::{Property, Strategy};
 
+use crate::failpoint;
+use crate::loadgen::SplitMix64;
 use crate::oracle::{Answer, CacheStatus, Completion, Query, Request, Response};
 use crate::pool::Service;
 
@@ -290,6 +306,19 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
             }
         }
     }
+    match &request.deadline {
+        None => put_u8(&mut out, 0),
+        Some(deadline) => {
+            // Relative remaining budget at encode time; an expired
+            // deadline ships as 0 ms and the server answers it typed.
+            put_u8(&mut out, 1);
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            put_u64(
+                &mut out,
+                u64::try_from(remaining.as_millis()).unwrap_or(u64::MAX),
+            );
+        }
+    }
     out
 }
 
@@ -349,11 +378,25 @@ pub fn decode_request(payload: &[u8]) -> io::Result<Request> {
         }
         tag => return Err(bad(format!("unknown budget tag {tag}"))),
     };
+    let deadline = match t.u8()? {
+        0 => None,
+        1 => {
+            let ms = t.u64()?;
+            // checked_add: a hostile u64::MAX must be a typed decode
+            // error, not an Instant-arithmetic panic.
+            let deadline = Instant::now()
+                .checked_add(Duration::from_millis(ms))
+                .ok_or_else(|| bad("deadline out of range"))?;
+            Some(deadline)
+        }
+        tag => return Err(bad(format!("unknown deadline tag {tag}"))),
+    };
     t.finished()?;
     Ok(Request {
         network,
         query,
         budget,
+        deadline,
     })
 }
 
@@ -623,43 +666,163 @@ pub fn decode_response(payload: &[u8]) -> io::Result<WireResponse> {
 
 // ---- server and client --------------------------------------------------
 
+/// Locks through poisoning — the registry's invariants hold between
+/// operations and no panic site sits inside it.
+fn locked<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Connection-handling knobs of a [`WireServer`].
+#[derive(Clone, Copy, Debug)]
+pub struct WireServerConfig {
+    /// Longest one read slice may block.  A peer silent **mid-frame**
+    /// for this long is disconnected (slow-loris defense); silence at a
+    /// frame boundary is mere idleness, judged by `idle_timeout`.
+    pub read_timeout: Duration,
+    /// Longest one reply write may block.
+    pub write_timeout: Duration,
+    /// A connection with no completed traffic for this long is shut
+    /// down by the reaper.
+    pub idle_timeout: Duration,
+    /// How often the reaper scans for idle and finished connections.
+    pub reap_interval: Duration,
+}
+
+impl Default for WireServerConfig {
+    fn default() -> Self {
+        Self {
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+            idle_timeout: Duration::from_secs(60),
+            reap_interval: Duration::from_millis(200),
+        }
+    }
+}
+
+/// One live connection as the reaper sees it.
+struct Conn {
+    /// A `try_clone` of the handler's stream — lets the reaper shut an
+    /// idle connection down without racing the handler's reads.
+    stream: UnixStream,
+    /// Milliseconds since the server epoch of the last completed
+    /// frame (written by the handler, read by the reaper).
+    last_active: Arc<AtomicU64>,
+    done: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
 /// A Unix-socket server answering framed requests through a shared
-/// [`Service`].  Dropping the handle stops the accept loop and removes
-/// the socket file; open connections finish their in-flight frame and
-/// exit on the next read.
+/// [`Service`].  Dropping the handle stops the accept loop, shuts every
+/// open connection down, joins all threads and removes the socket file;
+/// the accept loop also removes the file itself when it exits through
+/// an error path, so a crashed server never leaves a stale socket
+/// behind.
 pub struct WireServer {
     path: PathBuf,
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
+    reaper: Option<JoinHandle<()>>,
+    registry: Arc<Mutex<Vec<Conn>>>,
 }
 
 impl WireServer {
-    /// Binds `path` (removing a stale socket file first) and starts the
-    /// accept loop.
+    /// Binds `path` with the default [`WireServerConfig`].
     ///
     /// # Errors
     /// Propagates bind failures.
     pub fn bind(path: impl AsRef<Path>, service: Arc<Service>) -> io::Result<Self> {
+        Self::bind_with(path, service, WireServerConfig::default())
+    }
+
+    /// Binds `path` (removing a stale socket file first) and starts the
+    /// accept loop and the idle-connection reaper.
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn bind_with(
+        path: impl AsRef<Path>,
+        service: Arc<Service>,
+        config: WireServerConfig,
+    ) -> io::Result<Self> {
         let path = path.as_ref().to_path_buf();
         let _ = std::fs::remove_file(&path);
         let listener = UnixListener::bind(&path)?;
         let stop = Arc::new(AtomicBool::new(false));
+        let registry: Arc<Mutex<Vec<Conn>>> = Arc::new(Mutex::new(Vec::new()));
+        let epoch = Instant::now();
         let accept = {
             let stop = Arc::clone(&stop);
+            let registry = Arc::clone(&registry);
+            let path = path.clone();
             std::thread::spawn(move || {
                 for stream in listener.incoming() {
                     if stop.load(Ordering::Relaxed) {
                         break;
                     }
-                    match stream {
-                        Ok(stream) => {
-                            let service = Arc::clone(&service);
-                            std::thread::spawn(move || {
-                                let _ = serve_connection(stream, &service);
-                            });
-                        }
-                        Err(_) => break,
+                    // Chaos site: a fatal accept error — the loop must
+                    // exit through the same cleanup as a real one.
+                    if failpoint::should_fire("accept-error") {
+                        break;
                     }
+                    let Ok(stream) = stream else { break };
+                    if stream.set_read_timeout(Some(config.read_timeout)).is_err()
+                        || stream
+                            .set_write_timeout(Some(config.write_timeout))
+                            .is_err()
+                    {
+                        continue;
+                    }
+                    let Ok(reaper_stream) = stream.try_clone() else {
+                        continue;
+                    };
+                    let last_active = Arc::new(AtomicU64::new(epoch.elapsed().as_millis() as u64));
+                    let done = Arc::new(AtomicBool::new(false));
+                    let handle = {
+                        let service = Arc::clone(&service);
+                        let stop = Arc::clone(&stop);
+                        let last_active = Arc::clone(&last_active);
+                        let done = Arc::clone(&done);
+                        std::thread::spawn(move || {
+                            let _ = serve_connection(stream, &service, &stop, epoch, &last_active);
+                            done.store(true, Ordering::Release);
+                        })
+                    };
+                    locked(&registry).push(Conn {
+                        stream: reaper_stream,
+                        last_active,
+                        done,
+                        handle: Some(handle),
+                    });
+                }
+                // The socket file goes away however the accept loop
+                // exits — clean stop or error path — not only through
+                // the handle's Drop, so no stale socket survives a
+                // crashed accept loop.
+                let _ = std::fs::remove_file(&path);
+            })
+        };
+        let reaper = {
+            let stop = Arc::clone(&stop);
+            let registry = Arc::clone(&registry);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(config.reap_interval);
+                    let now_ms = epoch.elapsed().as_millis() as u64;
+                    let mut registry = locked(&registry);
+                    registry.retain_mut(|conn| {
+                        if conn.done.load(Ordering::Acquire) {
+                            if let Some(handle) = conn.handle.take() {
+                                let _ = handle.join();
+                            }
+                            return false;
+                        }
+                        let idle_ms =
+                            now_ms.saturating_sub(conn.last_active.load(Ordering::Relaxed));
+                        if Duration::from_millis(idle_ms) >= config.idle_timeout {
+                            let _ = conn.stream.shutdown(Shutdown::Both);
+                        }
+                        true
+                    });
                 }
             })
         };
@@ -667,6 +830,8 @@ impl WireServer {
             path,
             stop,
             accept: Some(accept),
+            reaper: Some(reaper),
+            registry,
         })
     }
 
@@ -674,6 +839,13 @@ impl WireServer {
     #[must_use]
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// How many connections are currently registered (live handlers
+    /// plus finished ones the reaper has not collected yet).
+    #[must_use]
+    pub fn connections(&self) -> usize {
+        locked(&self.registry).len()
     }
 }
 
@@ -685,51 +857,269 @@ impl Drop for WireServer {
         if let Some(handle) = self.accept.take() {
             let _ = handle.join();
         }
+        for conn in locked(&self.registry).iter() {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+        if let Some(handle) = self.reaper.take() {
+            let _ = handle.join();
+        }
+        for mut conn in locked(&self.registry).drain(..) {
+            if let Some(handle) = conn.handle.take() {
+                let _ = handle.join();
+            }
+        }
+        // Fallback: the accept thread already removed the file on its
+        // way out; harmless if the path is gone.
         let _ = std::fs::remove_file(&self.path);
     }
 }
 
-fn serve_connection(mut stream: UnixStream, service: &Service) -> io::Result<()> {
-    while let Some(payload) = read_frame(&mut stream)? {
-        let reply = match decode_request(&payload) {
-            Ok(request) => compact(&service.submit(request)),
-            Err(e) => WireResponse {
-                outcome: Err(format!("malformed request: {e}")),
-                completion: Completion::Complete,
-                cache: CacheStatus::Bypass,
-                micros: 0,
-            },
-        };
-        write_frame(&mut stream, &encode_response(&reply))?;
+/// Reads exactly `buf.len()` bytes through a timeout-bearing stream.
+///
+/// Returns `Ok(false)` on a clean EOF **before any byte** when
+/// `idle_ok` (a frame boundary — the peer simply hung up).  Silence at
+/// a boundary is tolerated indefinitely (the reaper owns idleness);
+/// silence or EOF mid-buffer is an error — that is the slow-loris cut.
+fn read_full(
+    stream: &mut UnixStream,
+    buf: &mut [u8],
+    idle_ok: bool,
+    stop: &AtomicBool,
+) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 && idle_ok {
+                    return Ok(false);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer disconnected mid-frame",
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if filled == 0 && idle_ok {
+                    if stop.load(Ordering::Relaxed) {
+                        return Ok(false);
+                    }
+                    continue;
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "read stalled mid-frame",
+                ));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
     }
-    Ok(())
+    Ok(true)
 }
 
-/// A blocking client for the framed protocol.
+fn malformed(detail: impl std::fmt::Display) -> WireResponse {
+    WireResponse {
+        outcome: Err(format!("malformed request: {detail}")),
+        completion: Completion::Complete,
+        cache: CacheStatus::Bypass,
+        micros: 0,
+    }
+}
+
+fn write_reply(stream: &mut UnixStream, reply: &WireResponse) -> io::Result<()> {
+    let payload = encode_response(reply);
+    if failpoint::should_fire("torn-frame") {
+        // Half a frame, then hang up — the client sees a truncated
+        // reply and must retry on a fresh connection.
+        stream.write_all(&(payload.len() as u32).to_le_bytes())?;
+        stream.write_all(&payload[..payload.len() / 2])?;
+        stream.flush()?;
+        return Err(io::Error::other("torn-frame failpoint"));
+    }
+    write_frame(stream, &payload)
+}
+
+fn serve_connection(
+    mut stream: UnixStream,
+    service: &Service,
+    stop: &AtomicBool,
+    epoch: Instant,
+    last_active: &AtomicU64,
+) -> io::Result<()> {
+    loop {
+        // Chaos site: the server dawdling before its read — lets the
+        // client's call timeout and retry path fire.
+        failpoint::maybe_sleep("slow-read");
+        let mut len_bytes = [0u8; 4];
+        if !read_full(&mut stream, &mut len_bytes, true, stop)? {
+            return Ok(());
+        }
+        let len = u32::from_le_bytes(len_bytes);
+        if len > MAX_FRAME {
+            // Typed refusal, then close: past an oversized length
+            // prefix there is no way to resynchronise the framing.
+            let _ = write_reply(
+                &mut stream,
+                &malformed(format!("frame length {len} over MAX_FRAME")),
+            );
+            return Err(bad("frame length over MAX_FRAME"));
+        }
+        let mut payload = vec![0u8; len as usize];
+        read_full(&mut stream, &mut payload, false, stop)?;
+        last_active.store(epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
+        let reply = match decode_request(&payload) {
+            Ok(request) => compact(&service.submit(request)),
+            // The framing is still intact (we consumed exactly the
+            // declared length): answer typed and keep serving.
+            Err(e) => malformed(e),
+        };
+        write_reply(&mut stream, &reply)?;
+        last_active.store(epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
+    }
+}
+
+/// Retry and timeout knobs of a [`WireClient`].
+#[derive(Clone, Copy, Debug)]
+pub struct WireClientConfig {
+    /// Timeout applied to each socket read/write slice of a call
+    /// (`None` blocks forever).  A timed-out call counts as failed and
+    /// is retried like any other error.
+    pub call_timeout: Option<Duration>,
+    /// Retries after the first failed attempt (0 = fail fast).  Each
+    /// retry reconnects — a torn or desynchronised stream is never
+    /// reused.
+    pub retries: u32,
+    /// First backoff sleep; doubles per retry.
+    pub backoff_base: Duration,
+    /// Ceiling on the backoff sleep.
+    pub backoff_cap: Duration,
+    /// Seed of the jitter RNG (each sleep is uniform in
+    /// `[backoff/2, backoff]` — deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for WireClientConfig {
+    fn default() -> Self {
+        Self {
+            call_timeout: None,
+            retries: 0,
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(500),
+            seed: 0x5EED_0B0E,
+        }
+    }
+}
+
+/// A blocking client for the framed protocol, with optional per-call
+/// timeouts and capped-exponential-backoff retries.
 pub struct WireClient {
-    stream: UnixStream,
+    path: PathBuf,
+    config: WireClientConfig,
+    stream: Option<UnixStream>,
+    rng: SplitMix64,
+    retries_used: u64,
 }
 
 impl WireClient {
-    /// Connects to a [`WireServer`] socket.
+    /// Connects to a [`WireServer`] socket with the default
+    /// [`WireClientConfig`] (no timeout, no retries).
     ///
     /// # Errors
     /// Propagates connection failures.
     pub fn connect(path: impl AsRef<Path>) -> io::Result<Self> {
-        Ok(Self {
-            stream: UnixStream::connect(path)?,
-        })
+        Self::connect_with(path, WireClientConfig::default())
     }
 
-    /// One request–response exchange.
+    /// Connects with explicit retry/timeout behaviour.  The first
+    /// connection is made eagerly so an unreachable server fails here,
+    /// not on the first call.
     ///
     /// # Errors
-    /// Propagates socket errors and malformed response payloads.
-    pub fn call(&mut self, request: &Request) -> io::Result<WireResponse> {
-        write_frame(&mut self.stream, &encode_request(request))?;
-        match read_frame(&mut self.stream)? {
-            Some(payload) => decode_response(&payload),
+    /// Propagates connection failures.
+    pub fn connect_with(path: impl AsRef<Path>, config: WireClientConfig) -> io::Result<Self> {
+        let mut client = Self {
+            path: path.as_ref().to_path_buf(),
+            config,
+            stream: None,
+            rng: SplitMix64::new(config.seed),
+            retries_used: 0,
+        };
+        client.ensure_stream()?;
+        Ok(client)
+    }
+
+    /// Reconnects (total calls minus first attempts) performed so far.
+    #[must_use]
+    pub fn retries_used(&self) -> u64 {
+        self.retries_used
+    }
+
+    fn ensure_stream(&mut self) -> io::Result<&mut UnixStream> {
+        if self.stream.is_none() {
+            let stream = UnixStream::connect(&self.path)?;
+            stream.set_read_timeout(self.config.call_timeout)?;
+            stream.set_write_timeout(self.config.call_timeout)?;
+            self.stream = Some(stream);
+        }
+        Ok(self.stream.as_mut().expect("stream just ensured"))
+    }
+
+    fn call_once(&mut self, request: &Request) -> io::Result<WireResponse> {
+        // Encoded per attempt: the deadline crosses the wire as
+        // *remaining* time, so a retry ships its shrunken budget.
+        let payload = encode_request(request);
+        let stream = self.ensure_stream()?;
+        write_frame(stream, &payload)?;
+        match read_frame(stream)? {
+            Some(reply) => decode_response(&reply),
             None => Err(bad("server closed the connection mid-call")),
+        }
+    }
+
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let doubled = self
+            .config
+            .backoff_base
+            .saturating_mul(1u32 << (attempt - 1).min(16));
+        let capped = doubled.min(self.config.backoff_cap);
+        let micros = u64::try_from(capped.as_micros()).unwrap_or(u64::MAX);
+        let jitter = if micros >= 2 {
+            self.rng.next_u64() % (micros / 2 + 1)
+        } else {
+            0
+        };
+        Duration::from_micros(micros / 2 + jitter)
+    }
+
+    /// One request–response exchange, retried per the client config.
+    /// Any failed attempt (connect, write, read, timeout, malformed or
+    /// truncated reply) drops the connection; retries start from a
+    /// fresh one after a capped, jittered exponential backoff.
+    ///
+    /// # Errors
+    /// The last attempt's error once retries are exhausted.
+    pub fn call(&mut self, request: &Request) -> io::Result<WireResponse> {
+        let mut attempt = 0u32;
+        loop {
+            match self.call_once(request) {
+                Ok(response) => return Ok(response),
+                Err(error) => {
+                    // The stream's framing is suspect after any error.
+                    self.stream = None;
+                    if attempt >= self.config.retries {
+                        return Err(error);
+                    }
+                    attempt += 1;
+                    self.retries_used += 1;
+                    std::thread::sleep(self.backoff(attempt));
+                }
+            }
         }
     }
 }
@@ -754,6 +1144,7 @@ mod tests {
                     strategy: Strategy::Permutation,
                 },
                 budget: None,
+                deadline: None,
             },
             Request {
                 network: network.clone(),
@@ -763,6 +1154,7 @@ mod tests {
                     check_redundancy: false,
                 },
                 budget: Some(SweepBudget::unlimited().with_max_blocks(7)),
+                deadline: None,
             },
             Request {
                 network,
@@ -775,6 +1167,7 @@ mod tests {
                         .with_max_blocks(1)
                         .with_max_forks(2),
                 ),
+                deadline: None,
             },
         ];
         for request in &requests {
@@ -789,6 +1182,64 @@ mod tests {
                 }
                 other => panic!("budget shape changed: {other:?}"),
             }
+            assert_eq!(back.deadline, None);
+        }
+    }
+
+    #[test]
+    fn deadlines_cross_the_wire_as_remaining_budget() {
+        let mut request = Request {
+            network: Network::from_pairs(4, &[(0, 1)]),
+            query: Query::Verify {
+                property: Property::Sorter,
+                strategy: Strategy::MinimalBinary,
+            },
+            budget: None,
+            deadline: Some(Instant::now() + Duration::from_millis(5_000)),
+        };
+        let back = roundtrip_request(&request);
+        let remaining = back
+            .deadline
+            .expect("deadline survives the wire")
+            .saturating_duration_since(Instant::now());
+        assert!(
+            remaining > Duration::from_millis(4_000) && remaining <= Duration::from_millis(5_000),
+            "re-anchored deadline keeps the remaining budget, got {remaining:?}"
+        );
+        // An already-expired deadline ships as zero remaining.
+        request.deadline = Some(Instant::now() - Duration::from_millis(50));
+        let back = roundtrip_request(&request);
+        let remaining = back
+            .deadline
+            .expect("expired deadlines still cross the wire")
+            .saturating_duration_since(Instant::now());
+        assert!(remaining <= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn hostile_deadline_ms_is_a_typed_decode_error() {
+        let mut payload = encode_request(&Request {
+            network: Network::from_pairs(4, &[(0, 1)]),
+            query: Query::Verify {
+                property: Property::Sorter,
+                strategy: Strategy::MinimalBinary,
+            },
+            budget: None,
+            deadline: None,
+        });
+        // Rewrite the trailing deadline block: tag 1 + u64::MAX ms.
+        assert_eq!(payload.pop(), Some(0), "trailing byte is the deadline tag");
+        payload.push(1);
+        payload.extend_from_slice(&u64::MAX.to_le_bytes());
+        // The contract is "no panic": platforms where the Instant
+        // arithmetic would overflow get a typed InvalidData error,
+        // roomier ones an effectively-infinite deadline.
+        match decode_request(&payload) {
+            Ok(request) => {
+                let deadline = request.deadline.expect("tag 1 carries a deadline");
+                assert!(deadline > Instant::now() + Duration::from_secs(60 * 60 * 24 * 365));
+            }
+            Err(err) => assert_eq!(err.kind(), io::ErrorKind::InvalidData),
         }
     }
 
@@ -864,6 +1315,7 @@ mod tests {
                 strategy: Strategy::MinimalBinary,
             },
             budget: None,
+            deadline: None,
         });
         payload.push(0xFF);
         assert!(decode_request(&payload).is_err());

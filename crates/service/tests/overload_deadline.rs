@@ -1,0 +1,169 @@
+//! Deterministic (no-failpoint) end-to-end tests of the robustness
+//! layer: admission control, per-request deadlines on both fronts, and
+//! cache TTL expiry through a live service.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sortnet_combinat::ChannelVec;
+use sortnet_faults::universe::StandardUniverse;
+use sortnet_network::builders::batcher::odd_even_merge_sort;
+use sortnet_service::wire::{WireClient, WireServer};
+use sortnet_service::{
+    CacheStatus, Query, Request, Service, ServiceConfig, ServiceError, ShedPolicy,
+};
+
+fn sorted_tests(n: usize) -> Vec<ChannelVec> {
+    (0..=n)
+        .map(|ones| ChannelVec::sorted_of(n - ones, ones))
+        .collect()
+}
+
+fn coverage_request(n: usize) -> Request {
+    Request {
+        network: odd_even_merge_sort(n),
+        query: Query::Coverage {
+            universe: StandardUniverse::StuckLine,
+            tests: sorted_tests(n),
+            check_redundancy: false,
+        },
+        budget: None,
+        deadline: None,
+    }
+}
+
+fn socket_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("sortnet-odl-{tag}-{}.sock", std::process::id()))
+}
+
+#[test]
+fn shed_policies_behave_deterministically_under_a_held_batch() {
+    // submit_batch enqueues the whole batch under one queue-lock hold,
+    // so workers cannot drain between members: capacity 1 + a batch of
+    // 3 gives a fixed shed pattern for each policy.
+    for (policy, expect_ok_at) in [(ShedPolicy::RejectNew, 0), (ShedPolicy::DropOldest, 2)] {
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            shed_policy: policy,
+            ..ServiceConfig::default()
+        });
+        let responses = service.submit_batch((0..3).map(|_| coverage_request(6)).collect());
+        assert_eq!(responses.len(), 3, "exactly one reply per request");
+        for (i, response) in responses.iter().enumerate() {
+            if i == expect_ok_at {
+                assert!(response.outcome.is_ok(), "{policy:?}: slot {i} answers");
+            } else {
+                match &response.outcome {
+                    Err(ServiceError::Overloaded {
+                        queue_depth,
+                        retry_after_hint,
+                    }) => {
+                        // RejectNew reports the depth that refused the
+                        // newcomer; DropOldest reports the depth after
+                        // the victim's own eviction.
+                        let expected = match policy {
+                            ShedPolicy::RejectNew => 1,
+                            ShedPolicy::DropOldest => 0,
+                        };
+                        assert_eq!(*queue_depth, expected, "{policy:?}: shed depth");
+                        assert!(*retry_after_hint > Duration::ZERO);
+                    }
+                    other => panic!("{policy:?}: slot {i} should shed, got {other:?}"),
+                }
+            }
+        }
+        let stats = service.stats();
+        let total_shed = stats.shed_rejected + stats.shed_dropped;
+        assert_eq!(total_shed, 2);
+        match policy {
+            ShedPolicy::RejectNew => assert_eq!(stats.shed_rejected, 2),
+            ShedPolicy::DropOldest => assert_eq!(stats.shed_dropped, 2),
+        }
+    }
+}
+
+#[test]
+fn an_expired_deadline_is_refused_typed_and_counted() {
+    let service = Service::start(ServiceConfig::default());
+    let mut request = coverage_request(8);
+    request.deadline = Some(Instant::now() - Duration::from_millis(25));
+    let response = service.submit(request);
+    match &response.outcome {
+        Err(ServiceError::DeadlineExpired { late_by }) => {
+            assert!(*late_by >= Duration::from_millis(25));
+        }
+        other => panic!("expected DeadlineExpired, got {other:?}"),
+    }
+    let stats = service.stats();
+    assert_eq!(stats.expired, 1);
+    assert_eq!(
+        stats.answers.hits + stats.answers.misses,
+        0,
+        "an expired request never reaches the caches"
+    );
+}
+
+#[test]
+fn a_deadline_crosses_the_wire_and_expires_server_side() {
+    let service = Arc::new(Service::start(ServiceConfig::default()));
+    let path = socket_path("deadline");
+    let server = WireServer::bind(&path, Arc::clone(&service)).expect("bind");
+    let mut client = WireClient::connect(&path).expect("connect");
+
+    // Far-future deadline: answers normally (wire errors are text).
+    let mut request = coverage_request(8);
+    request.deadline = Some(Instant::now() + Duration::from_secs(3600));
+    let reply = client.call(&request).expect("call");
+    assert!(reply.outcome.is_ok(), "a roomy deadline answers: {reply:?}");
+
+    // Already-expired deadline: ships as 0 ms remaining, and the
+    // server's dequeue check must answer it with the typed expiry's
+    // pinned display text.
+    request.deadline = Some(Instant::now() - Duration::from_millis(5));
+    let reply = client.call(&request).expect("call");
+    match &reply.outcome {
+        Err(text) => assert!(
+            text.contains("deadline expired"),
+            "expected the expiry text, got {text:?}"
+        ),
+        Ok(_) => panic!("an expired deadline must not answer"),
+    }
+    assert_eq!(service.stats().expired, 1);
+    drop(client);
+    drop(server);
+}
+
+#[test]
+fn answer_ttl_expires_cached_answers_end_to_end() {
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        answer_ttl: Some(Duration::ZERO),
+        ..ServiceConfig::default()
+    });
+    let first = service.submit(coverage_request(6));
+    assert_eq!(first.cache, CacheStatus::Miss);
+    // The entry expired the instant it landed: the repeat must be a
+    // recomputed miss, never a stale hit.
+    let second = service.submit(coverage_request(6));
+    assert_eq!(second.cache, CacheStatus::Miss);
+    assert_eq!(first.outcome, second.outcome);
+    let stats = service.stats();
+    assert_eq!(stats.answers.hits, 0, "expired answers are never served");
+    assert!(stats.answers.expirations >= 1);
+    assert_eq!(stats.answers.evictions, 0);
+}
+
+#[test]
+fn without_ttl_the_same_workload_hits_the_cache() {
+    // Control for the TTL test above: identical traffic, no TTL.
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let first = service.submit(coverage_request(6));
+    assert_eq!(first.cache, CacheStatus::Miss);
+    let second = service.submit(coverage_request(6));
+    assert_eq!(second.cache, CacheStatus::Hit);
+    assert_eq!(service.stats().answers.expirations, 0);
+}

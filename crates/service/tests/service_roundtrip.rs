@@ -31,6 +31,7 @@ fn coverage_request(n: usize) -> Request {
             check_redundancy: n < 32,
         },
         budget: None,
+        deadline: None,
     }
 }
 
@@ -56,6 +57,7 @@ fn pooled_service_answers_match_cold_across_query_kinds() {
                 strategy: Strategy::MinimalBinary,
             },
             budget: None,
+            deadline: None,
         },
     ];
     let responses = service.submit_batch(requests.clone());
@@ -123,6 +125,7 @@ fn wire_front_round_trips_queries_and_stops_cleanly() {
                 strategy: Strategy::MinimalBinary,
             },
             budget: None,
+            deadline: None,
         },
         coverage_request(6),
         Request {
@@ -133,6 +136,7 @@ fn wire_front_round_trips_queries_and_stops_cleanly() {
                 check_redundancy: false,
             },
             budget: None,
+            deadline: None,
         },
         Request {
             network: odd_even_merge_sort(8),
@@ -142,6 +146,7 @@ fn wire_front_round_trips_queries_and_stops_cleanly() {
                 check_redundancy: true,
             },
             budget: Some(SweepBudget::unlimited().with_max_blocks(1)),
+            deadline: None,
         },
     ];
     for request in &requests {
@@ -161,6 +166,7 @@ fn wire_front_round_trips_queries_and_stops_cleanly() {
             check_redundancy: true,
         },
         budget: None,
+        deadline: None,
     };
     let response = client.call(&refused).expect("wire call");
     let err = response.outcome.expect_err("refusal expected");
