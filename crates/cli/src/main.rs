@@ -27,8 +27,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sortnet_combinat::ChannelVec;
+use sortnet_faults::coverage::RedundancyMode;
 use sortnet_faults::universe::StandardUniverse;
 use sortnet_network::builders::batcher::odd_even_merge_sort;
+use sortnet_network::lanes::PackedFamily;
 use sortnet_service::wire::{WireClient, WireClientConfig, WireResponse, WireServer};
 use sortnet_service::{Query, Request, Service, ServiceConfig};
 use sortnet_testsets::verify::{Property, Strategy};
@@ -46,7 +48,11 @@ fn usage() -> ExitCode {
          \x20 --drop K          truncate the test set by K vectors\n\
          \x20 --timeout MS      per-call client timeout (default: none)\n\
          \x20 --retries N       client reconnect retries (default: 0)\n\
-         \x20 --deadline-ms D   per-request service deadline (default: none)"
+         \x20 --deadline-ms D   per-request service deadline (default: none)\n\
+         \x20 --redundancy M    coverage redundancy grading: exhaustive,\n\
+         \x20                   relative:FAMILY or skip (default: skip);\n\
+         \x20                   FAMILY is sorted-strings, weight-le-K,\n\
+         \x20                   single-runs or necessity-witnesses"
     );
     ExitCode::from(2)
 }
@@ -60,6 +66,7 @@ struct Options {
     timeout: Option<Duration>,
     retries: u32,
     deadline: Option<Duration>,
+    redundancy: RedundancyMode,
 }
 
 impl Default for Options {
@@ -73,18 +80,40 @@ impl Default for Options {
             timeout: None,
             retries: 0,
             deadline: None,
+            redundancy: RedundancyMode::Skip,
         }
     }
 }
 
-/// The paper's minimal binary sorter test set, with the last `drop`
-/// vectors withheld (so `coverage` has something to miss and `augment`
-/// has something feasible to restore).
+/// Parses a `--redundancy` value; `None` is a malformed mode (the
+/// family names are exactly the [`PackedFamily::parse`] vocabulary).
+fn parse_redundancy(s: &str) -> Option<RedundancyMode> {
+    match s {
+        "exhaustive" => Some(RedundancyMode::Exhaustive),
+        "skip" => Some(RedundancyMode::Skip),
+        _ => s
+            .strip_prefix("relative:")
+            .and_then(PackedFamily::parse)
+            .map(RedundancyMode::RelativeTo),
+    }
+}
+
+/// The query's base test set, with the last `drop` vectors withheld
+/// (so `coverage` has something to miss and `augment` has something
+/// feasible to restore).  Below the enumeration wall this is the
+/// paper's minimal binary sorter test set (`2^n − n − 1` strings);
+/// from `n = 26` that materialisation is refused, so the packed
+/// sorted-strings family (`n + 1` vectors) takes over — which is what
+/// lets `coverage -n 96` run end to end.
 fn binary_tests(n: usize, drop: usize) -> Vec<ChannelVec> {
-    let mut tests: Vec<ChannelVec> = sortnet_testsets::sorting::binary_testset(n)
-        .into_iter()
-        .map(ChannelVec::from_bitstring)
-        .collect();
+    let mut tests: Vec<ChannelVec> = if n < 26 {
+        sortnet_testsets::sorting::binary_testset(n)
+            .into_iter()
+            .map(ChannelVec::from_bitstring)
+            .collect()
+    } else {
+        PackedFamily::SortedStrings.collect(n)
+    };
     tests.truncate(tests.len().saturating_sub(drop));
     tests
 }
@@ -99,7 +128,7 @@ fn build_request(command: &str, options: &Options) -> Request {
         "coverage" => Query::Coverage {
             universe: StandardUniverse::StuckLine,
             tests: binary_tests(n, options.drop),
-            check_redundancy: false,
+            redundancy: options.redundancy,
         },
         _ => Query::Augment {
             universe: StandardUniverse::StuckLine,
@@ -279,6 +308,21 @@ fn main() -> ExitCode {
             "--deadline-ms" => match value("--deadline-ms") {
                 Ok(v) => options.deadline = Some(Duration::from_millis(v)),
                 Err(code) => return code,
+            },
+            "--redundancy" => match args.next().as_deref().map(parse_redundancy) {
+                Some(Some(mode)) => options.redundancy = mode,
+                Some(None) => {
+                    eprintln!(
+                        "sortnet-cli: --redundancy must be exhaustive, skip or \
+                         relative:FAMILY (sorted-strings, weight-le-K, \
+                         single-runs, necessity-witnesses)"
+                    );
+                    return usage();
+                }
+                None => {
+                    eprintln!("sortnet-cli: --redundancy needs a mode argument");
+                    return usage();
+                }
             },
             _ => return usage(),
         }

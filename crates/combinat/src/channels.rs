@@ -62,11 +62,12 @@ impl ChannelVec {
     /// The all-ones string of length `n`.
     #[must_use]
     pub fn ones(n: usize) -> Self {
-        let mut v = Self::zeros(n);
-        for i in 0..n {
-            v.set(i, true);
-        }
-        v
+        // Whole-word fill: every word is the live mask for its position
+        // (all-ones below the top word, the partial mask on it).
+        let words: Vec<u64> = (0..channel_words(n))
+            .map(|w| live_word_mask(n, w))
+            .collect();
+        ChannelVec { words, len: n }
     }
 
     /// Builds a string from raw channel words, masking any bits above `n`.
@@ -428,6 +429,26 @@ mod tests {
                 assert_eq!(v.get(i), i % 7 == 0, "n={n} i={i}");
             }
             assert_eq!(v.count_ones() + v.count_zeros(), n);
+        }
+    }
+
+    #[test]
+    fn ones_word_fill_matches_bit_by_bit_at_the_seams() {
+        // The word-filled constructor against the naive reference it
+        // replaced, across the single-word/multi-word boundary.
+        for n in [0usize, 1, 63, 64, 65, 128] {
+            let mut reference = ChannelVec::zeros(n);
+            for i in 0..n {
+                reference.set(i, true);
+            }
+            let fast = ChannelVec::ones(n);
+            assert_eq!(fast, reference, "n={n}");
+            assert_eq!(fast.count_ones(), n);
+            assert_eq!(fast.word_count(), channel_words(n));
+            // Dead bits above n stay zero (the Hash/Eq invariant).
+            for w in 0..fast.word_count() {
+                assert_eq!(fast.words()[w] & !live_word_mask(n, w), 0, "n={n} w={w}");
+            }
         }
     }
 

@@ -14,7 +14,15 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::bitstrings::BitString;
+use crate::channels::ChannelPack;
 use crate::check_n;
+
+/// The largest permutation length the *wide* constructors accept: values
+/// are stored as `u8`, so `0..n` fits exactly while `n ≤ 256`.  The
+/// classic constructors keep the historical `n ≤ 64` cap (the `BitString`
+/// cover alphabet); the wide ones exist for the packed cover surface
+/// ([`Permutation::cover_at_packed`]) past the 64-line wall.
+pub const MAX_WIDE_N: usize = 256;
 
 /// A permutation of `0..n`, stored as the value on each line.
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -46,6 +54,38 @@ impl Permutation {
         }
     }
 
+    /// The identity permutation of length `n ≤ 256`, for the packed cover
+    /// surface past the 64-line wall.
+    ///
+    /// # Panics
+    /// Panics if `n > `[`MAX_WIDE_N`].
+    #[must_use]
+    pub fn identity_wide(n: usize) -> Self {
+        assert!(
+            n <= MAX_WIDE_N,
+            "length {n} exceeds the wide permutation maximum of {MAX_WIDE_N}"
+        );
+        Self {
+            values: (0..n).map(|v| v as u8).collect(),
+        }
+    }
+
+    /// The reverse permutation of length `n ≤ 256` — the wide sibling of
+    /// [`Permutation::reverse`].
+    ///
+    /// # Panics
+    /// Panics if `n > `[`MAX_WIDE_N`].
+    #[must_use]
+    pub fn reverse_wide(n: usize) -> Self {
+        assert!(
+            n <= MAX_WIDE_N,
+            "length {n} exceeds the wide permutation maximum of {MAX_WIDE_N}"
+        );
+        Self {
+            values: (0..n).rev().map(|v| v as u8).collect(),
+        }
+    }
+
     /// Builds a permutation from 0-based values.
     ///
     /// Returns `None` if `values` is not a permutation of `0..len` or is
@@ -53,6 +93,19 @@ impl Permutation {
     #[must_use]
     pub fn from_values(values: &[u8]) -> Option<Self> {
         if values.len() > 64 {
+            return None;
+        }
+        Self::from_values_wide(values)
+    }
+
+    /// [`Permutation::from_values`] with the wide `n ≤ 256` cap instead of
+    /// the classic 64-line one.
+    ///
+    /// Returns `None` if `values` is not a permutation of `0..len` or is
+    /// longer than [`MAX_WIDE_N`].
+    #[must_use]
+    pub fn from_values_wide(values: &[u8]) -> Option<Self> {
+        if values.len() > MAX_WIDE_N {
             return None;
         }
         let n = values.len();
@@ -154,29 +207,53 @@ impl Permutation {
     /// Panics if `t > len`.
     #[must_use]
     pub fn cover_at(&self, t: usize) -> BitString {
+        self.cover_at_packed::<BitString>(t)
+    }
+
+    /// [`Permutation::cover_at`] generic over the vector packing: the
+    /// `BitString` instantiation is the classic `n ≤ 64` path, the
+    /// `ChannelVec` one carries wide permutations' threshold strings past
+    /// the wall.
+    ///
+    /// # Panics
+    /// Panics if `t > len`, or (for `P = BitString`) if the permutation is
+    /// wider than 64 lines.
+    #[must_use]
+    pub fn cover_at_packed<P: ChannelPack>(&self, t: usize) -> P {
         let n = self.len();
         assert!(t <= n, "threshold {t} exceeds length {n}");
         let cutoff = n - t; // values >= cutoff become 1
-        let bits: Vec<bool> = self
-            .values
-            .iter()
-            .map(|&v| (v as usize) >= cutoff)
-            .collect();
-        BitString::from_bits(&bits)
+        P::assemble(n, |i| (self.values[i] as usize) >= cutoff)
     }
 
     /// The full cover: all `n + 1` threshold strings, from all-zero
     /// (`t = 0`) to all-one (`t = n`).
     #[must_use]
     pub fn cover(&self) -> Vec<BitString> {
-        (0..=self.len()).map(|t| self.cover_at(t)).collect()
+        self.cover_packed::<BitString>()
+    }
+
+    /// [`Permutation::cover`] generic over the vector packing.
+    #[must_use]
+    pub fn cover_packed<P: ChannelPack>(&self) -> Vec<P> {
+        (0..=self.len()).map(|t| self.cover_at_packed(t)).collect()
     }
 
     /// `true` when some threshold string of this permutation equals `s`
     /// (the permutation *covers* the string, §2 of the paper).
     #[must_use]
     pub fn covers(&self, s: &BitString) -> bool {
-        s.len() == self.len() && self.cover_at(s.count_ones()) == *s
+        self.covers_packed(s)
+    }
+
+    /// [`Permutation::covers`] generic over the vector packing.
+    #[must_use]
+    pub fn covers_packed<P: ChannelPack>(&self, s: &P) -> bool {
+        let mut ones = 0usize;
+        for i in 0..s.len() {
+            ones += usize::from(s.bit(i));
+        }
+        s.len() == self.len() && self.cover_at_packed::<P>(ones) == *s
     }
 
     /// Number of inversions (pairs `i < j` with `self[i] > self[j]`).
@@ -419,5 +496,52 @@ mod tests {
         let mut p = Permutation::reverse(4);
         assert!(!p.next_lex());
         assert!(p.is_identity());
+    }
+
+    #[test]
+    fn packed_cover_agrees_with_the_bitstring_cover() {
+        use crate::channels::ChannelVec;
+        for p in Permutation::all(6) {
+            let classic = p.cover();
+            let packed: Vec<ChannelVec> = p.cover_packed();
+            assert_eq!(classic.len(), packed.len());
+            for (a, b) in classic.iter().zip(&packed) {
+                assert_eq!(a.to_string(), b.to_string(), "{p}");
+                assert!(p.covers_packed(b));
+            }
+        }
+    }
+
+    #[test]
+    fn wide_permutations_cover_past_the_64_line_wall() {
+        use crate::channels::{ChannelPack, ChannelVec};
+        let n = 96usize;
+        let id = Permutation::identity_wide(n);
+        let rev = Permutation::reverse_wide(n);
+        assert_eq!(id.len(), n);
+        assert!(id.is_identity());
+        assert_eq!(rev.inverse(), rev);
+        assert!(Permutation::from_values_wide(rev.values()).is_some());
+        assert!(
+            Permutation::from_values(rev.values()).is_none(),
+            "classic cap stays at 64"
+        );
+        for t in [0usize, 1, 63, 64, 65, n] {
+            let s: ChannelVec = rev.cover_at_packed(t);
+            // Reverse permutation: the t largest values sit on the top... the
+            // first t lines, so the cover string is 1^t 0^{n-t}.
+            let reference = ChannelVec::from_fn(n, |i| i < t);
+            assert_eq!(s, reference, "t={t}");
+            assert!(rev.covers_packed(&s));
+            let sorted: ChannelVec = id.cover_at_packed(t);
+            assert!(ChannelPack::is_sorted(&sorted));
+        }
+        assert_eq!(rev.cover_packed::<ChannelVec>().len(), n + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the wide permutation maximum")]
+    fn wide_constructors_cap_at_256() {
+        let _ = Permutation::identity_wide(257);
     }
 }

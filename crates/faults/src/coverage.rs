@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 use sortnet_combinat::BitString;
 use sortnet_network::budget::{BudgetMeter, Budgeted, SweepBudget};
 use sortnet_network::error::{self, EngineError};
-use sortnet_network::lanes::{Backend, LaneWidth, DEFAULT_WIDTH};
+use sortnet_network::lanes::{Backend, LaneWidth, PackedFamily, DEFAULT_WIDTH};
 use sortnet_network::Network;
 
 use crate::bitsim::{
@@ -23,8 +23,8 @@ use crate::bitsim::{
     redundant_faults_multi_metered, redundant_faults_multi_wide,
 };
 use crate::universe::{
-    is_multi_fault_redundant, multi_first_detection_index_packed, FaultUniverse, MultiFault,
-    SingleComparator, TestVector,
+    is_multi_fault_redundant, is_multi_fault_redundant_relative,
+    multi_first_detection_index_packed, FaultUniverse, MultiFault, SingleComparator, TestVector,
 };
 
 /// Which simulation engine evaluates the fault universe.
@@ -52,6 +52,91 @@ pub enum FaultSimEngine {
     /// Bit-parallel with an explicit lane width — `LaneWidth::W1`
     /// reproduces the original single-word engine exactly.
     BitParallelWide(LaneWidth),
+}
+
+/// How undetected faults are classified by a coverage grade.
+///
+/// The historical `check_redundancy: bool` flag survives on every
+/// `BitString`-typed entry point (and converts via [`From<bool>`]:
+/// `true` is [`RedundancyMode::Exhaustive`], `false` is
+/// [`RedundancyMode::Skip`]).  The packing-generic entry points take the
+/// mode directly, because past the 64-line wall the exhaustive `2^n`
+/// sweep is never admissible and the honest alternative is *relative*
+/// classification against a named structured family.
+///
+/// Admissibility is a typed, mode-specific check
+/// ([`RedundancyMode::ensure_admissible`]) applied up front by every
+/// entry point — refusals are no longer sweep-size accidents deep inside
+/// the redundancy phase:
+///
+/// | mode | classifies a missed fault as | admissible when |
+/// |---|---|---|
+/// | [`Exhaustive`](RedundancyMode::Exhaustive) | *proven* undetectable (`2^n` sweep) | `n < 32` (`ensure_sweepable`) |
+/// | [`RelativeTo`](RedundancyMode::RelativeTo)`(family)` | undetected by every vector of `family` | family size fits a `u64` |
+/// | [`Skip`](RedundancyMode::Skip) | missed (conservative) | always |
+///
+/// Relative classification is *sound but not exhaustive*: a fault the
+/// family misses may still be detectable by some vector outside it, so
+/// `undetectable_faults` under `RelativeTo` means "undetectable by the
+/// named family", never "undetectable outright".  Every exhaustively
+/// redundant fault is also relatively redundant (no vector at all
+/// detects it), so the relative classification only ever moves faults
+/// from `missed` to `redundant_faults`, and
+/// [`CoverageReport::redundancy`] names which reading produced the
+/// report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum RedundancyMode {
+    /// Classify every missed fault by the exhaustive `2^n` sweep —
+    /// refused (typed) when `n ≥ 32`.  The default, matching the legacy
+    /// `check_redundancy: true` reading.
+    #[default]
+    Exhaustive,
+    /// Classify every missed fault against a named [`PackedFamily`]:
+    /// redundant *relative to the family* when no family vector detects
+    /// it.  The only classification admissible past the wall.
+    RelativeTo(PackedFamily),
+    /// Leave missed faults unclassified (they count as `missed`).
+    Skip,
+}
+
+impl RedundancyMode {
+    /// The provenance string recorded in
+    /// [`CoverageReport::redundancy`]: `"exhaustive"`, `"skipped"`, or
+    /// `"relative:<family>"` (e.g. `"relative:sorted-strings"`).
+    #[must_use]
+    pub fn provenance(&self) -> String {
+        match self {
+            Self::Exhaustive => "exhaustive".to_string(),
+            Self::RelativeTo(family) => format!("relative:{}", family.name()),
+            Self::Skip => "skipped".to_string(),
+        }
+    }
+
+    /// Typed admissibility check for grading an `lines`-line network
+    /// under this mode — the table above.
+    ///
+    /// # Errors
+    /// [`EngineError::SweepTooLarge`] for an exhaustive sweep at
+    /// `n ≥ 32` (the canonical `ensure_sweepable` bound with its pinned
+    /// text), [`EngineError::TooLarge`] for a relative family whose size
+    /// overflows.
+    pub fn ensure_admissible(&self, lines: usize) -> Result<(), EngineError> {
+        match self {
+            Self::Exhaustive => error::ensure_sweepable(lines),
+            Self::RelativeTo(family) => family.try_len(lines).map(|_| ()),
+            Self::Skip => Ok(()),
+        }
+    }
+}
+
+impl From<bool> for RedundancyMode {
+    fn from(check_redundancy: bool) -> Self {
+        if check_redundancy {
+            Self::Exhaustive
+        } else {
+            Self::Skip
+        }
+    }
 }
 
 /// Result of running a test sequence against a fault universe.
@@ -90,6 +175,12 @@ pub struct CoverageReport {
     /// The provably undetectable faults counted in `redundant_faults`, in
     /// universe-enumeration order; empty unless `check_redundancy` ran.
     pub undetectable_faults: Vec<MultiFault>,
+    /// Provenance of the redundancy classification —
+    /// [`RedundancyMode::provenance`] of the mode the grade ran under
+    /// (`"exhaustive"`, `"skipped"`, or `"relative:<family>"`), so a
+    /// report never silently passes a relative classification off as an
+    /// exhaustive one.
+    pub redundancy: String,
 }
 
 impl CoverageReport {
@@ -111,24 +202,44 @@ impl CoverageReport {
 }
 
 /// The bit-parallel per-fault results at lane width `W`: first-detection
-/// indices with early exit, plus one shared-prefix batch `2^n` redundancy
-/// sweep over exactly the faults the whole sequence missed.
+/// indices with early exit, plus one redundancy pass over exactly the
+/// faults the whole sequence missed — the shared-prefix batch `2^n`
+/// sweep under [`RedundancyMode::Exhaustive`], or a second
+/// first-detection sweep against the materialised family under
+/// [`RedundancyMode::RelativeTo`] (same engine, same width).
 fn bitparallel_results<const W: usize, P: TestVector>(
     network: &Network,
     faults: &[MultiFault],
     tests: &[P],
-    check_redundancy: bool,
+    mode: RedundancyMode,
 ) -> (Vec<Option<usize>>, Vec<bool>) {
     let first = first_detections_multi_packed_on::<W, P>(network, faults, tests, Backend::active());
     let mut redundant = vec![false; faults.len()];
-    if check_redundancy {
+    if mode != RedundancyMode::Skip {
         let missed_idx: Vec<usize> = (0..faults.len()).filter(|&i| first[i].is_none()).collect();
         let missed: Vec<MultiFault> = missed_idx.iter().map(|&i| faults[i]).collect();
-        for (&i, flag) in missed_idx
-            .iter()
-            .zip(redundant_faults_multi_wide::<W>(network, &missed))
-        {
-            redundant[i] = flag;
+        match mode {
+            RedundancyMode::Exhaustive => {
+                for (&i, flag) in missed_idx
+                    .iter()
+                    .zip(redundant_faults_multi_wide::<W>(network, &missed))
+                {
+                    redundant[i] = flag;
+                }
+            }
+            RedundancyMode::RelativeTo(family) => {
+                let fam: Vec<P> = family.collect(network.lines());
+                let verdicts = first_detections_multi_packed_on::<W, P>(
+                    network,
+                    &missed,
+                    &fam,
+                    Backend::active(),
+                );
+                for (&i, verdict) in missed_idx.iter().zip(verdicts) {
+                    redundant[i] = verdict.is_none();
+                }
+            }
+            RedundancyMode::Skip => unreachable!(),
         }
     }
     (first, redundant)
@@ -212,14 +323,16 @@ pub fn coverage_of_multifaults_with(
 /// over any [`TestVector`] representation.  `P = BitString` is the
 /// monomorphised `n ≤ 64` path the named entry points delegate to;
 /// `P = ChannelVec` grades networks past the 64-line wall (where the
-/// exhaustive redundancy sweep is inadmissible, so `check_redundancy`
-/// is refused *up front*, before any detection sweep runs — see below).
+/// exhaustive redundancy sweep is inadmissible and
+/// [`RedundancyMode::RelativeTo`] a named packed family is the honest
+/// classification).  The mode parameter accepts the legacy
+/// `check_redundancy` bool via `impl Into<RedundancyMode>`.
 ///
 /// # Panics
-/// With `check_redundancy` on a network where the exhaustive `2^n`
-/// sweep is inadmissible (`n ≥ 32` — `ensure_sweepable`), the call
-/// panics immediately at this boundary with the pinned
-/// `SweepTooLarge` text: callers never pay a full first-detection
+/// When the mode is inadmissible for this network
+/// ([`RedundancyMode::ensure_admissible`] — e.g. an exhaustive sweep at
+/// `n ≥ 32`), the call panics immediately at this boundary with the
+/// pinned typed-error text: callers never pay a full first-detection
 /// sweep only to be refused deep inside the redundancy phase.  The
 /// typed siblings ([`try_coverage_of_universe_packed_with`]) return
 /// the same refusal as an [`EngineError`].
@@ -228,43 +341,51 @@ pub fn coverage_of_multifaults_packed_with<P: TestVector + Sync>(
     network: &Network,
     faults: &[MultiFault],
     tests: &[P],
-    check_redundancy: bool,
+    mode: impl Into<RedundancyMode>,
     engine: FaultSimEngine,
 ) -> CoverageReport {
-    if check_redundancy {
-        if let Err(e) = error::ensure_sweepable(network.lines()) {
-            panic!("{e}");
-        }
+    let mode = mode.into();
+    if let Err(e) = mode.ensure_admissible(network.lines()) {
+        panic!("{e}");
     }
     let (first, redundant): (Vec<Option<usize>>, Vec<bool>) = match engine {
-        FaultSimEngine::Scalar => faults
-            .par_iter()
-            .map(|fault: &MultiFault| {
-                let first = multi_first_detection_index_packed(network, fault, tests);
-                let redundant = if first.is_none() && check_redundancy {
-                    is_multi_fault_redundant(network, fault)
-                } else {
-                    false
-                };
-                (first, redundant)
-            })
-            .collect::<Vec<(Option<usize>, bool)>>()
-            .into_iter()
-            .unzip(),
+        FaultSimEngine::Scalar => {
+            let relative: Option<Vec<P>> = match mode {
+                RedundancyMode::RelativeTo(family) => Some(family.collect(network.lines())),
+                _ => None,
+            };
+            faults
+                .par_iter()
+                .map(|fault: &MultiFault| {
+                    let first = multi_first_detection_index_packed(network, fault, tests);
+                    let redundant = first.is_none()
+                        && match (&relative, mode) {
+                            (Some(fam), _) => {
+                                is_multi_fault_redundant_relative(network, fault, fam)
+                            }
+                            (None, RedundancyMode::Exhaustive) => {
+                                is_multi_fault_redundant(network, fault)
+                            }
+                            (None, _) => false,
+                        };
+                    (first, redundant)
+                })
+                .collect::<Vec<(Option<usize>, bool)>>()
+                .into_iter()
+                .unzip()
+        }
         FaultSimEngine::BitParallel => {
-            bitparallel_results::<DEFAULT_WIDTH, P>(network, faults, tests, check_redundancy)
+            bitparallel_results::<DEFAULT_WIDTH, P>(network, faults, tests, mode)
         }
         FaultSimEngine::BitParallelWide(width) => match width {
-            LaneWidth::W1 => bitparallel_results::<1, P>(network, faults, tests, check_redundancy),
-            LaneWidth::W2 => bitparallel_results::<2, P>(network, faults, tests, check_redundancy),
-            LaneWidth::W4 => bitparallel_results::<4, P>(network, faults, tests, check_redundancy),
-            LaneWidth::W8 => bitparallel_results::<8, P>(network, faults, tests, check_redundancy),
-            LaneWidth::W16 => {
-                bitparallel_results::<16, P>(network, faults, tests, check_redundancy)
-            }
+            LaneWidth::W1 => bitparallel_results::<1, P>(network, faults, tests, mode),
+            LaneWidth::W2 => bitparallel_results::<2, P>(network, faults, tests, mode),
+            LaneWidth::W4 => bitparallel_results::<4, P>(network, faults, tests, mode),
+            LaneWidth::W8 => bitparallel_results::<8, P>(network, faults, tests, mode),
+            LaneWidth::W16 => bitparallel_results::<16, P>(network, faults, tests, mode),
         },
     };
-    summarise_verdicts(faults, &first, &redundant)
+    summarise_verdicts(faults, &first, &redundant, mode)
 }
 
 /// [`coverage_of_universe_with`] over any [`TestVector`] packing: the
@@ -275,12 +396,12 @@ pub fn coverage_of_universe_packed_with<P: TestVector + Sync>(
     network: &Network,
     universe: &dyn FaultUniverse,
     tests: &[P],
-    check_redundancy: bool,
+    mode: impl Into<RedundancyMode>,
     engine: FaultSimEngine,
 ) -> CoverageReport {
     let mut faults: Vec<MultiFault> = Vec::with_capacity(universe.len(network));
     faults.extend(universe.iter(network));
-    coverage_of_multifaults_packed_with(network, &faults, tests, check_redundancy, engine)
+    coverage_of_multifaults_packed_with(network, &faults, tests, mode.into(), engine)
 }
 
 /// Folds per-fault verdicts into a [`CoverageReport`]: `first[i]` is the
@@ -297,6 +418,10 @@ pub fn coverage_of_universe_packed_with<P: TestVector + Sync>(
 ///
 /// [`DetectionMatrix`]: crate::bitsim::DetectionMatrix
 ///
+/// The `mode` the verdicts were derived under is recorded verbatim as
+/// the report's [`redundancy`](CoverageReport::redundancy) provenance —
+/// batching layers must pass the mode they actually classified with.
+///
 /// # Panics
 /// Panics if `first` and `redundant` do not both have one entry per
 /// fault.
@@ -305,6 +430,7 @@ pub fn summarise_verdicts(
     faults: &[MultiFault],
     first: &[Option<usize>],
     redundant: &[bool],
+    mode: impl Into<RedundancyMode>,
 ) -> CoverageReport {
     assert_eq!(first.len(), faults.len(), "one first-detection per fault");
     assert_eq!(
@@ -356,6 +482,7 @@ pub fn summarise_verdicts(
         max_first_detection,
         missed_faults,
         undetectable_faults,
+        redundancy: mode.into().provenance(),
     }
 }
 
@@ -366,10 +493,12 @@ pub fn summarise_verdicts(
 /// this network (grading nothing is a caller bug —
 /// [`EngineError::EmptyUniverse`]; note the *panicking* API instead
 /// reports an empty universe as vacuously complete), its size
-/// computation must not overflow, and — when `check_redundancy` is
-/// requested — the exhaustive `2^n` redundancy sweep must be admissible
-/// (`n < 32`, the engine-independent `ensure_sweepable` bound), even if
-/// it later turns out no fault is missed.
+/// computation must not overflow, and the redundancy mode must be
+/// admissible for this network
+/// ([`RedundancyMode::ensure_admissible`] — for
+/// [`RedundancyMode::Exhaustive`] the `2^n` sweep bound `n < 32`, the
+/// engine-independent `ensure_sweepable`), even if it later turns out
+/// no fault is missed.
 /// Public for external batching layers (the oracle service): a batched
 /// grade that shares one detection matrix across queries must admit or
 /// refuse each query by *these* rules — the same ones the cold entry
@@ -382,7 +511,7 @@ pub fn check_coverage_inputs<P: TestVector>(
     network: &Network,
     universe: &dyn FaultUniverse,
     tests: &[P],
-    check_redundancy: bool,
+    mode: impl Into<RedundancyMode>,
 ) -> Result<Vec<MultiFault>, EngineError> {
     P::ensure_packable(network.lines())?;
     for test in tests {
@@ -397,12 +526,10 @@ pub fn check_coverage_inputs<P: TestVector>(
     if len == 0 {
         return Err(EngineError::EmptyUniverse);
     }
-    if check_redundancy {
-        // One canonical bound for every engine: the scalar per-fault sweep
-        // and the bit-parallel batch sweep agree on which inputs are
-        // sweepable (and refuse with the same pinned text).
-        error::ensure_sweepable(network.lines())?;
-    }
+    // One canonical bound per mode for every engine: the scalar per-fault
+    // sweep and the bit-parallel batch sweep agree on which inputs are
+    // sweepable (and refuse with the same pinned text).
+    mode.into().ensure_admissible(network.lines())?;
     let mut faults = Vec::with_capacity(len);
     faults.extend(universe.iter(network));
     Ok(faults)
@@ -432,21 +559,20 @@ pub fn try_coverage_of_universe_with(
 /// `P`'s own packability guard replaces the blanket `n ≤ 64` refusal:
 /// `ChannelVec` grades are admitted up to the
 /// [channel-line cap](sortnet_network::error::max_channel_lines), though
-/// `check_redundancy` keeps its engine-specific exhaustive-sweep bounds.
+/// [`RedundancyMode::Exhaustive`] keeps the exhaustive-sweep bound —
+/// past the wall, classify with [`RedundancyMode::RelativeTo`] a named
+/// packed family instead.
 pub fn try_coverage_of_universe_packed_with<P: TestVector + Sync>(
     network: &Network,
     universe: &dyn FaultUniverse,
     tests: &[P],
-    check_redundancy: bool,
+    mode: impl Into<RedundancyMode>,
     engine: FaultSimEngine,
 ) -> Result<CoverageReport, EngineError> {
-    let faults = check_coverage_inputs(network, universe, tests, check_redundancy)?;
+    let mode = mode.into();
+    let faults = check_coverage_inputs(network, universe, tests, mode)?;
     Ok(coverage_of_multifaults_packed_with(
-        network,
-        &faults,
-        tests,
-        check_redundancy,
-        engine,
+        network, &faults, tests, mode, engine,
     ))
 }
 
@@ -469,23 +595,45 @@ pub fn try_coverage_of_universe(
 /// [`bitparallel_results`] threading one shared [`BudgetMeter`] through
 /// both sweep phases, so the budget bounds the whole grade.  Undecided
 /// faults keep `first = None, redundant = false` and therefore fold
-/// into `missed` — the conservative reading.
+/// into `missed` — the conservative reading.  Under
+/// [`RedundancyMode::RelativeTo`] the relative verdicts commit as a
+/// whole phase: a `None` from the metered family sweep is ambiguous
+/// between "no family vector detects it" and "budget ran out", so if
+/// the meter tripped during (or before) the family sweep every relative
+/// verdict is dropped and the affected faults stay conservatively
+/// missed.
 fn bitparallel_results_metered<const W: usize, P: TestVector>(
     network: &Network,
     faults: &[MultiFault],
     tests: &[P],
-    check_redundancy: bool,
+    mode: RedundancyMode,
     meter: &mut BudgetMeter,
 ) -> (Vec<Option<usize>>, Vec<bool>) {
     let backend = Backend::active();
     let first = first_detections_multi_metered::<W, P>(network, faults, tests, backend, meter);
     let mut redundant = vec![false; faults.len()];
-    if check_redundancy {
+    if mode != RedundancyMode::Skip {
         let missed_idx: Vec<usize> = (0..faults.len()).filter(|&i| first[i].is_none()).collect();
         let missed: Vec<MultiFault> = missed_idx.iter().map(|&i| faults[i]).collect();
-        let verdicts = redundant_faults_multi_metered::<W>(network, &missed, backend, meter);
-        for (&i, verdict) in missed_idx.iter().zip(verdicts) {
-            redundant[i] = verdict == Some(true);
+        match mode {
+            RedundancyMode::Exhaustive => {
+                let verdicts =
+                    redundant_faults_multi_metered::<W>(network, &missed, backend, meter);
+                for (&i, verdict) in missed_idx.iter().zip(verdicts) {
+                    redundant[i] = verdict == Some(true);
+                }
+            }
+            RedundancyMode::RelativeTo(family) => {
+                let fam: Vec<P> = family.collect(network.lines());
+                let verdicts =
+                    first_detections_multi_metered::<W, P>(network, &missed, &fam, backend, meter);
+                if meter.tripped().is_none() {
+                    for (&i, verdict) in missed_idx.iter().zip(verdicts) {
+                        redundant[i] = verdict.is_none();
+                    }
+                }
+            }
+            RedundancyMode::Skip => unreachable!(),
         }
     }
     (first, redundant)
@@ -526,11 +674,20 @@ fn scalar_results_pooled<P: TestVector + Sync>(
     network: &Network,
     faults: &[MultiFault],
     tests: &[P],
-    check_redundancy: bool,
+    mode: impl Into<RedundancyMode>,
     budget: &SweepBudget,
     meter: &mut BudgetMeter,
     workers: Option<usize>,
 ) -> (Vec<Option<usize>>, Vec<bool>, Vec<std::thread::ThreadId>) {
+    let mode = mode.into();
+    // Relative classification grades missed faults against the named
+    // family; materialised once, shared read-only across workers.  Its
+    // per-fault sweep is one admitted block of `fam.len()` vectors, so
+    // the whole-block-commit invariant carries over unchanged.
+    let relative: Option<Vec<P>> = match mode {
+        RedundancyMode::RelativeTo(family) => Some(family.collect(network.lines())),
+        _ => None,
+    };
     let workers = workers
         .unwrap_or_else(rayon::current_num_threads)
         .clamp(1, faults.len().max(1));
@@ -558,11 +715,22 @@ fn scalar_results_pooled<P: TestVector + Sync>(
                     break;
                 }
                 first[j] = multi_first_detection_index_packed(network, fault, tests);
-                if first[j].is_none() && check_redundancy {
-                    if !chunk_meter.admit_block(1u64 << network.lines()) {
-                        break;
+                if first[j].is_none() {
+                    match (&relative, mode) {
+                        (Some(fam), _) => {
+                            if !chunk_meter.admit_block(fam.len() as u64) {
+                                break;
+                            }
+                            redundant[j] = is_multi_fault_redundant_relative(network, fault, fam);
+                        }
+                        (None, RedundancyMode::Exhaustive) => {
+                            if !chunk_meter.admit_block(1u64 << network.lines()) {
+                                break;
+                            }
+                            redundant[j] = is_multi_fault_redundant(network, fault);
+                        }
+                        (None, _) => {}
                     }
-                    redundant[j] = is_multi_fault_redundant(network, fault);
                 }
             }
             ScalarChunkOutcome {
@@ -623,76 +791,49 @@ pub fn coverage_of_universe_budgeted_with(
 
 /// [`coverage_of_universe_budgeted_with`] over any [`TestVector`]
 /// packing, with the same shared-meter and conservative-partial
-/// semantics.
+/// semantics.  Under [`RedundancyMode::RelativeTo`] the scalar engine
+/// meters one block of family-size vectors per missed fault; the
+/// bit-parallel engines commit the relative phase as a whole — either
+/// way a tripped budget only ever moves faults into `missed`.
 pub fn coverage_of_universe_budgeted_packed_with<P: TestVector + Sync>(
     network: &Network,
     universe: &dyn FaultUniverse,
     tests: &[P],
-    check_redundancy: bool,
+    mode: impl Into<RedundancyMode>,
     engine: FaultSimEngine,
     budget: &SweepBudget,
 ) -> Result<Budgeted<CoverageReport>, EngineError> {
-    let faults = check_coverage_inputs(network, universe, tests, check_redundancy)?;
+    let mode = mode.into();
+    let faults = check_coverage_inputs(network, universe, tests, mode)?;
     let mut meter = BudgetMeter::new(budget);
     let (first, redundant): (Vec<Option<usize>>, Vec<bool>) = match engine {
         FaultSimEngine::Scalar => {
-            let (first, redundant, _workers) = scalar_results_pooled(
-                network,
-                &faults,
-                tests,
-                check_redundancy,
-                budget,
-                &mut meter,
-                None,
-            );
+            let (first, redundant, _workers) =
+                scalar_results_pooled(network, &faults, tests, mode, budget, &mut meter, None);
             (first, redundant)
         }
         FaultSimEngine::BitParallel => bitparallel_results_metered::<DEFAULT_WIDTH, P>(
-            network,
-            &faults,
-            tests,
-            check_redundancy,
-            &mut meter,
+            network, &faults, tests, mode, &mut meter,
         ),
         FaultSimEngine::BitParallelWide(width) => match width {
-            LaneWidth::W1 => bitparallel_results_metered::<1, P>(
-                network,
-                &faults,
-                tests,
-                check_redundancy,
-                &mut meter,
-            ),
-            LaneWidth::W2 => bitparallel_results_metered::<2, P>(
-                network,
-                &faults,
-                tests,
-                check_redundancy,
-                &mut meter,
-            ),
-            LaneWidth::W4 => bitparallel_results_metered::<4, P>(
-                network,
-                &faults,
-                tests,
-                check_redundancy,
-                &mut meter,
-            ),
-            LaneWidth::W8 => bitparallel_results_metered::<8, P>(
-                network,
-                &faults,
-                tests,
-                check_redundancy,
-                &mut meter,
-            ),
-            LaneWidth::W16 => bitparallel_results_metered::<16, P>(
-                network,
-                &faults,
-                tests,
-                check_redundancy,
-                &mut meter,
-            ),
+            LaneWidth::W1 => {
+                bitparallel_results_metered::<1, P>(network, &faults, tests, mode, &mut meter)
+            }
+            LaneWidth::W2 => {
+                bitparallel_results_metered::<2, P>(network, &faults, tests, mode, &mut meter)
+            }
+            LaneWidth::W4 => {
+                bitparallel_results_metered::<4, P>(network, &faults, tests, mode, &mut meter)
+            }
+            LaneWidth::W8 => {
+                bitparallel_results_metered::<8, P>(network, &faults, tests, mode, &mut meter)
+            }
+            LaneWidth::W16 => {
+                bitparallel_results_metered::<16, P>(network, &faults, tests, mode, &mut meter)
+            }
         },
     };
-    let report = summarise_verdicts(&faults, &first, &redundant);
+    let report = summarise_verdicts(&faults, &first, &redundant, mode);
     Ok(meter.finish(report))
 }
 
@@ -975,6 +1116,198 @@ mod tests {
     }
 
     #[test]
+    fn redundancy_mode_converts_from_the_legacy_bool_and_names_itself() {
+        assert_eq!(RedundancyMode::from(true), RedundancyMode::Exhaustive);
+        assert_eq!(RedundancyMode::from(false), RedundancyMode::Skip);
+        assert_eq!(RedundancyMode::Exhaustive.provenance(), "exhaustive");
+        assert_eq!(RedundancyMode::Skip.provenance(), "skipped");
+        assert_eq!(
+            RedundancyMode::RelativeTo(PackedFamily::SortedStrings).provenance(),
+            "relative:sorted-strings"
+        );
+        // Admissibility: exhaustive keeps the canonical sweep bound,
+        // relative is admitted past it.
+        assert_eq!(
+            RedundancyMode::Exhaustive
+                .ensure_admissible(33)
+                .unwrap_err(),
+            EngineError::SweepTooLarge { lines: 33 }
+        );
+        assert!(RedundancyMode::RelativeTo(PackedFamily::SortedStrings)
+            .ensure_admissible(96)
+            .is_ok());
+        assert!(RedundancyMode::Skip.ensure_admissible(4096).is_ok());
+    }
+
+    #[test]
+    fn reports_carry_their_redundancy_provenance() {
+        let net = odd_even_merge_sort(6);
+        let tests = sorting::binary_testset(6);
+        assert_eq!(
+            coverage_of_tests(&net, &tests, true).redundancy,
+            "exhaustive"
+        );
+        assert_eq!(coverage_of_tests(&net, &tests, false).redundancy, "skipped");
+        let relative = coverage_of_universe_packed_with(
+            &net,
+            &StuckLine,
+            &tests,
+            RedundancyMode::RelativeTo(PackedFamily::SortedStrings),
+            FaultSimEngine::BitParallel,
+        );
+        assert_eq!(relative.redundancy, "relative:sorted-strings");
+    }
+
+    #[test]
+    fn relative_redundancy_is_sound_against_the_exhaustive_sweep() {
+        // Every exhaustively redundant fault is undetected by *any*
+        // vector, so relative classification can only ever move those
+        // same faults (plus possibly more) out of `missed` — and with
+        // the full binary family it is *exactly* the exhaustive verdict.
+        let net = odd_even_merge_sort(5);
+        let tests = vec![BitString::from_word(1, 5)];
+        for engine in [FaultSimEngine::Scalar, FaultSimEngine::BitParallel] {
+            let exhaustive = coverage_of_universe_with(&net, &StuckLine, &tests, true, engine);
+            let relative = coverage_of_universe_packed_with(
+                &net,
+                &StuckLine,
+                &tests,
+                RedundancyMode::RelativeTo(PackedFamily::SortedStrings),
+                engine,
+            );
+            for fault in &exhaustive.undetectable_faults {
+                assert!(
+                    relative.undetectable_faults.contains(fault),
+                    "{engine:?}: exhaustively redundant {fault:?} must be relatively redundant"
+                );
+            }
+            assert!(relative.redundant_faults >= exhaustive.redundant_faults);
+            assert_eq!(relative.detected, exhaustive.detected, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_relative_redundancy() {
+        let mut sampler = NetworkSampler::new(77);
+        for _ in 0..3 {
+            let net = sampler.network(7, 12);
+            let tests: Vec<_> = (0..4).map(|_| sampler.random_input(7)).collect();
+            for family in [
+                PackedFamily::SortedStrings,
+                PackedFamily::WeightAtMost(2),
+                PackedFamily::SingleRuns,
+                PackedFamily::NecessityWitnesses,
+            ] {
+                let mode = RedundancyMode::RelativeTo(family);
+                let scalar = coverage_of_universe_packed_with(
+                    &net,
+                    &StuckLine,
+                    &tests,
+                    mode,
+                    FaultSimEngine::Scalar,
+                );
+                for engine in [
+                    FaultSimEngine::BitParallel,
+                    FaultSimEngine::BitParallelWide(LaneWidth::W1),
+                ] {
+                    assert_eq!(
+                        coverage_of_universe_packed_with(&net, &StuckLine, &tests, mode, engine),
+                        scalar,
+                        "net {net} family {family} {engine:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relative_redundancy_grades_past_the_64_line_wall() {
+        // The headline capability: redundancy classification at n = 96,
+        // where the exhaustive sweep is refused — graded relative to the
+        // sorted-strings family instead, with provenance in the report.
+        use sortnet_combinat::ChannelVec;
+        let n = 96usize;
+        let net = Network::from_pairs(n, &[(0, 95), (31, 64), (0, 1)]);
+        let tests = vec![ChannelVec::zeros(n)];
+        let mode = RedundancyMode::RelativeTo(PackedFamily::SortedStrings);
+        let scalar = coverage_of_universe_packed_with(
+            &net,
+            &StuckLine,
+            &tests,
+            mode,
+            FaultSimEngine::Scalar,
+        );
+        assert_eq!(scalar.redundancy, "relative:sorted-strings");
+        assert_eq!(
+            scalar.detected + scalar.missed + scalar.redundant_faults,
+            scalar.total_faults
+        );
+        // The all-zeros test misses plenty; the family must classify some
+        // of the misses (e.g. stuck-at-0 on the min output of (0, 95) is
+        // invisible to every sorted string) while leaving genuinely
+        // family-detectable misses in `missed`.
+        assert!(scalar.redundant_faults > 0, "{scalar:?}");
+        assert!(scalar.missed > 0, "{scalar:?}");
+        for engine in [
+            FaultSimEngine::BitParallel,
+            FaultSimEngine::BitParallelWide(LaneWidth::W1),
+            FaultSimEngine::BitParallelWide(LaneWidth::W4),
+        ] {
+            assert_eq!(
+                coverage_of_universe_packed_with(&net, &StuckLine, &tests, mode, engine),
+                scalar,
+                "{engine:?}"
+            );
+        }
+        // Typed and budgeted entries agree.
+        assert_eq!(
+            try_coverage_of_universe_packed_with(
+                &net,
+                &StuckLine,
+                &tests,
+                mode,
+                FaultSimEngine::BitParallel
+            )
+            .unwrap(),
+            scalar
+        );
+        let budgeted = coverage_of_universe_budgeted_packed_with(
+            &net,
+            &StuckLine,
+            &tests,
+            mode,
+            FaultSimEngine::BitParallel,
+            &SweepBudget::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(budgeted, Budgeted::Complete(scalar));
+    }
+
+    #[test]
+    fn tripped_budget_never_commits_relative_redundancy_verdicts() {
+        use sortnet_network::budget::CancelToken;
+        let net = odd_even_merge_sort(7);
+        let mode = RedundancyMode::RelativeTo(PackedFamily::SortedStrings);
+        let token = CancelToken::new();
+        token.cancel();
+        for engine in [FaultSimEngine::Scalar, FaultSimEngine::BitParallel] {
+            let cancelled = coverage_of_universe_budgeted_packed_with::<BitString>(
+                &net,
+                &StuckLine,
+                &[],
+                mode,
+                engine,
+                &SweepBudget::unlimited().with_cancel(token.clone()),
+            )
+            .unwrap();
+            assert!(!cancelled.is_complete(), "{engine:?}");
+            let report = cancelled.value();
+            assert_eq!(report.redundant_faults, 0, "{engine:?}");
+            assert_eq!(report.missed, report.total_faults, "{engine:?}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "exhaustive 2^96 sweep refused")]
     fn packed_redundancy_grade_is_refused_up_front() {
         // Before the up-front guard, this call paid the whole n = 96
@@ -1120,7 +1453,7 @@ mod tests {
         );
         assert_eq!(meter.tripped(), None);
         assert_eq!(
-            summarise_verdicts(&faults, &first, &redundant),
+            summarise_verdicts(&faults, &first, &redundant, false),
             coverage_of_multifaults_packed_with(
                 &net,
                 &faults,

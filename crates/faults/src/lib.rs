@@ -77,7 +77,7 @@ pub use coverage::{
     coverage_of_universe_budgeted_packed_with, coverage_of_universe_budgeted_with,
     coverage_of_universe_packed_with, coverage_of_universe_with, try_coverage_of_universe,
     try_coverage_of_universe_packed_with, try_coverage_of_universe_with, CoverageReport,
-    FaultSimEngine,
+    FaultSimEngine, RedundancyMode,
 };
 pub use model::{enumerate_faults, Fault, FaultKind};
 pub use simulate::{
@@ -86,11 +86,12 @@ pub use simulate::{
     try_is_fault_redundant,
 };
 pub use universe::{
-    is_multi_fault_redundant, multi_detects, multi_detects_channels, multi_faulty_apply_bits,
-    multi_faulty_apply_channels, multi_first_detection_index, multi_first_detection_index_packed,
-    try_is_multi_fault_redundant, try_multi_detects, try_multi_faulty_apply_bits,
-    try_multi_faulty_apply_channels, FaultPairs, FaultUniverse, Lesion, MultiFault,
-    SingleComparator, StandardUniverse, StuckAt, StuckLine, TestVector,
+    is_multi_fault_redundant, is_multi_fault_redundant_relative, multi_detects,
+    multi_detects_channels, multi_faulty_apply_bits, multi_faulty_apply_channels,
+    multi_first_detection_index, multi_first_detection_index_packed, try_is_multi_fault_redundant,
+    try_multi_detects, try_multi_faulty_apply_bits, try_multi_faulty_apply_channels, FaultPairs,
+    FaultUniverse, Lesion, MultiFault, SingleComparator, StandardUniverse, StuckAt, StuckLine,
+    TestVector,
 };
 
 // The budget/cancellation/error vocabulary lives in `sortnet-network`;

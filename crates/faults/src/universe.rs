@@ -615,6 +615,24 @@ pub fn try_is_multi_fault_redundant(
     Ok(is_multi_fault_redundant(network, fault))
 }
 
+/// `true` iff the fault is redundant *relative to* the given vector
+/// family: no family member detects it.  The non-exhaustive counterpart
+/// to [`is_multi_fault_redundant`] for networks past the sweepable
+/// bound — sound (an exhaustively redundant fault is relatively
+/// redundant against any family) but not complete (a fault the family
+/// misses may still be detectable by vectors outside it).  Batched
+/// layers that classify redundancy under
+/// [`RedundancyMode::RelativeTo`](crate::coverage::RedundancyMode) must
+/// route through this predicate so batched and cold verdicts agree.
+#[must_use]
+pub fn is_multi_fault_redundant_relative<P: TestVector>(
+    network: &Network,
+    fault: &MultiFault,
+    family: &[P],
+) -> bool {
+    multi_first_detection_index_packed(network, fault, family).is_none()
+}
+
 /// A streaming enumeration of a fault space.
 ///
 /// Implementations yield their faults lazily — [`FaultPairs`] in particular

@@ -43,12 +43,14 @@ use rand::prelude::*;
 
 use sortnet_combinat::{BitString, ChannelVec};
 use sortnet_faults::bitsim::try_detection_matrix_multi_packed_on;
-use sortnet_faults::coverage::{coverage_of_universe_packed_with, FaultSimEngine};
+use sortnet_faults::coverage::{coverage_of_universe_packed_with, FaultSimEngine, RedundancyMode};
 use sortnet_faults::universe::{FaultUniverse, MultiFault, StandardUniverse, TestVector};
 use sortnet_network::budget::{BudgetMeter, Budgeted, SweepBudget};
-use sortnet_network::lanes::Backend;
+use sortnet_network::builders::batcher::odd_even_merge_sort;
+use sortnet_network::lanes::{Backend, PackedFamily};
 use sortnet_network::random::NetworkSampler;
-use sortnet_network::Network;
+use sortnet_network::{properties, Network};
+use sortnet_testsets::verify::{try_verify, Property, Strategy};
 
 /// Per-case seed derivation: SplitMix64's golden-ratio increment keeps
 /// neighbouring case indices decorrelated.
@@ -387,6 +389,167 @@ pub fn run(config: &GrinderConfig) -> Budgeted<Vec<Mismatch>> {
     meter.finish(mismatches)
 }
 
+/// Stream separator for the verify leg so its cases are decorrelated
+/// from [`run_case`]'s at the same `(seed, index)`.
+const VERIFY_STREAM: u64 = 0x5645_5249_4659_1E57;
+
+/// A shrunk test-set-verification disagreement, reproducible from
+/// `(seed, case index)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VerifyMismatch {
+    /// The master seed the run was grinding.
+    pub seed: u64,
+    /// The case index within the verify leg.
+    pub case_index: u64,
+    /// The shrunk network still exhibiting the disagreement.
+    pub network: Network,
+    /// Comparator count as generated, before shrinking.
+    pub original_size: usize,
+    /// The exhaustive oracle's verdict on the shrunk network.
+    pub truth: bool,
+    /// Human-readable description of the disagreement.
+    pub detail: String,
+}
+
+impl fmt::Display for VerifyMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "verify mismatch (seed {seed:#x}, verify case {case})",
+            seed = self.seed,
+            case = self.case_index
+        )?;
+        writeln!(
+            f,
+            "  network:  {} ({} of originally {} comparators, sorter = {})",
+            self.network,
+            self.network.size(),
+            self.original_size,
+            self.truth
+        )?;
+        writeln!(f, "  detail:   {}", self.detail)?;
+        write!(
+            f,
+            "  replay:   SORTNET_GRINDER_SEED={:#x} cargo run -p sortnet-grinder -- \
+             --cases 0 --verify-cases {}",
+            self.seed,
+            self.case_index + 1
+        )
+    }
+}
+
+/// Cross-checks the three test-set verification strategies against the
+/// exhaustive `2^n` oracle (`truth`): the paper's minimal binary test
+/// set, its optimal permutation test set, and the same binary test set
+/// packed into multi-word [`ChannelVec`] vectors and swept through the
+/// packed spot-check engine.  Returns the first disagreement.
+fn check_verify_case(network: &Network, truth: bool) -> Option<String> {
+    for strategy in [Strategy::MinimalBinary, Strategy::Permutation] {
+        match try_verify(network, Property::Sorter, strategy) {
+            Ok(report) => {
+                if report.passed != truth {
+                    return Some(format!(
+                        "exhaustive oracle says sorter={truth}, {strategy:?} test set says {}",
+                        report.passed
+                    ));
+                }
+            }
+            Err(e) => {
+                return Some(format!(
+                    "typed refusal at a size the exhaustive oracle accepted ({strategy:?}): {e}"
+                ))
+            }
+        }
+    }
+    // The packed-family leg: the required strings of the property,
+    // assembled straight into the multi-word packing.  Test-set
+    // sufficiency (Theorem 2.2) makes this check exact, so it must
+    // reproduce the exhaustive verdict too.
+    let n = network.lines();
+    let tests: Vec<ChannelVec> =
+        sortnet_testsets::criteria::required_strings_packed(Property::Sorter, n).collect();
+    match sortnet_testsets::try_spot_check_sorter_packed(network, &tests) {
+        Ok(outcome) => {
+            let passed = outcome.witness.is_none();
+            if passed != truth {
+                return Some(format!(
+                    "exhaustive oracle says sorter={truth}, packed-family spot check says {passed}"
+                ));
+            }
+        }
+        Err(e) => {
+            return Some(format!(
+                "typed refusal from the packed-family spot check: {e}"
+            ))
+        }
+    }
+    None
+}
+
+/// Runs one verify-leg case: a deterministic `(seed, index)` network —
+/// a Batcher sorter, a wounded Batcher sorter (one comparator removed),
+/// or a random network — every test-set strategy is cross-checked
+/// against the exhaustive sorter oracle, and any disagreement is
+/// comparator-shrunk before it is reported.
+#[must_use]
+pub fn run_verify_case(seed: u64, index: u64) -> Option<VerifyMismatch> {
+    let mut rng =
+        StdRng::seed_from_u64(seed.wrapping_add(index.wrapping_mul(CASE_STRIDE)) ^ VERIFY_STREAM);
+    let n = rng.random_range(3usize..10);
+    let network = match rng.random_range(0u32..3) {
+        // A true sorter: grinds the "passed" arm of every strategy.
+        0 => odd_even_merge_sort(n),
+        // A wounded sorter: fails, and usually only barely — the
+        // near-miss regime where a wrong test set would slip.
+        1 => {
+            let sorter = odd_even_merge_sort(n);
+            let victim = rng.random_range(0..sorter.size());
+            sorter.without_comparator(victim)
+        }
+        // A random network, almost always far from sorting.
+        _ => {
+            let size = rng.random_range(0usize..13);
+            NetworkSampler::new(rng.next_u64()).network(n, size)
+        }
+    };
+    let truth = properties::is_sorter(&network);
+    let detail = check_verify_case(&network, truth)?;
+    // Shrink comparators while the *disagreement* persists; the truth
+    // is recomputed per candidate since removing a comparator moves it.
+    let original_size = network.size();
+    let mut network = network;
+    let mut detail = detail;
+    let mut i = 0;
+    while i < network.size() {
+        let candidate = network.without_comparator(i);
+        if let Some(d) = check_verify_case(&candidate, properties::is_sorter(&candidate)) {
+            detail = d;
+            network = candidate;
+        } else {
+            i += 1;
+        }
+    }
+    let truth = properties::is_sorter(&network);
+    Some(VerifyMismatch {
+        seed,
+        case_index: index,
+        network,
+        original_size,
+        truth,
+        detail,
+    })
+}
+
+/// Grinds `cases` verify-leg cases, collecting every shrunk
+/// disagreement between the test-set strategies and the exhaustive
+/// oracle.
+#[must_use]
+pub fn grind_verify(seed: u64, cases: u64) -> Vec<VerifyMismatch> {
+    (0..cases)
+        .filter_map(|index| run_verify_case(seed, index))
+        .collect()
+}
+
 /// Tally of one [`grind_service_cache`] run.
 #[derive(Clone, Debug, Default)]
 pub struct CacheGrindReport {
@@ -449,7 +612,13 @@ pub fn grind_service_cache(seed: u64, queries_per_leg: u64) -> CacheGrindReport 
                         query: Query::Coverage {
                             universe: StandardUniverse::StuckLine,
                             tests,
-                            check_redundancy: n < 32 && rng.random_range(0u32..2) == 0,
+                            redundancy: if n < 32 && rng.random_range(0u32..2) == 0 {
+                                RedundancyMode::Exhaustive
+                            } else if rng.random_range(0u32..2) == 0 {
+                                RedundancyMode::RelativeTo(PackedFamily::SortedStrings)
+                            } else {
+                                RedundancyMode::Skip
+                            },
                         },
                         budget: None,
                         deadline: None,

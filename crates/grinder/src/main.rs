@@ -12,7 +12,7 @@
 use std::process::ExitCode;
 use std::time::{SystemTime, UNIX_EPOCH};
 
-use sortnet_grinder::{run, run_case, Corruption, GrinderConfig};
+use sortnet_grinder::{grind_verify, run, run_case, Corruption, GrinderConfig};
 use sortnet_network::{Budgeted, SweepBudget};
 
 fn parse_u64(s: &str) -> Option<u64> {
@@ -25,11 +25,13 @@ fn parse_u64(s: &str) -> Option<u64> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: sortnet-grinder [--seed N] [--cases N] [--max-blocks N] \
-         [--only-case N] [--corrupt-last-fault]\n\
+        "usage: sortnet-grinder [--seed N] [--cases N] [--verify-cases N] \
+         [--max-blocks N] [--only-case N] [--corrupt-last-fault]\n\
          \n\
          The seed defaults to $SORTNET_GRINDER_SEED, then the wall clock.\n\
          --max-blocks caps the number of cases through the sweep budget;\n\
+         --verify-cases additionally grinds the test-set verification\n\
+         strategies against the exhaustive sorter oracle;\n\
          --only-case replays one case; --corrupt-last-fault plants a fake\n\
          oracle flip to self-test the catch-and-shrink pipeline."
     );
@@ -41,6 +43,7 @@ fn main() -> ExitCode {
         .ok()
         .and_then(|s| parse_u64(&s));
     let mut cases: u64 = 128;
+    let mut verify_cases: u64 = 0;
     let mut max_blocks: Option<u64> = None;
     let mut only_case: Option<u64> = None;
     let mut corruption = Corruption::None;
@@ -60,6 +63,10 @@ fn main() -> ExitCode {
             },
             "--cases" => match value("--cases") {
                 Ok(v) => cases = v,
+                Err(code) => return code,
+            },
+            "--verify-cases" => match value("--verify-cases") {
+                Ok(v) => verify_cases = v,
                 Err(code) => return code,
             },
             "--max-blocks" => match value("--max-blocks") {
@@ -121,13 +128,25 @@ fn main() -> ExitCode {
             best_so_far
         }
     };
-    if mismatches.is_empty() {
+    let verify_mismatches = if verify_cases > 0 {
+        println!("grinding {verify_cases} verify cases from seed {seed:#x}");
+        grind_verify(seed, verify_cases)
+    } else {
+        Vec::new()
+    };
+    if mismatches.is_empty() && verify_mismatches.is_empty() {
         println!("no mismatches: the engines agree on every case");
         return ExitCode::SUCCESS;
     }
     for mismatch in &mismatches {
         println!("{mismatch}");
     }
-    println!("{} mismatch(es) found", mismatches.len());
+    for mismatch in &verify_mismatches {
+        println!("{mismatch}");
+    }
+    println!(
+        "{} mismatch(es) found",
+        mismatches.len() + verify_mismatches.len()
+    );
     ExitCode::FAILURE
 }

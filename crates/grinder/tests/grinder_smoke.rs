@@ -2,7 +2,7 @@
 //! catch-and-shrink pipeline against an injected oracle bug, and replay
 //! reproducibility from the printed seed alone.
 
-use sortnet_grinder::{run, run_case, Corruption, GrinderConfig};
+use sortnet_grinder::{grind_verify, run, run_case, run_verify_case, Corruption, GrinderConfig};
 use sortnet_network::{BudgetReason, Budgeted, SweepBudget};
 
 /// The pinned CI seed: these cases are ground on every push, under both
@@ -89,6 +89,30 @@ fn grinding_is_deterministic_per_seed() {
     let b = run(&config).into_value();
     assert_eq!(a, b);
     assert!(!a.is_empty());
+}
+
+#[test]
+fn pinned_seed_verify_grind_is_clean_and_deterministic() {
+    // The verify leg: minimal-binary, permutation and packed-family
+    // test-set strategies against the exhaustive sorter oracle, over
+    // true sorters, wounded sorters and random networks.
+    let mismatches = grind_verify(PINNED_SEED, 32);
+    assert!(
+        mismatches.is_empty(),
+        "test-set strategies disagree with the exhaustive oracle:\n{}",
+        mismatches
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Case generation is a pure function of (seed, index).
+    for index in [0u64, 5, 13] {
+        assert_eq!(
+            run_verify_case(PINNED_SEED, index),
+            run_verify_case(PINNED_SEED, index)
+        );
+    }
 }
 
 #[test]

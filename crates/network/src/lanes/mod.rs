@@ -92,8 +92,10 @@ use crate::error::{self, EngineError};
 use crate::network::Network;
 
 pub mod backend;
+mod family;
 
 pub use backend::{Backend, LaneOps, PortableOps, ScalarOps};
+pub use family::{FamilySource, PackedFamily};
 
 /// The lane width (in 64-bit words) the non-generic convenience entry
 /// points use: [`DEFAULT_WIDTH`]`×64 = 256` vectors per block, which keeps

@@ -20,9 +20,11 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use sortnet_combinat::ChannelVec;
+use sortnet_faults::coverage::RedundancyMode;
 use sortnet_faults::universe::StandardUniverse;
 use sortnet_network::budget::SweepBudget;
 use sortnet_network::builders::batcher::odd_even_merge_sort;
+use sortnet_network::lanes::PackedFamily;
 use sortnet_network::Network;
 use sortnet_testsets::verify::{Property, Strategy};
 
@@ -229,7 +231,7 @@ pub fn workload(options: &LoadgenOptions) -> Vec<Request> {
             query: Query::Coverage {
                 universe: StandardUniverse::StuckLine,
                 tests: sorted_tests(8),
-                check_redundancy: true,
+                redundancy: RedundancyMode::Exhaustive,
             },
             budget: None,
             deadline: None,
@@ -239,7 +241,7 @@ pub fn workload(options: &LoadgenOptions) -> Vec<Request> {
             query: Query::Coverage {
                 universe: StandardUniverse::SingleComparator,
                 tests: sorted_tests(6),
-                check_redundancy: false,
+                redundancy: RedundancyMode::Skip,
             },
             budget: None,
             deadline: None,
@@ -267,7 +269,7 @@ pub fn workload(options: &LoadgenOptions) -> Vec<Request> {
             query: Query::Coverage {
                 universe: StandardUniverse::StuckLine,
                 tests: sparse_sorted_tests(96, 12),
-                check_redundancy: false,
+                redundancy: RedundancyMode::RelativeTo(PackedFamily::SortedStrings),
             },
             budget: None,
             deadline: None,
@@ -283,7 +285,7 @@ pub fn workload(options: &LoadgenOptions) -> Vec<Request> {
             tests: (0..1100)
                 .map(|_| ChannelVec::from_words(&[rng.next_u64() & 0xFF], 8))
                 .collect(),
-            check_redundancy: false,
+            redundancy: RedundancyMode::Skip,
         },
         budget: None,
         deadline: None,
@@ -337,29 +339,39 @@ pub fn workload(options: &LoadgenOptions) -> Vec<Request> {
                 let n = 5 + rng.below(5) as usize;
                 let comparators = n + rng.below(n as u64) as usize;
                 let network = random_network(&mut rng, n, comparators);
-                let check_redundancy = rng.below(2) == 0;
+                let redundancy = match rng.below(3) {
+                    0 => RedundancyMode::Exhaustive,
+                    1 => RedundancyMode::RelativeTo(PackedFamily::SortedStrings),
+                    _ => RedundancyMode::Skip,
+                };
                 Request {
                     network,
                     query: Query::Coverage {
                         universe: StandardUniverse::StuckLine,
                         tests: sorted_tests(n),
-                        check_redundancy,
+                        redundancy,
                     },
                     budget: None,
                     deadline: None,
                 }
             }
             // 10 % cold n = 96 packed coverage; one in four asks for the
-            // redundancy sweep and must get the typed up-front refusal.
+            // exhaustive redundancy sweep and must get the typed
+            // up-front refusal, one in four grades relative to a packed
+            // family past the wall.
             17..=18 => {
                 let network = random_network(&mut rng, 96, 32);
-                let check_redundancy = rng.below(4) == 0;
+                let redundancy = match rng.below(4) {
+                    0 => RedundancyMode::Exhaustive,
+                    1 => RedundancyMode::RelativeTo(PackedFamily::SortedStrings),
+                    _ => RedundancyMode::Skip,
+                };
                 Request {
                     network,
                     query: Query::Coverage {
                         universe: StandardUniverse::StuckLine,
                         tests: sparse_sorted_tests(96, 16),
-                        check_redundancy,
+                        redundancy,
                     },
                     budget: None,
                     deadline: None,

@@ -4,7 +4,7 @@
 //! the engine's typed entry points, no cache.  [`answer_batch`] is the
 //! serving path the worker pool drives: it looks finished answers up in
 //! the LRU, shards the remaining coverage queries by (network, universe,
-//! redundancy flag), computes **one** detection matrix per shard over
+//! redundancy mode), computes **one** detection matrix per shard over
 //! the union of the shard's test vectors, and derives every member's
 //! report from that matrix — folding verdicts through the engine's own
 //! [`summarise_verdicts`] so a batched answer is bit-identical to the
@@ -35,9 +35,11 @@ use sortnet_combinat::ChannelVec;
 use sortnet_faults::bitsim::{detection_matrix_multi_packed_on, DetectionMatrix};
 use sortnet_faults::coverage::{
     check_coverage_inputs, coverage_of_universe_budgeted_packed_with, summarise_verdicts,
-    try_coverage_of_universe_packed_with, CoverageReport,
+    try_coverage_of_universe_packed_with, CoverageReport, RedundancyMode,
 };
-use sortnet_faults::universe::{is_multi_fault_redundant, MultiFault, StandardUniverse};
+use sortnet_faults::universe::{
+    is_multi_fault_redundant, is_multi_fault_redundant_relative, MultiFault, StandardUniverse,
+};
 use sortnet_faults::FaultSimEngine;
 use sortnet_network::budget::{BudgetReason, Budgeted, SweepBudget, SweepProgress};
 use sortnet_network::lanes::LaneWidth;
@@ -71,9 +73,12 @@ pub enum Query {
         universe: StandardUniverse,
         /// The submitted test set, in submission order.
         tests: Vec<ChannelVec>,
-        /// Also classify missed faults as redundant/testable (admissible
-        /// only for `n < 32`; refused up front otherwise).
-        check_redundancy: bool,
+        /// How missed faults are classified as redundant/testable:
+        /// [`RedundancyMode::Exhaustive`] (admissible only for `n < 32`;
+        /// refused up front otherwise), [`RedundancyMode::RelativeTo`] a
+        /// named packed family (the only classification admissible past
+        /// the 64-line wall), or [`RedundancyMode::Skip`].
+        redundancy: RedundancyMode,
     },
     /// "What is the smallest augmentation making my test set complete?"
     /// (sorted-strings candidate pool, exact set-cover search).
@@ -110,8 +115,8 @@ impl Query {
             Query::Coverage {
                 universe,
                 tests,
-                check_redundancy,
-            } => fingerprint(&(1u8, universe, check_redundancy, tests)),
+                redundancy,
+            } => fingerprint(&(1u8, universe, redundancy, tests)),
             Query::Augment { universe, tests } => fingerprint(&(2u8, universe, tests)),
         }
     }
@@ -406,14 +411,14 @@ fn evaluate(
         Query::Coverage {
             universe,
             tests,
-            check_redundancy,
+            redundancy,
         } => {
             if budget.is_unlimited() {
                 let report = try_coverage_of_universe_packed_with(
                     network,
                     universe,
                     tests,
-                    *check_redundancy,
+                    *redundancy,
                     config.engine,
                 );
                 (
@@ -425,7 +430,7 @@ fn evaluate(
                     network,
                     universe,
                     tests,
-                    *check_redundancy,
+                    *redundancy,
                     config.engine,
                     budget,
                 ) {
@@ -442,6 +447,10 @@ fn evaluate(
                 engine: config.engine,
                 node_budget: config.node_budget,
                 budget: budget.clone(),
+                // The augmentation surface keeps the legacy exhaustive
+                // grading; past-the-wall callers go through the packed
+                // entry points directly.
+                redundancy: RedundancyMode::Exhaustive,
             };
             match try_minimum_augmentation_packed::<ChannelVec>(
                 network,
@@ -472,8 +481,8 @@ fn evaluate(
 }
 
 /// A coverage shard: every member grades the same network against the
-/// same universe with the same redundancy flag, so one matrix serves
-/// them all.
+/// same universe with the same redundancy mode, so one matrix (and one
+/// redundancy sweep) serves them all.
 struct Shard {
     members: Vec<usize>,
 }
@@ -489,7 +498,7 @@ pub fn answer_batch(
 ) -> Vec<Response> {
     let start = Instant::now();
     let mut responses: Vec<Option<Response>> = (0..requests.len()).map(|_| None).collect();
-    let mut shards: HashMap<(u64, usize, StandardUniverse, bool), Shard> = HashMap::new();
+    let mut shards: HashMap<(u64, usize, StandardUniverse, RedundancyMode), Shard> = HashMap::new();
 
     for (i, request) in requests.iter().enumerate() {
         // Chaos site: a per-request injected panic, caught and
@@ -522,11 +531,11 @@ pub fn answer_batch(
         match &request.query {
             Query::Coverage {
                 universe,
-                check_redundancy,
+                redundancy,
                 ..
             } => {
                 shards
-                    .entry((key.network, key.lines, *universe, *check_redundancy))
+                    .entry((key.network, key.lines, *universe, *redundancy))
                     .or_insert_with(|| Shard {
                         members: Vec::new(),
                     })
@@ -550,7 +559,7 @@ pub fn answer_batch(
         }
     }
 
-    for ((net_fp, lines, universe, check_redundancy), shard) in shards {
+    for ((net_fp, lines, universe, redundancy), shard) in shards {
         // A fingerprint groups, equality decides: members whose network
         // is not byte-equal to the sub-shard leader get their own pass,
         // so a (astronomically unlikely) hash collision can never share
@@ -567,7 +576,7 @@ pub fn answer_batch(
                 caches,
                 requests,
                 &network,
-                (net_fp, lines, universe, check_redundancy),
+                (net_fp, lines, universe, redundancy),
                 &same,
                 &mut responses,
                 start,
@@ -594,22 +603,17 @@ fn answer_coverage_shard(
     caches: &OracleCaches,
     requests: &[Request],
     network: &Network,
-    key: (u64, usize, StandardUniverse, bool),
+    key: (u64, usize, StandardUniverse, RedundancyMode),
     members: &[usize],
     responses: &mut [Option<Response>],
     start: Instant,
 ) {
-    let (net_fp, lines, universe, check_redundancy) = key;
+    let (net_fp, lines, universe, redundancy) = key;
     // Admission per member, by the cold path's own rules.
     let mut faults: Option<Vec<MultiFault>> = None;
     let mut valid: Vec<usize> = Vec::with_capacity(members.len());
     for &i in members {
-        match check_coverage_inputs(
-            network,
-            &universe,
-            shard_tests(requests, i),
-            check_redundancy,
-        ) {
+        match check_coverage_inputs(network, &universe, shard_tests(requests, i), redundancy) {
             Ok(f) => {
                 faults.get_or_insert(f);
                 valid.push(i);
@@ -670,15 +674,30 @@ fn answer_coverage_shard(
         .collect();
 
     // One redundancy sweep for the union of the shard's missed faults;
-    // the verdict of a fault is engine-independent, so every member
+    // the verdict of a fault is engine-independent (and, for the
+    // relative mode, depends only on the named family), so every member
     // shares it.
     let mut union_redundant: Vec<bool> = vec![false; faults.len()];
-    if check_redundancy {
+    if redundancy != RedundancyMode::Skip {
         let need: Vec<usize> = (0..faults.len())
             .filter(|&f| member_first.iter().any(|first| first[f].is_none()))
             .collect();
-        for &f in &need {
-            union_redundant[f] = is_multi_fault_redundant(network, &faults[f]);
+        match redundancy {
+            RedundancyMode::Exhaustive => {
+                for &f in &need {
+                    union_redundant[f] = is_multi_fault_redundant(network, &faults[f]);
+                }
+            }
+            RedundancyMode::RelativeTo(family) => {
+                // Materialise the named family once per shard; every
+                // member's verdicts come from the same vectors.
+                let fam: Vec<ChannelVec> = family.collect(lines);
+                for &f in &need {
+                    union_redundant[f] =
+                        is_multi_fault_redundant_relative(network, &faults[f], &fam);
+                }
+            }
+            RedundancyMode::Skip => unreachable!("skip mode classifies nothing"),
         }
     }
 
@@ -689,7 +708,7 @@ fn answer_coverage_shard(
             .zip(&union_redundant)
             .map(|(f, &r)| f.is_none() && r)
             .collect();
-        let report = summarise_verdicts(&faults, first, &redundant);
+        let report = summarise_verdicts(&faults, first, &redundant, redundancy);
         unpoisoned(&caches.answers).insert(
             AnswerKey::of(&requests[i]),
             Answer::Coverage(report.clone()),
@@ -715,13 +734,13 @@ mod tests {
             .collect()
     }
 
-    fn coverage_request(n: usize, check_redundancy: bool) -> Request {
+    fn coverage_request(n: usize, redundancy: impl Into<RedundancyMode>) -> Request {
         Request {
             network: odd_even_merge_sort(n),
             query: Query::Coverage {
                 universe: StandardUniverse::StuckLine,
                 tests: sorted_tests(n),
-                check_redundancy,
+                redundancy: redundancy.into(),
             },
             budget: None,
             deadline: None,
@@ -764,7 +783,7 @@ mod tests {
             query: Query::Coverage {
                 universe: StandardUniverse::SingleComparator,
                 tests,
-                check_redundancy: false,
+                redundancy: RedundancyMode::Skip,
             },
             budget: None,
             deadline: None,
@@ -868,7 +887,7 @@ mod tests {
             query: Query::Coverage {
                 universe: StandardUniverse::StuckLine,
                 tests: sorted_tests(n),
-                check_redundancy: true,
+                redundancy: RedundancyMode::Exhaustive,
             },
             budget: None,
             deadline: None,
@@ -881,6 +900,40 @@ mod tests {
             }))
         );
         assert_eq!(batch[0].outcome, answer_cold(&config, &request).outcome);
+    }
+
+    #[test]
+    fn relative_redundancy_coverage_serves_past_the_64_line_wall() {
+        use sortnet_network::lanes::PackedFamily;
+        // The headline regime: n = 96, redundancy graded relative to the
+        // sorted strings — batched, cached and cold answers all agree and
+        // the report names its provenance.
+        let config = ServiceConfig::default();
+        let caches = OracleCaches::new(8, 4);
+        let n = 96;
+        let request = Request {
+            network: Network::from_pairs(n, &[(0, 95), (31, 64), (0, 1)]),
+            query: Query::Coverage {
+                universe: StandardUniverse::StuckLine,
+                tests: vec![ChannelVec::zeros(n)],
+                redundancy: RedundancyMode::RelativeTo(PackedFamily::SortedStrings),
+            },
+            budget: None,
+            deadline: None,
+        };
+        let cold = answer_cold(&config, &request);
+        let Ok(Answer::Coverage(report)) = &cold.outcome else {
+            panic!("expected a coverage answer, got {:?}", cold.outcome);
+        };
+        assert_eq!(report.redundancy, "relative:sorted-strings");
+        assert!(report.redundant_faults > 0, "family-invisible faults exist");
+        assert!(report.missed > 0, "one test cannot catch everything");
+        let batch = answer_batch(&config, &caches, std::slice::from_ref(&request));
+        assert_eq!(batch[0].cache, CacheStatus::Miss);
+        assert_eq!(batch[0].outcome, cold.outcome);
+        let again = answer_batch(&config, &caches, std::slice::from_ref(&request));
+        assert_eq!(again[0].cache, CacheStatus::Hit);
+        assert_eq!(again[0].outcome, cold.outcome);
     }
 
     #[test]

@@ -500,7 +500,7 @@ mod tests {
             query: Query::Coverage {
                 universe: StandardUniverse::StuckLine,
                 tests: sorted_tests(n),
-                check_redundancy: false,
+                redundancy: sortnet_faults::coverage::RedundancyMode::Skip,
             },
             budget: None,
             deadline: None,

@@ -39,8 +39,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use sortnet_combinat::{BitString, ChannelVec};
+use sortnet_faults::coverage::RedundancyMode;
 use sortnet_faults::universe::StandardUniverse;
 use sortnet_network::budget::{BudgetReason, SweepBudget, SweepProgress};
+use sortnet_network::lanes::PackedFamily;
 use sortnet_network::Network;
 use sortnet_testsets::verify::{Property, Strategy};
 
@@ -227,6 +229,43 @@ fn take_tests(t: &mut Take) -> io::Result<Vec<ChannelVec>> {
     Ok(tests)
 }
 
+fn put_redundancy(out: &mut Vec<u8>, mode: RedundancyMode) {
+    match mode {
+        RedundancyMode::Skip => put_u8(out, 0),
+        RedundancyMode::Exhaustive => put_u8(out, 1),
+        RedundancyMode::RelativeTo(family) => {
+            put_u8(out, 2);
+            match family {
+                PackedFamily::SortedStrings => put_u8(out, 0),
+                PackedFamily::WeightAtMost(k) => {
+                    put_u8(out, 1);
+                    put_u32(out, k);
+                }
+                PackedFamily::SingleRuns => put_u8(out, 2),
+                PackedFamily::NecessityWitnesses => put_u8(out, 3),
+            }
+        }
+    }
+}
+
+fn take_redundancy(t: &mut Take) -> io::Result<RedundancyMode> {
+    match t.u8()? {
+        0 => Ok(RedundancyMode::Skip),
+        1 => Ok(RedundancyMode::Exhaustive),
+        2 => {
+            let family = match t.u8()? {
+                0 => PackedFamily::SortedStrings,
+                1 => PackedFamily::WeightAtMost(t.u32()?),
+                2 => PackedFamily::SingleRuns,
+                3 => PackedFamily::NecessityWitnesses,
+                tag => return Err(bad(format!("unknown family tag {tag}"))),
+            };
+            Ok(RedundancyMode::RelativeTo(family))
+        }
+        tag => Err(bad(format!("unknown redundancy tag {tag}"))),
+    }
+}
+
 fn universe_tag(u: StandardUniverse) -> u8 {
     match u {
         StandardUniverse::SingleComparator => 0,
@@ -273,11 +312,11 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
         Query::Coverage {
             universe,
             tests,
-            check_redundancy,
+            redundancy,
         } => {
             put_u8(&mut out, 1);
             put_u8(&mut out, universe_tag(*universe));
-            put_bool(&mut out, *check_redundancy);
+            put_redundancy(&mut out, *redundancy);
             put_tests(&mut out, tests);
         }
         Query::Augment { universe, tests } => {
@@ -349,12 +388,12 @@ pub fn decode_request(payload: &[u8]) -> io::Result<Request> {
         }
         1 => {
             let universe = take_universe(&mut t)?;
-            let check_redundancy = t.bool()?;
+            let redundancy = take_redundancy(&mut t)?;
             let tests = take_tests(&mut t)?;
             Query::Coverage {
                 universe,
                 tests,
-                check_redundancy,
+                redundancy,
             }
         }
         2 => {
@@ -417,6 +456,10 @@ pub struct CoverageSummary {
     pub mean_first_detection: f64,
     /// Max 1-based first-detection index.
     pub max_first_detection: u64,
+    /// Provenance of the redundancy grading (`"exhaustive"`,
+    /// `"relative:<family>"` or `"skipped"`), exactly as the report
+    /// named it.
+    pub redundancy: String,
 }
 
 /// A wire-shaped answer (see module docs for what is summarised away).
@@ -485,6 +528,7 @@ pub fn compact(response: &Response) -> WireResponse {
             coverage: report.coverage,
             mean_first_detection: report.mean_first_detection,
             max_first_detection: report.max_first_detection as u64,
+            redundancy: report.redundancy.clone(),
         })),
         Ok(Answer::Augment(summary)) => Ok(WireAnswer::Augment {
             missed: summary.missed as u64,
@@ -538,6 +582,7 @@ pub fn encode_response(response: &WireResponse) -> Vec<u8> {
             put_f64(&mut out, s.coverage);
             put_f64(&mut out, s.mean_first_detection);
             put_u64(&mut out, s.max_first_detection);
+            put_str(&mut out, &s.redundancy);
         }
         Ok(WireAnswer::Augment {
             missed,
@@ -616,6 +661,7 @@ pub fn decode_response(payload: &[u8]) -> io::Result<WireResponse> {
             coverage: t.f64()?,
             mean_first_detection: t.f64()?,
             max_first_detection: t.u64()?,
+            redundancy: t.str()?,
         })),
         3 => Ok(WireAnswer::Augment {
             missed: t.u64()?,
@@ -1151,9 +1197,29 @@ mod tests {
                 query: Query::Coverage {
                     universe: StandardUniverse::StuckLine,
                     tests: tests.clone(),
-                    check_redundancy: false,
+                    redundancy: RedundancyMode::RelativeTo(PackedFamily::SortedStrings),
                 },
                 budget: Some(SweepBudget::unlimited().with_max_blocks(7)),
+                deadline: None,
+            },
+            Request {
+                network: network.clone(),
+                query: Query::Coverage {
+                    universe: StandardUniverse::StuckLinePairs,
+                    tests: tests.clone(),
+                    redundancy: RedundancyMode::RelativeTo(PackedFamily::WeightAtMost(3)),
+                },
+                budget: None,
+                deadline: None,
+            },
+            Request {
+                network: network.clone(),
+                query: Query::Coverage {
+                    universe: StandardUniverse::SingleComparator,
+                    tests: tests.clone(),
+                    redundancy: RedundancyMode::Skip,
+                },
+                budget: None,
                 deadline: None,
             },
             Request {
@@ -1271,6 +1337,7 @@ mod tests {
                     coverage: 8.0 / 9.0,
                     mean_first_detection: 1.5,
                     max_first_detection: 4,
+                    redundancy: "relative:sorted-strings".into(),
                 })),
                 completion: Completion::Partial {
                     reason: BudgetReason::Deadline,
@@ -1319,5 +1386,40 @@ mod tests {
         });
         payload.push(0xFF);
         assert!(decode_request(&payload).is_err());
+    }
+
+    #[test]
+    fn unknown_redundancy_and_family_tags_are_typed_decode_errors() {
+        let template = Request {
+            network: Network::from_pairs(4, &[(0, 1)]),
+            query: Query::Coverage {
+                universe: StandardUniverse::StuckLine,
+                tests: vec![],
+                redundancy: RedundancyMode::Skip,
+            },
+            budget: None,
+            deadline: None,
+        };
+        let payload = encode_request(&template);
+        // The redundancy tag sits right after the network, the query tag
+        // and the universe tag.
+        let mut prefix = Vec::new();
+        put_network(&mut prefix, &template.network);
+        let mode_at = prefix.len() + 2;
+        assert_eq!(payload[mode_at], 0, "skip encodes as tag 0");
+
+        let mut bad_mode = payload.clone();
+        bad_mode[mode_at] = 9;
+        let err = decode_request(&bad_mode).expect_err("unknown redundancy tag");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("unknown redundancy tag 9"));
+
+        // Tag 2 demands a family byte; an unknown one is refused too.
+        let mut bad_family = payload;
+        bad_family[mode_at] = 2;
+        bad_family.insert(mode_at + 1, 7);
+        let err = decode_request(&bad_family).expect_err("unknown family tag");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("unknown family tag 7"));
     }
 }

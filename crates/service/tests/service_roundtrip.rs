@@ -6,9 +6,11 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use sortnet_combinat::ChannelVec;
+use sortnet_faults::coverage::RedundancyMode;
 use sortnet_faults::universe::StandardUniverse;
 use sortnet_network::budget::SweepBudget;
 use sortnet_network::builders::batcher::odd_even_merge_sort;
+use sortnet_network::lanes::PackedFamily;
 use sortnet_network::Network;
 use sortnet_service::wire::{compact, WireClient, WireServer};
 use sortnet_service::{
@@ -28,7 +30,9 @@ fn coverage_request(n: usize) -> Request {
         query: Query::Coverage {
             universe: StandardUniverse::StuckLine,
             tests: sorted_tests(n),
-            check_redundancy: n < 32,
+            // Exhaustive everywhere: below the wall it grades for real,
+            // past it the service must answer with the typed refusal.
+            redundancy: RedundancyMode::Exhaustive,
         },
         budget: None,
         deadline: None,
@@ -133,7 +137,7 @@ fn wire_front_round_trips_queries_and_stops_cleanly() {
             query: Query::Coverage {
                 universe: StandardUniverse::StuckLine,
                 tests: wide_tests,
-                check_redundancy: false,
+                redundancy: RedundancyMode::RelativeTo(PackedFamily::SortedStrings),
             },
             budget: None,
             deadline: None,
@@ -143,7 +147,7 @@ fn wire_front_round_trips_queries_and_stops_cleanly() {
             query: Query::Coverage {
                 universe: StandardUniverse::StuckLine,
                 tests: sorted_tests(8),
-                check_redundancy: true,
+                redundancy: RedundancyMode::Exhaustive,
             },
             budget: Some(SweepBudget::unlimited().with_max_blocks(1)),
             deadline: None,
@@ -163,7 +167,7 @@ fn wire_front_round_trips_queries_and_stops_cleanly() {
         query: Query::Coverage {
             universe: StandardUniverse::StuckLine,
             tests: vec![ChannelVec::zeros(96)],
-            check_redundancy: true,
+            redundancy: RedundancyMode::Exhaustive,
         },
         budget: None,
         deadline: None,

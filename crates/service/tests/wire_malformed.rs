@@ -27,7 +27,7 @@ fn coverage_request(n: usize) -> Request {
         query: Query::Coverage {
             universe: StandardUniverse::StuckLine,
             tests: sorted_tests(n),
-            check_redundancy: false,
+            redundancy: sortnet_faults::coverage::RedundancyMode::Skip,
         },
         budget: None,
         deadline: None,

@@ -60,13 +60,15 @@ use sortnet_faults::bitsim::{
 use sortnet_faults::coverage::{
     coverage_of_universe_packed_with, coverage_of_universe_with,
     try_coverage_of_universe_packed_with, try_coverage_of_universe_with, CoverageReport,
-    FaultSimEngine,
+    FaultSimEngine, RedundancyMode,
 };
 use sortnet_faults::universe::{FaultUniverse, MultiFault, TestVector};
 use sortnet_faults::DetectionMatrix;
 use sortnet_network::budget::{BudgetMeter, Budgeted, SweepBudget};
 use sortnet_network::error::{self, EngineError};
-use sortnet_network::lanes::{BlockSource, ChainSource, IterSource, RangeSource, DEFAULT_WIDTH};
+use sortnet_network::lanes::{
+    BlockSource, ChainSource, FamilySource, IterSource, PackedFamily, RangeSource, DEFAULT_WIDTH,
+};
 use sortnet_network::Network;
 
 /// A bitmask over a small universe (fault indices or set indices), packed
@@ -460,8 +462,9 @@ impl Search<'_> {
 /// Generic over the vector packing `P` ([`BitString`] by default): a
 /// `CandidatePool<ChannelVec>` carries the same structured families past
 /// the 64-line wall.  The exhaustive variants are refused much earlier
-/// anyway (`n ≥ 32`), so only [`CandidatePool::SortedStrings`] and
-/// [`CandidatePool::Explicit`] are meaningful at multi-word widths.
+/// anyway (`n ≥ 32`), so only [`CandidatePool::SortedStrings`],
+/// [`CandidatePool::Family`] and [`CandidatePool::Explicit`] are
+/// meaningful at multi-word widths.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CandidatePool<P = BitString> {
     /// Every binary vector (`2^n` candidates): the exact minimum over all
@@ -480,6 +483,13 @@ pub enum CandidatePool<P = BitString> {
     /// structured candidates, which makes the reported vectors easier to
     /// read.
     SortedFirst,
+    /// A structured [`PackedFamily`] streamed straight from
+    /// [`FamilySource`] — lanes are filled by whole-word writes with no
+    /// per-vector materialisation, so this is the native pool past the
+    /// 64-line wall.  `Family(PackedFamily::SortedStrings)` enumerates the
+    /// same candidates as [`CandidatePool::SortedStrings`] (which keeps
+    /// its per-vector iterator as the scalar cross-check).
+    Family(PackedFamily),
     /// An explicit candidate list (all of length `n`), e.g. a Theorem
     /// 2.4/2.5 family from [`crate::selector`]/[`crate::merging`].
     Explicit(Vec<P>),
@@ -511,6 +521,7 @@ impl<P: ChannelPack> CandidatePool<P> {
                     IterSource::new(n, BitString::all_unsorted(n)),
                 ))
             }
+            Self::Family(family) => Box::new(FamilySource::<P>::new(*family, n)),
             Self::Explicit(vectors) => Box::new(IterSource::new(n, vectors.iter().cloned())),
         }
     }
@@ -523,6 +534,17 @@ pub struct SearchOptions {
     /// candidate matrix always uses the streamed bit-parallel pass; every
     /// engine produces the identical report).
     pub engine: FaultSimEngine,
+    /// How the coverage run classifies missed faults as redundant
+    /// (undetectable) before the augmentation obligation is formed.  The
+    /// default, [`RedundancyMode::Exhaustive`], reproduces the legacy
+    /// `check_redundancy: true` grade and is refused for `n ≥ 32`; past
+    /// the wall pick [`RedundancyMode::RelativeTo`] a [`PackedFamily`] —
+    /// faults no family vector detects are then excluded from the
+    /// obligation *relative to that family*.  Only the packed entry
+    /// points ([`minimum_augmentation_packed`] and its `try_` sibling)
+    /// honour this knob; the deprecated [`BitString`] wrappers stay
+    /// pinned to the exhaustive grade.
+    pub redundancy: RedundancyMode,
     /// Branch-and-bound node cap; `None` runs to certification.  The
     /// greedy cover is always available, so an exhausted budget degrades
     /// the result to "best found, uncertified", never to nothing.
@@ -886,16 +908,18 @@ pub fn minimum_augmentation(
 
 /// [`minimum_augmentation`] generic over the vector packing.
 ///
-/// The redundancy-classifying coverage grade still requires an exhaustive
-/// sweep (`n < 24` scalar / `n < 32` bit-parallel), so at multi-word
-/// widths build the missed-fault obligation another way and call
-/// [`augmentation_for_missed_packed`] directly.
+/// The coverage grade classifies redundancy per
+/// [`SearchOptions::redundancy`]: the default exhaustive sweep is refused
+/// for `n ≥ 32`, so past the wall pick
+/// [`RedundancyMode::RelativeTo`] a [`PackedFamily`] (or
+/// [`RedundancyMode::Skip`] and accept undetectable faults in the
+/// obligation, which an incomplete pool then reports as infeasible).
 ///
 /// # Errors
 /// [`AugmentError::Infeasible`] as for [`minimum_augmentation`].
 ///
 /// # Panics
-/// As [`minimum_augmentation`].
+/// As [`minimum_augmentation`], under the mode's admissibility rule.
 pub fn minimum_augmentation_packed<P: TestVector + Sync>(
     network: &Network,
     universe: &dyn FaultUniverse,
@@ -903,8 +927,13 @@ pub fn minimum_augmentation_packed<P: TestVector + Sync>(
     pool: &CandidatePool<P>,
     options: &SearchOptions,
 ) -> Result<AugmentationReport<P>, AugmentError> {
-    let coverage =
-        coverage_of_universe_packed_with(network, universe, base_tests, true, options.engine);
+    let coverage = coverage_of_universe_packed_with(
+        network,
+        universe,
+        base_tests,
+        options.redundancy,
+        options.engine,
+    );
     augmentation_for_missed_packed(network, &coverage.missed_faults, pool, options)
 }
 
@@ -933,8 +962,10 @@ pub fn try_minimum_augmentation(
 }
 
 /// [`try_minimum_augmentation`] generic over the vector packing — see
-/// [`minimum_augmentation_packed`] for the redundancy-sweep caveat at
-/// multi-word widths.
+/// [`minimum_augmentation_packed`] for how [`SearchOptions::redundancy`]
+/// selects the missed-fault classification at multi-word widths (here
+/// an inadmissible mode surfaces as a typed [`EngineError`] instead of a
+/// panic).
 ///
 /// # Errors
 /// [`EngineError`] as for [`try_minimum_augmentation`].
@@ -945,8 +976,13 @@ pub fn try_minimum_augmentation_packed<P: TestVector + Sync>(
     pool: &CandidatePool<P>,
     options: &SearchOptions,
 ) -> Result<Budgeted<AugmentationReport<P>>, EngineError> {
-    let coverage =
-        try_coverage_of_universe_packed_with(network, universe, base_tests, true, options.engine)?;
+    let coverage = try_coverage_of_universe_packed_with(
+        network,
+        universe,
+        base_tests,
+        options.redundancy,
+        options.engine,
+    )?;
     try_augmentation_for_missed_packed(network, &coverage.missed_faults, pool, options)
 }
 
@@ -1379,6 +1415,77 @@ mod tests {
             augmentation_for_missed_packed(&net, &missed, &narrow, &SearchOptions::default())
                 .unwrap_err();
         assert_eq!(uncoverable.len(), 4);
+    }
+
+    #[test]
+    fn family_pool_matches_the_sorted_strings_iterator_pool() {
+        let net = odd_even_merge_sort(6);
+        let base = crate::sorting::binary_testset(6);
+        let coverage =
+            coverage_of_universe_with(&net, &StuckLine, &base, true, FaultSimEngine::BitParallel);
+        let options = SearchOptions::default();
+        let from_iter = augmentation_for_missed_packed::<BitString>(
+            &net,
+            &coverage.missed_faults,
+            &CandidatePool::SortedStrings,
+            &options,
+        )
+        .unwrap();
+        let from_family = augmentation_for_missed_packed::<BitString>(
+            &net,
+            &coverage.missed_faults,
+            &CandidatePool::Family(PackedFamily::SortedStrings),
+            &options,
+        )
+        .unwrap();
+        // The family source fills lanes by whole-word writes instead of
+        // pushing vectors one by one; the streamed candidates — and hence
+        // the whole certified report — must be identical.
+        assert_eq!(from_iter, from_family);
+    }
+
+    #[test]
+    fn relative_redundancy_runs_packed_augmentation_end_to_end_at_96_lines() {
+        use sortnet_combinat::ChannelVec;
+        use sortnet_faults::universe::multi_detects_channels;
+        let n = 96;
+        let net = Network::from_pairs(n, &[(0, 95), (31, 64), (0, 1)]);
+        let options = SearchOptions {
+            redundancy: RedundancyMode::RelativeTo(PackedFamily::SortedStrings),
+            ..SearchOptions::default()
+        };
+        let base: Vec<ChannelVec> = Vec::new();
+        let pool = CandidatePool::Family(PackedFamily::SortedStrings);
+        // An empty base misses everything, the relative grade keeps only
+        // the family-detectable faults, and the same family as pool covers
+        // them by construction — so the search must certify a minimum.
+        let report = minimum_augmentation_packed(&net, &StuckLine, &base, &pool, &options).unwrap();
+        assert!(report.certified);
+        assert!(!report.minimum.is_empty());
+        assert_eq!(report.candidates_considered, n + 1);
+        for fault in &report.missed_faults {
+            assert!(
+                report
+                    .minimum
+                    .iter()
+                    .any(|t| multi_detects_channels(&net, fault, t)),
+                "augmentation fails to detect {fault}"
+            );
+        }
+        let typed =
+            try_minimum_augmentation_packed(&net, &StuckLine, &base, &pool, &options).unwrap();
+        assert!(typed.is_complete());
+        assert_eq!(typed.into_value(), report);
+        // The default exhaustive grade stays refused past the wall, typed.
+        let refused = try_minimum_augmentation_packed(
+            &net,
+            &StuckLine,
+            &base,
+            &pool,
+            &SearchOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(refused, EngineError::SweepTooLarge { lines: n });
     }
 
     #[test]

@@ -90,7 +90,18 @@ pub fn covers_all<'a>(
     perms: &[Permutation],
     targets: impl IntoIterator<Item = &'a BitString>,
 ) -> bool {
-    crate::cover::uncovered(perms, targets).is_empty()
+    covers_all_packed(perms, targets)
+}
+
+/// [`covers_all`] generic over the vector packing — the coverage check
+/// the `B(n, k)` test sets are certified by, through the width-generic
+/// [`Permutation::covers_packed`] surface.
+#[must_use]
+pub fn covers_all_packed<'a, P: sortnet_combinat::ChannelPack + 'a>(
+    perms: &[Permutation],
+    targets: impl IntoIterator<Item = &'a P>,
+) -> bool {
+    crate::cover::uncovered_packed(perms, targets).is_empty()
 }
 
 #[cfg(test)]

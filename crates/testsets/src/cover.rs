@@ -8,9 +8,10 @@
 //! properties studied by the paper the converse holds too, which is how the
 //! permutation bounds are derived.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashSet};
+use std::hash::Hash;
 
-use sortnet_combinat::{BitString, Permutation};
+use sortnet_combinat::{BitString, ChannelPack, Permutation};
 
 /// The cover of a set of permutations: the union of the individual covers.
 #[must_use]
@@ -18,10 +19,33 @@ pub fn cover_of_set(perms: &[Permutation]) -> BTreeSet<BitString> {
     perms.iter().flat_map(Permutation::cover).collect()
 }
 
+/// [`cover_of_set`] in any vector packing: the union of the individual
+/// covers, deduplicated, in first-appearance order (the packings are not
+/// all ordered, so no `BTreeSet` here).
+#[must_use]
+pub fn cover_of_set_packed<P: ChannelPack + Eq + Hash>(perms: &[Permutation]) -> Vec<P> {
+    let mut seen: HashSet<P> = HashSet::new();
+    let mut out = Vec::new();
+    for s in perms.iter().flat_map(|p| p.cover_packed::<P>()) {
+        if seen.insert(s.clone()) {
+            out.push(s);
+        }
+    }
+    out
+}
+
 /// `true` iff some permutation in `perms` covers `target`.
 #[must_use]
 pub fn set_covers(perms: &[Permutation], target: &BitString) -> bool {
-    perms.iter().any(|p| p.covers(target))
+    set_covers_packed(perms, target)
+}
+
+/// [`set_covers`] generic over the vector packing — the wide form works
+/// for permutations and targets up to
+/// [`sortnet_combinat::permutations::MAX_WIDE_N`] lines.
+#[must_use]
+pub fn set_covers_packed<P: ChannelPack>(perms: &[Permutation], target: &P) -> bool {
+    perms.iter().any(|p| p.covers_packed(target))
 }
 
 /// Returns the strings in `targets` that are *not* covered by any
@@ -31,10 +55,19 @@ pub fn uncovered<'a>(
     perms: &[Permutation],
     targets: impl IntoIterator<Item = &'a BitString>,
 ) -> Vec<BitString> {
+    uncovered_packed(perms, targets)
+}
+
+/// [`uncovered`] generic over the vector packing.
+#[must_use]
+pub fn uncovered_packed<'a, P: ChannelPack + 'a>(
+    perms: &[Permutation],
+    targets: impl IntoIterator<Item = &'a P>,
+) -> Vec<P> {
     targets
         .into_iter()
-        .filter(|t| !set_covers(perms, t))
-        .copied()
+        .filter(|&t| !set_covers_packed(perms, t))
+        .cloned()
         .collect()
 }
 
@@ -47,20 +80,30 @@ pub fn uncovered<'a>(
 /// string is covered by at least one permutation.
 #[must_use]
 pub fn covering_permutation(sigma: &BitString) -> Permutation {
+    covering_permutation_packed(sigma)
+}
+
+/// [`covering_permutation`] generic over the vector packing: the same
+/// construction, built through the wide permutation constructor so it
+/// works for any string up to
+/// [`sortnet_combinat::permutations::MAX_WIDE_N`] lines.
+#[must_use]
+pub fn covering_permutation_packed<P: ChannelPack>(sigma: &P) -> Permutation {
     let n = sigma.len();
+    let zeros = (0..n).filter(|&i| !sigma.bit(i)).count();
     let mut values = vec![0u8; n];
-    let mut next_small = 0u8;
-    let mut next_large = sigma.count_zeros() as u8;
+    let mut next_small = 0usize;
+    let mut next_large = zeros;
     for (i, value) in values.iter_mut().enumerate() {
-        if sigma.get(i) {
-            *value = next_large;
+        if sigma.bit(i) {
+            *value = next_large as u8;
             next_large += 1;
         } else {
-            *value = next_small;
+            *value = next_small as u8;
             next_small += 1;
         }
     }
-    Permutation::from_values(&values).expect("construction yields a permutation")
+    Permutation::from_values_wide(&values).expect("construction yields a permutation")
 }
 
 #[cfg(test)]
@@ -120,6 +163,51 @@ mod tests {
                 assert_eq!(covered, 1);
             }
         }
+    }
+
+    #[test]
+    fn packed_cover_surface_matches_the_bitstring_one() {
+        use std::collections::HashSet as StdHashSet;
+
+        use sortnet_combinat::ChannelVec;
+        let perms: Vec<Permutation> = Permutation::all(5).step_by(7).collect();
+        let targets: Vec<BitString> = BitString::all(5).collect();
+        let packed: Vec<ChannelVec> = targets
+            .iter()
+            .map(|s| ChannelVec::assemble(5, |i| s.get(i)))
+            .collect();
+        for (s, v) in targets.iter().zip(&packed) {
+            assert_eq!(set_covers(&perms, s), set_covers_packed(&perms, v));
+        }
+        let missed = uncovered(&perms, &targets);
+        let missed_packed = uncovered_packed(&perms, &packed);
+        assert_eq!(missed.len(), missed_packed.len());
+        assert!(missed
+            .iter()
+            .zip(&missed_packed)
+            .all(|(a, b)| a.to_string() == b.to_string()));
+        let plain: StdHashSet<String> = cover_of_set(&perms)
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let wide: StdHashSet<String> = cover_of_set_packed::<ChannelVec>(&perms)
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert_eq!(plain, wide);
+    }
+
+    #[test]
+    fn covering_permutation_works_past_the_64_line_wall() {
+        use sortnet_combinat::ChannelVec;
+        let n = 96;
+        let sigma = ChannelVec::assemble(n, |i| i.is_multiple_of(3));
+        let p = covering_permutation_packed(&sigma);
+        assert_eq!(p.len(), n);
+        assert!(p.covers_packed(&sigma));
+        // Sorted strings give the identity, exactly as below the wall.
+        let sorted = ChannelVec::sorted_of(40, 56);
+        assert!(covering_permutation_packed(&sorted).is_identity());
     }
 
     #[test]

@@ -22,8 +22,9 @@
 //! [`merging`](crate::merging) are thin wrappers over this module.
 
 use std::collections::HashSet;
+use std::hash::Hash;
 
-use sortnet_combinat::{BitString, Permutation};
+use sortnet_combinat::{BitString, ChannelPack, Permutation};
 
 use crate::verify::Property;
 
@@ -52,16 +53,44 @@ pub fn required_strings(property: Property, n: usize) -> Box<dyn Iterator<Item =
     }
 }
 
+/// [`required_strings`] in any vector packing: the same family, in the
+/// same enumeration order, re-assembled bit by bit into `P`.
+///
+/// The required families are inherently exhaustive enumerations (that is
+/// the *content* of the theorems), so the `n < 26` guards of
+/// [`required_strings`] stay: the genericity here is over the candidate
+/// packing, not over the enumeration wall.
+///
+/// # Panics
+/// As [`required_strings`].
+pub fn required_strings_packed<P: ChannelPack>(
+    property: Property,
+    n: usize,
+) -> Box<dyn Iterator<Item = P>> {
+    Box::new(required_strings(property, n).map(move |s| P::assemble(n, |i| s.get(i))))
+}
+
 /// Exact criterion: a set of binary strings is a test set for `property`
 /// **iff** it contains every string of the required family.
 #[must_use]
 pub fn is_binary_testset(candidate: &[BitString], n: usize, property: Property) -> bool {
-    let have: HashSet<u64> = candidate
-        .iter()
-        .filter(|s| s.len() == n)
-        .map(BitString::word)
-        .collect();
-    required_strings(property, n).all(|s| have.contains(&s.word()))
+    is_binary_testset_packed(candidate, n, property)
+}
+
+/// [`is_binary_testset`] generic over the vector packing: candidates of a
+/// length other than `n` are ignored (they cannot account for anything),
+/// exactly as in the [`BitString`] original.
+///
+/// # Panics
+/// As [`required_strings`].
+#[must_use]
+pub fn is_binary_testset_packed<P: ChannelPack + Eq + Hash>(
+    candidate: &[P],
+    n: usize,
+    property: Property,
+) -> bool {
+    let have: HashSet<P> = candidate.iter().filter(|s| s.len() == n).cloned().collect();
+    required_strings_packed::<P>(property, n).all(|s| have.contains(&s))
 }
 
 /// Exact criterion for permutations: every string of the required family
@@ -73,6 +102,23 @@ pub fn is_binary_testset(candidate: &[BitString], n: usize, property: Property) 
 /// others are simply ignored.
 #[must_use]
 pub fn is_permutation_testset(candidate: &[Permutation], n: usize, property: Property) -> bool {
+    is_permutation_testset_packed::<BitString>(candidate, n, property)
+}
+
+/// [`is_permutation_testset`] with the required family carried in packing
+/// `P` and coverage decided by
+/// [`Permutation::covers_packed`] — the same
+/// criterion, exercised through the width-generic cover surface (wide
+/// permutations included, up to the family-enumeration guards).
+///
+/// # Panics
+/// As [`required_strings`].
+#[must_use]
+pub fn is_permutation_testset_packed<P: ChannelPack>(
+    candidate: &[Permutation],
+    n: usize,
+    property: Property,
+) -> bool {
     let legal: Vec<&Permutation> = match property {
         Property::Sorter | Property::Selector { .. } => {
             if !candidate.iter().all(|p| p.len() == n) {
@@ -92,7 +138,7 @@ pub fn is_permutation_testset(candidate: &[Permutation], n: usize, property: Pro
                 .collect()
         }
     };
-    required_strings(property, n).all(|s| legal.iter().any(|p| p.covers(&s)))
+    required_strings_packed::<P>(property, n).all(|s| legal.iter().any(|p| p.covers_packed(&s)))
 }
 
 #[cfg(test)]
@@ -122,6 +168,45 @@ mod tests {
                     merging_testset_size_binary(n as u64)
                 );
             }
+        }
+    }
+
+    #[test]
+    fn packed_criteria_agree_with_the_bitstring_originals() {
+        use sortnet_combinat::ChannelVec;
+        let n = 6;
+        for property in [
+            Property::Sorter,
+            Property::Selector { k: 2 },
+            Property::Merger,
+        ] {
+            let full: Vec<BitString> = required_strings(property, n).collect();
+            let packed: Vec<ChannelVec> = full
+                .iter()
+                .map(|s| ChannelVec::assemble(n, |i| s.get(i)))
+                .collect();
+            assert!(is_binary_testset(&full, n, property), "{property:?}");
+            assert!(
+                is_binary_testset_packed(&packed, n, property),
+                "{property:?}"
+            );
+            assert!(!is_binary_testset_packed(&packed[1..], n, property));
+            let perms = match property {
+                Property::Sorter => crate::sorting::permutation_testset(n),
+                Property::Selector { k } => crate::bnk::permutation_testset(n, k),
+                Property::Merger => crate::merging::permutation_testset(n),
+            };
+            assert!(is_permutation_testset(&perms, n, property));
+            assert!(is_permutation_testset_packed::<ChannelVec>(
+                &perms, n, property
+            ));
+            // A weakened candidate set must read the same in both packings.
+            let fewer = perms[1..].to_vec();
+            assert_eq!(
+                is_permutation_testset(&fewer, n, property),
+                is_permutation_testset_packed::<ChannelVec>(&fewer, n, property),
+                "{property:?}"
+            );
         }
     }
 

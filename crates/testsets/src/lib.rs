@@ -95,6 +95,12 @@ pub use verify::{
     Property, Report, Strategy,
 };
 
+// The redundancy-mode and packed-family vocabulary referenced by
+// `SearchOptions`/`CandidatePool` lives downstream; re-exported here so
+// augmentation callers need only one crate in scope.
+pub use sortnet_faults::RedundancyMode;
+pub use sortnet_network::lanes::{FamilySource, PackedFamily};
+
 // The budget/cancellation/error vocabulary lives in `sortnet-network`;
 // re-exported here so test-set callers need only one crate in scope.
 pub use sortnet_network::{

@@ -10,8 +10,8 @@
 //! necessary-and-sufficient criteria for *being* a test set (via Lemma 2.1),
 //! and test-set–driven verification of candidate networks.
 
-use sortnet_combinat::{BitString, Permutation};
-use sortnet_network::lanes::{self, Backend, IterSource, DEFAULT_WIDTH};
+use sortnet_combinat::{BitString, ChannelPack, Permutation};
+use sortnet_network::lanes::{self, Backend, IterSource, PackedFamily, DEFAULT_WIDTH};
 use sortnet_network::Network;
 
 use crate::adversary;
@@ -177,6 +177,30 @@ pub fn necessity_witness(sigma: &BitString) -> Network {
     adversary::adversary(sigma)
 }
 
+/// The `n + 1` sorted strings `0^{n−t} 1^t` in any vector packing —
+/// [`PackedFamily::SortedStrings`] materialised.  These are exactly the
+/// strings Theorem 2.2's minimal 0/1 test set *omits*, and the family the
+/// stuck-line experiments append to restore fault-coverage completeness;
+/// they enumerate past the 64-line wall (streamed form:
+/// [`sortnet_network::lanes::FamilySource`]).
+#[must_use]
+pub fn sorted_strings_packed<P: ChannelPack>(n: usize) -> Vec<P> {
+    PackedFamily::SortedStrings.collect(n)
+}
+
+/// The `n − 1` single-descent strings `0^{z−1}·10·1^{n−z−1}` in any
+/// vector packing — [`PackedFamily::NecessityWitnesses`] materialised.
+///
+/// Each is the minimal non-sorted string exposing one adjacent inversion:
+/// the string the Lemma 2.1 adversary of [`necessity_witness`] fails on
+/// when built for it.  Below the wall these are a (strict) subset of the
+/// full required family of [`binary_testset`]; past the wall they are the
+/// enumerable necessity core.
+#[must_use]
+pub fn necessity_witnesses_packed<P: ChannelPack>(n: usize) -> Vec<P> {
+    PackedFamily::NecessityWitnesses.collect(n)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -292,6 +316,35 @@ mod tests {
                 let covered = w.iter().filter(|s| p.covers(s)).count();
                 assert!(covered <= 1);
             }
+        }
+    }
+
+    #[test]
+    fn packed_families_tie_back_to_the_paper_objects() {
+        use sortnet_combinat::ChannelVec;
+        // Below the wall each witness is a genuine Lemma 2.1 necessity
+        // case: its adversary network fails on it and nothing else.
+        let n = 8;
+        let witnesses: Vec<BitString> = necessity_witnesses_packed(n);
+        assert_eq!(witnesses.len(), n - 1);
+        for sigma in &witnesses {
+            assert!(!sigma.is_sorted());
+            let h = necessity_witness(sigma);
+            assert!(crate::adversary::fails_exactly_on(&h, sigma), "σ = {sigma}");
+        }
+        // Past the wall the families keep their closed-form shapes.
+        let n = 96;
+        let sorted: Vec<ChannelVec> = sorted_strings_packed(n);
+        assert_eq!(sorted.len(), n + 1);
+        assert!(sorted.iter().all(ChannelPack::is_sorted));
+        let wide: Vec<ChannelVec> = necessity_witnesses_packed(n);
+        assert_eq!(wide.len(), n - 1);
+        assert!(wide.iter().all(|s| !s.is_sorted() && s.len() == n));
+        // And each wide witness has a covering permutation that the
+        // packed cover criterion recognises.
+        for sigma in &wide {
+            let p = crate::cover::covering_permutation_packed(sigma);
+            assert!(p.covers_packed(sigma));
         }
     }
 
